@@ -1,0 +1,1 @@
+bench/bech.ml: Analyze Array Bechamel Benchmark Float Gc Hashtbl List Measure Printf Quill_util Staged Test Time Toolkit

@@ -1,0 +1,53 @@
+(* Measurement helpers for the benchmark harness.
+
+   Tight kernels (per-tuple expression work) go through Bechamel's OLS
+   estimator; whole-query timings use repeated wall-clock medians, which
+   is the right tool when a single run takes milliseconds to seconds. *)
+
+open Bechamel
+
+(** [ns_per_run tests] benchmarks a list of named thunks with Bechamel and
+    returns (name, nanoseconds per run), preserving input order. *)
+let ns_per_run ?(quota = 0.5) tests =
+  let grouped =
+    Test.make_grouped ~name:"g"
+      (List.map (fun (name, fn) -> Test.make ~name (Staged.stage fn)) tests)
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  List.map
+    (fun (name, _) ->
+      let key = "g/" ^ name in
+      let est =
+        match Hashtbl.find_opt results key with
+        | Some r -> (
+            match Analyze.OLS.estimates r with Some [ t ] -> t | _ -> Float.nan)
+        | None -> Float.nan
+      in
+      (name, est))
+    tests
+
+(** [median_time ?reps f] runs [f] [reps] times and returns the median
+    wall-clock seconds.  A major GC slice before each rep keeps leftover
+    garbage from a previous measurement from polluting this one. *)
+let median_time ?(reps = 3) f =
+  let samples =
+    Array.init reps (fun _ ->
+        Gc.full_major ();
+        Quill_util.Timer.time_unit (fun () -> ignore (f ())))
+  in
+  Quill_util.Summary.median samples
+
+(** [section title] prints an experiment header. *)
+let section title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+(** [table ~header rows] prints an aligned table. *)
+let table ~header rows = print_string (Quill_util.Pretty.render ~header rows)
+
+let ms secs = Printf.sprintf "%.2f" (secs *. 1e3)
+let speedup base x = Printf.sprintf "%.2fx" (base /. x)

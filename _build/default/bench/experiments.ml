@@ -1,0 +1,793 @@
+(* The experiment suite: one entry per row of DESIGN.md's experiment
+   index (E1..E12).  Each experiment prints the table/series EXPERIMENTS.md
+   records.  Sizes are chosen so the full suite completes in a few
+   minutes on a laptop. *)
+
+module Value = Quill_storage.Value
+module Schema = Quill_storage.Schema
+module Table = Quill_storage.Table
+module Catalog = Quill_storage.Catalog
+module Bexpr = Quill_plan.Bexpr
+module Physical = Quill_optimizer.Physical
+module Picker = Quill_optimizer.Picker
+module Card = Quill_optimizer.Card
+module Rewrite = Quill_optimizer.Rewrite
+module Join_order = Quill_optimizer.Join_order
+module Sort_algos = Quill_exec.Sort_algos
+module Join_algos = Quill_exec.Join_algos
+module Profile = Quill_exec.Profile
+module Tiering = Quill_adaptive.Tiering
+module Plan_cache = Quill_adaptive.Plan_cache
+module Feedback = Quill_adaptive.Feedback
+module Micro_w = Quill_workload.Micro
+module Tpch = Quill_workload.Tpch
+module Rng = Quill_util.Rng
+
+let tpch_sf = 0.02
+
+let tpch_db =
+  lazy
+    (let db = Quill.Db.create () in
+     Printf.printf "(loading TPC-H-like data at SF %.2f ...)\n%!" tpch_sf;
+     Tpch.load (Quill.Db.catalog db) ~sf:tpch_sf ~seed:42;
+     List.iter (Quill.Db.analyze db) [ "lineitem"; "orders"; "customer"; "supplier" ];
+     db)
+
+(* (algo, build_left, est_rows) of the topmost join in the plan. *)
+let rec find_join = function
+  | Physical.Join { algo; build_left; info; _ } ->
+      Some (algo, build_left, info.Physical.est_rows)
+  | Physical.Project (_, i, _) | Physical.Filter (_, i, _) | Physical.Distinct (i, _) ->
+      find_join i
+  | Physical.Aggregate { input; _ } | Physical.Window { input; _ }
+  | Physical.Sort { input; _ } | Physical.Top_k { input; _ }
+  | Physical.Limit { input; _ } ->
+      find_join input
+  | _ -> None
+
+let rec find_agg_algo = function
+  | Physical.Aggregate { algo; _ } -> Some algo
+  | Physical.Project (_, i, _) | Physical.Filter (_, i, _) | Physical.Distinct (i, _) ->
+      find_agg_algo i
+  | Physical.Window { input; _ } | Physical.Sort { input; _ } | Physical.Top_k { input; _ }
+  | Physical.Limit { input; _ } ->
+      find_agg_algo input
+  | Physical.Join _ | Physical.Scan _ | Physical.Index_scan _ | Physical.One_row -> None
+
+(* ----------------------------------------------------------------- E1 *)
+
+let e1 () =
+  Bech.section
+    "E1: expression evaluation tiers (interpreter vs closures vs bytecode VM)";
+  let n = 4096 in
+  let rng = Rng.create 7 in
+  let rows =
+    Array.init n (fun _ ->
+        [| Value.Int (Rng.int rng 1000); Value.Int (Rng.int rng 1000);
+           Value.Int (Rng.int rng 1000); Value.Float (Rng.float rng) |])
+  in
+  (* (c0 * 2 + c1 > c2) AND c3 < 0.5 — a typical WHERE clause shape. *)
+  let ic i = { Bexpr.node = Bexpr.Col i; dtype = Value.Int_t } in
+  let il v = { Bexpr.node = Bexpr.Lit (Value.Int v); dtype = Value.Int_t } in
+  let e =
+    { Bexpr.node =
+        Bexpr.And
+          ( { Bexpr.node =
+                Bexpr.Cmp
+                  ( Bexpr.Gt,
+                    { Bexpr.node =
+                        Bexpr.Arith
+                          ( Bexpr.Add,
+                            { Bexpr.node = Bexpr.Arith (Bexpr.Mul, ic 0, il 2);
+                              dtype = Value.Int_t },
+                            ic 1 );
+                      dtype = Value.Int_t },
+                    ic 2 );
+              dtype = Value.Bool_t },
+            { Bexpr.node =
+                Bexpr.Cmp
+                  ( Bexpr.Lt,
+                    { Bexpr.node = Bexpr.Col 3; dtype = Value.Float_t },
+                    { Bexpr.node = Bexpr.Lit (Value.Float 0.5); dtype = Value.Float_t } );
+              dtype = Value.Bool_t } );
+      dtype = Value.Bool_t }
+  in
+  let closure = Quill_compile.Expr_compile.compile e in
+  let vm = Quill_compile.Expr_vm.compile e in
+  let count fn =
+    let c = ref 0 in
+    Array.iter (fun row -> if fn row = Value.Bool true then incr c) rows;
+    !c
+  in
+  let results =
+    Bech.ns_per_run
+      [ ("interpreter", fun () -> count (fun row -> Bexpr.eval ~row ~params:[||] e));
+        ("closures", fun () -> count (fun row -> closure [||] row));
+        ("bytecode-vm", fun () -> count (fun row -> Quill_compile.Expr_vm.run vm ~params:[||] ~row)) ]
+  in
+  let base = snd (List.hd results) in
+  Bech.table ~header:[ "tier"; "ns/tuple"; "speedup vs interp" ]
+    (List.map
+       (fun (name, ns) ->
+         [ name; Printf.sprintf "%.1f" (ns /. Float.of_int n);
+           Bech.speedup base ns ])
+       results)
+
+(* ----------------------------------------------------------------- E2 *)
+
+let e2 () =
+  Bech.section "E2: engine architectures on TPC-H-like queries";
+  let db = Lazy.force tpch_db in
+  let engines =
+    [ ("volcano", Quill.Db.Volcano); ("vectorized", Quill.Db.Vectorized);
+      ("compiled", Quill.Db.Compiled) ]
+  in
+  let rows =
+    List.map
+      (fun (qname, sql) ->
+        let times =
+          List.map
+            (fun (_, e) -> Bech.median_time (fun () -> Quill.Db.query db ~engine:e sql))
+            engines
+        in
+        let base = List.hd times in
+        qname :: List.concat_map (fun t -> [ Bech.ms t; Bech.speedup base t ]) times)
+      Tpch.queries
+  in
+  Bech.table
+    ~header:
+      [ "query"; "volcano ms"; "x"; "vectorized ms"; "x"; "compiled ms"; "x" ]
+    rows
+
+(* ----------------------------------------------------------------- E3 *)
+
+let e3 () =
+  Bech.section "E3: join algorithm crossover (fixed probe, varying build)";
+  let probe_rows = 100_000 in
+  let header =
+    [ "build rows"; "hash ms"; "merge ms"; "blockNL ms"; "measured winner"; "picker choice" ]
+  in
+  let rows =
+    List.map
+      (fun build_rows ->
+        let build, probe =
+          Micro_w.keyed_pair ~build_rows ~probe_rows ~seed:11 ()
+        in
+        let b = Array.of_list (Table.to_row_list build) in
+        let p = Array.of_list (Table.to_row_list probe) in
+        let keys = [ (0, 0) ] in
+        let hash_t =
+          Bech.median_time (fun () ->
+              Join_algos.hash_join ~keys ~residual:None ~build_left:true b p)
+        in
+        let merge_t =
+          Bech.median_time (fun () -> Join_algos.merge_join ~keys ~residual:None b p)
+        in
+        let nl_t =
+          if build_rows <= 2000 then
+            Some
+              (Bech.median_time (fun () ->
+                   Join_algos.block_nl_join
+                     ~pred:
+                       (Some
+                          (fun row ->
+                            (not (Value.is_null row.(0))) && Value.equal row.(0) row.(2)))
+                     b p))
+          else None
+        in
+        let candidates =
+          [ ("hash", hash_t); ("merge", merge_t) ]
+          @ match nl_t with Some t -> [ ("blockNL", t) ] | None -> []
+        in
+        let winner =
+          fst (List.fold_left (fun (wn, wt) (n, t) -> if t < wt then (n, t) else (wn, wt))
+                 (List.hd candidates) (List.tl candidates))
+        in
+        (* What would the picker choose? *)
+        let db = Quill.Db.create () in
+        Catalog.add (Quill.Db.catalog db) build;
+        Catalog.add (Quill.Db.catalog db) probe;
+        let plan =
+          Quill.Db.plan db
+            "SELECT count(*) FROM probe_side, build_side WHERE p_k = b_k"
+        in
+        let choice =
+          match find_join plan with
+          | Some (algo, _, _) -> Physical.join_algo_name algo
+          | None -> "?"
+        in
+        [ string_of_int build_rows; Bech.ms hash_t; Bech.ms merge_t;
+          (match nl_t with Some t -> Bech.ms t | None -> "-");
+          winner; choice ])
+      [ 100; 1_000; 10_000; 100_000 ]
+  in
+  Bech.table ~header rows
+
+(* ----------------------------------------------------------------- E4 *)
+
+let e4 () =
+  Bech.section "E4: feedback re-optimization under correlated predicates";
+  let db = Quill.Db.create () in
+  let cat = Quill.Db.catalog db in
+  (* corr: a and b perfectly correlated; the independence assumption
+     underestimates the conjunction 10x. Wide payload makes a wrong hash
+     build side expensive. *)
+  let schema =
+    Schema.create
+      (Schema.col ~nullable:false "a" Value.Int_t
+       :: Schema.col ~nullable:false "b" Value.Int_t
+       :: Schema.col ~nullable:false "v" Value.Int_t
+       :: List.init 6 (fun i -> Schema.col ~nullable:false (Printf.sprintf "pay%d" i) Value.Int_t))
+  in
+  let corr = Table.create ~name:"corr" schema in
+  let rng = Rng.create 23 in
+  for _ = 1 to 300_000 do
+    let a = Rng.int rng 1000 in
+    Table.insert corr
+      (Array.append
+         [| Value.Int a; Value.Int a; Value.Int (Rng.int rng 5_000) |]
+         (Array.init 6 (fun _ -> Value.Int (Rng.int rng 1000))))
+  done;
+  Catalog.add cat corr;
+  Catalog.add cat (Micro_w.ints_table ~name:"dim" ~rows:5_000 ~cols:2 ~seed:3 ());
+  Quill.Db.analyze db "corr";
+  Quill.Db.analyze db "dim";
+  let sql =
+    "SELECT count(*) FROM corr, dim WHERE corr.a < 100 AND corr.b < 100 AND corr.v = dim.c0"
+  in
+  let static_plan = Quill.Db.plan db sql in
+  let rec scan_table = function
+    | Physical.Scan { table; _ } | Physical.Index_scan { table; _ } -> table
+    | Physical.Project (_, i, _) | Physical.Filter (_, i, _) | Physical.Distinct (i, _) ->
+        scan_table i
+    | Physical.Aggregate { input; _ } | Physical.Window { input; _ }
+    | Physical.Sort { input; _ } | Physical.Top_k { input; _ }
+    | Physical.Limit { input; _ } ->
+        scan_table input
+    | Physical.Join { left; _ } -> scan_table left
+    | Physical.One_row -> "?"
+  in
+  let rec describe = function
+    | Physical.Join { build_left; left; right; _ } ->
+        scan_table (if build_left then left else right)
+    | Physical.Project (_, i, _) | Physical.Filter (_, i, _) | Physical.Distinct (i, _) ->
+        describe i
+    | Physical.Aggregate { input; _ } | Physical.Window { input; _ }
+    | Physical.Sort { input; _ } | Physical.Top_k { input; _ }
+    | Physical.Limit { input; _ } ->
+        describe input
+    | _ -> "?"
+  in
+  (* Instrumented first run feeds the feedback store. *)
+  let profile = Profile.create static_plan in
+  let ctx = Quill_exec.Exec_ctx.create ~profile (Quill.Db.catalog db) in
+  let _ = Quill_exec.Vector.run ctx static_plan in
+  let fb = Feedback.create () in
+  let _ = Feedback.learn fb cat static_plan profile in
+  let hinted_env =
+    Card.make_env ~hints:(Feedback.hints fb) cat
+      (Quill_stats.Table_stats.Registry.create ())
+  in
+  let lplan =
+    match Quill_sql.Parser.parse sql with
+    | Quill_sql.Ast.Select s ->
+        Quill_plan.Binder.bind_select
+          (Quill_plan.Binder.mk_env ~catalog:cat ~udfs:(Quill_plan.Udf.builtins ())
+             ~param_types:[||] ())
+          s
+    | _ -> assert false
+  in
+  let adaptive_plan = Picker.optimize hinted_env lplan in
+  let time_of plan =
+    Bech.median_time (fun () ->
+        Quill_compile.Codegen.run (Quill_exec.Exec_ctx.create cat) plan)
+  in
+  let t_static = time_of static_plan and t_adaptive = time_of adaptive_plan in
+  let sb = describe static_plan and ab = describe adaptive_plan in
+  let filter_est plan =
+    let est = Profile.estimates plan in
+    if Array.length est > 1 then est.(Array.length est - 1) else 0.0
+  in
+  Bech.table
+    ~header:[ "plan"; "filtered-rows estimate"; "hash build side"; "runtime ms"; "speedup" ]
+    [ [ "static (independence)"; Printf.sprintf "%.0f" (filter_est static_plan); sb;
+        Bech.ms t_static; "1.00x" ];
+      [ "feedback re-optimized"; Printf.sprintf "%.0f" (filter_est adaptive_plan); ab;
+        Bech.ms t_adaptive; Bech.speedup t_static t_adaptive ] ];
+  Printf.printf "(true filtered rows: %d; reoptimize trigger fired: %b)\n"
+    (Table.row_count (Quill.Db.query db "SELECT a FROM corr WHERE a < 100 AND b < 100"))
+    (Feedback.should_reoptimize static_plan profile)
+
+(* ----------------------------------------------------------------- E5 *)
+
+let e5 () =
+  Bech.section "E5: tiered execution break-even (interpret vs compile vs tiered)";
+  let db = Lazy.force tpch_db in
+  let cat = Quill.Db.catalog db in
+  let sql =
+    "SELECT sum(l_extendedprice * l_discount) FROM lineitem \
+     WHERE l_quantity < $1 AND l_discount > 0.01"
+  in
+  let params = [| Value.Float 24.0 |] in
+  let policies =
+    [ ("interpret-always", Tiering.Interpret_always);
+      ("compile-always", Tiering.Compile_always);
+      ("tiered(3)", Tiering.Tiered 3) ]
+  in
+  let checkpoints = [ 1; 2; 3; 5; 10 ] in
+  let rows =
+    List.map
+      (fun (name, policy) ->
+        let plan = Quill.Db.plan db ~params sql in
+        let cache = Plan_cache.create () in
+        let entry =
+          Plan_cache.add cache ~sql ~param_types:[| Value.Float_t |]
+            ~catalog_version:(Catalog.version cat) plan
+        in
+        let ctx = Quill_exec.Exec_ctx.create ~params cat in
+        let cum = ref [] in
+        for run = 1 to 10 do
+          ignore (Tiering.execute ~policy ~ctx entry);
+          if List.mem run checkpoints then
+            cum := entry.Plan_cache.total_exec_time :: !cum
+        done;
+        name :: List.rev_map Bech.ms !cum)
+      policies
+  in
+  Bech.table
+    ~header:[ "policy"; "cum ms @1"; "@2"; "@3"; "@5"; "@10" ]
+    rows
+
+(* ----------------------------------------------------------------- E6 *)
+
+let e6 () =
+  Bech.section "E6: data layout vs projectivity (row vs columnar scans)";
+  let db = Quill.Db.create () in
+  Catalog.add (Quill.Db.catalog db)
+    (Micro_w.wide_table ~rows:300_000 ~cols:16 ~seed:5 ());
+  Quill.Db.analyze db "wide";
+  let query p =
+    let sums =
+      String.concat ", " (List.init p (fun i -> Printf.sprintf "sum(c%d)" i))
+    in
+    Printf.sprintf "SELECT %s FROM wide" sums
+  in
+  let force layout = { Picker.default_options with Picker.force_layout = Some layout } in
+  let rows =
+    List.map
+      (fun p ->
+        let sql = query p in
+        Quill.Db.set_options db (force Physical.Row_layout);
+        let t_row = Bech.median_time (fun () -> Quill.Db.query db sql) in
+        Quill.Db.set_options db (force Physical.Col_layout);
+        let t_col = Bech.median_time (fun () -> Quill.Db.query db sql) in
+        Quill.Db.set_options db Picker.default_options;
+        let plan = Quill.Db.plan db sql in
+        let rec layout_of = function
+          | Physical.Scan { layout; _ } -> Physical.layout_name layout
+          | Physical.Project (_, i, _) | Physical.Filter (_, i, _) -> layout_of i
+          | Physical.Aggregate { input; _ } -> layout_of input
+          | _ -> "?"
+        in
+        [ string_of_int p; Bech.ms t_row; Bech.ms t_col;
+          Printf.sprintf "%.2fx" (t_row /. t_col); layout_of plan ])
+      [ 1; 2; 4; 8; 16 ]
+  in
+  Bech.table
+    ~header:[ "columns read"; "row ms"; "columnar ms"; "col speedup"; "picker layout" ]
+    rows
+
+(* ----------------------------------------------------------------- E7 *)
+
+let e7 () =
+  Bech.section "E7: sort algorithm library across key distributions";
+  let n = 1_000_000 in
+  let dists =
+    [ ("uniform ints", `Uniform); ("nearly-sorted ints", `Clustered);
+      ("heavy-dup ints", `Dups) ]
+  in
+  let rows =
+    List.map
+      (fun (name, dist) ->
+        let keys = Micro_w.sort_keys ~n ~dist ~seed:3 () in
+        let t_quick =
+          Bech.median_time (fun () -> Sort_algos.quicksort compare (Array.copy keys))
+        in
+        let t_merge =
+          Bech.median_time (fun () -> Sort_algos.mergesort compare (Array.copy keys))
+        in
+        let t_radix =
+          Bech.median_time (fun () -> Sort_algos.radix_sort_ints (Array.copy keys))
+        in
+        let winner =
+          fst
+            (List.fold_left
+               (fun (wn, wt) (n, t) -> if t < wt then (n, t) else (wn, wt))
+               ("quick", t_quick)
+               [ ("merge", t_merge); ("radix", t_radix) ])
+        in
+        let pick =
+          Sort_algos.choice_name
+            (Sort_algos.pick ~n ~int_keys:true ~need_stable:false)
+        in
+        [ name; Bech.ms t_quick; Bech.ms t_merge; Bech.ms t_radix; winner; pick ])
+      dists
+  in
+  let strings = Micro_w.string_keys ~n:200_000 ~seed:4 () in
+  let t_quick =
+    Bech.median_time (fun () -> Sort_algos.quicksort compare (Array.copy strings))
+  in
+  let t_merge =
+    Bech.median_time (fun () -> Sort_algos.mergesort compare (Array.copy strings))
+  in
+  let srow =
+    [ "strings (200k)"; Bech.ms t_quick; Bech.ms t_merge; "-";
+      (if t_quick < t_merge then "quick" else "merge");
+      Sort_algos.choice_name (Sort_algos.pick ~n:200_000 ~int_keys:false ~need_stable:false) ]
+  in
+  Bech.table
+    ~header:[ "distribution"; "quick ms"; "merge ms"; "radix ms"; "winner"; "picker" ]
+    (rows @ [ srow ])
+
+(* ----------------------------------------------------------------- E8 *)
+
+let e8 () =
+  Bech.section "E8: aggregation algorithm crossover (group count sweep)";
+  let rows_n = 500_000 in
+  let force alg = { Picker.default_options with Picker.force_agg = Some alg } in
+  let rows =
+    List.map
+      (fun groups ->
+        let db = Quill.Db.create () in
+        Catalog.add (Quill.Db.catalog db)
+          (Micro_w.grouped_table ~rows:rows_n ~groups ~seed:9 ());
+        Quill.Db.analyze db "grouped";
+        let sql = "SELECT g, count(*), sum(v) FROM grouped GROUP BY g" in
+        Quill.Db.set_options db (force Physical.Hash_agg);
+        let t_hash = Bech.median_time (fun () -> Quill.Db.query db sql) in
+        Quill.Db.set_options db (force Physical.Sort_agg);
+        let t_sort = Bech.median_time (fun () -> Quill.Db.query db sql) in
+        Quill.Db.set_options db Picker.default_options;
+        let choice =
+          match find_agg_algo (Quill.Db.plan db sql) with
+          | Some algo -> Physical.agg_algo_name algo
+          | None -> "?"
+        in
+        [ string_of_int groups; Bech.ms t_hash; Bech.ms t_sort;
+          (if t_hash <= t_sort then "hash" else "sort"); choice ])
+      [ 10; 1_000; 100_000; 500_000 ]
+  in
+  Bech.table
+    ~header:[ "groups"; "hash ms"; "sort ms"; "winner"; "picker choice" ]
+    rows
+
+(* ----------------------------------------------------------------- E9 *)
+
+let e9 () =
+  Bech.section "E9: selection pipeline cost vs selectivity, per engine";
+  let db = Lazy.force tpch_db in
+  let rows =
+    List.map
+      (fun (sel_label, threshold) ->
+        let sql =
+          Printf.sprintf
+            "SELECT sum(l_extendedprice) FROM lineitem WHERE l_quantity < %.1f" threshold
+        in
+        let t e = Bech.median_time (fun () -> Quill.Db.query db ~engine:e sql) in
+        let tv = t Quill.Db.Volcano and tx = t Quill.Db.Vectorized and tc = t Quill.Db.Compiled in
+        [ sel_label; Bech.ms tv; Bech.ms tx; Bech.ms tc;
+          Bech.speedup tv tc ])
+      [ ("~2%", 2.0); ("~25%", 13.0); ("~50%", 25.0); ("~75%", 38.0); ("~100%", 51.0) ]
+  in
+  Bech.table
+    ~header:[ "selectivity"; "volcano ms"; "vectorized ms"; "compiled ms"; "compiled speedup" ]
+    rows
+
+(* ---------------------------------------------------------------- E10 *)
+
+let e10 () =
+  Bech.section "E10: user-defined functions in the declarative pipeline";
+  let db = Quill.Db.create () in
+  let cat = Quill.Db.catalog db in
+  let schema = Schema.create [ Schema.col ~nullable:false "x" Value.Float_t ] in
+  let t = Table.create ~name:"pts" schema in
+  let rng = Rng.create 12 in
+  for _ = 1 to 500_000 do
+    Table.insert t [| Value.Float (Rng.float_range rng (-4.0) 4.0) |]
+  done;
+  Catalog.add cat t;
+  Quill.Db.register_udf db ~name:"sigmoid" ~args:[ Value.Float_t ] ~ret:Value.Float_t
+    (function
+    | [| Value.Float x |] -> Value.Float (1.0 /. (1.0 +. exp (-.x)))
+    | [| Value.Null |] -> Value.Null
+    | _ -> invalid_arg "sigmoid");
+  let sql = "SELECT count(*) FROM pts WHERE sigmoid(x) > 0.75" in
+  let t_volcano = Bech.median_time (fun () -> Quill.Db.query db ~engine:Quill.Db.Volcano sql) in
+  let t_vector = Bech.median_time (fun () -> Quill.Db.query db ~engine:Quill.Db.Vectorized sql) in
+  let t_compiled = Bech.median_time (fun () -> Quill.Db.query db ~engine:Quill.Db.Compiled sql) in
+  (* Equivalent built-in expression as the fusion reference point. *)
+  let builtin_sql = "SELECT count(*) FROM pts WHERE x > 1.0986" in
+  let t_builtin = Bech.median_time (fun () -> Quill.Db.query db ~engine:Quill.Db.Compiled builtin_sql) in
+  Bech.table
+    ~header:[ "mode"; "ms"; "speedup vs volcano" ]
+    [ [ "volcano + UDF"; Bech.ms t_volcano; "1.00x" ];
+      [ "vectorized + UDF"; Bech.ms t_vector; Bech.speedup t_volcano t_vector ];
+      [ "compiled + fused UDF"; Bech.ms t_compiled; Bech.speedup t_volcano t_compiled ];
+      [ "compiled, built-in predicate"; Bech.ms t_builtin; Bech.speedup t_volcano t_builtin ] ]
+
+(* ---------------------------------------------------------------- E11 *)
+
+let e11 () =
+  Bech.section "E11: micro-adaptive expression tier selection";
+  let rng = Rng.create 5 in
+  let mk_batch () =
+    Array.init 1024 (fun _ ->
+        [| Value.Int (Rng.int rng 1000); Value.Int (Rng.int rng 1000) |])
+  in
+  let batches = Array.init 300 (fun _ -> mk_batch ()) in
+  let e =
+    { Bexpr.node =
+        Bexpr.Cmp
+          ( Bexpr.Gt,
+            { Bexpr.node =
+                Bexpr.Arith
+                  ( Bexpr.Add,
+                    { Bexpr.node =
+                        Bexpr.Arith
+                          ( Bexpr.Mul,
+                            { Bexpr.node = Bexpr.Col 0; dtype = Value.Int_t },
+                            { Bexpr.node = Bexpr.Lit (Value.Int 3); dtype = Value.Int_t } );
+                      dtype = Value.Int_t },
+                    { Bexpr.node = Bexpr.Col 1; dtype = Value.Int_t } );
+              dtype = Value.Int_t },
+            { Bexpr.node = Bexpr.Lit (Value.Int 1500); dtype = Value.Int_t } );
+      dtype = Value.Bool_t }
+  in
+  let closure = Quill_compile.Expr_compile.compile e in
+  let vm = Quill_compile.Expr_vm.compile e in
+  (* Fixed tiers write results into an output vector exactly like the
+     adaptive evaluator does, so the comparison is apples-to-apples. *)
+  let run_fixed f =
+    Bech.median_time ~reps:3 (fun () ->
+        Array.iter
+          (fun batch ->
+            let out = Array.make (Array.length batch) Value.Null in
+            Array.iteri (fun i row -> out.(i) <- f row) batch)
+          batches)
+  in
+  let t_interp = run_fixed (fun row -> Bexpr.eval ~row ~params:[||] e) in
+  let t_closure = run_fixed (fun row -> closure [||] row) in
+  let t_vm = run_fixed (fun row -> Quill_compile.Expr_vm.run vm ~params:[||] ~row) in
+  let t_adaptive =
+    Bech.median_time ~reps:3 (fun () ->
+        let m = Quill_adaptive.Micro.create ~explore_batches:2 ~reexplore_every:64 e in
+        Array.iter (fun batch -> ignore (Quill_adaptive.Micro.eval_batch m ~params:[||] batch)) batches)
+  in
+  let m = Quill_adaptive.Micro.create e in
+  Array.iter (fun b -> ignore (Quill_adaptive.Micro.eval_batch m ~params:[||] b)) batches;
+  Bech.table
+    ~header:[ "evaluator"; "ms (300 x 1024 rows)"; "vs interp" ]
+    [ [ "fixed: interpreter"; Bech.ms t_interp; "1.00x" ];
+      [ "fixed: bytecode VM"; Bech.ms t_vm; Bech.speedup t_interp t_vm ];
+      [ "fixed: closures"; Bech.ms t_closure; Bech.speedup t_interp t_closure ];
+      [ "micro-adaptive"; Bech.ms t_adaptive; Bech.speedup t_interp t_adaptive ] ];
+  Printf.printf "(adaptive settled on tier: %s)\n"
+    (Quill_adaptive.Micro.tier_name (Quill_adaptive.Micro.current_tier m))
+
+(* ---------------------------------------------------------------- E12 *)
+
+let e12 () =
+  Bech.section "E12: join ordering (DP vs syntactic orders on star queries)";
+  let rows =
+    List.map
+      (fun ndims ->
+        let db = Quill.Db.create () in
+        let cat = Quill.Db.catalog db in
+        Catalog.add cat (Micro_w.ints_table ~name:"fact" ~rows:100_000 ~cols:(ndims + 1) ~seed:1 ());
+        for i = 1 to ndims do
+          Catalog.add cat
+            (Micro_w.ints_table ~name:(Printf.sprintf "dim%d" i) ~rows:(40 * i) ~cols:2
+               ~seed:(i + 1) ())
+        done;
+        Quill.Db.analyze db "fact";
+        let conds =
+          String.concat " AND "
+            (List.init ndims (fun i ->
+                 Printf.sprintf "fact.c%d = dim%d.c0" (i + 1) (i + 1)))
+        in
+        let dims_first =
+          Printf.sprintf "SELECT count(*) FROM %s, fact WHERE %s"
+            (String.concat ", " (List.init ndims (fun i -> Printf.sprintf "dim%d" (i + 1))))
+            conds
+        in
+        let fact_first =
+          Printf.sprintf "SELECT count(*) FROM fact, %s WHERE %s"
+            (String.concat ", " (List.init ndims (fun i -> Printf.sprintf "dim%d" (i + 1))))
+            conds
+        in
+        let no_reorder =
+          { Picker.default_options with Picker.enable_reorder = false }
+        in
+        Quill.Db.set_options db no_reorder;
+        (* The dims-first order starts with unconstrained cross products,
+           which grow combinatorially; only run it where it terminates in
+           reasonable time and report "-" beyond. *)
+        let t_bad =
+          if ndims <= 3 then
+            Some (Bech.median_time ~reps:1 (fun () -> Quill.Db.query db dims_first))
+          else None
+        in
+        let t_syntactic = Bech.median_time ~reps:1 (fun () -> Quill.Db.query db fact_first) in
+        Quill.Db.set_options db Picker.default_options;
+        let opt_time = ref 0.0 in
+        let _, dt = Quill_util.Timer.time (fun () -> Quill.Db.plan db dims_first) in
+        opt_time := dt;
+        let t_dp = Bech.median_time ~reps:1 (fun () -> Quill.Db.query db dims_first) in
+        [ string_of_int ndims;
+          (match t_bad with Some t -> Bech.ms t | None -> "-");
+          Bech.ms t_syntactic; Bech.ms t_dp;
+          (match t_bad with Some t -> Bech.speedup t t_dp | None -> "-");
+          Printf.sprintf "%.2f" (!opt_time *. 1e3) ])
+      [ 3; 4; 5 ]
+  in
+  Bech.table
+    ~header:
+      [ "#dims"; "worst order ms"; "fact-first ms"; "DP-ordered ms"; "DP speedup";
+        "optimize ms" ]
+    rows
+
+(* ---------------------------------------------------------------- E13 *)
+
+let e13 () =
+  Bech.section "E13: access path selection (index scan vs full scan)";
+  let rows_n = 1_000_000 in
+  let db = Quill.Db.create () in
+  Catalog.add (Quill.Db.catalog db)
+    (Micro_w.ints_table ~name:"t" ~rows:rows_n ~cols:3 ~seed:3 ());
+  Quill.Db.analyze db "t";
+  ignore (Quill.Db.exec db "CREATE INDEX ON t (c0)");
+  (* Warm the lazy index build outside the measurements. *)
+  ignore (Quill.Db.query db "SELECT c1 FROM t WHERE c0 = 1");
+  let no_index = { Picker.default_options with Picker.enable_index = false } in
+  let rec uses_index = function
+    | Physical.Index_scan _ -> true
+    | Physical.Project (_, i, _) | Physical.Filter (_, i, _) -> uses_index i
+    | Physical.Aggregate { input; _ } -> uses_index input
+    | _ -> false
+  in
+  let rows =
+    List.map
+      (fun (label, width) ->
+        let sql =
+          Printf.sprintf "SELECT sum(c1) FROM t WHERE c0 >= 500 AND c0 < %d" (500 + width)
+        in
+        Quill.Db.set_options db no_index;
+        let t_scan = Bech.median_time (fun () -> Quill.Db.query db sql) in
+        Quill.Db.set_options db Picker.default_options;
+        let t_auto = Bech.median_time (fun () -> Quill.Db.query db sql) in
+        let choice = if uses_index (Quill.Db.plan db sql) then "index" else "scan" in
+        [ label; Bech.ms t_scan; Bech.ms t_auto;
+          Printf.sprintf "%.1fx" (t_scan /. t_auto); choice ])
+      [ ("0.001%", 10); ("0.1%", 1_000); ("1%", 10_000); ("10%", 100_000);
+        ("50%", 500_000) ]
+  in
+  Bech.table
+    ~header:[ "selectivity"; "full scan ms"; "picker ms"; "speedup"; "picker choice" ]
+    rows
+
+(* ---------------------------------------------------------------- E14 *)
+
+let e14 () =
+  Bech.section "E14: compiled-engine fusion ablation (TPC-H Q6 analog)";
+  let db = Lazy.force tpch_db in
+  let run () = Quill.Db.query db ~engine:Quill.Db.Compiled Tpch.q6 in
+  let measure ~agg_fusion ~col_pred =
+    Quill_compile.Codegen.enable_scan_agg_fusion := agg_fusion;
+    Quill_compile.Codegen.enable_col_pred := col_pred;
+    let t = Bech.median_time run in
+    Quill_compile.Codegen.enable_scan_agg_fusion := true;
+    Quill_compile.Codegen.enable_col_pred := true;
+    t
+  in
+  let full = measure ~agg_fusion:true ~col_pred:true in
+  let no_agg = measure ~agg_fusion:false ~col_pred:true in
+  let no_pred = measure ~agg_fusion:false ~col_pred:false in
+  let volcano = Bech.median_time (fun () -> Quill.Db.query db ~engine:Quill.Db.Volcano Tpch.q6) in
+  Bech.table
+    ~header:[ "configuration"; "ms"; "slowdown vs full fusion" ]
+    [ [ "full fusion (scan-agg + unboxed preds)"; Bech.ms full; "1.00x" ];
+      [ "closures only (no scan-agg fusion)"; Bech.ms no_agg;
+        Printf.sprintf "%.1fx" (no_agg /. full) ];
+      [ "no unboxed predicates either"; Bech.ms no_pred;
+        Printf.sprintf "%.1fx" (no_pred /. full) ];
+      [ "volcano (reference)"; Bech.ms volcano; Printf.sprintf "%.1fx" (volcano /. full) ] ]
+
+(* ---------------------------------------------------------------- E15 *)
+
+let e15 () =
+  Bech.section "E15: multicore scaling of the fused scan->aggregate loop";
+  let db = Quill.Db.create () in
+  Catalog.add (Quill.Db.catalog db)
+    (Micro_w.ints_table ~name:"big" ~rows:4_000_000 ~cols:3 ~seed:2 ());
+  Quill.Db.analyze db "big";
+  let sql = "SELECT count(*), sum(c1), max(c2) FROM big WHERE c1 > 100000" in
+  let run () = Quill.Db.query db ~engine:Quill.Db.Compiled sql in
+  let avail = Domain.recommended_domain_count () in
+  let base = ref 0.0 in
+  let rows =
+    List.filter_map
+      (fun d ->
+        (* Always include d=2 so the parallel path is exercised even on a
+           single-core machine (expect ~1x there). *)
+        if d > max 2 avail then None
+        else begin
+          Quill_compile.Codegen.parallel_domains := d;
+          let t = Bech.median_time run in
+          Quill_compile.Codegen.parallel_domains := 1;
+          if d = 1 then base := t;
+          Some
+            [ string_of_int d; Bech.ms t; Printf.sprintf "%.2fx" (!base /. t) ]
+        end)
+      [ 1; 2; 4; 8 ]
+  in
+  Bech.table ~header:[ "domains"; "ms"; "speedup" ] rows;
+  Printf.printf "(machine reports %d recommended domains)\n" avail
+
+(* ---------------------------------------------------------------- E16 *)
+
+let e16 () =
+  Bech.section "E16: dictionary encoding for low-cardinality strings";
+  let rows_n = 1_000_000 in
+  let tags =
+    [| "PROMO BURNISHED COPPER"; "STANDARD ANODIZED TIN"; "SMALL PLATED COPPER";
+       "LARGE POLISHED STEEL"; "ECONOMY BRUSHED BRASS"; "MEDIUM BURNISHED NICKEL";
+       "PROMO PLATED STEEL"; "STANDARD BRUSHED COPPER" |]
+  in
+  let build_db () =
+    let db = Quill.Db.create () in
+    let schema =
+      Schema.create
+        [ Schema.col ~nullable:false "tag" Value.Str_t;
+          Schema.col ~nullable:false "v" Value.Int_t ]
+    in
+    let t = Table.create ~name:"items" schema in
+    let rng = Rng.create 31 in
+    for _ = 1 to rows_n do
+      Table.insert t [| Value.Str (Rng.pick rng tags); Value.Int (Rng.int rng 1000) |]
+    done;
+    Catalog.add (Quill.Db.catalog db) t;
+    Quill.Db.analyze db "items";
+    (* Force the columnar build under the current encoding flag. *)
+    ignore (Quill.Db.query db "SELECT count(*) FROM items");
+    db
+  in
+  let queries =
+    [ ("equality", "SELECT count(*) FROM items WHERE tag = 'PROMO PLATED STEEL'");
+      ("LIKE", "SELECT count(*) FROM items WHERE tag LIKE '%COPPER%'");
+      ("IN", "SELECT count(*) FROM items WHERE tag IN               ('LARGE POLISHED STEEL', 'ECONOMY BRUSHED BRASS')") ]
+  in
+  Quill_storage.Column.enable_dict := false;
+  let plain_db = build_db () in
+  let plain =
+    List.map (fun (_, q) -> Bech.median_time (fun () -> Quill.Db.query plain_db q)) queries
+  in
+  Quill_storage.Column.enable_dict := true;
+  let dict_db = build_db () in
+  let dict =
+    List.map (fun (_, q) -> Bech.median_time (fun () -> Quill.Db.query dict_db q)) queries
+  in
+  Bech.table
+    ~header:[ "predicate"; "plain strings ms"; "dictionary ms"; "speedup" ]
+    (List.map2
+       (fun ((label, _), p) d ->
+         [ label; Bech.ms p; Bech.ms d; Printf.sprintf "%.1fx" (p /. d) ])
+       (List.combine queries plain)
+       dict)
+
+(* --------------------------------------------------------------- suite *)
+
+(** All experiments with ids matching DESIGN.md. *)
+let all =
+  [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
+    ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
+    ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16) ]

@@ -1,0 +1,25 @@
+(* Benchmark harness entry point.
+
+   [dune exec bench/main.exe] runs every experiment (E1..E12, matching the
+   experiment index in DESIGN.md / EXPERIMENTS.md); pass experiment ids to
+   run a subset, e.g. [dune exec bench/main.exe -- E3 E7]. *)
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as ids) -> List.map String.uppercase_ascii ids
+    | _ -> List.map fst Experiments.all
+  in
+  let unknown =
+    List.filter (fun id -> not (List.mem_assoc id Experiments.all)) requested
+  in
+  if unknown <> [] then begin
+    Printf.eprintf "unknown experiment(s): %s\navailable: %s\n"
+      (String.concat ", " unknown)
+      (String.concat ", " (List.map fst Experiments.all));
+    exit 1
+  end;
+  Printf.printf "Quill benchmark suite — %d experiment(s)\n%!" (List.length requested);
+  let t0 = Quill_util.Timer.now () in
+  List.iter (fun id -> (List.assoc id Experiments.all) ()) requested;
+  Printf.printf "\ntotal: %.1fs\n" (Quill_util.Timer.now () -. t0)

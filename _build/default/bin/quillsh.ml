@@ -1,0 +1,163 @@
+(* quillsh: an interactive SQL shell over a Quill database.
+
+   Statements end with ';'.  Meta commands:
+     \d            list tables
+     \d NAME       describe a table
+     \engine NAME  switch engine (volcano | vectorized | compiled)
+     \timing       toggle per-statement timing
+     \explain SQL  show the physical plan
+     \tpch SF      load a TPC-H-like database at the given scale factor
+     \save DIR     persist the database (CSV files + DDL manifest)
+     \load DIR     replace the session database with a saved one
+     \q            quit
+
+   Run with: dune exec bin/quillsh.exe [-- --init FILE.sql --engine NAME] *)
+
+module Db = Quill.Db
+module Table = Quill_storage.Table
+module Schema = Quill_storage.Schema
+module Catalog = Quill_storage.Catalog
+
+type session = { mutable db : Db.t; mutable timing : bool }
+
+let print_result s dt = function
+  | Db.Rows t -> (
+      print_string (Table.to_string t);
+      if s.timing then Printf.printf "time: %s\n" (Quill_util.Pretty.duration dt))
+  | Db.Affected n ->
+      Printf.printf "ok (%d rows affected)%s\n" n
+        (if s.timing then Printf.sprintf " — %s" (Quill_util.Pretty.duration dt) else "")
+  | Db.Text t -> print_string t
+
+let run_sql s sql =
+  match Quill_util.Timer.time (fun () -> Db.exec s.db sql) with
+  | result, dt -> print_result s dt result
+  | exception Db.Error m -> Printf.printf "error: %s\n" m
+
+let describe s name =
+  match Catalog.find (Db.catalog s.db) name with
+  | None -> Printf.printf "no table %S\n" name
+  | Some t ->
+      Printf.printf "%s %s — %d rows\n" name
+        (Schema.to_string (Table.schema t))
+        (Table.row_count t)
+
+let meta s line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "\\q" ] -> exit 0
+  | [ "\\d" ] ->
+      List.iter (describe s) (Catalog.names (Db.catalog s.db))
+  | [ "\\d"; name ] -> describe s name
+  | [ "\\timing" ] ->
+      s.timing <- not s.timing;
+      Printf.printf "timing %s\n" (if s.timing then "on" else "off")
+  | [ "\\engine"; name ] -> (
+      match String.lowercase_ascii name with
+      | "volcano" -> Db.set_engine s.db Db.Volcano
+      | "vectorized" | "vector" -> Db.set_engine s.db Db.Vectorized
+      | "compiled" -> Db.set_engine s.db Db.Compiled
+      | other -> Printf.printf "unknown engine %S\n" other)
+  | "\\explain" :: rest when rest <> [] -> (
+      let sql = String.concat " " rest in
+      match Db.explain s.db sql with
+      | plan -> print_string plan
+      | exception Db.Error m -> Printf.printf "error: %s\n" m)
+  | [ "\\save"; dir ] -> (
+      match Db.save s.db dir with
+      | () -> Printf.printf "saved to %s\n" dir
+      | exception Db.Error m -> Printf.printf "error: %s\n" m)
+  | [ "\\load"; dir ] -> (
+      match Db.load dir with
+      | db ->
+          s.db <- db;
+          Printf.printf "loaded %s (%d tables)\n" dir
+            (List.length (Catalog.names (Db.catalog db)))
+      | exception (Db.Error _ | Sys_error _) ->
+          Printf.printf "error: cannot load %s\n" dir)
+  | [ "\\tpch"; sf ] -> (
+      match float_of_string_opt sf with
+      | Some sf when sf > 0.0 && sf <= 1.0 ->
+          Printf.printf "loading TPC-H-like data at SF %g...\n%!" sf;
+          Quill_workload.Tpch.load (Db.catalog s.db) ~sf ~seed:42;
+          print_endline "done; try: SELECT count(*) FROM lineitem;"
+      | _ -> print_endline "usage: \\tpch 0.01")
+  | _ -> Printf.printf "unknown meta command: %s\n" line
+
+(* Accumulate lines until a terminating ';' (outside string literals). *)
+let ends_statement buf =
+  let s = String.trim (Buffer.contents buf) in
+  let in_str = ref false in
+  String.iter (fun c -> if c = '\'' then in_str := not !in_str) s;
+  (not !in_str) && String.length s > 0 && s.[String.length s - 1] = ';'
+
+let repl s =
+  let buf = Buffer.create 256 in
+  let rec loop () =
+    print_string (if Buffer.length buf = 0 then "quill> " else "   ... ");
+    flush stdout;
+    match input_line stdin with
+    | exception End_of_file -> ()
+    | line ->
+        let trimmed = String.trim line in
+        if Buffer.length buf = 0 && String.length trimmed > 0 && trimmed.[0] = '\\'
+        then meta s trimmed
+        else begin
+          Buffer.add_string buf line;
+          Buffer.add_char buf '\n';
+          if ends_statement buf then begin
+            run_sql s (Buffer.contents buf);
+            Buffer.clear buf
+          end
+        end;
+        loop ()
+  in
+  loop ()
+
+let run_file s path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  (* Split on ';' respecting string literals. *)
+  let stmts = ref [] and buf = Buffer.create 128 and in_str = ref false in
+  String.iter
+    (fun c ->
+      if c = '\'' then in_str := not !in_str;
+      if c = ';' && not !in_str then begin
+        stmts := Buffer.contents buf :: !stmts;
+        Buffer.clear buf
+      end
+      else Buffer.add_char buf c)
+    text;
+  if String.trim (Buffer.contents buf) <> "" then
+    stmts := Buffer.contents buf :: !stmts;
+  List.iter
+    (fun sql -> if String.trim sql <> "" then run_sql s sql)
+    (List.rev !stmts)
+
+open Cmdliner
+
+let engine_arg =
+  let doc = "Default execution engine: volcano, vectorized or compiled." in
+  Arg.(value & opt string "compiled" & info [ "engine" ] ~doc)
+
+let init_arg =
+  let doc = "Run the SQL statements in $(docv) before starting the shell." in
+  Arg.(value & opt (some file) None & info [ "init" ] ~docv:"FILE" ~doc)
+
+let main engine init =
+  let db = Db.create () in
+  (match String.lowercase_ascii engine with
+  | "volcano" -> Db.set_engine db Db.Volcano
+  | "vectorized" | "vector" -> Db.set_engine db Db.Vectorized
+  | _ -> Db.set_engine db Db.Compiled);
+  let s = { db; timing = false } in
+  Option.iter (run_file s) init;
+  print_endline "Quill SQL shell — \\q to quit, \\d to list tables, \\tpch 0.01 for sample data";
+  repl s
+
+let cmd =
+  let doc = "Interactive SQL shell over the Quill query engine" in
+  Cmd.v (Cmd.info "quillsh" ~doc) Term.(const main $ engine_arg $ init_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/adaptive_session.ml: Array Printf Quill Quill_adaptive Quill_plan Quill_storage Quill_util

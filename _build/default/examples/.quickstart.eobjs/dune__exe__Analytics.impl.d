@@ -1,0 +1,1 @@
+examples/analytics.ml: List Printf Quill Quill_storage Quill_util Quill_workload

@@ -1,0 +1,1 @@
+examples/csv_etl.ml: Filename Printf Quill Quill_storage String Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Quill Quill_storage

@@ -1,0 +1,80 @@
+(* CSV ETL: ingest a raw CSV, clean and reshape it with SQL (CASE, UDFs,
+   aggregation), and export the result as CSV — the "small data tools"
+   use of an embeddable engine.
+
+   Run with: dune exec examples/csv_etl.exe *)
+
+module Db = Quill.Db
+module Value = Quill_storage.Value
+module Table = Quill_storage.Table
+module Csv = Quill_storage.Csv
+
+let raw_csv =
+  "order_id,customer,item,qty,unit_price,ship_date\n\
+   1001,acme corp,widget,5,9.99,2026-05-02\n\
+   1002,Globex,gizmo,2,149.50,2026-05-03\n\
+   1003,acme corp,widget,10,9.99,2026-05-03\n\
+   1004,initech,doohickey,1,899.00,\n\
+   1005,ACME Corp,gizmo,3,149.50,2026-05-05\n\
+   1006,globex,widget,20,9.49,2026-05-06\n\
+   1007,Initech,gizmo,,149.50,2026-05-07\n"
+
+let () =
+  let db = Db.create () in
+  (* Define the staging table and COPY the file in; empty fields land as
+     NULL. *)
+  ignore
+    (Db.exec db
+       "CREATE TABLE raw_orders (order_id INT NOT NULL, customer TEXT, \
+        item TEXT, qty INT, unit_price FLOAT, ship_date DATE)");
+  let path = Filename.temp_file "quill_etl" ".csv" in
+  let oc = open_out path in
+  output_string oc raw_csv;
+  close_out oc;
+  (match Db.exec db (Printf.sprintf "COPY raw_orders FROM '%s'" path) with
+  | Db.Affected n -> Printf.printf "ingested %d raw rows\n" n
+  | _ -> assert false);
+  Sys.remove path;
+
+  (* Cleaning rules as SQL: normalize customer names with a UDF, default
+     missing quantities, flag unshipped orders. *)
+  Db.register_udf db ~name:"canon" ~args:[ Value.Str_t ] ~ret:Value.Str_t
+    (function
+    | [| Value.Str s |] ->
+        Value.Str (String.lowercase_ascii (String.trim s))
+    | [| Value.Null |] -> Value.Null
+    | _ -> invalid_arg "canon");
+
+  let cleaned =
+    Db.query db
+      "SELECT order_id, canon(customer) AS customer, item, \
+       CASE WHEN qty IS NULL THEN 1 ELSE qty END AS qty, \
+       unit_price, \
+       CASE WHEN qty IS NULL THEN 1 ELSE qty END * unit_price AS total, \
+       CASE WHEN ship_date IS NULL THEN 'pending' ELSE 'shipped' END AS status \
+       FROM raw_orders ORDER BY order_id"
+  in
+  Printf.printf "\ncleaned orders:\n%s" (Table.to_string cleaned);
+
+  (* Register the cleaned result as a table and aggregate it. *)
+  Quill_storage.Catalog.add (Db.catalog db)
+    (Table.of_rows ~name:"orders" (Table.schema cleaned) (Table.to_row_list cleaned));
+  let per_customer =
+    Db.query db
+      "SELECT customer, count(*) AS orders, sum(total) AS revenue, \
+       max(total) AS biggest \
+       FROM orders GROUP BY customer ORDER BY revenue DESC"
+  in
+  Printf.printf "per-customer rollup:\n%s" (Table.to_string per_customer);
+
+  (* Export. *)
+  let out = Filename.temp_file "quill_etl_out" ".csv" in
+  Csv.save per_customer out;
+  Printf.printf "wrote %s:\n" out;
+  let ic = open_in out in
+  (try
+     while true do
+       Printf.printf "  %s\n" (input_line ic)
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove out

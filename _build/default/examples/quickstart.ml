@@ -1,0 +1,82 @@
+(* Quickstart: create tables, load rows, and query through the full
+   pipeline (parse -> bind -> optimize -> pick algorithms -> compile ->
+   execute).
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Db = Quill.Db
+module Table = Quill_storage.Table
+
+let show title result =
+  Printf.printf "-- %s\n%s\n" title (Table.to_string result)
+
+let () =
+  let db = Db.create () in
+
+  (* DDL + DML through SQL. *)
+  ignore
+    (Db.exec db
+       "CREATE TABLE books (id INT NOT NULL, title TEXT, author TEXT, \
+        year INT, price FLOAT)");
+  ignore
+    (Db.exec db
+       "INSERT INTO books VALUES \
+        (1, 'The Art of Computer Programming', 'Knuth', 1968, 199.0), \
+        (2, 'A Relational Model of Data', 'Codd', 1970, 15.0), \
+        (3, 'The C Programming Language', 'Kernighan', 1978, 45.0), \
+        (4, 'Structure and Interpretation', 'Abelson', 1985, 60.0), \
+        (5, 'Purely Functional Data Structures', 'Okasaki', 1998, 55.0), \
+        (6, 'Types and Programming Languages', 'Pierce', 2002, 90.0), \
+        (7, 'Readings in Database Systems', 'Hellerstein', 2005, NULL)");
+
+  (* Plain queries; the default engine compiles the plan to fused
+     closures. *)
+  show "books after 1975, cheapest first"
+    (Db.query db
+       "SELECT title, author, price FROM books \
+        WHERE year > 1975 AND price IS NOT NULL \
+        ORDER BY price LIMIT 3");
+
+  (* Expressions, CASE, LIKE. *)
+  show "eras"
+    (Db.query db
+       "SELECT CASE WHEN year < 1980 THEN 'classic' ELSE 'modern' END AS era, \
+        count(*) AS n, avg(price) AS avg_price \
+        FROM books GROUP BY CASE WHEN year < 1980 THEN 'classic' ELSE 'modern' END \
+        ORDER BY era");
+
+  show "titles mentioning programming"
+    (Db.query db "SELECT title FROM books WHERE title LIKE '%Programming%'");
+
+  (* Parameterized queries: $1, $2... bind to the params array. *)
+  show "parameterized"
+    (Db.query db
+       ~params:[| Quill_storage.Value.Int 1990 |]
+       "SELECT title FROM books WHERE year >= $1 ORDER BY year");
+
+  (* A user-defined function participates like a built-in (it is bound,
+     optimized, compiled and fused). *)
+  Db.register_udf db ~name:"discounted" ~args:[ Quill_storage.Value.Float_t ]
+    ~ret:Quill_storage.Value.Float_t (function
+    | [| Quill_storage.Value.Float p |] -> Quill_storage.Value.Float (p *. 0.9)
+    | [| Quill_storage.Value.Null |] -> Quill_storage.Value.Null
+    | _ -> invalid_arg "discounted");
+  show "udf in the pipeline"
+    (Db.query db
+       "SELECT title, discounted(price) AS sale FROM books \
+        WHERE discounted(price) < 50.0 ORDER BY sale");
+
+  (* EXPLAIN shows what the algorithm picker chose. *)
+  print_endline "-- EXPLAIN of an aggregate";
+  print_string
+    (Db.explain db "SELECT author, count(*) FROM books GROUP BY author");
+
+  (* The three engines are interchangeable and agree. *)
+  List.iter
+    (fun engine ->
+      let r =
+        Db.query db ~engine "SELECT count(*) AS n FROM books WHERE price > 40.0"
+      in
+      Printf.printf "engine %-10s -> %s\n" (Db.engine_name engine)
+        (Quill_storage.Value.to_string (Table.get r 0 0)))
+    [ Db.Volcano; Db.Vectorized; Db.Compiled ]

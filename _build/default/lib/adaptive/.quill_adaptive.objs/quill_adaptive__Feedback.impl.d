@@ -1,0 +1,1 @@
+lib/adaptive/feedback.ml: Float Hashtbl Quill_exec Quill_optimizer Quill_plan Quill_storage

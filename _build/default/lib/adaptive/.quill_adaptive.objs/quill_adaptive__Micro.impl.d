@@ -1,0 +1,1 @@
+lib/adaptive/micro.ml: Array Float Quill_compile Quill_plan Quill_storage Quill_util

@@ -1,0 +1,1 @@
+lib/adaptive/plan_cache.ml: Array Hashtbl List Quill_compile Quill_optimizer Quill_storage Quill_util String

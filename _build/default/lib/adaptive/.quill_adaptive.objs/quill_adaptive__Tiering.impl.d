@@ -1,0 +1,1 @@
+lib/adaptive/tiering.ml: Array Plan_cache Printf Quill_compile Quill_exec Quill_optimizer Quill_util

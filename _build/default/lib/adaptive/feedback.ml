@@ -1,0 +1,69 @@
+(* Feedback-driven re-optimization (claim C4).
+
+   After an instrumented execution, the observed per-operator row counts
+   are compared with the picker's estimates.  Badly misestimated filter
+   predicates are recorded as selectivity hints keyed by their expression
+   fingerprint; the next optimization of the same query sees true
+   selectivities and may pick different algorithms, join orders or
+   layouts. *)
+
+module Bexpr = Quill_plan.Bexpr
+module Physical = Quill_optimizer.Physical
+module Profile = Quill_exec.Profile
+
+(** Re-optimize when any operator's estimate is off by more than this
+    factor. *)
+let reopt_threshold = 4.0
+
+type t = { hints : (string, float) Hashtbl.t }
+
+(** [create ()] returns an empty feedback store. *)
+let create () = { hints = Hashtbl.create 16 }
+
+(** [hints t] exposes the hint table for {!Quill_optimizer.Card.make_env}. *)
+let hints t = t.hints
+
+(** [learn t catalog plan profile] records observed selectivities for every
+    filtering operator in [plan]. Returns the number of hints updated. *)
+let learn t catalog plan profile =
+  let updated = ref 0 in
+  let record pred ~inp ~outp =
+    if inp > 0 then begin
+      let sel = Float.of_int outp /. Float.of_int inp in
+      Hashtbl.replace t.hints (Bexpr.to_string pred) sel;
+      incr updated
+    end
+  in
+  let counter = ref 0 in
+  let rec go p =
+    let id = !counter in
+    incr counter;
+    match p with
+    | Physical.One_row | Physical.Index_scan _ -> ()
+    | Physical.Scan { table; filter; _ } -> (
+        match filter with
+        | None -> ()
+        | Some pred ->
+            let total =
+              Quill_storage.Table.row_count (Quill_storage.Catalog.find_exn catalog table)
+            in
+            record pred ~inp:total ~outp:(Profile.rows profile id))
+    | Physical.Filter (pred, input, _) ->
+        let child_id = !counter in
+        go input;
+        record pred ~inp:(Profile.rows profile child_id) ~outp:(Profile.rows profile id)
+    | Physical.Project (_, input, _) | Physical.Distinct (input, _) -> go input
+    | Physical.Join { left; right; _ } ->
+        go left;
+        go right
+    | Physical.Aggregate { input; _ } | Physical.Window { input; _ }
+    | Physical.Sort { input; _ } | Physical.Top_k { input; _ }
+    | Physical.Limit { input; _ } ->
+        go input
+  in
+  go plan;
+  !updated
+
+(** [should_reoptimize plan profile] is true when observed cardinalities
+    diverge from the estimates by more than {!reopt_threshold}. *)
+let should_reoptimize plan profile = Profile.max_error plan profile > reopt_threshold

@@ -1,0 +1,83 @@
+(* Micro-adaptivity: per-batch choice among expression evaluation tiers.
+
+   VectorWise-style "micro adaptivity": for a given expression, the three
+   tiers (tree interpreter, staged closures, bytecode VM) are raced on
+   real batches in an explore phase; the winner then handles subsequent
+   batches, with periodic re-exploration so the choice tracks shifts in
+   the data (claim C4; experiment E11). *)
+
+module Value = Quill_storage.Value
+module Bexpr = Quill_plan.Bexpr
+
+type tier = Interp | Closure | Vm
+
+let tier_name = function Interp -> "interp" | Closure -> "closure" | Vm -> "vm"
+let all_tiers = [| Interp; Closure; Vm |]
+
+type t = {
+  expr : Bexpr.t;
+  closure : Quill_compile.Expr_compile.fn;
+  vm : Quill_compile.Expr_vm.program;
+  explore_batches : int;  (** batches per tier in an explore phase *)
+  reexplore_every : int;  (** batches between explore phases *)
+  cost : float array;  (** accumulated seconds per tier (explore phases) *)
+  mutable batches_seen : int;
+  mutable current : tier;
+  mutable exploring : bool;
+}
+
+(** [create ?explore_batches ?reexplore_every expr] builds an adaptive
+    evaluator for [expr]. *)
+let create ?(explore_batches = 2) ?(reexplore_every = 64) expr =
+  {
+    expr;
+    closure = Quill_compile.Expr_compile.compile expr;
+    vm = Quill_compile.Expr_vm.compile expr;
+    explore_batches;
+    reexplore_every;
+    cost = Array.make (Array.length all_tiers) 0.0;
+    batches_seen = 0;
+    current = Interp;
+    exploring = true;
+  }
+
+let eval_with t tier ~params rows out =
+  match tier with
+  | Interp ->
+      Array.iteri (fun i row -> out.(i) <- Bexpr.eval ~row ~params t.expr) rows
+  | Closure -> Array.iteri (fun i row -> out.(i) <- t.closure params row) rows
+  | Vm ->
+      Array.iteri (fun i row -> out.(i) <- Quill_compile.Expr_vm.run t.vm ~params ~row) rows
+
+let best_tier t =
+  let besti = ref 0 in
+  Array.iteri (fun i c -> if c < t.cost.(!besti) then besti := i) t.cost;
+  all_tiers.(!besti)
+
+(** [eval_batch t ~params rows] evaluates the expression over a batch of
+    rows, tier-switching per the explore/exploit schedule. *)
+let eval_batch t ~params (rows : Value.t array array) : Value.t array =
+  let out = Array.make (Array.length rows) Value.Null in
+  let phase_len = t.explore_batches * Array.length all_tiers in
+  let in_cycle = t.batches_seen mod (t.reexplore_every + phase_len) in
+  if in_cycle < phase_len then begin
+    (* Explore: round-robin the tiers, timing each batch. *)
+    if in_cycle = 0 then Array.fill t.cost 0 (Array.length t.cost) 0.0;
+    let tier_idx = in_cycle / t.explore_batches in
+    let tier = all_tiers.(tier_idx) in
+    t.exploring <- true;
+    let dt = Quill_util.Timer.time_unit (fun () -> eval_with t tier ~params rows out) in
+    (* Normalize by batch size so uneven batches don't bias the race. *)
+    t.cost.(tier_idx) <-
+      t.cost.(tier_idx) +. (dt /. Float.max 1.0 (Float.of_int (Array.length rows)));
+    if in_cycle = phase_len - 1 then t.current <- best_tier t
+  end
+  else begin
+    t.exploring <- false;
+    eval_with t t.current ~params rows out
+  end;
+  t.batches_seen <- t.batches_seen + 1;
+  out
+
+(** [current_tier t] is the tier the evaluator currently exploits. *)
+let current_tier t = t.current

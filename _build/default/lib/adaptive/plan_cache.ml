@@ -1,0 +1,85 @@
+(* Plan cache for parameterized queries.
+
+   Keyed by (SQL text, parameter dtypes); entries hold the optimized
+   physical plan, the staged compilation (if the query got hot), run
+   counts and cumulative timings.  Entries are invalidated when the
+   catalog version moves (DDL/DML), and evicted LRU beyond [capacity]. *)
+
+module Value = Quill_storage.Value
+
+type entry = {
+  sql : string;
+  plan : Quill_optimizer.Physical.t;
+  subs : (Value.t list option ref * Quill_optimizer.Physical.t) list;
+      (** uncorrelated subqueries: cells to materialize before each run *)
+  mutable compiled : Quill_compile.Codegen.compiled option;
+  mutable compile_time : float;  (** seconds spent staging, 0 if never *)
+  mutable runs : int;
+  mutable total_exec_time : float;
+  mutable last_used : float;
+  catalog_version : int;
+}
+
+type t = { capacity : int; entries : (string, entry) Hashtbl.t }
+
+(** [create ?capacity ()] returns an empty cache. *)
+let create ?(capacity = 256) () = { entries = Hashtbl.create 64; capacity }
+
+let key sql param_types =
+  sql ^ "|" ^ String.concat "," (List.map Value.dtype_name (Array.to_list param_types))
+
+(** [find t ~sql ~param_types ~catalog_version] returns a live cached
+    entry, dropping stale ones. *)
+let find t ~sql ~param_types ~catalog_version =
+  let k = key sql param_types in
+  match Hashtbl.find_opt t.entries k with
+  | Some e when e.catalog_version = catalog_version ->
+      e.last_used <- Quill_util.Timer.now ();
+      Some e
+  | Some _ ->
+      Hashtbl.remove t.entries k;
+      None
+  | None -> None
+
+let evict_if_needed t =
+  if Hashtbl.length t.entries > t.capacity then begin
+    (* Drop the least recently used entry. *)
+    let oldest = ref None in
+    Hashtbl.iter
+      (fun k e ->
+        match !oldest with
+        | Some (_, t0) when t0 <= e.last_used -> ()
+        | _ -> oldest := Some (k, e.last_used))
+      t.entries;
+    match !oldest with Some (k, _) -> Hashtbl.remove t.entries k | None -> ()
+  end
+
+(** [add t ~sql ~param_types ~catalog_version ?subs plan] caches a fresh
+    plan and returns its entry. *)
+let add t ~sql ~param_types ~catalog_version ?(subs = []) plan =
+  let e =
+    {
+      sql;
+      plan;
+      subs;
+      compiled = None;
+      compile_time = 0.0;
+      runs = 0;
+      total_exec_time = 0.0;
+      last_used = Quill_util.Timer.now ();
+      catalog_version;
+    }
+  in
+  Hashtbl.replace t.entries (key sql param_types) e;
+  evict_if_needed t;
+  e
+
+(** [invalidate t ~sql ~param_types] drops one entry (used after
+    re-optimization decisions). *)
+let invalidate t ~sql ~param_types = Hashtbl.remove t.entries (key sql param_types)
+
+(** [clear t] empties the cache. *)
+let clear t = Hashtbl.reset t.entries
+
+(** [size t] is the number of live entries. *)
+let size t = Hashtbl.length t.entries

@@ -1,0 +1,64 @@
+(* Tiered execution: interpret cold queries, compile hot ones (claim C4).
+
+   This reproduces the managed-runtime economics the keynote points at:
+   interpretation starts instantly but pays per tuple; staging pays a
+   fixed compilation cost and then runs several times faster.  The policy
+   compiles a cached plan once its run count reaches [hot_threshold]
+   (mirroring JVM/V8 invocation-counter tier-up). Experiment E5 sweeps the
+   policies. *)
+
+module Physical = Quill_optimizer.Physical
+module Codegen = Quill_compile.Codegen
+
+type policy =
+  | Interpret_always
+  | Compile_always
+  | Tiered of int  (** compile after this many runs *)
+
+(** Default invocation-counter threshold. *)
+let default_hot_threshold = 3
+
+let policy_name = function
+  | Interpret_always -> "interpret-always"
+  | Compile_always -> "compile-always"
+  | Tiered n -> Printf.sprintf "tiered(%d)" n
+
+(** [execute ~policy ~ctx entry] runs a cached plan under the given
+    tiering policy, updating the entry's counters; returns the rows. *)
+let execute ~policy ~(ctx : Quill_exec.Exec_ctx.t) (entry : Plan_cache.entry) =
+  entry.Plan_cache.runs <- entry.Plan_cache.runs + 1;
+  let want_compiled =
+    match policy with
+    | Interpret_always -> false
+    | Compile_always -> true
+    | Tiered n -> entry.Plan_cache.runs >= n
+  in
+  let rows, elapsed =
+    if want_compiled then begin
+      let compiled =
+        match entry.Plan_cache.compiled with
+        | Some c -> c
+        | None ->
+            let c, dt =
+              Quill_util.Timer.time (fun () ->
+                  Codegen.compile ctx.Quill_exec.Exec_ctx.catalog entry.Plan_cache.plan)
+            in
+            entry.Plan_cache.compiled <- Some c;
+            entry.Plan_cache.compile_time <- dt;
+            (* Compilation time counts against the query that triggered
+               it, as it would in a JIT. *)
+            entry.Plan_cache.total_exec_time <-
+              entry.Plan_cache.total_exec_time +. dt;
+            c
+      in
+      Quill_util.Timer.time (fun () -> compiled ctx.Quill_exec.Exec_ctx.params)
+    end
+    else
+      Quill_util.Timer.time (fun () ->
+          let arr = Quill_exec.Vector.run ctx entry.Plan_cache.plan in
+          let v = Quill_util.Vec.create ~dummy:[||] in
+          Array.iter (fun r -> Quill_util.Vec.push v r) arr;
+          v)
+  in
+  entry.Plan_cache.total_exec_time <- entry.Plan_cache.total_exec_time +. elapsed;
+  rows

@@ -1,0 +1,1 @@
+lib/compile/codegen.ml: Array Col_expr Col_pred Domain Expr_compile Float Fun Hashtbl Int List Option Quill_exec Quill_optimizer Quill_plan Quill_storage Quill_util Set

@@ -1,0 +1,1 @@
+lib/compile/col_expr.ml: Array Float List Option Quill_plan Quill_storage Quill_util

@@ -1,0 +1,1 @@
+lib/compile/col_pred.ml: Array Float Hashtbl List Quill_plan Quill_storage Quill_util String

@@ -1,0 +1,1 @@
+lib/compile/expr_compile.ml: Array Hashtbl List Option Quill_plan Quill_storage String

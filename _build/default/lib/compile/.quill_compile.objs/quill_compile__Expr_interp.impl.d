@@ -1,0 +1,1 @@
+lib/compile/expr_interp.ml: Quill_plan

@@ -1,0 +1,1 @@
+lib/compile/expr_vm.ml: Array Hashtbl List Quill_plan Quill_storage Quill_util

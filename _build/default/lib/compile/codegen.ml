@@ -1,0 +1,655 @@
+(* The compiled query engine: data-centric produce/consume staging.
+
+   [compile] walks the physical plan ONCE and stages it into a network of
+   OCaml closures, HyPer-style: each pipeline (scan up to the next
+   pipeline breaker) becomes a single fused loop in which a row flows
+   through filter, projection and probe logic without operator dispatch.
+   Scans over columnar tables evaluate qualifying predicates directly on
+   the typed arrays (see {!Col_pred}) and materialize only the columns the
+   pipeline actually reads.
+
+   The returned [compiled] value can be executed many times with different
+   parameter vectors; the staging cost is paid once.  That separation is
+   what the tiering experiment (E5) measures. *)
+
+module Value = Quill_storage.Value
+module Table = Quill_storage.Table
+module Catalog = Quill_storage.Catalog
+module Column = Quill_storage.Column
+module Schema = Quill_storage.Schema
+module Bitset = Quill_util.Bitset
+module Vec = Quill_util.Vec
+module Bexpr = Quill_plan.Bexpr
+module Lplan = Quill_plan.Lplan
+module Physical = Quill_optimizer.Physical
+module Join_algos = Quill_exec.Join_algos
+module Agg_algos = Quill_exec.Agg_algos
+module Sort_algos = Quill_exec.Sort_algos
+module Topk = Quill_exec.Topk
+module IntSet = Set.Make (Int)
+
+exception Limit_reached
+
+(* Ablation switches for the fusion benchmarks (E14): disabling them falls
+   back to the generic staged paths. *)
+let enable_scan_agg_fusion = ref true
+let enable_col_pred = ref true
+
+type compiled = Value.t array -> Value.t array Vec.t
+(** [run params] executes the staged plan and returns the result rows. *)
+
+type consume = Value.t array -> unit
+
+(* The parameter vector of the current execution, read by staged
+   closures through this cell. *)
+type stage_ctx = {
+  catalog : Catalog.t;
+  params : Value.t array ref;
+  indexes : Quill_storage.Index.Registry.t;
+}
+
+let cols_of_expr e = IntSet.of_list (Bexpr.cols e)
+
+let compile_expr sctx e =
+  let f = Expr_compile.compile e in
+  fun row -> f !(sctx.params) row
+
+let compile_pred sctx e =
+  let f = Expr_compile.compile_pred e in
+  fun row -> f !(sctx.params) row
+
+(* Scan->aggregate fusion: a global (ungrouped) aggregate directly over a
+   columnar scan compiles to one unboxed loop over the typed arrays — the
+   "hand-written TPC-H Q6 loop" that data-centric compilation is known
+   for.  The attempt runs at execution time (columns and parameter values
+   in hand); [None] means the caller uses the general staged path. *)
+
+(* Mergeable unboxed accumulators: one [acc] per aggregate per worker;
+   the parallel path gives each domain its own accumulators and merges at
+   the end. *)
+type acc = {
+  mutable cnt : int;  (* matching non-null inputs (rows for COUNT star) *)
+  mutable si : int;
+  mutable sf : float;
+  mutable besti : int;
+  mutable bestf : float;
+  mutable seen : bool;
+}
+
+let new_acc () = { cnt = 0; si = 0; sf = 0.0; besti = 0; bestf = 0.0; seen = false }
+
+type agg_par = {
+  step : acc -> int -> unit;  (* feed one row index *)
+  merge : acc -> acc -> unit;  (* fold the second acc into the first *)
+  finish : acc -> Value.t;
+}
+
+(** Number of domains the fused scan->aggregate loop may use.  Defaults to
+    1 (sequential).  Parallel float aggregation reorders additions, so
+    results can differ in the last bits from the sequential plan; opt in
+    per session (see experiment E15). *)
+let parallel_domains = ref 1
+
+let parallel_threshold = 65_536
+
+let fuse_scan_agg sctx ~table ~filter ~(aggs : (Lplan.agg * string) list) () :
+    (Value.t array -> unit) -> (unit -> unit) option =
+ fun consume ->
+  let t = Catalog.find_exn sctx.catalog table in
+  let cols = Table.columnar t in
+  let params = !(sctx.params) in
+  let n = Table.row_count t in
+  let pred =
+    match filter with
+    | None -> Some (fun _ -> true)
+    | Some f -> Col_pred.compile cols params f
+  in
+  match pred with
+  | None -> None
+  | Some pred ->
+      let mk_step ((a : Lplan.agg), _) : agg_par option =
+        let arg_valid arg = Col_expr.valid_fn cols arg in
+        let merge_count dst src = dst.cnt <- dst.cnt + src.cnt in
+        match (a.Lplan.kind, a.Lplan.arg) with
+        | _, _ when a.Lplan.distinct -> None
+        | Lplan.Count, None ->
+            Some
+              { step = (fun acc _ -> acc.cnt <- acc.cnt + 1);
+                merge = merge_count;
+                finish = (fun acc -> Value.Int acc.cnt) }
+        | Lplan.Count, Some arg ->
+            (* Count non-NULL arguments; only for shapes where NULL-ness is
+               exactly "a referenced column is NULL". *)
+            let shape_ok =
+              match arg.Bexpr.node with
+              | Bexpr.Col _ -> true
+              | _ ->
+                  Col_expr.compile_int cols params arg <> None
+                  || Col_expr.compile_float cols params arg <> None
+            in
+            if not shape_ok then None
+            else begin
+              let valid = arg_valid arg in
+              Some
+                { step = (fun acc i -> if valid i then acc.cnt <- acc.cnt + 1);
+                  merge = merge_count;
+                  finish = (fun acc -> Value.Int acc.cnt) }
+            end
+        | Lplan.Sum, Some arg when a.Lplan.out_dtype = Value.Int_t -> (
+            match Col_expr.compile_int cols params arg with
+            | Some f ->
+                let valid = arg_valid arg in
+                Some
+                  { step =
+                      (fun acc i ->
+                        if valid i then begin
+                          acc.si <- acc.si + f i;
+                          acc.cnt <- acc.cnt + 1
+                        end);
+                    merge =
+                      (fun dst src ->
+                        dst.si <- dst.si + src.si;
+                        dst.cnt <- dst.cnt + src.cnt);
+                    finish =
+                      (fun acc -> if acc.cnt = 0 then Value.Null else Value.Int acc.si) }
+            | None -> None)
+        | (Lplan.Sum | Lplan.Avg), Some arg -> (
+            match Col_expr.compile_float cols params arg with
+            | Some f ->
+                let valid = arg_valid arg in
+                let is_avg = a.Lplan.kind = Lplan.Avg in
+                Some
+                  { step =
+                      (fun acc i ->
+                        if valid i then begin
+                          acc.sf <- acc.sf +. f i;
+                          acc.cnt <- acc.cnt + 1
+                        end);
+                    merge =
+                      (fun dst src ->
+                        dst.sf <- dst.sf +. src.sf;
+                        dst.cnt <- dst.cnt + src.cnt);
+                    finish =
+                      (fun acc ->
+                        if acc.cnt = 0 then Value.Null
+                        else if is_avg then Value.Float (acc.sf /. Float.of_int acc.cnt)
+                        else Value.Float acc.sf) }
+            | None -> None)
+        | (Lplan.Min | Lplan.Max), Some arg -> (
+            let is_min = a.Lplan.kind = Lplan.Min in
+            match a.Lplan.out_dtype with
+            | Value.Int_t | Value.Date_t -> (
+                match Col_expr.compile_int cols params arg with
+                | Some f ->
+                    let valid = arg_valid arg in
+                    let better x y = if is_min then x < y else x > y in
+                    let mk v =
+                      if a.Lplan.out_dtype = Value.Date_t then Value.Date v else Value.Int v
+                    in
+                    Some
+                      { step =
+                          (fun acc i ->
+                            if valid i then begin
+                              let v = f i in
+                              if (not acc.seen) || better v acc.besti then acc.besti <- v;
+                              acc.seen <- true
+                            end);
+                        merge =
+                          (fun dst src ->
+                            if src.seen then begin
+                              if (not dst.seen) || better src.besti dst.besti then
+                                dst.besti <- src.besti;
+                              dst.seen <- true
+                            end);
+                        finish = (fun acc -> if acc.seen then mk acc.besti else Value.Null) }
+                | None -> None)
+            | Value.Float_t -> (
+                match Col_expr.compile_float cols params arg with
+                | Some f ->
+                    let valid = arg_valid arg in
+                    let better x y = if is_min then x < y else x > y in
+                    Some
+                      { step =
+                          (fun acc i ->
+                            if valid i then begin
+                              let v = f i in
+                              if (not acc.seen) || better v acc.bestf then acc.bestf <- v;
+                              acc.seen <- true
+                            end);
+                        merge =
+                          (fun dst src ->
+                            if src.seen then begin
+                              if (not dst.seen) || better src.bestf dst.bestf then
+                                dst.bestf <- src.bestf;
+                              dst.seen <- true
+                            end);
+                        finish = (fun acc -> if acc.seen then Value.Float acc.bestf else Value.Null) }
+                | None -> None)
+            | _ -> None)
+        | _, _ -> None
+      in
+      let steps = List.map mk_step aggs in
+      if List.exists Option.is_none steps then None
+      else begin
+        let steps = Array.of_list (List.map Option.get steps) in
+        let nsteps = Array.length steps in
+        let run_range accs lo hi =
+          for i = lo to hi - 1 do
+            if pred i then
+              for j = 0 to nsteps - 1 do
+                steps.(j).step accs.(j) i
+              done
+          done
+        in
+        Some
+          (fun () ->
+            let accs = Array.init nsteps (fun _ -> new_acc ()) in
+            let domains = !parallel_domains in
+            if domains > 1 && n >= parallel_threshold then begin
+              (* Partition the row range; each domain aggregates its chunk
+                 into private accumulators (all shared state is read-only),
+                 then partials merge in order. *)
+              let nd = min domains (max 1 (n / parallel_threshold)) in
+              let chunk = (n + nd - 1) / nd in
+              let workers =
+                List.init nd (fun d ->
+                    Domain.spawn (fun () ->
+                        let local = Array.init nsteps (fun _ -> new_acc ()) in
+                        run_range local (d * chunk) (min n ((d + 1) * chunk));
+                        local))
+              in
+              List.iter
+                (fun w ->
+                  let local = Domain.join w in
+                  Array.iteri (fun j acc -> steps.(j).merge accs.(j) acc) local)
+                workers
+            end
+            else run_range accs 0 n;
+            consume (Array.mapi (fun j acc -> steps.(j).finish acc) accs))
+      end
+
+(* [produce sctx plan ~needed consume] stages the subtree rooted at [plan];
+   the returned thunk streams every output row into [consume]. [needed]
+   lists the output columns the consumer will read — scans skip the rest. *)
+let rec produce sctx (plan : Physical.t) ~needed (consume : consume) : unit -> unit =
+  match plan with
+  | Physical.One_row -> fun () -> consume [||]
+  | Physical.Scan { table; layout; filter; schema; _ } ->
+      let t = Catalog.find_exn sctx.catalog table in
+      let arity = Schema.arity schema in
+      let needed =
+        IntSet.union needed
+          (match filter with None -> IntSet.empty | Some f -> cols_of_expr f)
+      in
+      (match layout with
+      | Physical.Row_layout ->
+          let pred = Option.map (compile_pred sctx) filter in
+          fun () ->
+            let n = Table.row_count t in
+            (match pred with
+            | None ->
+                for i = 0 to n - 1 do
+                  consume (Array.copy (Table.get_row t i))
+                done
+            | Some p ->
+                for i = 0 to n - 1 do
+                  let row = Table.get_row t i in
+                  if p row then consume (Array.copy row)
+                done)
+      | Physical.Col_layout ->
+          let needed_list = IntSet.elements (IntSet.filter (fun c -> c < arity) needed) in
+          let row_pred = Option.map (compile_pred sctx) filter in
+          fun () ->
+            let cols = Table.columnar t in
+            let n = Table.row_count t in
+            (* Per-execution predicate specialization: parameters are known
+               now, so constant-vs-column shapes compile to unboxed tests. *)
+            let fast_pred =
+              if !enable_col_pred then
+                Option.bind filter (fun f -> Col_pred.compile cols !(sctx.params) f)
+              else None
+            in
+            let fetchers =
+              List.map (fun c -> fun (row : Value.t array) i -> row.(c) <- Column.get cols.(c) i)
+                needed_list
+            in
+            let build_row i =
+              let row = Array.make arity Value.Null in
+              List.iter (fun f -> f row i) fetchers;
+              row
+            in
+            (match (fast_pred, row_pred) with
+            | Some p, _ ->
+                for i = 0 to n - 1 do
+                  if p i then consume (build_row i)
+                done
+            | None, Some p ->
+                for i = 0 to n - 1 do
+                  let row = build_row i in
+                  if p row then consume row
+                done
+            | None, None ->
+                for i = 0 to n - 1 do
+                  consume (build_row i)
+                done))
+  | Physical.Index_scan { table; col; col_name; lo; hi; residual; _ } ->
+      let t = Catalog.find_exn sctx.catalog table in
+      let residual_p = Option.map (compile_pred sctx) residual in
+      fun () ->
+        let params = !(sctx.params) in
+        let ctx = Quill_exec.Exec_ctx.create ~params ~indexes:sctx.indexes sctx.catalog in
+        let lo = Quill_exec.Index_access.eval_bound ~params lo in
+        let hi = Quill_exec.Index_access.eval_bound ~params hi in
+        let ids = Quill_exec.Index_access.rowids ctx ~table ~col_name ~col ~lo ~hi in
+        List.iter
+          (fun i ->
+            let row = Array.copy (Table.get_row t i) in
+            match residual_p with
+            | Some p when not (p row) -> ()
+            | _ -> consume row)
+          ids
+  | Physical.Filter (pred, input, _) ->
+      let p = compile_pred sctx pred in
+      let needed_in = IntSet.union needed (cols_of_expr pred) in
+      produce sctx input ~needed:needed_in (fun row -> if p row then consume row)
+  | Physical.Project (items, input, _) ->
+      let fns = Array.of_list (List.map (fun (e, _) -> compile_expr sctx e) items) in
+      let needed_in =
+        List.fold_left (fun acc (e, _) -> IntSet.union acc (cols_of_expr e)) IntSet.empty items
+      in
+      let n = Array.length fns in
+      produce sctx input ~needed:needed_in (fun row ->
+          let out = Array.make n Value.Null in
+          for i = 0 to n - 1 do
+            out.(i) <- fns.(i) row
+          done;
+          consume out)
+  | Physical.Join { algo; kind; keys; residual; build_left; left; right; _ } ->
+      let la = Schema.arity (Physical.schema_of left) in
+      let mode =
+        match kind with
+        | Lplan.Inner -> Join_algos.Inner
+        | Lplan.Left_outer -> Join_algos.Left_outer
+      in
+      let right_arity = Schema.arity (Physical.schema_of right) in
+      let cond_cols =
+        match residual with None -> IntSet.empty | Some e -> cols_of_expr e
+      in
+      let key_cols =
+        List.fold_left
+          (fun acc (l, r) -> IntSet.add l (IntSet.add (r + la) acc))
+          IntSet.empty keys
+      in
+      let all = IntSet.union needed (IntSet.union cond_cols key_cols) in
+      let needed_l = IntSet.filter (fun i -> i < la) all in
+      let needed_r = IntSet.map (fun i -> i - la) (IntSet.filter (fun i -> i >= la) all) in
+      (match algo with
+      | Physical.Hash_join ->
+          (* Streaming probe: the probe side pipeline stays fused. *)
+          let bkeys = List.map (if build_left then fst else snd) keys in
+          let pkeys = List.map (if build_left then snd else fst) keys in
+          let residual_p = Option.map (compile_pred sctx) residual in
+          let table :
+              (int, (Value.t list * Value.t array) list ref) Hashtbl.t =
+            Hashtbl.create 1024
+          in
+          let build_consume (row : Value.t array) =
+            match Join_algos.key_of bkeys row with
+            | None -> ()
+            | Some k ->
+                let h = Join_algos.hash_key k in
+                (match Hashtbl.find_opt table h with
+                | Some l -> l := (k, row) :: !l
+                | None -> Hashtbl.add table h (ref [ (k, row) ]))
+          in
+          let build_thunk =
+            if build_left then produce sctx left ~needed:needed_l build_consume
+            else produce sctx right ~needed:needed_r build_consume
+          in
+          (* For a left-outer join the picker pins build_left=false, so
+             the probe side is the preserved side and padding can happen
+             inline while the pipeline stays fused. *)
+          let padding = Array.make right_arity Value.Null in
+          let emitted = ref false in
+          let emit l r =
+            let row = Join_algos.concat_rows l r in
+            match residual_p with
+            | Some p when not (p row) -> ()
+            | _ ->
+                emitted := true;
+                consume row
+          in
+          let probe_consume (prow : Value.t array) =
+            emitted := false;
+            (match Join_algos.key_of pkeys prow with
+            | None -> ()
+            | Some k -> (
+                match Hashtbl.find_opt table (Join_algos.hash_key k) with
+                | None -> ()
+                | Some bucket ->
+                    List.iter
+                      (fun (bk, brow) ->
+                        if Join_algos.keys_equal bk k then
+                          if build_left then emit brow prow else emit prow brow)
+                      !bucket));
+            if mode = Join_algos.Left_outer && not !emitted then
+              consume (Join_algos.concat_rows prow padding)
+          in
+          let probe_thunk =
+            if build_left then produce sctx right ~needed:needed_r probe_consume
+            else produce sctx left ~needed:needed_l probe_consume
+          in
+          fun () ->
+            Hashtbl.reset table;
+            build_thunk ();
+            probe_thunk ()
+      | Physical.Merge_join | Physical.Block_nl ->
+          let lbuf = Vec.create ~dummy:[||] and rbuf = Vec.create ~dummy:[||] in
+          let lthunk = produce sctx left ~needed:needed_l (Vec.push lbuf) in
+          let rthunk = produce sctx right ~needed:needed_r (Vec.push rbuf) in
+          let residual_p = Option.map (compile_pred sctx) residual in
+          fun () ->
+            Vec.clear lbuf;
+            Vec.clear rbuf;
+            lthunk ();
+            rthunk ();
+            let out =
+              match algo with
+              | Physical.Merge_join ->
+                  Join_algos.merge_join ~mode ~right_arity ~keys ~residual:residual_p
+                    (Vec.to_array lbuf) (Vec.to_array rbuf)
+              | _ ->
+                  Join_algos.block_nl_join ~mode ~right_arity ~pred:residual_p
+                    (Vec.to_array lbuf) (Vec.to_array rbuf)
+            in
+            Vec.iter consume out)
+  | Physical.Aggregate { algo; keys; aggs; input; _ } ->
+      (* Global aggregate directly over a columnar scan: try the fully
+         fused unboxed loop first; it decides per execution (it needs the
+         parameter values) and falls back to the general staged path. *)
+      let fused_attempt =
+        match (algo, keys, input) with
+        | Physical.Hash_agg, [],
+          Physical.Scan { table; layout = Physical.Col_layout; filter; _ }
+          when !enable_scan_agg_fusion
+               && List.for_all (fun ((a : Lplan.agg), _) -> not a.Lplan.distinct) aggs ->
+            Some (fun () -> fuse_scan_agg sctx ~table ~filter ~aggs () consume)
+        | _ -> None
+      in
+      let general =
+      let key_fns = List.map (fun (e, _) -> compile_expr sctx e) keys in
+      let specs =
+        List.map
+          (fun (a, _) ->
+            {
+              Agg_algos.kind = a.Lplan.kind;
+              arg = Option.map (compile_expr sctx) a.Lplan.arg;
+              distinct = a.Lplan.distinct;
+              out_dtype = a.Lplan.out_dtype;
+            })
+          aggs
+      in
+      let needed_in =
+        List.fold_left (fun acc (e, _) -> IntSet.union acc (cols_of_expr e)) IntSet.empty keys
+      in
+      let needed_in =
+        List.fold_left
+          (fun acc (a, _) ->
+            match a.Lplan.arg with
+            | Some e -> IntSet.union acc (cols_of_expr e)
+            | None -> acc)
+          needed_in aggs
+      in
+      (match algo with
+      | Physical.Hash_agg ->
+          (* Streaming upsert into the group table: the input pipeline is
+             fused with aggregation. *)
+          let groups : (Value.t list, Agg_algos.state list) Hashtbl.t = Hashtbl.create 64 in
+          let order = Vec.create ~dummy:[] in
+          let feed_consume row =
+            let k = List.map (fun f -> f row) key_fns in
+            let states =
+              match Hashtbl.find_opt groups k with
+              | Some s -> s
+              | None ->
+                  let s = List.map Agg_algos.new_state specs in
+                  Hashtbl.add groups k s;
+                  Vec.push order k;
+                  s
+            in
+            List.iter2 (fun spec st -> Agg_algos.feed spec st row) specs states
+          in
+          let child = produce sctx input ~needed:needed_in feed_consume in
+          fun () ->
+            Hashtbl.reset groups;
+            Vec.clear order;
+            child ();
+            if key_fns = [] && Vec.length order = 0 then
+              consume
+                (Agg_algos.output_row [] (List.map Agg_algos.new_state specs) specs)
+            else
+              Vec.iter
+                (fun k -> consume (Agg_algos.output_row k (Hashtbl.find groups k) specs))
+                order
+      | Physical.Sort_agg ->
+          let buf = Vec.create ~dummy:[||] in
+          let child = produce sctx input ~needed:needed_in (Vec.push buf) in
+          fun () ->
+            Vec.clear buf;
+            child ();
+            Vec.iter consume (Agg_algos.sort_agg ~keys:key_fns ~specs (Vec.to_array buf)))
+      in
+      (match fused_attempt with
+      | None -> general
+      | Some attempt ->
+          fun () -> (match attempt () with Some run -> run () | None -> general ()))
+  | Physical.Window { specs; input; _ } ->
+      let in_arity = Schema.arity (Physical.schema_of input) in
+      let all = IntSet.of_list (List.init in_arity Fun.id) in
+      let wspecs =
+        List.map
+          (fun ((w : Lplan.wspec), _) ->
+            {
+              Quill_exec.Window_algos.kind = w.Lplan.wkind;
+              arg = Option.map (compile_expr sctx) w.Lplan.warg;
+              partition = List.map (compile_expr sctx) w.Lplan.partition;
+              order = List.map (fun (e, d) -> (compile_expr sctx e, d)) w.Lplan.worder;
+              out_dtype = w.Lplan.w_dtype;
+            })
+          specs
+      in
+      let buf = Vec.create ~dummy:[||] in
+      let child = produce sctx input ~needed:all (Vec.push buf) in
+      fun () ->
+        Vec.clear buf;
+        child ();
+        Array.iter consume
+          (Quill_exec.Window_algos.run ~specs:wspecs (Vec.to_array buf))
+  | Physical.Sort { keys; input; _ } ->
+      let needed_in = IntSet.union needed (IntSet.of_list (List.map fst keys)) in
+      let buf = Vec.create ~dummy:[||] in
+      let child = produce sctx input ~needed:needed_in (Vec.push buf) in
+      fun () ->
+        Vec.clear buf;
+        child ();
+        let rows = Vec.to_array buf in
+        Sort_algos.sort_rows keys rows;
+        Array.iter consume rows
+  | Physical.Top_k { k; offset; keys; input; _ } ->
+      let needed_in = IntSet.union needed (IntSet.of_list (List.map fst keys)) in
+      let cmp = Sort_algos.row_compare keys in
+      let heap = ref (Topk.create ~cmp ~k:(k + offset) ~dummy:[||]) in
+      let child = produce sctx input ~needed:needed_in (fun row -> Topk.offer !heap row) in
+      fun () ->
+        heap := Topk.create ~cmp ~k:(k + offset) ~dummy:[||];
+        child ();
+        let sorted = Topk.finish !heap in
+        for i = offset to Array.length sorted - 1 do
+          consume sorted.(i)
+        done
+  | Physical.Distinct (input, _) ->
+      (* Streaming dedup keeps the pipeline fused. *)
+      let seen : (Value.t list, unit) Hashtbl.t = Hashtbl.create 256 in
+      let child =
+        produce sctx input ~needed (fun row ->
+            let k = Array.to_list row in
+            if not (Hashtbl.mem seen k) then begin
+              Hashtbl.add seen k ();
+              consume row
+            end)
+      in
+      fun () ->
+        Hashtbl.reset seen;
+        child ()
+  | Physical.Limit { n; offset; input; _ } ->
+      let emitted = ref 0 and skipped = ref 0 in
+      let child =
+        produce sctx input ~needed (fun row ->
+            if !skipped < offset then incr skipped
+            else begin
+              (match n with
+              | Some n when !emitted >= n -> raise Limit_reached
+              | _ -> ());
+              incr emitted;
+              consume row;
+              match n with
+              | Some n when !emitted >= n -> raise Limit_reached
+              | _ -> ()
+            end)
+      in
+      fun () ->
+        emitted := 0;
+        skipped := 0;
+        (try child () with Limit_reached -> ())
+
+(** [compile catalog plan] stages [plan] once; the result can be run many
+    times with different parameters. *)
+let compile ?indexes catalog (plan : Physical.t) : compiled =
+  let indexes =
+    match indexes with Some r -> r | None -> Quill_storage.Index.Registry.create ()
+  in
+  let sctx = { catalog; params = ref [||]; indexes } in
+  let out = Vec.create ~dummy:[||] in
+  let out_arity = Schema.arity (Physical.schema_of plan) in
+  let root =
+    produce sctx plan
+      ~needed:(IntSet.of_list (List.init out_arity Fun.id))
+      (fun row -> Vec.push out row)
+  in
+  fun params ->
+    sctx.params := params;
+    Vec.clear out;
+    root ();
+    (* Hand the caller a fresh vector; [out] is reused across runs. *)
+    let result = Vec.create ~dummy:[||] in
+    Vec.iter (fun r -> Vec.push result r) out;
+    result
+
+(** [run ctx plan] one-shot compile-and-execute (profile hooks are not
+    supported in the compiled engine; use the interpreted tiers to gather
+    feedback). *)
+let run (ctx : Quill_exec.Exec_ctx.t) plan =
+  let f =
+    compile ~indexes:ctx.Quill_exec.Exec_ctx.indexes ctx.Quill_exec.Exec_ctx.catalog plan
+  in
+  f ctx.Quill_exec.Exec_ctx.params

@@ -1,0 +1,270 @@
+(* Closure staging for expressions — compilation tier 1.
+
+   [compile] walks the bound expression ONCE and returns a nest of
+   closures: all tree dispatch, operator selection and type tests that the
+   interpreter performs per row happen at compile time, and the residual
+   closure does only the arithmetic.  This is the tagless-final analog of
+   generating code with MetaOCaml/LLVM (see DESIGN.md substitutions) and
+   the engine behind claim C3.
+
+   Semantics are identical to {!Quill_plan.Bexpr.eval}; the test suite
+   checks tier agreement with property tests. *)
+
+module Value = Quill_storage.Value
+module Bexpr = Quill_plan.Bexpr
+
+type fn = Value.t array -> Value.t array -> Value.t
+(** compiled evaluator: [f params row] *)
+
+let rec compile (e : Bexpr.t) : fn =
+  match e.Bexpr.node with
+  | Bexpr.Lit v -> fun _ _ -> v
+  | Bexpr.Col i -> fun _ row -> row.(i)
+  | Bexpr.Param i -> fun params _ -> params.(i)
+  | Bexpr.Neg a -> (
+      let fa = compile a in
+      match a.Bexpr.dtype with
+      | Value.Int_t ->
+          fun p r -> (
+            match fa p r with
+            | Value.Int x -> Value.Int (-x)
+            | Value.Null -> Value.Null
+            | v -> raise (Bexpr.Eval_error ("cannot negate " ^ Value.to_string v)))
+      | _ ->
+          fun p r -> (
+            match fa p r with
+            | Value.Float x -> Value.Float (-.x)
+            | Value.Int x -> Value.Int (-x)
+            | Value.Null -> Value.Null
+            | v -> raise (Bexpr.Eval_error ("cannot negate " ^ Value.to_string v))))
+  | Bexpr.Not a ->
+      let fa = compile a in
+      fun p r -> (
+        match fa p r with
+        | Value.Bool b -> Value.Bool (not b)
+        | Value.Null -> Value.Null
+        | v -> raise (Bexpr.Eval_error ("NOT on " ^ Value.to_string v)))
+  | Bexpr.Arith (op, a, b) -> compile_arith op a b
+  | Bexpr.Cmp (op, a, b) -> compile_cmp op a b
+  | Bexpr.And (a, b) ->
+      let fa = compile a and fb = compile b in
+      fun p r -> (
+        match fa p r with
+        | Value.Bool false -> Value.Bool false
+        | va -> (
+            match fb p r with
+            | Value.Bool false -> Value.Bool false
+            | Value.Null -> Value.Null
+            | vb -> if va = Value.Null then Value.Null else vb))
+  | Bexpr.Or (a, b) ->
+      let fa = compile a and fb = compile b in
+      fun p r -> (
+        match fa p r with
+        | Value.Bool true -> Value.Bool true
+        | va -> (
+            match fb p r with
+            | Value.Bool true -> Value.Bool true
+            | Value.Null -> Value.Null
+            | vb -> if va = Value.Null then Value.Null else vb))
+  | Bexpr.Like (a, pattern) ->
+      let fa = compile a in
+      (* Specialize the three common pattern shapes to substring tests. *)
+      let np = String.length pattern in
+      let plain =
+        not (String.exists (fun c -> c = '%' || c = '_') pattern)
+      in
+      let mid = if np >= 2 then String.sub pattern 1 (np - 2) else "" in
+      let is_meta_free s = not (String.exists (fun c -> c = '%' || c = '_') s) in
+      let matcher =
+        if plain then fun s -> String.equal s pattern
+        else if np >= 2 && pattern.[0] = '%' && pattern.[np - 1] = '%' && is_meta_free mid
+        then begin
+          let m = mid in
+          let lm = String.length m in
+          fun s ->
+            let ls = String.length s in
+            let rec probe i = i + lm <= ls && (String.sub s i lm = m || probe (i + 1)) in
+            lm = 0 || probe 0
+        end
+        else if np >= 1 && pattern.[np - 1] = '%'
+                && is_meta_free (String.sub pattern 0 (np - 1)) then begin
+          let prefix = String.sub pattern 0 (np - 1) in
+          let lp = String.length prefix in
+          fun s -> String.length s >= lp && String.sub s 0 lp = prefix
+        end
+        else fun s -> Bexpr.like_match ~pattern s
+      in
+      fun p r -> (
+        match fa p r with
+        | Value.Str s -> Value.Bool (matcher s)
+        | Value.Null -> Value.Null
+        | v -> raise (Bexpr.Eval_error ("LIKE on " ^ Value.to_string v)))
+  | Bexpr.In_list (a, items) ->
+      let fa = compile a in
+      (* Constant lists compile to a hash-set membership probe. *)
+      let consts =
+        List.map (fun it -> match it.Bexpr.node with Bexpr.Lit v -> Some v | _ -> None) items
+      in
+      if List.for_all Option.is_some consts then begin
+        let tbl = Hashtbl.create 16 in
+        let saw_null = ref false in
+        List.iter
+          (function
+            | Some Value.Null -> saw_null := true
+            | Some v -> Hashtbl.replace tbl v ()
+            | None -> ())
+          consts;
+        let saw_null = !saw_null in
+        fun p r ->
+          match fa p r with
+          | Value.Null -> Value.Null
+          | v ->
+              if Hashtbl.mem tbl v then Value.Bool true
+              else if saw_null then Value.Null
+              else Value.Bool false
+      end
+      else begin
+        let fitems = List.map compile items in
+        fun p r ->
+          match fa p r with
+          | Value.Null -> Value.Null
+          | va ->
+              let saw_null = ref false in
+              let hit =
+                List.exists
+                  (fun f ->
+                    match f p r with
+                    | Value.Null ->
+                        saw_null := true;
+                        false
+                    | v -> Value.equal va v)
+                  fitems
+              in
+              if hit then Value.Bool true
+              else if !saw_null then Value.Null
+              else Value.Bool false
+      end
+  | Bexpr.Case (whens, els) ->
+      let fwhens = List.map (fun (c, v) -> (compile c, compile v)) whens in
+      let fels = Option.map compile els in
+      fun p r ->
+        let rec go = function
+          | [] -> ( match fels with None -> Value.Null | Some f -> f p r)
+          | (fc, fv) :: rest -> (
+              match fc p r with Value.Bool true -> fv p r | _ -> go rest)
+        in
+        go fwhens
+  | Bexpr.Cast (a, t) ->
+      let fa = compile a in
+      fun p r -> Bexpr.do_cast (fa p r) t
+  | Bexpr.Is_null (negated, a) ->
+      let fa = compile a in
+      if negated then fun p r -> Value.Bool (not (Value.is_null (fa p r)))
+      else fun p r -> Value.Bool (Value.is_null (fa p r))
+  | Bexpr.Subquery { kind; cell } -> (
+      match kind with
+      | Bexpr.Sub_in arg ->
+          let fa = compile arg in
+          fun p r ->
+            Bexpr.eval_subquery ~row:r ~params:p (Bexpr.Sub_in { arg with Bexpr.node = Bexpr.Lit (fa p r) }) cell
+      | kind -> fun p r -> Bexpr.eval_subquery ~row:r ~params:p kind cell)
+  | Bexpr.Call { fn; args; _ } -> (
+      let fargs = Array.of_list (List.map compile args) in
+      match Array.length fargs with
+      | 1 ->
+          let f0 = fargs.(0) in
+          fun p r -> fn [| f0 p r |]
+      | 2 ->
+          let f0 = fargs.(0) and f1 = fargs.(1) in
+          fun p r -> fn [| f0 p r; f1 p r |]
+      | _ -> fun p r -> fn (Array.map (fun f -> f p r) fargs))
+
+and compile_arith op a b : fn =
+  let fa = compile a and fb = compile b in
+  let ta = a.Bexpr.dtype and tb = b.Bexpr.dtype in
+  match (op, ta, tb) with
+  | Bexpr.Add, Value.Int_t, Value.Int_t ->
+      fun p r -> (
+        match (fa p r, fb p r) with
+        | Value.Int x, Value.Int y -> Value.Int (x + y)
+        | Value.Null, _ | _, Value.Null -> Value.Null
+        | va, vb -> Bexpr.num_arith op va vb)
+  | Bexpr.Sub, Value.Int_t, Value.Int_t ->
+      fun p r -> (
+        match (fa p r, fb p r) with
+        | Value.Int x, Value.Int y -> Value.Int (x - y)
+        | Value.Null, _ | _, Value.Null -> Value.Null
+        | va, vb -> Bexpr.num_arith op va vb)
+  | Bexpr.Mul, Value.Int_t, Value.Int_t ->
+      fun p r -> (
+        match (fa p r, fb p r) with
+        | Value.Int x, Value.Int y -> Value.Int (x * y)
+        | Value.Null, _ | _, Value.Null -> Value.Null
+        | va, vb -> Bexpr.num_arith op va vb)
+  | Bexpr.Add, Value.Float_t, Value.Float_t ->
+      fun p r -> (
+        match (fa p r, fb p r) with
+        | Value.Float x, Value.Float y -> Value.Float (x +. y)
+        | Value.Null, _ | _, Value.Null -> Value.Null
+        | va, vb -> Bexpr.num_arith op va vb)
+  | Bexpr.Sub, Value.Float_t, Value.Float_t ->
+      fun p r -> (
+        match (fa p r, fb p r) with
+        | Value.Float x, Value.Float y -> Value.Float (x -. y)
+        | Value.Null, _ | _, Value.Null -> Value.Null
+        | va, vb -> Bexpr.num_arith op va vb)
+  | Bexpr.Mul, Value.Float_t, Value.Float_t ->
+      fun p r -> (
+        match (fa p r, fb p r) with
+        | Value.Float x, Value.Float y -> Value.Float (x *. y)
+        | Value.Null, _ | _, Value.Null -> Value.Null
+        | va, vb -> Bexpr.num_arith op va vb)
+  | _ ->
+      fun p r -> (
+        match (fa p r, fb p r) with
+        | Value.Null, _ | _, Value.Null -> Value.Null
+        | va, vb -> Bexpr.num_arith op va vb)
+
+and compile_cmp op a b : fn =
+  let fa = compile a and fb = compile b in
+  let both t = a.Bexpr.dtype = t && b.Bexpr.dtype = t in
+  let int_like = (both Value.Int_t || both Value.Date_t) in
+  if int_like then begin
+    let test : int -> int -> bool =
+      match op with
+      | Bexpr.Eq -> ( = ) | Bexpr.Neq -> ( <> ) | Bexpr.Lt -> ( < )
+      | Bexpr.Le -> ( <= ) | Bexpr.Gt -> ( > ) | Bexpr.Ge -> ( >= )
+    in
+    fun p r ->
+      match (fa p r, fb p r) with
+      | Value.Int x, Value.Int y | Value.Date x, Value.Date y -> Value.Bool (test x y)
+      | Value.Null, _ | _, Value.Null -> Value.Null
+      | va, vb -> Value.Bool (Bexpr.cmp_result op (Value.compare va vb))
+  end
+  else if both Value.Float_t then begin
+    let test : float -> float -> bool =
+      match op with
+      | Bexpr.Eq -> ( = ) | Bexpr.Neq -> ( <> ) | Bexpr.Lt -> ( < )
+      | Bexpr.Le -> ( <= ) | Bexpr.Gt -> ( > ) | Bexpr.Ge -> ( >= )
+    in
+    fun p r ->
+      match (fa p r, fb p r) with
+      | Value.Float x, Value.Float y -> Value.Bool (test x y)
+      | Value.Null, _ | _, Value.Null -> Value.Null
+      | va, vb -> Value.Bool (Bexpr.cmp_result op (Value.compare va vb))
+  end
+  else
+    fun p r ->
+      match (fa p r, fb p r) with
+      | Value.Null, _ | _, Value.Null -> Value.Null
+      | va, vb -> Value.Bool (Bexpr.cmp_result op (Value.compare va vb))
+
+(** [compile_pred e] compiles a predicate to a boolean function with SQL
+    WHERE semantics (NULL is false). *)
+let compile_pred (e : Bexpr.t) =
+  let f = compile e in
+  fun params row ->
+    match f params row with
+    | Value.Bool b -> b
+    | Value.Null -> false
+    | v -> raise (Bexpr.Eval_error ("predicate returned " ^ Value.to_string v))

@@ -1,0 +1,11 @@
+(* Expression tier 0: the tree-walking interpreter.
+
+   A thin alias over the reference evaluator in [quill.plan], present so
+   the three tiers (interpret / closure-compile / bytecode VM) live behind
+   one module family and E1 can sweep them uniformly. *)
+
+(** [eval ~params ~row e] walks the expression tree per row. *)
+let eval ~params ~row e = Quill_plan.Bexpr.eval ~row ~params e
+
+(** [eval_pred ~params ~row e] is [eval] with WHERE semantics. *)
+let eval_pred ~params ~row e = Quill_plan.Bexpr.eval_pred ~row ~params e

@@ -1,0 +1,331 @@
+(* Register bytecode VM for expressions — compilation tier 2.
+
+   Expressions compile to a flat instruction array over a register file of
+   boxed values; execution is a tight fetch-execute loop with no tree
+   walking or closure indirection.  This models the bytecode stage of a
+   managed-language runtime (between the AST interpreter and native code)
+   and is the third point on the E1 tier curve.
+
+   Short-circuit AND/OR and CASE compile to conditional jumps, so error
+   and NULL semantics match the reference evaluator exactly. *)
+
+module Value = Quill_storage.Value
+module Bexpr = Quill_plan.Bexpr
+
+type instr =
+  | Load_const of int * Value.t
+  | Load_col of int * int
+  | Load_param of int * int
+  | Neg of int * int
+  | Not of int * int
+  | Add_int of int * int * int
+  | Sub_int of int * int * int
+  | Mul_int of int * int * int
+  | Arith of Bexpr.arith * int * int * int
+  | Cmp_int of Bexpr.cmp * int * int * int
+  | Cmp of Bexpr.cmp * int * int * int
+  | And_combine of int * int * int  (** rd <- 3VL and of two non-false regs *)
+  | Or_combine of int * int * int
+  | Like of int * int * string
+  | Is_null of int * int * bool
+  | Cast of int * int * Value.dtype
+  | Move of int * int
+  | Call of int * (Value.t array -> Value.t) * int array
+  | In_const of int * int * (Value.t, unit) Hashtbl.t * bool  (** rd, r, set, had_null *)
+  | Jump of int
+  | Jump_if_false of int * int  (** jump when reg is Bool false *)
+  | Jump_if_true of int * int
+  | Jump_if_not_true of int * int  (** jump when reg is not Bool true (CASE) *)
+  | Halt of int  (** result register *)
+
+type program = { instrs : instr array; nregs : int; scratch : Value.t array }
+(* [scratch] is the reusable register file: expressions are evaluated one
+   row at a time on a single thread, so reuse avoids a per-row allocation
+   that would otherwise dominate small expressions. *)
+
+(* --- Compilation ------------------------------------------------------- *)
+
+type cstate = { mutable next_reg : int; code : instr Quill_util.Vec.t }
+
+let emit st i = Quill_util.Vec.push st.code i
+let fresh st =
+  let r = st.next_reg in
+  st.next_reg <- r + 1;
+  r
+
+(* Emit a placeholder jump and patch it once the target is known. *)
+let emit_patch st mk =
+  let pos = Quill_util.Vec.length st.code in
+  emit st (Jump 0);
+  fun () -> Quill_util.Vec.set st.code pos (mk (Quill_util.Vec.length st.code))
+
+let rec compile_node st (e : Bexpr.t) : int =
+  match e.Bexpr.node with
+  | Bexpr.Lit v ->
+      let rd = fresh st in
+      emit st (Load_const (rd, v));
+      rd
+  | Bexpr.Col i ->
+      let rd = fresh st in
+      emit st (Load_col (rd, i));
+      rd
+  | Bexpr.Param i ->
+      let rd = fresh st in
+      emit st (Load_param (rd, i));
+      rd
+  | Bexpr.Neg a ->
+      let ra = compile_node st a in
+      let rd = fresh st in
+      emit st (Neg (rd, ra));
+      rd
+  | Bexpr.Not a ->
+      let ra = compile_node st a in
+      let rd = fresh st in
+      emit st (Not (rd, ra));
+      rd
+  | Bexpr.Arith (op, a, b) ->
+      let ra = compile_node st a in
+      let rb = compile_node st b in
+      let rd = fresh st in
+      let int_int = a.Bexpr.dtype = Value.Int_t && b.Bexpr.dtype = Value.Int_t in
+      (match (op, int_int) with
+      | Bexpr.Add, true -> emit st (Add_int (rd, ra, rb))
+      | Bexpr.Sub, true -> emit st (Sub_int (rd, ra, rb))
+      | Bexpr.Mul, true -> emit st (Mul_int (rd, ra, rb))
+      | _ -> emit st (Arith (op, rd, ra, rb)));
+      rd
+  | Bexpr.Cmp (op, a, b) ->
+      let ra = compile_node st a in
+      let rb = compile_node st b in
+      let rd = fresh st in
+      let int_like t = t = Value.Int_t || t = Value.Date_t in
+      if int_like a.Bexpr.dtype && a.Bexpr.dtype = b.Bexpr.dtype then
+        emit st (Cmp_int (op, rd, ra, rb))
+      else emit st (Cmp (op, rd, ra, rb));
+      rd
+  | Bexpr.And (a, b) ->
+      let rd = fresh st in
+      let ra = compile_node st a in
+      let p1 = emit_patch st (fun t -> Jump_if_false (ra, t)) in
+      let rb = compile_node st b in
+      let p2 = emit_patch st (fun t -> Jump_if_false (rb, t)) in
+      emit st (And_combine (rd, ra, rb));
+      let p3 = emit_patch st (fun t -> Jump t) in
+      p1 ();
+      p2 ();
+      emit st (Load_const (rd, Value.Bool false));
+      p3 ();
+      rd
+  | Bexpr.Or (a, b) ->
+      let rd = fresh st in
+      let ra = compile_node st a in
+      let p1 = emit_patch st (fun t -> Jump_if_true (ra, t)) in
+      let rb = compile_node st b in
+      let p2 = emit_patch st (fun t -> Jump_if_true (rb, t)) in
+      emit st (Or_combine (rd, ra, rb));
+      let p3 = emit_patch st (fun t -> Jump t) in
+      p1 ();
+      p2 ();
+      emit st (Load_const (rd, Value.Bool true));
+      p3 ();
+      rd
+  | Bexpr.Like (a, pattern) ->
+      let ra = compile_node st a in
+      let rd = fresh st in
+      emit st (Like (rd, ra, pattern));
+      rd
+  | Bexpr.Is_null (negated, a) ->
+      let ra = compile_node st a in
+      let rd = fresh st in
+      emit st (Is_null (rd, ra, negated));
+      rd
+  | Bexpr.Cast (a, t) ->
+      let ra = compile_node st a in
+      let rd = fresh st in
+      emit st (Cast (rd, ra, t));
+      rd
+  | Bexpr.Call { fn; args; _ } ->
+      let regs = Array.of_list (List.map (compile_node st) args) in
+      let rd = fresh st in
+      emit st (Call (rd, fn, regs));
+      rd
+  | Bexpr.In_list (a, items)
+    when List.for_all
+           (fun it -> match it.Bexpr.node with Bexpr.Lit _ -> true | _ -> false)
+           items ->
+      let ra = compile_node st a in
+      let rd = fresh st in
+      let tbl = Hashtbl.create 16 in
+      let had_null = ref false in
+      List.iter
+        (fun it ->
+          match it.Bexpr.node with
+          | Bexpr.Lit Value.Null -> had_null := true
+          | Bexpr.Lit v -> Hashtbl.replace tbl v ()
+          | _ -> ())
+        items;
+      emit st (In_const (rd, ra, tbl, !had_null));
+      rd
+  | Bexpr.In_list (a, items) ->
+      (* Desugar dynamic IN to an OR chain (preserves laziness). *)
+      let eq it =
+        { Bexpr.node = Bexpr.Cmp (Bexpr.Eq, a, it); dtype = Value.Bool_t }
+      in
+      let ored =
+        match items with
+        | [] -> { Bexpr.node = Bexpr.Lit (Value.Bool false); dtype = Value.Bool_t }
+        | first :: rest ->
+            List.fold_left
+              (fun acc it -> { Bexpr.node = Bexpr.Or (acc, eq it); dtype = Value.Bool_t })
+              (eq first) rest
+      in
+      compile_node st ored
+  | Bexpr.Subquery { kind; cell } -> (
+      (* Subqueries run through the reference evaluator against the
+         pre-materialized cell; for IN, the subject compiles normally and
+         the set probe is a Call. *)
+      match kind with
+      | Bexpr.Sub_in arg ->
+          let ra = compile_node st arg in
+          let rd = fresh st in
+          let probe v =
+            Bexpr.eval_subquery ~row:[||] ~params:[||]
+              (Bexpr.Sub_in { arg with Bexpr.node = Bexpr.Lit v })
+              cell
+          in
+          emit st (Call (rd, (fun args -> probe args.(0)), [| ra |]));
+          rd
+      | kind ->
+          let rd = fresh st in
+          emit st
+            (Call (rd, (fun _ -> Bexpr.eval_subquery ~row:[||] ~params:[||] kind cell), [||]));
+          rd)
+  | Bexpr.Case (whens, els) ->
+      let rd = fresh st in
+      let end_patches = ref [] in
+      List.iter
+        (fun (c, v) ->
+          let rc = compile_node st c in
+          let skip = emit_patch st (fun t -> Jump_if_not_true (rc, t)) in
+          let rv = compile_node st v in
+          emit st (Move (rd, rv));
+          end_patches := emit_patch st (fun t -> Jump t) :: !end_patches;
+          skip ())
+        whens;
+      (match els with
+      | None -> emit st (Load_const (rd, Value.Null))
+      | Some el ->
+          let re = compile_node st el in
+          emit st (Move (rd, re)));
+      List.iter (fun p -> p ()) !end_patches;
+      rd
+
+(** [compile e] translates a bound expression into a bytecode program. *)
+let compile (e : Bexpr.t) : program =
+  let st = { next_reg = 0; code = Quill_util.Vec.create ~dummy:(Jump 0) } in
+  let r = compile_node st e in
+  emit st (Halt r);
+  let nregs = max 1 st.next_reg in
+  { instrs = Quill_util.Vec.to_array st.code; nregs; scratch = Array.make nregs Value.Null }
+
+(* --- Execution --------------------------------------------------------- *)
+
+(** [run prog ~params ~row] executes the program against one row. *)
+let run prog ~params ~(row : Value.t array) : Value.t =
+  let regs = prog.scratch in
+  let pc = ref 0 in
+  let result = ref Value.Null in
+  let running = ref true in
+  while !running do
+    (match prog.instrs.(!pc) with
+    | Load_const (rd, v) -> regs.(rd) <- v
+    | Load_col (rd, c) -> regs.(rd) <- row.(c)
+    | Load_param (rd, i) -> regs.(rd) <- params.(i)
+    | Neg (rd, ra) ->
+        regs.(rd) <-
+          (match regs.(ra) with
+          | Value.Int x -> Value.Int (-x)
+          | Value.Float x -> Value.Float (-.x)
+          | Value.Null -> Value.Null
+          | v -> raise (Bexpr.Eval_error ("cannot negate " ^ Value.to_string v)))
+    | Not (rd, ra) ->
+        regs.(rd) <-
+          (match regs.(ra) with
+          | Value.Bool b -> Value.Bool (not b)
+          | Value.Null -> Value.Null
+          | v -> raise (Bexpr.Eval_error ("NOT on " ^ Value.to_string v)))
+    | Add_int (rd, ra, rb) ->
+        regs.(rd) <-
+          (match (regs.(ra), regs.(rb)) with
+          | Value.Int x, Value.Int y -> Value.Int (x + y)
+          | Value.Null, _ | _, Value.Null -> Value.Null
+          | a, b -> Bexpr.num_arith Bexpr.Add a b)
+    | Sub_int (rd, ra, rb) ->
+        regs.(rd) <-
+          (match (regs.(ra), regs.(rb)) with
+          | Value.Int x, Value.Int y -> Value.Int (x - y)
+          | Value.Null, _ | _, Value.Null -> Value.Null
+          | a, b -> Bexpr.num_arith Bexpr.Sub a b)
+    | Mul_int (rd, ra, rb) ->
+        regs.(rd) <-
+          (match (regs.(ra), regs.(rb)) with
+          | Value.Int x, Value.Int y -> Value.Int (x * y)
+          | Value.Null, _ | _, Value.Null -> Value.Null
+          | a, b -> Bexpr.num_arith Bexpr.Mul a b)
+    | Arith (op, rd, ra, rb) ->
+        regs.(rd) <-
+          (match (regs.(ra), regs.(rb)) with
+          | Value.Null, _ | _, Value.Null -> Value.Null
+          | a, b -> Bexpr.num_arith op a b)
+    | Cmp_int (op, rd, ra, rb) ->
+        regs.(rd) <-
+          (match (regs.(ra), regs.(rb)) with
+          | (Value.Int x | Value.Date x), (Value.Int y | Value.Date y) ->
+              Value.Bool (Bexpr.cmp_result op (compare x y))
+          | Value.Null, _ | _, Value.Null -> Value.Null
+          | a, b -> Value.Bool (Bexpr.cmp_result op (Value.compare a b)))
+    | Cmp (op, rd, ra, rb) ->
+        regs.(rd) <-
+          (match (regs.(ra), regs.(rb)) with
+          | Value.Null, _ | _, Value.Null -> Value.Null
+          | a, b -> Value.Bool (Bexpr.cmp_result op (Value.compare a b)))
+    | And_combine (rd, ra, rb) ->
+        regs.(rd) <-
+          (match (regs.(ra), regs.(rb)) with
+          | Value.Null, _ | _, Value.Null -> Value.Null
+          | _, v -> v)
+    | Or_combine (rd, ra, rb) ->
+        regs.(rd) <-
+          (match (regs.(ra), regs.(rb)) with
+          | Value.Null, _ | _, Value.Null -> Value.Null
+          | _, v -> v)
+    | Like (rd, ra, pattern) ->
+        regs.(rd) <-
+          (match regs.(ra) with
+          | Value.Str s -> Value.Bool (Bexpr.like_match ~pattern s)
+          | Value.Null -> Value.Null
+          | v -> raise (Bexpr.Eval_error ("LIKE on " ^ Value.to_string v)))
+    | Is_null (rd, ra, negated) ->
+        let n = Value.is_null regs.(ra) in
+        regs.(rd) <- Value.Bool (if negated then not n else n)
+    | Cast (rd, ra, t) -> regs.(rd) <- Bexpr.do_cast regs.(ra) t
+    | Move (rd, ra) -> regs.(rd) <- regs.(ra)
+    | Call (rd, fn, args) -> regs.(rd) <- fn (Array.map (fun r -> regs.(r)) args)
+    | In_const (rd, ra, tbl, had_null) ->
+        regs.(rd) <-
+          (match regs.(ra) with
+          | Value.Null -> Value.Null
+          | v ->
+              if Hashtbl.mem tbl v then Value.Bool true
+              else if had_null then Value.Null
+              else Value.Bool false)
+    | Jump t -> pc := t - 1
+    | Jump_if_false (r, t) -> if regs.(r) = Value.Bool false then pc := t - 1
+    | Jump_if_true (r, t) -> if regs.(r) = Value.Bool true then pc := t - 1
+    | Jump_if_not_true (r, t) -> if regs.(r) <> Value.Bool true then pc := t - 1
+    | Halt r ->
+        result := regs.(r);
+        running := false);
+    incr pc
+  done;
+  !result

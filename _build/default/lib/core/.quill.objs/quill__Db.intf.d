@@ -1,0 +1,1 @@
+lib/core/db.mli: Quill_adaptive Quill_optimizer Quill_storage

@@ -1,0 +1,481 @@
+(* The Quill public API.
+
+   A [Db.t] bundles the catalog, statistics, UDF registry, plan cache and
+   feedback store.  [query] runs one statement through the full pipeline
+   (parse -> bind -> rewrite -> reorder -> pick -> execute) on a chosen
+   engine; [query_adaptive] adds the managed-runtime behaviours: plan
+   caching, profile-driven re-optimization and tiered compilation. *)
+
+module Value = Quill_storage.Value
+module Schema = Quill_storage.Schema
+module Table = Quill_storage.Table
+module Catalog = Quill_storage.Catalog
+module Ast = Quill_sql.Ast
+module Parser = Quill_sql.Parser
+module Binder = Quill_plan.Binder
+module Udf = Quill_plan.Udf
+module Lplan = Quill_plan.Lplan
+module Table_stats = Quill_stats.Table_stats
+module Card = Quill_optimizer.Card
+module Picker = Quill_optimizer.Picker
+module Physical = Quill_optimizer.Physical
+module Exec_ctx = Quill_exec.Exec_ctx
+module Profile = Quill_exec.Profile
+module Codegen = Quill_compile.Codegen
+module Feedback = Quill_adaptive.Feedback
+module Plan_cache = Quill_adaptive.Plan_cache
+module Tiering = Quill_adaptive.Tiering
+
+exception Error of string
+
+type engine = Volcano | Vectorized | Compiled
+
+let engine_name = function
+  | Volcano -> "volcano"
+  | Vectorized -> "vectorized"
+  | Compiled -> "compiled"
+
+type t = {
+  catalog : Catalog.t;
+  udfs : Udf.t;
+  registry : Table_stats.Registry.reg;
+  indexes : Quill_storage.Index.Registry.t;
+  feedback : Feedback.t;
+  cache : Plan_cache.t;
+  mutable engine : engine;  (** default engine for [query] *)
+  mutable policy : Tiering.policy;  (** tier policy for [query_adaptive] *)
+  mutable options : Picker.options;
+}
+
+type result =
+  | Rows of Table.t
+  | Affected of int
+  | Text of string
+
+(** [create ()] returns a fresh database with built-in scalar functions,
+    the compiled engine as default and the standard tiering policy. *)
+let create () =
+  {
+    catalog = Catalog.create ();
+    udfs = Udf.builtins ();
+    registry = Table_stats.Registry.create ();
+    indexes = Quill_storage.Index.Registry.create ();
+    feedback = Feedback.create ();
+    cache = Plan_cache.create ();
+    engine = Compiled;
+    policy = Tiering.Tiered Tiering.default_hot_threshold;
+    options = Picker.default_options;
+  }
+
+(** [catalog db] exposes the catalog (e.g. for bulk loading). *)
+let catalog db = db.catalog
+
+(** [set_engine db e] changes the default engine for [query]. *)
+let set_engine db e = db.engine <- e
+
+(** [set_policy db p] changes the adaptive tiering policy. *)
+let set_policy db p = db.policy <- p
+
+(** [set_options db o] overrides the algorithm picker's options. *)
+let set_options db o = db.options <- o
+
+(** [register_udf db ~name ~args ~ret f] registers a scalar UDF usable in
+    any SQL expression; it participates in compilation and fusion like a
+    built-in (claim C5). *)
+let register_udf db ~name ~args ~ret f =
+  Udf.register db.udfs
+    { Udf.name; arg_types = args; ret_type = ret; fn = f; cost_per_call = 20.0 }
+
+(** [analyze db table] recollects statistics for [table]. *)
+let analyze db table = ignore (Table_stats.Registry.analyze db.registry db.catalog table)
+
+let opt_env db =
+  let indexed table =
+    match Catalog.find db.catalog table with
+    | None -> []
+    | Some t ->
+        List.filter_map
+          (fun col -> Schema.find (Table.schema t) col |> Result.to_option)
+          (Quill_storage.Index.Registry.declared db.indexes table)
+  in
+  Card.make_env ~hints:(Feedback.hints db.feedback) ~indexed db.catalog db.registry
+
+let param_types_of params =
+  Array.map
+    (fun v -> if Value.is_null v then Value.Str_t else Value.type_of v)
+    params
+
+let wrap f =
+  try f () with
+  | Quill_sql.Parser.Parse_error m -> raise (Error ("parse error: " ^ m))
+  | Quill_sql.Lexer.Lex_error (m, pos) ->
+      raise (Error (Printf.sprintf "lex error: %s at %d" m pos))
+  | Binder.Bind_error m -> raise (Error ("bind error: " ^ m))
+  | Quill_plan.Bexpr.Eval_error m -> raise (Error ("runtime error: " ^ m))
+  | Invalid_argument m -> raise (Error m)
+  | Failure m -> raise (Error m)
+
+(* Full planning result: main physical plan plus materialization plans for
+   any uncorrelated subqueries. *)
+let plan_full db ?(params = [||]) sql =
+  wrap (fun () ->
+      match Parser.parse sql with
+      | Ast.Select sel ->
+          let env =
+            Binder.mk_env ~catalog:db.catalog ~udfs:db.udfs
+              ~param_types:(param_types_of params) ()
+          in
+          let lplan = Binder.bind_select env sel in
+          let main = Picker.optimize ~options:db.options (opt_env db) lplan in
+          (* Subqueries accumulate innermost-last; materialization order is
+             innermost-first. *)
+          let subs =
+            List.rev_map
+              (fun (cell, sub_lplan) ->
+                (cell, Picker.optimize ~options:db.options (opt_env db) sub_lplan))
+              !(env.Binder.subqueries)
+          in
+          (main, subs)
+      | _ -> raise (Error "plan: not a SELECT statement"))
+
+(** [plan db ?params sql] parses and optimizes a SELECT, returning the
+    physical plan (subquery materialization plans are handled internally by
+    [query]/[query_adaptive]). *)
+let plan db ?params sql = fst (plan_full db ?params sql)
+
+let rows_to_table plan rows =
+  let schema = Physical.schema_of plan in
+  Table.of_rows ~name:"result" schema (Array.to_list rows)
+
+let run_engine db engine ?profile ~params plan =
+  let ctx = Exec_ctx.create ~params ?profile ~indexes:db.indexes db.catalog in
+  match engine with
+  | Volcano -> Quill_exec.Volcano.run ctx plan
+  | Vectorized -> Quill_exec.Vector.run ctx plan
+  | Compiled -> Quill_util.Vec.to_array (Codegen.run ctx plan)
+
+(* Materialize uncorrelated subqueries (innermost first): each cell gets
+   the first-column values of its subplan's result. *)
+let fill_subqueries db ~params subs =
+  List.iter
+    (fun (cell, sub_plan) ->
+      let rows = run_engine db Compiled ~params sub_plan in
+      cell := Some (Array.to_list (Array.map (fun r -> r.(0)) rows)))
+    subs
+
+(* Binding helper for non-SELECT statements: any subqueries found in their
+   scalar expressions are materialized immediately. *)
+let bind_stmt_scalar db env schema ast =
+  let before = !(env.Binder.subqueries) in
+  let be = Binder.bind_scalar env schema ast in
+  let fresh =
+    List.filter (fun (cell, _) -> not (List.memq cell (List.map fst before))) !(env.Binder.subqueries)
+  in
+  fill_subqueries db ~params:[||]
+    (List.rev_map
+       (fun (cell, lp) -> (cell, Picker.optimize ~options:db.options (opt_env db) lp))
+       fresh);
+  be
+
+(* Statement dispatch for non-SELECT statements. *)
+let exec_stmt db stmt =
+  match stmt with
+  | Ast.Select _ -> assert false
+  | Ast.Create_table (name, cols) ->
+      let schema =
+        Schema.create
+          (List.map (fun (n, t, nullable) -> Schema.col ~nullable n t) cols)
+      in
+      Catalog.add db.catalog (Table.create ~name schema);
+      Affected 0
+  | Ast.Drop_table name ->
+      Catalog.drop db.catalog name;
+      Quill_storage.Index.Registry.drop_table db.indexes name;
+      Affected 0
+  | Ast.Create_table_as (name, sel) ->
+      if Catalog.find db.catalog name <> None then
+        raise (Error (Printf.sprintf "table %S already exists" name));
+      let env = Binder.mk_env ~catalog:db.catalog ~udfs:db.udfs ~param_types:[||] () in
+      let lplan = Binder.bind_select env sel in
+      let pplan = Picker.optimize ~options:db.options (opt_env db) lplan in
+      let subs =
+        List.rev_map
+          (fun (cell, lp) -> (cell, Picker.optimize ~options:db.options (opt_env db) lp))
+          !(env.Binder.subqueries)
+      in
+      fill_subqueries db ~params:[||] subs;
+      let rows = run_engine db db.engine ~params:[||] pplan in
+      let table = Table.of_rows ~name (Physical.schema_of pplan) (Array.to_list rows) in
+      Catalog.add db.catalog table;
+      Affected (Array.length rows)
+  | Ast.Create_index (table, col) ->
+      let t = Catalog.find_exn db.catalog table in
+      (* Validate the column now; the index itself builds lazily. *)
+      ignore (Schema.find_exn (Table.schema t) col);
+      Quill_storage.Index.Registry.declare db.indexes ~table ~col;
+      Catalog.bump db.catalog;
+      Affected 0
+  | Ast.Insert (name, cols, rows) ->
+      let table = Catalog.find_exn db.catalog name in
+      let schema = Table.schema table in
+      let env = Binder.mk_env ~catalog:db.catalog ~udfs:db.udfs ~param_types:[||] () in
+      let positions =
+        match cols with
+        | None -> List.init (Schema.arity schema) Fun.id
+        | Some names -> List.map (Schema.find_exn schema) names
+      in
+      List.iter
+        (fun exprs ->
+          if List.length exprs <> List.length positions then
+            raise (Error "INSERT: value count does not match column count");
+          let row = Array.make (Schema.arity schema) Value.Null in
+          List.iter2
+            (fun pos e ->
+              let be = bind_stmt_scalar db env (Schema.create []) e in
+              row.(pos) <- Quill_plan.Bexpr.eval ~row:[||] ~params:[||] be)
+            positions exprs;
+          Table.insert table row)
+        rows;
+      Catalog.bump db.catalog;
+      Affected (List.length rows)
+  | Ast.Copy (name, path) ->
+      let table = Catalog.find_exn db.catalog name in
+      let schema = Table.schema table in
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      let rows = Quill_storage.Csv.rows_of_string ~schema text in
+      Table.insert_all table rows;
+      Catalog.bump db.catalog;
+      Affected (List.length rows)
+  | Ast.Delete (name, where) ->
+      let table = Catalog.find_exn db.catalog name in
+      let schema = Schema.qualify name (Table.schema table) in
+      let keep =
+        match where with
+        | None -> fun _ -> false
+        | Some w ->
+            if Ast.contains_agg w then raise (Error "aggregates not allowed in DELETE");
+            let env =
+              Binder.mk_env ~catalog:db.catalog ~udfs:db.udfs ~param_types:[||] ()
+            in
+            let pred = bind_stmt_scalar db env schema w in
+            if pred.Quill_plan.Bexpr.dtype <> Value.Bool_t then
+              raise (Error "DELETE predicate must be boolean");
+            let f = Quill_compile.Expr_compile.compile_pred pred in
+            fun row -> not (f [||] row)
+      in
+      let removed = Table.retain table keep in
+      Catalog.bump db.catalog;
+      Affected removed
+  | Ast.Update (name, sets, where) ->
+      let table = Catalog.find_exn db.catalog name in
+      let schema = Schema.qualify name (Table.schema table) in
+      let env = Binder.mk_env ~catalog:db.catalog ~udfs:db.udfs ~param_types:[||] () in
+      let where_fn =
+        match where with
+        | None -> fun _ -> true
+        | Some w ->
+            if Ast.contains_agg w then raise (Error "aggregates not allowed in UPDATE");
+            let pred = bind_stmt_scalar db env schema w in
+            if pred.Quill_plan.Bexpr.dtype <> Value.Bool_t then
+              raise (Error "UPDATE predicate must be boolean");
+            let f = Quill_compile.Expr_compile.compile_pred pred in
+            fun row -> f [||] row
+      in
+      let assigns =
+        List.map
+          (fun (c, e) ->
+            let pos = Schema.find_exn schema c in
+            let be = bind_stmt_scalar db env schema e in
+            let want = (Schema.column schema pos).Schema.dtype in
+            let ok =
+              be.Quill_plan.Bexpr.dtype = want
+              || (want = Value.Float_t && be.Quill_plan.Bexpr.dtype = Value.Int_t)
+              || (match be.Quill_plan.Bexpr.node with
+                 | Quill_plan.Bexpr.Lit Value.Null -> true
+                 | _ -> false)
+            in
+            if not ok then
+              raise
+                (Error
+                   (Printf.sprintf "UPDATE: cannot assign %s to column %s (%s)"
+                      (Value.dtype_name be.Quill_plan.Bexpr.dtype)
+                      c (Value.dtype_name want)));
+            let f = Quill_compile.Expr_compile.compile be in
+            (pos, f))
+          sets
+      in
+      let apply row =
+        (* Evaluate every assignment against the pre-update row. *)
+        let values = List.map (fun (pos, f) -> (pos, f [||] row)) assigns in
+        List.iter (fun (pos, v) -> row.(pos) <- v) values;
+        row
+      in
+      let n =
+        try Table.update table ~where:where_fn ~apply
+        with Invalid_argument m -> raise (Error m)
+      in
+      Catalog.bump db.catalog;
+      Affected n
+  | Ast.Explain { analyze; query } ->
+      let env = Binder.mk_env ~catalog:db.catalog ~udfs:db.udfs ~param_types:[||] () in
+      let lplan = Binder.bind_select env query in
+      let pplan = Picker.optimize ~options:db.options (opt_env db) lplan in
+      let subs =
+        List.rev_map
+          (fun (cell, lp) -> (cell, Picker.optimize ~options:db.options (opt_env db) lp))
+          !(env.Binder.subqueries)
+      in
+      if not analyze then Text (Physical.to_string pplan)
+      else begin
+        fill_subqueries db ~params:[||] subs;
+        let profile = Profile.create pplan in
+        let _ = run_engine db Vectorized ~profile ~params:[||] pplan in
+        let est = Profile.estimates pplan in
+        let lines =
+          List.init (Array.length est) (fun i ->
+              [ string_of_int i;
+                Printf.sprintf "%.0f" est.(i);
+                string_of_int (Profile.rows profile i);
+                Quill_util.Pretty.duration (Profile.elapsed profile i) ])
+        in
+        Text
+          (Physical.to_string pplan
+          ^ Quill_util.Pretty.render
+              ~header:[ "op"; "est rows"; "actual rows"; "time (cumulative)" ]
+              lines)
+      end
+
+(** [query db ?params ?engine sql] runs a SELECT and returns the result
+    table (uncached path). *)
+let query db ?(params = [||]) ?engine sql =
+  let engine = Option.value ~default:db.engine engine in
+  wrap (fun () ->
+      let pplan, subs = plan_full db ~params sql in
+      fill_subqueries db ~params subs;
+      rows_to_table pplan (run_engine db engine ~params pplan))
+
+(** [exec db sql] runs any statement; SELECTs return [Rows]. *)
+let exec db ?(params = [||]) sql =
+  wrap (fun () ->
+      match Parser.parse sql with
+      | Ast.Select _ -> Rows (query db ~params sql)
+      | stmt -> exec_stmt db stmt)
+
+(** [explain db ?analyze sql] renders the optimized plan; with
+    [~analyze:true] also executes and reports estimated vs. actual rows. *)
+let explain db ?(analyze = false) sql =
+  wrap (fun () ->
+      match Parser.parse sql with
+      | Ast.Select sel -> (
+          match exec_stmt db (Ast.Explain { analyze; query = sel }) with
+          | Text s -> s
+          | _ -> assert false)
+      | _ -> raise (Error "explain: not a SELECT statement"))
+
+(** [query_adaptive db ?params sql] is the managed-runtime path: plans are
+    cached per (sql, parameter types); the first execution is profiled and
+    may trigger feedback re-optimization; repeated executions tier up to
+    the compiled engine per the session policy. *)
+let query_adaptive db ?(params = [||]) sql =
+  wrap (fun () ->
+      let param_types = param_types_of params in
+      let version = Catalog.version db.catalog in
+      match Plan_cache.find db.cache ~sql ~param_types ~catalog_version:version with
+      | Some entry ->
+          fill_subqueries db ~params entry.Plan_cache.subs;
+          let ctx = Exec_ctx.create ~params ~indexes:db.indexes db.catalog in
+          let rows = Tiering.execute ~policy:db.policy ~ctx entry in
+          rows_to_table entry.Plan_cache.plan (Quill_util.Vec.to_array rows)
+      | None ->
+          let pplan, subs = plan_full db ~params sql in
+          fill_subqueries db ~params subs;
+          (* The first execution is instrumented; estimation misses feed
+             the feedback store and can trigger an immediate re-plan for
+             subsequent executions. *)
+          let profile = Profile.create pplan in
+          let rows, elapsed =
+            Quill_util.Timer.time (fun () ->
+                run_engine db Vectorized ~profile ~params pplan)
+          in
+          let _ = Feedback.learn db.feedback db.catalog pplan profile in
+          let cached_plan, cached_subs =
+            if Feedback.should_reoptimize pplan profile then plan_full db ~params sql
+            else (pplan, subs)
+          in
+          let entry =
+            Plan_cache.add db.cache ~sql ~param_types ~catalog_version:version
+              ~subs:cached_subs cached_plan
+          in
+          entry.Plan_cache.runs <- 1;
+          entry.Plan_cache.total_exec_time <- elapsed;
+          rows_to_table pplan rows)
+
+(** [cache_stats db] returns (entries, total runs, compiled count) for
+    observability. *)
+let cache_stats db =
+  let entries = ref 0 and runs = ref 0 and compiled = ref 0 in
+  Hashtbl.iter
+    (fun _ (e : Plan_cache.entry) ->
+      incr entries;
+      runs := !runs + e.Plan_cache.runs;
+      if e.Plan_cache.compiled <> None then incr compiled)
+    db.cache.Plan_cache.entries;
+  (!entries, !runs, !compiled)
+
+(* --- Persistence ------------------------------------------------------- *)
+
+(** [save db dir] writes the database to directory [dir]: one CSV file per
+    table plus a [_manifest.sql] of CREATE TABLE / CREATE INDEX statements
+    that [load] replays. Existing files are overwritten. *)
+let save db dir =
+  wrap (fun () ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let manifest = Buffer.create 256 in
+      List.iter
+        (fun name ->
+          let table = Catalog.find_exn db.catalog name in
+          let schema = Table.schema table in
+          let cols =
+            List.map
+              (fun c ->
+                Printf.sprintf "%s %s%s" c.Schema.name
+                  (Value.dtype_name c.Schema.dtype)
+                  (if c.Schema.nullable then "" else " NOT NULL"))
+              (Schema.columns schema)
+          in
+          Buffer.add_string manifest
+            (Printf.sprintf "CREATE TABLE %s (%s);\n" name (String.concat ", " cols));
+          List.iter
+            (fun col ->
+              Buffer.add_string manifest
+                (Printf.sprintf "CREATE INDEX ON %s (%s);\n" name col))
+            (Quill_storage.Index.Registry.declared db.indexes name);
+          Quill_storage.Csv.save table (Filename.concat dir (name ^ ".csv")))
+        (Catalog.names db.catalog);
+      let oc = open_out (Filename.concat dir "_manifest.sql") in
+      output_string oc (Buffer.contents manifest);
+      close_out oc)
+
+(** [load dir] reads a database previously written by {!save}. *)
+let load dir =
+  wrap (fun () ->
+      let db = create () in
+      let ic = open_in (Filename.concat dir "_manifest.sql") in
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      String.split_on_char ';' text
+      |> List.iter (fun stmt ->
+             let stmt = String.trim stmt in
+             if stmt <> "" then ignore (exec db stmt));
+      List.iter
+        (fun name ->
+          ignore
+            (exec db
+               (Printf.sprintf "COPY %s FROM '%s'" name
+                  (Filename.concat dir (name ^ ".csv")))))
+        (Catalog.names db.catalog);
+      db)

@@ -1,0 +1,112 @@
+(** The Quill public API.
+
+    A {!t} bundles the catalog, statistics, UDF registry, secondary-index
+    registry, plan cache and feedback store.  {!query} runs one statement
+    through the full pipeline (parse -> bind -> rewrite -> reorder -> pick
+    algorithms -> execute) on a chosen engine; {!query_adaptive} adds the
+    managed-runtime behaviours: plan caching, profile-driven
+    re-optimization and tiered compilation. *)
+
+(** Raised for every user-facing failure (parse, bind, runtime), with a
+    prefixed message such as ["parse error: ..."]. *)
+exception Error of string
+
+(** The three execution engines. They share one runtime algorithm library
+    and return identical results; they differ in architecture:
+    tuple-at-a-time interpretation, batch-at-a-time interpretation, and
+    staged compilation to fused closures. *)
+type engine = Volcano | Vectorized | Compiled
+
+(** [engine_name e] is ["volcano"], ["vectorized"] or ["compiled"]. *)
+val engine_name : engine -> string
+
+(** A database session. *)
+type t
+
+(** Result of {!exec}: rows for SELECT, an affected-row count for DML/DDL,
+    text for EXPLAIN. *)
+type result =
+  | Rows of Quill_storage.Table.t
+  | Affected of int
+  | Text of string
+
+(** [create ()] returns a fresh in-memory database with built-in scalar
+    functions, the compiled engine as default and the standard tiering
+    policy. *)
+val create : unit -> t
+
+(** [catalog db] exposes the catalog, e.g. for bulk loading tables built
+    with {!Quill_storage.Table}. *)
+val catalog : t -> Quill_storage.Catalog.t
+
+(** [set_engine db e] changes the default engine used by {!query}. *)
+val set_engine : t -> engine -> unit
+
+(** [set_policy db p] changes the tiering policy used by
+    {!query_adaptive}. *)
+val set_policy : t -> Quill_adaptive.Tiering.policy -> unit
+
+(** [set_options db o] overrides the algorithm picker (force a join or
+    aggregation algorithm, force a scan layout, toggle top-k fusion, join
+    reordering or index paths) — used by benchmarks and ablations. *)
+val set_options : t -> Quill_optimizer.Picker.options -> unit
+
+(** [register_udf db ~name ~args ~ret f] registers a scalar function
+    usable in any SQL expression.  It participates in binding,
+    optimization, compilation and fusion exactly like a built-in.
+    Overloads are allowed; INT arguments widen to FLOAT parameters. *)
+val register_udf :
+  t ->
+  name:string ->
+  args:Quill_storage.Value.dtype list ->
+  ret:Quill_storage.Value.dtype ->
+  (Quill_storage.Value.t array -> Quill_storage.Value.t) ->
+  unit
+
+(** [analyze db table] (re)collects optimizer statistics — row counts,
+    NDVs, min/max, equi-depth histograms — for [table]. Statistics are
+    otherwise collected lazily on first use. *)
+val analyze : t -> string -> unit
+
+(** [plan db ?params sql] parses and optimizes a SELECT, returning the
+    physical plan the picker chose (useful for inspection; subquery
+    materialization plans are handled internally by {!query}). *)
+val plan :
+  t -> ?params:Quill_storage.Value.t array -> string -> Quill_optimizer.Physical.t
+
+(** [query db ?params ?engine sql] runs a SELECT and returns the result
+    table. [params] supplies values for [$1], [$2], ... (their dtypes type
+    the parameters). *)
+val query :
+  t ->
+  ?params:Quill_storage.Value.t array ->
+  ?engine:engine ->
+  string ->
+  Quill_storage.Table.t
+
+(** [exec db ?params sql] runs any statement: CREATE TABLE/INDEX, INSERT,
+    UPDATE, DELETE, DROP, COPY, EXPLAIN [ANALYZE], or SELECT. *)
+val exec : t -> ?params:Quill_storage.Value.t array -> string -> result
+
+(** [explain db ?analyze sql] renders the optimized physical plan with the
+    picker's row/cost estimates; with [~analyze:true] the query also runs
+    (instrumented) and estimated vs. actual rows are appended. *)
+val explain : t -> ?analyze:bool -> string -> string
+
+(** [query_adaptive db ?params sql] is the managed-runtime path: plans are
+    cached per (sql, parameter dtypes); the first execution is profiled
+    and can trigger feedback re-optimization; repeated executions tier up
+    to the compiled engine per the session policy. *)
+val query_adaptive :
+  t -> ?params:Quill_storage.Value.t array -> string -> Quill_storage.Table.t
+
+(** [cache_stats db] returns [(entries, total runs, compiled entries)] of
+    the plan cache, for observability. *)
+val cache_stats : t -> int * int * int
+
+(** [save db dir] persists every table (CSV) plus a DDL manifest (schemas
+    and index definitions) into directory [dir], creating it if needed. *)
+val save : t -> string -> unit
+
+(** [load dir] reconstructs a database written by {!save}. *)
+val load : string -> t

@@ -1,0 +1,1 @@
+lib/exec/agg_algos.ml: Array Float Hashtbl List Quill_plan Quill_storage Quill_util Sort_algos

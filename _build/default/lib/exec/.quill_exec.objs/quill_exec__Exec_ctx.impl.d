@@ -1,0 +1,1 @@
+lib/exec/exec_ctx.ml: Profile Quill_storage

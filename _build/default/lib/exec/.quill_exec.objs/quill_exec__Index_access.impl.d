@@ -1,0 +1,1 @@
+lib/exec/index_access.ml: Exec_ctx Option Quill_plan Quill_storage

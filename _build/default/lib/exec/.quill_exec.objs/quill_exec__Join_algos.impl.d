@@ -1,0 +1,1 @@
+lib/exec/join_algos.ml: Array Hashtbl List Quill_plan Quill_storage Quill_util Sort_algos

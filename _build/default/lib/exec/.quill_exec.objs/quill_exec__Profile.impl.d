@@ -1,0 +1,1 @@
+lib/exec/profile.ml: Array Float List Quill_optimizer

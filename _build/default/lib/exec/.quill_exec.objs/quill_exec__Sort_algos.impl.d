@@ -1,0 +1,1 @@
+lib/exec/sort_algos.ml: Array Quill_plan Quill_storage Sys

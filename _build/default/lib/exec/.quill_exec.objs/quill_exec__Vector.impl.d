@@ -1,0 +1,1 @@
+lib/exec/vector.ml: Agg_algos Array Exec_ctx Fun Index_access Int Join_algos List Option Profile Quill_optimizer Quill_plan Quill_storage Quill_util Set Sort_algos Topk Window_algos

@@ -1,0 +1,1 @@
+lib/exec/volcano.ml: Agg_algos Array Exec_ctx Index_access Join_algos List Option Profile Quill_optimizer Quill_plan Quill_storage Quill_util Sort_algos Topk Window_algos

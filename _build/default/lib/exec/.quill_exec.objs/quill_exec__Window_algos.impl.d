@@ -1,0 +1,1 @@
+lib/exec/window_algos.ml: Agg_algos Array Fun List Option Quill_plan Quill_storage Sort_algos

@@ -1,0 +1,173 @@
+(* The aggregation algorithm library: hash and sort-based grouping.
+
+   Aggregate state supports COUNT/SUM/AVG/MIN/MAX with optional DISTINCT.
+   SQL semantics: NULL inputs are ignored by all aggregates except
+   COUNT star; SUM/AVG/MIN/MAX over zero non-null inputs yield NULL; a
+   global aggregate (no keys) over an empty input still emits one row. *)
+
+module Value = Quill_storage.Value
+module Lplan = Quill_plan.Lplan
+module Vec = Quill_util.Vec
+
+type spec = {
+  kind : Lplan.agg_kind;
+  arg : (Value.t array -> Value.t) option;  (** evaluated argument; None = star *)
+  distinct : bool;
+  out_dtype : Value.dtype;
+}
+
+type state = {
+  mutable count : int;
+  mutable sum_i : int;
+  mutable sum_f : float;
+  mutable saw_float : bool;
+  mutable non_null : int;
+  mutable min_v : Value.t;
+  mutable max_v : Value.t;
+  seen : (Value.t, unit) Hashtbl.t option;  (** DISTINCT dedup *)
+}
+
+let new_state spec =
+  {
+    count = 0;
+    sum_i = 0;
+    sum_f = 0.0;
+    saw_float = false;
+    non_null = 0;
+    min_v = Value.Null;
+    max_v = Value.Null;
+    seen = (if spec.distinct then Some (Hashtbl.create 16) else None);
+  }
+
+let feed spec st (row : Value.t array) =
+  st.count <- st.count + 1;
+  match spec.arg with
+  | None -> st.non_null <- st.non_null + 1 (* COUNT star counts all rows *)
+  | Some eval -> (
+      let v = eval row in
+      if not (Value.is_null v) then begin
+        let fresh =
+          match st.seen with
+          | None -> true
+          | Some tbl ->
+              if Hashtbl.mem tbl v then false
+              else begin
+                Hashtbl.add tbl v ();
+                true
+              end
+        in
+        if fresh then begin
+          st.non_null <- st.non_null + 1;
+          (match v with
+          | Value.Int i -> st.sum_i <- st.sum_i + i
+          | Value.Float f ->
+              st.saw_float <- true;
+              st.sum_f <- st.sum_f +. f
+          | _ -> ());
+          if Value.is_null st.min_v || Value.compare v st.min_v < 0 then st.min_v <- v;
+          if Value.is_null st.max_v || Value.compare v st.max_v > 0 then st.max_v <- v
+        end
+      end)
+
+let finish spec st =
+  match spec.kind with
+  | Lplan.Count -> Value.Int st.non_null
+  | Lplan.Sum ->
+      if st.non_null = 0 then Value.Null
+      else if spec.out_dtype = Value.Float_t then
+        Value.Float (st.sum_f +. Float.of_int st.sum_i)
+      else Value.Int st.sum_i
+  | Lplan.Avg ->
+      if st.non_null = 0 then Value.Null
+      else Value.Float ((st.sum_f +. Float.of_int st.sum_i) /. Float.of_int st.non_null)
+  | Lplan.Min -> st.min_v
+  | Lplan.Max -> st.max_v
+
+type input = Value.t array array
+
+let output_row keys_vals states specs =
+  Array.append (Array.of_list keys_vals)
+    (Array.of_list (List.map2 finish specs states))
+
+(** [hash_agg ~keys ~specs rows] groups by hashing the evaluated key
+    values. [keys] evaluate a row to one grouping value each.  With no
+    keys, always emits exactly one (global) row. *)
+let hash_agg ~(keys : (Value.t array -> Value.t) list) ~specs (rows : input) =
+  let groups : (Value.t list, state list) Hashtbl.t = Hashtbl.create 64 in
+  let order = Vec.create ~dummy:[] in
+  Array.iter
+    (fun row ->
+      let k = List.map (fun f -> f row) keys in
+      let states =
+        match Hashtbl.find_opt groups k with
+        | Some s -> s
+        | None ->
+            let s = List.map new_state specs in
+            Hashtbl.add groups k s;
+            Vec.push order k;
+            s
+      in
+      List.iter2 (fun spec st -> feed spec st row) specs states)
+    rows;
+  let out = Vec.create ~dummy:[||] in
+  if keys = [] && Vec.length order = 0 then
+    Vec.push out (output_row [] (List.map new_state specs) specs)
+  else
+    Vec.iter
+      (fun k -> Vec.push out (output_row k (Hashtbl.find groups k) specs))
+      order;
+  out
+
+(** [sort_agg ~keys ~specs rows] sorts rows by their key values and folds
+    consecutive runs; produces groups in key order. *)
+let sort_agg ~(keys : (Value.t array -> Value.t) list) ~specs (rows : input) =
+  if keys = [] then hash_agg ~keys ~specs rows
+  else begin
+    (* Materialize (key values, row) pairs and sort on the keys. *)
+    let nk = List.length keys in
+    let pairs =
+      Array.map
+        (fun row -> (Array.of_list (List.map (fun f -> f row) keys), row))
+        rows
+    in
+    let cmp (ka, _) (kb, _) =
+      let rec go i =
+        if i >= nk then 0
+        else
+          let c = Value.compare ka.(i) kb.(i) in
+          if c <> 0 then c else go (i + 1)
+      in
+      go 0
+    in
+    Sort_algos.mergesort cmp pairs;
+    let out = Vec.create ~dummy:[||] in
+    let n = Array.length pairs in
+    let i = ref 0 in
+    while !i < n do
+      let k, _ = pairs.(!i) in
+      let states = List.map new_state specs in
+      while !i < n && cmp pairs.(!i) (k, [||]) = 0 do
+        let _, row = pairs.(!i) in
+        List.iter2 (fun spec st -> feed spec st row) specs states;
+        incr i
+      done;
+      Vec.push out (output_row (Array.to_list k) states specs)
+    done;
+    out
+  end
+
+(** [distinct rows] removes duplicate rows (whole-row comparison with SQL
+    "NULLs are not distinct from each other" semantics), preserving first
+    occurrence order. *)
+let distinct (rows : input) =
+  let seen : (Value.t list, unit) Hashtbl.t = Hashtbl.create 64 in
+  let out = Vec.create ~dummy:[||] in
+  Array.iter
+    (fun row ->
+      let k = Array.to_list row in
+      if not (Hashtbl.mem seen k) then begin
+        Hashtbl.add seen k ();
+        Vec.push out row
+      end)
+    rows;
+  out

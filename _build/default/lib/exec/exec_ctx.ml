@@ -1,0 +1,23 @@
+(* Execution context shared by all engines: the catalog, bound parameter
+   values, declared secondary indexes, and an optional profile sink. *)
+
+type t = {
+  catalog : Quill_storage.Catalog.t;
+  params : Quill_storage.Value.t array;
+  profile : Profile.t option;
+  indexes : Quill_storage.Index.Registry.t;
+}
+
+(** [create ?params ?profile ?indexes catalog] builds a context; without
+    [indexes] an empty registry is used (index scans then build their
+    index on the fly). *)
+let create ?(params = [||]) ?profile ?indexes catalog =
+  {
+    catalog;
+    params;
+    profile;
+    indexes =
+      (match indexes with
+      | Some r -> r
+      | None -> Quill_storage.Index.Registry.create ());
+  }

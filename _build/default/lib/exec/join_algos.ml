@@ -1,0 +1,199 @@
+(* The join algorithm library: hash, sort-merge and block nested loops.
+
+   All three consume materialized row arrays and produce concatenated
+   (left @ right) rows, so every engine — Volcano, vectorized, compiled —
+   shares one implementation per algorithm and engine comparisons (E2)
+   measure engine architecture, not algorithm quality.  SQL semantics:
+   NULL join keys never match. *)
+
+module Value = Quill_storage.Value
+module Vec = Quill_util.Vec
+module Hashing = Quill_util.Hashing
+
+type input = Value.t array array
+
+type mode = Inner | Left_outer
+(** [Left_outer] preserves every left row, padding the right side with
+    NULLs when no right row satisfies keys + residual. *)
+
+(* Key of a row on the given columns; [None] when any component is NULL. *)
+let key_of cols (row : Value.t array) =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | c :: rest ->
+        let v = row.(c) in
+        if Value.is_null v then None else go (v :: acc) rest
+  in
+  go [] cols
+
+let concat_rows (l : Value.t array) (r : Value.t array) =
+  let out = Array.make (Array.length l + Array.length r) Value.Null in
+  Array.blit l 0 out 0 (Array.length l);
+  Array.blit r 0 out (Array.length l) (Array.length r);
+  out
+
+let hash_key k = List.fold_left (fun acc v -> Hashing.combine acc (Value.hash v)) 0 k
+
+let keys_equal a b = List.for_all2 Value.equal a b
+
+(** [hash_join ~keys ~residual ~build_left left right] equi-join by
+    building a hash table on one side and probing with the other.
+    [keys] are (left col, right col) pairs; [residual] filters
+    concatenated candidate rows. *)
+let hash_join ?(mode = Inner) ?right_arity ~keys ~residual ~build_left (left : input)
+    (right : input) =
+  (* An outer join must probe with the preserved (left) side. *)
+  assert (not (mode = Left_outer && build_left));
+  let lcols = List.map fst keys and rcols = List.map snd keys in
+  let build, probe, bcols, pcols =
+    if build_left then (left, right, lcols, rcols) else (right, left, rcols, lcols)
+  in
+  let table : (int, (Value.t list * Value.t array) list ref) Hashtbl.t =
+    Hashtbl.create (max 16 (Array.length build))
+  in
+  Array.iter
+    (fun row ->
+      match key_of bcols row with
+      | None -> ()
+      | Some k ->
+          let h = hash_key k in
+          (match Hashtbl.find_opt table h with
+          | Some l -> l := (k, row) :: !l
+          | None -> Hashtbl.add table h (ref [ (k, row) ])))
+    build;
+  let out = Vec.create ~dummy:[||] in
+  let right_arity =
+    match right_arity with
+    | Some a -> a
+    | None -> if Array.length right > 0 then Array.length right.(0) else 0
+  in
+  let pad l = concat_rows l (Array.make right_arity Value.Null) in
+  let emit matched l r =
+    let row = concat_rows l r in
+    match residual with
+    | Some p when not (p row) -> ()
+    | _ ->
+        matched := true;
+        Vec.push out row
+  in
+  Array.iter
+    (fun prow ->
+      let matched = ref false in
+      (match key_of pcols prow with
+      | None -> ()
+      | Some k -> (
+          match Hashtbl.find_opt table (hash_key k) with
+          | None -> ()
+          | Some bucket ->
+              List.iter
+                (fun (bk, brow) ->
+                  if keys_equal bk k then
+                    if build_left then emit matched brow prow
+                    else emit matched prow brow)
+                !bucket));
+      if mode = Left_outer && not !matched then Vec.push out (pad prow))
+    probe;
+  out
+
+(** [merge_join ~keys ~residual left right] sorts both inputs on the join
+    keys and merges, pairing equal-key runs. *)
+let merge_join ?(mode = Inner) ?right_arity ~keys ~residual (left : input) (right : input) =
+  let lcols = List.map fst keys and rcols = List.map snd keys in
+  let lkeys = List.map (fun c -> (c, Quill_plan.Lplan.Asc)) lcols in
+  let rkeys = List.map (fun c -> (c, Quill_plan.Lplan.Asc)) rcols in
+  let l = Array.copy left and r = Array.copy right in
+  Sort_algos.sort_rows lkeys l;
+  Sort_algos.sort_rows rkeys r;
+  let nl = Array.length l and nr = Array.length r in
+  let out = Vec.create ~dummy:[||] in
+  let matched = if mode = Left_outer then Array.make nl false else [||] in
+  let cmp_rows i j =
+    let rec go lc rc =
+      match (lc, rc) with
+      | [], [] -> 0
+      | c1 :: lc, c2 :: rc ->
+          let d = Value.compare l.(i).(c1) r.(j).(c2) in
+          if d <> 0 then d else go lc rc
+      | _ -> assert false
+    in
+    go lcols rcols
+  in
+  let has_null_key row cols = List.exists (fun c -> Value.is_null row.(c)) cols in
+  let i = ref 0 and j = ref 0 in
+  (* NULL keys sort first; they never match (outer mode pads them below). *)
+  while !i < nl && has_null_key l.(!i) lcols do incr i done;
+  while !j < nr && has_null_key r.(!j) rcols do incr j done;
+  while !i < nl && !j < nr do
+    let c = cmp_rows !i !j in
+    if c < 0 then incr i
+    else if c > 0 then incr j
+    else begin
+      (* Equal-key runs on both sides: emit the cross product. *)
+      let i0 = !i and j0 = !j in
+      let same_l k = k < nl && cmp_rows k !j = 0 in
+      let same_r k = k < nr && cmp_rows !i k = 0 in
+      let i1 = ref i0 and j1 = ref j0 in
+      while same_l !i1 do incr i1 done;
+      while same_r !j1 do incr j1 done;
+      for a = i0 to !i1 - 1 do
+        for b = j0 to !j1 - 1 do
+          let row = concat_rows l.(a) r.(b) in
+          match residual with
+          | Some p when not (p row) -> ()
+          | _ ->
+              if mode = Left_outer then matched.(a) <- true;
+              Vec.push out row
+        done
+      done;
+      i := !i1;
+      j := !j1
+    end
+  done;
+  if mode = Left_outer then begin
+    let right_arity =
+      match right_arity with
+      | Some a -> a
+      | None -> if nr > 0 then Array.length r.(0) else 0
+    in
+    let padding = Array.make right_arity Value.Null in
+    Array.iteri
+      (fun a lrow -> if not matched.(a) then Vec.push out (concat_rows lrow padding))
+      l
+  end;
+  out
+
+(** [block_nl_join ~pred left right] nested loops in cache-friendly blocks;
+    [pred] sees the concatenated row ([None] = cross join). *)
+let block_nl_join ?(mode = Inner) ?right_arity ~pred (left : input) (right : input) =
+  let out = Vec.create ~dummy:[||] in
+  let block = 256 in
+  let nl = Array.length left in
+  let matched = if mode = Left_outer then Array.make nl false else [||] in
+  let lo = ref 0 in
+  while !lo < nl do
+    let hi = min nl (!lo + block) in
+    Array.iter
+      (fun rrow ->
+        for i = !lo to hi - 1 do
+          let row = concat_rows left.(i) rrow in
+          match pred with
+          | Some p when not (p row) -> ()
+          | _ ->
+              if mode = Left_outer then matched.(i) <- true;
+              Vec.push out row
+        done)
+      right;
+    lo := hi
+  done;
+  if mode = Left_outer then begin
+    let right_arity =
+      match right_arity with
+      | Some a -> a
+      | None -> if Array.length right > 0 then Array.length right.(0) else 0
+    in
+    let padding = Array.make right_arity Value.Null in
+    Array.iteri
+      (fun i lrow -> if not matched.(i) then Vec.push out (concat_rows lrow padding))
+      left
+  end;
+  out

@@ -1,0 +1,74 @@
+(* Execution profiles: actual rows produced per operator.
+
+   Operators are numbered in preorder over the physical plan (self, then
+   left child, then right).  The adaptive layer compares these counts with
+   the picker's estimates to decide on re-optimization (claim C4). *)
+
+type op_stat = { mutable rows_out : int; mutable elapsed : float }
+
+type t = { stats : op_stat array }
+
+(** [create plan] allocates a profile sized to [plan]'s operator count. *)
+let create plan =
+  { stats =
+      Array.init
+        (Quill_optimizer.Physical.operator_count plan)
+        (fun _ -> { rows_out = 0; elapsed = 0.0 }) }
+
+(** [bump t id] records one output row for operator [id]. *)
+let bump t id = t.stats.(id).rows_out <- t.stats.(id).rows_out + 1
+
+(** [add t id n] records [n] output rows for operator [id]. *)
+let add t id n = t.stats.(id).rows_out <- t.stats.(id).rows_out + n
+
+(** [rows t id] is the observed output count of operator [id]. *)
+let rows t id = t.stats.(id).rows_out
+
+(** [add_time t id secs] accrues wall-clock time to operator [id]
+    (cumulative: includes children for pipelined operators). *)
+let add_time t id secs = t.stats.(id).elapsed <- t.stats.(id).elapsed +. secs
+
+(** [elapsed t id] is the accumulated time of operator [id] in seconds. *)
+let elapsed t id = t.stats.(id).elapsed
+
+(** [estimates plan] lists each operator's estimated rows in the same
+    preorder numbering as the profile. *)
+let estimates plan =
+  let acc = ref [] in
+  let rec go p =
+    acc := (Quill_optimizer.Physical.info_of p).Quill_optimizer.Physical.est_rows :: !acc;
+    match p with
+    | Quill_optimizer.Physical.Scan _ | Quill_optimizer.Physical.Index_scan _
+    | Quill_optimizer.Physical.One_row ->
+        ()
+    | Quill_optimizer.Physical.Filter (_, i, _) | Quill_optimizer.Physical.Project (_, i, _)
+    | Quill_optimizer.Physical.Distinct (i, _) ->
+        go i
+    | Quill_optimizer.Physical.Join { left; right; _ } ->
+        go left;
+        go right
+    | Quill_optimizer.Physical.Aggregate { input; _ }
+    | Quill_optimizer.Physical.Window { input; _ }
+    | Quill_optimizer.Physical.Sort { input; _ }
+    | Quill_optimizer.Physical.Top_k { input; _ }
+    | Quill_optimizer.Physical.Limit { input; _ } ->
+        go input
+  in
+  go plan;
+  Array.of_list (List.rev !acc)
+
+(** [max_error plan t] returns the largest estimate/actual ratio (in either
+    direction) over operators that produced at least one row estimate;
+    this is the re-optimization trigger signal. *)
+let max_error plan t =
+  let est = estimates plan in
+  let worst = ref 1.0 in
+  Array.iteri
+    (fun i s ->
+      if i < Array.length est then begin
+        let a = Float.max 1.0 (Float.of_int s.rows_out) in
+        let e = Float.max 1.0 est.(i) in
+        worst := Float.max !worst (Float.max (a /. e) (e /. a))
+      end)
+    t.stats;
+  !worst

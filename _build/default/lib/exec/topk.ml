@@ -1,0 +1,61 @@
+(* Bounded top-k selection with a binary heap.
+
+   Keeps the k best rows under a comparator in a max-heap (worst at the
+   root) so each new row costs O(log k); the full sort is avoided, which
+   is the point of the Sort+Limit fusion (picker's TopK). *)
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;  (** ascending "better first" order *)
+  data : 'a array;
+  mutable len : int;
+}
+
+(** [create ~cmp ~k ~dummy] returns an empty top-k collector for the [k]
+    smallest elements under [cmp]. *)
+let create ~cmp ~k ~dummy =
+  assert (k > 0);
+  { cmp; data = Array.make k dummy; len = 0 }
+
+let swap t i j =
+  let x = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- x
+
+(* Max-heap on [cmp]: parent >= children, so data.(0) is the current worst
+   of the kept set. *)
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp t.data.(parent) t.data.(i) < 0 then begin
+      swap t parent i;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let largest = ref i in
+  if l < t.len && t.cmp t.data.(l) t.data.(!largest) > 0 then largest := l;
+  if r < t.len && t.cmp t.data.(r) t.data.(!largest) > 0 then largest := r;
+  if !largest <> i then begin
+    swap t i !largest;
+    sift_down t !largest
+  end
+
+(** [offer t x] considers [x] for the kept set. *)
+let offer t x =
+  if t.len < Array.length t.data then begin
+    t.data.(t.len) <- x;
+    t.len <- t.len + 1;
+    sift_up t (t.len - 1)
+  end
+  else if t.cmp x t.data.(0) < 0 then begin
+    t.data.(0) <- x;
+    sift_down t 0
+  end
+
+(** [finish t] returns the kept elements in ascending [cmp] order. *)
+let finish t =
+  let out = Array.sub t.data 0 t.len in
+  Array.sort t.cmp out;
+  out

@@ -1,0 +1,455 @@
+(* The vectorized engine: batch-at-a-time interpretation.
+
+   Operators exchange batches of [batch_size] rows stored column-wise;
+   expressions are evaluated one node per *vector* instead of one node per
+   tuple, amortizing interpretive dispatch (the VectorWise design).
+   Pipeline breakers materialize to rows and call the shared algorithm
+   library, so E2 compares engine architectures on equal algorithms.
+
+   Laziness note: AND/OR right operands and CASE branches are evaluated
+   per-row on the undecided rows only, preserving the scalar engine's
+   error behaviour for guarded expressions like [y <> 0 AND x/y > 2]. *)
+
+module Value = Quill_storage.Value
+module Table = Quill_storage.Table
+module Catalog = Quill_storage.Catalog
+module Column = Quill_storage.Column
+module Vec = Quill_util.Vec
+module Bexpr = Quill_plan.Bexpr
+module Lplan = Quill_plan.Lplan
+module Physical = Quill_optimizer.Physical
+module IntSet = Set.Make (Int)
+
+let batch_size = 1024
+
+type batch = { cols : Value.t array array; len : int }
+
+type ctx = Exec_ctx.t = {
+  catalog : Catalog.t;
+  params : Value.t array;
+  profile : Profile.t option;
+  indexes : Quill_storage.Index.Registry.t;
+}
+
+(* Columns the scan skipped (not in the needed set) are empty
+   placeholders and read back as NULL. *)
+let row_of batch i =
+  Array.map (fun c -> if Array.length c = 0 then Value.Null else c.(i)) batch.cols
+
+let batch_of_rows ncols (rows : Value.t array array) =
+  let len = Array.length rows in
+  { cols = Array.init ncols (fun c -> Array.init len (fun i -> rows.(i).(c))); len }
+
+let rows_of_batch b = Array.init b.len (row_of b)
+
+(* --- Vectorized expression evaluation ---------------------------------- *)
+
+let rec eval_vec ctx (b : batch) (e : Bexpr.t) : Value.t array =
+  let scalar i sub = Bexpr.eval ~row:(row_of b i) ~params:ctx.params sub in
+  match e.Bexpr.node with
+  | Bexpr.Lit v -> Array.make b.len v
+  | Bexpr.Col c -> b.cols.(c)
+  | Bexpr.Param i -> Array.make b.len ctx.params.(i)
+  | Bexpr.Neg a ->
+      let va = eval_vec ctx b a in
+      Array.map
+        (function
+          | Value.Null -> Value.Null
+          | Value.Int x -> Value.Int (-x)
+          | Value.Float x -> Value.Float (-.x)
+          | v -> raise (Bexpr.Eval_error ("cannot negate " ^ Value.to_string v)))
+        va
+  | Bexpr.Not a ->
+      let va = eval_vec ctx b a in
+      Array.map
+        (function
+          | Value.Null -> Value.Null
+          | Value.Bool x -> Value.Bool (not x)
+          | v -> raise (Bexpr.Eval_error ("NOT on " ^ Value.to_string v)))
+        va
+  | Bexpr.Arith (op, x, y) ->
+      let vx = eval_vec ctx b x and vy = eval_vec ctx b y in
+      Array.init b.len (fun i ->
+          match (vx.(i), vy.(i)) with
+          | Value.Null, _ | _, Value.Null -> Value.Null
+          | a, c -> Bexpr.num_arith op a c)
+  | Bexpr.Cmp (op, x, y) ->
+      let vx = eval_vec ctx b x and vy = eval_vec ctx b y in
+      Array.init b.len (fun i ->
+          match (vx.(i), vy.(i)) with
+          | Value.Null, _ | _, Value.Null -> Value.Null
+          | a, c -> Value.Bool (Bexpr.cmp_result op (Value.compare a c)))
+  | Bexpr.And (x, y) ->
+      let vx = eval_vec ctx b x in
+      Array.init b.len (fun i ->
+          match vx.(i) with
+          | Value.Bool false -> Value.Bool false
+          | vxi -> (
+              match scalar i y with
+              | Value.Bool false -> Value.Bool false
+              | Value.Null -> Value.Null
+              | vyi -> if vxi = Value.Null then Value.Null else vyi))
+  | Bexpr.Or (x, y) ->
+      let vx = eval_vec ctx b x in
+      Array.init b.len (fun i ->
+          match vx.(i) with
+          | Value.Bool true -> Value.Bool true
+          | vxi -> (
+              match scalar i y with
+              | Value.Bool true -> Value.Bool true
+              | Value.Null -> Value.Null
+              | vyi -> if vxi = Value.Null then Value.Null else vyi))
+  | Bexpr.Like (x, pattern) ->
+      let vx = eval_vec ctx b x in
+      Array.map
+        (function
+          | Value.Null -> Value.Null
+          | Value.Str s -> Value.Bool (Bexpr.like_match ~pattern s)
+          | v -> raise (Bexpr.Eval_error ("LIKE on " ^ Value.to_string v)))
+        vx
+  | Bexpr.Is_null (negated, x) ->
+      let vx = eval_vec ctx b x in
+      Array.map
+        (fun v ->
+          let n = Value.is_null v in
+          Value.Bool (if negated then not n else n))
+        vx
+  | Bexpr.Cast (x, t) ->
+      let vx = eval_vec ctx b x in
+      Array.map (fun v -> Bexpr.do_cast v t) vx
+  | Bexpr.Call { fn; args; _ } ->
+      (* Vectorized UDF invocation: arguments evaluate column-at-a-time,
+         then the function applies per row. *)
+      let vargs = Array.of_list (List.map (eval_vec ctx b) args) in
+      let nargs = Array.length vargs in
+      let scratch = Array.make nargs Value.Null in
+      Array.init b.len (fun i ->
+          for k = 0 to nargs - 1 do
+            scratch.(k) <- vargs.(k).(i)
+          done;
+          fn scratch)
+  | Bexpr.In_list _ | Bexpr.Case _ | Bexpr.Subquery _ ->
+      (* Row-wise fallback for control-flow-heavy nodes. *)
+      Array.init b.len (fun i -> scalar i e)
+
+(** [eval_pred_vec ctx b e] evaluates predicate [e] over a batch, returning
+    the selected row indices (NULL is false, as in WHERE). *)
+let eval_pred_vec ctx b e =
+  let v = eval_vec ctx b e in
+  let sel = Quill_util.Int_vec.create () in
+  for i = 0 to b.len - 1 do
+    match v.(i) with
+    | Value.Bool true -> Quill_util.Int_vec.push sel i
+    | _ -> ()
+  done;
+  sel
+
+let compact b sel =
+  let n = Quill_util.Int_vec.length sel in
+  {
+    cols =
+      Array.map
+        (fun col ->
+          if Array.length col = 0 then [||]
+          else Array.init n (fun k -> col.(Quill_util.Int_vec.get sel k)))
+        b.cols;
+    len = n;
+  }
+
+(* --- Operators --------------------------------------------------------- *)
+
+type biter = { next_batch : unit -> batch option; close : unit -> unit }
+
+let observed ctx id it =
+  match ctx.profile with
+  | None -> it
+  | Some p ->
+      {
+        it with
+        next_batch =
+          (fun () ->
+            let t0 = Quill_util.Timer.now () in
+            let r = it.next_batch () in
+            Profile.add_time p id (Quill_util.Timer.now () -. t0);
+            match r with
+            | Some b ->
+                Profile.add p id b.len;
+                Some b
+            | None -> None);
+      }
+
+let of_rows ncols rows =
+  let pos = ref 0 in
+  let n = Array.length rows in
+  {
+    next_batch =
+      (fun () ->
+        if !pos >= n then None
+        else begin
+          let take = min batch_size (n - !pos) in
+          let slice = Array.sub rows !pos take in
+          pos := !pos + take;
+          Some (batch_of_rows ncols slice)
+        end);
+    close = ignore;
+  }
+
+let drain it =
+  let out = Vec.create ~dummy:[||] in
+  let rec go () =
+    match it.next_batch () with
+    | Some b ->
+        Array.iter (fun r -> Vec.push out r) (rows_of_batch b);
+        go ()
+    | None -> it.close ()
+  in
+  go ();
+  Vec.to_array out
+
+(* [needed] is the set of this operator's output columns the consumer
+   reads; scans skip materializing (boxing) the rest. *)
+let rec build ctx counter plan ~needed : biter =
+  let id = !counter in
+  incr counter;
+  let ncols p = Quill_storage.Schema.arity (Physical.schema_of p) in
+  let cols_of_expr e = IntSet.of_list (Bexpr.cols e) in
+  let it =
+    match plan with
+    | Physical.One_row ->
+        let done_ = ref false in
+        {
+          next_batch =
+            (fun () ->
+              if !done_ then None
+              else begin
+                done_ := true;
+                Some { cols = [||]; len = 1 }
+              end);
+          close = ignore;
+        }
+    | Physical.Scan { table; filter; _ } ->
+        (* Both layouts batch from the columnar projection; the layout
+           distinction matters most in the compiled engine, which reads the
+           typed arrays directly.  Only referenced columns are unpacked
+           into the batch; the rest stay as empty placeholders. *)
+        let t = Catalog.find_exn ctx.catalog table in
+        let cols = Table.columnar t in
+        let n = Table.row_count t in
+        let needed =
+          match filter with
+          | None -> needed
+          | Some f -> IntSet.union needed (cols_of_expr f)
+        in
+        let pos = ref 0 in
+        let rec next_batch () =
+          if !pos >= n then None
+          else begin
+            let take = min batch_size (n - !pos) in
+            let base = !pos in
+            pos := !pos + take;
+            let b =
+              { cols =
+                  Array.mapi
+                    (fun ci c ->
+                      if IntSet.mem ci needed then
+                        Array.init take (fun i -> Column.get c (base + i))
+                      else [||])
+                    cols;
+                len = take }
+            in
+            match filter with
+            | None -> Some b
+            | Some f ->
+                let sel = eval_pred_vec ctx b f in
+                if Quill_util.Int_vec.length sel = 0 then next_batch ()
+                else Some (compact b sel)
+          end
+        in
+        { next_batch; close = ignore }
+    | Physical.Index_scan { table; col; col_name; lo; hi; residual; _ } ->
+        let t = Catalog.find_exn ctx.catalog table in
+        let lo = Index_access.eval_bound ~params:ctx.params lo in
+        let hi = Index_access.eval_bound ~params:ctx.params hi in
+        let ids = Index_access.rowids ctx ~table ~col_name ~col ~lo ~hi in
+        let rows =
+          List.filter_map
+            (fun i ->
+              let row = Array.copy (Table.get_row t i) in
+              match residual with
+              | Some f when not (Bexpr.eval_pred ~row ~params:ctx.params f) -> None
+              | _ -> Some row)
+            ids
+        in
+        of_rows (ncols plan) (Array.of_list rows)
+    | Physical.Filter (pred, input, _) ->
+        let child = build ctx counter input ~needed:(IntSet.union needed (cols_of_expr pred)) in
+        let rec next_batch () =
+          match child.next_batch () with
+          | None -> None
+          | Some b ->
+              let sel = eval_pred_vec ctx b pred in
+              if Quill_util.Int_vec.length sel = 0 then next_batch ()
+              else Some (compact b sel)
+        in
+        { next_batch; close = child.close }
+    | Physical.Project (items, input, _) ->
+        let needed_in =
+          List.fold_left (fun acc (e, _) -> IntSet.union acc (cols_of_expr e)) IntSet.empty items
+        in
+        let child = build ctx counter input ~needed:needed_in in
+        let exprs = Array.of_list (List.map fst items) in
+        {
+          next_batch =
+            (fun () ->
+              match child.next_batch () with
+              | None -> None
+              | Some b ->
+                  Some { cols = Array.map (fun e -> eval_vec ctx b e) exprs; len = b.len });
+          close = child.close;
+        }
+    | Physical.Join { algo; kind; keys; residual; build_left; left; right; _ } ->
+        let la = Quill_storage.Schema.arity (Physical.schema_of left) in
+        let all =
+          let base =
+            List.fold_left (fun acc (l, r) -> IntSet.add l (IntSet.add (r + la) acc)) needed keys
+          in
+          match residual with None -> base | Some e -> IntSet.union base (cols_of_expr e)
+        in
+        let needed_l = IntSet.filter (fun i -> i < la) all in
+        let needed_r = IntSet.map (fun i -> i - la) (IntSet.filter (fun i -> i >= la) all) in
+        let lrows = drain (build ctx counter left ~needed:needed_l) in
+        let rrows = drain (build ctx counter right ~needed:needed_r) in
+        let residual_fn =
+          Option.map (fun e row -> Bexpr.eval_pred ~row ~params:ctx.params e) residual
+        in
+        let mode =
+          match kind with Lplan.Inner -> Join_algos.Inner | Lplan.Left_outer -> Join_algos.Left_outer
+        in
+        let right_arity = Quill_storage.Schema.arity (Physical.schema_of right) in
+        let out =
+          match algo with
+          | Physical.Hash_join ->
+              Join_algos.hash_join ~mode ~right_arity ~keys ~residual:residual_fn ~build_left
+                lrows rrows
+          | Physical.Merge_join ->
+              Join_algos.merge_join ~mode ~right_arity ~keys ~residual:residual_fn lrows rrows
+          | Physical.Block_nl ->
+              Join_algos.block_nl_join ~mode ~right_arity ~pred:residual_fn lrows rrows
+        in
+        of_rows (ncols plan) (Vec.to_array out)
+    | Physical.Aggregate { algo; keys; aggs; input; _ } ->
+        let needed_in =
+          List.fold_left (fun acc (e, _) -> IntSet.union acc (cols_of_expr e)) IntSet.empty keys
+        in
+        let needed_in =
+          List.fold_left
+            (fun acc (a, _) ->
+              match a.Lplan.arg with
+              | Some e -> IntSet.union acc (cols_of_expr e)
+              | None -> acc)
+            needed_in aggs
+        in
+        let rows = drain (build ctx counter input ~needed:needed_in) in
+        let key_fns = List.map (fun (e, _) row -> Bexpr.eval ~row ~params:ctx.params e) keys in
+        let specs =
+          List.map
+            (fun (a, _) ->
+              {
+                Agg_algos.kind = a.Lplan.kind;
+                arg = Option.map (fun e row -> Bexpr.eval ~row ~params:ctx.params e) a.Lplan.arg;
+                distinct = a.Lplan.distinct;
+                out_dtype = a.Lplan.out_dtype;
+              })
+            aggs
+        in
+        let out =
+          match algo with
+          | Physical.Hash_agg -> Agg_algos.hash_agg ~keys:key_fns ~specs rows
+          | Physical.Sort_agg -> Agg_algos.sort_agg ~keys:key_fns ~specs rows
+        in
+        of_rows (ncols plan) (Vec.to_array out)
+    | Physical.Window { specs; input; _ } ->
+        let all = IntSet.of_list (List.init (ncols input) Fun.id) in
+        let rows = drain (build ctx counter input ~needed:all) in
+        let wspecs =
+          List.map
+            (fun ((w : Lplan.wspec), _) ->
+              {
+                Window_algos.kind = w.Lplan.wkind;
+                arg = Option.map (fun e row -> Bexpr.eval ~row ~params:ctx.params e) w.Lplan.warg;
+                partition =
+                  List.map (fun e row -> Bexpr.eval ~row ~params:ctx.params e) w.Lplan.partition;
+                order =
+                  List.map
+                    (fun (e, d) -> ((fun row -> Bexpr.eval ~row ~params:ctx.params e), d))
+                    w.Lplan.worder;
+                out_dtype = w.Lplan.w_dtype;
+              })
+            specs
+        in
+        of_rows (ncols plan) (Window_algos.run ~specs:wspecs rows)
+    | Physical.Sort { keys; input; _ } ->
+        let needed_in = IntSet.union needed (IntSet.of_list (List.map fst keys)) in
+        let rows = drain (build ctx counter input ~needed:needed_in) in
+        Sort_algos.sort_rows keys rows;
+        of_rows (ncols plan) rows
+    | Physical.Top_k { k; offset; keys; input; _ } ->
+        let needed_in = IntSet.union needed (IntSet.of_list (List.map fst keys)) in
+        let child = build ctx counter input ~needed:needed_in in
+        let cmp = Sort_algos.row_compare keys in
+        let heap = Topk.create ~cmp ~k:(k + offset) ~dummy:[||] in
+        let rec fill () =
+          match child.next_batch () with
+          | Some b ->
+              for i = 0 to b.len - 1 do
+                Topk.offer heap (row_of b i)
+              done;
+              fill ()
+          | None -> child.close ()
+        in
+        fill ();
+        let sorted = Topk.finish heap in
+        let kept =
+          if offset >= Array.length sorted then [||]
+          else Array.sub sorted offset (Array.length sorted - offset)
+        in
+        of_rows (ncols plan) kept
+    | Physical.Distinct (input, _) ->
+        let all = IntSet.of_list (List.init (ncols input) Fun.id) in
+        let rows = drain (build ctx counter input ~needed:all) in
+        of_rows (ncols plan) (Vec.to_array (Agg_algos.distinct rows))
+    | Physical.Limit { n; offset; input; _ } ->
+        let child = build ctx counter input ~needed in
+        let skipped = ref 0 and emitted = ref 0 in
+        let rec next_batch () =
+          match n with
+          | Some n when !emitted >= n -> None
+          | _ -> (
+              match child.next_batch () with
+              | None -> None
+              | Some b ->
+                  let keep = Quill_util.Int_vec.create () in
+                  for i = 0 to b.len - 1 do
+                    if !skipped < offset then incr skipped
+                    else begin
+                      match n with
+                      | Some n when !emitted >= n -> ()
+                      | _ ->
+                          incr emitted;
+                          Quill_util.Int_vec.push keep i
+                    end
+                  done;
+                  if Quill_util.Int_vec.length keep = 0 then
+                    if !emitted > 0 && n <> None && !emitted >= Option.get n then None
+                    else next_batch ()
+                  else Some (compact b keep))
+        in
+        { next_batch; close = child.close }
+  in
+  observed ctx id it
+
+(** [run ctx plan] executes [plan] batch-at-a-time and returns all rows. *)
+let run ctx plan =
+  let counter = ref 0 in
+  let arity = Quill_storage.Schema.arity (Physical.schema_of plan) in
+  drain (build ctx counter plan ~needed:(IntSet.of_list (List.init arity Fun.id)))

@@ -1,0 +1,155 @@
+(* Window function evaluation, shared by all engines.
+
+   Rows are materialized; for each spec the row indices are sorted stably
+   by (partition keys, order keys), partitions are walked, and the result
+   is written back at the original row positions — window functions do not
+   reorder output.
+
+   Frame semantics: aggregates over a window with no ORDER BY cover the
+   whole partition; with an ORDER BY they are running aggregates inclusive
+   of peer rows (rows equal on the order keys), i.e. the SQL default
+   [RANGE UNBOUNDED PRECEDING .. CURRENT ROW].  LAG/LEAD offset over the
+   partition's order, NULL beyond its edges. *)
+
+module Value = Quill_storage.Value
+module Lplan = Quill_plan.Lplan
+
+type spec = {
+  kind : Lplan.win_kind;
+  arg : (Value.t array -> Value.t) option;
+  partition : (Value.t array -> Value.t) list;
+  order : ((Value.t array -> Value.t) * Lplan.dir) list;
+  out_dtype : Value.dtype;
+}
+
+type input = Value.t array array
+
+let agg_spec_of kind arg out_dtype =
+  { Agg_algos.kind;
+    arg;
+    distinct = false;
+    out_dtype }
+
+(* Evaluate one spec over all rows; returns the result column aligned with
+   the original row order. *)
+let eval_spec (spec : spec) (rows : input) : Value.t array =
+  let n = Array.length rows in
+  let out = Array.make n Value.Null in
+  if n = 0 then out
+  else begin
+    let pkeys = Array.map (fun row -> List.map (fun f -> f row) spec.partition) rows in
+    let okeys =
+      Array.map (fun row -> List.map (fun (f, _) -> f row) spec.order) rows
+    in
+    let cmp_order a b =
+      let rec go vs1 vs2 dirs =
+        match (vs1, vs2, dirs) with
+        | [], [], [] -> 0
+        | v1 :: r1, v2 :: r2, (_, d) :: rd ->
+            let c = Value.compare v1 v2 in
+            if c <> 0 then (match d with Lplan.Asc -> c | Lplan.Desc -> -c)
+            else go r1 r2 rd
+        | _ -> assert false
+      in
+      go okeys.(a) okeys.(b) spec.order
+    in
+    let idx = Array.init n Fun.id in
+    (* Stable sort by (partition, order); partition comparison is
+       direction-free. *)
+    Sort_algos.mergesort
+      (fun a b ->
+        let pc =
+          let rec go l1 l2 =
+            match (l1, l2) with
+            | [], [] -> 0
+            | v1 :: r1, v2 :: r2 ->
+                let c = Value.compare v1 v2 in
+                if c <> 0 then c else go r1 r2
+            | _ -> assert false
+          in
+          go pkeys.(a) pkeys.(b)
+        in
+        if pc <> 0 then pc else cmp_order a b)
+      idx;
+    (* Walk partitions (runs of equal pkeys in the sorted order). *)
+    let i = ref 0 in
+    while !i < n do
+      let start = !i in
+      let stop = ref (start + 1) in
+      while !stop < n && pkeys.(idx.(!stop)) = pkeys.(idx.(start)) do
+        incr stop
+      done;
+      let stop = !stop in
+      let plen = stop - start in
+      (match spec.kind with
+      | Lplan.W_row_number ->
+          for k = 0 to plen - 1 do
+            out.(idx.(start + k)) <- Value.Int (k + 1)
+          done
+      | Lplan.W_rank | Lplan.W_dense_rank ->
+          let dense = spec.kind = Lplan.W_dense_rank in
+          let rank = ref 1 and drank = ref 1 in
+          for k = 0 to plen - 1 do
+            if k > 0 && cmp_order idx.(start + k) idx.(start + k - 1) <> 0 then begin
+              rank := k + 1;
+              incr drank
+            end;
+            out.(idx.(start + k)) <- Value.Int (if dense then !drank else !rank)
+          done
+      | Lplan.W_lag off | Lplan.W_lead off ->
+          let signed = match spec.kind with Lplan.W_lag _ -> -off | _ -> off in
+          let arg = Option.get spec.arg in
+          for k = 0 to plen - 1 do
+            let src = k + signed in
+            if src >= 0 && src < plen then
+              out.(idx.(start + k)) <- arg rows.(idx.(start + src))
+          done
+      | Lplan.W_agg kind ->
+          let aspec = agg_spec_of kind spec.arg spec.out_dtype in
+          if spec.order = [] then begin
+            (* Whole-partition aggregate, replicated. *)
+            let st = Agg_algos.new_state aspec in
+            for k = 0 to plen - 1 do
+              Agg_algos.feed aspec st rows.(idx.(start + k))
+            done;
+            let v = Agg_algos.finish aspec st in
+            for k = 0 to plen - 1 do
+              out.(idx.(start + k)) <- v
+            done
+          end
+          else begin
+            (* Running aggregate, inclusive of peer rows. *)
+            let st = Agg_algos.new_state aspec in
+            let k = ref 0 in
+            while !k < plen do
+              (* Extend over the current peer group. *)
+              let peer_end = ref (!k + 1) in
+              while
+                !peer_end < plen
+                && cmp_order idx.(start + !peer_end) idx.(start + !k) = 0
+              do
+                incr peer_end
+              done;
+              for j = !k to !peer_end - 1 do
+                Agg_algos.feed aspec st rows.(idx.(start + j))
+              done;
+              let v = Agg_algos.finish aspec st in
+              for j = !k to !peer_end - 1 do
+                out.(idx.(start + j)) <- v
+              done;
+              k := !peer_end
+            done
+          end);
+      i := stop
+    done;
+    out
+  end
+
+(** [run ~specs rows] appends one evaluated column per spec to every row,
+    preserving the input row order. *)
+let run ~(specs : spec list) (rows : input) : input =
+  let cols = List.map (fun s -> eval_spec s rows) specs in
+  Array.mapi
+    (fun i row ->
+      Array.append row (Array.of_list (List.map (fun c -> c.(i)) cols)))
+    rows

@@ -1,0 +1,1 @@
+lib/optimizer/card.ml: Array Float Hashtbl List Option Quill_plan Quill_stats Quill_storage

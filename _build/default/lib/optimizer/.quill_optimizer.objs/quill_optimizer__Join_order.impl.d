@@ -1,0 +1,1 @@
+lib/optimizer/join_order.ml: Array Card Float Fun Hashtbl List Quill_plan Quill_stats Quill_storage

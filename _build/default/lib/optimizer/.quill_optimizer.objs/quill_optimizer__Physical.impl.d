@@ -1,0 +1,1 @@
+lib/optimizer/physical.ml: Buffer List Printf Quill_plan Quill_storage String

@@ -1,0 +1,1 @@
+lib/optimizer/picker.ml: Array Card Cost Float Fun Int Join_order List Physical Quill_plan Quill_stats Quill_storage Rewrite Set

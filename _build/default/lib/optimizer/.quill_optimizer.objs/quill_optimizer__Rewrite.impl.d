@@ -1,0 +1,1 @@
+lib/optimizer/rewrite.ml: Array Fun List Option Quill_plan Quill_storage

@@ -1,0 +1,189 @@
+(* Cardinality and statistics propagation through logical plans.
+
+   Every plan node gets an estimated row count plus per-output-column
+   statistics (where derivable); both feed the cost model and the algorithm
+   picker.  Estimates degrade gracefully: unknown columns map to [None] and
+   magic selectivities take over. *)
+
+module Value = Quill_storage.Value
+module Schema = Quill_storage.Schema
+module Lplan = Quill_plan.Lplan
+module Bexpr = Quill_plan.Bexpr
+module Table_stats = Quill_stats.Table_stats
+module Estimate = Quill_stats.Estimate
+
+type env = {
+  catalog : Quill_storage.Catalog.t;
+  registry : Table_stats.Registry.reg;
+  hints : (string, float) Hashtbl.t;
+      (** feedback: predicate fingerprint -> observed selectivity *)
+  indexed : string -> int list;
+      (** table name -> column positions with a declared ordered index *)
+}
+
+(** [make_env ?hints ?indexed catalog registry] builds an estimation
+    environment; [indexed] reports declared index positions per table. *)
+let make_env ?hints ?(indexed = fun _ -> []) catalog registry =
+  { catalog; registry; indexed;
+    hints = Option.value ~default:(Hashtbl.create 4) hints }
+
+type t = { rows : float; cols : Table_stats.col_stats option array }
+
+let lookup_of (c : t) : Estimate.lookup =
+ fun i -> if i >= 0 && i < Array.length c.cols then c.cols.(i) else None
+
+(* Cap NDV by the (possibly reduced) row count. *)
+let rescale_cols rows cols =
+  Array.map
+    (Option.map (fun s ->
+         { s with Table_stats.ndv = Float.min s.Table_stats.ndv (Float.max 1.0 rows) }))
+    cols
+
+(* Key columns of an equi-join condition: pairs (left col, right col) in
+   the concatenated numbering, given the left arity. *)
+let equi_pairs ~left_arity cond =
+  match cond with
+  | None -> []
+  | Some c ->
+      List.filter_map
+        (fun conj ->
+          match conj.Bexpr.node with
+          | Bexpr.Cmp (Bexpr.Eq, a, b) -> (
+              match (a.Bexpr.node, b.Bexpr.node) with
+              | Bexpr.Col i, Bexpr.Col j when i < left_arity && j >= left_arity ->
+                  Some (i, j - left_arity)
+              | Bexpr.Col i, Bexpr.Col j when j < left_arity && i >= left_arity ->
+                  Some (j, i - left_arity)
+              | _ -> None)
+          | _ -> None)
+        (Bexpr.conjuncts c)
+
+(** [derive env plan] estimates output cardinality and column statistics
+    for [plan]. *)
+let rec derive env (plan : Lplan.t) : t =
+  match plan with
+  | Lplan.One_row -> { rows = 1.0; cols = [||] }
+  | Lplan.Scan { table; _ } ->
+      let stats = Table_stats.Registry.get_if_fresh env.registry env.catalog table in
+      {
+        rows = Float.of_int stats.Table_stats.row_count;
+        cols = Array.map Option.some stats.Table_stats.cols;
+      }
+  | Lplan.Filter (pred, input) ->
+      let c = derive env input in
+      let sel =
+        (* Feedback hints from prior executions win over the estimator. *)
+        match Hashtbl.find_opt env.hints (Bexpr.to_string pred) with
+        | Some s -> s
+        | None -> Estimate.selectivity (lookup_of c) pred
+      in
+      let rows = Float.max 0.0 (c.rows *. sel) in
+      { rows; cols = rescale_cols rows c.cols }
+  | Lplan.Project (items, input) ->
+      let c = derive env input in
+      let cols =
+        Array.of_list
+          (List.map
+             (fun (e, _) ->
+               match e.Bexpr.node with
+               | Bexpr.Col i when i < Array.length c.cols -> c.cols.(i)
+               | _ -> None)
+             items)
+      in
+      { rows = c.rows; cols }
+  | Lplan.Join { kind; cond; left; right } ->
+      let cl = derive env left and cr = derive env right in
+      let left_arity = Array.length cl.cols in
+      let pairs = equi_pairs ~left_arity cond in
+      let cross = cl.rows *. cr.rows in
+      let sel_join =
+        Estimate.join_selectivity ~left:(lookup_of cl) ~right:(lookup_of cr) pairs
+      in
+      (* Residual (non-equi) conjuncts scale further. *)
+      let residual_sel =
+        match cond with
+        | None -> 1.0
+        | Some c ->
+            let combined = Array.append cl.cols cr.cols in
+            let lk i = if i < Array.length combined then combined.(i) else None in
+            List.fold_left
+              (fun acc conj ->
+                match conj.Bexpr.node with
+                | Bexpr.Cmp (Bexpr.Eq, a, b)
+                  when (match (a.Bexpr.node, b.Bexpr.node) with
+                       | Bexpr.Col i, Bexpr.Col j ->
+                           (i < left_arity) <> (j < left_arity)
+                       | _ -> false) ->
+                    acc (* already counted as an equi pair *)
+                | _ -> acc *. Estimate.selectivity lk conj)
+              1.0 (Bexpr.conjuncts c)
+      in
+      let rows = Float.max 1.0 (cross *. sel_join *. residual_sel) in
+      (* A left outer join preserves at least every left row. *)
+      let rows = if kind = Lplan.Left_outer then Float.max rows cl.rows else rows in
+      { rows; cols = rescale_cols rows (Array.append cl.cols cr.cols) }
+  | Lplan.Aggregate { keys; aggs; input } ->
+      let c = derive env input in
+      let groups =
+        if keys = [] then 1.0
+        else
+          let prod =
+            List.fold_left
+              (fun acc (e, _) ->
+                let ndv =
+                  match e.Bexpr.node with
+                  | Bexpr.Col i when i < Array.length c.cols -> (
+                      match c.cols.(i) with
+                      | Some s -> s.Table_stats.ndv
+                      | None -> Float.max 1.0 (c.rows /. 10.0))
+                  | _ -> Float.max 1.0 (c.rows /. 10.0)
+                in
+                acc *. Float.max 1.0 ndv)
+              1.0 keys
+          in
+          Float.min prod (Float.max 1.0 c.rows)
+      in
+      let key_cols =
+        List.map
+          (fun (e, _) ->
+            match e.Bexpr.node with
+            | Bexpr.Col i when i < Array.length c.cols -> c.cols.(i)
+            | _ -> None)
+          keys
+      in
+      let agg_cols = List.map (fun _ -> None) aggs in
+      { rows = groups; cols = rescale_cols groups (Array.of_list (key_cols @ agg_cols)) }
+  | Lplan.Window { specs; input } ->
+      let c = derive env input in
+      { rows = c.rows;
+        cols = Array.append c.cols (Array.of_list (List.map (fun _ -> None) specs)) }
+  | Lplan.Sort { input; _ } -> derive env input
+  | Lplan.Distinct input ->
+      let c = derive env input in
+      (* Distinct rows bounded by the product of column NDVs. *)
+      let prod =
+        Array.fold_left
+          (fun acc s ->
+            match s with
+            | Some s -> acc *. Float.max 1.0 s.Table_stats.ndv
+            | None -> acc *. Float.max 1.0 (c.rows /. 10.0))
+          1.0 c.cols
+      in
+      let rows = Float.min c.rows (Float.max 1.0 prod) in
+      { rows; cols = rescale_cols rows c.cols }
+  | Lplan.Limit { n; offset; input } ->
+      let c = derive env input in
+      let rows =
+        match n with
+        | None -> Float.max 0.0 (c.rows -. Float.of_int offset)
+        | Some n -> Float.min (Float.of_int n) c.rows
+      in
+      { rows; cols = c.cols }
+
+(** [avg_row_width c] estimates the byte width of a row, for data-movement
+    costing. *)
+let avg_row_width (c : t) =
+  Array.fold_left
+    (fun acc s ->
+      acc +. match s with Some s -> s.Table_stats.avg_width | None -> 8.0)
+    0.0 c.cols

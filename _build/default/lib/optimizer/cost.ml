@@ -1,0 +1,127 @@
+(* The cost model.
+
+   Costs are abstract units calibrated so that one unit is roughly one
+   simple per-tuple operation in the interpreter.  Each formula has two
+   parts, a CPU term and a data-movement term — the movement term (bytes
+   over an assumed cache-line economy) is what makes layout and algorithm
+   choices "hardware-conscious" in the sense of the keynote (claim C1):
+   algorithms that stream sequentially are charged less per byte than
+   algorithms that chase pointers. *)
+
+(* CPU constants (units per tuple). *)
+let cpu_tuple = 1.0  (* touching a tuple in the interpreter *)
+let cpu_compare = 0.5  (* one comparison *)
+let cpu_hash = 1.0  (* hashing a key *)
+let cpu_expr_term = 0.3  (* evaluating one expression node *)
+
+(* Data-movement constants (units per byte). *)
+let seq_byte = 0.005  (* sequential streaming *)
+let rand_byte = 0.05  (* random access (hash probes, row stores) *)
+
+(* Columnar scans process values out of typed arrays: cheaper per value
+   and they move only referenced columns. *)
+let col_value_cpu = 0.25
+let row_value_cpu = 1.0
+
+let log2 x = if x <= 2.0 then 1.0 else Float.log x /. Float.log 2.0
+
+(** [scan_row ~rows ~row_width] full scan of a row store. *)
+let scan_row ~rows ~row_width =
+  (rows *. cpu_tuple *. row_value_cpu) +. (rows *. row_width *. seq_byte)
+
+(** [scan_col ~rows ~read_width] columnar scan touching only [read_width]
+    bytes per row. *)
+let scan_col ~rows ~read_width =
+  (rows *. cpu_tuple *. col_value_cpu) +. (rows *. read_width *. seq_byte)
+
+(** [filter ~rows ~terms] predicate evaluation over [rows]. *)
+let filter ~rows ~terms = rows *. cpu_expr_term *. Float.max 1.0 (Float.of_int terms)
+
+(** [project ~rows ~exprs] projection compute cost. *)
+let project ~rows ~exprs = rows *. cpu_expr_term *. Float.max 1.0 (Float.of_int exprs)
+
+(* A build/group structure smaller than this is effectively cache
+   resident, so random probes into it are cheap. *)
+let cache_bytes = 4.0e6
+
+(** [hash_join ~build ~probe ~out ~build_width] classic build+probe; the
+    random-access penalty on probes scales with how far the hash table
+    spills out of cache. *)
+let hash_join ~build ~probe ~out ~build_width =
+  (* Hash-table entries carry fixed overhead (buckets, boxed keys) on top
+     of the payload. *)
+  let entry_bytes = build_width +. 64.0 in
+  let spill = Float.min 1.0 (build *. entry_bytes /. cache_bytes) in
+  (build *. (cpu_hash +. cpu_tuple))
+  +. (build *. build_width *. seq_byte)
+  +. (probe *. (cpu_hash +. cpu_compare))
+  (* Probes hit the hash table randomly, but only hurt once it exceeds
+     the cache. *)
+  +. (probe *. entry_bytes *. rand_byte *. spill)
+  +. (out *. cpu_tuple)
+
+(** [sort ~rows ~width] comparison sort, n log n compares plus movement. *)
+let sort ~rows ~width =
+  (rows *. log2 rows *. cpu_compare *. 2.0) +. (2.0 *. rows *. width *. seq_byte)
+
+(** [radix_sort ~rows ~width] linear-time LSD radix sort, available when
+    the key is a single integer (see {!Quill_exec.Sort_algos}). *)
+let radix_sort ~rows ~width =
+  (rows *. 3.0 *. cpu_compare) +. (2.0 *. rows *. width *. seq_byte)
+
+(** [merge_join ~left ~right ~out ~lw ~rw ~left_sorted ~right_sorted
+    ?int_keys ()] sort-merge join; pre-sorted inputs skip their sort, and a
+    single integer key uses the linear radix path. *)
+let merge_join ~left ~right ~out ~lw ~rw ~left_sorted ~right_sorted
+    ?(int_keys = false) () =
+  let sort1 = if int_keys then radix_sort else sort in
+  (if left_sorted then 0.0 else sort1 ~rows:left ~width:lw)
+  +. (if right_sorted then 0.0 else sort1 ~rows:right ~width:rw)
+  +. ((left +. right) *. cpu_compare *. 2.0)
+  +. (out *. cpu_tuple)
+
+(** [block_nl_join ~outer ~inner ~out ~inner_width] blocked nested loops;
+    the inner side streams repeatedly but sequentially. A tiny inner
+    relation is effectively cache-resident, which the movement term
+    reflects by charging its bytes once per outer block. *)
+let block_nl_join ~outer ~inner ~out ~inner_width =
+  let block = 1024.0 in
+  let passes = Float.max 1.0 (outer /. block) in
+  (outer *. inner *. cpu_compare)
+  +. (passes *. inner *. inner_width *. seq_byte)
+  +. (out *. cpu_tuple)
+
+(** [hash_agg ~rows ~groups ~key_width] hash aggregation; random access to
+    group state only hurts once the group table exceeds the cache. *)
+let hash_agg ~rows ~groups ~key_width =
+  let spill = Float.min 1.0 (groups *. (key_width +. 32.0) /. cache_bytes) in
+  (rows *. (cpu_hash +. cpu_tuple))
+  +. (rows *. (key_width +. 32.0) *. rand_byte *. spill)
+  +. (groups *. cpu_tuple)
+
+(** [sort_agg ~rows ~width ~sorted] aggregation over sorted runs. *)
+let sort_agg ~rows ~width ~sorted =
+  (if sorted then 0.0 else sort ~rows ~width) +. (rows *. cpu_tuple)
+
+(** [distinct ~rows ~width] hash-based duplicate elimination. *)
+let distinct ~rows ~width = hash_agg ~rows ~groups:rows ~key_width:width
+
+(** [top_k ~rows ~k] heap-based top-k: one pass with log k maintenance. *)
+let top_k ~rows ~k = rows *. cpu_compare *. log2 (Float.max 2.0 k)
+
+(** [compile_setup ~operators] fixed cost of staging a plan into closures;
+    charged once, amortized by the tiering policy (claim C4 / E5). *)
+let compile_setup ~operators = 2000.0 +. (500.0 *. Float.of_int operators)
+
+(** Compiled execution processes tuples roughly this much cheaper than the
+    tuple-at-a-time interpreter; used only for tier decisions, the real
+    ratio is measured by E1/E2. *)
+let compiled_speedup = 4.0
+
+(** [index_scan ~total ~matches ~row_width] B-tree-style range scan:
+    logarithmic descent plus one random row fetch per match.  Fetches are
+    charged heavily: a random row materialization costs roughly 25x a
+    sequentially scanned value (calibrated against E13 measurements). *)
+let index_scan ~total ~matches ~row_width =
+  (log2 (Float.max 2.0 total) *. cpu_compare)
+  +. (matches *. ((12.0 *. cpu_tuple) +. (row_width *. rand_byte *. 8.0)))

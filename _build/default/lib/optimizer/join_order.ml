@@ -1,0 +1,295 @@
+(* Join-order selection.
+
+   A maximal region of inner joins is flattened into (relations,
+   conjuncts).  Up to [dp_limit] relations we run DPsize over connected
+   subsets, minimizing cumulative intermediate cardinality (the classic
+   C_out objective); beyond that, a greedy smallest-result heuristic takes
+   over.  The output tree gets a projection restoring the original column
+   order, so surrounding expressions keep their column indices. *)
+
+module Schema = Quill_storage.Schema
+module Bexpr = Quill_plan.Bexpr
+module Lplan = Quill_plan.Lplan
+module Table_stats = Quill_stats.Table_stats
+
+let dp_limit = 12
+
+type rel = { plan : Lplan.t; arity : int; card : Card.t }
+
+(* A flattened conjunct: expression over the global column numbering plus
+   the set of relations (bitmask) it touches. *)
+type conj = { expr : Bexpr.t; rels : int }
+
+(* An in-progress join: the plan, its leaf order, row estimate and
+   accumulated C_out cost. *)
+type entry = { eplan : Lplan.t; leaves : int list; rows : float; cost : float }
+
+let rec flatten acc_rels acc_conjs offset p =
+  match p with
+  | Lplan.Join { kind = Lplan.Inner; cond; left; right } ->
+      let start = offset in
+      let rels, conjs, offset = flatten acc_rels acc_conjs offset left in
+      let rels, conjs, offset = flatten rels conjs offset right in
+      let conjs =
+        match cond with
+        | None -> conjs
+        | Some c ->
+            (* conds are relative to this Join's concat schema, which
+               starts at [start] in the global numbering *)
+            conjs @ List.map (fun e -> Bexpr.shift start e) (Bexpr.conjuncts c)
+      in
+      (rels, conjs, offset)
+  | leaf ->
+      let a = Schema.arity (Lplan.schema_of leaf) in
+      (acc_rels @ [ (leaf, a) ], acc_conjs, offset + a)
+
+(* Global column -> (relation id, offset inside the relation). *)
+let locate rel_offsets col =
+  let rec go i =
+    if i + 1 < Array.length rel_offsets && rel_offsets.(i + 1) <= col then go (i + 1) else i
+  in
+  let r = go 0 in
+  (r, col - rel_offsets.(r))
+
+let popcount m =
+  let rec go acc m = if m = 0 then acc else go (acc + 1) (m land (m - 1)) in
+  go 0 m
+
+(* Estimate the selectivity of one conjunct given global column stats. *)
+let conj_selectivity global_stats rel_offsets c =
+  match c.expr.Bexpr.node with
+  | Bexpr.Cmp (Bexpr.Eq, a, b) -> (
+      match (a.Bexpr.node, b.Bexpr.node) with
+      | Bexpr.Col i, Bexpr.Col j ->
+          let ri, _ = locate rel_offsets i and rj, _ = locate rel_offsets j in
+          if ri <> rj then begin
+            let ndv k =
+              match global_stats.(k) with
+              | Some s -> Float.max 1.0 s.Table_stats.ndv
+              | None -> 20.0
+            in
+            1.0 /. Float.max (ndv i) (ndv j)
+          end
+          else 1.0 /. 3.0
+      | _ -> 1.0 /. 3.0)
+  | _ -> 1.0 /. 3.0
+
+(** [reorder env p] rewrites every join region of [p] into a (near-)optimal
+    join order. *)
+let rec reorder env (p : Lplan.t) : Lplan.t =
+  match p with
+  | Lplan.Join { kind = Lplan.Inner; _ } -> reorder_region env p
+  | Lplan.Join { kind = Lplan.Left_outer; cond; left; right } ->
+      (* Outer joins are reorder barriers; optimize each side separately. *)
+      Lplan.Join { kind = Lplan.Left_outer; cond; left = reorder env left; right = reorder env right }
+  | Lplan.Scan _ | Lplan.One_row -> p
+  | Lplan.Filter (e, input) -> Lplan.Filter (e, reorder env input)
+  | Lplan.Project (items, input) -> Lplan.Project (items, reorder env input)
+  | Lplan.Aggregate { keys; aggs; input } ->
+      Lplan.Aggregate { keys; aggs; input = reorder env input }
+  | Lplan.Window { specs; input } -> Lplan.Window { specs; input = reorder env input }
+  | Lplan.Sort { keys; input } -> Lplan.Sort { keys; input = reorder env input }
+  | Lplan.Distinct input -> Lplan.Distinct (reorder env input)
+  | Lplan.Limit { n; offset; input } -> Lplan.Limit { n; offset; input = reorder env input }
+
+and reorder_region env p =
+  let raw_rels, raw_conjs, total_arity = flatten [] [] 0 p in
+  let rels =
+    Array.of_list
+      (List.map
+         (fun (leaf, a) ->
+           let leaf = reorder env leaf in
+           { plan = leaf; arity = a; card = Card.derive env leaf })
+         raw_rels)
+  in
+  let n = Array.length rels in
+  if n <= 1 then p
+  else begin
+    let rel_offsets = Array.make n 0 in
+    for i = 1 to n - 1 do
+      rel_offsets.(i) <- rel_offsets.(i - 1) + rels.(i - 1).arity
+    done;
+    let global_stats =
+      Array.concat (List.map (fun r -> r.card.Card.cols) (Array.to_list rels))
+    in
+    let conjs =
+      List.map
+        (fun e ->
+          let rset =
+            List.fold_left
+              (fun acc col ->
+                let r, _ = locate rel_offsets col in
+                acc lor (1 lsl r))
+              0 (Bexpr.cols e)
+          in
+          { expr = e; rels = rset })
+        raw_conjs
+    in
+    (* Conjuncts confined to one relation sink onto that relation. *)
+    let local, multi = List.partition (fun c -> popcount c.rels <= 1) conjs in
+    let rels =
+      Array.mapi
+        (fun i r ->
+          let mine =
+            List.filter_map
+              (fun c ->
+                if c.rels = 1 lsl i || c.rels = 0 then
+                  Some (Bexpr.shift (-rel_offsets.(i)) c.expr)
+                else None)
+              local
+          in
+          match Bexpr.conjoin mine with
+          | None -> r
+          | Some pred ->
+              let plan = Lplan.Filter (pred, r.plan) in
+              { r with plan; card = Card.derive env plan })
+        rels
+    in
+    (* Local column numbering of a joined entry, given its leaf order. *)
+    let remap_to_leaves leaves expr =
+      let pos = Hashtbl.create 8 in
+      let off = ref 0 in
+      List.iter
+        (fun leaf ->
+          Hashtbl.add pos leaf !off;
+          off := !off + rels.(leaf).arity)
+        leaves;
+      Bexpr.remap
+        (fun gcol ->
+          let r, o = locate rel_offsets gcol in
+          match Hashtbl.find_opt pos r with
+          | Some base -> base + o
+          | None -> invalid_arg "join_order: column not in subset")
+        expr
+    in
+    let join_entries a b =
+      let mask_of leaves = List.fold_left (fun m l -> m lor (1 lsl l)) 0 leaves in
+      let ma = mask_of a.leaves and mb = mask_of b.leaves in
+      let mask = ma lor mb in
+      let applicable =
+        List.filter
+          (fun c -> c.rels land mask = c.rels && c.rels land ma <> c.rels && c.rels land mb <> c.rels)
+          multi
+      in
+      let leaves = a.leaves @ b.leaves in
+      let cond = Bexpr.conjoin (List.map (fun c -> remap_to_leaves leaves c.expr) applicable) in
+      let sel =
+        List.fold_left
+          (fun acc c -> acc *. conj_selectivity global_stats rel_offsets c)
+          1.0 applicable
+      in
+      let rows = Float.max 1.0 (a.rows *. b.rows *. sel) in
+      {
+        eplan = Lplan.Join { kind = Lplan.Inner; cond; left = a.eplan; right = b.eplan };
+        leaves;
+        rows;
+        cost = a.cost +. b.cost +. rows;
+      }
+    in
+    let connected ma mb =
+      List.exists (fun c -> c.rels land ma <> 0 && c.rels land mb <> 0 && c.rels land (ma lor mb) = c.rels) multi
+    in
+    let base i =
+      { eplan = rels.(i).plan; leaves = [ i ]; rows = rels.(i).card.Card.rows; cost = 0.0 }
+    in
+    let best =
+      if n <= dp_limit then dp_order n base join_entries connected
+      else greedy_order n base join_entries connected
+    in
+    (* Restore the original global column order and names. *)
+    let out_pos = Hashtbl.create 8 in
+    let off = ref 0 in
+    List.iter
+      (fun leaf ->
+        Hashtbl.add out_pos leaf !off;
+        off := !off + rels.(leaf).arity)
+      best.leaves;
+    let orig_schema = Array.of_list (List.concat_map (fun (r, _) ->
+        Schema.columns (Lplan.schema_of r)) raw_rels) in
+    ignore total_arity;
+    let items =
+      List.init (Array.length orig_schema) (fun gcol ->
+          let r, o = locate rel_offsets gcol in
+          let local = Hashtbl.find out_pos r + o in
+          let c = orig_schema.(gcol) in
+          (Bexpr.col local c.Schema.dtype, c.Schema.name))
+    in
+    let restored = Lplan.Project (items, best.eplan) in
+    (* Skip the projection when the DP kept the original order. *)
+    if best.leaves = List.init n Fun.id then best.eplan else restored
+  end
+
+(* DPsize: enumerate plans for subsets in increasing size, combining
+   disjoint connected pairs; cross products only when nothing connects. *)
+and dp_order n base join_entries connected =
+  let table : (int, entry) Hashtbl.t = Hashtbl.create 64 in
+  for i = 0 to n - 1 do
+    Hashtbl.replace table (1 lsl i) (base i)
+  done;
+  let full = (1 lsl n) - 1 in
+  let masks = List.init (full + 1) Fun.id in
+  let sorted_masks = List.sort (fun a b -> compare (popcount a) (popcount b)) masks in
+  List.iter
+    (fun mask ->
+      if popcount mask >= 2 then begin
+        let try_pair m1 m2 ~allow_cross =
+          match (Hashtbl.find_opt table m1, Hashtbl.find_opt table m2) with
+          | Some e1, Some e2 when allow_cross || connected m1 m2 ->
+              let e = join_entries e1 e2 in
+              (match Hashtbl.find_opt table mask with
+              | Some old when old.cost <= e.cost -> ()
+              | _ -> Hashtbl.replace table mask e)
+          | _ -> ()
+        in
+        (* Enumerate proper subsets of [mask]. *)
+        let sub = ref ((mask - 1) land mask) in
+        while !sub > 0 do
+          let other = mask land lnot !sub in
+          if other <> 0 && !sub > other then try_pair !sub other ~allow_cross:false;
+          sub := (!sub - 1) land mask
+        done;
+        if not (Hashtbl.mem table mask) then begin
+          let sub = ref ((mask - 1) land mask) in
+          while !sub > 0 do
+            let other = mask land lnot !sub in
+            if other <> 0 && !sub > other then try_pair !sub other ~allow_cross:true;
+            sub := (!sub - 1) land mask
+          done
+        end
+      end)
+    sorted_masks;
+  Hashtbl.find table full
+
+(* Greedy: repeatedly merge the pair whose join yields the fewest rows. *)
+and greedy_order n base join_entries connected =
+  let items = ref (List.init n base) in
+  let mask_of e = List.fold_left (fun m l -> m lor (1 lsl l)) 0 e.leaves in
+  while List.length !items > 1 do
+    let best = ref None in
+    List.iteri
+      (fun i a ->
+        List.iteri
+          (fun j b ->
+            if i < j then begin
+              let conn = connected (mask_of a) (mask_of b) in
+              let e = join_entries a b in
+              let better =
+                match !best with
+                | None -> true
+                | Some (_, _, bconn, brows) ->
+                    if conn <> bconn then conn
+                    else e.rows < brows
+              in
+              if better then best := Some (i, j, conn, e.rows)
+            end)
+          !items)
+      !items;
+    match !best with
+    | None -> assert false
+    | Some (i, j, _, _) ->
+        let a = List.nth !items i and b = List.nth !items j in
+        let merged = join_entries a b in
+        items :=
+          merged :: List.filteri (fun k _ -> k <> i && k <> j) !items
+  done;
+  List.hd !items

@@ -1,0 +1,253 @@
+(* Physical plans: logical operators with algorithms picked.
+
+   Each node carries the picker's estimated output rows and cost, which
+   EXPLAIN prints and the adaptive layer compares with observed values. *)
+
+module Schema = Quill_storage.Schema
+module Bexpr = Quill_plan.Bexpr
+module Lplan = Quill_plan.Lplan
+
+type layout = Row_layout | Col_layout
+type join_algo = Hash_join | Merge_join | Block_nl
+type agg_algo = Hash_agg | Sort_agg
+
+type info = { est_rows : float; est_cost : float }
+
+type t =
+  | Scan of {
+      table : string;
+      schema : Schema.t;
+      layout : layout;
+      filter : Bexpr.t option;  (** pushed-down predicate, fused into the scan *)
+      info : info;
+    }
+  | Index_scan of {
+      table : string;
+      schema : Schema.t;
+      col : int;  (** indexed column position *)
+      col_name : string;  (** bare column name for the index registry *)
+      lo : (Bexpr.t * bool) option;  (** bound (Lit/Param expr), inclusive? *)
+      hi : (Bexpr.t * bool) option;
+      residual : Bexpr.t option;  (** remaining predicate over fetched rows *)
+      info : info;
+    }
+  | One_row
+  | Filter of Bexpr.t * t * info
+  | Project of (Bexpr.t * string) list * t * info
+  | Join of {
+      algo : join_algo;
+      kind : Lplan.join_kind;
+      keys : (int * int) list;  (** (left col, right col) equi pairs *)
+      residual : Bexpr.t option;
+          (** over the concatenated schema; for outer joins this is part
+              of the match condition, not a post-filter *)
+      build_left : bool;  (** hash join: which side is built *)
+      left : t;
+      right : t;
+      info : info;
+    }
+  | Aggregate of {
+      algo : agg_algo;
+      keys : (Bexpr.t * string) list;
+      aggs : (Lplan.agg * string) list;
+      input : t;
+      info : info;
+    }
+  | Window of { specs : (Lplan.wspec * string) list; input : t; info : info }
+  | Sort of { keys : (int * Lplan.dir) list; input : t; info : info }
+  | Top_k of {
+      k : int;
+      offset : int;
+      keys : (int * Lplan.dir) list;
+      input : t;
+      info : info;
+    }
+  | Distinct of t * info
+  | Limit of { n : int option; offset : int; input : t; info : info }
+
+(** [schema_of p] derives the output schema of a physical plan. *)
+let rec schema_of = function
+  | Scan { schema; _ } | Index_scan { schema; _ } -> schema
+  | One_row -> Schema.create []
+  | Filter (_, input, _) | Distinct (input, _) -> schema_of input
+  | Limit { input; _ } | Sort { input; _ } | Top_k { input; _ } -> schema_of input
+  | Project (items, _, _) ->
+      Schema.create (List.map (fun (e, name) -> Schema.col name e.Bexpr.dtype) items)
+  | Join { kind; left; right; _ } ->
+      let right_schema = schema_of right in
+      let right_schema =
+        if kind = Lplan.Left_outer then
+          Schema.create
+            (List.map (fun c -> { c with Schema.nullable = true }) (Schema.columns right_schema))
+        else right_schema
+      in
+      Schema.concat (schema_of left) right_schema
+  | Aggregate { keys; aggs; _ } ->
+      Schema.create
+        (List.map (fun (e, name) -> Schema.col name e.Bexpr.dtype) keys
+        @ List.map (fun (a, name) -> Schema.col name a.Lplan.out_dtype) aggs)
+  | Window { specs; input; _ } ->
+      Schema.concat (schema_of input)
+        (Schema.create (List.map (fun (w, name) -> Schema.col name w.Lplan.w_dtype) specs))
+
+(** [info_of p] returns the picker's estimates for [p]'s output. *)
+let info_of = function
+  | Scan { info; _ } | Index_scan { info; _ } | Filter (_, _, info) | Project (_, _, info)
+  | Join { info; _ } | Aggregate { info; _ } | Window { info; _ } | Sort { info; _ }
+  | Top_k { info; _ } | Distinct (_, info) | Limit { info; _ } ->
+      info
+  | One_row -> { est_rows = 1.0; est_cost = 0.0 }
+
+let join_algo_name = function
+  | Hash_join -> "HashJoin"
+  | Merge_join -> "MergeJoin"
+  | Block_nl -> "BlockNLJoin"
+
+let agg_algo_name = function Hash_agg -> "HashAgg" | Sort_agg -> "SortAgg"
+
+let layout_name = function Row_layout -> "row" | Col_layout -> "columnar"
+
+(** [to_string p] renders the physical plan for EXPLAIN, one operator per
+    line with estimates. *)
+let to_string p =
+  let buf = Buffer.create 256 in
+  let est info = Printf.sprintf " (rows=%.0f cost=%.0f)" info.est_rows info.est_cost in
+  let rec go indent p =
+    Buffer.add_string buf (String.make (indent * 2) ' ');
+    (match p with
+    | Scan { table; layout; filter; info; _ } ->
+        Buffer.add_string buf
+          (Printf.sprintf "Scan %s [%s]%s%s\n" table (layout_name layout)
+             (match filter with None -> "" | Some f -> " filter " ^ Bexpr.to_string f)
+             (est info))
+    | Index_scan { table; col_name; lo; hi; residual; info; _ } ->
+        let bound = function
+          | None -> "-inf"
+          | Some (e, incl) -> Bexpr.to_string e ^ (if incl then " incl" else " excl")
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "IndexScan %s.%s [%s .. %s]%s%s\n" table col_name (bound lo)
+             (bound hi)
+             (match residual with None -> "" | Some e -> " residual " ^ Bexpr.to_string e)
+             (est info))
+    | One_row -> Buffer.add_string buf "OneRow\n"
+    | Filter (e, input, info) ->
+        Buffer.add_string buf (Printf.sprintf "Filter %s%s\n" (Bexpr.to_string e) (est info));
+        go (indent + 1) input
+    | Project (items, input, info) ->
+        Buffer.add_string buf
+          (Printf.sprintf "Project [%s]%s\n"
+             (String.concat ", " (List.map (fun (e, n) -> n ^ "=" ^ Bexpr.to_string e) items))
+             (est info));
+        go (indent + 1) input
+    | Join { algo; kind; keys; residual; build_left; left; right; info } ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s keys=[%s]%s%s%s\n"
+             (match kind with Lplan.Inner -> "" | Lplan.Left_outer -> "LeftOuter")
+             (join_algo_name algo)
+             (String.concat ", "
+                (List.map (fun (l, r) -> Printf.sprintf "#%d=#%d" l r) keys))
+             (match residual with None -> "" | Some e -> " residual " ^ Bexpr.to_string e)
+             (if algo = Hash_join then if build_left then " build=left" else " build=right"
+              else "")
+             (est info));
+        go (indent + 1) left;
+        go (indent + 1) right
+    | Aggregate { algo; keys; aggs; input; info } ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s keys=[%s] aggs=[%s]%s\n" (agg_algo_name algo)
+             (String.concat ", " (List.map (fun (e, n) -> n ^ "=" ^ Bexpr.to_string e) keys))
+             (String.concat ", " (List.map Lplan.agg_to_string aggs))
+             (est info));
+        go (indent + 1) input
+    | Sort { keys; input; info } ->
+        Buffer.add_string buf
+          (Printf.sprintf "Sort [%s]%s\n"
+             (String.concat ", "
+                (List.map
+                   (fun (i, d) ->
+                     Printf.sprintf "#%d %s" i
+                       (match d with Lplan.Asc -> "asc" | Lplan.Desc -> "desc"))
+                   keys))
+             (est info));
+        go (indent + 1) input
+    | Top_k { k; offset; keys; input; info } ->
+        Buffer.add_string buf
+          (Printf.sprintf "TopK k=%d offset=%d [%s]%s\n" k offset
+             (String.concat ", "
+                (List.map
+                   (fun (i, d) ->
+                     Printf.sprintf "#%d %s" i
+                       (match d with Lplan.Asc -> "asc" | Lplan.Desc -> "desc"))
+                   keys))
+             (est info));
+        go (indent + 1) input
+    | Window { specs; input; info } ->
+        Buffer.add_string buf
+          (Printf.sprintf "Window [%s]%s\n"
+             (String.concat ", " (List.map Lplan.wspec_to_string specs))
+             (est info));
+        go (indent + 1) input
+    | Distinct (input, info) ->
+        Buffer.add_string buf (Printf.sprintf "Distinct%s\n" (est info));
+        go (indent + 1) input
+    | Limit { n; offset; input; info } ->
+        Buffer.add_string buf
+          (Printf.sprintf "Limit %s offset %d%s\n"
+             (match n with None -> "all" | Some n -> string_of_int n)
+             offset (est info));
+        go (indent + 1) input)
+  in
+  go 0 p;
+  Buffer.contents buf
+
+(** [operator_count p] counts operators, used to estimate compilation
+    cost for tiering decisions. *)
+let rec operator_count = function
+  | Scan _ | Index_scan _ | One_row -> 1
+  | Filter (_, i, _) | Project (_, i, _) | Distinct (i, _) -> 1 + operator_count i
+  | Join { left; right; _ } -> 1 + operator_count left + operator_count right
+  | Aggregate { input; _ } | Window { input; _ } | Sort { input; _ }
+  | Top_k { input; _ } | Limit { input; _ } ->
+      1 + operator_count input
+
+(** [ordering_of p] returns an order guarantee on [p]'s output: the rows
+    are sorted by this (possibly empty) key prefix.  Used by the picker to
+    elide redundant sorts ("interesting orders"). *)
+let rec ordering_of = function
+  | Sort { keys; _ } | Top_k { keys; _ } -> keys
+  | Index_scan { col; residual = _; _ } -> [ (col, Lplan.Asc) ]
+  | Filter (_, input, _) | Distinct (input, _) ->
+      (* Filtering and first-occurrence-order dedup preserve order. *)
+      ordering_of input
+  | Limit { input; _ } -> ordering_of input
+  | Window { input; _ } -> ordering_of input  (* appends columns only *)
+  | Project (items, input, _) ->
+      (* Remap the input guarantee through pass-through columns. *)
+      let mapping =
+        List.filter_map
+          (fun (j, (e, _)) ->
+            match e.Bexpr.node with Bexpr.Col i -> Some (i, j) | _ -> None)
+          (List.mapi (fun j it -> (j, it)) items)
+      in
+      let rec remap = function
+        | [] -> []
+        | (i, d) :: rest -> (
+            match List.assoc_opt i mapping with
+            | Some j -> (j, d) :: remap rest
+            | None -> [])
+      in
+      remap (ordering_of input)
+  | Scan _ | One_row | Join _ | Aggregate _ -> []
+
+(** [ordering_satisfies ~have ~want] is true when a [have]-ordered input
+    already satisfies the requested [want] sort keys (prefix rule). *)
+let ordering_satisfies ~have ~want =
+  let rec go h w =
+    match (h, w) with
+    | _, [] -> true
+    | [], _ -> false
+    | (hi, hd) :: hrest, (wi, wd) :: wrest ->
+        hi = wi && hd = wd && go hrest wrest
+  in
+  go have want

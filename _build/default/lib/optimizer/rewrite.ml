@@ -1,0 +1,247 @@
+(* Logical plan rewrites: constant folding, filter merging, predicate
+   pushdown and no-op projection removal.
+
+   Column pruning is implicit in Quill rather than a rewrite: columnar
+   scans only materialize columns that downstream expressions actually
+   reference, so there is nothing to cut from the plan itself. *)
+
+module Value = Quill_storage.Value
+module Schema = Quill_storage.Schema
+module Bexpr = Quill_plan.Bexpr
+module Lplan = Quill_plan.Lplan
+
+(* --- Expression-level rewrites ---------------------------------------- *)
+
+let rec is_const (e : Bexpr.t) =
+  match e.Bexpr.node with
+  | Bexpr.Lit _ -> true
+  | Bexpr.Col _ | Bexpr.Param _ -> false
+  | Bexpr.Neg a | Bexpr.Not a | Bexpr.Cast (a, _) | Bexpr.Is_null (_, a) | Bexpr.Like (a, _) ->
+      is_const a
+  | Bexpr.Arith (_, a, b) | Bexpr.Cmp (_, a, b) | Bexpr.And (a, b) | Bexpr.Or (a, b) ->
+      is_const a && is_const b
+  | Bexpr.In_list (a, es) -> is_const a && List.for_all is_const es
+  | Bexpr.Case (whens, els) ->
+      List.for_all (fun (c, v) -> is_const c && is_const v) whens
+      && (match els with None -> true | Some e -> is_const e)
+  | Bexpr.Call _ -> false (* UDFs may be impure; never fold *)
+  | Bexpr.Subquery _ -> false (* materialized per execution *)
+
+(** [fold_constants e] evaluates literal-only subtrees at plan time;
+    subtrees whose evaluation raises (e.g. division by zero) are left
+    intact so the error surfaces at execution, as SQL requires. *)
+let rec fold_constants (e : Bexpr.t) : Bexpr.t =
+  let recurse e =
+    let node =
+      match e.Bexpr.node with
+      | (Bexpr.Lit _ | Bexpr.Col _ | Bexpr.Param _) as n -> n
+      | Bexpr.Neg a -> Bexpr.Neg (fold_constants a)
+      | Bexpr.Not a -> Bexpr.Not (fold_constants a)
+      | Bexpr.Cast (a, t) -> Bexpr.Cast (fold_constants a, t)
+      | Bexpr.Is_null (n, a) -> Bexpr.Is_null (n, fold_constants a)
+      | Bexpr.Like (a, p) -> Bexpr.Like (fold_constants a, p)
+      | Bexpr.Arith (op, a, b) -> Bexpr.Arith (op, fold_constants a, fold_constants b)
+      | Bexpr.Cmp (op, a, b) -> Bexpr.Cmp (op, fold_constants a, fold_constants b)
+      | Bexpr.And (a, b) -> Bexpr.And (fold_constants a, fold_constants b)
+      | Bexpr.Or (a, b) -> Bexpr.Or (fold_constants a, fold_constants b)
+      | Bexpr.In_list (a, es) -> Bexpr.In_list (fold_constants a, List.map fold_constants es)
+      | Bexpr.Case (whens, els) ->
+          Bexpr.Case
+            ( List.map (fun (c, v) -> (fold_constants c, fold_constants v)) whens,
+              Option.map fold_constants els )
+      | Bexpr.Call { name; fn; args } ->
+          Bexpr.Call { name; fn; args = List.map fold_constants args }
+      | Bexpr.Subquery { kind = Bexpr.Sub_in arg; cell } ->
+          Bexpr.Subquery { kind = Bexpr.Sub_in (fold_constants arg); cell }
+      | Bexpr.Subquery _ as n -> n
+    in
+    { e with Bexpr.node }
+  in
+  let e = recurse e in
+  match e.Bexpr.node with
+  | Bexpr.Lit _ -> e
+  | _ when is_const e -> (
+      match Bexpr.eval ~row:[||] ~params:[||] e with
+      | v -> { e with Bexpr.node = Bexpr.Lit v }
+      | exception _ -> e)
+  | Bexpr.And (a, b) -> (
+      (* Boolean short-circuit simplifications. *)
+      match (a.Bexpr.node, b.Bexpr.node) with
+      | Bexpr.Lit (Value.Bool true), _ -> b
+      | _, Bexpr.Lit (Value.Bool true) -> a
+      | Bexpr.Lit (Value.Bool false), _ | _, Bexpr.Lit (Value.Bool false) ->
+          { e with Bexpr.node = Bexpr.Lit (Value.Bool false) }
+      | _ -> e)
+  | Bexpr.Or (a, b) -> (
+      match (a.Bexpr.node, b.Bexpr.node) with
+      | Bexpr.Lit (Value.Bool false), _ -> b
+      | _, Bexpr.Lit (Value.Bool false) -> a
+      | Bexpr.Lit (Value.Bool true), _ | _, Bexpr.Lit (Value.Bool true) ->
+          { e with Bexpr.node = Bexpr.Lit (Value.Bool true) }
+      | _ -> e)
+  | _ -> e
+
+(** [subst items e] replaces [Col i] with [items.(i)] (projection inlining;
+    all expressions are pure, so duplication is safe). *)
+let rec subst items (e : Bexpr.t) : Bexpr.t =
+  let s = subst items in
+  match e.Bexpr.node with
+  | Bexpr.Col i -> items.(i)
+  | Bexpr.Lit _ | Bexpr.Param _ -> e
+  | Bexpr.Neg a -> { e with Bexpr.node = Bexpr.Neg (s a) }
+  | Bexpr.Not a -> { e with Bexpr.node = Bexpr.Not (s a) }
+  | Bexpr.Cast (a, t) -> { e with Bexpr.node = Bexpr.Cast (s a, t) }
+  | Bexpr.Is_null (n, a) -> { e with Bexpr.node = Bexpr.Is_null (n, s a) }
+  | Bexpr.Like (a, p) -> { e with Bexpr.node = Bexpr.Like (s a, p) }
+  | Bexpr.Arith (op, a, b) -> { e with Bexpr.node = Bexpr.Arith (op, s a, s b) }
+  | Bexpr.Cmp (op, a, b) -> { e with Bexpr.node = Bexpr.Cmp (op, s a, s b) }
+  | Bexpr.And (a, b) -> { e with Bexpr.node = Bexpr.And (s a, s b) }
+  | Bexpr.Or (a, b) -> { e with Bexpr.node = Bexpr.Or (s a, s b) }
+  | Bexpr.In_list (a, es) -> { e with Bexpr.node = Bexpr.In_list (s a, List.map s es) }
+  | Bexpr.Case (whens, els) ->
+      { e with
+        Bexpr.node = Bexpr.Case (List.map (fun (c, v) -> (s c, s v)) whens, Option.map s els)
+      }
+  | Bexpr.Call { name; fn; args } ->
+      { e with Bexpr.node = Bexpr.Call { name; fn; args = List.map s args } }
+  | Bexpr.Subquery { kind = Bexpr.Sub_in arg; cell } ->
+      { e with Bexpr.node = Bexpr.Subquery { kind = Bexpr.Sub_in (s arg); cell } }
+  | Bexpr.Subquery _ -> e
+
+(* --- Plan-level rewrites ----------------------------------------------- *)
+
+(** [map_exprs f plan] applies [f] to every expression in [plan]. *)
+let rec map_exprs f (p : Lplan.t) : Lplan.t =
+  match p with
+  | Lplan.Scan _ | Lplan.One_row -> p
+  | Lplan.Filter (e, input) -> Lplan.Filter (f e, map_exprs f input)
+  | Lplan.Project (items, input) ->
+      Lplan.Project (List.map (fun (e, n) -> (f e, n)) items, map_exprs f input)
+  | Lplan.Join { kind; cond; left; right } ->
+      Lplan.Join
+        { kind; cond = Option.map f cond; left = map_exprs f left; right = map_exprs f right }
+  | Lplan.Aggregate { keys; aggs; input } ->
+      Lplan.Aggregate
+        {
+          keys = List.map (fun (e, n) -> (f e, n)) keys;
+          aggs =
+            List.map
+              (fun (a, n) -> ({ a with Lplan.arg = Option.map f a.Lplan.arg }, n))
+              aggs;
+          input = map_exprs f input;
+        }
+  | Lplan.Window { specs; input } ->
+      Lplan.Window
+        {
+          specs =
+            List.map
+              (fun (w, n) ->
+                ( { w with
+                    Lplan.warg = Option.map f w.Lplan.warg;
+                    partition = List.map f w.Lplan.partition;
+                    worder = List.map (fun (e, d) -> (f e, d)) w.Lplan.worder },
+                  n ))
+              specs;
+          input = map_exprs f input;
+        }
+  | Lplan.Sort { keys; input } -> Lplan.Sort { keys; input = map_exprs f input }
+  | Lplan.Distinct input -> Lplan.Distinct (map_exprs f input)
+  | Lplan.Limit { n; offset; input } -> Lplan.Limit { n; offset; input = map_exprs f input }
+
+let arity p = Schema.arity (Lplan.schema_of p)
+
+(* Push the conjunct set [cs] as deep as possible into [p]; any conjunct
+   that cannot sink further lands in a Filter at this level. *)
+let rec push p cs =
+  let wrap p cs =
+    match Bexpr.conjoin cs with None -> p | Some pred -> Lplan.Filter (pred, p)
+  in
+  match p with
+  | Lplan.Filter (pred, input) -> push input (cs @ Bexpr.conjuncts pred)
+  | Lplan.Project (items, input) ->
+      let arr = Array.of_list (List.map fst items) in
+      let sunk = List.map (subst arr) cs in
+      Lplan.Project (items, push input sunk)
+  | Lplan.Join { kind = Lplan.Inner; cond; left; right } ->
+      let la = arity left in
+      let all = cs @ (match cond with None -> [] | Some c -> Bexpr.conjuncts c) in
+      let to_left, rest =
+        List.partition (fun c -> List.for_all (fun i -> i < la) (Bexpr.cols c)) all
+      in
+      let to_right, keep =
+        List.partition (fun c -> List.for_all (fun i -> i >= la) (Bexpr.cols c)) rest
+      in
+      let to_right = List.map (Bexpr.shift (-la)) to_right in
+      Lplan.Join
+        { kind = Lplan.Inner; cond = Bexpr.conjoin keep;
+          left = push left to_left; right = push right to_right }
+  | Lplan.Join { kind = Lplan.Left_outer; cond; left; right } ->
+      (* ON conjuncts are a match condition, not a filter: they stay with
+         the join.  WHERE conjuncts that touch only the preserved (left)
+         side commute with the outer join and sink; everything else stays
+         above, because it can reject padded rows. *)
+      let la = arity left in
+      let to_left, keep =
+        List.partition (fun c -> List.for_all (fun i -> i < la) (Bexpr.cols c)) cs
+      in
+      wrap
+        (Lplan.Join
+           { kind = Lplan.Left_outer; cond; left = push left to_left; right = push right [] })
+        keep
+  | Lplan.Aggregate { keys; aggs; input } ->
+      let nkeys = List.length keys in
+      let key_exprs = Array.of_list (List.map fst keys) in
+      let sinkable, stay =
+        List.partition (fun c -> List.for_all (fun i -> i < nkeys) (Bexpr.cols c)) cs
+      in
+      let sunk = List.map (subst key_exprs) sinkable in
+      wrap (Lplan.Aggregate { keys; aggs; input = push input sunk }) stay
+  | Lplan.Sort { keys; input } -> Lplan.Sort { keys; input = push input cs }
+  | Lplan.Distinct input -> Lplan.Distinct (push input cs)
+  | Lplan.Window { specs; input } ->
+      (* Filters must not cross a window: removing rows changes frames. *)
+      wrap (Lplan.Window { specs; input = push input [] }) cs
+  | Lplan.Limit { n; offset; input } ->
+      (* Filters must not cross LIMIT. *)
+      wrap (Lplan.Limit { n; offset; input = push input [] }) cs
+  | Lplan.Scan _ | Lplan.One_row -> wrap p cs
+
+(** [push_filters p] sinks every predicate as close to the scans as
+    possible, splitting conjunctions across join sides. *)
+let push_filters p = push p []
+
+(* Identity projections (Col 0..n-1 with unchanged names) are noise. *)
+let is_identity_project items input_schema =
+  List.length items = Schema.arity input_schema
+  && List.for_all2
+       (fun (e, n) idx ->
+         match e.Bexpr.node with
+         | Bexpr.Col i -> i = idx && n = (Schema.column input_schema idx).Schema.name
+         | _ -> false)
+       items
+       (List.init (List.length items) Fun.id)
+
+(** [drop_noop_projects p] removes projections that neither reorder,
+    compute, nor rename. *)
+let rec drop_noop_projects (p : Lplan.t) : Lplan.t =
+  match p with
+  | Lplan.Project (items, input) ->
+      let input = drop_noop_projects input in
+      if is_identity_project items (Lplan.schema_of input) then input
+      else Lplan.Project (items, input)
+  | Lplan.Scan _ | Lplan.One_row -> p
+  | Lplan.Filter (e, input) -> Lplan.Filter (e, drop_noop_projects input)
+  | Lplan.Join { kind; cond; left; right } ->
+      Lplan.Join { kind; cond; left = drop_noop_projects left; right = drop_noop_projects right }
+  | Lplan.Aggregate { keys; aggs; input } ->
+      Lplan.Aggregate { keys; aggs; input = drop_noop_projects input }
+  | Lplan.Window { specs; input } ->
+      Lplan.Window { specs; input = drop_noop_projects input }
+  | Lplan.Sort { keys; input } -> Lplan.Sort { keys; input = drop_noop_projects input }
+  | Lplan.Distinct input -> Lplan.Distinct (drop_noop_projects input)
+  | Lplan.Limit { n; offset; input } ->
+      Lplan.Limit { n; offset; input = drop_noop_projects input }
+
+(** [rewrite p] runs the standard rewrite pipeline. *)
+let rewrite p =
+  p |> map_exprs fold_constants |> push_filters |> drop_noop_projects

@@ -1,0 +1,1 @@
+lib/plan/bexpr.ml: Array Float List Option Printf Quill_storage String

@@ -1,0 +1,1 @@
+lib/plan/binder.ml: Array Ast Bexpr Hashtbl List Lplan Option Printf Quill_sql Quill_storage String Udf

@@ -1,0 +1,1 @@
+lib/plan/lplan.ml: Bexpr Buffer List Printf Quill_storage String

@@ -1,0 +1,1 @@
+lib/plan/udf.ml: Bexpr Buffer Float Hashtbl List Option Quill_storage String

@@ -1,0 +1,356 @@
+(* Bound (typed, index-resolved) expressions.
+
+   After binding, column references are integer offsets into the input row
+   and every node carries its result dtype.  This module also hosts the
+   reference tree-walking evaluator with SQL three-valued-logic semantics;
+   the faster closure and bytecode tiers in [quill.compile] are tested
+   against it. *)
+
+module Value = Quill_storage.Value
+
+type arith = Add | Sub | Mul | Div | Mod
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+type t = { node : node; dtype : Value.dtype }
+
+and sub_kind =
+  | Sub_scalar  (** value of the single row/column; NULL on empty *)
+  | Sub_exists
+  | Sub_in of t  (** subject expression compared against the result set *)
+
+and node =
+  | Lit of Value.t
+  | Col of int
+  | Param of int  (** 0-based slot in the parameter array *)
+  | Neg of t
+  | Not of t
+  | Arith of arith * t * t
+  | Cmp of cmp * t * t
+  | And of t * t
+  | Or of t * t
+  | Like of t * string
+  | In_list of t * t list
+  | Case of (t * t) list * t option
+  | Cast of t * Value.dtype
+  | Is_null of bool * t  (** negated?, arg *)
+  | Call of { name : string; fn : Value.t array -> Value.t; args : t list }
+  | Subquery of { kind : sub_kind; cell : Value.t list option ref }
+      (** uncorrelated subquery; [cell] is materialized by the executor
+          before evaluation starts *)
+
+let lit v dtype = { node = Lit v; dtype }
+let col i dtype = { node = Col i; dtype }
+
+(** [cols e] returns the sorted, de-duplicated input columns [e] reads. *)
+let cols e =
+  let acc = ref [] in
+  let rec go e =
+    match e.node with
+    | Lit _ | Param _ -> ()
+    | Col i -> acc := i :: !acc
+    | Neg a | Not a | Cast (a, _) | Is_null (_, a) | Like (a, _) -> go a
+    | Arith (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+        go a;
+        go b
+    | In_list (a, es) ->
+        go a;
+        List.iter go es
+    | Case (whens, els) ->
+        List.iter
+          (fun (c, v) ->
+            go c;
+            go v)
+          whens;
+        Option.iter go els
+    | Call { args; _ } -> List.iter go args
+    | Subquery { kind = Sub_in arg; _ } -> go arg
+    | Subquery _ -> ()
+  in
+  go e;
+  List.sort_uniq compare !acc
+
+(** [remap f e] rewrites every column index [i] to [f i]. *)
+let rec remap f e =
+  let r = remap f in
+  let node =
+    match e.node with
+    | Lit _ | Param _ -> e.node
+    | Col i -> Col (f i)
+    | Neg a -> Neg (r a)
+    | Not a -> Not (r a)
+    | Cast (a, t) -> Cast (r a, t)
+    | Is_null (n, a) -> Is_null (n, r a)
+    | Like (a, p) -> Like (r a, p)
+    | Arith (op, a, b) -> Arith (op, r a, r b)
+    | Cmp (op, a, b) -> Cmp (op, r a, r b)
+    | And (a, b) -> And (r a, r b)
+    | Or (a, b) -> Or (r a, r b)
+    | In_list (a, es) -> In_list (r a, List.map r es)
+    | Case (whens, els) ->
+        Case (List.map (fun (c, v) -> (r c, r v)) whens, Option.map r els)
+    | Call { name; fn; args } -> Call { name; fn; args = List.map r args }
+    | Subquery { kind = Sub_in arg; cell } -> Subquery { kind = Sub_in (r arg); cell }
+    | Subquery _ as n -> n
+  in
+  { e with node }
+
+(** [shift delta e] adds [delta] to every column index. *)
+let shift delta e = remap (fun i -> i + delta) e
+
+(* --- LIKE pattern matching ------------------------------------------- *)
+
+(** [like_match ~pattern s] implements SQL LIKE: [%] matches any sequence,
+    [_] matches one character; other characters match literally. *)
+let like_match ~pattern s =
+  let np = String.length pattern and ns = String.length s in
+  (* Two-pointer greedy matcher with backtracking to the last '%',
+     O(np * ns) worst case. *)
+  let pi = ref 0 and si = ref 0 in
+  let star = ref (-1) and star_s = ref 0 in
+  let failed = ref false in
+  while (not !failed) && !si < ns do
+    if !pi < np && (pattern.[!pi] = '_' || pattern.[!pi] = s.[!si]) then begin
+      incr pi;
+      incr si
+    end
+    else if !pi < np && pattern.[!pi] = '%' then begin
+      star := !pi;
+      star_s := !si;
+      incr pi
+    end
+    else if !star >= 0 then begin
+      pi := !star + 1;
+      incr star_s;
+      si := !star_s
+    end
+    else failed := true
+  done;
+  if !failed then false
+  else begin
+    (* Input consumed; the rest of the pattern must be all '%'. *)
+    while !pi < np && pattern.[!pi] = '%' do
+      incr pi
+    done;
+    !pi = np
+  end
+
+(* --- Evaluation ------------------------------------------------------- *)
+
+exception Eval_error of string
+
+let num_arith op a b =
+  match (op, a, b) with
+  | Add, Value.Int x, Value.Int y -> Value.Int (x + y)
+  | Sub, Value.Int x, Value.Int y -> Value.Int (x - y)
+  | Mul, Value.Int x, Value.Int y -> Value.Int (x * y)
+  | Div, Value.Int x, Value.Int y ->
+      if y = 0 then raise (Eval_error "division by zero") else Value.Int (x / y)
+  | Mod, Value.Int x, Value.Int y ->
+      if y = 0 then raise (Eval_error "modulo by zero") else Value.Int (x mod y)
+  | Add, Value.Date d, Value.Int k | Add, Value.Int k, Value.Date d -> Value.Date (d + k)
+  | Sub, Value.Date d, Value.Int k -> Value.Date (d - k)
+  | Sub, Value.Date a, Value.Date b -> Value.Int (a - b)
+  | op, a, b -> (
+      let fa = Value.to_float a and fb = Value.to_float b in
+      match op with
+      | Add -> Value.Float (fa +. fb)
+      | Sub -> Value.Float (fa -. fb)
+      | Mul -> Value.Float (fa *. fb)
+      | Div ->
+          if fb = 0.0 then raise (Eval_error "division by zero") else Value.Float (fa /. fb)
+      | Mod -> raise (Eval_error "modulo on non-integers"))
+
+let cmp_result op c =
+  match op with
+  | Eq -> c = 0
+  | Neq -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+let do_cast v target =
+  match (v, target) with
+  | Value.Null, _ -> Value.Null
+  | v, t when Value.type_of v = t -> v
+  | Value.Int i, Value.Float_t -> Value.Float (Float.of_int i)
+  | Value.Float f, Value.Int_t -> Value.Int (Float.to_int f)
+  | Value.Int i, Value.Str_t -> Value.Str (string_of_int i)
+  | Value.Float f, Value.Str_t -> Value.Str (Value.to_string (Value.Float f))
+  | Value.Bool b, Value.Str_t -> Value.Str (if b then "true" else "false")
+  | Value.Date d, Value.Str_t -> Value.Str (Value.date_string d)
+  | Value.Str s, t -> (
+      match Value.parse t s with
+      | Some v -> v
+      | None -> raise (Eval_error (Printf.sprintf "cannot cast %S to %s" s (Value.dtype_name t))))
+  | Value.Bool b, Value.Int_t -> Value.Int (if b then 1 else 0)
+  | Value.Date d, Value.Int_t -> Value.Int d
+  | Value.Int i, Value.Date_t -> Value.Date i
+  | v, t ->
+      raise
+        (Eval_error
+           (Printf.sprintf "cannot cast %s to %s" (Value.to_string v) (Value.dtype_name t)))
+
+(** [eval ~row ~params e] evaluates [e] against one input row with SQL
+    3-valued logic: NULL operands propagate except through AND/OR/IS NULL
+    and CASE. *)
+let rec eval ~row ~params e =
+  match e.node with
+  | Lit v -> v
+  | Col i -> row.(i)
+  | Param i -> params.(i)
+  | Neg a -> (
+      match eval ~row ~params a with
+      | Value.Null -> Value.Null
+      | Value.Int x -> Value.Int (-x)
+      | Value.Float x -> Value.Float (-.x)
+      | v -> raise (Eval_error ("cannot negate " ^ Value.to_string v)))
+  | Not a -> (
+      match eval ~row ~params a with
+      | Value.Null -> Value.Null
+      | Value.Bool b -> Value.Bool (not b)
+      | v -> raise (Eval_error ("NOT on non-boolean " ^ Value.to_string v)))
+  | Arith (op, a, b) -> (
+      match (eval ~row ~params a, eval ~row ~params b) with
+      | Value.Null, _ | _, Value.Null -> Value.Null
+      | va, vb -> num_arith op va vb)
+  | Cmp (op, a, b) -> (
+      match (eval ~row ~params a, eval ~row ~params b) with
+      | Value.Null, _ | _, Value.Null -> Value.Null
+      | va, vb -> Value.Bool (cmp_result op (Value.compare va vb)))
+  | And (a, b) -> (
+      (* Kleene AND: false dominates NULL. *)
+      match eval ~row ~params a with
+      | Value.Bool false -> Value.Bool false
+      | va -> (
+          match eval ~row ~params b with
+          | Value.Bool false -> Value.Bool false
+          | Value.Null -> Value.Null
+          | vb -> if va = Value.Null then Value.Null else vb))
+  | Or (a, b) -> (
+      match eval ~row ~params a with
+      | Value.Bool true -> Value.Bool true
+      | va -> (
+          match eval ~row ~params b with
+          | Value.Bool true -> Value.Bool true
+          | Value.Null -> Value.Null
+          | vb -> if va = Value.Null then Value.Null else vb))
+  | Like (a, pattern) -> (
+      match eval ~row ~params a with
+      | Value.Null -> Value.Null
+      | Value.Str s -> Value.Bool (like_match ~pattern s)
+      | v -> raise (Eval_error ("LIKE on non-string " ^ Value.to_string v)))
+  | In_list (a, es) -> (
+      match eval ~row ~params a with
+      | Value.Null -> Value.Null
+      | va ->
+          let saw_null = ref false in
+          let hit =
+            List.exists
+              (fun e ->
+                match eval ~row ~params e with
+                | Value.Null ->
+                    saw_null := true;
+                    false
+                | v -> Value.equal va v)
+              es
+          in
+          if hit then Value.Bool true
+          else if !saw_null then Value.Null
+          else Value.Bool false)
+  | Case (whens, els) ->
+      let rec try_whens = function
+        | [] -> ( match els with None -> Value.Null | Some e -> eval ~row ~params e)
+        | (c, v) :: rest -> (
+            match eval ~row ~params c with
+            | Value.Bool true -> eval ~row ~params v
+            | _ -> try_whens rest)
+      in
+      try_whens whens
+  | Cast (a, t) -> do_cast (eval ~row ~params a) t
+  | Is_null (negated, a) ->
+      let n = Value.is_null (eval ~row ~params a) in
+      Value.Bool (if negated then not n else n)
+  | Call { fn; args; _ } ->
+      fn (Array.of_list (List.map (eval ~row ~params) args))
+  | Subquery { kind; cell } -> eval_subquery ~row ~params kind cell
+
+and eval_subquery ~row ~params kind cell =
+  let values =
+    match !cell with
+    | Some vs -> vs
+    | None -> raise (Eval_error "subquery was not materialized before execution")
+  in
+  match kind with
+  | Sub_exists -> Value.Bool (values <> [])
+  | Sub_scalar -> (
+      match values with
+      | [] -> Value.Null
+      | [ v ] -> v
+      | _ -> raise (Eval_error "scalar subquery returned more than one row"))
+  | Sub_in arg -> (
+      match eval ~row ~params arg with
+      | Value.Null -> Value.Null
+      | va ->
+          let saw_null = ref false in
+          let hit =
+            List.exists
+              (fun v ->
+                if Value.is_null v then begin
+                  saw_null := true;
+                  false
+                end
+                else Value.equal va v)
+              values
+          in
+          if hit then Value.Bool true
+          else if !saw_null then Value.Null
+          else Value.Bool false)
+
+(** [eval_pred ~row ~params e] evaluates a predicate; NULL counts as
+    false (SQL WHERE semantics). *)
+let eval_pred ~row ~params e =
+  match eval ~row ~params e with
+  | Value.Bool b -> b
+  | Value.Null -> false
+  | v -> raise (Eval_error ("predicate returned non-boolean " ^ Value.to_string v))
+
+(** [to_string e] renders the bound expression for EXPLAIN output. *)
+let rec to_string e =
+  match e.node with
+  | Lit v -> Value.to_string v
+  | Col i -> Printf.sprintf "#%d" i
+  | Param i -> Printf.sprintf "$%d" (i + 1)
+  | Neg a -> "(-" ^ to_string a ^ ")"
+  | Not a -> "(NOT " ^ to_string a ^ ")"
+  | Arith (op, a, b) ->
+      let s = match op with Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%" in
+      "(" ^ to_string a ^ " " ^ s ^ " " ^ to_string b ^ ")"
+  | Cmp (op, a, b) ->
+      let s =
+        match op with Eq -> "=" | Neq -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+      in
+      "(" ^ to_string a ^ " " ^ s ^ " " ^ to_string b ^ ")"
+  | And (a, b) -> "(" ^ to_string a ^ " AND " ^ to_string b ^ ")"
+  | Or (a, b) -> "(" ^ to_string a ^ " OR " ^ to_string b ^ ")"
+  | Like (a, p) -> "(" ^ to_string a ^ " LIKE '" ^ p ^ "')"
+  | In_list (a, es) ->
+      "(" ^ to_string a ^ " IN (" ^ String.concat ", " (List.map to_string es) ^ "))"
+  | Case (_, _) -> "CASE(..)"
+  | Cast (a, t) -> "CAST(" ^ to_string a ^ " AS " ^ Value.dtype_name t ^ ")"
+  | Is_null (neg, a) -> "(" ^ to_string a ^ (if neg then " IS NOT NULL)" else " IS NULL)")
+  | Call { name; args; _ } ->
+      name ^ "(" ^ String.concat ", " (List.map to_string args) ^ ")"
+  | Subquery { kind = Sub_exists; _ } -> "EXISTS(subquery)"
+  | Subquery { kind = Sub_scalar; _ } -> "(subquery)"
+  | Subquery { kind = Sub_in arg; _ } -> "(" ^ to_string arg ^ " IN (subquery))"
+
+(** [conjuncts e] splits a predicate on top-level ANDs. *)
+let rec conjuncts e =
+  match e.node with And (a, b) -> conjuncts a @ conjuncts b | _ -> [ e ]
+
+(** [conjoin es] rebuilds a conjunction; [None] for the empty list. *)
+let conjoin = function
+  | [] -> None
+  | e :: rest ->
+      Some (List.fold_left (fun acc c -> { node = And (acc, c); dtype = Value.Bool_t }) e rest)

@@ -1,0 +1,655 @@
+(* Name resolution and type checking: AST -> logical plan.
+
+   The binder produces a canonical, unoptimized plan (syntactic join order,
+   predicates as Filters); all re-arrangement is the optimizer's job.
+   Aggregation follows the standard two-phase scheme: aggregate arguments
+   bind against the input schema, while select items and HAVING bind
+   against the aggregate's output, where only group keys and aggregate
+   results are visible. *)
+
+module Value = Quill_storage.Value
+module Schema = Quill_storage.Schema
+module Catalog = Quill_storage.Catalog
+open Quill_sql
+
+exception Bind_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Bind_error s)) fmt
+
+type env = {
+  catalog : Catalog.t;
+  udfs : Udf.t;
+  param_types : Value.dtype array;  (** dtype of [$1] is [param_types.(0)] *)
+  subqueries : (Value.t list option ref * Lplan.t) list ref;
+      (** uncorrelated subqueries discovered during binding, in evaluation
+          order; the executor materializes each cell before running *)
+}
+
+(** [mk_env ~catalog ~udfs ~param_types ()] builds a binding environment
+    with a fresh subquery accumulator. *)
+let mk_env ~catalog ~udfs ~param_types () =
+  { catalog; udfs; param_types; subqueries = ref [] }
+
+(* Forward reference: subquery expressions bind nested SELECTs, which are
+   defined further down in this module. *)
+let bind_select_fwd : (env -> Ast.select -> Lplan.t) ref =
+  ref (fun _ _ -> assert false)
+
+let is_numeric = function Value.Int_t | Value.Float_t -> true | _ -> false
+
+(* Re-type a NULL literal to whatever the context wants. *)
+let adapt_null e dtype =
+  match e.Bexpr.node with Bexpr.Lit Value.Null -> { e with Bexpr.dtype } | _ -> e
+
+(* Make two operands comparable; returns them (possibly retyped NULLs) plus
+   the unified dtype. *)
+let harmonize what a b =
+  let a = adapt_null a b.Bexpr.dtype and b' = adapt_null b a.Bexpr.dtype in
+  let b = b' in
+  let ta = a.Bexpr.dtype and tb = b.Bexpr.dtype in
+  if ta = tb then (a, b, ta)
+  else if is_numeric ta && is_numeric tb then (a, b, Value.Float_t)
+  else
+    fail "%s: incompatible types %s and %s" what (Value.dtype_name ta) (Value.dtype_name tb)
+
+let require_bool what e =
+  if e.Bexpr.dtype <> Value.Bool_t then
+    fail "%s must be boolean, got %s" what (Value.dtype_name e.Bexpr.dtype)
+
+(* [special] is consulted on every node before structural binding; it lets
+   aggregate-output binding substitute group keys and aggregate results. *)
+let rec bind_gen ~special env schema ast =
+  match special ast with
+  | Some e -> e
+  | None -> (
+      let bind = bind_gen ~special env schema in
+      match ast with
+      | Ast.Lit v ->
+          let dtype =
+            match v with Value.Null -> Value.Int_t (* adapted by context *) | v -> Value.type_of v
+          in
+          Bexpr.lit v dtype
+      | Ast.Col name -> (
+          match Schema.find schema name with
+          | Ok i -> Bexpr.col i (Schema.column schema i).Schema.dtype
+          | Error e -> fail "%s" e)
+      | Ast.Param i ->
+          if i < 1 || i > Array.length env.param_types then
+            fail "parameter $%d out of range (%d supplied)" i (Array.length env.param_types);
+          { Bexpr.node = Bexpr.Param (i - 1); dtype = env.param_types.(i - 1) }
+      | Ast.Unary (Ast.Neg, a) ->
+          let a = bind a in
+          if not (is_numeric a.Bexpr.dtype) then
+            fail "cannot negate %s" (Value.dtype_name a.Bexpr.dtype);
+          { Bexpr.node = Bexpr.Neg a; dtype = a.Bexpr.dtype }
+      | Ast.Unary (Ast.Not, a) ->
+          let a = bind a in
+          require_bool "NOT operand" a;
+          { Bexpr.node = Bexpr.Not a; dtype = Value.Bool_t }
+      | Ast.Binary (op, a, b) -> (
+          let a = bind a and b = bind b in
+          match op with
+          | Ast.And | Ast.Or ->
+              require_bool "AND/OR operand" a;
+              require_bool "AND/OR operand" b;
+              let node =
+                if op = Ast.And then Bexpr.And (a, b) else Bexpr.Or (a, b)
+              in
+              { Bexpr.node; dtype = Value.Bool_t }
+          | Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+              let a, b, _ = harmonize "comparison" a b in
+              let cmp =
+                match op with
+                | Ast.Eq -> Bexpr.Eq | Ast.Neq -> Bexpr.Neq | Ast.Lt -> Bexpr.Lt
+                | Ast.Le -> Bexpr.Le | Ast.Gt -> Bexpr.Gt | Ast.Ge -> Bexpr.Ge
+                | _ -> assert false
+              in
+              { Bexpr.node = Bexpr.Cmp (cmp, a, b); dtype = Value.Bool_t }
+          | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod ->
+              let arith =
+                match op with
+                | Ast.Add -> Bexpr.Add | Ast.Sub -> Bexpr.Sub | Ast.Mul -> Bexpr.Mul
+                | Ast.Div -> Bexpr.Div | Ast.Mod -> Bexpr.Mod
+                | _ -> assert false
+              in
+              let ta = a.Bexpr.dtype and tb = b.Bexpr.dtype in
+              let dtype =
+                match (arith, ta, tb) with
+                | _, Value.Int_t, Value.Int_t -> ta
+                | Bexpr.Mod, _, _ -> fail "%% requires integers"
+                | (Bexpr.Add | Bexpr.Sub), Value.Date_t, Value.Int_t -> Value.Date_t
+                | Bexpr.Add, Value.Int_t, Value.Date_t -> Value.Date_t
+                | Bexpr.Sub, Value.Date_t, Value.Date_t -> Value.Int_t
+                | _ when is_numeric ta && is_numeric tb -> Value.Float_t
+                | _ ->
+                    (* Allow NULL literals to adapt to the other side. *)
+                    let a' = adapt_null a tb and b' = adapt_null b ta in
+                    if is_numeric a'.Bexpr.dtype && is_numeric b'.Bexpr.dtype then
+                      if a'.Bexpr.dtype = Value.Int_t && b'.Bexpr.dtype = Value.Int_t then
+                        Value.Int_t
+                      else Value.Float_t
+                    else
+                      fail "arithmetic on %s and %s" (Value.dtype_name ta)
+                        (Value.dtype_name tb)
+              in
+              let a = adapt_null a (if tb = Value.Date_t then Value.Int_t else tb)
+              and b = adapt_null b (if ta = Value.Date_t then Value.Int_t else ta) in
+              { Bexpr.node = Bexpr.Arith (arith, a, b); dtype })
+      | Ast.Like (a, pattern) ->
+          let a = bind a in
+          if a.Bexpr.dtype <> Value.Str_t then
+            fail "LIKE requires a string, got %s" (Value.dtype_name a.Bexpr.dtype);
+          { Bexpr.node = Bexpr.Like (a, pattern); dtype = Value.Bool_t }
+      | Ast.In_list (a, items) ->
+          let a = bind a in
+          let items =
+            List.map
+              (fun it ->
+                let it = bind it in
+                let _, it, _ = harmonize "IN list" a it in
+                it)
+              items
+          in
+          { Bexpr.node = Bexpr.In_list (a, items); dtype = Value.Bool_t }
+      | Ast.Between (a, lo, hi) ->
+          (* Desugar to (a >= lo AND a <= hi). *)
+          bind (Ast.Binary (Ast.And, Ast.Binary (Ast.Ge, a, lo), Ast.Binary (Ast.Le, a, hi)))
+      | Ast.Case (whens, els) ->
+          let whens =
+            List.map
+              (fun (c, v) ->
+                let c = bind c in
+                require_bool "CASE condition" c;
+                (c, bind v))
+              whens
+          in
+          let els = Option.map bind els in
+          let result_dtype =
+            let all = List.map snd whens @ Option.to_list els in
+            let non_null =
+              List.filter (fun e -> e.Bexpr.node <> Bexpr.Lit Value.Null) all
+            in
+            match non_null with
+            | [] -> Value.Int_t
+            | first :: rest ->
+                List.fold_left
+                  (fun acc e ->
+                    let _, _, t = harmonize "CASE branches" { first with Bexpr.dtype = acc } e in
+                    t)
+                  first.Bexpr.dtype rest
+          in
+          let whens = List.map (fun (c, v) -> (c, adapt_null v result_dtype)) whens in
+          let els = Option.map (fun e -> adapt_null e result_dtype) els in
+          { Bexpr.node = Bexpr.Case (whens, els); dtype = result_dtype }
+      | Ast.Cast (a, t) -> { Bexpr.node = Bexpr.Cast (bind a, t); dtype = t }
+      | Ast.Is_null { negated; arg } ->
+          { Bexpr.node = Bexpr.Is_null (negated, bind arg); dtype = Value.Bool_t }
+      | Ast.Call ("coalesce", args) when args <> [] ->
+          (* COALESCE(a, b, ...): first non-NULL argument. *)
+          let whens =
+            List.map (fun a -> (Ast.Is_null { negated = true; arg = a }, a)) args
+          in
+          bind (Ast.Case (whens, None))
+      | Ast.Call ("nullif", [ a; b ]) ->
+          (* NULLIF(a, b): NULL when a = b, else a. *)
+          bind
+            (Ast.Case
+               ( [ (Ast.Binary (Ast.Eq, a, b), Ast.Lit Value.Null) ],
+                 Some a ))
+      | Ast.Call (name, args) -> (
+          let args = List.map bind args in
+          let arg_types = List.map (fun a -> a.Bexpr.dtype) args in
+          match Udf.lookup env.udfs name arg_types with
+          | None ->
+              fail "no function %s(%s)" name
+                (String.concat ", " (List.map Value.dtype_name arg_types))
+          | Some def ->
+              (* Widen INT args where the signature wants FLOAT. *)
+              let args =
+                List.map2
+                  (fun a want ->
+                    if a.Bexpr.dtype = Value.Int_t && want = Value.Float_t then
+                      { Bexpr.node = Bexpr.Cast (a, Value.Float_t); dtype = Value.Float_t }
+                    else a)
+                  args def.Udf.arg_types
+              in
+              { Bexpr.node = Bexpr.Call { name; fn = def.Udf.fn; args };
+                dtype = def.Udf.ret_type })
+      | Ast.Agg _ -> fail "aggregate function not allowed here"
+      | Ast.Winfun _ -> fail "window functions are only allowed in the select list"
+      | Ast.Scalar_sub sel ->
+          let plan = !bind_select_fwd env sel in
+          let sub_schema = Lplan.schema_of plan in
+          if Schema.arity sub_schema <> 1 then
+            fail "scalar subquery must return exactly one column";
+          let cell = ref None in
+          env.subqueries := (cell, plan) :: !(env.subqueries);
+          { Bexpr.node = Bexpr.Subquery { kind = Bexpr.Sub_scalar; cell };
+            dtype = (Schema.column sub_schema 0).Schema.dtype }
+      | Ast.Exists sel ->
+          (* One row suffices to decide existence. *)
+          let plan =
+            Lplan.Limit { n = Some 1; offset = 0; input = !bind_select_fwd env sel }
+          in
+          let cell = ref None in
+          env.subqueries := (cell, plan) :: !(env.subqueries);
+          { Bexpr.node = Bexpr.Subquery { kind = Bexpr.Sub_exists; cell };
+            dtype = Value.Bool_t }
+      | Ast.In_select (subject, sel) ->
+          let subject = bind subject in
+          let plan = !bind_select_fwd env sel in
+          let sub_schema = Lplan.schema_of plan in
+          if Schema.arity sub_schema <> 1 then
+            fail "IN subquery must return exactly one column";
+          let sub_dtype = (Schema.column sub_schema 0).Schema.dtype in
+          (* Type-check subject vs. subquery column (a Col placeholder so
+             NULL-literal adaptation does not mask mismatches). *)
+          let _ =
+            harmonize "IN subquery" subject { Bexpr.node = Bexpr.Col 0; dtype = sub_dtype }
+          in
+          let cell = ref None in
+          env.subqueries := (cell, plan) :: !(env.subqueries);
+          { Bexpr.node = Bexpr.Subquery { kind = Bexpr.Sub_in subject; cell };
+            dtype = Value.Bool_t })
+
+(** [bind_scalar env schema ast] binds a scalar expression (aggregates are
+    rejected). *)
+let bind_scalar env schema ast =
+  bind_gen ~special:(fun _ -> None) env schema ast
+
+(* --- SELECT binding --------------------------------------------------- *)
+
+let rec collect_aggs acc = function
+  | Ast.Agg _ as a -> if List.exists (fun x -> x = a) acc then acc else acc @ [ a ]
+  | Ast.Lit _ | Ast.Col _ | Ast.Param _ -> acc
+  | Ast.Unary (_, e) | Ast.Cast (e, _) | Ast.Is_null { arg = e; _ } | Ast.Like (e, _) ->
+      collect_aggs acc e
+  | Ast.Binary (_, a, b) -> collect_aggs (collect_aggs acc a) b
+  | Ast.In_list (e, es) -> List.fold_left collect_aggs (collect_aggs acc e) es
+  | Ast.Between (a, b, c) -> collect_aggs (collect_aggs (collect_aggs acc a) b) c
+  | Ast.Case (whens, els) ->
+      let acc =
+        List.fold_left (fun acc (c, v) -> collect_aggs (collect_aggs acc c) v) acc whens
+      in
+      (match els with None -> acc | Some e -> collect_aggs acc e)
+  | Ast.Call (_, args) -> List.fold_left collect_aggs acc args
+  (* Subqueries are separate aggregation scopes. *)
+  | Ast.Scalar_sub _ | Ast.Exists _ -> acc
+  | Ast.In_select (e, _) -> collect_aggs acc e
+  | Ast.Winfun { arg; partition; order; _ } ->
+      let acc = match arg with Some e -> collect_aggs acc e | None -> acc in
+      let acc = List.fold_left collect_aggs acc partition in
+      List.fold_left (fun acc (e, _) -> collect_aggs acc e) acc order
+
+(* Collect distinct window-function subexpressions in discovery order. *)
+let rec collect_windows acc = function
+  | Ast.Winfun _ as w -> if List.exists (fun x -> x = w) acc then acc else acc @ [ w ]
+  | Ast.Lit _ | Ast.Col _ | Ast.Param _ -> acc
+  | Ast.Unary (_, e) | Ast.Cast (e, _) | Ast.Is_null { arg = e; _ } | Ast.Like (e, _) ->
+      collect_windows acc e
+  | Ast.Binary (_, a, b) -> collect_windows (collect_windows acc a) b
+  | Ast.In_list (e, es) -> List.fold_left collect_windows (collect_windows acc e) es
+  | Ast.Between (a, b, c) ->
+      collect_windows (collect_windows (collect_windows acc a) b) c
+  | Ast.Case (whens, els) ->
+      let acc =
+        List.fold_left (fun acc (c, v) -> collect_windows (collect_windows acc c) v) acc whens
+      in
+      (match els with None -> acc | Some e -> collect_windows acc e)
+  | Ast.Call (_, args) -> List.fold_left collect_windows acc args
+  | Ast.Agg { arg; _ } -> (
+      match arg with Some e -> collect_windows acc e | None -> acc)
+  | Ast.Scalar_sub _ | Ast.Exists _ -> acc
+  | Ast.In_select (e, _) -> collect_windows acc e
+
+let agg_kind_of = function
+  | Ast.Count -> Lplan.Count | Ast.Sum -> Lplan.Sum | Ast.Avg -> Lplan.Avg
+  | Ast.Min -> Lplan.Min | Ast.Max -> Lplan.Max
+
+let default_item_name idx = function
+  | Ast.Col name -> Schema.base_name name
+  | Ast.Agg { kind; _ } -> Ast.agg_name kind |> String.lowercase_ascii
+  | Ast.Call (name, _) -> name
+  | Ast.Winfun { kind = Ast.W_row_number; _ } -> "row_number"
+  | Ast.Winfun { kind = Ast.W_rank; _ } -> "rank"
+  | Ast.Winfun { kind = Ast.W_dense_rank; _ } -> "dense_rank"
+  | Ast.Winfun { kind = Ast.W_lag _; _ } -> "lag"
+  | Ast.Winfun { kind = Ast.W_lead _; _ } -> "lead"
+  | Ast.Winfun { kind = Ast.W_agg k; _ } -> Ast.agg_name k |> String.lowercase_ascii
+  | _ -> Printf.sprintf "col%d" idx
+
+(* Make output names unique by suffixing duplicates with _2, _3, ... *)
+let uniquify names =
+  let seen = Hashtbl.create 8 in
+  List.map
+    (fun n ->
+      match Hashtbl.find_opt seen n with
+      | None ->
+          Hashtbl.add seen n 1;
+          n
+      | Some k ->
+          Hashtbl.replace seen n (k + 1);
+          Printf.sprintf "%s_%d" n (k + 1))
+    names
+
+let rec bind_from env = function
+  | Ast.Table_ref (name, alias) ->
+      let table =
+        match Catalog.find env.catalog name with
+        | Some t -> t
+        | None -> fail "no table %S" name
+      in
+      let qual = Option.value ~default:name alias in
+      Lplan.Scan { table = name; schema = Schema.qualify qual (Quill_storage.Table.schema table) }
+  | Ast.Sub (sel, alias) ->
+      let plan = bind_select env sel in
+      let schema = Lplan.schema_of plan in
+      (* Re-expose the subquery's columns under the alias qualifier. *)
+      let items =
+        List.mapi
+          (fun i c ->
+            (Bexpr.col i c.Schema.dtype, alias ^ "." ^ Schema.base_name c.Schema.name))
+          (Schema.columns schema)
+      in
+      Lplan.Project (items, plan)
+  | Ast.Join (kind, l, r, cond) ->
+      let left = bind_from env l and right = bind_from env r in
+      let schema = Schema.concat (Lplan.schema_of left) (Lplan.schema_of right) in
+      let cond =
+        Option.map
+          (fun c ->
+            if Ast.contains_agg c then fail "aggregates are not allowed in JOIN conditions";
+            let e = bind_scalar env schema c in
+            require_bool "JOIN condition" e;
+            e)
+          cond
+      in
+      let kind = match kind with Ast.Inner -> Lplan.Inner | Ast.Left_outer -> Lplan.Left_outer in
+      Lplan.Join { kind; cond; left; right }
+
+and bind_select env (sel : Ast.select) =
+  let from_plan =
+    match sel.Ast.from with None -> Lplan.One_row | Some f -> bind_from env f
+  in
+  let in_schema = Lplan.schema_of from_plan in
+  let filtered =
+    match sel.Ast.where with
+    | None -> from_plan
+    | Some w ->
+        if Ast.contains_agg w then fail "aggregates are not allowed in WHERE";
+        let e = bind_scalar env in_schema w in
+        require_bool "WHERE" e;
+        Lplan.Filter (e, from_plan)
+  in
+  let items_have_agg =
+    List.exists (function Ast.Star -> false | Ast.Item (e, _) -> Ast.contains_agg e) sel.Ast.items
+  in
+  let having_has_agg =
+    match sel.Ast.having with Some h -> Ast.contains_agg h | None -> false
+  in
+  let aggregated = sel.Ast.group_by <> [] || items_have_agg || having_has_agg in
+  if sel.Ast.having <> None && not aggregated then
+    fail "HAVING requires GROUP BY or aggregates";
+
+  (* Expand star items against the FROM schema. *)
+  let expand_star () =
+    List.concat_map
+      (function
+        | Ast.Star -> List.map (fun c -> (Ast.Col c.Schema.name, None)) (Schema.columns in_schema)
+        | Ast.Item (e, alias) -> [ (e, alias) ])
+      sel.Ast.items
+  in
+  let raw_items = expand_star () in
+  if raw_items = [] then fail "empty select list";
+
+  (* [pre] is the plan below the projection; [bind_item] binds expressions
+     against its schema with the right visibility rules. *)
+  let pre, base_special, base_schema =
+    if not aggregated then (filtered, (fun _ -> None), in_schema)
+    else begin
+      (* Deduplicate group keys structurally; name Col keys by source name. *)
+      let key_asts =
+        List.fold_left
+          (fun acc k -> if List.mem k acc then acc else acc @ [ k ])
+          [] sel.Ast.group_by
+      in
+      let keys =
+        List.mapi
+          (fun i k ->
+            let e = bind_scalar env in_schema k in
+            let name =
+              match k with Ast.Col n -> n | _ -> Printf.sprintf "$key%d" i
+            in
+            (e, name))
+          key_asts
+      in
+      let agg_asts =
+        let from_items =
+          List.fold_left (fun acc (e, _) -> collect_aggs acc e) [] raw_items
+        in
+        match sel.Ast.having with
+        | None -> from_items
+        | Some h -> collect_aggs from_items h
+      in
+      let aggs =
+        List.mapi
+          (fun i ast ->
+            match ast with
+            | Ast.Agg { kind; arg; distinct } ->
+                let arg = Option.map (bind_scalar env in_schema) arg in
+                let out_dtype =
+                  match (agg_kind_of kind, arg) with
+                  | Lplan.Count, _ -> Value.Int_t
+                  | Lplan.Avg, Some a ->
+                      if not (is_numeric a.Bexpr.dtype) then
+                        fail "AVG requires a numeric argument";
+                      Value.Float_t
+                  | (Lplan.Sum | Lplan.Avg), None -> assert false
+                  | Lplan.Sum, Some a ->
+                      if not (is_numeric a.Bexpr.dtype) then
+                        fail "SUM requires a numeric argument";
+                      a.Bexpr.dtype
+                  | (Lplan.Min | Lplan.Max), Some a -> a.Bexpr.dtype
+                  | (Lplan.Min | Lplan.Max), None -> assert false
+                in
+                ({ Lplan.kind = agg_kind_of kind; arg; distinct; out_dtype },
+                 Printf.sprintf "$agg%d" i)
+            | _ -> assert false)
+          agg_asts
+      in
+      let agg_plan = Lplan.Aggregate { keys; aggs; input = filtered } in
+      let mid_schema = Lplan.schema_of agg_plan in
+      let nkeys = List.length keys in
+      let special ast =
+        (* Whole-expression match against a group key... *)
+        match
+          List.find_index (fun k -> k = ast)
+            (List.filteri (fun i _ -> i < nkeys) key_asts)
+        with
+        | Some i -> Some (Bexpr.col i (Schema.column mid_schema i).Schema.dtype)
+        | None -> (
+            (* ...or against a collected aggregate. *)
+            match ast with
+            | Ast.Agg _ -> (
+                match List.find_index (fun a -> a = ast) agg_asts with
+                | Some i ->
+                    Some (Bexpr.col (nkeys + i) (Schema.column mid_schema (nkeys + i)).Schema.dtype)
+                | None -> None)
+            | _ -> None)
+      in
+      let bind_item ast =
+        try bind_gen ~special env mid_schema ast
+        with Bind_error msg ->
+          if String.length msg >= 7 && String.sub msg 0 7 = "unknown" then
+            fail "%s: not in GROUP BY and not inside an aggregate" msg
+          else raise (Bind_error msg)
+      in
+      let post_having =
+        match sel.Ast.having with
+        | None -> agg_plan
+        | Some h ->
+            if Ast.contains_window h then
+              fail "window functions are not allowed in HAVING";
+            let e = bind_item h in
+            require_bool "HAVING" e;
+            Lplan.Filter (e, agg_plan)
+      in
+      (post_having, special, mid_schema)
+    end
+  in
+
+  (* Wrap bind_gen with the GROUP BY error message improvement. *)
+  let mk_bind special schema ast =
+    try bind_gen ~special env schema ast
+    with Bind_error msg ->
+      if aggregated && String.length msg >= 7 && String.sub msg 0 7 = "unknown" then
+        fail "%s: not in GROUP BY and not inside an aggregate" msg
+      else raise (Bind_error msg)
+  in
+
+  (* Window phase: window functions in the select list evaluate over the
+     post-aggregation (post-HAVING) rows; each distinct Winfun expression
+     becomes an appended column. *)
+  let win_asts =
+    List.fold_left (fun acc (e, _) -> collect_windows acc e) [] raw_items
+  in
+  let pre, special, out_base_schema =
+    if win_asts = [] then (pre, base_special, base_schema)
+    else begin
+      let bind0 ast = mk_bind base_special base_schema ast in
+      let specs =
+        List.mapi
+          (fun i ast ->
+            match ast with
+            | Ast.Winfun { kind; arg; partition; order } ->
+                if
+                  (match arg with Some a -> Ast.contains_window a | None -> false)
+                  || List.exists Ast.contains_window partition
+                  || List.exists (fun (e, _) -> Ast.contains_window e) order
+                then fail "window functions cannot be nested";
+                let warg = Option.map bind0 arg in
+                let partition = List.map bind0 partition in
+                let worder =
+                  List.map
+                    (fun (e, d) ->
+                      (bind0 e, match d with Ast.Asc -> Lplan.Asc | Ast.Desc -> Lplan.Desc))
+                    order
+                in
+                let wkind =
+                  match kind with
+                  | Ast.W_row_number -> Lplan.W_row_number
+                  | Ast.W_rank -> Lplan.W_rank
+                  | Ast.W_dense_rank -> Lplan.W_dense_rank
+                  | Ast.W_lag k -> Lplan.W_lag k
+                  | Ast.W_lead k -> Lplan.W_lead k
+                  | Ast.W_agg k -> Lplan.W_agg (agg_kind_of k)
+                in
+                (match (kind, warg) with
+                | (Ast.W_rank | Ast.W_dense_rank), _ when order = [] ->
+                    fail "RANK requires an ORDER BY in its OVER clause"
+                | (Ast.W_lag _ | Ast.W_lead _), _ when order = [] ->
+                    fail "LAG/LEAD require an ORDER BY in their OVER clause"
+                | _ -> ());
+                let w_dtype =
+                  match (wkind, warg) with
+                  | (Lplan.W_row_number | Lplan.W_rank | Lplan.W_dense_rank), _ ->
+                      Value.Int_t
+                  | (Lplan.W_lag _ | Lplan.W_lead _), Some a -> a.Bexpr.dtype
+                  | (Lplan.W_lag _ | Lplan.W_lead _), None -> assert false
+                  | Lplan.W_agg Lplan.Count, _ -> Value.Int_t
+                  | Lplan.W_agg Lplan.Avg, Some a ->
+                      if not (is_numeric a.Bexpr.dtype) then
+                        fail "AVG requires a numeric argument";
+                      Value.Float_t
+                  | Lplan.W_agg Lplan.Sum, Some a ->
+                      if not (is_numeric a.Bexpr.dtype) then
+                        fail "SUM requires a numeric argument";
+                      a.Bexpr.dtype
+                  | Lplan.W_agg (Lplan.Min | Lplan.Max), Some a -> a.Bexpr.dtype
+                  | Lplan.W_agg _, None -> assert false
+                in
+                ({ Lplan.wkind; warg; partition; worder; w_dtype },
+                 Printf.sprintf "$win%d" i)
+            | _ -> assert false)
+          win_asts
+      in
+      let wplan = Lplan.Window { specs; input = pre } in
+      let base_arity = Schema.arity base_schema in
+      let wschema = Lplan.schema_of wplan in
+      let special ast =
+        match List.find_index (fun w -> w = ast) win_asts with
+        | Some i ->
+            Some (Bexpr.col (base_arity + i) (Schema.column wschema (base_arity + i)).Schema.dtype)
+        | None -> base_special ast
+      in
+      (wplan, special, wschema)
+    end
+  in
+  let bind_item ast = mk_bind special out_base_schema ast in
+
+  let bound_items = List.map (fun (e, alias) -> (bind_item e, e, alias)) raw_items in
+  let out_names =
+    uniquify
+      (List.mapi
+         (fun i (_, ast, alias) ->
+           match alias with Some a -> a | None -> default_item_name i ast)
+         bound_items)
+  in
+  let proj_items = List.map2 (fun (be, _, _) n -> (be, n)) bound_items out_names in
+
+  (* ORDER BY: resolve to output positions; otherwise append hidden items. *)
+  let hidden = ref [] in
+  let order_keys =
+    List.map
+      (fun (e, dir) ->
+        let d = match dir with Ast.Asc -> Lplan.Asc | Ast.Desc -> Lplan.Desc in
+        match e with
+        | Ast.Lit (Value.Int k) ->
+            if k < 1 || k > List.length proj_items then
+              fail "ORDER BY position %d out of range" k;
+            (k - 1, d)
+        | _ -> (
+            (* Match an output alias or the item's own expression. *)
+            let by_alias =
+              match e with
+              | Ast.Col n ->
+                  List.find_index
+                    (fun (_, ast, alias) ->
+                      alias = Some n || ast = e
+                      || match ast with
+                         | Ast.Col n2 -> Schema.base_name n2 = n
+                         | _ -> false)
+                    bound_items
+              | _ -> List.find_index (fun (_, ast, _) -> ast = e) bound_items
+            in
+            match by_alias with
+            | Some i -> (i, d)
+            | None ->
+                if sel.Ast.distinct then
+                  fail "ORDER BY expressions must appear in the select list with DISTINCT";
+                let be = bind_item e in
+                hidden := !hidden @ [ (be, Printf.sprintf "$sort%d" (List.length !hidden)) ];
+                (List.length proj_items + List.length !hidden - 1, d)))
+      sel.Ast.order_by
+  in
+  let plan = Lplan.Project (proj_items @ !hidden, pre) in
+  let plan = if sel.Ast.distinct then Lplan.Distinct plan else plan in
+  let plan =
+    if order_keys = [] then plan else Lplan.Sort { keys = order_keys; input = plan }
+  in
+  let plan =
+    if !hidden = [] then plan
+    else
+      Lplan.Project
+        ( List.mapi
+            (fun i (e, n) -> (Bexpr.col i e.Bexpr.dtype, n))
+            proj_items,
+          plan )
+  in
+  match (sel.Ast.limit, sel.Ast.offset) with
+  | None, None -> plan
+  | n, off -> Lplan.Limit { n; offset = Option.value ~default:0 off; input = plan }
+
+
+(* Tie the forward reference for subquery binding. *)
+let () = bind_select_fwd := bind_select

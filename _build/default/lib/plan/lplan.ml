@@ -1,0 +1,171 @@
+(* Logical query plans.
+
+   The binder emits a canonical plan: scans joined in syntactic order with
+   all predicates in Filter nodes; the optimizer rewrites it.  Schemas are
+   derived structurally with [schema_of].  Sort keys are column indices of
+   the operator's input (the binder arranges projections so that sort keys
+   are materialized columns). *)
+
+module Value = Quill_storage.Value
+module Schema = Quill_storage.Schema
+
+type dir = Asc | Desc
+
+type join_kind = Inner | Left_outer
+
+type agg_kind = Count | Sum | Avg | Min | Max
+
+type win_kind =
+  | W_row_number
+  | W_rank
+  | W_dense_rank
+  | W_lag of int
+  | W_lead of int
+  | W_agg of agg_kind
+
+type agg = {
+  kind : agg_kind;
+  arg : Bexpr.t option;  (** [None] only for COUNT star *)
+  distinct : bool;
+  out_dtype : Value.dtype;
+}
+
+type wspec = {
+  wkind : win_kind;
+  warg : Bexpr.t option;
+  partition : Bexpr.t list;
+  worder : (Bexpr.t * dir) list;
+  w_dtype : Value.dtype;
+}
+
+type t =
+  | Scan of { table : string; schema : Schema.t }
+  | One_row  (** a single row with no columns; backs FROM-less SELECTs *)
+  | Filter of Bexpr.t * t
+  | Project of (Bexpr.t * string) list * t
+  | Join of { kind : join_kind; cond : Bexpr.t option; left : t; right : t }
+      (** [cond] is over the concatenated schema; for [Left_outer] it is
+          the ON condition (match condition, not a filter) *)
+  | Aggregate of {
+      keys : (Bexpr.t * string) list;
+      aggs : (agg * string) list;
+      input : t;
+    }
+  | Window of { specs : (wspec * string) list; input : t }
+      (** appends one column per spec to the input schema; row order is
+          preserved (ORDER BY inside OVER orders frames, not output) *)
+  | Sort of { keys : (int * dir) list; input : t }
+  | Distinct of t
+  | Limit of { n : int option; offset : int; input : t }
+
+let agg_kind_name = function
+  | Count -> "count" | Sum -> "sum" | Avg -> "avg" | Min -> "min" | Max -> "max"
+
+(** [schema_of p] derives the output schema of plan [p]. *)
+let rec schema_of = function
+  | Scan { schema; _ } -> schema
+  | One_row -> Schema.create []
+  | Filter (_, input) | Distinct input -> schema_of input
+  | Limit { input; _ } | Sort { input; _ } -> schema_of input
+  | Project (items, _) ->
+      Schema.create (List.map (fun (e, name) -> Schema.col name e.Bexpr.dtype) items)
+  | Join { kind; left; right; _ } ->
+      let right_schema = schema_of right in
+      let right_schema =
+        (* Outer-join padding makes every right column nullable. *)
+        if kind = Left_outer then
+          Schema.create
+            (List.map (fun c -> { c with Schema.nullable = true }) (Schema.columns right_schema))
+        else right_schema
+      in
+      Schema.concat (schema_of left) right_schema
+  | Aggregate { keys; aggs; _ } ->
+      Schema.create
+        (List.map (fun (e, name) -> Schema.col name e.Bexpr.dtype) keys
+        @ List.map (fun (a, name) -> Schema.col name a.out_dtype) aggs)
+  | Window { specs; input } ->
+      Schema.concat (schema_of input)
+        (Schema.create (List.map (fun (w, name) -> Schema.col name w.w_dtype) specs))
+
+let win_kind_name = function
+  | W_row_number -> "row_number"
+  | W_rank -> "rank"
+  | W_dense_rank -> "dense_rank"
+  | W_lag k -> Printf.sprintf "lag(%d)" k
+  | W_lead k -> Printf.sprintf "lead(%d)" k
+  | W_agg k -> agg_kind_name k
+
+(** [wspec_to_string w] renders a window spec for EXPLAIN. *)
+let wspec_to_string (w, name) =
+  Printf.sprintf "%s=%s(%s) over [part %s order %s]" name (win_kind_name w.wkind)
+    (match w.warg with None -> "" | Some e -> Bexpr.to_string e)
+    (String.concat "," (List.map Bexpr.to_string w.partition))
+    (String.concat ","
+       (List.map
+          (fun (e, d) ->
+            Bexpr.to_string e ^ match d with Asc -> " asc" | Desc -> " desc")
+          w.worder))
+
+(** [agg_to_string a] renders an aggregate spec for EXPLAIN. *)
+let agg_to_string (a, name) =
+  Printf.sprintf "%s=%s(%s%s)" name (agg_kind_name a.kind)
+    (if a.distinct then "DISTINCT " else "")
+    (match a.arg with None -> "*" | Some e -> Bexpr.to_string e)
+
+(** [to_string p] renders the plan tree with indentation for EXPLAIN. *)
+let to_string p =
+  let buf = Buffer.create 256 in
+  let rec go indent p =
+    Buffer.add_string buf (String.make (indent * 2) ' ');
+    (match p with
+    | Scan { table; _ } -> Buffer.add_string buf (Printf.sprintf "Scan %s\n" table)
+    | One_row -> Buffer.add_string buf "OneRow\n"
+    | Filter (e, input) ->
+        Buffer.add_string buf (Printf.sprintf "Filter %s\n" (Bexpr.to_string e));
+        go (indent + 1) input
+    | Project (items, input) ->
+        Buffer.add_string buf
+          (Printf.sprintf "Project [%s]\n"
+             (String.concat ", "
+                (List.map (fun (e, n) -> n ^ "=" ^ Bexpr.to_string e) items)));
+        go (indent + 1) input
+    | Join { kind; cond; left; right } ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s\n"
+             (match kind with Inner -> "Join" | Left_outer -> "LeftJoin")
+             (match cond with None -> " (cross)" | Some e -> " on " ^ Bexpr.to_string e));
+        go (indent + 1) left;
+        go (indent + 1) right
+    | Aggregate { keys; aggs; input } ->
+        Buffer.add_string buf
+          (Printf.sprintf "Aggregate keys=[%s] aggs=[%s]\n"
+             (String.concat ", "
+                (List.map (fun (e, n) -> n ^ "=" ^ Bexpr.to_string e) keys))
+             (String.concat ", " (List.map agg_to_string aggs)));
+        go (indent + 1) input
+    | Sort { keys; input } ->
+        Buffer.add_string buf
+          (Printf.sprintf "Sort [%s]\n"
+             (String.concat ", "
+                (List.map
+                   (fun (i, d) ->
+                     Printf.sprintf "#%d %s" i (match d with Asc -> "asc" | Desc -> "desc"))
+                   keys)));
+        go (indent + 1) input
+    | Window { specs; input } ->
+        Buffer.add_string buf
+          (Printf.sprintf "Window [%s]\n"
+             (String.concat ", " (List.map wspec_to_string specs)));
+        go (indent + 1) input
+    | Distinct input ->
+        Buffer.add_string buf "Distinct\n";
+        go (indent + 1) input
+    | Limit { n; offset; input } ->
+        Buffer.add_string buf
+          (Printf.sprintf "Limit %s offset %d\n"
+             (match n with None -> "all" | Some n -> string_of_int n)
+             offset);
+        go (indent + 1) input)
+  in
+  go 0 p;
+  Buffer.contents buf

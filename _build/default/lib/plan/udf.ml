@@ -1,0 +1,142 @@
+(* Scalar function registry: built-ins and user-defined functions.
+
+   The keynote's claim C5 is that "algorithm-picking languages" should
+   absorb user code; Quill does this by letting UDFs register here and then
+   flow through binding, optimization, profiling and compilation exactly
+   like built-ins.  Overload resolution picks the first signature whose
+   parameters accept the argument types (with Int->Float widening). *)
+
+module Value = Quill_storage.Value
+
+type def = {
+  name : string;
+  arg_types : Value.dtype list;
+  ret_type : Value.dtype;
+  fn : Value.t array -> Value.t;
+  cost_per_call : float;  (** optimizer cost units; built-ins are cheap *)
+}
+
+type t = { defs : (string, def list) Hashtbl.t }
+
+(** [register t def] adds an overload for [def.name]. *)
+let register t def =
+  let existing = Option.value ~default:[] (Hashtbl.find_opt t.defs def.name) in
+  Hashtbl.replace t.defs def.name (existing @ [ def ])
+
+let accepts param arg = param = arg || (param = Value.Float_t && arg = Value.Int_t)
+
+(** [lookup t name arg_types] resolves an overload; [None] if nothing
+    matches. *)
+let lookup t name arg_types =
+  match Hashtbl.find_opt t.defs name with
+  | None -> None
+  | Some defs ->
+      List.find_opt
+        (fun d ->
+          List.length d.arg_types = List.length arg_types
+          && List.for_all2 accepts d.arg_types arg_types)
+        defs
+
+let null_guard1 f = function
+  | [| Value.Null |] -> Value.Null
+  | [| v |] -> f v
+  | _ -> invalid_arg "arity"
+
+let builtin name arg_types ret_type fn =
+  { name; arg_types; ret_type; fn; cost_per_call = 1.0 }
+
+(** [builtins ()] returns a registry preloaded with the standard scalar
+    functions: abs, sqrt, floor, ceil, round, upper, lower, length, substr,
+    year, month, day. *)
+let builtins () =
+  let t = { defs = Hashtbl.create 32 } in
+  let reg = register t in
+  reg
+    (builtin "abs" [ Value.Int_t ] Value.Int_t
+       (null_guard1 (function Value.Int i -> Value.Int (abs i) | _ -> assert false)));
+  reg
+    (builtin "abs" [ Value.Float_t ] Value.Float_t
+       (null_guard1 (function Value.Float f -> Value.Float (Float.abs f) | _ -> assert false)));
+  reg
+    (builtin "sqrt" [ Value.Float_t ] Value.Float_t
+       (null_guard1 (function
+         | Value.Float f ->
+             if f < 0.0 then raise (Bexpr.Eval_error "sqrt of negative")
+             else Value.Float (sqrt f)
+         | _ -> assert false)));
+  reg
+    (builtin "floor" [ Value.Float_t ] Value.Float_t
+       (null_guard1 (function Value.Float f -> Value.Float (Float.floor f) | _ -> assert false)));
+  reg
+    (builtin "ceil" [ Value.Float_t ] Value.Float_t
+       (null_guard1 (function Value.Float f -> Value.Float (Float.ceil f) | _ -> assert false)));
+  reg
+    (builtin "round" [ Value.Float_t ] Value.Float_t
+       (null_guard1 (function Value.Float f -> Value.Float (Float.round f) | _ -> assert false)));
+  reg
+    (builtin "upper" [ Value.Str_t ] Value.Str_t
+       (null_guard1 (function
+         | Value.Str s -> Value.Str (String.uppercase_ascii s)
+         | _ -> assert false)));
+  reg
+    (builtin "lower" [ Value.Str_t ] Value.Str_t
+       (null_guard1 (function
+         | Value.Str s -> Value.Str (String.lowercase_ascii s)
+         | _ -> assert false)));
+  reg
+    (builtin "length" [ Value.Str_t ] Value.Int_t
+       (null_guard1 (function Value.Str s -> Value.Int (String.length s) | _ -> assert false)));
+  reg
+    (builtin "substr" [ Value.Str_t; Value.Int_t; Value.Int_t ] Value.Str_t (function
+      | [| Value.Str s; Value.Int start; Value.Int len |] ->
+          (* 1-based start, clamped to the string; SQL SUBSTR semantics. *)
+          let n = String.length s in
+          let from = max 0 (start - 1) in
+          let take = max 0 (min len (n - from)) in
+          if from >= n then Value.Str "" else Value.Str (String.sub s from take)
+      | [| _; _; _ |] -> Value.Null
+      | _ -> invalid_arg "arity"));
+  reg
+    (builtin "concat" [ Value.Str_t; Value.Str_t ] Value.Str_t (function
+      | [| Value.Str a; Value.Str b |] -> Value.Str (a ^ b)
+      | [| _; _ |] -> Value.Null
+      | _ -> invalid_arg "arity"));
+  reg
+    (builtin "trim" [ Value.Str_t ] Value.Str_t
+       (null_guard1 (function Value.Str s -> Value.Str (String.trim s) | _ -> assert false)));
+  reg
+    (builtin "replace" [ Value.Str_t; Value.Str_t; Value.Str_t ] Value.Str_t (function
+      | [| Value.Str s; Value.Str from; Value.Str into |] ->
+          if from = "" then Value.Str s
+          else begin
+            let buf = Buffer.create (String.length s) in
+            let nf = String.length from and ns = String.length s in
+            let i = ref 0 in
+            while !i < ns do
+              if !i + nf <= ns && String.sub s !i nf = from then begin
+                Buffer.add_string buf into;
+                i := !i + nf
+              end
+              else begin
+                Buffer.add_char buf s.[!i];
+                incr i
+              end
+            done;
+            Value.Str (Buffer.contents buf)
+          end
+      | [| _; _; _ |] -> Value.Null
+      | _ -> invalid_arg "arity"));
+  let date_part part =
+    null_guard1 (function
+      | Value.Date d ->
+          let y, m, dd = Value.ymd_of_date d in
+          Value.Int (match part with `Y -> y | `M -> m | `D -> dd)
+      | _ -> assert false)
+  in
+  reg (builtin "year" [ Value.Date_t ] Value.Int_t (date_part `Y));
+  reg (builtin "month" [ Value.Date_t ] Value.Int_t (date_part `M));
+  reg (builtin "day" [ Value.Date_t ] Value.Int_t (date_part `D));
+  t
+
+(** [create ()] returns an empty registry (no built-ins). *)
+let create () = { defs = Hashtbl.create 8 }

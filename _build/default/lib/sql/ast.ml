@@ -1,0 +1,179 @@
+(* Abstract syntax of the Quill SQL subset.
+
+   The AST is untyped and name-based; the binder in [quill.plan] resolves
+   names against the catalog and produces typed, index-based expressions. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+
+type unop = Neg | Not
+
+type agg_kind = Count | Sum | Avg | Min | Max
+
+type win_kind =
+  | W_row_number
+  | W_rank
+  | W_dense_rank
+  | W_lag of int  (** offset, default 1 *)
+  | W_lead of int
+  | W_agg of agg_kind  (** aggregate over the window *)
+
+type order_dir = Asc | Desc
+
+type join_kind = Inner | Left_outer
+
+type expr =
+  | Lit of Quill_storage.Value.t
+  | Col of string  (** possibly qualified, e.g. ["l.price"] *)
+  | Param of int  (** [$1]-style query parameter, 1-based *)
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Like of expr * string
+  | In_list of expr * expr list
+  | Between of expr * expr * expr
+  | Case of (expr * expr) list * expr option
+  | Cast of expr * Quill_storage.Value.dtype
+  | Is_null of { negated : bool; arg : expr }
+  | Call of string * expr list  (** scalar built-ins and registered UDFs *)
+  | Agg of { kind : agg_kind; arg : expr option; distinct : bool }
+  | Winfun of {
+      kind : win_kind;
+      arg : expr option;  (** None for row_number/rank/dense_rank/COUNT star *)
+      partition : expr list;
+      order : (expr * order_dir) list;
+    }  (** window function: f(...) OVER (PARTITION BY .. ORDER BY ..) *)
+  | Scalar_sub of select  (** uncorrelated scalar subquery *)
+  | Exists of select  (** EXISTS (SELECT ...) *)
+  | In_select of expr * select  (** e IN (SELECT ...) *)
+
+and item = Star | Item of expr * string option
+
+and from =
+  | Table_ref of string * string option  (** name, alias *)
+  | Join of join_kind * from * from * expr option
+      (** JOIN ... ON; cross join when [Inner] with no condition *)
+  | Sub of select * string  (** derived table with mandatory alias *)
+
+and select = {
+  distinct : bool;
+  items : item list;
+  from : from option;
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+  order_by : (expr * order_dir) list;
+  limit : int option;
+  offset : int option;
+}
+
+type stmt =
+  | Select of select
+  | Create_table of string * (string * Quill_storage.Value.dtype * bool) list
+      (** name, (col, type, nullable) list *)
+  | Insert of string * string list option * expr list list
+  | Copy of string * string  (** COPY table FROM 'path' *)
+  | Explain of { analyze : bool; query : select }
+  | Drop_table of string
+  | Create_index of string * string  (** CREATE INDEX ON t (col) *)
+  | Create_table_as of string * select  (** CREATE TABLE t AS SELECT ... *)
+  | Delete of string * expr option  (** DELETE FROM t [WHERE e] *)
+  | Update of string * (string * expr) list * expr option
+      (** UPDATE t SET c = e, ... [WHERE e] *)
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "=" | Neq -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "AND" | Or -> "OR"
+
+let agg_name = function
+  | Count -> "COUNT" | Sum -> "SUM" | Avg -> "AVG" | Min -> "MIN" | Max -> "MAX"
+
+(** [expr_to_string e] renders an expression back to SQL-ish text (used by
+    EXPLAIN and in error messages; fully parenthesized). *)
+let rec expr_to_string = function
+  | Lit (Quill_storage.Value.Str s) -> "'" ^ s ^ "'"
+  | Lit (Quill_storage.Value.Date d) ->
+      "DATE '" ^ Quill_storage.Value.date_string d ^ "'"
+  | Lit v -> Quill_storage.Value.to_string v
+  | Col c -> c
+  | Param i -> "$" ^ string_of_int i
+  | Unary (Neg, e) -> "(-" ^ expr_to_string e ^ ")"
+  | Unary (Not, e) -> "(NOT " ^ expr_to_string e ^ ")"
+  | Binary (op, a, b) ->
+      "(" ^ expr_to_string a ^ " " ^ binop_name op ^ " " ^ expr_to_string b ^ ")"
+  | Like (e, pat) -> "(" ^ expr_to_string e ^ " LIKE '" ^ pat ^ "')"
+  | In_list (e, es) ->
+      "(" ^ expr_to_string e ^ " IN ("
+      ^ String.concat ", " (List.map expr_to_string es)
+      ^ "))"
+  | Between (e, lo, hi) ->
+      "(" ^ expr_to_string e ^ " BETWEEN " ^ expr_to_string lo ^ " AND "
+      ^ expr_to_string hi ^ ")"
+  | Case (whens, els) ->
+      "CASE "
+      ^ String.concat " "
+          (List.map
+             (fun (c, v) -> "WHEN " ^ expr_to_string c ^ " THEN " ^ expr_to_string v)
+             whens)
+      ^ (match els with None -> "" | Some e -> " ELSE " ^ expr_to_string e)
+      ^ " END"
+  | Cast (e, t) ->
+      "CAST(" ^ expr_to_string e ^ " AS " ^ Quill_storage.Value.dtype_name t ^ ")"
+  | Is_null { negated; arg } ->
+      "(" ^ expr_to_string arg ^ (if negated then " IS NOT NULL)" else " IS NULL)")
+  | Call (f, args) -> f ^ "(" ^ String.concat ", " (List.map expr_to_string args) ^ ")"
+  | Agg { kind; arg; distinct } ->
+      agg_name kind ^ "("
+      ^ (if distinct then "DISTINCT " else "")
+      ^ (match arg with None -> "*" | Some e -> expr_to_string e)
+      ^ ")"
+  | Winfun { kind; arg; _ } ->
+      let name =
+        match kind with
+        | W_row_number -> "ROW_NUMBER" | W_rank -> "RANK" | W_dense_rank -> "DENSE_RANK"
+        | W_lag _ -> "LAG" | W_lead _ -> "LEAD" | W_agg k -> agg_name k
+      in
+      name ^ "(" ^ (match arg with None -> "" | Some e -> expr_to_string e) ^ ") OVER (..)"
+  | Scalar_sub _ -> "(SELECT ...)"
+  | Exists _ -> "EXISTS (SELECT ...)"
+  | In_select (e, _) -> "(" ^ expr_to_string e ^ " IN (SELECT ...))"
+
+(** [contains_agg e] is true when [e] contains an aggregate call. *)
+let rec contains_agg = function
+  | Agg _ -> true
+  | Lit _ | Col _ | Param _ -> false
+  | Unary (_, e) | Cast (e, _) | Is_null { arg = e; _ } | Like (e, _) -> contains_agg e
+  | Binary (_, a, b) -> contains_agg a || contains_agg b
+  | In_list (e, es) -> contains_agg e || List.exists contains_agg es
+  | Between (a, b, c) -> contains_agg a || contains_agg b || contains_agg c
+  | Case (whens, els) ->
+      List.exists (fun (c, v) -> contains_agg c || contains_agg v) whens
+      || (match els with None -> false | Some e -> contains_agg e)
+  | Call (_, args) -> List.exists contains_agg args
+  (* Subqueries are separate aggregation scopes. *)
+  | Scalar_sub _ | Exists _ -> false
+  | In_select (e, _) -> contains_agg e
+  (* A window aggregate is not a GROUP BY aggregate; only its operands
+     count. *)
+  | Winfun { arg; partition; order; _ } ->
+      (match arg with Some e -> contains_agg e | None -> false)
+      || List.exists contains_agg partition
+      || List.exists (fun (e, _) -> contains_agg e) order
+
+(** [contains_window e] is true when [e] contains a window function. *)
+let rec contains_window = function
+  | Winfun _ -> true
+  | Lit _ | Col _ | Param _ -> false
+  | Unary (_, e) | Cast (e, _) | Is_null { arg = e; _ } | Like (e, _) -> contains_window e
+  | Binary (_, a, b) -> contains_window a || contains_window b
+  | In_list (e, es) -> contains_window e || List.exists contains_window es
+  | Between (a, b, c) -> contains_window a || contains_window b || contains_window c
+  | Case (whens, els) ->
+      List.exists (fun (c, v) -> contains_window c || contains_window v) whens
+      || (match els with None -> false | Some e -> contains_window e)
+  | Call (_, args) -> List.exists contains_window args
+  | Agg { arg; _ } -> ( match arg with Some e -> contains_window e | None -> false)
+  | Scalar_sub _ | Exists _ -> false
+  | In_select (e, _) -> contains_window e

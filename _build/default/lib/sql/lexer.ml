@@ -1,0 +1,126 @@
+(* Hand-written SQL lexer.
+
+   Keywords are case-insensitive; identifiers are lowercased so the rest of
+   the system is case-insensitive for names.  String literals use single
+   quotes with '' escaping.  [--] starts a line comment. *)
+
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Keyword of string  (** uppercased *)
+  | Punct of string  (** one of ( ) , . * = <> != < <= > >= + - / % $ ; *)
+  | Eof
+
+exception Lex_error of string * int  (** message, position *)
+
+let keywords =
+  [ "SELECT"; "FROM"; "WHERE"; "GROUP"; "BY"; "HAVING"; "ORDER"; "LIMIT";
+    "OFFSET"; "AS"; "AND"; "OR"; "NOT"; "NULL"; "TRUE"; "FALSE"; "LIKE";
+    "IN"; "BETWEEN"; "CASE"; "WHEN"; "THEN"; "ELSE"; "END"; "CAST"; "IS";
+    "JOIN"; "INNER"; "CROSS"; "LEFT"; "OUTER"; "ON"; "DISTINCT"; "ASC"; "DESC"; "CREATE";
+    "TABLE"; "INSERT"; "INTO"; "VALUES"; "COPY"; "EXPLAIN"; "ANALYZE";
+    "DELETE"; "UPDATE"; "SET"; "INDEX"; "EXISTS"; "OVER"; "PARTITION";
+    "DATE"; "INT"; "INTEGER"; "BIGINT"; "FLOAT"; "DOUBLE"; "REAL"; "TEXT";
+    "VARCHAR"; "CHAR"; "BOOL"; "BOOLEAN"; "DROP"; "COUNT"; "SUM"; "AVG";
+    "MIN"; "MAX" ]
+
+let keyword_set = List.fold_left (fun s k -> (k, ()) :: s) [] keywords
+
+let is_keyword s = List.mem_assoc (String.uppercase_ascii s) keyword_set
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(** [tokenize s] lexes [s] into a token list ending with [Eof]; raises
+    {!Lex_error} on unexpected characters or unterminated strings. *)
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let emit t = toks := t :: !toks in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '-' && !i + 1 < n && s.[!i + 1] = '-' then begin
+      while !i < n && s.[!i] <> '\n' do incr i done
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char s.[!i] do incr i done;
+      let word = String.sub s start (!i - start) in
+      if is_keyword word then emit (Keyword (String.uppercase_ascii word))
+      else emit (Ident (String.lowercase_ascii word))
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit s.[!i] do incr i done;
+      let is_float =
+        (!i < n && s.[!i] = '.' && !i + 1 < n && is_digit s.[!i + 1])
+        || (!i < n && (s.[!i] = 'e' || s.[!i] = 'E'))
+      in
+      if is_float then begin
+        if !i < n && s.[!i] = '.' then begin
+          incr i;
+          while !i < n && is_digit s.[!i] do incr i done
+        end;
+        if !i < n && (s.[!i] = 'e' || s.[!i] = 'E') then begin
+          incr i;
+          if !i < n && (s.[!i] = '+' || s.[!i] = '-') then incr i;
+          while !i < n && is_digit s.[!i] do incr i done
+        end;
+        emit (Float_lit (float_of_string (String.sub s start (!i - start))))
+      end
+      else emit (Int_lit (int_of_string (String.sub s start (!i - start))))
+    end
+    else if c = '\'' then begin
+      let buf = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while not !closed do
+        if !i >= n then raise (Lex_error ("unterminated string literal", !i));
+        if s.[!i] = '\'' then
+          if !i + 1 < n && s.[!i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf s.[!i];
+          incr i
+        end
+      done;
+      emit (Str_lit (Buffer.contents buf))
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub s !i 2 else "" in
+      match two with
+      | "<=" | ">=" | "<>" | "!=" ->
+          emit (Punct (if two = "!=" then "<>" else two));
+          i := !i + 2
+      | _ -> (
+          match c with
+          | '(' | ')' | ',' | '.' | '*' | '=' | '<' | '>' | '+' | '-' | '/'
+          | '%' | '$' | ';' ->
+              emit (Punct (String.make 1 c));
+              incr i
+          | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, !i)))
+    end
+  done;
+  emit Eof;
+  List.rev !toks
+
+(** [token_to_string t] renders a token for error messages. *)
+let token_to_string = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Int_lit i -> string_of_int i
+  | Float_lit f -> string_of_float f
+  | Str_lit s -> Printf.sprintf "'%s'" s
+  | Keyword k -> k
+  | Punct p -> Printf.sprintf "%S" p
+  | Eof -> "end of input"

@@ -1,0 +1,606 @@
+(* Recursive-descent parser for the Quill SQL subset.
+
+   Expressions use classic precedence layering:
+   OR < AND < NOT < comparison/LIKE/IN/BETWEEN/IS < +,- < *,/,% < unary -.
+   Errors carry the offending token to keep messages actionable. *)
+
+open Ast
+
+exception Parse_error of string
+
+type state = { toks : Lexer.token array; mutable pos : int }
+
+let peek st = st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "%s (at %s)" msg (Lexer.token_to_string (peek st))))
+
+let eat_punct st p =
+  match peek st with
+  | Lexer.Punct q when q = p -> advance st
+  | _ -> fail st (Printf.sprintf "expected %S" p)
+
+let eat_keyword st k =
+  match peek st with
+  | Lexer.Keyword q when q = k -> advance st
+  | _ -> fail st (Printf.sprintf "expected %s" k)
+
+let try_keyword st k =
+  match peek st with
+  | Lexer.Keyword q when q = k ->
+      advance st;
+      true
+  | _ -> false
+
+let try_punct st p =
+  match peek st with
+  | Lexer.Punct q when q = p ->
+      advance st;
+      true
+  | _ -> false
+
+let ident st =
+  match peek st with
+  | Lexer.Ident s ->
+      advance st;
+      s
+  | _ -> fail st "expected identifier"
+
+(* Possibly qualified column reference: a or a.b *)
+let qualified_ident st =
+  let first = ident st in
+  if try_punct st "." then first ^ "." ^ ident st else first
+
+let dtype st =
+  match peek st with
+  | Lexer.Keyword ("INT" | "INTEGER" | "BIGINT") ->
+      advance st;
+      Quill_storage.Value.Int_t
+  | Lexer.Keyword ("FLOAT" | "DOUBLE" | "REAL") ->
+      advance st;
+      Quill_storage.Value.Float_t
+  | Lexer.Keyword ("TEXT" | "VARCHAR" | "CHAR") ->
+      advance st;
+      (* Optional length, accepted and ignored. *)
+      if try_punct st "(" then begin
+        (match peek st with Lexer.Int_lit _ -> advance st | _ -> fail st "expected length");
+        eat_punct st ")"
+      end;
+      Quill_storage.Value.Str_t
+  | Lexer.Keyword ("BOOL" | "BOOLEAN") ->
+      advance st;
+      Quill_storage.Value.Bool_t
+  | Lexer.Keyword "DATE" ->
+      advance st;
+      Quill_storage.Value.Date_t
+  | _ -> fail st "expected type name"
+
+let agg_kind_of_keyword = function
+  | "COUNT" -> Some Count
+  | "SUM" -> Some Sum
+  | "AVG" -> Some Avg
+  | "MIN" -> Some Min
+  | "MAX" -> Some Max
+  | _ -> None
+
+let rec expr st = or_expr st
+
+and or_expr st =
+  let lhs = ref (and_expr st) in
+  while try_keyword st "OR" do
+    lhs := Binary (Or, !lhs, and_expr st)
+  done;
+  !lhs
+
+and and_expr st =
+  let lhs = ref (not_expr st) in
+  while try_keyword st "AND" do
+    lhs := Binary (And, !lhs, not_expr st)
+  done;
+  !lhs
+
+and not_expr st = if try_keyword st "NOT" then Unary (Not, not_expr st) else cmp_expr st
+
+and cmp_expr st =
+  let lhs = add_expr st in
+  let negated = try_keyword st "NOT" in
+  let wrap e = if negated then Unary (Not, e) else e in
+  match peek st with
+  | Lexer.Punct ("=" | "<>" | "<" | "<=" | ">" | ">=") when not negated ->
+      let op =
+        match peek st with
+        | Lexer.Punct "=" -> Eq
+        | Lexer.Punct "<>" -> Neq
+        | Lexer.Punct "<" -> Lt
+        | Lexer.Punct "<=" -> Le
+        | Lexer.Punct ">" -> Gt
+        | Lexer.Punct ">=" -> Ge
+        | _ -> assert false
+      in
+      advance st;
+      Binary (op, lhs, add_expr st)
+  | Lexer.Keyword "LIKE" ->
+      advance st;
+      (match peek st with
+      | Lexer.Str_lit pat ->
+          advance st;
+          wrap (Like (lhs, pat))
+      | _ -> fail st "LIKE expects a string literal pattern")
+  | Lexer.Keyword "IN" ->
+      advance st;
+      eat_punct st "(";
+      if peek st = Lexer.Keyword "SELECT" then begin
+        let sub = select_body st in
+        eat_punct st ")";
+        wrap (In_select (lhs, sub))
+      end
+      else begin
+        let items = ref [ expr st ] in
+        while try_punct st "," do
+          items := expr st :: !items
+        done;
+        eat_punct st ")";
+        wrap (In_list (lhs, List.rev !items))
+      end
+  | Lexer.Keyword "BETWEEN" ->
+      advance st;
+      let lo = add_expr st in
+      eat_keyword st "AND";
+      let hi = add_expr st in
+      wrap (Between (lhs, lo, hi))
+  | Lexer.Keyword "IS" when not negated ->
+      advance st;
+      let neg = try_keyword st "NOT" in
+      eat_keyword st "NULL";
+      Is_null { negated = neg; arg = lhs }
+  | _ ->
+      if negated then fail st "expected LIKE, IN or BETWEEN after NOT" else lhs
+
+and add_expr st =
+  let lhs = ref (mul_expr st) in
+  let continue = ref true in
+  while !continue do
+    if try_punct st "+" then lhs := Binary (Add, !lhs, mul_expr st)
+    else if try_punct st "-" then lhs := Binary (Sub, !lhs, mul_expr st)
+    else continue := false
+  done;
+  !lhs
+
+and mul_expr st =
+  let lhs = ref (unary_expr st) in
+  let continue = ref true in
+  while !continue do
+    if try_punct st "*" then lhs := Binary (Mul, !lhs, unary_expr st)
+    else if try_punct st "/" then lhs := Binary (Div, !lhs, unary_expr st)
+    else if try_punct st "%" then lhs := Binary (Mod, !lhs, unary_expr st)
+    else continue := false
+  done;
+  !lhs
+
+and unary_expr st = if try_punct st "-" then Unary (Neg, unary_expr st) else primary st
+
+and primary st =
+  match peek st with
+  | Lexer.Int_lit i ->
+      advance st;
+      Lit (Quill_storage.Value.Int i)
+  | Lexer.Float_lit f ->
+      advance st;
+      Lit (Quill_storage.Value.Float f)
+  | Lexer.Str_lit s ->
+      advance st;
+      Lit (Quill_storage.Value.Str s)
+  | Lexer.Keyword "TRUE" ->
+      advance st;
+      Lit (Quill_storage.Value.Bool true)
+  | Lexer.Keyword "FALSE" ->
+      advance st;
+      Lit (Quill_storage.Value.Bool false)
+  | Lexer.Keyword "NULL" ->
+      advance st;
+      Lit Quill_storage.Value.Null
+  | Lexer.Keyword "DATE" -> (
+      advance st;
+      match peek st with
+      | Lexer.Str_lit s -> (
+          advance st;
+          match Quill_storage.Value.parse_date s with
+          | Some d -> Lit (Quill_storage.Value.Date d)
+          | None -> raise (Parse_error (Printf.sprintf "bad date literal %S" s)))
+      | _ -> fail st "DATE expects a string literal")
+  | Lexer.Punct "$" -> (
+      advance st;
+      match peek st with
+      | Lexer.Int_lit i when i >= 1 ->
+          advance st;
+          Param i
+      | _ -> fail st "expected parameter number after $")
+  | Lexer.Keyword "CASE" ->
+      advance st;
+      let whens = ref [] in
+      while try_keyword st "WHEN" do
+        let c = expr st in
+        eat_keyword st "THEN";
+        let v = expr st in
+        whens := (c, v) :: !whens
+      done;
+      if !whens = [] then fail st "CASE requires at least one WHEN";
+      let els = if try_keyword st "ELSE" then Some (expr st) else None in
+      eat_keyword st "END";
+      Case (List.rev !whens, els)
+  | Lexer.Keyword "CAST" ->
+      advance st;
+      eat_punct st "(";
+      let e = expr st in
+      eat_keyword st "AS";
+      let t = dtype st in
+      eat_punct st ")";
+      Cast (e, t)
+  | Lexer.Keyword k when agg_kind_of_keyword k <> None ->
+      let kind = Option.get (agg_kind_of_keyword k) in
+      advance st;
+      eat_punct st "(";
+      let distinct = try_keyword st "DISTINCT" in
+      let base =
+        if try_punct st "*" then begin
+          if kind <> Count then fail st "only COUNT(*) is allowed";
+          eat_punct st ")";
+          Agg { kind; arg = None; distinct = false }
+        end
+        else begin
+          let e = expr st in
+          eat_punct st ")";
+          Agg { kind; arg = Some e; distinct }
+        end
+      in
+      if try_keyword st "OVER" then begin
+        match base with
+        | Agg { distinct = true; _ } -> fail st "DISTINCT is not supported in window functions"
+        | Agg { kind; arg; _ } ->
+            let partition, order = over_clause st in
+            Winfun { kind = W_agg kind; arg; partition; order }
+        | _ -> assert false
+      end
+      else base
+  | Lexer.Keyword "EXISTS" ->
+      advance st;
+      eat_punct st "(";
+      let sub = select_body st in
+      eat_punct st ")";
+      Exists sub
+  | Lexer.Punct "(" ->
+      advance st;
+      if peek st = Lexer.Keyword "SELECT" then begin
+        let sub = select_body st in
+        eat_punct st ")";
+        Scalar_sub sub
+      end
+      else begin
+        let e = expr st in
+        eat_punct st ")";
+        e
+      end
+  | Lexer.Ident _ ->
+      let name = qualified_ident st in
+      if (not (String.contains name '.')) && try_punct st "(" then begin
+        (* Scalar function / UDF call, possibly a window function. *)
+        let args = ref [] in
+        if not (try_punct st ")") then begin
+          args := [ expr st ];
+          while try_punct st "," do
+            args := expr st :: !args
+          done;
+          eat_punct st ")"
+        end;
+        let args = List.rev !args in
+        if try_keyword st "OVER" then begin
+          let lag_lead mk =
+            match args with
+            | [ e ] -> (mk 1, Some e)
+            | [ e; Lit (Quill_storage.Value.Int k) ] when k >= 0 -> (mk k, Some e)
+            | _ -> fail st "LAG/LEAD expect (expr [, non-negative offset])"
+          in
+          let kind, arg =
+            match (name, args) with
+            | "row_number", [] -> (W_row_number, None)
+            | "rank", [] -> (W_rank, None)
+            | "dense_rank", [] -> (W_dense_rank, None)
+            | "lag", _ -> lag_lead (fun k -> W_lag k)
+            | "lead", _ -> lag_lead (fun k -> W_lead k)
+            | _ -> fail st (Printf.sprintf "unknown window function %s" name)
+          in
+          let partition, order = over_clause st in
+          Winfun { kind; arg; partition; order }
+        end
+        else Call (name, args)
+      end
+      else Col name
+  | _ -> fail st "expected expression"
+
+and over_clause st =
+  eat_punct st "(";
+  let partition =
+    if try_keyword st "PARTITION" then begin
+      eat_keyword st "BY";
+      let es = ref [ expr st ] in
+      while try_punct st "," do
+        es := expr st :: !es
+      done;
+      List.rev !es
+    end
+    else []
+  in
+  let order =
+    if try_keyword st "ORDER" then begin
+      eat_keyword st "BY";
+      let one () =
+        let e = expr st in
+        let dir =
+          if try_keyword st "DESC" then Desc
+          else begin
+            let _ = try_keyword st "ASC" in
+            Asc
+          end
+        in
+        (e, dir)
+      in
+      let es = ref [ one () ] in
+      while try_punct st "," do
+        es := one () :: !es
+      done;
+      List.rev !es
+    end
+    else []
+  in
+  eat_punct st ")";
+  (partition, order)
+
+and select_item st =
+  if try_punct st "*" then Star
+  else begin
+    let e = expr st in
+    let alias =
+      if try_keyword st "AS" then Some (ident st)
+      else match peek st with Lexer.Ident _ -> Some (ident st) | _ -> None
+    in
+    Item (e, alias)
+  end
+
+and from_primary st =
+  if try_punct st "(" then begin
+    let sub = select_body st in
+    eat_punct st ")";
+    let _ = try_keyword st "AS" in
+    Sub (sub, ident st)
+  end
+  else begin
+    let name = ident st in
+    let alias =
+      if try_keyword st "AS" then Some (ident st)
+      else match peek st with Lexer.Ident _ -> Some (ident st) | _ -> None
+    in
+    Table_ref (name, alias)
+  end
+
+and from_clause st =
+  let lhs = ref (from_primary st) in
+  let continue = ref true in
+  while !continue do
+    if try_punct st "," then lhs := Join (Inner, !lhs, from_primary st, None)
+    else if try_keyword st "CROSS" then begin
+      eat_keyword st "JOIN";
+      lhs := Join (Inner, !lhs, from_primary st, None)
+    end
+    else if try_keyword st "LEFT" then begin
+      let _ = try_keyword st "OUTER" in
+      eat_keyword st "JOIN";
+      let rhs = from_primary st in
+      eat_keyword st "ON";
+      lhs := Join (Left_outer, !lhs, rhs, Some (expr st))
+    end
+    else begin
+      let inner = try_keyword st "INNER" in
+      if try_keyword st "JOIN" then begin
+        let rhs = from_primary st in
+        eat_keyword st "ON";
+        lhs := Join (Inner, !lhs, rhs, Some (expr st))
+      end
+      else if inner then fail st "expected JOIN after INNER"
+      else continue := false
+    end
+  done;
+  !lhs
+
+and select_body st =
+  eat_keyword st "SELECT";
+  let distinct = try_keyword st "DISTINCT" in
+  let items = ref [ select_item st ] in
+  while try_punct st "," do
+    items := select_item st :: !items
+  done;
+  let from = if try_keyword st "FROM" then Some (from_clause st) else None in
+  let where = if try_keyword st "WHERE" then Some (expr st) else None in
+  let group_by =
+    if try_keyword st "GROUP" then begin
+      eat_keyword st "BY";
+      let es = ref [ expr st ] in
+      while try_punct st "," do
+        es := expr st :: !es
+      done;
+      List.rev !es
+    end
+    else []
+  in
+  let having = if try_keyword st "HAVING" then Some (expr st) else None in
+  let order_by =
+    if try_keyword st "ORDER" then begin
+      eat_keyword st "BY";
+      let one () =
+        let e = expr st in
+        let dir =
+          if try_keyword st "DESC" then Desc
+          else begin
+            let _ = try_keyword st "ASC" in
+            Asc
+          end
+        in
+        (e, dir)
+      in
+      let es = ref [ one () ] in
+      while try_punct st "," do
+        es := one () :: !es
+      done;
+      List.rev !es
+    end
+    else []
+  in
+  let int_lit () =
+    match peek st with
+    | Lexer.Int_lit i ->
+        advance st;
+        i
+    | _ -> fail st "expected integer"
+  in
+  let limit = if try_keyword st "LIMIT" then Some (int_lit ()) else None in
+  let offset = if try_keyword st "OFFSET" then Some (int_lit ()) else None in
+  { distinct; items = List.rev !items; from; where; group_by; having; order_by;
+    limit; offset }
+
+let create_table st =
+  if try_keyword st "INDEX" then begin
+    eat_keyword st "ON";
+    let table = ident st in
+    eat_punct st "(";
+    let col = ident st in
+    eat_punct st ")";
+    Create_index (table, col)
+  end
+  else begin
+  eat_keyword st "TABLE";
+  let name = ident st in
+  if try_keyword st "AS" then Create_table_as (name, select_body st)
+  else begin
+  eat_punct st "(";
+  let col () =
+    let cname = ident st in
+    let t = dtype st in
+    let nullable =
+      if try_keyword st "NOT" then begin
+        eat_keyword st "NULL";
+        false
+      end
+      else true
+    in
+    (cname, t, nullable)
+  in
+  let cols = ref [ col () ] in
+  while try_punct st "," do
+    cols := col () :: !cols
+  done;
+  eat_punct st ")";
+  Create_table (name, List.rev !cols)
+  end
+  end
+
+let insert st =
+  eat_keyword st "INTO";
+  let name = ident st in
+  let cols =
+    if try_punct st "(" then begin
+      let cs = ref [ ident st ] in
+      while try_punct st "," do
+        cs := ident st :: !cs
+      done;
+      eat_punct st ")";
+      Some (List.rev !cs)
+    end
+    else None
+  in
+  eat_keyword st "VALUES";
+  let row () =
+    eat_punct st "(";
+    let es = ref [ expr st ] in
+    while try_punct st "," do
+      es := expr st :: !es
+    done;
+    eat_punct st ")";
+    List.rev !es
+  in
+  let rows = ref [ row () ] in
+  while try_punct st "," do
+    rows := row () :: !rows
+  done;
+  Insert (name, cols, List.rev !rows)
+
+let statement st =
+  let s =
+    match peek st with
+    | Lexer.Keyword "SELECT" -> Select (select_body st)
+    | Lexer.Keyword "CREATE" ->
+        advance st;
+        create_table st
+    | Lexer.Keyword "INSERT" ->
+        advance st;
+        insert st
+    | Lexer.Keyword "DROP" ->
+        advance st;
+        eat_keyword st "TABLE";
+        Drop_table (ident st)
+    | Lexer.Keyword "COPY" ->
+        advance st;
+        let name = ident st in
+        eat_keyword st "FROM";
+        (match peek st with
+        | Lexer.Str_lit path ->
+            advance st;
+            Copy (name, path)
+        | _ -> fail st "COPY expects a quoted path")
+    | Lexer.Keyword "DELETE" ->
+        advance st;
+        eat_keyword st "FROM";
+        let name = ident st in
+        let where = if try_keyword st "WHERE" then Some (expr st) else None in
+        Delete (name, where)
+    | Lexer.Keyword "UPDATE" ->
+        advance st;
+        let name = ident st in
+        eat_keyword st "SET";
+        let assign () =
+          let c = ident st in
+          eat_punct st "=";
+          (c, expr st)
+        in
+        let sets = ref [ assign () ] in
+        while try_punct st "," do
+          sets := assign () :: !sets
+        done;
+        let where = if try_keyword st "WHERE" then Some (expr st) else None in
+        Update (name, List.rev !sets, where)
+    | Lexer.Keyword "EXPLAIN" ->
+        advance st;
+        let analyze = try_keyword st "ANALYZE" in
+        Explain { analyze; query = select_body st }
+    | _ -> fail st "expected a statement"
+  in
+  let _ = try_punct st ";" in
+  (match peek st with
+  | Lexer.Eof -> ()
+  | _ -> fail st "trailing input after statement");
+  s
+
+(** [parse sql] parses one statement; raises {!Parse_error} or
+    {!Lexer.Lex_error} on malformed input. *)
+let parse sql =
+  let toks = Array.of_list (Lexer.tokenize sql) in
+  statement { toks; pos = 0 }
+
+(** [parse_expr s] parses a standalone expression (used in tests). *)
+let parse_expr s =
+  let toks = Array.of_list (Lexer.tokenize s) in
+  let st = { toks; pos = 0 } in
+  let e = expr st in
+  (match peek st with
+  | Lexer.Eof -> ()
+  | _ -> fail st "trailing input after expression");
+  e

@@ -1,0 +1,1 @@
+lib/stats/estimate.ml: Float Histogram List Option Quill_plan Quill_storage String Table_stats

@@ -1,0 +1,1 @@
+lib/stats/hll.ml: Array Float

@@ -1,0 +1,1 @@
+lib/stats/table_stats.ml: Array Float Hashtbl Histogram Hll Quill_storage Quill_util String

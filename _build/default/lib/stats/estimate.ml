@@ -1,0 +1,126 @@
+(* Selectivity and cardinality estimation.
+
+   Classic System-R style: histograms and NDV where available, fixed
+   magic fractions where not.  The estimator consumes bound expressions and
+   a per-column stats lookup so the optimizer can use it both on base
+   tables and (with [None] entries) on intermediate results. *)
+
+module Value = Quill_storage.Value
+module Bexpr = Quill_plan.Bexpr
+
+let default_eq = 0.05
+let default_range = 1.0 /. 3.0
+let default_like = 0.1
+let default_pred = 1.0 /. 3.0
+
+type lookup = int -> Table_stats.col_stats option
+
+let clamp s = Float.max 0.0 (Float.min 1.0 s)
+
+let literal_of (e : Bexpr.t) =
+  match e.Bexpr.node with
+  | Bexpr.Lit v when not (Value.is_null v) -> Some v
+  | _ -> None
+
+let is_param (e : Bexpr.t) =
+  match e.Bexpr.node with Bexpr.Param _ -> true | _ -> false
+
+let col_of (e : Bexpr.t) =
+  match e.Bexpr.node with Bexpr.Col i -> Some i | _ -> None
+
+let ndv_of (lookup : lookup) i =
+  match lookup i with Some s when s.Table_stats.ndv > 0.0 -> Some s.Table_stats.ndv | _ -> None
+
+let eq_selectivity lookup i =
+  match ndv_of lookup i with Some ndv -> 1.0 /. ndv | None -> default_eq
+
+let range_selectivity lookup i op v =
+  match lookup i with
+  | Some { Table_stats.histogram = Some h; _ } -> (
+      let x = Value.to_float v in
+      match op with
+      | Bexpr.Lt -> Histogram.selectivity_lt h x
+      | Bexpr.Le -> Histogram.selectivity_le h x
+      | Bexpr.Gt -> 1.0 -. Histogram.selectivity_le h x
+      | Bexpr.Ge -> 1.0 -. Histogram.selectivity_lt h x
+      | _ -> default_range)
+  | _ -> default_range
+
+(** [selectivity lookup e] estimates the fraction of input rows for which
+    predicate [e] is true. *)
+let rec selectivity lookup (e : Bexpr.t) =
+  match e.Bexpr.node with
+  | Bexpr.Lit (Value.Bool true) -> 1.0
+  | Bexpr.Lit (Value.Bool false) | Bexpr.Lit Value.Null -> 0.0
+  | Bexpr.And (a, b) -> clamp (selectivity lookup a *. selectivity lookup b)
+  | Bexpr.Or (a, b) ->
+      let sa = selectivity lookup a and sb = selectivity lookup b in
+      clamp (sa +. sb -. (sa *. sb))
+  | Bexpr.Not a -> clamp (1.0 -. selectivity lookup a)
+  | Bexpr.Cmp (op, a, b) -> cmp_selectivity lookup op a b
+  | Bexpr.Like (_, pattern) ->
+      (* A leading literal prefix narrows more than an unanchored pattern. *)
+      if String.length pattern > 0 && pattern.[0] <> '%' && pattern.[0] <> '_' then
+        clamp (default_like /. 2.0)
+      else default_like
+  | Bexpr.In_list (a, items) -> (
+      match col_of a with
+      | Some i ->
+          clamp (Float.of_int (List.length items) *. eq_selectivity lookup i)
+      | None -> clamp (Float.of_int (List.length items) *. default_eq))
+  | Bexpr.Is_null (negated, a) -> (
+      let base =
+        match col_of a with
+        | Some i -> (
+            match lookup i with
+            | Some s when s.Table_stats.count > 0 ->
+                Float.of_int s.Table_stats.nulls /. Float.of_int s.Table_stats.count
+            | _ -> 0.05)
+        | None -> 0.05
+      in
+      clamp (if negated then 1.0 -. base else base))
+  | _ -> default_pred
+
+and cmp_selectivity lookup op a b =
+  (* Normalize to col OP rhs. *)
+  let flip = function
+    | Bexpr.Lt -> Bexpr.Gt | Bexpr.Le -> Bexpr.Ge
+    | Bexpr.Gt -> Bexpr.Lt | Bexpr.Ge -> Bexpr.Le
+    | o -> o
+  in
+  let col, rhs, op =
+    match (col_of a, col_of b) with
+    | Some _, Some _ -> (col_of a, None, op)  (* col-col handled below *)
+    | Some _, None -> (col_of a, Some b, op)
+    | None, Some _ -> (col_of b, Some a, flip op)
+    | None, None -> (None, None, op)
+  in
+  match (col, rhs) with
+  | Some i, Some r -> (
+      match (op, literal_of r) with
+      | Bexpr.Eq, Some _ -> clamp (eq_selectivity lookup i)
+      | Bexpr.Eq, None when is_param r -> clamp (eq_selectivity lookup i)
+      | Bexpr.Neq, Some _ -> clamp (1.0 -. eq_selectivity lookup i)
+      | (Bexpr.Lt | Bexpr.Le | Bexpr.Gt | Bexpr.Ge), Some v ->
+          clamp (range_selectivity lookup i op v)
+      | _ -> default_range)
+  | Some i, None -> (
+      (* col OP col within one input (e.g. post-join filter). *)
+      match (op, col_of b) with
+      | Bexpr.Eq, Some j ->
+          let n1 = Option.value ~default:(1.0 /. default_eq) (ndv_of lookup i) in
+          let n2 = Option.value ~default:(1.0 /. default_eq) (ndv_of lookup j) in
+          clamp (1.0 /. Float.max n1 n2)
+      | _ -> default_range)
+  | None, _ -> default_pred
+
+(** [join_selectivity ~left ~right pairs] estimates the selectivity of an
+    equi-join with the given (left column, right column) key pairs, as
+    product over pairs of 1/max(ndv_l, ndv_r). *)
+let join_selectivity ~(left : lookup) ~(right : lookup) pairs =
+  List.fold_left
+    (fun acc (li, ri) ->
+      let nl = Option.value ~default:(1.0 /. default_eq) (ndv_of left li) in
+      let nr = Option.value ~default:(1.0 /. default_eq) (ndv_of right ri) in
+      acc /. Float.max 1.0 (Float.max nl nr))
+    1.0 pairs

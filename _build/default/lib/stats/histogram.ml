@@ -1,0 +1,67 @@
+(* Equi-depth histograms over numeric-ish columns.
+
+   Buckets hold approximately equal row counts, so skewed data gets more
+   resolution where the mass is.  Values are mapped to floats (ints, floats
+   and dates all embed losslessly enough for estimation purposes). *)
+
+type t = {
+  bounds : float array;  (** ascending bucket upper bounds, length = nbuckets *)
+  depth : float;  (** rows per bucket *)
+  total : float;  (** non-null rows summarized *)
+  lo : float;
+  hi : float;
+}
+
+(** [build ?buckets samples] constructs an equi-depth histogram from a
+    non-empty array of float samples. *)
+let build ?(buckets = 64) samples =
+  assert (Array.length samples > 0);
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let buckets = max 1 (min buckets n) in
+  let bounds =
+    Array.init buckets (fun b ->
+        let idx = ((b + 1) * n / buckets) - 1 in
+        sorted.(max 0 idx))
+  in
+  {
+    bounds;
+    depth = Float.of_int n /. Float.of_int buckets;
+    total = Float.of_int n;
+    lo = sorted.(0);
+    hi = sorted.(n - 1);
+  }
+
+(* Fraction of rows strictly below [x], interpolating inside a bucket. *)
+let fraction_below t x =
+  if x <= t.lo then 0.0
+  else if x > t.hi then 1.0
+  else begin
+    let nb = Array.length t.bounds in
+    (* First bucket whose upper bound >= x. *)
+    let b = ref 0 in
+    while !b < nb - 1 && t.bounds.(!b) < x do
+      incr b
+    done;
+    let upper = t.bounds.(!b) in
+    let lower = if !b = 0 then t.lo else t.bounds.(!b - 1) in
+    let within =
+      if upper <= lower then 1.0
+      else Float.max 0.0 (Float.min 1.0 ((x -. lower) /. (upper -. lower)))
+    in
+    (Float.of_int !b +. within) /. Float.of_int nb
+  end
+
+(** [selectivity_lt t x] estimates P(value < x). *)
+let selectivity_lt t x = fraction_below t x
+
+(** [selectivity_le t x] estimates P(value <= x). *)
+let selectivity_le t x = Float.min 1.0 (fraction_below t x +. (1.0 /. t.total))
+
+(** [selectivity_range t ?lo ?hi ()] estimates P(lo <= value <= hi) for the
+    provided (optional, inclusive-ish) bounds. *)
+let selectivity_range t ?lo ?hi () =
+  let below_hi = match hi with None -> 1.0 | Some h -> selectivity_le t h in
+  let below_lo = match lo with None -> 0.0 | Some l -> selectivity_lt t l in
+  Float.max 0.0 (below_hi -. below_lo)

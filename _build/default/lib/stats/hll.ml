@@ -1,0 +1,52 @@
+(* HyperLogLog distinct-value sketch.
+
+   Used to estimate NDV on large columns without a full hash table.  The
+   standard estimator with small- and large-range corrections; precision
+   [p] gives 2^p registers and relative error ~1.04/sqrt(2^p). *)
+
+type t = { p : int; registers : int array }
+
+(** [create ?p ()] returns an empty sketch with [2^p] registers
+    (default [p = 12], ~1.6% standard error). *)
+let create ?(p = 12) () =
+  assert (p >= 4 && p <= 18);
+  { p; registers = Array.make (1 lsl p) 0 }
+
+let rho hash bits =
+  (* Position of the first set bit in the top [bits] of [hash], 1-based. *)
+  let rec go i = if i > bits then bits + 1 else if hash land (1 lsl (bits - i)) <> 0 then i else go (i + 1) in
+  go 1
+
+(** [add t hash] feeds one pre-hashed value (use {!Quill_util.Hashing}). *)
+let add t hash =
+  let m = 1 lsl t.p in
+  let idx = hash land (m - 1) in
+  let rest = (hash lsr t.p) land ((1 lsl 50) - 1) in
+  let r = rho rest 50 in
+  if r > t.registers.(idx) then t.registers.(idx) <- r
+
+(** [estimate t] returns the estimated number of distinct values added. *)
+let estimate t =
+  let m = Float.of_int (1 lsl t.p) in
+  let alpha =
+    match 1 lsl t.p with
+    | 16 -> 0.673
+    | 32 -> 0.697
+    | 64 -> 0.709
+    | _ -> 0.7213 /. (1.0 +. (1.079 /. m))
+  in
+  let sum =
+    Array.fold_left (fun acc r -> acc +. Float.pow 2.0 (-.Float.of_int r)) 0.0 t.registers
+  in
+  let raw = alpha *. m *. m /. sum in
+  let zeros = Array.fold_left (fun acc r -> if r = 0 then acc + 1 else acc) 0 t.registers in
+  if raw <= 2.5 *. m && zeros > 0 then
+    (* Small-range correction: linear counting. *)
+    m *. log (m /. Float.of_int zeros)
+  else raw
+
+(** [merge a b] unions two sketches of equal precision. *)
+let merge a b =
+  assert (a.p = b.p);
+  let r = Array.mapi (fun i v -> max v b.registers.(i)) a.registers in
+  { p = a.p; registers = r }

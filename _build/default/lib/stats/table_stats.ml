@@ -1,0 +1,121 @@
+(* Per-table statistics collection.
+
+   For each column we record row/null counts, min/max, NDV (exact below a
+   threshold, HyperLogLog above) and, for orderable types, an equi-depth
+   histogram.  A registry keyed by (table name, catalog version) lets the
+   optimizer look statistics up and notice staleness. *)
+
+module Value = Quill_storage.Value
+module Table = Quill_storage.Table
+module Schema = Quill_storage.Schema
+module Hashing = Quill_util.Hashing
+
+type col_stats = {
+  count : int;  (** total rows *)
+  nulls : int;
+  ndv : float;  (** estimated distinct non-null values *)
+  min_v : Value.t;  (** Null when the column is all-NULL *)
+  max_v : Value.t;
+  histogram : Histogram.t option;  (** numeric/date columns only *)
+  avg_width : float;  (** bytes, for the data-movement cost model *)
+}
+
+type t = { row_count : int; cols : col_stats array }
+
+let exact_ndv_threshold = 1 lsl 16
+
+let value_width = function
+  | Value.Null -> 1.0
+  | Value.Int _ | Value.Float _ | Value.Date _ -> 8.0
+  | Value.Bool _ -> 1.0
+  | Value.Str s -> Float.of_int (String.length s + 8)
+
+let numericish = function
+  | Value.Int_t | Value.Float_t | Value.Date_t -> true
+  | _ -> false
+
+(** [collect_column table j] computes statistics for column [j]. *)
+let collect_column table j =
+  let n = Table.row_count table in
+  let dtype = (Schema.column (Table.schema table) j).Schema.dtype in
+  let nulls = ref 0 in
+  let min_v = ref Value.Null and max_v = ref Value.Null in
+  let width_sum = ref 0.0 in
+  let exact = Hashtbl.create 1024 in
+  let hll = Hll.create () in
+  let use_exact = ref true in
+  let samples = Quill_util.Vec.create ~dummy:0.0 in
+  for i = 0 to n - 1 do
+    let v = Table.get table i j in
+    width_sum := !width_sum +. value_width v;
+    if Value.is_null v then incr nulls
+    else begin
+      (if Value.is_null !min_v || Value.compare v !min_v < 0 then min_v := v);
+      (if Value.is_null !max_v || Value.compare v !max_v > 0 then max_v := v);
+      let h = Value.hash v in
+      Hll.add hll h;
+      if !use_exact then begin
+        if not (Hashtbl.mem exact h) then Hashtbl.add exact h ();
+        if Hashtbl.length exact > exact_ndv_threshold then begin
+          use_exact := false;
+          Hashtbl.reset exact
+        end
+      end;
+      if numericish dtype then Quill_util.Vec.push samples (Value.to_float v)
+    end
+  done;
+  let ndv =
+    if !use_exact then Float.of_int (Hashtbl.length exact) else Hll.estimate hll
+  in
+  let histogram =
+    if numericish dtype && Quill_util.Vec.length samples > 0 then
+      Some (Histogram.build (Quill_util.Vec.to_array samples))
+    else None
+  in
+  {
+    count = n;
+    nulls = !nulls;
+    ndv;
+    min_v = !min_v;
+    max_v = !max_v;
+    histogram;
+    avg_width = (if n = 0 then 8.0 else !width_sum /. Float.of_int n);
+  }
+
+(** [collect table] computes statistics for every column of [table]. *)
+let collect table =
+  {
+    row_count = Table.row_count table;
+    cols = Array.init (Schema.arity (Table.schema table)) (collect_column table);
+  }
+
+(** Registry of statistics with staleness tracking. *)
+module Registry = struct
+  type entry = { stats : t; version : int }
+  type reg = { entries : (string, entry) Hashtbl.t }
+
+  let create () = { entries = Hashtbl.create 16 }
+
+  (** [analyze reg catalog name] (re)collects statistics for table [name]. *)
+  let analyze reg catalog name =
+    let table = Quill_storage.Catalog.find_exn catalog name in
+    let stats = collect table in
+    Hashtbl.replace reg.entries name
+      { stats; version = Quill_storage.Catalog.version catalog };
+    stats
+
+  (** [get reg catalog name] returns statistics for [name], collecting on
+      first use (or after the catalog version moved, i.e. stale stats). *)
+  let get reg catalog name =
+    match Hashtbl.find_opt reg.entries name with
+    | Some e when e.version = Quill_storage.Catalog.version catalog -> e.stats
+    | _ -> analyze reg catalog name
+
+  (** [get_if_fresh reg catalog name] returns cached stats even if slightly
+      stale, collecting only when absent — the cheap path used during
+      optimization. *)
+  let get_if_fresh reg catalog name =
+    match Hashtbl.find_opt reg.entries name with
+    | Some e -> e.stats
+    | None -> analyze reg catalog name
+end

@@ -1,0 +1,1 @@
+lib/storage/column.ml: Array Float Hashtbl Quill_util Value

@@ -1,0 +1,1 @@
+lib/storage/index.ml: Array Catalog Hashtbl List Option Schema Stdlib Table Value

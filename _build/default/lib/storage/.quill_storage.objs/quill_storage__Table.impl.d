@@ -1,0 +1,1 @@
+lib/storage/table.ml: Array Column Float List Printf Quill_util Schema Value

@@ -1,0 +1,1 @@
+lib/storage/value.ml: Float Option Printf Quill_util Stdlib String

@@ -1,0 +1,45 @@
+(* The catalog maps table names to tables.
+
+   Deliberately minimal: statistics are owned by the stats subsystem (keyed
+   by table name and version) so that storage stays free of upward
+   dependencies.  Each mutation bumps [version], which lets caches — plans,
+   statistics — detect staleness. *)
+
+type t = { tables : (string, Table.t) Hashtbl.t; mutable version : int }
+
+(** [create ()] returns an empty catalog. *)
+let create () = { tables = Hashtbl.create 16; version = 0 }
+
+(** [version c] increases whenever the set of tables changes. *)
+let version c = c.version
+
+(** [bump c] signals a data change (e.g. inserts) to cache invalidation. *)
+let bump c = c.version <- c.version + 1
+
+(** [add c table] registers [table]; raises if the name is taken. *)
+let add c table =
+  let name = Table.name table in
+  if Hashtbl.mem c.tables name then
+    invalid_arg (Printf.sprintf "Catalog.add: table %S already exists" name);
+  Hashtbl.add c.tables name table;
+  bump c
+
+(** [drop c name] removes a table; raises if absent. *)
+let drop c name =
+  if not (Hashtbl.mem c.tables name) then
+    invalid_arg (Printf.sprintf "Catalog.drop: no table %S" name);
+  Hashtbl.remove c.tables name;
+  bump c
+
+(** [find c name] looks a table up. *)
+let find c name = Hashtbl.find_opt c.tables name
+
+(** [find_exn c name] is [find] raising [Invalid_argument] when absent. *)
+let find_exn c name =
+  match find c name with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Catalog: no table %S" name)
+
+(** [names c] lists registered table names, sorted. *)
+let names c =
+  Hashtbl.fold (fun k _ acc -> k :: acc) c.tables [] |> List.sort compare

@@ -1,0 +1,179 @@
+(* Typed, null-aware columns.
+
+   A column stores its payload in an unboxed array of the native
+   representation plus a validity bitset (bit set = value present).  The
+   typed accessors ([ints], [floats], ...) expose the raw arrays to the
+   vectorized and compiled engines, which is where the columnar layout's
+   speed comes from. *)
+
+module Bitset = Quill_util.Bitset
+
+type t =
+  | Ints of int array * Bitset.t
+  | Floats of float array * Bitset.t
+  | Strs of string array * Bitset.t
+  | Dict of int array * string array * Bitset.t
+      (** dictionary-encoded strings: codes index into the sorted
+          dictionary, so code order equals string order *)
+  | Bools of bool array * Bitset.t
+  | Dates of int array * Bitset.t
+
+(** Dictionary-encode string columns whose NDV is at most this (and at
+    most half the rows); toggled off for the E16 ablation. *)
+let enable_dict = ref true
+
+let dict_max_entries = 4096
+
+(** [length c] is the number of slots (valid or null). *)
+let length = function
+  | Ints (a, _) | Dates (a, _) | Dict (a, _, _) -> Array.length a
+  | Floats (a, _) -> Array.length a
+  | Strs (a, _) -> Array.length a
+  | Bools (a, _) -> Array.length a
+
+(** [dtype c] is the column's element type. *)
+let dtype = function
+  | Ints _ -> Value.Int_t
+  | Floats _ -> Value.Float_t
+  | Strs _ | Dict _ -> Value.Str_t
+  | Bools _ -> Value.Bool_t
+  | Dates _ -> Value.Date_t
+
+(** [validity c] is the shared validity bitset. *)
+let validity = function
+  | Ints (_, v) | Dates (_, v) | Dict (_, _, v) -> v
+  | Floats (_, v) -> v
+  | Strs (_, v) -> v
+  | Bools (_, v) -> v
+
+(** [is_null c i] tests slot [i] for NULL. *)
+let is_null c i = not (Bitset.get (validity c) i)
+
+(** [get c i] reads slot [i] as a boxed {!Value.t}. *)
+let get c i =
+  if is_null c i then Value.Null
+  else
+    match c with
+    | Ints (a, _) -> Value.Int a.(i)
+    | Floats (a, _) -> Value.Float a.(i)
+    | Strs (a, _) -> Value.Str a.(i)
+    | Dict (codes, dict, _) -> Value.Str dict.(codes.(i))
+    | Bools (a, _) -> Value.Bool a.(i)
+    | Dates (a, _) -> Value.Date a.(i)
+
+(** [ints c] exposes the raw int payload; raises on other types. *)
+let ints = function
+  | Ints (a, _) | Dates (a, _) -> a
+  | c -> invalid_arg ("Column.ints: column is " ^ Value.dtype_name (dtype c))
+
+(** [floats c] exposes the raw float payload; raises on other types. *)
+let floats = function
+  | Floats (a, _) -> a
+  | c -> invalid_arg ("Column.floats: column is " ^ Value.dtype_name (dtype c))
+
+(** [strs c] exposes the raw string payload, decoding a dictionary column
+    if needed; raises on non-string types. *)
+let strs = function
+  | Strs (a, _) -> a
+  | Dict (codes, dict, _) -> Array.map (fun code -> dict.(code)) codes
+  | c -> invalid_arg ("Column.strs: column is " ^ Value.dtype_name (dtype c))
+
+(** [dict_parts c] exposes (codes, sorted dictionary) of a dict-encoded
+    column, or [None]. *)
+let dict_parts = function
+  | Dict (codes, dict, _) -> Some (codes, dict)
+  | _ -> None
+
+(** [bools c] exposes the raw bool payload; raises on other types. *)
+let bools = function
+  | Bools (a, _) -> a
+  | c -> invalid_arg ("Column.bools: column is " ^ Value.dtype_name (dtype c))
+
+(** [of_values dtype vs] packs boxed values into a typed column; a value of
+    the wrong type raises [Invalid_argument]. *)
+let of_values dtype vs =
+  let n = Array.length vs in
+  let validity = Bitset.create n in
+  let fill set =
+    Array.iteri
+      (fun i v ->
+        match v with
+        | Value.Null -> ()
+        | v ->
+            Bitset.set validity i;
+            set i v)
+      vs
+  in
+  match dtype with
+  | Value.Int_t ->
+      let a = Array.make n 0 in
+      fill (fun i -> function
+        | Value.Int x -> a.(i) <- x
+        | v -> invalid_arg ("Column.of_values: expected INT, got " ^ Value.to_string v));
+      Ints (a, validity)
+  | Value.Float_t ->
+      let a = Array.make n 0.0 in
+      fill (fun i -> function
+        | Value.Float x -> a.(i) <- x
+        | Value.Int x -> a.(i) <- Float.of_int x
+        | v -> invalid_arg ("Column.of_values: expected FLOAT, got " ^ Value.to_string v));
+      Floats (a, validity)
+  | Value.Str_t ->
+      let a = Array.make n "" in
+      fill (fun i -> function
+        | Value.Str x -> a.(i) <- x
+        | v -> invalid_arg ("Column.of_values: expected TEXT, got " ^ Value.to_string v));
+      (* Dictionary-encode when the distinct count is small: code
+         comparisons replace string comparisons and the strings are stored
+         once. *)
+      if not !enable_dict then Strs (a, validity)
+      else begin
+        let distinct = Hashtbl.create 64 in
+        let small = ref true in
+        Array.iter
+          (fun s ->
+            if !small && not (Hashtbl.mem distinct s) then begin
+              Hashtbl.add distinct s ();
+              if Hashtbl.length distinct > min dict_max_entries (max 16 (n / 2)) then
+                small := false
+            end)
+          a;
+        if not !small then Strs (a, validity)
+        else begin
+          let dict = Array.of_seq (Hashtbl.to_seq_keys distinct) in
+          Array.sort compare dict;
+          let code_of = Hashtbl.create (Array.length dict) in
+          Array.iteri (fun c s -> Hashtbl.replace code_of s c) dict;
+          Dict (Array.map (fun s -> Hashtbl.find code_of s) a, dict, validity)
+        end
+      end
+  | Value.Bool_t ->
+      let a = Array.make n false in
+      fill (fun i -> function
+        | Value.Bool x -> a.(i) <- x
+        | v -> invalid_arg ("Column.of_values: expected BOOL, got " ^ Value.to_string v));
+      Bools (a, validity)
+  | Value.Date_t ->
+      let a = Array.make n 0 in
+      fill (fun i -> function
+        | Value.Date x -> a.(i) <- x
+        | v -> invalid_arg ("Column.of_values: expected DATE, got " ^ Value.to_string v));
+      Dates (a, validity)
+
+(** [gather c idx] builds a new column containing [c.(idx.(k))] for each
+    [k]; used to materialize filtered or joined intermediates. *)
+let gather c idx =
+  let n = Array.length idx in
+  let ok = Bitset.create n in
+  let src_valid = validity c in
+  Array.iteri (fun k i -> if Bitset.get src_valid i then Bitset.set ok k) idx;
+  match c with
+  | Ints (a, _) -> Ints (Array.map (fun i -> a.(i)) idx, ok)
+  | Dates (a, _) -> Dates (Array.map (fun i -> a.(i)) idx, ok)
+  | Floats (a, _) -> Floats (Array.map (fun i -> a.(i)) idx, ok)
+  | Strs (a, _) -> Strs (Array.map (fun i -> a.(i)) idx, ok)
+  | Dict (codes, dict, _) -> Dict (Array.map (fun i -> codes.(i)) idx, dict, ok)
+  | Bools (a, _) -> Bools (Array.map (fun i -> a.(i)) idx, ok)
+
+(** [to_values c] unpacks the whole column into boxed values. *)
+let to_values c = Array.init (length c) (get c)

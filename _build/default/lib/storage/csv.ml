@@ -1,0 +1,106 @@
+(* RFC-4180-ish CSV reading and writing.
+
+   Supports quoted fields with embedded commas, quotes ("" escaping) and
+   newlines.  [load] parses a file against a known schema; empty fields
+   become NULL. *)
+
+(** [parse_string s] splits CSV text into rows of raw string fields. *)
+let parse_string s =
+  let rows = ref [] and row = ref [] and buf = Buffer.create 64 in
+  let n = String.length s in
+  let flush_field () =
+    row := Buffer.contents buf :: !row;
+    Buffer.clear buf
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !row :: !rows;
+    row := []
+  in
+  let i = ref 0 in
+  let in_quotes = ref false in
+  while !i < n do
+    let c = s.[!i] in
+    if !in_quotes then begin
+      if c = '"' then
+        if !i + 1 < n && s.[!i + 1] = '"' then begin
+          Buffer.add_char buf '"';
+          incr i
+        end
+        else in_quotes := false
+      else Buffer.add_char buf c
+    end
+    else begin
+      match c with
+      | '"' -> in_quotes := true
+      | ',' -> flush_field ()
+      | '\n' -> flush_row ()
+      | '\r' -> ()
+      | c -> Buffer.add_char buf c
+    end;
+    incr i
+  done;
+  if Buffer.length buf > 0 || !row <> [] then flush_row ();
+  List.rev !rows
+
+let escape_field f =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') f then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' f) ^ "\""
+  else f
+
+(** [write_string ~header rows] renders rows (of string fields) as CSV. *)
+let write_string ~header rows =
+  let buf = Buffer.create 1024 in
+  let line fields =
+    Buffer.add_string buf (String.concat "," (List.map escape_field fields));
+    Buffer.add_char buf '\n'
+  in
+  line header;
+  List.iter line rows;
+  Buffer.contents buf
+
+(** [rows_of_string ~schema ?has_header s] parses CSV text into typed rows
+    according to [schema]; raises [Failure] with row/column context on
+    malformed values. *)
+let rows_of_string ~schema ?(has_header = true) s =
+  let raw = parse_string s in
+  let raw = if has_header && raw <> [] then List.tl raw else raw in
+  List.mapi
+    (fun rowno fields ->
+      if List.length fields <> Schema.arity schema then
+        failwith
+          (Printf.sprintf "CSV row %d: %d fields, expected %d" (rowno + 1)
+             (List.length fields) (Schema.arity schema));
+      Array.of_list
+        (List.mapi
+           (fun colno field ->
+             let c = Schema.column schema colno in
+             match Value.parse c.Schema.dtype field with
+             | Some v -> v
+             | None ->
+                 failwith
+                   (Printf.sprintf "CSV row %d, column %s: cannot parse %S as %s"
+                      (rowno + 1) c.Schema.name field
+                      (Value.dtype_name c.Schema.dtype)))
+           fields))
+    raw
+
+(** [load ~name ~schema path] reads a CSV file into a fresh table. *)
+let load ~name ~schema path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  Table.of_rows ~name schema (rows_of_string ~schema s)
+
+(** [save table path] writes a table out as CSV with a header line. *)
+let save table path =
+  let header = List.map (fun c -> c.Schema.name) (Schema.columns (Table.schema table)) in
+  let rows =
+    List.map
+      (fun row -> Array.to_list (Array.map (fun v -> if Value.is_null v then "" else Value.to_string v) row))
+      (Table.to_row_list table)
+  in
+  let oc = open_out_bin path in
+  output_string oc (write_string ~header rows);
+  close_out oc

@@ -1,0 +1,128 @@
+(* Secondary indexes over a single column.
+
+   Two flavours, matching the two probe patterns the picker chooses
+   between: a hash index for equality lookups and an ordered index (sorted
+   (key, rowid) pairs with binary search) for range scans.  NULL keys are
+   not indexed, mirroring standard SQL index semantics. *)
+
+module Hash_index = struct
+  type t = { buckets : (Value.t, int list) Hashtbl.t }
+
+  (** [build table col] indexes column [col] of [table]. *)
+  let build table col =
+    let buckets = Hashtbl.create (max 16 (Table.row_count table)) in
+    for i = 0 to Table.row_count table - 1 do
+      let v = Table.get table i col in
+      if not (Value.is_null v) then
+        Hashtbl.replace buckets v (i :: (Option.value ~default:[] (Hashtbl.find_opt buckets v)))
+    done;
+    { buckets }
+
+    (** [lookup t v] returns rowids whose key equals [v] (empty for NULL). *)
+  let lookup t v =
+    if Value.is_null v then [] else Option.value ~default:[] (Hashtbl.find_opt t.buckets v)
+
+  (** [distinct_keys t] is the number of distinct indexed keys. *)
+  let distinct_keys t = Hashtbl.length t.buckets
+end
+
+module Ordered_index = struct
+  type t = { keys : Value.t array; rowids : int array }
+
+  (** [build table col] builds a sorted index over column [col]. *)
+  let build table col =
+    let pairs = ref [] in
+    for i = Table.row_count table - 1 downto 0 do
+      let v = Table.get table i col in
+      if not (Value.is_null v) then pairs := (v, i) :: !pairs
+    done;
+    let arr = Array.of_list !pairs in
+    Array.sort (fun (a, i) (b, j) ->
+        let c = Value.compare a b in
+        if c <> 0 then c else Stdlib.compare i j)
+      arr;
+    { keys = Array.map fst arr; rowids = Array.map snd arr }
+
+  (* First position whose key is >= v (lower bound). *)
+  let lower_bound t v =
+    let lo = ref 0 and hi = ref (Array.length t.keys) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Value.compare t.keys.(mid) v < 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  (* First position whose key is > v (upper bound). *)
+  let upper_bound t v =
+    let lo = ref 0 and hi = ref (Array.length t.keys) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Value.compare t.keys.(mid) v <= 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  (** [range t ?lo ?hi ()] returns rowids with keys in the given bounds;
+    each bound is [(value, inclusive)]. Unbounded sides scan to the end. *)
+  let range t ?lo ?hi () =
+    let start =
+      match lo with
+      | None -> 0
+      | Some (v, true) -> lower_bound t v
+      | Some (v, false) -> upper_bound t v
+    in
+    let stop =
+      match hi with
+      | None -> Array.length t.keys
+      | Some (v, true) -> upper_bound t v
+      | Some (v, false) -> lower_bound t v
+    in
+    Array.to_list (Array.sub t.rowids start (max 0 (stop - start)))
+
+  (** [lookup t v] returns rowids whose key equals [v]. *)
+  let lookup t v = range t ~lo:(v, true) ~hi:(v, true) ()
+
+  (** [size t] is the number of indexed entries. *)
+  let size t = Array.length t.keys
+end
+
+(** Declared secondary indexes, built lazily and invalidated by catalog
+    version bumps (DML). *)
+module Registry = struct
+  type entry = { index : Ordered_index.t; version : int }
+
+  type t = {
+    defs : (string, string list) Hashtbl.t;  (** table -> indexed columns *)
+    cache : (string * string, entry) Hashtbl.t;
+  }
+
+  let create () = { defs = Hashtbl.create 8; cache = Hashtbl.create 8 }
+
+  (** [declare t ~table ~col] registers an index definition. *)
+  let declare t ~table ~col =
+    let existing = Option.value ~default:[] (Hashtbl.find_opt t.defs table) in
+    if not (List.mem col existing) then Hashtbl.replace t.defs table (col :: existing)
+
+  (** [declared t table] lists indexed column names of [table]. *)
+  let declared t table = Option.value ~default:[] (Hashtbl.find_opt t.defs table)
+
+  (** [drop_table t table] forgets all indexes of [table]. *)
+  let drop_table t table =
+    List.iter (fun col -> Hashtbl.remove t.cache (table, col)) (declared t table);
+    Hashtbl.remove t.defs table
+
+  (** [get t catalog ~table ~col] returns the (lazily built, version
+      checked) ordered index, or [None] when not declared. *)
+  let get t catalog ~table ~col =
+    if not (List.mem col (declared t table)) then None
+    else begin
+      let version = Catalog.version catalog in
+      match Hashtbl.find_opt t.cache (table, col) with
+      | Some e when e.version = version -> Some e.index
+      | _ ->
+          let tbl = Catalog.find_exn catalog table in
+          let pos = Schema.find_exn (Table.schema tbl) col in
+          let index = Ordered_index.build tbl pos in
+          Hashtbl.replace t.cache (table, col) { index; version };
+          Some index
+    end
+end

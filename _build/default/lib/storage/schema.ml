@@ -1,0 +1,80 @@
+(* Table schemas: ordered, named, typed columns.
+
+   A schema is immutable; operators derive new schemas rather than mutating.
+   Column lookup supports both bare names and [table.column] qualified
+   names, with ambiguity detection at bind time. *)
+
+type col = { name : string; dtype : Value.dtype; nullable : bool }
+
+type t = { cols : col array }
+
+(** [col ?nullable name dtype] builds a column definition (nullable by
+    default). *)
+let col ?(nullable = true) name dtype = { name; dtype; nullable }
+
+(** [create cols] builds a schema; duplicate fully-qualified names are
+    rejected. *)
+let create cols =
+  let arr = Array.of_list cols in
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun c ->
+      if Hashtbl.mem seen c.name then
+        invalid_arg (Printf.sprintf "Schema.create: duplicate column %S" c.name);
+      Hashtbl.add seen c.name ())
+    arr;
+  { cols = arr }
+
+(** [arity s] is the number of columns. *)
+let arity s = Array.length s.cols
+
+(** [column s i] is the [i]-th column definition. *)
+let column s i = s.cols.(i)
+
+(** [columns s] lists the column definitions in order. *)
+let columns s = Array.to_list s.cols
+
+(** [base_name n] strips a [table.] qualifier if present. *)
+let base_name n =
+  match String.rindex_opt n '.' with
+  | Some i -> String.sub n (i + 1) (String.length n - i - 1)
+  | None -> n
+
+(** [find s name] resolves [name] (qualified or bare) to a column index.
+    Returns [Error] describing "unknown" or "ambiguous" failures. *)
+let find s name =
+  let qualified = String.contains name '.' in
+  let matches =
+    List.filteri (fun _ _ -> true) (Array.to_list s.cols)
+    |> List.mapi (fun i c -> (i, c))
+    |> List.filter (fun (_, c) ->
+           if qualified then c.name = name else base_name c.name = name)
+  in
+  match matches with
+  | [ (i, _) ] -> Ok i
+  | [] -> Error (Printf.sprintf "unknown column %S" name)
+  | _ -> Error (Printf.sprintf "ambiguous column %S" name)
+
+(** [find_exn s name] is [find] raising [Invalid_argument] on failure. *)
+let find_exn s name =
+  match find s name with Ok i -> i | Error e -> invalid_arg ("Schema.find: " ^ e)
+
+(** [qualify prefix s] prefixes every column name with [prefix.] (dropping
+    any existing qualifier), as done when a table gets an alias. *)
+let qualify prefix s =
+  { cols = Array.map (fun c -> { c with name = prefix ^ "." ^ base_name c.name }) s.cols }
+
+(** [concat a b] is the schema of a join output: columns of [a] then [b]. *)
+let concat a b = { cols = Array.append a.cols b.cols }
+
+(** [to_string s] renders the schema as [(name TYPE, ...)]. *)
+let to_string s =
+  s.cols |> Array.to_list
+  |> List.map (fun c ->
+         Printf.sprintf "%s %s%s" c.name (Value.dtype_name c.dtype)
+           (if c.nullable then "" else " NOT NULL"))
+  |> String.concat ", "
+  |> Printf.sprintf "(%s)"
+
+(** [equal a b] compares schemas structurally. *)
+let equal a b = a.cols = b.cols

@@ -1,0 +1,51 @@
+(** Table schemas: ordered, named, typed columns.
+
+    A schema is immutable; operators derive new schemas rather than
+    mutating.  Column lookup supports both bare names and [table.column]
+    qualified names, with ambiguity detection at bind time. *)
+
+type col = { name : string; dtype : Value.dtype; nullable : bool }
+
+type t
+
+(** [col ?nullable name dtype] builds a column definition (nullable by
+    default). *)
+val col : ?nullable:bool -> string -> Value.dtype -> col
+
+(** [create cols] builds a schema; duplicate fully-qualified names raise
+    [Invalid_argument]. *)
+val create : col list -> t
+
+(** [arity s] is the number of columns. *)
+val arity : t -> int
+
+(** [column s i] is the [i]-th column definition. *)
+val column : t -> int -> col
+
+(** [columns s] lists the column definitions in order. *)
+val columns : t -> col list
+
+(** [base_name n] strips a [table.] qualifier if present. *)
+val base_name : string -> string
+
+(** [find s name] resolves [name] (qualified or bare) to a column index;
+    [Error] messages start with ["unknown"] or ["ambiguous"]. *)
+val find : t -> string -> (int, string) result
+
+(** [find_exn s name] is {!find} raising [Invalid_argument] on failure. *)
+val find_exn : t -> string -> int
+
+(** [qualify prefix s] prefixes every column name with [prefix.] (dropping
+    any existing qualifier), as done when a table gets an alias. *)
+val qualify : string -> t -> t
+
+(** [concat a b] is the schema of a join output: columns of [a], then
+    [b]. *)
+val concat : t -> t -> t
+
+(** [to_string s] renders the schema as ["(name TYPE, ...)"] for messages
+    and the shell's [\d]. *)
+val to_string : t -> string
+
+(** [equal a b] compares schemas structurally. *)
+val equal : t -> t -> bool

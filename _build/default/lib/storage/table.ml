@@ -1,0 +1,175 @@
+(* In-memory tables.
+
+   The authoritative representation is a row store (an appendable vector of
+   value arrays) so that INSERT stays cheap.  A columnar projection — typed
+   arrays per column — is built on demand and cached; any write invalidates
+   the cache.  Scan operators choose the representation they want, which is
+   exactly the "data layout is an algorithm choice" knob that experiment E6
+   measures. *)
+
+module Vec = Quill_util.Vec
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  rows : Value.t array Vec.t;
+  mutable columnar : Column.t array option;
+}
+
+(** [create ~name schema] returns an empty table. *)
+let create ~name schema =
+  { name; schema; rows = Vec.create ~dummy:[||]; columnar = None }
+
+(** [name t] is the table's name. *)
+let name t = t.name
+
+(** [schema t] is the table's schema. *)
+let schema t = t.schema
+
+(** [row_count t] is the number of stored rows. *)
+let row_count t = Vec.length t.rows
+
+let check_row t row =
+  if Array.length row <> Schema.arity t.schema then
+    invalid_arg
+      (Printf.sprintf "Table.insert: arity mismatch (%d vs %d)" (Array.length row)
+         (Schema.arity t.schema));
+  Array.iteri
+    (fun i v ->
+      let c = Schema.column t.schema i in
+      match v with
+      | Value.Null ->
+          if not c.Schema.nullable then
+            invalid_arg (Printf.sprintf "Table.insert: NULL in NOT NULL column %s" c.Schema.name)
+      | v ->
+          let vt = Value.type_of v in
+          let ok =
+            vt = c.Schema.dtype
+            || (c.Schema.dtype = Value.Float_t && vt = Value.Int_t)
+          in
+          if not ok then
+            invalid_arg
+              (Printf.sprintf "Table.insert: type mismatch in column %s (%s vs %s)"
+                 c.Schema.name (Value.dtype_name vt) (Value.dtype_name c.Schema.dtype)))
+    row
+
+(** [insert t row] appends [row], checking arity, types and NOT NULL.
+    Int values are widened to float in FLOAT columns. *)
+let insert t row =
+  check_row t row;
+  let row =
+    Array.mapi
+      (fun i v ->
+        match (v, (Schema.column t.schema i).Schema.dtype) with
+        | Value.Int x, Value.Float_t -> Value.Float (Float.of_int x)
+        | v, _ -> v)
+      row
+  in
+  Vec.push t.rows row;
+  t.columnar <- None
+
+(** [insert_all t rows] appends many rows. *)
+let insert_all t rows = List.iter (insert t) rows
+
+(** [get_row t i] returns row [i] (the caller must not mutate it). *)
+let get_row t i = Vec.get t.rows i
+
+(** [get t i j] reads the value at row [i], column [j]. *)
+let get t i j = (Vec.get t.rows i).(j)
+
+(** [rows t] exposes the row store for tuple-at-a-time scans. *)
+let rows t = t.rows
+
+(** [columnar t] returns (building and caching if needed) the typed columnar
+    projection of the table. *)
+let columnar t =
+  match t.columnar with
+  | Some cols -> cols
+  | None ->
+      let n = row_count t in
+      let cols =
+        Array.init (Schema.arity t.schema) (fun j ->
+            let dtype = (Schema.column t.schema j).Schema.dtype in
+            let vs = Array.init n (fun i -> (Vec.get t.rows i).(j)) in
+            Column.of_values dtype vs)
+      in
+      t.columnar <- Some cols;
+      cols
+
+(** [column t j] is column [j] of the columnar projection. *)
+let column t j = (columnar t).(j)
+
+(** [of_rows ~name schema rows] builds a table from a row list. *)
+let of_rows ~name schema rows =
+  let t = create ~name schema in
+  insert_all t rows;
+  t
+
+(** [of_columns ~name schema cols] builds a table directly from typed
+    columns (all the same length); the row store is populated lazily from
+    the columns. *)
+let of_columns ~name schema cols =
+  let n = if Array.length cols = 0 then 0 else Column.length cols.(0) in
+  Array.iter (fun c -> assert (Column.length c = n)) cols;
+  let t = create ~name schema in
+  for i = 0 to n - 1 do
+    Vec.push t.rows (Array.map (fun c -> Column.get c i) cols)
+  done;
+  t.columnar <- Some cols;
+  t
+
+(** [retain t keep] deletes every row for which [keep row] is false;
+    returns the number of rows removed. *)
+let retain t keep =
+  let kept = Vec.create ~dummy:[||] in
+  let removed = ref 0 in
+  Vec.iter
+    (fun row -> if keep row then Vec.push kept row else incr removed)
+    t.rows;
+  if !removed > 0 then begin
+    Vec.clear t.rows;
+    Vec.iter (fun row -> Vec.push t.rows row) kept;
+    t.columnar <- None
+  end;
+  !removed
+
+(** [update t ~where ~apply] replaces each row matching [where] with
+    [apply row] (checked like an insert); returns the match count. *)
+let update t ~where ~apply =
+  let n = ref 0 in
+  for i = 0 to row_count t - 1 do
+    let row = Vec.get t.rows i in
+    if where row then begin
+      incr n;
+      let row' = apply (Array.copy row) in
+      check_row t row';
+      let row' =
+        Array.mapi
+          (fun j v ->
+            match (v, (Schema.column t.schema j).Schema.dtype) with
+            | Value.Int x, Value.Float_t -> Value.Float (Float.of_int x)
+            | v, _ -> v)
+          row'
+      in
+      Vec.set t.rows i row'
+    end
+  done;
+  if !n > 0 then t.columnar <- None;
+  !n
+
+(** [to_row_list t] returns all rows as a list (copying). *)
+let to_row_list t =
+  List.init (row_count t) (fun i -> Array.copy (get_row t i))
+
+(** [to_string ?limit t] renders the table for display. *)
+let to_string ?(limit = 20) t =
+  let n = min limit (row_count t) in
+  let header = List.map (fun c -> c.Schema.name) (Schema.columns t.schema) in
+  let body =
+    List.init n (fun i ->
+        Array.to_list (Array.map Value.to_string (get_row t i)))
+  in
+  let rendered = Quill_util.Pretty.render ~header body in
+  if row_count t > n then
+    rendered ^ Printf.sprintf "(%d rows, %d shown)\n" (row_count t) n
+  else rendered ^ Printf.sprintf "(%d rows)\n" (row_count t)

@@ -1,0 +1,153 @@
+(* SQL values and their dynamic types.
+
+   Dates are stored as days since 1970-01-01 (proleptic Gregorian), which
+   makes date arithmetic and range predicates plain integer operations. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Date of int  (** days since 1970-01-01 *)
+
+type dtype = Int_t | Float_t | Str_t | Bool_t | Date_t
+
+(** [dtype_name d] is the SQL spelling of [d]. *)
+let dtype_name = function
+  | Int_t -> "INT"
+  | Float_t -> "FLOAT"
+  | Str_t -> "TEXT"
+  | Bool_t -> "BOOL"
+  | Date_t -> "DATE"
+
+(** [type_of v] returns the dtype of a non-null value. *)
+let type_of = function
+  | Null -> invalid_arg "Value.type_of: Null has no dtype"
+  | Int _ -> Int_t
+  | Float _ -> Float_t
+  | Str _ -> Str_t
+  | Bool _ -> Bool_t
+  | Date _ -> Date_t
+
+let is_null = function Null -> true | _ -> false
+
+(* Civil-date conversions (Howard Hinnant's algorithms), exact over the
+   whole int range we care about. *)
+
+(** [date_of_ymd ~y ~m ~d] converts a civil date to days since epoch. *)
+let date_of_ymd ~y ~m ~d =
+  let y = if m <= 2 then y - 1 else y in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - (era * 400) in
+  let mp = (m + 9) mod 12 in
+  let doy = (((153 * mp) + 2) / 5) + d - 1 in
+  let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe - 719468
+
+(** [ymd_of_date days] converts days since epoch back to [(y, m, d)]. *)
+let ymd_of_date days =
+  let z = days + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let d = doy - (((153 * mp) + 2) / 5) + 1 in
+  let m = if mp < 10 then mp + 3 else mp - 9 in
+  ((if m <= 2 then y + 1 else y), m, d)
+
+(** [parse_date s] parses ["YYYY-MM-DD"]; returns [None] on malformed
+    input or out-of-range month/day. *)
+let parse_date s =
+  match String.split_on_char '-' s with
+  | [ ys; ms; ds ] -> (
+      match (int_of_string_opt ys, int_of_string_opt ms, int_of_string_opt ds) with
+      | Some y, Some m, Some d when m >= 1 && m <= 12 && d >= 1 && d <= 31 ->
+          Some (date_of_ymd ~y ~m ~d)
+      | _ -> None)
+  | _ -> None
+
+(** [date_string days] renders a date value as ["YYYY-MM-DD"]. *)
+let date_string days =
+  let y, m, d = ymd_of_date days in
+  Printf.sprintf "%04d-%02d-%02d" y m d
+
+(** [to_string v] renders a value for display; NULL renders as ["NULL"]. *)
+let to_string = function
+  | Null -> "NULL"
+  | Int i -> string_of_int i
+  | Float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+      else Printf.sprintf "%.6g" f
+  | Str s -> s
+  | Bool b -> if b then "true" else "false"
+  | Date d -> date_string d
+
+(* Rank used to give a deterministic total order across types; within a
+   query, mixed-type comparison is a bind-time error, so this ordering only
+   matters for generic utilities. *)
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 3
+  | Date _ -> 4
+  | Str _ -> 5
+
+(** [compare a b] is a total order suitable for sorting: NULL sorts first,
+    ints and floats compare numerically. *)
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Null, _ -> -1
+  | _, Null -> 1
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Stdlib.compare x y
+  | Int x, Float y -> Stdlib.compare (Float.of_int x) y
+  | Float x, Int y -> Stdlib.compare x (Float.of_int y)
+  | Str x, Str y -> Stdlib.compare x y
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Date x, Date y -> Stdlib.compare x y
+  | a, b -> Stdlib.compare (rank a) (rank b)
+
+(** [equal a b] is SQL-agnostic structural equality with numeric coercion;
+    [Null] equals only [Null] (3-valued logic lives in the evaluator). *)
+let equal a b = compare a b = 0
+
+(** [hash v] hashes a value consistently with [equal] (ints and equal-valued
+    floats collide intentionally). *)
+let hash = function
+  | Null -> 0x9e3779b9
+  | Int i -> Quill_util.Hashing.mix_int i
+  | Float f ->
+      if Float.is_integer f && Float.abs f < 1e18 then
+        Quill_util.Hashing.mix_int (Float.to_int f)
+      else Quill_util.Hashing.hash_float f
+  | Str s -> Quill_util.Hashing.hash_string s
+  | Bool b -> Quill_util.Hashing.mix_int (if b then 3 else 5)
+  | Date d -> Quill_util.Hashing.mix_int (d lxor 0x5bd1e995)
+
+(** [to_float v] numeric view of a value; raises on non-numeric. *)
+let to_float = function
+  | Int i -> Float.of_int i
+  | Float f -> f
+  | Date d -> Float.of_int d
+  | v -> invalid_arg ("Value.to_float: " ^ to_string v)
+
+(** [parse dtype s] parses the textual form of a value of type [dtype];
+    empty string parses as [Null]. Returns [None] on malformed input. *)
+let parse dtype s =
+  if s = "" then Some Null
+  else
+    match dtype with
+    | Int_t -> Option.map (fun i -> Int i) (int_of_string_opt s)
+    | Float_t -> Option.map (fun f -> Float f) (float_of_string_opt s)
+    | Str_t -> Some (Str s)
+    | Bool_t -> (
+        match String.lowercase_ascii s with
+        | "true" | "t" | "1" -> Some (Bool true)
+        | "false" | "f" | "0" -> Some (Bool false)
+        | _ -> None)
+    | Date_t -> Option.map (fun d -> Date d) (parse_date s)

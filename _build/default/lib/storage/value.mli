@@ -1,0 +1,62 @@
+(** SQL values and their dynamic types.
+
+    Dates are stored as days since 1970-01-01 (proleptic Gregorian), which
+    makes date arithmetic and range predicates plain integer operations. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Date of int  (** days since 1970-01-01 *)
+
+type dtype = Int_t | Float_t | Str_t | Bool_t | Date_t
+
+(** [dtype_name d] is the SQL spelling of [d] (["INT"], ["TEXT"], ...). *)
+val dtype_name : dtype -> string
+
+(** [type_of v] returns the dtype of a non-null value; raises
+    [Invalid_argument] on [Null]. *)
+val type_of : t -> dtype
+
+(** [is_null v] is true exactly for [Null]. *)
+val is_null : t -> bool
+
+(** [date_of_ymd ~y ~m ~d] converts a civil date to days since epoch
+    (Howard Hinnant's algorithm; exact over the usable range). *)
+val date_of_ymd : y:int -> m:int -> d:int -> int
+
+(** [ymd_of_date days] converts days since epoch back to [(y, m, d)]. *)
+val ymd_of_date : int -> int * int * int
+
+(** [parse_date s] parses ["YYYY-MM-DD"]; [None] on malformed input or
+    out-of-range month/day. *)
+val parse_date : string -> int option
+
+(** [date_string days] renders a date value as ["YYYY-MM-DD"]. *)
+val date_string : int -> string
+
+(** [to_string v] renders a value for display; NULL renders as ["NULL"]. *)
+val to_string : t -> string
+
+(** [compare a b] is a total order suitable for sorting: NULL sorts first,
+    ints and floats compare numerically. *)
+val compare : t -> t -> int
+
+(** [equal a b] is structural equality with numeric coercion ([Int 3]
+    equals [Float 3.0]); [Null] equals only [Null] — SQL three-valued
+    logic lives in the expression evaluator, not here. *)
+val equal : t -> t -> bool
+
+(** [hash v] hashes consistently with {!equal} (numerically equal ints and
+    floats collide intentionally). *)
+val hash : t -> int
+
+(** [to_float v] is the numeric view of an Int/Float/Date value; raises
+    [Invalid_argument] otherwise. *)
+val to_float : t -> float
+
+(** [parse dtype s] parses the textual form of a value of type [dtype];
+    the empty string parses as [Null]; [None] on malformed input. *)
+val parse : dtype -> string -> t option

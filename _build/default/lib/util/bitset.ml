@@ -1,0 +1,79 @@
+(* Fixed-capacity bitsets used as null masks and selection masks.
+
+   Bits are stored in an int array, 63 usable bits per word would waste a
+   bit; we use all 63 bits of the OCaml native int per word (Sys.int_size
+   is 63 on 64-bit systems) to keep indexing branch-free. *)
+
+type t = { words : int array; length : int }
+
+let bits_per_word = Sys.int_size
+
+(** [create n] returns a bitset of [n] bits, all clear. *)
+let create n =
+  assert (n >= 0);
+  { words = Array.make ((n + bits_per_word - 1) / bits_per_word) 0; length = n }
+
+(** [create_full n] returns a bitset of [n] bits, all set. *)
+let create_full n =
+  let t = create n in
+  Array.fill t.words 0 (Array.length t.words) (-1);
+  (* Clear the tail beyond [n] so [count] stays exact. *)
+  let tail = n mod bits_per_word in
+  if tail <> 0 && Array.length t.words > 0 then
+    t.words.(Array.length t.words - 1) <- (1 lsl tail) - 1;
+  t
+
+(** [length t] is the number of addressable bits. *)
+let length t = t.length
+
+(** [set t i] sets bit [i]. *)
+let set t i =
+  assert (i >= 0 && i < t.length);
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+
+(** [clear t i] clears bit [i]. *)
+let clear t i =
+  assert (i >= 0 && i < t.length);
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+(** [get t i] tests bit [i]. *)
+let get t i =
+  assert (i >= 0 && i < t.length);
+  t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+(** [assign t i b] sets bit [i] to [b]. *)
+let assign t i b = if b then set t i else clear t i
+
+let popcount_word w =
+  let rec go acc w = if w = 0 then acc else go (acc + 1) (w land (w - 1)) in
+  go 0 w
+
+(** [count t] is the number of set bits. *)
+let count t = Array.fold_left (fun acc w -> acc + popcount_word w) 0 t.words
+
+(** [iter_set t f] applies [f] to every set bit index, ascending. *)
+let iter_set t f =
+  for w = 0 to Array.length t.words - 1 do
+    let word = ref t.words.(w) in
+    while !word <> 0 do
+      let lowest = !word land - !word in
+      let rec log2 v acc = if v = 1 then acc else log2 (v lsr 1) (acc + 1) in
+      f ((w * bits_per_word) + log2 lowest 0);
+      word := !word land (!word - 1)
+    done
+  done
+
+(** [copy t] returns a fresh bitset with the same bits. *)
+let copy t = { words = Array.copy t.words; length = t.length }
+
+(** [union_into ~into src] ors [src] into [into]; lengths must match. *)
+let union_into ~into src =
+  assert (into.length = src.length);
+  for i = 0 to Array.length into.words - 1 do
+    into.words.(i) <- into.words.(i) lor src.words.(i)
+  done
+
+(** [is_empty t] is true when no bit is set. *)
+let is_empty t = Array.for_all (fun w -> w = 0) t.words

@@ -1,0 +1,28 @@
+(* Hash primitives shared by hash joins, hash aggregation and indexes.
+
+   These are deliberately simple, well-mixed integer hashes; the engine
+   depends on their avalanche behaviour for bucket balance, which the test
+   suite checks statistically. *)
+
+(** [mix_int x] is a 64-bit finalizer (murmur3 fmix-style) restricted to the
+    OCaml int range; good avalanche for consecutive keys. *)
+let mix_int x =
+  let x = x lxor (x lsr 33) in
+  let x = x * 0xff51afd7ed558cc in
+  let x = x lxor (x lsr 33) in
+  let x = x * 0xc4ceb9fe1a85ec5 in
+  x lxor (x lsr 33)
+
+(** [hash_string s] is FNV-1a over the bytes of [s]. *)
+let hash_string s =
+  (* FNV-1a offset basis, top bits dropped to fit OCaml's 63-bit int. *)
+  let h = ref 0x0bf29ce484222325 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x100000001b3) s;
+  mix_int !h
+
+(** [hash_float f] hashes the bit pattern of [f]; equal floats (including
+    0. and -0. distinctly) hash equally. *)
+let hash_float f = mix_int (Int64.to_int (Int64.bits_of_float f))
+
+(** [combine h1 h2] mixes two hash values non-commutatively. *)
+let combine h1 h2 = mix_int ((h1 * 31) lxor h2)

@@ -1,0 +1,62 @@
+(* Growable int vector with unboxed storage.
+
+   Selection vectors, row-id lists and offsets are all int sequences on hot
+   paths; this avoids the indirection of ['a array] for those. *)
+
+type t = { mutable data : int array; mutable len : int }
+
+(** [create ()] returns an empty vector. *)
+let create () = { data = [||]; len = 0 }
+
+(** [with_capacity n] preallocates room for [n] ints. *)
+let with_capacity n = { data = (if n = 0 then [||] else Array.make n 0); len = 0 }
+
+(** [length v] is the number of pushed ints. *)
+let length v = v.len
+
+let grow v needed =
+  let cap = Array.length v.data in
+  if needed > cap then begin
+    let cap' = max needed (max 8 (cap * 2)) in
+    let data' = Array.make cap' 0 in
+    Array.blit v.data 0 data' 0 v.len;
+    v.data <- data'
+  end
+
+(** [push v x] appends [x]. *)
+let push v x =
+  grow v (v.len + 1);
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+(** [get v i] returns element [i]. *)
+let get v i =
+  assert (i >= 0 && i < v.len);
+  v.data.(i)
+
+(** [set v i x] overwrites element [i]. *)
+let set v i x =
+  assert (i >= 0 && i < v.len);
+  v.data.(i) <- x
+
+(** [clear v] empties the vector, keeping capacity. *)
+let clear v = v.len <- 0
+
+(** [to_array v] copies the contents into a fresh int array. *)
+let to_array v = Array.sub v.data 0 v.len
+
+(** [unsafe_data v] exposes the backing array (first [length v] entries are
+    valid); callers must not retain it across a push. *)
+let unsafe_data v = v.data
+
+(** [iter f v] applies [f] to each int in order. *)
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+(** [sort v] sorts in place, ascending. *)
+let sort v =
+  let a = to_array v in
+  Array.sort compare a;
+  Array.blit a 0 v.data 0 v.len

@@ -1,0 +1,53 @@
+(* ASCII table rendering for query results, EXPLAIN output and benchmark
+   reports. *)
+
+(** [render ~header rows] lays out [rows] under [header] with box-drawing
+    separators; every row must have [List.length header] cells. *)
+let render ~header rows =
+  let all = header :: rows in
+  let ncols = List.length header in
+  List.iter (fun r -> assert (List.length r = ncols)) rows;
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let buf = Buffer.create 256 in
+  let sep () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line row =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i cell ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf cell;
+        Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' ');
+        Buffer.add_string buf " |")
+      row;
+    Buffer.add_char buf '\n'
+  in
+  sep ();
+  line header;
+  sep ();
+  List.iter line rows;
+  sep ();
+  Buffer.contents buf
+
+(** [float_cell f] formats a float compactly for table cells. *)
+let float_cell f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.4g" f
+
+(** [duration secs] renders a duration with an adaptive unit. *)
+let duration secs =
+  if secs < 1e-6 then Printf.sprintf "%.0fns" (secs *. 1e9)
+  else if secs < 1e-3 then Printf.sprintf "%.2fus" (secs *. 1e6)
+  else if secs < 1.0 then Printf.sprintf "%.2fms" (secs *. 1e3)
+  else Printf.sprintf "%.3fs" secs

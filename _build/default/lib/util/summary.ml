@@ -1,0 +1,38 @@
+(* Summary statistics over float samples; used by the profiler, the
+   benchmark harness and the histogram tests. *)
+
+(** [mean xs] is the arithmetic mean; 0 on empty input. *)
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. Float.of_int n
+
+(** [stddev xs] is the population standard deviation. *)
+let stddev xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (ss /. Float.of_int n)
+  end
+
+(** [percentile xs p] is the [p]-th percentile (0..100) by nearest-rank on a
+    sorted copy; raises on empty input. *)
+let percentile xs p =
+  assert (Array.length xs > 0 && p >= 0.0 && p <= 100.0);
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = int_of_float (ceil (p /. 100.0 *. Float.of_int n)) in
+  sorted.(max 0 (min (n - 1) (rank - 1)))
+
+(** [median xs] is [percentile xs 50]. *)
+let median xs = percentile xs 50.0
+
+(** [min_max xs] returns [(min, max)]; raises on empty input. *)
+let min_max xs =
+  assert (Array.length xs > 0);
+  Array.fold_left
+    (fun (lo, hi) x -> (Stdlib.min lo x, Stdlib.max hi x))
+    (xs.(0), xs.(0))
+    xs

@@ -1,0 +1,32 @@
+(* Wall-clock timing helpers for the profiler and the benchmark harness. *)
+
+(** [now ()] returns a monotonic-enough wall-clock reading in seconds. *)
+let now () = Unix.gettimeofday ()
+
+(** [time f] runs [f ()] and returns [(result, elapsed_seconds)]. *)
+let time f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)
+
+(** [time_unit f] runs [f ()] for effect and returns elapsed seconds. *)
+let time_unit f = snd (time f)
+
+(** A restartable stopwatch accumulating elapsed time across intervals. *)
+module Stopwatch = struct
+  type t = { mutable acc : float; mutable started : float option }
+
+  let create () = { acc = 0.0; started = None }
+  let start t = if t.started = None then t.started <- Some (now ())
+
+  let stop t =
+    match t.started with
+    | None -> ()
+    | Some s ->
+        t.acc <- t.acc +. (now () -. s);
+        t.started <- None
+
+  (** [elapsed t] is the accumulated time, including a running interval. *)
+  let elapsed t =
+    t.acc +. match t.started with None -> 0.0 | Some s -> now () -. s
+end

@@ -1,0 +1,80 @@
+(* Growable polymorphic vector with amortized O(1) push.
+
+   Used throughout the engine for building result sets and intermediate
+   buffers whose size is not known up front. *)
+
+type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+(** [create ~dummy] returns an empty vector. [dummy] fills unused slots and
+    is never observable through the API. *)
+let create ~dummy = { data = [||]; len = 0; dummy }
+
+(** [with_capacity ~dummy n] preallocates room for [n] elements. *)
+let with_capacity ~dummy n =
+  { data = (if n = 0 then [||] else Array.make n dummy); len = 0; dummy }
+
+(** [length v] is the number of pushed elements. *)
+let length v = v.len
+
+let grow v needed =
+  let cap = Array.length v.data in
+  if needed > cap then begin
+    let cap' = max needed (max 8 (cap * 2)) in
+    let data' = Array.make cap' v.dummy in
+    Array.blit v.data 0 data' 0 v.len;
+    v.data <- data'
+  end
+
+(** [push v x] appends [x]. *)
+let push v x =
+  grow v (v.len + 1);
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+(** [get v i] returns element [i]; O(1). *)
+let get v i =
+  assert (i >= 0 && i < v.len);
+  v.data.(i)
+
+(** [set v i x] overwrites element [i]. *)
+let set v i x =
+  assert (i >= 0 && i < v.len);
+  v.data.(i) <- x
+
+(** [clear v] removes all elements without shrinking capacity. *)
+let clear v = v.len <- 0
+
+(** [to_array v] copies the contents into a fresh array. *)
+let to_array v = Array.sub v.data 0 v.len
+
+(** [of_array ~dummy a] builds a vector containing the elements of [a]. *)
+let of_array ~dummy a = { data = Array.copy a; len = Array.length a; dummy }
+
+(** [iter f v] applies [f] to each element in order. *)
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+(** [iteri f v] is [iter] with the index. *)
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i v.data.(i)
+  done
+
+(** [fold f acc v] folds left over the elements. *)
+let fold f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+(** [to_list v] returns the elements as a list, in order. *)
+let to_list v = List.init v.len (fun i -> v.data.(i))
+
+(** [sort cmp v] sorts the vector in place. *)
+let sort cmp v =
+  let a = to_array v in
+  Array.sort cmp a;
+  Array.blit a 0 v.data 0 v.len

@@ -1,0 +1,1 @@
+lib/workload/micro.ml: Array Char Fun List Printf Quill_storage Quill_util String

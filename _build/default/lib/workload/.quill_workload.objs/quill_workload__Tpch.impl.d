@@ -1,0 +1,1 @@
+lib/workload/tpch.ml: Array Float Printf Quill_storage Quill_util

@@ -1,0 +1,84 @@
+(* Micro-workload builders: parameterized synthetic tables for the
+   experiments that sweep one variable at a time (join size ratios, group
+   counts, projectivity, selectivity, distributions). *)
+
+module Value = Quill_storage.Value
+module Schema = Quill_storage.Schema
+module Table = Quill_storage.Table
+module Rng = Quill_util.Rng
+
+(** [ints_table ~name ~rows ~cols ~seed ()] builds a table of [cols] int
+    columns [c0..c{cols-1}]; [c0] is a unique key 0..rows-1 (shuffled),
+    the rest are uniform in [0, rows). *)
+let ints_table ~name ~rows ~cols ~seed () =
+  let rng = Rng.create seed in
+  let schema =
+    Schema.create
+      (List.init cols (fun c ->
+           Schema.col ~nullable:false (Printf.sprintf "c%d" c) Value.Int_t))
+  in
+  let keys = Array.init rows Fun.id in
+  Rng.shuffle rng keys;
+  let t = Table.create ~name schema in
+  for r = 0 to rows - 1 do
+    Table.insert t
+      (Array.init cols (fun c ->
+           if c = 0 then Value.Int keys.(r) else Value.Int (Rng.int rng (max 1 rows))))
+  done;
+  t
+
+(** [keyed_pair ~build_rows ~probe_rows ~seed ()] builds two tables for
+    join experiments: [build(k, payload)] with unique keys and
+    [probe(fk, payload)] whose foreign keys hit [build] uniformly. *)
+let keyed_pair ~build_rows ~probe_rows ~seed () =
+  let rng = Rng.create seed in
+  let mk name =
+    Schema.create
+      [ Schema.col ~nullable:false (name ^ "_k") Value.Int_t;
+        Schema.col ~nullable:false (name ^ "_payload") Value.Int_t ]
+  in
+  let build = Table.create ~name:"build_side" (mk "b") in
+  for k = 0 to build_rows - 1 do
+    Table.insert build [| Value.Int k; Value.Int (Rng.int rng 1000000) |]
+  done;
+  let probe = Table.create ~name:"probe_side" (mk "p") in
+  for _ = 0 to probe_rows - 1 do
+    Table.insert probe
+      [| Value.Int (Rng.int rng (max 1 build_rows)); Value.Int (Rng.int rng 1000000) |]
+  done;
+  (build, probe)
+
+(** [grouped_table ~rows ~groups ~seed ()] builds [t(g, v)] where [g] has
+    exactly [groups] distinct values, for aggregation experiments. *)
+let grouped_table ~rows ~groups ~seed () =
+  let rng = Rng.create seed in
+  let schema =
+    Schema.create
+      [ Schema.col ~nullable:false "g" Value.Int_t;
+        Schema.col ~nullable:false "v" Value.Int_t ]
+  in
+  let t = Table.create ~name:"grouped" schema in
+  for _ = 1 to rows do
+    Table.insert t [| Value.Int (Rng.int rng (max 1 groups)); Value.Int (Rng.int rng 1000) |]
+  done;
+  t
+
+(** [wide_table ~rows ~cols ~seed ()] is [ints_table] under the fixed name
+    "wide", for the projectivity/layout experiment (E6). *)
+let wide_table ~rows ~cols ~seed () = ints_table ~name:"wide" ~rows ~cols ~seed ()
+
+(** [sort_keys ~n ~dist ~seed ()] generates raw int key arrays for the sort
+    experiment: [`Uniform], [`Clustered] (nearly sorted with local noise)
+    or [`Dups] (heavy duplicates). *)
+let sort_keys ~n ~dist ~seed () =
+  let rng = Rng.create seed in
+  match dist with
+  | `Uniform -> Array.init n (fun _ -> Rng.bits rng land ((1 lsl 40) - 1))
+  | `Clustered -> Array.init n (fun idx -> (idx * 4) + Rng.int rng 8)
+  | `Dups -> Array.init n (fun _ -> Rng.int rng 100)
+
+(** [string_keys ~n ~seed ()] generates random 12-char string keys. *)
+let string_keys ~n ~seed () =
+  let rng = Rng.create seed in
+  Array.init n (fun _ ->
+      String.init 12 (fun _ -> Char.chr (Char.code 'a' + Rng.int rng 26)))

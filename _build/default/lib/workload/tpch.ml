@@ -1,0 +1,257 @@
+(* A TPC-H-like analytical schema and deterministic generator.
+
+   Cardinalities follow TPC-H proportions scaled by [sf] (SF 1 would be
+   1.5 M orders / ~6 M lineitem; the test suite uses SF 0.002–0.01 and the
+   benchmarks SF 0.02–0.05).  Value distributions keep the properties the
+   experiments rely on: dates uniform over 1992–1998, discounts in
+   0.00–0.10, skewed part popularity, fixed-domain flags. *)
+
+module Value = Quill_storage.Value
+module Schema = Quill_storage.Schema
+module Table = Quill_storage.Table
+module Catalog = Quill_storage.Catalog
+module Rng = Quill_util.Rng
+
+let i v = Value.Int v
+let f v = Value.Float v
+let s v = Value.Str v
+let d v = Value.Date v
+
+let date y m dd = Value.date_of_ymd ~y ~m ~d:dd
+
+let region_schema =
+  Schema.create
+    [ Schema.col ~nullable:false "r_regionkey" Value.Int_t;
+      Schema.col ~nullable:false "r_name" Value.Str_t ]
+
+let nation_schema =
+  Schema.create
+    [ Schema.col ~nullable:false "n_nationkey" Value.Int_t;
+      Schema.col ~nullable:false "n_name" Value.Str_t;
+      Schema.col ~nullable:false "n_regionkey" Value.Int_t ]
+
+let supplier_schema =
+  Schema.create
+    [ Schema.col ~nullable:false "s_suppkey" Value.Int_t;
+      Schema.col ~nullable:false "s_name" Value.Str_t;
+      Schema.col ~nullable:false "s_nationkey" Value.Int_t;
+      Schema.col ~nullable:false "s_acctbal" Value.Float_t ]
+
+let customer_schema =
+  Schema.create
+    [ Schema.col ~nullable:false "c_custkey" Value.Int_t;
+      Schema.col ~nullable:false "c_name" Value.Str_t;
+      Schema.col ~nullable:false "c_nationkey" Value.Int_t;
+      Schema.col ~nullable:false "c_mktsegment" Value.Str_t;
+      Schema.col ~nullable:false "c_acctbal" Value.Float_t ]
+
+let part_schema =
+  Schema.create
+    [ Schema.col ~nullable:false "p_partkey" Value.Int_t;
+      Schema.col ~nullable:false "p_name" Value.Str_t;
+      Schema.col ~nullable:false "p_brand" Value.Str_t;
+      Schema.col ~nullable:false "p_type" Value.Str_t;
+      Schema.col ~nullable:false "p_retailprice" Value.Float_t ]
+
+let orders_schema =
+  Schema.create
+    [ Schema.col ~nullable:false "o_orderkey" Value.Int_t;
+      Schema.col ~nullable:false "o_custkey" Value.Int_t;
+      Schema.col ~nullable:false "o_orderstatus" Value.Str_t;
+      Schema.col ~nullable:false "o_totalprice" Value.Float_t;
+      Schema.col ~nullable:false "o_orderdate" Value.Date_t;
+      Schema.col ~nullable:false "o_orderpriority" Value.Str_t;
+      Schema.col ~nullable:false "o_shippriority" Value.Int_t ]
+
+let lineitem_schema =
+  Schema.create
+    [ Schema.col ~nullable:false "l_orderkey" Value.Int_t;
+      Schema.col ~nullable:false "l_partkey" Value.Int_t;
+      Schema.col ~nullable:false "l_suppkey" Value.Int_t;
+      Schema.col ~nullable:false "l_linenumber" Value.Int_t;
+      Schema.col ~nullable:false "l_quantity" Value.Float_t;
+      Schema.col ~nullable:false "l_extendedprice" Value.Float_t;
+      Schema.col ~nullable:false "l_discount" Value.Float_t;
+      Schema.col ~nullable:false "l_tax" Value.Float_t;
+      Schema.col ~nullable:false "l_returnflag" Value.Str_t;
+      Schema.col ~nullable:false "l_linestatus" Value.Str_t;
+      Schema.col ~nullable:false "l_shipdate" Value.Date_t ]
+
+let region_names = [| "AFRICA"; "AMERICA"; "ASIA"; "EUROPE"; "MIDDLE EAST" |]
+
+let nation_names =
+  [| "ALGERIA"; "ARGENTINA"; "BRAZIL"; "CANADA"; "EGYPT"; "ETHIOPIA"; "FRANCE";
+     "GERMANY"; "INDIA"; "INDONESIA"; "IRAN"; "IRAQ"; "JAPAN"; "JORDAN"; "KENYA";
+     "MOROCCO"; "MOZAMBIQUE"; "PERU"; "CHINA"; "ROMANIA"; "SAUDI ARABIA";
+     "VIETNAM"; "RUSSIA"; "UNITED KINGDOM"; "UNITED STATES" |]
+
+let segments = [| "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "MACHINERY"; "HOUSEHOLD" |]
+let priorities = [| "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECIFIED"; "5-LOW" |]
+let brands = [| "Brand#11"; "Brand#12"; "Brand#21"; "Brand#23"; "Brand#34"; "Brand#55" |]
+let types =
+  [| "STANDARD ANODIZED TIN"; "SMALL PLATED COPPER"; "MEDIUM BURNISHED NICKEL";
+     "LARGE POLISHED STEEL"; "ECONOMY BRUSHED BRASS"; "PROMO BURNISHED COPPER" |]
+let part_nouns = [| "almond"; "antique"; "azure"; "beige"; "blush"; "chartreuse";
+                    "coral"; "cream"; "dark"; "dim" |]
+
+type sizes = {
+  suppliers : int;
+  parts : int;
+  customers : int;
+  orders : int;
+}
+
+let sizes_of_sf sf =
+  let n base = max 1 (Float.to_int (Float.of_int base *. sf)) in
+  { suppliers = n 10_000; parts = n 200_000; customers = n 150_000; orders = n 1_500_000 }
+
+(** [load catalog ~sf ~seed] generates and registers all seven tables.
+    Equal (sf, seed) pairs produce identical databases. *)
+let load catalog ~sf ~seed =
+  let rng = Rng.create seed in
+  let sz = sizes_of_sf sf in
+
+  let region = Table.create ~name:"region" region_schema in
+  Array.iteri (fun k name -> Table.insert region [| i k; s name |]) region_names;
+  Catalog.add catalog region;
+
+  let nation = Table.create ~name:"nation" nation_schema in
+  Array.iteri
+    (fun k name -> Table.insert nation [| i k; s name; i (Rng.int rng 5) |])
+    nation_names;
+  Catalog.add catalog nation;
+
+  let supplier = Table.create ~name:"supplier" supplier_schema in
+  for k = 1 to sz.suppliers do
+    Table.insert supplier
+      [| i k;
+         s (Printf.sprintf "Supplier#%09d" k);
+         i (Rng.int rng 25);
+         f (Rng.float_range rng (-999.99) 9999.99) |]
+  done;
+  Catalog.add catalog supplier;
+
+  let part = Table.create ~name:"part" part_schema in
+  for k = 1 to sz.parts do
+    Table.insert part
+      [| i k;
+         s (Rng.pick rng part_nouns ^ " " ^ Rng.pick rng part_nouns);
+         s (Rng.pick rng brands);
+         s (Rng.pick rng types);
+         f (900.0 +. (Float.of_int (k mod 1000) /. 10.0)) |]
+  done;
+  Catalog.add catalog part;
+
+  let customer = Table.create ~name:"customer" customer_schema in
+  for k = 1 to sz.customers do
+    Table.insert customer
+      [| i k;
+         s (Printf.sprintf "Customer#%09d" k);
+         i (Rng.int rng 25);
+         s (Rng.pick rng segments);
+         f (Rng.float_range rng (-999.99) 9999.99) |]
+  done;
+  Catalog.add catalog customer;
+
+  let start_date = date 1992 1 1 and end_date = date 1998 8 2 in
+  let orders = Table.create ~name:"orders" orders_schema in
+  let lineitem = Table.create ~name:"lineitem" lineitem_schema in
+  (* Skewed part popularity: a Zipf over part keys. *)
+  let part_zipf = Rng.Zipf.create (Rng.copy rng) ~n:sz.parts ~theta:0.8 in
+  for ok = 1 to sz.orders do
+    let odate = Rng.int_range rng start_date (end_date - 151) in
+    let nlines = Rng.int_range rng 1 7 in
+    let total = ref 0.0 in
+    for line = 1 to nlines do
+      let qty = Float.of_int (Rng.int_range rng 1 50) in
+      let price = Rng.float_range rng 900.0 105000.0 in
+      let discount = Float.of_int (Rng.int_range rng 0 10) /. 100.0 in
+      let tax = Float.of_int (Rng.int_range rng 0 8) /. 100.0 in
+      let shipdate = odate + Rng.int_range rng 1 121 in
+      let returnflag, linestatus =
+        (* TPC-H: items shipped long ago were returned or not ("R"/"A"),
+           recent ones are still open ("N"/"O"). *)
+        if shipdate <= date 1995 6 17 then
+          ((if Rng.bool rng then "R" else "A"), "F")
+        else ("N", "O")
+      in
+      Table.insert lineitem
+        [| i ok;
+           i (Rng.Zipf.sample part_zipf);
+           i (1 + Rng.int rng sz.suppliers);
+           i line;
+           f qty;
+           f price;
+           f discount;
+           f tax;
+           s returnflag;
+           s linestatus;
+           d shipdate |];
+      total := !total +. (price *. (1.0 -. discount) *. (1.0 +. tax))
+    done;
+    Table.insert orders
+      [| i ok;
+         i (1 + Rng.int rng sz.customers);
+         s (if Rng.bool rng then "F" else "O");
+         f !total;
+         d odate;
+         s (Rng.pick rng priorities);
+         i (Rng.int rng 2) |]
+  done;
+  Catalog.add catalog orders;
+  Catalog.add catalog lineitem
+
+(* --- Query suite (analogs of TPC-H Q1, Q3, Q5, Q6) --------------------- *)
+
+let q1 =
+  "SELECT l_returnflag, l_linestatus, \
+   SUM(l_quantity) AS sum_qty, \
+   SUM(l_extendedprice) AS sum_base_price, \
+   SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price, \
+   AVG(l_quantity) AS avg_qty, \
+   AVG(l_discount) AS avg_disc, \
+   COUNT(*) AS count_order \
+   FROM lineitem \
+   WHERE l_shipdate <= DATE '1998-09-02' \
+   GROUP BY l_returnflag, l_linestatus \
+   ORDER BY l_returnflag, l_linestatus"
+
+let q3 =
+  "SELECT l_orderkey, \
+   SUM(l_extendedprice * (1 - l_discount)) AS revenue, \
+   o_orderdate, o_shippriority \
+   FROM customer, orders, lineitem \
+   WHERE c_mktsegment = 'BUILDING' \
+   AND c_custkey = o_custkey \
+   AND l_orderkey = o_orderkey \
+   AND o_orderdate < DATE '1995-03-15' \
+   AND l_shipdate > DATE '1995-03-15' \
+   GROUP BY l_orderkey, o_orderdate, o_shippriority \
+   ORDER BY revenue DESC, o_orderdate \
+   LIMIT 10"
+
+let q5 =
+  "SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue \
+   FROM customer, orders, lineitem, supplier, nation, region \
+   WHERE c_custkey = o_custkey \
+   AND l_orderkey = o_orderkey \
+   AND l_suppkey = s_suppkey \
+   AND c_nationkey = s_nationkey \
+   AND s_nationkey = n_nationkey \
+   AND n_regionkey = r_regionkey \
+   AND r_name = 'ASIA' \
+   AND o_orderdate >= DATE '1994-01-01' \
+   AND o_orderdate < DATE '1995-01-01' \
+   GROUP BY n_name \
+   ORDER BY revenue DESC"
+
+let q6 =
+  "SELECT SUM(l_extendedprice * l_discount) AS revenue \
+   FROM lineitem \
+   WHERE l_shipdate >= DATE '1994-01-01' \
+   AND l_shipdate < DATE '1995-01-01' \
+   AND l_discount BETWEEN 0.05 AND 0.07 \
+   AND l_quantity < 24"
+
+(** The named query suite, for tests and benches. *)
+let queries = [ ("Q1", q1); ("Q3", q3); ("Q5", q5); ("Q6", q6) ]

@@ -1,0 +1,1 @@
+test/test_adaptive.ml: Alcotest Array Float Printf Quill Quill_adaptive Quill_exec Quill_optimizer Quill_plan Quill_sql Quill_stats Quill_storage Quill_util Tutil

@@ -1,0 +1,1 @@
+test/test_binder.ml: Alcotest List Quill_plan Quill_sql Quill_storage String

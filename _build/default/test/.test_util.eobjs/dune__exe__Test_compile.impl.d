@@ -1,0 +1,1 @@
+test/test_compile.ml: Alcotest Array Float Fun List QCheck2 Quill Quill_compile Quill_plan Quill_storage Quill_util Tutil

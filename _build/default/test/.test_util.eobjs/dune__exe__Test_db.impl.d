@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Array Filename List Printf Quill Quill_storage String Sys Tutil

@@ -1,0 +1,1 @@
+test/test_engines.ml: Alcotest Array Float List Printf QCheck2 Quill Quill_compile Quill_optimizer Quill_storage Quill_workload String Tutil

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array List QCheck2 Quill_exec Quill_plan Quill_storage Quill_util Tutil

@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest QCheck2 Quill_compile Quill_optimizer Quill_plan Quill_storage Tutil

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Lazy List Printf QCheck2 Quill Quill_optimizer Quill_storage String Tutil

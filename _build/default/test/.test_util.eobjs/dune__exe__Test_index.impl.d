@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Array List Option Printf QCheck2 Quill Quill_optimizer Quill_storage Quill_workload Tutil

@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Array Float List Quill Quill_exec Quill_optimizer Quill_plan Quill_sql Quill_stats Quill_storage Quill_workload Tutil

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest List Printexc Printf QCheck2 Quill_sql Quill_storage Tutil

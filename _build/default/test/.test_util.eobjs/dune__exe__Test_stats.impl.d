@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float List Printf Quill_plan Quill_stats Quill_storage Quill_util String Tutil

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Filename List QCheck2 Quill_storage Sys Tutil

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun List QCheck2 Quill_util String Tutil

@@ -1,0 +1,1 @@
+test/test_window.ml: Alcotest Array Float Hashtbl List Option Printf QCheck2 Quill Quill_storage Quill_util String Tutil

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Fun Hashtbl List Option Quill_storage Quill_workload

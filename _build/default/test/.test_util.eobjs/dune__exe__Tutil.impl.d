@@ -1,0 +1,1 @@
+test/tutil.ml: Alcotest Array Float Format List Printf QCheck2 QCheck_alcotest Quill Quill_plan Quill_storage Quill_util String

@@ -1,0 +1,213 @@
+(* Tests for the adaptive layer: plan cache, tiering, feedback
+   re-optimization and micro-adaptive expression evaluation. *)
+
+module Value = Quill_storage.Value
+module Schema = Quill_storage.Schema
+module Table = Quill_storage.Table
+module Catalog = Quill_storage.Catalog
+module Bexpr = Quill_plan.Bexpr
+module Physical = Quill_optimizer.Physical
+module Picker = Quill_optimizer.Picker
+module Profile = Quill_exec.Profile
+module Plan_cache = Quill_adaptive.Plan_cache
+module Tiering = Quill_adaptive.Tiering
+module Feedback = Quill_adaptive.Feedback
+module Micro = Quill_adaptive.Micro
+
+let test_plan_cache_hit_miss () =
+  let db = Tutil.random_db ~seed:1 ~rows:50 in
+  let cache = Plan_cache.create () in
+  let version = Catalog.version (Quill.Db.catalog db) in
+  let pplan = Quill.Db.plan db "SELECT id FROM r" in
+  Alcotest.(check bool) "miss" true
+    (Plan_cache.find cache ~sql:"q" ~param_types:[||] ~catalog_version:version = None);
+  let _ = Plan_cache.add cache ~sql:"q" ~param_types:[||] ~catalog_version:version pplan in
+  Alcotest.(check bool) "hit" true
+    (Plan_cache.find cache ~sql:"q" ~param_types:[||] ~catalog_version:version <> None);
+  (* Different parameter types are a different entry. *)
+  Alcotest.(check bool) "param types keyed" true
+    (Plan_cache.find cache ~sql:"q" ~param_types:[| Value.Int_t |] ~catalog_version:version
+    = None);
+  (* Catalog changes invalidate. *)
+  Alcotest.(check bool) "stale dropped" true
+    (Plan_cache.find cache ~sql:"q" ~param_types:[||] ~catalog_version:(version + 1) = None);
+  Alcotest.(check int) "dropped from table" 0 (Plan_cache.size cache)
+
+let test_plan_cache_eviction () =
+  let db = Tutil.random_db ~seed:1 ~rows:10 in
+  let cache = Plan_cache.create ~capacity:4 () in
+  let version = Catalog.version (Quill.Db.catalog db) in
+  let pplan = Quill.Db.plan db "SELECT id FROM r" in
+  for i = 0 to 9 do
+    ignore
+      (Plan_cache.add cache ~sql:(Printf.sprintf "q%d" i) ~param_types:[||]
+         ~catalog_version:version pplan)
+  done;
+  Alcotest.(check bool) "bounded" true (Plan_cache.size cache <= 5)
+
+let test_tiering_policies () =
+  let db = Tutil.random_db ~seed:2 ~rows:200 in
+  let cache = Plan_cache.create () in
+  let version = Catalog.version (Quill.Db.catalog db) in
+  let pplan = Quill.Db.plan db "SELECT id, v FROM r WHERE k > 3" in
+  let entry = Plan_cache.add cache ~sql:"t" ~param_types:[||] ~catalog_version:version pplan in
+  let ctx = Quill_exec.Exec_ctx.create (Quill.Db.catalog db) in
+  (* Interpret-always never compiles. *)
+  for _ = 1 to 5 do
+    ignore (Tiering.execute ~policy:Tiering.Interpret_always ~ctx entry)
+  done;
+  Alcotest.(check bool) "no compile" true (entry.Plan_cache.compiled = None);
+  (* Tiered compiles at the threshold. *)
+  let entry2 = Plan_cache.add cache ~sql:"t2" ~param_types:[||] ~catalog_version:version pplan in
+  let r1 = ignore (Tiering.execute ~policy:(Tiering.Tiered 3) ~ctx entry2) in
+  ignore r1;
+  Alcotest.(check bool) "cold" true (entry2.Plan_cache.compiled = None);
+  ignore (Tiering.execute ~policy:(Tiering.Tiered 3) ~ctx entry2);
+  Alcotest.(check bool) "still cold" true (entry2.Plan_cache.compiled = None);
+  ignore (Tiering.execute ~policy:(Tiering.Tiered 3) ~ctx entry2);
+  Alcotest.(check bool) "hot -> compiled" true (entry2.Plan_cache.compiled <> None);
+  Alcotest.(check bool) "compile time recorded" true (entry2.Plan_cache.compile_time > 0.0);
+  (* Results agree between tiers. *)
+  let a = Tiering.execute ~policy:Tiering.Interpret_always ~ctx entry2 in
+  let b = Tiering.execute ~policy:Tiering.Compile_always ~ctx entry2 in
+  Alcotest.(check bool) "tiers agree" true
+    (Tutil.same_rows_unordered
+       (Quill_util.Vec.to_array a)
+       (Quill_util.Vec.to_array b))
+
+(* A table whose filter selectivity defeats the static estimator: values
+   correlated so that [a < 100 AND b < 100] matches everything, while
+   independence assumes 1/9. *)
+let correlated_db () =
+  let db = Quill.Db.create () in
+  let cat = Quill.Db.catalog db in
+  let schema =
+    Schema.create
+      [ Schema.col ~nullable:false "a" Value.Int_t;
+        Schema.col ~nullable:false "b" Value.Int_t;
+        Schema.col ~nullable:false "v" Value.Int_t ]
+  in
+  let t = Table.create ~name:"corr" schema in
+  let rng = Quill_util.Rng.create 17 in
+  for _ = 1 to 3000 do
+    let a = Quill_util.Rng.int rng 300 in
+    (* b perfectly correlated with a *)
+    Table.insert t [| Value.Int a; Value.Int a; Value.Int (Quill_util.Rng.int rng 1000) |]
+  done;
+  Catalog.add cat t;
+  db
+
+let test_feedback_learns_selectivity () =
+  let db = correlated_db () in
+  let sql = "SELECT v FROM corr WHERE a < 30 AND b < 30" in
+  let pplan = Quill.Db.plan db sql in
+  let profile = Profile.create pplan in
+  let ctx = Quill_exec.Exec_ctx.create ~profile (Quill.Db.catalog db) in
+  let _ = Quill_exec.Vector.run ctx pplan in
+  (* The static estimate assumes independence (~1/100); actual is ~1/10. *)
+  Alcotest.(check bool) "misestimate detected" true
+    (Feedback.should_reoptimize pplan profile);
+  let fb = Feedback.create () in
+  let updated = Feedback.learn fb (Quill.Db.catalog db) pplan profile in
+  Alcotest.(check bool) "hints recorded" true (updated >= 1);
+  (* Hints land in estimation: the hinted cardinality is near the truth. *)
+  let env =
+    Quill_optimizer.Card.make_env ~hints:(Feedback.hints fb) (Quill.Db.catalog db)
+      (Quill_stats.Table_stats.Registry.create ())
+  in
+  let lplan =
+    match Quill_sql.Parser.parse sql with
+    | Quill_sql.Ast.Select s ->
+        Quill_plan.Binder.bind_select
+          (Quill_plan.Binder.mk_env ~catalog:(Quill.Db.catalog db)
+             ~udfs:(Quill_plan.Udf.builtins ()) ~param_types:[||] ())
+          s
+    | _ -> assert false
+  in
+  let est = (Quill_optimizer.Card.derive env (Quill_optimizer.Rewrite.rewrite lplan)).Quill_optimizer.Card.rows in
+  let actual = Float.of_int (Table.row_count (Quill.Db.query db sql)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "hinted estimate %.0f near actual %.0f" est actual)
+    true
+    (est /. actual < 2.0 && actual /. est < 2.0)
+
+let test_query_adaptive_caches_and_agrees () =
+  let db = Tutil.random_db ~seed:8 ~rows:300 in
+  Quill.Db.set_policy db (Tiering.Tiered 2);
+  let sql = "SELECT tag, count(*) FROM r WHERE k > $1 GROUP BY tag" in
+  let params = [| Value.Int 5 |] in
+  let direct = Tutil.table_rows (Quill.Db.query db ~params sql) in
+  for _ = 1 to 4 do
+    let adaptive = Tutil.table_rows (Quill.Db.query_adaptive db ~params sql) in
+    Tutil.check_same_unordered "adaptive = direct" direct adaptive
+  done;
+  let entries, runs, compiled = Quill.Db.cache_stats db in
+  Alcotest.(check int) "one entry" 1 entries;
+  Alcotest.(check int) "four runs" 4 runs;
+  Alcotest.(check int) "tiered up" 1 compiled;
+  (* DML invalidates the cached plan. *)
+  ignore (Quill.Db.exec db "INSERT INTO s VALUES (9999, 1, 1)");
+  let after = Tutil.table_rows (Quill.Db.query_adaptive db ~params sql) in
+  Tutil.check_same_unordered "still correct" direct after
+
+let test_micro_adaptive_agrees_and_settles () =
+  let schema =
+    Schema.create [ Schema.col "x" Value.Int_t; Schema.col "y" Value.Int_t ]
+  in
+  ignore schema;
+  let e =
+    (* (x * 2 + y) > 50 *)
+    { Bexpr.node =
+        Bexpr.Cmp
+          ( Bexpr.Gt,
+            { Bexpr.node =
+                Bexpr.Arith
+                  ( Bexpr.Add,
+                    { Bexpr.node =
+                        Bexpr.Arith
+                          ( Bexpr.Mul,
+                            { Bexpr.node = Bexpr.Col 0; dtype = Value.Int_t },
+                            { Bexpr.node = Bexpr.Lit (Value.Int 2); dtype = Value.Int_t } );
+                      dtype = Value.Int_t },
+                    { Bexpr.node = Bexpr.Col 1; dtype = Value.Int_t } );
+              dtype = Value.Int_t },
+            { Bexpr.node = Bexpr.Lit (Value.Int 50); dtype = Value.Int_t } );
+      dtype = Value.Bool_t }
+  in
+  let m = Micro.create ~explore_batches:1 ~reexplore_every:20 e in
+  let rng = Quill_util.Rng.create 3 in
+  let batch () =
+    Array.init 256 (fun _ ->
+        [| Value.Int (Quill_util.Rng.int rng 100); Value.Int (Quill_util.Rng.int rng 100) |])
+  in
+  for _ = 1 to 30 do
+    let rows = batch () in
+    let got = Micro.eval_batch m ~params:[||] rows in
+    Array.iteri
+      (fun i row ->
+        let expect = Bexpr.eval ~row ~params:[||] e in
+        if not (Value.equal expect got.(i)) then
+          Alcotest.failf "micro tier disagrees on row %d" i)
+      rows
+  done;
+  (* After exploration it must have settled on some tier (and keep
+     correct). *)
+  ignore (Micro.current_tier m)
+
+let () =
+  Alcotest.run "adaptive"
+    [
+      ( "plan cache",
+        [
+          Alcotest.test_case "hit/miss/invalidate" `Quick test_plan_cache_hit_miss;
+          Alcotest.test_case "eviction" `Quick test_plan_cache_eviction;
+        ] );
+      ("tiering", [ Alcotest.test_case "policies" `Quick test_tiering_policies ]);
+      ( "feedback",
+        [ Alcotest.test_case "learns selectivity" `Quick test_feedback_learns_selectivity ] );
+      ( "integration",
+        [
+          Alcotest.test_case "query_adaptive" `Quick test_query_adaptive_caches_and_agrees;
+          Alcotest.test_case "micro adaptivity" `Quick test_micro_adaptive_agrees_and_settles;
+        ] );
+    ]

@@ -1,0 +1,215 @@
+(* Binder tests: name resolution, typing, aggregation rules, ORDER BY. *)
+
+module Value = Quill_storage.Value
+module Schema = Quill_storage.Schema
+module Table = Quill_storage.Table
+module Catalog = Quill_storage.Catalog
+module Parser = Quill_sql.Parser
+module Ast = Quill_sql.Ast
+module Binder = Quill_plan.Binder
+module Lplan = Quill_plan.Lplan
+module Bexpr = Quill_plan.Bexpr
+module Udf = Quill_plan.Udf
+
+let env () =
+  let catalog = Catalog.create () in
+  let t =
+    Table.create ~name:"t"
+      (Schema.create
+         [ Schema.col "a" Value.Int_t; Schema.col "b" Value.Str_t;
+           Schema.col "f" Value.Float_t; Schema.col "d" Value.Date_t ])
+  in
+  Catalog.add catalog t;
+  let u =
+    Table.create ~name:"u"
+      (Schema.create [ Schema.col "a" Value.Int_t; Schema.col "x" Value.Int_t ])
+  in
+  Catalog.add catalog u;
+  Binder.mk_env ~catalog ~udfs:(Udf.builtins ()) ~param_types:[| Value.Int_t |] ()
+
+let bind sql =
+  match Parser.parse sql with
+  | Ast.Select s -> Binder.bind_select (env ()) s
+  | _ -> Alcotest.fail "not a select"
+
+let expect_error ?needle sql =
+  match bind sql with
+  | _ -> Alcotest.failf "expected bind error for %S" sql
+  | exception Binder.Bind_error msg -> (
+      match needle with
+      | None -> ()
+      | Some n ->
+          let contains hay needle =
+            let nh = String.length hay and nn = String.length needle in
+            let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+            go 0
+          in
+          if not (contains msg n) then
+            Alcotest.failf "error %S does not mention %S" msg n)
+
+let schema_of sql = Lplan.schema_of (bind sql)
+
+let col_names s = List.map (fun c -> c.Schema.name) (Schema.columns s)
+
+let test_simple_select () =
+  let s = schema_of "SELECT a, b FROM t" in
+  Alcotest.(check (list string)) "names" [ "a"; "b" ] (col_names s);
+  Alcotest.(check bool) "types" true
+    ((Schema.column s 0).Schema.dtype = Value.Int_t
+    && (Schema.column s 1).Schema.dtype = Value.Str_t)
+
+let test_star_expansion () =
+  let s = schema_of "SELECT * FROM t" in
+  Alcotest.(check int) "arity" 4 (Schema.arity s)
+
+let test_join_star_qualified () =
+  let s = schema_of "SELECT * FROM t, u" in
+  Alcotest.(check int) "arity" 6 (Schema.arity s);
+  (* Duplicate base name [a] gets uniquified in the output. *)
+  Alcotest.(check bool) "uniquified" true
+    (List.length (List.sort_uniq compare (col_names s)) = 6)
+
+let test_alias_and_self_join () =
+  let s = schema_of "SELECT t1.a, t2.a FROM t t1, t t2 WHERE t1.a = t2.a" in
+  Alcotest.(check int) "arity" 2 (Schema.arity s)
+
+let test_unknown_and_ambiguous () =
+  expect_error ~needle:"unknown" "SELECT zz FROM t";
+  expect_error ~needle:"ambiguous" "SELECT a FROM t t1, t t2";
+  expect_error ~needle:"no table" "SELECT a FROM missing"
+
+let test_type_errors () =
+  expect_error ~needle:"incompatible" "SELECT a FROM t WHERE a = b";
+  expect_error "SELECT a + b FROM t";
+  expect_error ~needle:"boolean" "SELECT a FROM t WHERE a + 1";
+  expect_error ~needle:"LIKE" "SELECT a FROM t WHERE a LIKE 'x%'";
+  expect_error ~needle:"%" "SELECT f % 2 FROM t"
+
+let test_numeric_coercion () =
+  let s = schema_of "SELECT a + f, a + 1, f * 2 FROM t" in
+  Alcotest.(check bool) "int+float is float" true
+    ((Schema.column s 0).Schema.dtype = Value.Float_t);
+  Alcotest.(check bool) "int+int is int" true
+    ((Schema.column s 1).Schema.dtype = Value.Int_t);
+  Alcotest.(check bool) "float*int is float" true
+    ((Schema.column s 2).Schema.dtype = Value.Float_t)
+
+let test_date_arith_types () =
+  let s = schema_of "SELECT d + 7, d - d FROM t" in
+  Alcotest.(check bool) "date+int is date" true
+    ((Schema.column s 0).Schema.dtype = Value.Date_t);
+  Alcotest.(check bool) "date-date is int" true
+    ((Schema.column s 1).Schema.dtype = Value.Int_t)
+
+let test_aggregate_output () =
+  let s = schema_of "SELECT b, count(*) AS n, sum(a), avg(f) FROM t GROUP BY b" in
+  Alcotest.(check (list string)) "names" [ "b"; "n"; "sum"; "avg" ] (col_names s);
+  Alcotest.(check bool) "count int" true ((Schema.column s 1).Schema.dtype = Value.Int_t);
+  Alcotest.(check bool) "sum int" true ((Schema.column s 2).Schema.dtype = Value.Int_t);
+  Alcotest.(check bool) "avg float" true ((Schema.column s 3).Schema.dtype = Value.Float_t)
+
+let test_aggregate_rules () =
+  expect_error ~needle:"GROUP BY" "SELECT a, count(*) FROM t GROUP BY b";
+  expect_error ~needle:"WHERE" "SELECT a FROM t WHERE count(*) > 1";
+  expect_error ~needle:"HAVING" "SELECT a FROM t HAVING a > 1";
+  (* Group-by expression reused in the select list is fine. *)
+  let s = schema_of "SELECT a + 1, count(*) FROM t GROUP BY a + 1" in
+  Alcotest.(check int) "arity" 2 (Schema.arity s);
+  (* Qualified/unqualified spelling of a key still resolves. *)
+  let s2 = schema_of "SELECT t.a, count(*) FROM t GROUP BY t.a" in
+  Alcotest.(check int) "arity2" 2 (Schema.arity s2)
+
+let test_having_aggregate () =
+  let p = bind "SELECT b FROM t GROUP BY b HAVING sum(a) > 10" in
+  (* HAVING's aggregate must appear in the Aggregate node even though it is
+     not projected. *)
+  let rec find_agg = function
+    | Lplan.Aggregate { aggs; _ } -> List.length aggs
+    | Lplan.Project (_, i) | Lplan.Filter (_, i) | Lplan.Distinct i -> find_agg i
+    | Lplan.Sort { input; _ } | Lplan.Limit { input; _ } -> find_agg input
+    | _ -> -1
+  in
+  Alcotest.(check int) "agg present" 1 (find_agg p)
+
+let test_order_by_forms () =
+  (* By alias, by position, by hidden expression. *)
+  ignore (bind "SELECT a AS x FROM t ORDER BY x");
+  ignore (bind "SELECT a FROM t ORDER BY 1 DESC");
+  let p = bind "SELECT a FROM t ORDER BY f + 1" in
+  let s = Lplan.schema_of p in
+  (* The hidden sort key must not leak into the output schema. *)
+  Alcotest.(check (list string)) "hidden dropped" [ "a" ] (col_names s);
+  expect_error "SELECT a FROM t ORDER BY 3";
+  expect_error ~needle:"DISTINCT" "SELECT DISTINCT a FROM t ORDER BY f"
+
+let test_order_by_agg_query () =
+  ignore (bind "SELECT b, sum(a) AS s FROM t GROUP BY b ORDER BY s DESC");
+  ignore (bind "SELECT b, sum(a) FROM t GROUP BY b ORDER BY sum(a)")
+
+let test_subquery_binding () =
+  let s = schema_of "SELECT sub.x FROM (SELECT a AS x FROM t) sub WHERE sub.x > 1" in
+  Alcotest.(check (list string)) "names" [ "x" ] (col_names s);
+  expect_error "SELECT a FROM (SELECT a AS x FROM t) sub"
+
+let test_params () =
+  let p = bind "SELECT a FROM t WHERE a = $1" in
+  Alcotest.(check int) "binds" 1 (Schema.arity (Lplan.schema_of p));
+  expect_error ~needle:"parameter" "SELECT a FROM t WHERE a = $2"
+
+let test_udf_binding () =
+  let s = schema_of "SELECT length(b), sqrt(a), year(d) FROM t" in
+  Alcotest.(check bool) "length int" true ((Schema.column s 0).Schema.dtype = Value.Int_t);
+  (* sqrt(INT) resolves via Int->Float widening. *)
+  Alcotest.(check bool) "sqrt float" true ((Schema.column s 1).Schema.dtype = Value.Float_t);
+  expect_error ~needle:"no function" "SELECT frobnicate(a) FROM t";
+  expect_error ~needle:"no function" "SELECT length(a) FROM t"
+
+let test_select_without_from () =
+  let s = schema_of "SELECT 1 + 2 AS x, 'hi' AS s" in
+  Alcotest.(check (list string)) "names" [ "x"; "s" ] (col_names s)
+
+let test_null_literal_adapts () =
+  ignore (bind "SELECT a FROM t WHERE a = NULL");
+  ignore (bind "SELECT a FROM t WHERE b = NULL");
+  let s = schema_of "SELECT CASE WHEN a > 0 THEN f ELSE NULL END FROM t" in
+  Alcotest.(check bool) "case type" true ((Schema.column s 0).Schema.dtype = Value.Float_t)
+
+let test_count_distinct () =
+  let s = schema_of "SELECT count(DISTINCT b) FROM t" in
+  Alcotest.(check int) "arity" 1 (Schema.arity s)
+
+let () =
+  Alcotest.run "binder"
+    [
+      ( "resolution",
+        [
+          Alcotest.test_case "simple" `Quick test_simple_select;
+          Alcotest.test_case "star" `Quick test_star_expansion;
+          Alcotest.test_case "join star" `Quick test_join_star_qualified;
+          Alcotest.test_case "self join" `Quick test_alias_and_self_join;
+          Alcotest.test_case "unknown/ambiguous" `Quick test_unknown_and_ambiguous;
+          Alcotest.test_case "subquery" `Quick test_subquery_binding;
+          Alcotest.test_case "no FROM" `Quick test_select_without_from;
+        ] );
+      ( "typing",
+        [
+          Alcotest.test_case "type errors" `Quick test_type_errors;
+          Alcotest.test_case "coercion" `Quick test_numeric_coercion;
+          Alcotest.test_case "date arith" `Quick test_date_arith_types;
+          Alcotest.test_case "null adapts" `Quick test_null_literal_adapts;
+          Alcotest.test_case "params" `Quick test_params;
+          Alcotest.test_case "udfs" `Quick test_udf_binding;
+        ] );
+      ( "aggregation",
+        [
+          Alcotest.test_case "output schema" `Quick test_aggregate_output;
+          Alcotest.test_case "rules" `Quick test_aggregate_rules;
+          Alcotest.test_case "having" `Quick test_having_aggregate;
+          Alcotest.test_case "count distinct" `Quick test_count_distinct;
+        ] );
+      ( "order by",
+        [
+          Alcotest.test_case "forms" `Quick test_order_by_forms;
+          Alcotest.test_case "with aggregates" `Quick test_order_by_agg_query;
+        ] );
+    ]

@@ -1,0 +1,324 @@
+(* Compile-layer internals: unboxed column predicates (Col_pred), unboxed
+   numeric expressions (Col_expr), scan->aggregate fusion, and compiled
+   plan reuse across parameter changes. *)
+
+module Value = Quill_storage.Value
+module Schema = Quill_storage.Schema
+module Table = Quill_storage.Table
+module Column = Quill_storage.Column
+module Bexpr = Quill_plan.Bexpr
+module Col_pred = Quill_compile.Col_pred
+module Col_expr = Quill_compile.Col_expr
+module Codegen = Quill_compile.Codegen
+
+let lit v dt = { Bexpr.node = Bexpr.Lit v; dtype = dt }
+let col i dt = { Bexpr.node = Bexpr.Col i; dtype = dt }
+let cmp op a b = { Bexpr.node = Bexpr.Cmp (op, a, b); dtype = Value.Bool_t }
+let band a b = { Bexpr.node = Bexpr.And (a, b); dtype = Value.Bool_t }
+
+(* A three-column fixture: ints (with nulls), floats, strings. *)
+let fixture () =
+  let ints =
+    Column.of_values Value.Int_t
+      [| Value.Int 5; Value.Null; Value.Int (-3); Value.Int 10; Value.Int 7 |]
+  in
+  let floats =
+    Column.of_values Value.Float_t
+      [| Value.Float 1.5; Value.Float 2.5; Value.Null; Value.Float (-0.5); Value.Float 4.0 |]
+  in
+  let strs =
+    Column.of_values Value.Str_t
+      [| Value.Str "a"; Value.Str "bb"; Value.Str "c"; Value.Null; Value.Str "bb" |]
+  in
+  [| ints; floats; strs |]
+
+let rows_of cols =
+  Array.init (Column.length cols.(0)) (fun i ->
+      Array.map (fun c -> Column.get c i) cols)
+
+(* Reference: row-wise interpretation; fast path must match exactly for
+   every supported predicate (NULL counts as false). *)
+let check_pred_matches cols e =
+  match Col_pred.compile cols [||] e with
+  | None -> Alcotest.failf "expected a fast path for %s" (Bexpr.to_string e)
+  | Some fast ->
+      let rows = rows_of cols in
+      Array.iteri
+        (fun i row ->
+          let reference = Bexpr.eval_pred ~row ~params:[||] e in
+          if fast i <> reference then
+            Alcotest.failf "fast pred disagrees at row %d for %s" i (Bexpr.to_string e))
+        rows
+
+let test_col_pred_shapes () =
+  let cols = fixture () in
+  let ic = col 0 Value.Int_t and fc = col 1 Value.Float_t and sc = col 2 Value.Str_t in
+  List.iter (check_pred_matches cols)
+    [ cmp Bexpr.Gt ic (lit (Value.Int 4) Value.Int_t);
+      cmp Bexpr.Eq ic (lit (Value.Int 10) Value.Int_t);
+      cmp Bexpr.Neq ic (lit (Value.Int 5) Value.Int_t);
+      (* flipped operand order *)
+      cmp Bexpr.Lt (lit (Value.Int 6) Value.Int_t) ic;
+      cmp Bexpr.Le fc (lit (Value.Float 2.0) Value.Float_t);
+      (* int literal against float column widens *)
+      cmp Bexpr.Ge fc (lit (Value.Int 2) Value.Int_t);
+      cmp Bexpr.Eq sc (lit (Value.Str "bb") Value.Str_t);
+      band
+        (cmp Bexpr.Gt ic (lit (Value.Int 0) Value.Int_t))
+        (cmp Bexpr.Lt fc (lit (Value.Float 3.0) Value.Float_t));
+      { Bexpr.node = Bexpr.Or
+            ( cmp Bexpr.Eq ic (lit (Value.Int 5) Value.Int_t),
+              cmp Bexpr.Eq ic (lit (Value.Int 7) Value.Int_t) );
+        dtype = Value.Bool_t };
+      { Bexpr.node = Bexpr.In_list (ic, [ lit (Value.Int 5) Value.Int_t;
+                                          lit (Value.Int 10) Value.Int_t ]);
+        dtype = Value.Bool_t };
+      { Bexpr.node = Bexpr.Is_null (false, ic); dtype = Value.Bool_t };
+      { Bexpr.node = Bexpr.Is_null (true, fc); dtype = Value.Bool_t } ]
+
+let test_col_pred_rejects () =
+  let cols = fixture () in
+  let ic = col 0 Value.Int_t in
+  let rejected e =
+    Alcotest.(check bool) (Bexpr.to_string e) true (Col_pred.compile cols [||] e = None)
+  in
+  (* NOT is not compositional in the is-true encoding. *)
+  rejected { Bexpr.node = Bexpr.Not (cmp Bexpr.Gt ic (lit (Value.Int 0) Value.Int_t));
+             dtype = Value.Bool_t };
+  (* Column-vs-column has no constant side. *)
+  rejected (cmp Bexpr.Eq ic (col 1 Value.Float_t));
+  (* LIKE has a fast path only over dictionary-encoded strings. *)
+  Quill_storage.Column.enable_dict := false;
+  let plain =
+    [| Quill_storage.Column.of_values Value.Str_t [| Value.Str "aa"; Value.Str "bb" |] |]
+  in
+  Quill_storage.Column.enable_dict := true;
+  Alcotest.(check bool) "like on plain strings" true
+    (Col_pred.compile plain [||]
+       { Bexpr.node = Bexpr.Like (col 0 Value.Str_t, "b%"); dtype = Value.Bool_t }
+    = None)
+
+let test_dict_predicates () =
+  (* Low-cardinality strings dictionary-encode; equality, ranges, IN and
+     LIKE all run on codes and must match the row-wise reference. *)
+  let vals =
+    Array.init 60 (fun i ->
+        if i mod 13 = 0 then Value.Null
+        else Value.Str [| "apple"; "banana"; "cherry"; "date" |].(i mod 4))
+  in
+  let c = Quill_storage.Column.of_values Value.Str_t vals in
+  Alcotest.(check bool) "is dict" true (Quill_storage.Column.dict_parts c <> None);
+  let cols = [| c |] in
+  let sc = col 0 Value.Str_t in
+  let sl v = lit (Value.Str v) Value.Str_t in
+  List.iter (check_pred_matches cols)
+    [ cmp Bexpr.Eq sc (sl "banana");
+      cmp Bexpr.Eq sc (sl "missing");
+      cmp Bexpr.Neq sc (sl "cherry");
+      cmp Bexpr.Lt sc (sl "cherry");
+      cmp Bexpr.Le sc (sl "banana");
+      cmp Bexpr.Gt sc (sl "banana");
+      cmp Bexpr.Ge sc (sl "bb");  (* between dictionary entries *)
+      cmp Bexpr.Lt sc (sl "aa");
+      { Bexpr.node = Bexpr.Like (sc, "%an%"); dtype = Value.Bool_t };
+      { Bexpr.node = Bexpr.Like (sc, "d%"); dtype = Value.Bool_t };
+      { Bexpr.node = Bexpr.In_list (sc, [ sl "apple"; sl "date"; sl "nope" ]);
+        dtype = Value.Bool_t } ]
+
+let test_col_pred_params () =
+  let cols = fixture () in
+  let e = cmp Bexpr.Gt (col 0 Value.Int_t) { Bexpr.node = Bexpr.Param 0; dtype = Value.Int_t } in
+  match Col_pred.compile cols [| Value.Int 6 |] e with
+  | None -> Alcotest.fail "param bound should compile"
+  | Some fast ->
+      Alcotest.(check bool) "row0 (5>6)" false (fast 0);
+      Alcotest.(check bool) "row3 (10>6)" true (fast 3);
+      Alcotest.(check bool) "null row" false (fast 1)
+
+let test_col_expr_agreement () =
+  let cols = fixture () in
+  let rows = rows_of cols in
+  (* (c0 * 2 + 1) as int; (c1 * c1 - 0.5) as float; mixed c0 * c1. *)
+  let ie =
+    { Bexpr.node =
+        Bexpr.Arith
+          ( Bexpr.Add,
+            { Bexpr.node = Bexpr.Arith (Bexpr.Mul, col 0 Value.Int_t, lit (Value.Int 2) Value.Int_t);
+              dtype = Value.Int_t },
+            lit (Value.Int 1) Value.Int_t );
+      dtype = Value.Int_t }
+  in
+  let fe =
+    { Bexpr.node =
+        Bexpr.Arith
+          ( Bexpr.Sub,
+            { Bexpr.node = Bexpr.Arith (Bexpr.Mul, col 1 Value.Float_t, col 1 Value.Float_t);
+              dtype = Value.Float_t },
+            lit (Value.Float 0.5) Value.Float_t );
+      dtype = Value.Float_t }
+  in
+  let mixed =
+    { Bexpr.node = Bexpr.Arith (Bexpr.Mul, col 0 Value.Int_t, col 1 Value.Float_t);
+      dtype = Value.Float_t }
+  in
+  (match Col_expr.compile_int cols [||] ie with
+  | None -> Alcotest.fail "int expr should compile"
+  | Some f ->
+      let valid = Col_expr.valid_fn cols ie in
+      Array.iteri
+        (fun i row ->
+          match Bexpr.eval ~row ~params:[||] ie with
+          | Value.Null -> Alcotest.(check bool) "invalid" false (valid i)
+          | Value.Int expect ->
+              Alcotest.(check bool) "valid" true (valid i);
+              Alcotest.(check int) "value" expect (f i)
+          | _ -> Alcotest.fail "type")
+        rows);
+  List.iter
+    (fun e ->
+      match Col_expr.compile_float cols [||] e with
+      | None -> Alcotest.failf "float expr should compile"
+      | Some f ->
+          let valid = Col_expr.valid_fn cols e in
+          Array.iteri
+            (fun i row ->
+              match Bexpr.eval ~row ~params:[||] e with
+              | Value.Null -> Alcotest.(check bool) "invalid" false (valid i)
+              | v ->
+                  Alcotest.(check bool) "valid" true (valid i);
+                  Alcotest.(check (float 1e-12)) "value" (Value.to_float v) (f i)
+              )
+            rows)
+    [ fe; mixed ]
+
+let test_col_expr_rejects_strings () =
+  let cols = fixture () in
+  Alcotest.(check bool) "string col" true
+    (Col_expr.compile_float cols [||] (col 2 Value.Str_t) = None)
+
+(* Fused scan->aggregate must equal the general staged path, including on
+   empty and all-null inputs. *)
+let test_fusion_agrees_with_general () =
+  let db = Quill.Db.create () in
+  let schema =
+    Schema.create [ Schema.col "a" Value.Int_t; Schema.col "x" Value.Float_t ]
+  in
+  let t = Table.create ~name:"ft" schema in
+  let rng = Quill_util.Rng.create 5 in
+  for _ = 1 to 5000 do
+    Table.insert t
+      [| (if Quill_util.Rng.int rng 10 = 0 then Value.Null
+          else Value.Int (Quill_util.Rng.int rng 100));
+         (if Quill_util.Rng.int rng 10 = 0 then Value.Null
+          else Value.Float (Quill_util.Rng.float rng)) |]
+  done;
+  Quill_storage.Catalog.add (Quill.Db.catalog db) t;
+  let queries =
+    [ "SELECT count(*), count(a), sum(a), min(a), max(a), avg(x) FROM ft";
+      "SELECT sum(a * 2 + 1) FROM ft WHERE a > 50";
+      "SELECT sum(x * x) FROM ft WHERE a >= 10 AND a < 60";
+      "SELECT count(*) FROM ft WHERE a = 1000" (* empty match *) ]
+  in
+  List.iter
+    (fun sql ->
+      let fused = Tutil.table_rows (Quill.Db.query db ~engine:Quill.Db.Compiled sql) in
+      Codegen.enable_scan_agg_fusion := false;
+      let general = Tutil.table_rows (Quill.Db.query db ~engine:Quill.Db.Compiled sql) in
+      Codegen.enable_scan_agg_fusion := true;
+      Array.iteri
+        (fun j g ->
+          match (g, fused.(0).(j)) with
+          | Value.Float x, Value.Float y ->
+              Alcotest.(check bool) sql true
+                (Float.abs (x -. y) <= 1e-9 *. Float.max 1.0 (Float.abs x))
+          | g, f -> Alcotest.check Tutil.value_testable sql g f)
+        general.(0))
+    queries
+
+let test_fusion_on_empty_table () =
+  let db = Quill.Db.create () in
+  ignore (Quill.Db.exec db "CREATE TABLE e (a INT)");
+  let r = Quill.Db.query db ~engine:Quill.Db.Compiled "SELECT count(*), sum(a) FROM e" in
+  Alcotest.check Tutil.value_testable "count 0" (Value.Int 0) (Table.get r 0 0);
+  Alcotest.check Tutil.value_testable "sum null" Value.Null (Table.get r 0 1)
+
+let test_compiled_reuse_across_params () =
+  (* One staged plan executed with different parameter vectors. *)
+  let db = Tutil.random_db ~seed:10 ~rows:300 in
+  let pplan =
+    Quill.Db.plan db ~params:[| Value.Int 0 |] "SELECT count(*) FROM r WHERE k > $1"
+  in
+  let compiled =
+    Codegen.compile (Quill.Db.catalog db) pplan
+  in
+  let count p =
+    match (Quill_util.Vec.get (compiled [| Value.Int p |]) 0).(0) with
+    | Value.Int n -> n
+    | _ -> Alcotest.fail "type"
+  in
+  let reference p =
+    Table.get
+      (Quill.Db.query db ~params:[| Value.Int p |] ~engine:Quill.Db.Volcano
+         "SELECT count(*) FROM r WHERE k > $1")
+      0 0
+  in
+  List.iter
+    (fun p -> Alcotest.check Tutil.value_testable "param reuse" (reference p) (Value.Int (count p)))
+    [ 0; 5; 10; 19; -1 ]
+
+let test_limit_early_exit () =
+  (* The compiled engine's Limit raises through the scan loop; repeated
+     runs of the same staged plan must reset the counters. *)
+  let db = Tutil.random_db ~seed:12 ~rows:500 in
+  let pplan = Quill.Db.plan db "SELECT id FROM r ORDER BY id LIMIT 3" in
+  let compiled = Codegen.compile (Quill.Db.catalog db) pplan in
+  for _ = 1 to 3 do
+    Alcotest.(check int) "limit rows" 3 (Quill_util.Vec.length (compiled [||]))
+  done
+
+let prop_fast_pred_random =
+  Tutil.qtest ~count:200 "Col_pred fast path = interpreter on random data"
+    QCheck2.Gen.(
+      let* n = int_range 1 60 in
+      let* vals = list_repeat n (Tutil.value_of_dtype ~null_weight:15 Value.Int_t) in
+      let* threshold = int_range (-1000) 1000 in
+      let* op = oneofl [ Bexpr.Eq; Bexpr.Lt; Bexpr.Le; Bexpr.Gt; Bexpr.Ge; Bexpr.Neq ] in
+      pure (vals, threshold, op))
+    (fun (vals, threshold, op) ->
+      let c = Column.of_values Value.Int_t (Array.of_list vals) in
+      let e = cmp op (col 0 Value.Int_t) (lit (Value.Int threshold) Value.Int_t) in
+      match Col_pred.compile [| c |] [||] e with
+      | None -> false
+      | Some fast ->
+          List.for_all2
+            (fun i v -> fast i = Bexpr.eval_pred ~row:[| v |] ~params:[||] e)
+            (List.init (List.length vals) Fun.id)
+            vals)
+
+let () =
+  Alcotest.run "compile"
+    [
+      ( "col_pred",
+        [
+          Alcotest.test_case "supported shapes" `Quick test_col_pred_shapes;
+          Alcotest.test_case "rejected shapes" `Quick test_col_pred_rejects;
+          Alcotest.test_case "parameter bounds" `Quick test_col_pred_params;
+          Alcotest.test_case "dictionary predicates" `Quick test_dict_predicates;
+          prop_fast_pred_random;
+        ] );
+      ( "col_expr",
+        [
+          Alcotest.test_case "agreement" `Quick test_col_expr_agreement;
+          Alcotest.test_case "rejects strings" `Quick test_col_expr_rejects_strings;
+        ] );
+      ( "fusion",
+        [
+          Alcotest.test_case "fused = general" `Quick test_fusion_agrees_with_general;
+          Alcotest.test_case "empty table" `Quick test_fusion_on_empty_table;
+        ] );
+      ( "staging",
+        [
+          Alcotest.test_case "reuse across params" `Quick test_compiled_reuse_across_params;
+          Alcotest.test_case "limit early exit" `Quick test_limit_early_exit;
+        ] );
+    ]

@@ -1,0 +1,442 @@
+(* End-to-end API tests: DDL, DML, COPY, EXPLAIN, UDFs, parameters and
+   error reporting through the public facade. *)
+
+module Value = Quill_storage.Value
+module Table = Quill_storage.Table
+
+let check_rows = Alcotest.(check int)
+
+let fresh () =
+  let db = Quill.Db.create () in
+  ignore (Quill.Db.exec db "CREATE TABLE emp (id INT NOT NULL, name TEXT, dept TEXT, salary FLOAT, hired DATE)");
+  ignore
+    (Quill.Db.exec db
+       "INSERT INTO emp VALUES \
+        (1, 'ada', 'eng', 120.0, DATE '2020-01-15'), \
+        (2, 'grace', 'eng', 130.0, DATE '2019-06-01'), \
+        (3, 'alan', 'ops', 90.0, DATE '2021-02-28'), \
+        (4, 'edsger', 'ops', NULL, DATE '2018-11-11'), \
+        (5, 'barbara', 'mgmt', 150.0, DATE '2017-03-03')");
+  db
+
+let test_create_insert_select () =
+  let db = fresh () in
+  let r = Quill.Db.query db "SELECT name FROM emp WHERE dept = 'eng' ORDER BY name" in
+  check_rows "two engineers" 2 (Table.row_count r);
+  Alcotest.check Tutil.value_testable "first" (Value.Str "ada") (Table.get r 0 0)
+
+let test_insert_column_list_and_defaults () =
+  let db = fresh () in
+  (match Quill.Db.exec db "INSERT INTO emp (id, name) VALUES (6, 'tony')" with
+  | Quill.Db.Affected 1 -> ()
+  | _ -> Alcotest.fail "affected");
+  let r = Quill.Db.query db "SELECT dept, salary FROM emp WHERE id = 6" in
+  Alcotest.check Tutil.value_testable "dept null" Value.Null (Table.get r 0 0)
+
+let test_insert_errors () =
+  let db = fresh () in
+  let expect_err sql =
+    Alcotest.(check bool) sql true
+      (try
+         ignore (Quill.Db.exec db sql);
+         false
+       with Quill.Db.Error _ -> true)
+  in
+  expect_err "INSERT INTO emp (id) VALUES (NULL)";
+  expect_err "INSERT INTO emp (id, name) VALUES (7)";
+  expect_err "INSERT INTO emp (id, name) VALUES ('x', 'y')";
+  expect_err "INSERT INTO missing VALUES (1)";
+  expect_err "INSERT INTO emp (nope) VALUES (1)"
+
+let test_drop () =
+  let db = fresh () in
+  ignore (Quill.Db.exec db "DROP TABLE emp");
+  Alcotest.(check bool) "gone" true
+    (try
+       ignore (Quill.Db.query db "SELECT * FROM emp");
+       false
+     with Quill.Db.Error _ -> true)
+
+let test_copy_roundtrip () =
+  let db = fresh () in
+  let path = Filename.temp_file "quill_copy" ".csv" in
+  let oc = open_out path in
+  output_string oc "id,name,dept,salary,hired\n10,zoe,eng,99.5,2022-05-05\n11,yan,,\"\",2022-06-06\n";
+  close_out oc;
+  (match Quill.Db.exec db (Printf.sprintf "COPY emp FROM '%s'" path) with
+  | Quill.Db.Affected 2 -> ()
+  | _ -> Alcotest.fail "copy count");
+  Sys.remove path;
+  let r = Quill.Db.query db "SELECT name, dept FROM emp WHERE id = 11" in
+  Alcotest.check Tutil.value_testable "empty -> null" Value.Null (Table.get r 0 1)
+
+let test_params () =
+  let db = fresh () in
+  let r =
+    Quill.Db.query db
+      ~params:[| Value.Float 100.0; Value.Str "eng" |]
+      "SELECT name FROM emp WHERE salary > $1 AND dept = $2 ORDER BY name"
+  in
+  check_rows "parameterized" 2 (Table.row_count r)
+
+let test_udf_end_to_end () =
+  let db = fresh () in
+  Quill.Db.register_udf db ~name:"bonus" ~args:[ Value.Float_t; Value.Float_t ]
+    ~ret:Value.Float_t (function
+    | [| Value.Float s; Value.Float pct |] -> Value.Float (s *. pct /. 100.0)
+    | [| Value.Null; _ |] | [| _; Value.Null |] -> Value.Null
+    | _ -> invalid_arg "bonus");
+  let r =
+    Quill.Db.query db
+      "SELECT name, bonus(salary, 10.0) AS b FROM emp WHERE bonus(salary, 10.0) > 12.0 \
+       ORDER BY b DESC"
+  in
+  check_rows "udf rows" 2 (Table.row_count r);
+  Alcotest.check Tutil.value_testable "top" (Value.Str "barbara") (Table.get r 0 0);
+  (* UDFs work identically across engines. *)
+  let sql = "SELECT name FROM emp WHERE bonus(salary, 10.0) > 9.5" in
+  let v = Tutil.table_rows (Quill.Db.query db ~engine:Quill.Db.Volcano sql) in
+  let c = Tutil.table_rows (Quill.Db.query db ~engine:Quill.Db.Compiled sql) in
+  Alcotest.(check bool) "udf engines agree" true (Tutil.same_rows_unordered v c)
+
+let test_explain () =
+  let db = fresh () in
+  let s = Quill.Db.explain db "SELECT dept, count(*) FROM emp GROUP BY dept" in
+  Alcotest.(check bool) "mentions scan" true
+    (String.length s > 0
+    &&
+    let contains needle =
+      let nh = String.length s and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub s i nn = needle || go (i + 1)) in
+      go 0
+    in
+    contains "Scan emp" && contains "Agg");
+  let s2 = Quill.Db.explain db ~analyze:true "SELECT * FROM emp WHERE salary > 100.0" in
+  let contains needle =
+    let nh = String.length s2 and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub s2 i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "analyze shows actuals" true (contains "actual rows")
+
+let test_delete () =
+  let db = fresh () in
+  (match Quill.Db.exec db "DELETE FROM emp WHERE dept = 'ops'" with
+  | Quill.Db.Affected 2 -> ()
+  | Quill.Db.Affected n -> Alcotest.failf "deleted %d" n
+  | _ -> Alcotest.fail "delete");
+  check_rows "remaining" 3 (Table.row_count (Quill.Db.query db "SELECT id FROM emp"));
+  (* NULL predicate rows are kept (salary IS NULL rows don't match salary < 100). *)
+  let db2 = fresh () in
+  (match Quill.Db.exec db2 "DELETE FROM emp WHERE salary < 100.0" with
+  | Quill.Db.Affected 1 -> ()
+  | _ -> Alcotest.fail "null rows kept");
+  (* Unconditional delete empties the table. *)
+  (match Quill.Db.exec db2 "DELETE FROM emp" with
+  | Quill.Db.Affected 4 -> ()
+  | _ -> Alcotest.fail "delete all");
+  check_rows "empty" 0 (Table.row_count (Quill.Db.query db2 "SELECT id FROM emp"))
+
+let test_update () =
+  let db = fresh () in
+  (match Quill.Db.exec db "UPDATE emp SET salary = salary * 1.1 WHERE dept = 'eng'" with
+  | Quill.Db.Affected 2 -> ()
+  | _ -> Alcotest.fail "update count");
+  let r = Quill.Db.query db "SELECT salary FROM emp WHERE name = 'ada'" in
+  Alcotest.check Tutil.value_testable "raised" (Value.Float 132.0) (Table.get r 0 0);
+  (* Multi-assignment evaluates against the pre-update row. *)
+  ignore (Quill.Db.exec db "CREATE TABLE p (a INT, b INT)");
+  ignore (Quill.Db.exec db "INSERT INTO p VALUES (1, 10)");
+  ignore (Quill.Db.exec db "UPDATE p SET a = b, b = a");
+  let r = Quill.Db.query db "SELECT a, b FROM p" in
+  Alcotest.check Tutil.value_testable "swap a" (Value.Int 10) (Table.get r 0 0);
+  Alcotest.check Tutil.value_testable "swap b" (Value.Int 1) (Table.get r 0 1);
+  (* Type errors and NOT NULL violations are rejected. *)
+  Alcotest.(check bool) "bad type" true
+    (try
+       ignore (Quill.Db.exec db "UPDATE emp SET salary = 'nope'");
+       false
+     with Quill.Db.Error _ -> true);
+  Alcotest.(check bool) "not null" true
+    (try
+       ignore (Quill.Db.exec db "UPDATE emp SET id = NULL");
+       false
+     with Quill.Db.Error _ -> true);
+  (* The plan cache sees the catalog bump: cached plans refresh. *)
+  let n1 = Table.row_count (Quill.Db.query_adaptive db "SELECT id FROM emp WHERE salary > 140.0") in
+  ignore (Quill.Db.exec db "UPDATE emp SET salary = 200.0 WHERE name = 'alan'");
+  let n2 = Table.row_count (Quill.Db.query_adaptive db "SELECT id FROM emp WHERE salary > 140.0") in
+  Alcotest.(check int) "before" 2 n1;
+  Alcotest.(check int) "after" 3 n2
+
+let test_coalesce_nullif () =
+  let db = fresh () in
+  let r =
+    Quill.Db.query db
+      "SELECT name, coalesce(salary, 0.0) AS s FROM emp ORDER BY name LIMIT 3"
+  in
+  check_rows "rows" 3 (Table.row_count r);
+  let r2 = Quill.Db.query db "SELECT coalesce(NULL, 5) AS x, nullif(3, 3) AS y, nullif(4, 3) AS z" in
+  Alcotest.check Tutil.value_testable "coalesce" (Value.Int 5) (Table.get r2 0 0);
+  Alcotest.check Tutil.value_testable "nullif eq" Value.Null (Table.get r2 0 1);
+  Alcotest.check Tutil.value_testable "nullif ne" (Value.Int 4) (Table.get r2 0 2)
+
+let test_string_builtins () =
+  let db = fresh () in
+  let r =
+    Quill.Db.query db
+      "SELECT concat('a', 'b') AS c, trim('  x  ') AS t, replace('banana', 'an', 'AN') AS rep"
+  in
+  Alcotest.check Tutil.value_testable "concat" (Value.Str "ab") (Table.get r 0 0);
+  Alcotest.check Tutil.value_testable "trim" (Value.Str "x") (Table.get r 0 1);
+  Alcotest.check Tutil.value_testable "replace" (Value.Str "bANANa") (Table.get r 0 2)
+
+let test_left_join_api () =
+  let db = fresh () in
+  ignore (Quill.Db.exec db "CREATE TABLE dept (name TEXT, floor INT)");
+  ignore (Quill.Db.exec db "INSERT INTO dept VALUES ('eng', 2), ('ops', 3)");
+  let r =
+    Quill.Db.query db
+      "SELECT emp.name, dept.floor FROM emp LEFT JOIN dept ON emp.dept = dept.name        ORDER BY emp.name"
+  in
+  check_rows "all employees" 5 (Table.row_count r);
+  (* barbara's mgmt dept is unmatched -> NULL floor *)
+  let barbara =
+    List.find
+      (fun row -> Value.equal row.(0) (Value.Str "barbara"))
+      (Table.to_row_list r)
+  in
+  Alcotest.check Tutil.value_testable "padded" Value.Null barbara.(1)
+
+let test_create_table_as () =
+  let db = fresh () in
+  (match Quill.Db.exec db
+           "CREATE TABLE dept_pay AS SELECT dept, count(*) AS n, avg(salary) AS avg_sal \
+            FROM emp GROUP BY dept"
+   with
+  | Quill.Db.Affected 3 -> ()
+  | _ -> Alcotest.fail "ctas count");
+  let r = Quill.Db.query db "SELECT dept, n FROM dept_pay ORDER BY dept" in
+  check_rows "queried back" 3 (Table.row_count r);
+  Alcotest.check Tutil.value_testable "eng count" (Value.Int 2) (Table.get r 0 1);
+  (* Existing name rejected. *)
+  Alcotest.(check bool) "duplicate" true
+    (try
+       ignore (Quill.Db.exec db "CREATE TABLE dept_pay AS SELECT 1 AS one");
+       false
+     with Quill.Db.Error _ -> true)
+
+let test_subqueries () =
+  let db = fresh () in
+  ignore (Quill.Db.exec db "CREATE TABLE depts (name TEXT, budget FLOAT)");
+  ignore (Quill.Db.exec db "INSERT INTO depts VALUES ('eng', 500.0), ('mgmt', 100.0)");
+  (* IN (SELECT ...) *)
+  let r = Quill.Db.query db
+      "SELECT name FROM emp WHERE dept IN (SELECT name FROM depts) ORDER BY name" in
+  check_rows "in subquery" 3 (Table.row_count r);
+  (* NOT IN with a NULL-free subquery. *)
+  let r = Quill.Db.query db
+      "SELECT name FROM emp WHERE dept NOT IN (SELECT name FROM depts)" in
+  check_rows "not in" 2 (Table.row_count r);
+  (* Scalar subquery in WHERE and SELECT. *)
+  let r = Quill.Db.query db
+      "SELECT name FROM emp WHERE salary > (SELECT avg(salary) FROM emp)" in
+  check_rows "scalar in where" 2 (Table.row_count r);
+  let r = Quill.Db.query db "SELECT (SELECT min(budget) FROM depts) AS mb" in
+  Alcotest.check Tutil.value_testable "scalar in select" (Value.Float 100.0) (Table.get r 0 0);
+  (* EXISTS / NOT EXISTS. *)
+  let r = Quill.Db.query db
+      "SELECT name FROM emp WHERE EXISTS (SELECT name FROM depts WHERE budget > 400.0)" in
+  check_rows "exists" 5 (Table.row_count r);
+  let r = Quill.Db.query db
+      "SELECT name FROM emp WHERE NOT EXISTS (SELECT name FROM depts WHERE budget > 9999.0)" in
+  check_rows "not exists" 5 (Table.row_count r);
+  (* Nested subqueries. *)
+  let r = Quill.Db.query db
+      "SELECT name FROM emp WHERE salary > (SELECT avg(budget) FROM depts        WHERE budget > (SELECT min(budget) FROM depts))" in
+  check_rows "nested" 0 (Table.row_count r);
+  (* Engines agree; adaptive path fills cells per run. *)
+  let sql = "SELECT name FROM emp WHERE dept IN (SELECT name FROM depts)" in
+  let reference = Tutil.table_rows (Quill.Db.query db ~engine:Quill.Db.Volcano sql) in
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) (Quill.Db.engine_name e) true
+        (Tutil.same_rows_unordered reference (Tutil.table_rows (Quill.Db.query db ~engine:e sql))))
+    [ Quill.Db.Vectorized; Quill.Db.Compiled ];
+  for _ = 1 to 3 do
+    Alcotest.(check bool) "adaptive" true
+      (Tutil.same_rows_unordered reference (Tutil.table_rows (Quill.Db.query_adaptive db sql)))
+  done;
+  (* Subquery results must refresh after DML on the inner table. *)
+  ignore (Quill.Db.exec db "INSERT INTO depts VALUES ('ops', 50.0)");
+  let r = Quill.Db.query db sql in
+  check_rows "sees dml" 5 (Table.row_count r)
+
+let test_subquery_errors () =
+  let db = fresh () in
+  let expect_err needle sql =
+    try
+      ignore (Quill.Db.query db sql);
+      Alcotest.failf "expected error for %s" sql
+    with Quill.Db.Error m ->
+      let contains =
+        let nh = String.length m and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub m i nn = needle || go (i + 1)) in
+        go 0
+      in
+      if not contains then Alcotest.failf "error %S lacks %S" m needle
+  in
+  (* Correlated subqueries are rejected at bind time. *)
+  expect_err "unknown column"
+    "SELECT name FROM emp e WHERE EXISTS (SELECT 1 FROM emp x WHERE x.salary > e.salary)";
+  (* Multi-column subqueries are rejected. *)
+  expect_err "one column" "SELECT name FROM emp WHERE id IN (SELECT id, salary FROM emp)";
+  expect_err "one column" "SELECT (SELECT id, salary FROM emp) FROM emp";
+  (* Scalar subquery with several rows fails at runtime. *)
+  expect_err "more than one row"
+    "SELECT name FROM emp WHERE salary > (SELECT salary FROM emp WHERE dept = 'eng')";
+  (* Type mismatch between subject and subquery column. *)
+  expect_err "incompatible" "SELECT name FROM emp WHERE id IN (SELECT name FROM emp)"
+
+let test_save_load () =
+  let db = fresh () in
+  ignore (Quill.Db.exec db "CREATE INDEX ON emp (id)");
+  ignore (Quill.Db.exec db "CREATE TABLE notes (id INT, txt TEXT)");
+  ignore (Quill.Db.exec db "INSERT INTO notes VALUES (1, 'quo''ted, commas'), (2, NULL)");
+  let dir = Filename.temp_file "quill_db" "" in
+  Sys.remove dir;
+  Quill.Db.save db dir;
+  let db2 = Quill.Db.load dir in
+  (* Data round-trips exactly. *)
+  List.iter
+    (fun sql ->
+      let a = Tutil.table_rows (Quill.Db.query db sql) in
+      let b = Tutil.table_rows (Quill.Db.query db2 sql) in
+      Alcotest.(check bool) sql true (Tutil.same_rows_ordered a b))
+    [ "SELECT * FROM emp ORDER BY id"; "SELECT * FROM notes ORDER BY id" ];
+  (* Schema constraints and indexes survive. *)
+  Alcotest.(check bool) "not null kept" true
+    (try
+       ignore (Quill.Db.exec db2 "INSERT INTO emp (id) VALUES (NULL)");
+       false
+     with Quill.Db.Error _ -> true);
+  (* The index definition is in the manifest (the picker won't choose an
+     index scan on a 5-row table, so check the declaration itself). *)
+  let ic = open_in (Filename.concat dir "_manifest.sql") in
+  let manifest = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let contains needle =
+    let nh = String.length manifest and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub manifest i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "index def kept" true (contains "CREATE INDEX ON emp (id)");
+  (* Clean up. *)
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let test_error_messages () =
+  let db = fresh () in
+  let check_msg sql fragment =
+    try
+      ignore (Quill.Db.exec db sql);
+      Alcotest.failf "expected error for %s" sql
+    with Quill.Db.Error m ->
+      let contains =
+        let nh = String.length m and nn = String.length fragment in
+        let rec go i = i + nn <= nh && (String.sub m i nn = fragment || go (i + 1)) in
+        go 0
+      in
+      if not contains then Alcotest.failf "error %S lacks %S" m fragment
+  in
+  check_msg "SELEKT 1" "parse error";
+  check_msg "SELECT nope FROM emp" "unknown column";
+  check_msg "SELECT id FROM emp WHERE name > 3" "bind error";
+  check_msg "SELECT 1 / 0" "division by zero";
+  check_msg "SELECT CAST('zz' AS INT)" "cast"
+
+let test_runtime_error_via_table_data () =
+  let db = fresh () in
+  ignore (Quill.Db.exec db "CREATE TABLE z (a INT, b INT)");
+  ignore (Quill.Db.exec db "INSERT INTO z VALUES (1, 0)");
+  Alcotest.(check bool) "div by zero at runtime" true
+    (try
+       ignore (Quill.Db.query db "SELECT a / b FROM z");
+       false
+     with Quill.Db.Error _ -> true);
+  (* Guarded division is fine. *)
+  let r = Quill.Db.query db "SELECT CASE WHEN b <> 0 THEN a / b ELSE 0 END FROM z" in
+  Alcotest.check Tutil.value_testable "guarded" (Value.Int 0) (Table.get r 0 0)
+
+let test_analyze_api () =
+  let db = fresh () in
+  Quill.Db.analyze db "emp";
+  (* analyzing a missing table errors cleanly *)
+  Alcotest.(check bool) "missing" true
+    (try
+       Quill.Db.analyze db "nope";
+       false
+     with Invalid_argument _ | Quill.Db.Error _ -> true)
+
+let test_engine_switching () =
+  let db = fresh () in
+  Quill.Db.set_engine db Quill.Db.Volcano;
+  let a = Tutil.table_rows (Quill.Db.query db "SELECT id FROM emp") in
+  Quill.Db.set_engine db Quill.Db.Compiled;
+  let b = Tutil.table_rows (Quill.Db.query db "SELECT id FROM emp") in
+  Alcotest.(check bool) "same" true (Tutil.same_rows_unordered a b)
+
+let test_result_table_shape () =
+  let db = fresh () in
+  let r = Quill.Db.query db "SELECT id AS i, salary * 2 AS s2 FROM emp ORDER BY id LIMIT 2" in
+  let names =
+    List.map (fun c -> c.Quill_storage.Schema.name)
+      (Quill_storage.Schema.columns (Table.schema r))
+  in
+  Alcotest.(check (list string)) "names" [ "i"; "s2" ] names;
+  check_rows "limit" 2 (Table.row_count r)
+
+let () =
+  Alcotest.run "db"
+    [
+      ( "statements",
+        [
+          Alcotest.test_case "create/insert/select" `Quick test_create_insert_select;
+          Alcotest.test_case "insert column list" `Quick test_insert_column_list_and_defaults;
+          Alcotest.test_case "insert errors" `Quick test_insert_errors;
+          Alcotest.test_case "drop" `Quick test_drop;
+          Alcotest.test_case "copy" `Quick test_copy_roundtrip;
+          Alcotest.test_case "create table as" `Quick test_create_table_as;
+          Alcotest.test_case "save/load" `Quick test_save_load;
+        ] );
+      ( "features",
+        [
+          Alcotest.test_case "params" `Quick test_params;
+          Alcotest.test_case "udf" `Quick test_udf_end_to_end;
+          Alcotest.test_case "explain" `Quick test_explain;
+          Alcotest.test_case "engine switch" `Quick test_engine_switching;
+          Alcotest.test_case "result shape" `Quick test_result_table_shape;
+          Alcotest.test_case "analyze" `Quick test_analyze_api;
+        ] );
+      ( "dml",
+        [
+          Alcotest.test_case "delete" `Quick test_delete;
+          Alcotest.test_case "update" `Quick test_update;
+        ] );
+      ( "functions",
+        [
+          Alcotest.test_case "coalesce/nullif" `Quick test_coalesce_nullif;
+          Alcotest.test_case "string builtins" `Quick test_string_builtins;
+          Alcotest.test_case "left join api" `Quick test_left_join_api;
+        ] );
+      ( "subqueries",
+        [
+          Alcotest.test_case "semantics" `Quick test_subqueries;
+          Alcotest.test_case "errors" `Quick test_subquery_errors;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "messages" `Quick test_error_messages;
+          Alcotest.test_case "runtime" `Quick test_runtime_error_via_table_data;
+        ] );
+    ]

@@ -1,0 +1,355 @@
+(* Whole-query engine agreement: Volcano, vectorized and compiled engines
+   must return identical results on a battery of queries (ordered queries
+   compare ordered; others as multisets), including with forced algorithm
+   variants.  This is the correctness backbone of experiment E2. *)
+
+module Value = Quill_storage.Value
+module Table = Quill_storage.Table
+module Physical = Quill_optimizer.Physical
+module Picker = Quill_optimizer.Picker
+
+let engines = [ Quill.Db.Volcano; Quill.Db.Vectorized; Quill.Db.Compiled ]
+
+let is_ordered sql =
+  (* crude but sufficient for our battery *)
+  let up = String.uppercase_ascii sql in
+  let rec contains i =
+    i + 8 <= String.length up && (String.sub up i 8 = "ORDER BY" || contains (i + 1))
+  in
+  contains 0
+
+let check_query db sql =
+  let reference = Tutil.table_rows (Quill.Db.query db ~engine:Quill.Db.Volcano sql) in
+  List.iter
+    (fun engine ->
+      let got = Tutil.table_rows (Quill.Db.query db ~engine sql) in
+      let ok =
+        if is_ordered sql then Tutil.same_rows_ordered reference got
+        else Tutil.same_rows_unordered reference got
+      in
+      if not ok then
+        Alcotest.failf "engine %s disagrees on %s\nvolcano:\n%s\ngot:\n%s"
+          (Quill.Db.engine_name engine) sql
+          (Tutil.rows_to_string reference) (Tutil.rows_to_string got))
+    engines
+
+let battery =
+  [
+    "SELECT * FROM r";
+    "SELECT id, v FROM r WHERE k > 10";
+    "SELECT id FROM r WHERE k IS NULL";
+    "SELECT id FROM r WHERE k IS NOT NULL AND v > 50.0";
+    "SELECT id, v * 2 + 1 AS vv FROM r WHERE tag LIKE 'a%'";
+    "SELECT id FROM r WHERE tag IN ('alpha', 'gamma', 'nope')";
+    "SELECT id FROM r WHERE k BETWEEN 5 AND 10";
+    "SELECT id FROM r WHERE dt >= DATE '1994-10-01' AND dt < DATE '1995-06-01'";
+    "SELECT count(*) FROM r";
+    "SELECT count(k), sum(k), avg(v), min(v), max(v) FROM r";
+    "SELECT tag, count(*) AS n, sum(v) AS s FROM r GROUP BY tag ORDER BY tag";
+    "SELECT k, count(*) FROM r GROUP BY k HAVING count(*) > 2";
+    "SELECT count(DISTINCT k) FROM r";
+    "SELECT DISTINCT tag FROM r";
+    "SELECT r.id, s.w FROM r, s WHERE r.id = s.id";
+    "SELECT r.id, s.w FROM r JOIN s ON r.k = s.k WHERE s.w > 50";
+    "SELECT r.id, s.id FROM r, s WHERE r.k = s.k AND r.v > s.w";
+    "SELECT r.tag, count(*) FROM r, s WHERE r.id = s.id GROUP BY r.tag";
+    "SELECT id, v FROM r ORDER BY v DESC, id LIMIT 7";
+    "SELECT id FROM r ORDER BY id LIMIT 5 OFFSET 3";
+    "SELECT id, CASE WHEN k > 10 THEN 'hi' WHEN k > 5 THEN 'mid' ELSE 'lo' END AS bucket \
+     FROM r WHERE k IS NOT NULL ORDER BY id";
+    "SELECT sub.t, sub.n FROM (SELECT tag AS t, count(*) AS n FROM r GROUP BY tag) sub \
+     WHERE sub.n > 1";
+    "SELECT a.id FROM r a, r b WHERE a.id = b.id AND a.tag = 'alpha'";
+    "SELECT upper(tag), length(tag) FROM r WHERE length(tag) > 4";
+    "SELECT id, year(dt), month(dt) FROM r ORDER BY 2, 3, 1 LIMIT 10";
+    "SELECT 1 + 2 AS three";
+    "SELECT k, v FROM r WHERE NOT (k > 10 OR v < 20.0)";
+    "SELECT r.id, s.w FROM r LEFT JOIN s ON r.id = s.id ORDER BY 1, 2";
+    "SELECT r.tag, count(s.id) FROM r LEFT JOIN s ON r.k = s.k GROUP BY r.tag";
+    "SELECT r.id FROM r LEFT JOIN s ON r.id = s.id WHERE s.id IS NULL";
+    "SELECT id FROM r WHERE k IN (SELECT k FROM s WHERE w > 50)";
+    "SELECT id FROM r WHERE v > (SELECT avg(w) FROM s)";
+    "SELECT id FROM r WHERE EXISTS (SELECT id FROM s WHERE w > 95)";
+    "SELECT id, row_number() OVER (ORDER BY v DESC, id) AS rn FROM r \
+     WHERE v IS NOT NULL ORDER BY rn LIMIT 10";
+    "SELECT tag, k, sum(v) OVER (PARTITION BY tag ORDER BY id) AS run FROM r \
+     WHERE k IS NOT NULL ORDER BY tag, id LIMIT 15";
+    "SELECT coalesce(k, -1) AS k2, count(*) FROM r GROUP BY coalesce(k, -1) ORDER BY k2";
+  ]
+
+(* Reference LEFT JOIN via nested loops over raw rows. *)
+let ref_left_join db on_match =
+  let r = Quill_storage.Catalog.find_exn (Quill.Db.catalog db) "r" in
+  let s = Quill_storage.Catalog.find_exn (Quill.Db.catalog db) "s" in
+  let out = ref [] in
+  List.iter
+    (fun lrow ->
+      let matches =
+        List.filter (fun rrow -> on_match lrow rrow) (Table.to_row_list s)
+      in
+      if matches = [] then
+        out := Array.append lrow (Array.make 3 Value.Null) :: !out
+      else List.iter (fun m -> out := Array.append lrow m :: !out) matches)
+    (Table.to_row_list r);
+  Array.of_list (List.rev !out)
+
+let test_left_join_semantics () =
+  let db = Tutil.random_db ~seed:41 ~rows:80 in
+  let sql = "SELECT * FROM r LEFT JOIN s ON r.id = s.id" in
+  let expect =
+    ref_left_join db (fun l r ->
+        (not (Value.is_null l.(0))) && (not (Value.is_null r.(0))) && Value.equal l.(0) r.(0))
+  in
+  List.iter
+    (fun engine ->
+      let got = Tutil.table_rows (Quill.Db.query db ~engine sql) in
+      if not (Tutil.same_rows_unordered expect got) then
+        Alcotest.failf "left join wrong on %s" (Quill.Db.engine_name engine))
+    engines
+
+let test_left_join_null_keys_padded () =
+  let db = Tutil.random_db ~seed:42 ~rows:60 in
+  (* k is nullable on both sides: left rows with NULL k must appear padded. *)
+  let sql = "SELECT r.id, s.id FROM r LEFT JOIN s ON r.k = s.k" in
+  let left_ids =
+    Tutil.table_rows (Quill.Db.query db "SELECT id FROM r")
+    |> Array.to_list |> List.map (fun row -> row.(0)) |> List.sort_uniq compare
+  in
+  List.iter
+    (fun engine ->
+      let got = Tutil.table_rows (Quill.Db.query db ~engine sql) in
+      let got_ids =
+        Array.to_list got |> List.map (fun row -> row.(0)) |> List.sort_uniq compare
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "all left ids preserved (%s)" (Quill.Db.engine_name engine))
+        true (got_ids = left_ids))
+    engines
+
+let test_left_join_forced_algos () =
+  let db = Tutil.random_db ~seed:43 ~rows:120 in
+  let sql = "SELECT r.id, s.w FROM r LEFT JOIN s ON r.id = s.id AND s.w > 40" in
+  let reference = Tutil.table_rows (Quill.Db.query db sql) in
+  Alcotest.(check int) "left preserved" 120 (Array.length reference);
+  List.iter
+    (fun join ->
+      Quill.Db.set_options db
+        { Picker.default_options with Picker.force_join = Some join };
+      List.iter
+        (fun engine ->
+          let got = Tutil.table_rows (Quill.Db.query db ~engine sql) in
+          Alcotest.(check bool)
+            (Printf.sprintf "outer %s / %s" (Physical.join_algo_name join)
+               (Quill.Db.engine_name engine))
+            true
+            (Tutil.same_rows_unordered reference got))
+        engines)
+    [ Physical.Hash_join; Physical.Merge_join; Physical.Block_nl ];
+  Quill.Db.set_options db Picker.default_options
+
+let test_left_join_where_vs_on () =
+  let db = Tutil.random_db ~seed:44 ~rows:100 in
+  (* WHERE on the right side rejects padded rows; ON does not. *)
+  let on_rows =
+    Table.row_count (Quill.Db.query db "SELECT r.id FROM r LEFT JOIN s ON r.id = s.id AND s.w > 1000")
+  in
+  let where_rows =
+    Table.row_count
+      (Quill.Db.query db "SELECT r.id FROM r LEFT JOIN s ON r.id = s.id WHERE s.w > 1000")
+  in
+  Alcotest.(check int) "ON keeps all left rows" 100 on_rows;
+  Alcotest.(check int) "WHERE drops padded rows" 0 where_rows
+
+let test_battery () =
+  let db = Tutil.random_db ~seed:11 ~rows:300 in
+  List.iter (check_query db) battery
+
+let test_battery_other_seed () =
+  let db = Tutil.random_db ~seed:77 ~rows:120 in
+  List.iter (check_query db) battery
+
+let test_empty_tables () =
+  let db = Tutil.random_db ~seed:5 ~rows:0 in
+  List.iter (check_query db)
+    [ "SELECT * FROM r";
+      "SELECT count(*) FROM r";
+      "SELECT sum(k) FROM r";
+      "SELECT tag, count(*) FROM r GROUP BY tag";
+      "SELECT r.id FROM r, s WHERE r.id = s.id";
+      "SELECT id FROM r ORDER BY id LIMIT 3" ]
+
+let test_params_agree () =
+  let db = Tutil.random_db ~seed:3 ~rows:200 in
+  let params = [| Value.Int 10; Value.Str "alpha" |] in
+  let sql = "SELECT id, k FROM r WHERE k > $1 AND tag = $2 ORDER BY id" in
+  let reference = Tutil.table_rows (Quill.Db.query db ~params ~engine:Quill.Db.Volcano sql) in
+  List.iter
+    (fun engine ->
+      let got = Tutil.table_rows (Quill.Db.query db ~params ~engine sql) in
+      Alcotest.(check bool)
+        (Quill.Db.engine_name engine) true
+        (Tutil.same_rows_ordered reference got))
+    engines
+
+(* Forced join/agg algorithms and layouts must not change results. *)
+let test_forced_algorithms () =
+  let db = Tutil.random_db ~seed:9 ~rows:250 in
+  let sql = "SELECT r.id, s.w FROM r, s WHERE r.id = s.id AND r.v > 30.0" in
+  let agg_sql = "SELECT k, count(*), sum(v) FROM r GROUP BY k" in
+  let reference = Tutil.table_rows (Quill.Db.query db sql) in
+  let agg_ref = Tutil.table_rows (Quill.Db.query db agg_sql) in
+  let opts = Picker.default_options in
+  List.iter
+    (fun join ->
+      Quill.Db.set_options db { opts with Picker.force_join = Some join };
+      List.iter
+        (fun engine ->
+          let got = Tutil.table_rows (Quill.Db.query db ~engine sql) in
+          Alcotest.(check bool)
+            (Printf.sprintf "join %s / %s" (Physical.join_algo_name join)
+               (Quill.Db.engine_name engine))
+            true
+            (Tutil.same_rows_unordered reference got))
+        engines)
+    [ Physical.Hash_join; Physical.Merge_join; Physical.Block_nl ];
+  List.iter
+    (fun agg ->
+      Quill.Db.set_options db { opts with Picker.force_agg = Some agg };
+      let got = Tutil.table_rows (Quill.Db.query db agg_sql) in
+      Alcotest.(check bool) (Physical.agg_algo_name agg) true
+        (Tutil.same_rows_unordered agg_ref got))
+    [ Physical.Hash_agg; Physical.Sort_agg ];
+  List.iter
+    (fun layout ->
+      Quill.Db.set_options db { opts with Picker.force_layout = Some layout };
+      List.iter
+        (fun engine ->
+          let got = Tutil.table_rows (Quill.Db.query db ~engine sql) in
+          Alcotest.(check bool)
+            (Printf.sprintf "layout %s / %s" (Physical.layout_name layout)
+               (Quill.Db.engine_name engine))
+            true
+            (Tutil.same_rows_unordered reference got))
+        engines)
+    [ Physical.Row_layout; Physical.Col_layout ];
+  Quill.Db.set_options db opts
+
+(* TopK fusion on vs off must agree. *)
+let test_topk_fusion_agrees () =
+  let db = Tutil.random_db ~seed:21 ~rows:400 in
+  let sql = "SELECT id, v FROM r ORDER BY v DESC, id LIMIT 9 OFFSET 2" in
+  let with_topk = Tutil.table_rows (Quill.Db.query db sql) in
+  Quill.Db.set_options db { Picker.default_options with Picker.enable_topk = false };
+  let without = Tutil.table_rows (Quill.Db.query db sql) in
+  Quill.Db.set_options db Picker.default_options;
+  Alcotest.(check bool) "same" true (Tutil.same_rows_ordered with_topk without)
+
+let test_parallel_fused_agg () =
+  (* The domain-parallel fused scan->aggregate must agree with the
+     sequential path: exactly for int aggregates, within float epsilon for
+     SUM/AVG (addition order differs). *)
+  let db = Quill.Db.create () in
+  Quill_storage.Catalog.add (Quill.Db.catalog db)
+    (Quill_workload.Micro.grouped_table ~rows:200_000 ~groups:1000 ~seed:4 ());
+  let sql = "SELECT count(*), sum(g), min(v), max(v), avg(v) FROM grouped WHERE v > 100" in
+  let seq = Tutil.table_rows (Quill.Db.query db ~engine:Quill.Db.Compiled sql) in
+  Quill_compile.Codegen.parallel_domains := 4;
+  let par = Tutil.table_rows (Quill.Db.query db ~engine:Quill.Db.Compiled sql) in
+  Quill_compile.Codegen.parallel_domains := 1;
+  Array.iteri
+    (fun j a ->
+      match (a, par.(0).(j)) with
+      | Value.Float x, Value.Float y ->
+          Alcotest.(check bool) "float close" true
+            (Float.abs (x -. y) <= 1e-9 *. Float.max 1.0 (Float.abs x))
+      | a, b -> Alcotest.check Tutil.value_testable "exact" a b)
+    seq.(0)
+
+let test_tpch_engines_agree () =
+  let db = Quill.Db.create () in
+  Quill_workload.Tpch.load (Quill.Db.catalog db) ~sf:0.002 ~seed:7;
+  List.iter
+    (fun (name, sql) ->
+      let reference = Tutil.table_rows (Quill.Db.query db ~engine:Quill.Db.Volcano sql) in
+      Alcotest.(check bool) (name ^ " nonempty") true (Array.length reference > 0);
+      List.iter
+        (fun engine ->
+          let got = Tutil.table_rows (Quill.Db.query db ~engine sql) in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s on %s" name (Quill.Db.engine_name engine))
+            true
+            (if is_ordered sql then Tutil.same_rows_ordered reference got
+             else Tutil.same_rows_unordered reference got))
+        engines)
+    Quill_workload.Tpch.queries
+
+(* Float aggregates can differ in rounding across engines if summation
+   order differs; verify Q1's aggregates match to a relative epsilon. *)
+let test_tpch_q1_values_close () =
+  let db = Quill.Db.create () in
+  Quill_workload.Tpch.load (Quill.Db.catalog db) ~sf:0.002 ~seed:7;
+  let a = Tutil.table_rows (Quill.Db.query db ~engine:Quill.Db.Volcano Quill_workload.Tpch.q1) in
+  let b = Tutil.table_rows (Quill.Db.query db ~engine:Quill.Db.Compiled Quill_workload.Tpch.q1) in
+  Array.iteri
+    (fun i ra ->
+      Array.iteri
+        (fun j va ->
+          match (va, b.(i).(j)) with
+          | Value.Float x, Value.Float y ->
+              Alcotest.(check bool) "close" true
+                (Float.abs (x -. y) <= 1e-9 *. Float.max 1.0 (Float.abs x))
+          | va, vb -> Alcotest.check Tutil.value_testable "exact" va vb)
+        ra)
+    a
+
+let prop_random_filters_agree =
+  Tutil.qtest ~count:40 "random WHERE clauses agree across engines"
+    QCheck2.Gen.(
+      let* lo = int_range 0 15 in
+      let* hi = int_range 0 15 in
+      let* vthresh = int_range 0 100 in
+      pure (lo, hi, vthresh))
+    (fun (lo, hi, vthresh) ->
+      let db = Tutil.random_db ~seed:13 ~rows:150 in
+      let sql =
+        Printf.sprintf
+          "SELECT id FROM r WHERE (k >= %d AND k <= %d) OR v < %d.0" lo hi vthresh
+      in
+      let reference = Tutil.table_rows (Quill.Db.query db ~engine:Quill.Db.Volcano sql) in
+      List.for_all
+        (fun engine ->
+          Tutil.same_rows_unordered reference
+            (Tutil.table_rows (Quill.Db.query db ~engine sql)))
+        engines)
+
+let () =
+  Alcotest.run "engines"
+    [
+      ( "agreement",
+        [
+          Alcotest.test_case "battery seed 11" `Quick test_battery;
+          Alcotest.test_case "battery seed 77" `Quick test_battery_other_seed;
+          Alcotest.test_case "empty tables" `Quick test_empty_tables;
+          Alcotest.test_case "params" `Quick test_params_agree;
+          prop_random_filters_agree;
+        ] );
+      ( "forced algorithms",
+        [
+          Alcotest.test_case "joins/aggs/layouts" `Quick test_forced_algorithms;
+          Alcotest.test_case "topk fusion" `Quick test_topk_fusion_agrees;
+        ] );
+      ( "outer joins",
+        [
+          Alcotest.test_case "semantics" `Quick test_left_join_semantics;
+          Alcotest.test_case "null keys padded" `Quick test_left_join_null_keys_padded;
+          Alcotest.test_case "forced algorithms" `Quick test_left_join_forced_algos;
+          Alcotest.test_case "where vs on" `Quick test_left_join_where_vs_on;
+        ] );
+      ( "parallel",
+        [ Alcotest.test_case "fused agg domains" `Quick test_parallel_fused_agg ] );
+      ( "tpch",
+        [
+          Alcotest.test_case "queries agree" `Slow test_tpch_engines_agree;
+          Alcotest.test_case "q1 floats close" `Slow test_tpch_q1_values_close;
+        ] );
+    ]

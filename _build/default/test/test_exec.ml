@@ -1,0 +1,318 @@
+(* Tests for the runtime algorithm library: sorts, joins, aggregation,
+   top-k. Each algorithm family is checked against a trivially-correct
+   reference implementation, unit cases plus qcheck properties. *)
+
+module Value = Quill_storage.Value
+module Sort_algos = Quill_exec.Sort_algos
+module Join_algos = Quill_exec.Join_algos
+module Agg_algos = Quill_exec.Agg_algos
+module Topk = Quill_exec.Topk
+module Lplan = Quill_plan.Lplan
+module Vec = Quill_util.Vec
+
+(* --- Sorts -------------------------------------------------------------- *)
+
+let int_list_gen = QCheck2.Gen.(list_size (int_range 0 300) (int_range (-1000) 1000))
+
+let prop_quicksort =
+  Tutil.qtest "quicksort = List.sort" int_list_gen (fun xs ->
+      let a = Array.of_list xs in
+      Sort_algos.quicksort compare a;
+      Array.to_list a = List.sort compare xs)
+
+let prop_mergesort =
+  Tutil.qtest "mergesort = List.sort" int_list_gen (fun xs ->
+      let a = Array.of_list xs in
+      Sort_algos.mergesort compare a;
+      Array.to_list a = List.sort compare xs)
+
+let prop_radix =
+  Tutil.qtest "radix = List.sort (with negatives)"
+    QCheck2.Gen.(list_size (int_range 0 300) (int_range (-1000000) 1000000))
+    (fun xs ->
+      let a = Array.of_list xs in
+      Sort_algos.radix_sort_ints a;
+      Array.to_list a = List.sort compare xs)
+
+let test_radix_extremes () =
+  let a = [| max_int; min_int; 0; -1; 1; min_int + 1; max_int - 1 |] in
+  let expect = Array.copy a in
+  Array.sort compare expect;
+  Sort_algos.radix_sort_ints a;
+  Alcotest.(check (array int)) "extremes" expect a
+
+let prop_mergesort_stable =
+  Tutil.qtest "mergesort is stable"
+    QCheck2.Gen.(list_size (int_range 0 200) (pair (int_range 0 5) (int_range 0 1000)))
+    (fun xs ->
+      (* Sort pairs by the first component only; ties keep insertion order. *)
+      let a = Array.of_list xs in
+      Sort_algos.mergesort (fun (k1, _) (k2, _) -> compare k1 k2) a;
+      let expected = List.stable_sort (fun (k1, _) (k2, _) -> compare k1 k2) xs in
+      Array.to_list a = expected)
+
+let row i v = [| Value.Int i; Value.Str (string_of_int v) |]
+
+let test_sort_rows_dirs () =
+  let rows = [| row 3 0; row 1 1; row 2 2 |] in
+  Sort_algos.sort_rows [ (0, Lplan.Desc) ] rows;
+  Alcotest.(check bool) "desc" true
+    (rows.(0).(0) = Value.Int 3 && rows.(2).(0) = Value.Int 1)
+
+let test_sort_rows_nulls_first () =
+  let rows = [| row 3 0; [| Value.Null; Value.Str "n" |]; row 1 1 |] in
+  Sort_algos.sort_rows [ (0, Lplan.Asc) ] rows;
+  Alcotest.(check bool) "null first on asc" true (Value.is_null rows.(0).(0))
+
+let prop_sort_rows_radix_path =
+  (* Large single-int-key ASC sorts take the packed-radix path; verify it
+     agrees with the comparator path and stays stable. *)
+  Tutil.qtest ~count:10 "row sort radix path = mergesort path"
+    QCheck2.Gen.(int_range 0 3)
+    (fun seed ->
+      let rng = Quill_util.Rng.create (7 * (seed + 1)) in
+      let n = (1 lsl 14) + 17 in
+      let rows =
+        Array.init n (fun i ->
+            [| Value.Int (Quill_util.Rng.int rng 100); Value.Int i |])
+      in
+      let a = Array.copy rows and b = Array.copy rows in
+      Sort_algos.sort_rows [ (0, Lplan.Asc) ] a;
+      Sort_algos.mergesort (Sort_algos.row_compare [ (0, Lplan.Asc) ]) b;
+      Tutil.same_rows_ordered a b)
+
+let test_sort_pick () =
+  Alcotest.(check bool) "radix for big ints" true
+    (Sort_algos.pick ~n:100000 ~int_keys:true ~need_stable:false = Sort_algos.Radix);
+  Alcotest.(check bool) "merge when stable" true
+    (Sort_algos.pick ~n:100000 ~int_keys:false ~need_stable:true = Sort_algos.Merge);
+  Alcotest.(check bool) "quick otherwise" true
+    (Sort_algos.pick ~n:100 ~int_keys:false ~need_stable:false = Sort_algos.Quick)
+
+(* --- Joins -------------------------------------------------------------- *)
+
+(* Reference: naive nested loop with the same semantics. *)
+let ref_join ~keys left right =
+  let out = ref [] in
+  Array.iter
+    (fun l ->
+      Array.iter
+        (fun r ->
+          let ok =
+            List.for_all
+              (fun (lc, rc) ->
+                (not (Value.is_null l.(lc)))
+                && (not (Value.is_null r.(rc)))
+                && Value.equal l.(lc) r.(rc))
+              keys
+          in
+          if ok then out := Array.append l r :: !out)
+        right)
+    left;
+  Array.of_list (List.rev !out)
+
+let join_input_gen =
+  QCheck2.Gen.(
+    let row_g =
+      let* k = frequency [ (8, map (fun i -> Value.Int i) (int_range 0 8)); (2, pure Value.Null) ] in
+      let* v = int_range 0 100 in
+      pure [| k; Value.Int v |]
+    in
+    pair (array_size (int_range 0 40) row_g) (array_size (int_range 0 40) row_g))
+
+let check_join name impl =
+  Tutil.qtest ~count:150 name join_input_gen (fun (l, r) ->
+      let expect = ref_join ~keys:[ (0, 0) ] l r in
+      let got = Vec.to_array (impl l r) in
+      Tutil.same_rows_unordered expect got)
+
+let prop_hash_join_left =
+  check_join "hash join (build left) = reference" (fun l r ->
+      Join_algos.hash_join ~keys:[ (0, 0) ] ~residual:None ~build_left:true l r)
+
+let prop_hash_join_right =
+  check_join "hash join (build right) = reference" (fun l r ->
+      Join_algos.hash_join ~keys:[ (0, 0) ] ~residual:None ~build_left:false l r)
+
+let prop_merge_join =
+  check_join "merge join = reference" (fun l r ->
+      Join_algos.merge_join ~keys:[ (0, 0) ] ~residual:None l r)
+
+let prop_block_nl_equi =
+  check_join "block NL with equi pred = reference" (fun l r ->
+      let pred row =
+        (not (Value.is_null row.(0)))
+        && (not (Value.is_null row.(2)))
+        && Value.equal row.(0) row.(2)
+      in
+      Join_algos.block_nl_join ~pred:(Some pred) l r)
+
+let test_join_residual () =
+  let l = [| [| Value.Int 1; Value.Int 10 |]; [| Value.Int 1; Value.Int 20 |] |] in
+  let r = [| [| Value.Int 1; Value.Int 15 |] |] in
+  let residual row = Value.compare row.(1) row.(3) > 0 in
+  let got =
+    Join_algos.hash_join ~keys:[ (0, 0) ] ~residual:(Some residual) ~build_left:true l r
+  in
+  Alcotest.(check int) "residual filters" 1 (Vec.length got);
+  Alcotest.(check bool) "right one" true (Value.equal (Vec.get got 0).(1) (Value.Int 20))
+
+let test_cross_join () =
+  let l = [| [| Value.Int 1 |]; [| Value.Int 2 |] |] in
+  let r = [| [| Value.Str "a" |]; [| Value.Str "b" |]; [| Value.Str "c" |] |] in
+  let got = Join_algos.block_nl_join ~pred:None l r in
+  Alcotest.(check int) "cross size" 6 (Vec.length got)
+
+let prop_multi_key_join =
+  Tutil.qtest ~count:100 "two-key joins agree across algorithms"
+    QCheck2.Gen.(
+      let row_g =
+        let* a = int_range 0 3 in
+        let* b = int_range 0 3 in
+        pure [| Value.Int a; Value.Int b; Value.Int (a + b) |]
+      in
+      pair (array_size (int_range 0 25) row_g) (array_size (int_range 0 25) row_g))
+    (fun (l, r) ->
+      let keys = [ (0, 1); (1, 0) ] in
+      let expect = ref_join ~keys l r in
+      let h = Vec.to_array (Join_algos.hash_join ~keys ~residual:None ~build_left:true l r) in
+      let m = Vec.to_array (Join_algos.merge_join ~keys ~residual:None l r) in
+      Tutil.same_rows_unordered expect h && Tutil.same_rows_unordered expect m)
+
+(* --- Aggregation --------------------------------------------------------- *)
+
+let specs_all =
+  [
+    { Agg_algos.kind = Lplan.Count; arg = None; distinct = false; out_dtype = Value.Int_t };
+    { Agg_algos.kind = Lplan.Count; arg = Some (fun r -> r.(1)); distinct = false;
+      out_dtype = Value.Int_t };
+    { Agg_algos.kind = Lplan.Sum; arg = Some (fun r -> r.(1)); distinct = false;
+      out_dtype = Value.Int_t };
+    { Agg_algos.kind = Lplan.Avg; arg = Some (fun r -> r.(1)); distinct = false;
+      out_dtype = Value.Float_t };
+    { Agg_algos.kind = Lplan.Min; arg = Some (fun r -> r.(1)); distinct = false;
+      out_dtype = Value.Int_t };
+    { Agg_algos.kind = Lplan.Max; arg = Some (fun r -> r.(1)); distinct = false;
+      out_dtype = Value.Int_t };
+  ]
+
+let agg_rows_gen =
+  QCheck2.Gen.(
+    array_size (int_range 0 80)
+      (let* g = int_range 0 5 in
+       let* v = frequency [ (8, map (fun v -> Value.Int v) (int_range (-50) 50)); (2, pure Value.Null) ] in
+       pure [| Value.Int g; v |]))
+
+let prop_hash_vs_sort_agg =
+  Tutil.qtest ~count:200 "hash agg = sort agg" agg_rows_gen (fun rows ->
+      let keys = [ (fun (r : Value.t array) -> r.(0)) ] in
+      let h = Vec.to_array (Agg_algos.hash_agg ~keys ~specs:specs_all rows) in
+      let s = Vec.to_array (Agg_algos.sort_agg ~keys ~specs:specs_all rows) in
+      Tutil.same_rows_unordered h s)
+
+let test_agg_semantics () =
+  let rows =
+    [| [| Value.Int 1; Value.Int 10 |];
+       [| Value.Int 1; Value.Null |];
+       [| Value.Int 2; Value.Int 5 |] |]
+  in
+  let keys = [ (fun (r : Value.t array) -> r.(0)) ] in
+  let out = Vec.to_array (Agg_algos.hash_agg ~keys ~specs:specs_all rows) in
+  Alcotest.(check int) "two groups" 2 (Array.length out);
+  let g1 = Array.to_list out |> List.find (fun r -> Value.equal r.(0) (Value.Int 1)) in
+  (* count-star=2, count(v)=1, sum=10, avg=10.0, min=10, max=10 *)
+  Alcotest.check Tutil.value_testable "count*" (Value.Int 2) g1.(1);
+  Alcotest.check Tutil.value_testable "count v" (Value.Int 1) g1.(2);
+  Alcotest.check Tutil.value_testable "sum" (Value.Int 10) g1.(3);
+  Alcotest.check Tutil.value_testable "avg" (Value.Float 10.0) g1.(4)
+
+let test_agg_all_null_group () =
+  let rows = [| [| Value.Int 1; Value.Null |] |] in
+  let keys = [ (fun (r : Value.t array) -> r.(0)) ] in
+  let out = Vec.to_array (Agg_algos.hash_agg ~keys ~specs:specs_all rows) in
+  let r = out.(0) in
+  Alcotest.check Tutil.value_testable "sum null" Value.Null r.(3);
+  Alcotest.check Tutil.value_testable "avg null" Value.Null r.(4);
+  Alcotest.check Tutil.value_testable "min null" Value.Null r.(5)
+
+let test_global_agg_empty_input () =
+  let out = Vec.to_array (Agg_algos.hash_agg ~keys:[] ~specs:specs_all [||]) in
+  Alcotest.(check int) "one row" 1 (Array.length out);
+  Alcotest.check Tutil.value_testable "count 0" (Value.Int 0) out.(0).(0);
+  Alcotest.check Tutil.value_testable "sum null" Value.Null out.(0).(3)
+
+let test_keyed_agg_empty_input () =
+  let keys = [ (fun (r : Value.t array) -> r.(0)) ] in
+  let out = Vec.to_array (Agg_algos.hash_agg ~keys ~specs:specs_all [||]) in
+  Alcotest.(check int) "zero rows" 0 (Array.length out)
+
+let test_count_distinct () =
+  let spec =
+    [ { Agg_algos.kind = Lplan.Count; arg = Some (fun (r : Value.t array) -> r.(1));
+        distinct = true; out_dtype = Value.Int_t };
+      { Agg_algos.kind = Lplan.Sum; arg = Some (fun (r : Value.t array) -> r.(1));
+        distinct = true; out_dtype = Value.Int_t } ]
+  in
+  let rows =
+    [| [| Value.Int 1; Value.Int 5 |]; [| Value.Int 1; Value.Int 5 |];
+       [| Value.Int 1; Value.Int 7 |]; [| Value.Int 1; Value.Null |] |]
+  in
+  let keys = [ (fun (r : Value.t array) -> r.(0)) ] in
+  let out = Vec.to_array (Agg_algos.hash_agg ~keys ~specs:spec rows) in
+  Alcotest.check Tutil.value_testable "count distinct" (Value.Int 2) out.(0).(1);
+  Alcotest.check Tutil.value_testable "sum distinct" (Value.Int 12) out.(0).(2)
+
+let test_distinct_rows () =
+  let rows =
+    [| [| Value.Int 1; Value.Null |]; [| Value.Int 1; Value.Null |];
+       [| Value.Int 2; Value.Null |] |]
+  in
+  let out = Vec.to_array (Agg_algos.distinct rows) in
+  Alcotest.(check int) "nulls dedup together" 2 (Array.length out)
+
+(* --- Top-k --------------------------------------------------------------- *)
+
+let prop_topk =
+  Tutil.qtest "topk = sort-then-take"
+    QCheck2.Gen.(pair (int_range 1 20) int_list_gen)
+    (fun (k, xs) ->
+      let heap = Topk.create ~cmp:compare ~k ~dummy:0 in
+      List.iter (Topk.offer heap) xs;
+      let got = Array.to_list (Topk.finish heap) in
+      let expect =
+        List.filteri (fun i _ -> i < k) (List.sort compare xs)
+      in
+      got = expect)
+
+let () =
+  Alcotest.run "exec_algos"
+    [
+      ( "sorts",
+        [
+          prop_quicksort; prop_mergesort; prop_radix;
+          Alcotest.test_case "radix extremes" `Quick test_radix_extremes;
+          prop_mergesort_stable;
+          Alcotest.test_case "row dirs" `Quick test_sort_rows_dirs;
+          Alcotest.test_case "nulls first" `Quick test_sort_rows_nulls_first;
+          prop_sort_rows_radix_path;
+          Alcotest.test_case "pick" `Quick test_sort_pick;
+        ] );
+      ( "joins",
+        [
+          prop_hash_join_left; prop_hash_join_right; prop_merge_join; prop_block_nl_equi;
+          Alcotest.test_case "residual" `Quick test_join_residual;
+          Alcotest.test_case "cross" `Quick test_cross_join;
+          prop_multi_key_join;
+        ] );
+      ( "aggregation",
+        [
+          prop_hash_vs_sort_agg;
+          Alcotest.test_case "semantics" `Quick test_agg_semantics;
+          Alcotest.test_case "all-null group" `Quick test_agg_all_null_group;
+          Alcotest.test_case "global over empty" `Quick test_global_agg_empty_input;
+          Alcotest.test_case "keyed over empty" `Quick test_keyed_agg_empty_input;
+          Alcotest.test_case "count distinct" `Quick test_count_distinct;
+          Alcotest.test_case "distinct rows" `Quick test_distinct_rows;
+        ] );
+      ("topk", [ prop_topk ]);
+    ]

@@ -1,0 +1,220 @@
+(* Expression semantics and compilation-tier agreement (E1's correctness
+   side): the tree interpreter, the closure compiler and the bytecode VM
+   must agree on every expression. *)
+
+module Value = Quill_storage.Value
+module Schema = Quill_storage.Schema
+module Bexpr = Quill_plan.Bexpr
+module Ec = Quill_compile.Expr_compile
+module Vm = Quill_compile.Expr_vm
+
+let lit v dt = { Bexpr.node = Bexpr.Lit v; dtype = dt }
+let int_l i = lit (Value.Int i) Value.Int_t
+let bool_l b = lit (Value.Bool b) Value.Bool_t
+let null_l dt = lit Value.Null dt
+let col i dt = { Bexpr.node = Bexpr.Col i; dtype = dt }
+
+let arith op a b dt = { Bexpr.node = Bexpr.Arith (op, a, b); dtype = dt }
+let cmp op a b = { Bexpr.node = Bexpr.Cmp (op, a, b); dtype = Value.Bool_t }
+let band a b = { Bexpr.node = Bexpr.And (a, b); dtype = Value.Bool_t }
+let bor a b = { Bexpr.node = Bexpr.Or (a, b); dtype = Value.Bool_t }
+let bnot a = { Bexpr.node = Bexpr.Not a; dtype = Value.Bool_t }
+
+let eval ?(row = [||]) ?(params = [||]) e = Bexpr.eval ~row ~params e
+
+let check_v = Alcotest.check Tutil.value_testable
+
+let test_arith_basics () =
+  check_v "add" (Value.Int 7) (eval (arith Bexpr.Add (int_l 3) (int_l 4) Value.Int_t));
+  check_v "mixed float" (Value.Float 4.5)
+    (eval
+       (arith Bexpr.Add (int_l 4)
+          (lit (Value.Float 0.5) Value.Float_t)
+          Value.Float_t));
+  check_v "mod" (Value.Int 2) (eval (arith Bexpr.Mod (int_l 17) (int_l 5) Value.Int_t));
+  check_v "null propagates" Value.Null
+    (eval (arith Bexpr.Add (int_l 1) (null_l Value.Int_t) Value.Int_t))
+
+let test_division () =
+  check_v "int div" (Value.Int 3) (eval (arith Bexpr.Div (int_l 7) (int_l 2) Value.Int_t));
+  Alcotest.check_raises "div by zero" (Bexpr.Eval_error "division by zero") (fun () ->
+      ignore (eval (arith Bexpr.Div (int_l 1) (int_l 0) Value.Int_t)))
+
+let test_date_arith () =
+  let d = lit (Value.Date 100) Value.Date_t in
+  check_v "date+int" (Value.Date 107) (eval (arith Bexpr.Add d (int_l 7) Value.Date_t));
+  check_v "date-date" (Value.Int 93)
+    (eval (arith Bexpr.Sub d (lit (Value.Date 7) Value.Date_t) Value.Int_t))
+
+let test_three_valued_logic () =
+  let n = null_l Value.Bool_t in
+  let t = bool_l true and f = bool_l false in
+  (* Kleene tables. *)
+  check_v "T and N" Value.Null (eval (band t n));
+  check_v "F and N" (Value.Bool false) (eval (band f n));
+  check_v "N and F" (Value.Bool false) (eval (band n f));
+  check_v "T or N" (Value.Bool true) (eval (bor t n));
+  check_v "N or T" (Value.Bool true) (eval (bor n t));
+  check_v "F or N" Value.Null (eval (bor f n));
+  check_v "not N" Value.Null (eval (bnot n));
+  check_v "cmp null" Value.Null (eval (cmp Bexpr.Eq (int_l 1) (null_l Value.Int_t)))
+
+let test_like () =
+  let like s p = eval { Bexpr.node = Bexpr.Like (lit (Value.Str s) Value.Str_t, p);
+                        dtype = Value.Bool_t } in
+  check_v "exact" (Value.Bool true) (like "hello" "hello");
+  check_v "prefix" (Value.Bool true) (like "hello" "he%");
+  check_v "suffix" (Value.Bool true) (like "hello" "%llo");
+  check_v "contains" (Value.Bool true) (like "hello" "%ell%");
+  check_v "underscore" (Value.Bool true) (like "hello" "h_llo");
+  check_v "no match" (Value.Bool false) (like "hello" "h_llq");
+  check_v "multi pct" (Value.Bool true) (like "abcde" "a%c%e");
+  check_v "empty pattern" (Value.Bool false) (like "x" "");
+  check_v "pct only" (Value.Bool true) (like "" "%");
+  check_v "tricky backtrack" (Value.Bool true) (like "aaab" "%ab");
+  check_v "null subject" Value.Null
+    (eval { Bexpr.node = Bexpr.Like (null_l Value.Str_t, "x%"); dtype = Value.Bool_t })
+
+let test_in_list () =
+  let in_ e items = eval { Bexpr.node = Bexpr.In_list (e, items); dtype = Value.Bool_t } in
+  check_v "hit" (Value.Bool true) (in_ (int_l 2) [ int_l 1; int_l 2 ]);
+  check_v "miss" (Value.Bool false) (in_ (int_l 3) [ int_l 1; int_l 2 ]);
+  check_v "miss with null" Value.Null (in_ (int_l 3) [ int_l 1; null_l Value.Int_t ]);
+  check_v "hit beats null" (Value.Bool true) (in_ (int_l 1) [ null_l Value.Int_t; int_l 1 ]);
+  check_v "null subject" Value.Null (in_ (null_l Value.Int_t) [ int_l 1 ])
+
+let test_case () =
+  let c =
+    { Bexpr.node =
+        Bexpr.Case
+          ( [ (cmp Bexpr.Gt (col 0 Value.Int_t) (int_l 10), int_l 1);
+              (cmp Bexpr.Gt (col 0 Value.Int_t) (int_l 5), int_l 2) ],
+            Some (int_l 3) );
+      dtype = Value.Int_t }
+  in
+  check_v "first" (Value.Int 1) (eval ~row:[| Value.Int 20 |] c);
+  check_v "second" (Value.Int 2) (eval ~row:[| Value.Int 7 |] c);
+  check_v "else" (Value.Int 3) (eval ~row:[| Value.Int 1 |] c);
+  check_v "null cond -> else" (Value.Int 3) (eval ~row:[| Value.Null |] c);
+  let no_else =
+    { Bexpr.node = Bexpr.Case ([ (bool_l false, int_l 1) ], None); dtype = Value.Int_t }
+  in
+  check_v "no else" Value.Null (eval no_else)
+
+let test_cast () =
+  let cast v dt target = eval { Bexpr.node = Bexpr.Cast (lit v dt, target); dtype = target } in
+  check_v "int->float" (Value.Float 3.0) (cast (Value.Int 3) Value.Int_t Value.Float_t);
+  check_v "float->int" (Value.Int 3) (cast (Value.Float 3.7) Value.Float_t Value.Int_t);
+  check_v "str->int" (Value.Int 42) (cast (Value.Str "42") Value.Str_t Value.Int_t);
+  check_v "int->str" (Value.Str "7") (cast (Value.Int 7) Value.Int_t Value.Str_t);
+  check_v "null" Value.Null (cast Value.Null Value.Int_t Value.Str_t);
+  Alcotest.(check bool) "bad cast raises" true
+    (try
+       ignore (cast (Value.Str "zz") Value.Str_t Value.Int_t);
+       false
+     with Bexpr.Eval_error _ -> true)
+
+let test_is_null () =
+  check_v "null is null" (Value.Bool true)
+    (eval { Bexpr.node = Bexpr.Is_null (false, null_l Value.Int_t); dtype = Value.Bool_t });
+  check_v "1 is not null" (Value.Bool true)
+    (eval { Bexpr.node = Bexpr.Is_null (true, int_l 1); dtype = Value.Bool_t })
+
+let test_short_circuit () =
+  (* false AND (1/0 = 1) must not raise. *)
+  let div0 = cmp Bexpr.Eq (arith Bexpr.Div (int_l 1) (int_l 0) Value.Int_t) (int_l 1) in
+  check_v "and short" (Value.Bool false) (eval (band (bool_l false) div0));
+  check_v "or short" (Value.Bool true) (eval (bor (bool_l true) div0));
+  (* All tiers must short-circuit identically. *)
+  let e = band (bool_l false) div0 in
+  check_v "closure short" (Value.Bool false) (Ec.compile e [||] [||]);
+  check_v "vm short" (Value.Bool false) (Vm.run (Vm.compile e) ~params:[||] ~row:[||])
+
+let test_eval_pred () =
+  Alcotest.(check bool) "null is false" false
+    (Bexpr.eval_pred ~row:[||] ~params:[||] (null_l Value.Bool_t));
+  Alcotest.(check bool) "true" true (Bexpr.eval_pred ~row:[||] ~params:[||] (bool_l true))
+
+(* --- Tier agreement properties ----------------------------------------- *)
+
+let tiers_agree schema =
+  QCheck2.Gen.(
+    let* e = Tutil.bexpr_gen schema in
+    let* row = Tutil.row_gen schema in
+    pure (e, row))
+
+let prop_tiers_agree =
+  let schema =
+    Schema.create
+      [ Schema.col "i1" Value.Int_t; Schema.col "i2" Value.Int_t;
+        Schema.col "f1" Value.Float_t; Schema.col "s1" Value.Str_t;
+        Schema.col "b1" Value.Bool_t; Schema.col "d1" Value.Date_t ]
+  in
+  Tutil.qtest ~count:1000 "interp = closure = VM on random expressions"
+    (tiers_agree schema)
+    (fun (e, row) ->
+      let reference = Bexpr.eval ~row ~params:[||] e in
+      let closure = Ec.compile e [||] row in
+      let vm = Vm.run (Vm.compile e) ~params:[||] ~row in
+      if not (Value.equal reference closure) then
+        QCheck2.Test.fail_reportf "closure disagrees on %s over %s: %s vs %s"
+          (Bexpr.to_string e) (Tutil.row_to_string row)
+          (Value.to_string reference) (Value.to_string closure)
+      else if not (Value.equal reference vm) then
+        QCheck2.Test.fail_reportf "vm disagrees on %s over %s: %s vs %s"
+          (Bexpr.to_string e) (Tutil.row_to_string row)
+          (Value.to_string reference) (Value.to_string vm)
+      else true)
+
+let prop_like_specializations =
+  (* The closure compiler specializes exact/prefix/contains patterns; they
+     must match the generic matcher. *)
+  Tutil.qtest ~count:500 "specialized LIKE = generic LIKE"
+    QCheck2.Gen.(
+      let str = string_size ~gen:(char_range 'a' 'c') (int_range 0 8) in
+      let* s = str in
+      let* base = str in
+      let* shape = oneofl [ `Exact; `Prefix; `Contains; `Generic ] in
+      let pattern =
+        match shape with
+        | `Exact -> base
+        | `Prefix -> base ^ "%"
+        | `Contains -> "%" ^ base ^ "%"
+        | `Generic -> "a%" ^ base ^ "_c"
+      in
+      pure (s, pattern))
+    (fun (s, pattern) ->
+      let e =
+        { Bexpr.node = Bexpr.Like (lit (Value.Str s) Value.Str_t, pattern);
+          dtype = Value.Bool_t }
+      in
+      Value.equal (Bexpr.eval ~row:[||] ~params:[||] e) (Ec.compile e [||] [||]))
+
+let prop_fold_constants_preserves =
+  let schema = Schema.create [ Schema.col "i1" Value.Int_t; Schema.col "b1" Value.Bool_t ] in
+  Tutil.qtest ~count:500 "constant folding preserves evaluation"
+    (tiers_agree schema)
+    (fun (e, row) ->
+      let folded = Quill_optimizer.Rewrite.fold_constants e in
+      Value.equal (Bexpr.eval ~row ~params:[||] e) (Bexpr.eval ~row ~params:[||] folded))
+
+let () =
+  Alcotest.run "expr"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "arith" `Quick test_arith_basics;
+          Alcotest.test_case "division" `Quick test_division;
+          Alcotest.test_case "dates" `Quick test_date_arith;
+          Alcotest.test_case "3VL" `Quick test_three_valued_logic;
+          Alcotest.test_case "like" `Quick test_like;
+          Alcotest.test_case "in" `Quick test_in_list;
+          Alcotest.test_case "case" `Quick test_case;
+          Alcotest.test_case "cast" `Quick test_cast;
+          Alcotest.test_case "is null" `Quick test_is_null;
+          Alcotest.test_case "short circuit" `Quick test_short_circuit;
+          Alcotest.test_case "eval_pred" `Quick test_eval_pred;
+        ] );
+      ( "tiers",
+        [ prop_tiers_agree; prop_like_specializations; prop_fold_constants_preserves ] );
+    ]

@@ -1,0 +1,224 @@
+(* Index scans: registry lifecycle, access-path selection, execution
+   correctness across engines, and staleness under DML. *)
+
+module Value = Quill_storage.Value
+module Table = Quill_storage.Table
+module Catalog = Quill_storage.Catalog
+module Index = Quill_storage.Index
+module Physical = Quill_optimizer.Physical
+module Picker = Quill_optimizer.Picker
+
+let engines = [ Quill.Db.Volcano; Quill.Db.Vectorized; Quill.Db.Compiled ]
+
+let mk_db ?(rows = 5000) () =
+  let db = Quill.Db.create () in
+  Catalog.add (Quill.Db.catalog db)
+    (Quill_workload.Micro.ints_table ~name:"t" ~rows ~cols:3 ~seed:7 ());
+  Quill.Db.analyze db "t";
+  db
+
+let rec has_index_scan = function
+  | Physical.Index_scan _ -> true
+  | Physical.Scan _ | Physical.One_row -> false
+  | Physical.Filter (_, i, _) | Physical.Project (_, i, _) | Physical.Distinct (i, _) ->
+      has_index_scan i
+  | Physical.Join { left; right; _ } -> has_index_scan left || has_index_scan right
+  | Physical.Aggregate { input; _ } | Physical.Window { input; _ }
+  | Physical.Sort { input; _ } | Physical.Top_k { input; _ }
+  | Physical.Limit { input; _ } ->
+      has_index_scan input
+
+let test_registry_lifecycle () =
+  let db = mk_db ~rows:100 () in
+  let cat = Quill.Db.catalog db in
+  let reg = Index.Registry.create () in
+  Alcotest.(check bool) "undeclared" true (Index.Registry.get reg cat ~table:"t" ~col:"c0" = None);
+  Index.Registry.declare reg ~table:"t" ~col:"c0";
+  Alcotest.(check (list string)) "declared" [ "c0" ] (Index.Registry.declared reg "t");
+  let idx = Option.get (Index.Registry.get reg cat ~table:"t" ~col:"c0") in
+  Alcotest.(check int) "size" 100 (Index.Ordered_index.size idx);
+  (* Same version -> cached object. *)
+  let idx2 = Option.get (Index.Registry.get reg cat ~table:"t" ~col:"c0") in
+  Alcotest.(check bool) "cached" true (idx == idx2);
+  (* Version bump -> rebuilt. *)
+  Table.insert (Catalog.find_exn cat "t") [| Value.Int 9999; Value.Int 0; Value.Int 0 |];
+  Catalog.bump cat;
+  let idx3 = Option.get (Index.Registry.get reg cat ~table:"t" ~col:"c0") in
+  Alcotest.(check bool) "rebuilt" true (idx != idx3);
+  Alcotest.(check int) "fresh size" 101 (Index.Ordered_index.size idx3);
+  Index.Registry.drop_table reg "t";
+  Alcotest.(check (list string)) "dropped" [] (Index.Registry.declared reg "t")
+
+let test_picker_chooses_index () =
+  let db = mk_db () in
+  ignore (Quill.Db.exec db "CREATE INDEX ON t (c0)");
+  (* Selective range -> index scan. *)
+  Alcotest.(check bool) "selective uses index" true
+    (has_index_scan (Quill.Db.plan db "SELECT c1 FROM t WHERE c0 >= 10 AND c0 < 20"));
+  (* Equality -> index scan. *)
+  Alcotest.(check bool) "eq uses index" true
+    (has_index_scan (Quill.Db.plan db "SELECT c1 FROM t WHERE c0 = 42"));
+  (* Unselective predicate -> full scan. *)
+  Alcotest.(check bool) "unselective stays scan" false
+    (has_index_scan (Quill.Db.plan db "SELECT c1 FROM t WHERE c0 >= 0"));
+  (* Predicate on a non-indexed column -> full scan. *)
+  Alcotest.(check bool) "wrong column" false
+    (has_index_scan (Quill.Db.plan db "SELECT c1 FROM t WHERE c1 = 42"));
+  (* Ablation switch. *)
+  Quill.Db.set_options db { Picker.default_options with Picker.enable_index = false };
+  Alcotest.(check bool) "disabled" false
+    (has_index_scan (Quill.Db.plan db "SELECT c1 FROM t WHERE c0 = 42"));
+  Quill.Db.set_options db Picker.default_options
+
+let test_results_match_full_scan () =
+  let db = mk_db () in
+  let queries =
+    [ "SELECT c1 FROM t WHERE c0 = 123";
+      "SELECT c1, c2 FROM t WHERE c0 >= 100 AND c0 <= 200";
+      "SELECT c1 FROM t WHERE c0 > 100 AND c0 < 110 AND c2 > 500";
+      "SELECT count(*) FROM t WHERE c0 BETWEEN 40 AND 90";
+      "SELECT c1 FROM t WHERE c0 = 77 OR c0 = 78" (* OR: not index-servable *) ]
+  in
+  let before = List.map (fun q -> Tutil.table_rows (Quill.Db.query db q)) queries in
+  ignore (Quill.Db.exec db "CREATE INDEX ON t (c0)");
+  List.iter2
+    (fun q expect ->
+      List.iter
+        (fun engine ->
+          let got = Tutil.table_rows (Quill.Db.query db ~engine q) in
+          if not (Tutil.same_rows_unordered expect got) then
+            Alcotest.failf "index result mismatch on %s (%s)" q
+              (Quill.Db.engine_name engine))
+        engines)
+    queries before
+
+let test_param_bounds () =
+  let db = mk_db () in
+  ignore (Quill.Db.exec db "CREATE INDEX ON t (c0)");
+  let sql = "SELECT c1 FROM t WHERE c0 = $1" in
+  Alcotest.(check bool) "param bound uses index" true
+    (has_index_scan (Quill.Db.plan db ~params:[| Value.Int 5 |] sql));
+  let r = Quill.Db.query db ~params:[| Value.Int 5 |] sql in
+  Alcotest.(check int) "one row (unique key)" 1 (Table.row_count r);
+  (* A NULL bound matches nothing (index path must return empty, not all). *)
+  let r2 = Quill.Db.query db "SELECT c1 FROM t WHERE c0 = NULL" in
+  Alcotest.(check int) "null matches nothing" 0 (Table.row_count r2)
+
+let test_dml_staleness () =
+  let db = mk_db ~rows:500 () in
+  ignore (Quill.Db.exec db "CREATE INDEX ON t (c0)");
+  let count () =
+    Table.row_count (Quill.Db.query db "SELECT c0 FROM t WHERE c0 >= 100 AND c0 < 110")
+  in
+  Alcotest.(check int) "before insert" 10 (count ());
+  ignore (Quill.Db.exec db "INSERT INTO t VALUES (105, 1, 1)");
+  Alcotest.(check int) "sees insert" 11 (count ());
+  ignore (Quill.Db.exec db "DELETE FROM t WHERE c0 = 105");
+  Alcotest.(check int) "sees delete" 9 (count ())
+
+let test_create_index_errors () =
+  let db = mk_db ~rows:10 () in
+  Alcotest.(check bool) "bad column" true
+    (try
+       ignore (Quill.Db.exec db "CREATE INDEX ON t (nope)");
+       false
+     with Quill.Db.Error _ -> true);
+  Alcotest.(check bool) "bad table" true
+    (try
+       ignore (Quill.Db.exec db "CREATE INDEX ON missing (c0)");
+       false
+     with Quill.Db.Error _ -> true)
+
+let test_index_on_strings_and_dates () =
+  let db = Tutil.random_db ~seed:55 ~rows:400 in
+  let before_tag = Tutil.table_rows (Quill.Db.query db "SELECT id FROM r WHERE tag = 'beta'") in
+  let before_dt =
+    Tutil.table_rows
+      (Quill.Db.query db "SELECT id FROM r WHERE dt >= DATE '1994-10-01' AND dt < DATE '1994-11-01'")
+  in
+  ignore (Quill.Db.exec db "CREATE INDEX ON r (tag)");
+  ignore (Quill.Db.exec db "CREATE INDEX ON r (dt)");
+  let after_tag = Tutil.table_rows (Quill.Db.query db "SELECT id FROM r WHERE tag = 'beta'") in
+  let after_dt =
+    Tutil.table_rows
+      (Quill.Db.query db "SELECT id FROM r WHERE dt >= DATE '1994-10-01' AND dt < DATE '1994-11-01'")
+  in
+  Alcotest.(check bool) "string index" true (Tutil.same_rows_unordered before_tag after_tag);
+  Alcotest.(check bool) "date index" true (Tutil.same_rows_unordered before_dt after_dt)
+
+let prop_index_vs_scan =
+  Tutil.qtest ~count:60 "index scan = full scan on random ranges"
+    QCheck2.Gen.(
+      let* lo = int_range 0 999 in
+      let* len = int_range 0 200 in
+      pure (lo, lo + len))
+    (fun (lo, hi) ->
+      let db = mk_db ~rows:1000 () in
+      let sql = Printf.sprintf "SELECT c1 FROM t WHERE c0 >= %d AND c0 <= %d" lo hi in
+      let scan = Tutil.table_rows (Quill.Db.query db sql) in
+      ignore (Quill.Db.exec db "CREATE INDEX ON t (c0)");
+      let indexed = Tutil.table_rows (Quill.Db.query db sql) in
+      Tutil.same_rows_unordered scan indexed)
+
+let rec has_sort = function
+  | Physical.Sort _ | Physical.Top_k _ -> true
+  | Physical.Scan _ | Physical.Index_scan _ | Physical.One_row -> false
+  | Physical.Filter (_, i, _) | Physical.Project (_, i, _) | Physical.Distinct (i, _) ->
+      has_sort i
+  | Physical.Join { left; right; _ } -> has_sort left || has_sort right
+  | Physical.Aggregate { input; _ } | Physical.Window { input; _ }
+  | Physical.Limit { input; _ } ->
+      has_sort input
+
+let test_sort_elision () =
+  let db = mk_db () in
+  ignore (Quill.Db.exec db "CREATE INDEX ON t (c0)");
+  let sql = "SELECT c0, c1 FROM t WHERE c0 >= 100 AND c0 < 150 ORDER BY c0" in
+  (* The index scan already delivers c0-ascending order: no Sort node. *)
+  let plan = Quill.Db.plan db sql in
+  Alcotest.(check bool) "index scan used" true (has_index_scan plan);
+  Alcotest.(check bool) "sort elided" false (has_sort plan);
+  (* And the output is genuinely sorted, matching the explicit-sort plan. *)
+  let got = Tutil.table_rows (Quill.Db.query db sql) in
+  Quill.Db.set_options db { Picker.default_options with Picker.enable_index = false };
+  let reference = Tutil.table_rows (Quill.Db.query db sql) in
+  Quill.Db.set_options db Picker.default_options;
+  Alcotest.(check bool) "sorted output" true
+    (Array.to_list (Array.map (fun r -> r.(0)) got)
+    = Array.to_list (Array.map (fun r -> r.(0)) reference));
+  (* DESC order is not satisfied by an ascending index: Sort stays. *)
+  let plan_desc =
+    Quill.Db.plan db "SELECT c0 FROM t WHERE c0 >= 100 AND c0 < 150 ORDER BY c0 DESC"
+  in
+  Alcotest.(check bool) "desc keeps sort" true (has_sort plan_desc);
+  (* ORDER BY indexed col + LIMIT becomes a streaming limit (no TopK)
+     when the index path is selective enough to be chosen. *)
+  let plan_limit =
+    Quill.Db.plan db "SELECT c0 FROM t WHERE c0 >= 100 AND c0 < 200 ORDER BY c0 LIMIT 5"
+  in
+  Alcotest.(check bool) "index chosen" true (has_index_scan plan_limit);
+  Alcotest.(check bool) "no topk either" false (has_sort plan_limit);
+  let r = Quill.Db.query db "SELECT c0 FROM t WHERE c0 >= 100 AND c0 < 200 ORDER BY c0 LIMIT 5" in
+  Alcotest.(check bool) "limit works" true
+    (Array.to_list (Array.map (fun row -> row.(0)) (Tutil.table_rows r))
+    = [ Value.Int 100; Value.Int 101; Value.Int 102; Value.Int 103; Value.Int 104 ])
+
+let () =
+  Alcotest.run "index"
+    [
+      ("registry", [ Alcotest.test_case "lifecycle" `Quick test_registry_lifecycle ]);
+      ( "picker",
+        [
+          Alcotest.test_case "access path choice" `Quick test_picker_chooses_index;
+          Alcotest.test_case "create errors" `Quick test_create_index_errors;
+        ] );
+      ( "execution",
+        [
+          Alcotest.test_case "matches full scan" `Quick test_results_match_full_scan;
+          Alcotest.test_case "param bounds" `Quick test_param_bounds;
+          Alcotest.test_case "dml staleness" `Quick test_dml_staleness;
+          Alcotest.test_case "strings and dates" `Quick test_index_on_strings_and_dates;
+          prop_index_vs_scan;
+          Alcotest.test_case "sort elision" `Quick test_sort_elision;
+        ] );
+    ]

@@ -1,0 +1,290 @@
+(* Optimizer tests: rewrites preserve semantics, join ordering improves
+   plans without changing results, the picker obeys its cost model and
+   force options, and fusions fire where expected. *)
+
+module Value = Quill_storage.Value
+module Schema = Quill_storage.Schema
+module Table = Quill_storage.Table
+module Catalog = Quill_storage.Catalog
+module Parser = Quill_sql.Parser
+module Ast = Quill_sql.Ast
+module Binder = Quill_plan.Binder
+module Lplan = Quill_plan.Lplan
+module Bexpr = Quill_plan.Bexpr
+module Rewrite = Quill_optimizer.Rewrite
+module Join_order = Quill_optimizer.Join_order
+module Card = Quill_optimizer.Card
+module Picker = Quill_optimizer.Picker
+module Physical = Quill_optimizer.Physical
+module Table_stats = Quill_stats.Table_stats
+
+let db_and_env () =
+  let db = Tutil.random_db ~seed:31 ~rows:400 in
+  let env =
+    Card.make_env (Quill.Db.catalog db) (Table_stats.Registry.create ())
+  in
+  (db, env)
+
+let bind db sql =
+  match Parser.parse sql with
+  | Ast.Select s ->
+      Binder.bind_select
+        (Binder.mk_env ~catalog:(Quill.Db.catalog db) ~udfs:(Quill_plan.Udf.builtins ())
+           ~param_types:[||] ())
+        s
+  | _ -> Alcotest.fail "not a select"
+
+let run_lplan db plan =
+  (* Execute a logical plan by converting it trivially (no reordering). *)
+  let env = Card.make_env (Quill.Db.catalog db) (Table_stats.Registry.create ()) in
+  let pp = Picker.to_physical env plan in
+  Quill_exec.Volcano.run (Quill_exec.Exec_ctx.create (Quill.Db.catalog db)) pp
+
+(* Structure inspection helpers. *)
+let rec count_filters = function
+  | Lplan.Filter (_, i) -> 1 + count_filters i
+  | Lplan.Scan _ | Lplan.One_row -> 0
+  | Lplan.Project (_, i) | Lplan.Distinct i -> count_filters i
+  | Lplan.Join { left; right; _ } -> count_filters left + count_filters right
+  | Lplan.Aggregate { input; _ } | Lplan.Window { input; _ } | Lplan.Sort { input; _ }
+  | Lplan.Limit { input; _ } ->
+      count_filters input
+
+let rec max_depth_joins = function
+  | Lplan.Join _ -> 1
+  | Lplan.Filter (_, i) | Lplan.Project (_, i) | Lplan.Distinct i -> max_depth_joins i
+  | Lplan.Aggregate { input; _ } | Lplan.Window { input; _ } | Lplan.Sort { input; _ }
+  | Lplan.Limit { input; _ } ->
+      max_depth_joins input
+  | _ -> 0
+
+let test_pushdown_preserves_results () =
+  let db, _ = db_and_env () in
+  List.iter
+    (fun sql ->
+      let plan = bind db sql in
+      let a = run_lplan db plan in
+      let b = run_lplan db (Rewrite.rewrite plan) in
+      Tutil.check_same_unordered sql a b)
+    [ "SELECT r.id FROM r, s WHERE r.id = s.id AND r.v > 40.0 AND s.w < 70";
+      "SELECT r.id FROM r, s WHERE r.k = s.k AND r.k IS NOT NULL";
+      "SELECT id FROM r WHERE 1 = 1 AND v > 10.0";
+      "SELECT tag, count(*) FROM r GROUP BY tag HAVING tag LIKE 'a%'";
+      "SELECT id FROM r WHERE k > 2 ORDER BY id LIMIT 5" ]
+
+let test_pushdown_sinks_into_scans () =
+  let db, _ = db_and_env () in
+  let plan = bind db "SELECT r.id FROM r, s WHERE r.id = s.id AND r.v > 40.0 AND s.w < 70" in
+  let rewritten = Rewrite.rewrite plan in
+  (* After pushdown, single-table predicates sit on the scans: the only
+     remaining predicates above a join are join conditions inside the Join
+     node, so no Filter sits above the Join. *)
+  let rec no_filter_above_join = function
+    | Lplan.Filter (_, i) -> max_depth_joins i = 0 && no_filter_above_join i
+    | Lplan.Join { left; right; cond; _ } ->
+        cond <> None && no_filter_above_join left && no_filter_above_join right
+    | Lplan.Project (_, i) | Lplan.Distinct i -> no_filter_above_join i
+    | Lplan.Aggregate { input; _ } | Lplan.Window { input; _ } | Lplan.Sort { input; _ }
+    | Lplan.Limit { input; _ } ->
+        no_filter_above_join input
+    | Lplan.Scan _ | Lplan.One_row -> true
+  in
+  Alcotest.(check bool) "predicates sank" true (no_filter_above_join rewritten);
+  Alcotest.(check int) "two scan filters" 2 (count_filters rewritten)
+
+let test_pushdown_stops_at_limit () =
+  let db, _ = db_and_env () in
+  (* A filter above LIMIT must not sink below it. *)
+  let plan =
+    bind db "SELECT sub.id FROM (SELECT id FROM r ORDER BY id LIMIT 10) sub WHERE sub.id > 3"
+  in
+  let a = run_lplan db plan in
+  let b = run_lplan db (Rewrite.rewrite plan) in
+  Tutil.check_same_unordered "limit barrier" a b;
+  Alcotest.(check bool) "row count <= 10" true (Array.length b <= 10)
+
+let test_constant_folding_in_plan () =
+  let db, _ = db_and_env () in
+  let plan = bind db "SELECT id FROM r WHERE k > 1 + 2 * 3" in
+  let rewritten = Rewrite.rewrite plan in
+  let rec scan_filter = function
+    | Lplan.Filter (e, Lplan.Scan _) -> Some e
+    | Lplan.Project (_, i) -> scan_filter i
+    | Lplan.Filter (_, i) | Lplan.Distinct i -> scan_filter i
+    | _ -> None
+  in
+  match scan_filter rewritten with
+  | Some { Bexpr.node = Bexpr.Cmp (Bexpr.Gt, _, { Bexpr.node = Bexpr.Lit (Value.Int 7); _ }); _ } ->
+      ()
+  | Some e -> Alcotest.failf "not folded: %s" (Bexpr.to_string e)
+  | None -> Alcotest.fail "no scan filter found"
+
+let test_join_reorder_preserves () =
+  let db = Quill.Db.create () in
+  Quill_workload.Tpch.load (Quill.Db.catalog db) ~sf:0.002 ~seed:3;
+  let env = Card.make_env (Quill.Db.catalog db) (Table_stats.Registry.create ()) in
+  List.iter
+    (fun sql ->
+      let plan = Rewrite.rewrite (bind db sql) in
+      let a = run_lplan db plan in
+      let b = run_lplan db (Join_order.reorder env plan) in
+      Tutil.check_same_unordered sql a b)
+    [ Quill_workload.Tpch.q3; Quill_workload.Tpch.q5 ]
+
+let test_join_reorder_puts_small_first () =
+  (* lineitem x region-filtered chain: the reordered plan must not start
+     by joining the two largest relations when a selective one exists. *)
+  let db = Quill.Db.create () in
+  Quill_workload.Tpch.load (Quill.Db.catalog db) ~sf:0.002 ~seed:3;
+  let env = Card.make_env (Quill.Db.catalog db) (Table_stats.Registry.create ()) in
+  let plan = Rewrite.rewrite (bind db Quill_workload.Tpch.q5) in
+  let reordered = Join_order.reorder env plan in
+  (* DP minimizes cumulative intermediate cardinality, which is correlated
+     with but not identical to the picker's cost; allow slack, but a bad
+     ordering (joining the two biggest relations first) would be an order
+     of magnitude off. *)
+  let cost p = (Physical.info_of (Picker.to_physical env p)).Physical.est_cost in
+  Alcotest.(check bool) "reorder not blown up" true (cost reordered <= cost plan *. 2.0)
+
+let test_dp_beats_worst_order () =
+  (* Star query where the syntactic order is pathological: DP must produce
+     a cheaper plan (cumulative intermediate size). *)
+  let db = Quill.Db.create () in
+  let cat = Quill.Db.catalog db in
+  let fact = Quill_workload.Micro.ints_table ~name:"fact" ~rows:5000 ~cols:3 ~seed:1 () in
+  Catalog.add cat fact;
+  List.iteri
+    (fun i name ->
+      Catalog.add cat (Quill_workload.Micro.ints_table ~name ~rows:(50 * (i + 1)) ~cols:2 ~seed:(i + 2) ()))
+    [ "dim1"; "dim2"; "dim3" ];
+  let sql =
+    "SELECT fact.c0 FROM dim1, dim2, dim3, fact \
+     WHERE fact.c1 = dim1.c0 AND fact.c2 = dim2.c0 AND fact.c0 = dim3.c0 \
+     AND dim3.c1 < 10"
+  in
+  let env = Card.make_env cat (Table_stats.Registry.create ()) in
+  let plan = Rewrite.rewrite (bind db sql) in
+  let reordered = Join_order.reorder env plan in
+  let a = run_lplan db plan in
+  let b = run_lplan db reordered in
+  Tutil.check_same_unordered "dp result" a b;
+  (* And the picked physical plan estimates must be cheaper or equal. *)
+  let cost p = (Physical.info_of (Picker.to_physical env p)).Physical.est_cost in
+  Alcotest.(check bool) "dp cheaper" true (cost reordered <= cost plan)
+
+let test_picker_force_options () =
+  let db, env = db_and_env () in
+  let plan = Rewrite.rewrite (bind db "SELECT r.id FROM r, s WHERE r.id = s.id") in
+  let find_join_algo options =
+    let rec go = function
+      | Physical.Join { algo; _ } -> Some algo
+      | Physical.Project (_, i, _) | Physical.Filter (_, i, _) | Physical.Distinct (i, _) -> go i
+      | Physical.Aggregate { input; _ } | Physical.Sort { input; _ }
+      | Physical.Top_k { input; _ } | Physical.Limit { input; _ } ->
+          go input
+      | _ -> None
+    in
+    go (Picker.to_physical ~options env plan)
+  in
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) (Physical.join_algo_name a) true
+        (find_join_algo { Picker.default_options with Picker.force_join = Some a } = Some a))
+    [ Physical.Hash_join; Physical.Merge_join; Physical.Block_nl ];
+  (* Default pick for a large equi join is hash. *)
+  Alcotest.(check bool) "default is hash" true
+    (find_join_algo Picker.default_options = Some Physical.Hash_join)
+
+let test_picker_cross_join_is_nl () =
+  let db, env = db_and_env () in
+  let plan = Rewrite.rewrite (bind db "SELECT r.id FROM r, s") in
+  let rec go = function
+    | Physical.Join { algo; keys; _ } ->
+        Alcotest.(check bool) "nl" true (algo = Physical.Block_nl && keys = [])
+    | Physical.Project (_, i, _) | Physical.Filter (_, i, _) -> go i
+    | _ -> Alcotest.fail "no join found"
+  in
+  go (Picker.to_physical env plan)
+
+let test_topk_fusion_fires () =
+  let db, env = db_and_env () in
+  let plan = Rewrite.rewrite (bind db "SELECT id FROM r ORDER BY id LIMIT 5") in
+  let rec has_topk = function
+    | Physical.Top_k _ -> true
+    | Physical.Project (_, i, _) | Physical.Filter (_, i, _) | Physical.Distinct (i, _) ->
+        has_topk i
+    | Physical.Aggregate { input; _ } | Physical.Sort { input; _ }
+    | Physical.Limit { input; _ } ->
+        has_topk input
+    | _ -> false
+  in
+  Alcotest.(check bool) "fused" true (has_topk (Picker.to_physical env plan));
+  Alcotest.(check bool) "disabled" false
+    (has_topk
+       (Picker.to_physical
+          ~options:{ Picker.default_options with Picker.enable_topk = false }
+          env plan))
+
+let test_filter_fused_into_scan () =
+  let db, env = db_and_env () in
+  let plan = Rewrite.rewrite (bind db "SELECT id FROM r WHERE k > 5") in
+  let rec scan_has_filter = function
+    | Physical.Scan { filter; _ } -> filter <> None
+    | Physical.Project (_, i, _) | Physical.Filter (_, i, _) -> scan_has_filter i
+    | _ -> false
+  in
+  Alcotest.(check bool) "fused" true (scan_has_filter (Picker.to_physical env plan))
+
+let test_card_estimates_reasonable () =
+  let db = Quill.Db.create () in
+  Quill_workload.Tpch.load (Quill.Db.catalog db) ~sf:0.002 ~seed:3;
+  let env = Card.make_env (Quill.Db.catalog db) (Table_stats.Registry.create ()) in
+  let plan = Rewrite.rewrite (bind db Quill_workload.Tpch.q6) in
+  let est = (Card.derive env plan).Card.rows in
+  let actual = Float.of_int (Array.length (run_lplan db plan)) in
+  ignore actual;
+  (* Q6 aggregates to one row; the estimate must be small. *)
+  Alcotest.(check bool) "agg estimate" true (est >= 1.0 && est <= 2.0)
+
+let test_scan_layout_choice () =
+  (* Narrow read of a wide table favors columnar; reading all columns of a
+     narrow table can go either way but must not crash. *)
+  let db = Quill.Db.create () in
+  let cat = Quill.Db.catalog db in
+  Catalog.add cat (Quill_workload.Micro.wide_table ~rows:2000 ~cols:16 ~seed:5 ());
+  let env = Card.make_env cat (Table_stats.Registry.create ()) in
+  let plan = Rewrite.rewrite (bind db "SELECT c0 FROM wide WHERE c1 > 100") in
+  let rec layout = function
+    | Physical.Scan { layout = l; _ } -> Some l
+    | Physical.Project (_, i, _) | Physical.Filter (_, i, _) -> layout i
+    | _ -> None
+  in
+  Alcotest.(check bool) "columnar for narrow read" true
+    (layout (Picker.to_physical env plan) = Some Physical.Col_layout)
+
+let () =
+  Alcotest.run "optimizer"
+    [
+      ( "rewrite",
+        [
+          Alcotest.test_case "pushdown preserves" `Quick test_pushdown_preserves_results;
+          Alcotest.test_case "pushdown sinks" `Quick test_pushdown_sinks_into_scans;
+          Alcotest.test_case "limit barrier" `Quick test_pushdown_stops_at_limit;
+          Alcotest.test_case "constant folding" `Quick test_constant_folding_in_plan;
+        ] );
+      ( "join order",
+        [
+          Alcotest.test_case "preserves results" `Quick test_join_reorder_preserves;
+          Alcotest.test_case "estimates stable" `Quick test_join_reorder_puts_small_first;
+          Alcotest.test_case "dp beats worst order" `Quick test_dp_beats_worst_order;
+        ] );
+      ( "picker",
+        [
+          Alcotest.test_case "force options" `Quick test_picker_force_options;
+          Alcotest.test_case "cross join nl" `Quick test_picker_cross_join_is_nl;
+          Alcotest.test_case "topk fusion" `Quick test_topk_fusion_fires;
+          Alcotest.test_case "scan filter fusion" `Quick test_filter_fused_into_scan;
+          Alcotest.test_case "cardinality sanity" `Quick test_card_estimates_reasonable;
+          Alcotest.test_case "layout choice" `Quick test_scan_layout_choice;
+        ] );
+    ]

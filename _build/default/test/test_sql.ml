@@ -1,0 +1,295 @@
+(* Lexer and parser tests, including a print/re-parse property. *)
+
+module Value = Quill_storage.Value
+module Lexer = Quill_sql.Lexer
+module Parser = Quill_sql.Parser
+module Ast = Quill_sql.Ast
+
+let tok s = Lexer.tokenize s
+
+let test_lexer_basic () =
+  Alcotest.(check int) "token count" 5 (List.length (tok "SELECT a FROM t"));
+  (match tok "sElEcT" with
+  | [ Lexer.Keyword "SELECT"; Lexer.Eof ] -> ()
+  | _ -> Alcotest.fail "keywords are case-insensitive");
+  (match tok "FooBar" with
+  | [ Lexer.Ident "foobar"; Lexer.Eof ] -> ()
+  | _ -> Alcotest.fail "idents lowercased");
+  match tok "'it''s'" with
+  | [ Lexer.Str_lit "it's"; Lexer.Eof ] -> ()
+  | _ -> Alcotest.fail "quote escaping"
+
+let test_lexer_numbers () =
+  (match tok "42 4.5 1e3 2.5e-2" with
+  | [ Lexer.Int_lit 42; Lexer.Float_lit 4.5; Lexer.Float_lit 1000.0;
+      Lexer.Float_lit 0.025; Lexer.Eof ] ->
+      ()
+  | _ -> Alcotest.fail "number forms");
+  match tok "a<=b<>c!=d" with
+  | [ Lexer.Ident "a"; Lexer.Punct "<="; Lexer.Ident "b"; Lexer.Punct "<>";
+      Lexer.Ident "c"; Lexer.Punct "<>"; Lexer.Ident "d"; Lexer.Eof ] ->
+      ()
+  | _ -> Alcotest.fail "two-char puncts"
+
+let test_lexer_comments () =
+  match tok "SELECT -- comment here\n 1" with
+  | [ Lexer.Keyword "SELECT"; Lexer.Int_lit 1; Lexer.Eof ] -> ()
+  | _ -> Alcotest.fail "line comment skipped"
+
+let test_lexer_errors () =
+  Alcotest.(check bool) "unterminated string" true
+    (try
+       ignore (tok "'oops");
+       false
+     with Lexer.Lex_error _ -> true);
+  Alcotest.(check bool) "bad char" true
+    (try
+       ignore (tok "a # b");
+       false
+     with Lexer.Lex_error _ -> true)
+
+let test_parse_precedence () =
+  (* a + b * c parses as a + (b*c); comparison binds below arithmetic;
+     AND binds below comparison; OR below AND. *)
+  match Parser.parse_expr "1 + 2 * 3 < 4 AND true OR false" with
+  | Ast.Binary
+      ( Ast.Or,
+        Ast.Binary
+          ( Ast.And,
+            Ast.Binary
+              (Ast.Lt, Ast.Binary (Ast.Add, _, Ast.Binary (Ast.Mul, _, _)), _),
+            Ast.Lit (Value.Bool true) ),
+        Ast.Lit (Value.Bool false) ) ->
+      ()
+  | e -> Alcotest.failf "unexpected parse: %s" (Ast.expr_to_string e)
+
+let test_parse_not_between_in () =
+  (match Parser.parse_expr "a NOT BETWEEN 1 AND 2" with
+  | Ast.Unary (Ast.Not, Ast.Between (Ast.Col "a", _, _)) -> ()
+  | _ -> Alcotest.fail "not between");
+  (match Parser.parse_expr "a NOT IN (1, 2)" with
+  | Ast.Unary (Ast.Not, Ast.In_list (_, [ _; _ ])) -> ()
+  | _ -> Alcotest.fail "not in");
+  match Parser.parse_expr "a IS NOT NULL" with
+  | Ast.Is_null { negated = true; _ } -> ()
+  | _ -> Alcotest.fail "is not null"
+
+let test_parse_case_cast_date () =
+  (match Parser.parse_expr "CASE WHEN a > 1 THEN 'x' ELSE 'y' END" with
+  | Ast.Case ([ _ ], Some _) -> ()
+  | _ -> Alcotest.fail "case");
+  (match Parser.parse_expr "CAST(a AS FLOAT)" with
+  | Ast.Cast (_, Value.Float_t) -> ()
+  | _ -> Alcotest.fail "cast");
+  match Parser.parse_expr "DATE '1995-03-15'" with
+  | Ast.Lit (Value.Date _) -> ()
+  | _ -> Alcotest.fail "date literal"
+
+let test_parse_select_clauses () =
+  match Parser.parse
+          "SELECT DISTINCT a, b AS bb, count(*) FROM t1 JOIN t2 ON t1.x = t2.y, t3 \
+           WHERE a > 1 GROUP BY a, b HAVING count(*) > 2 ORDER BY bb DESC, 1 \
+           LIMIT 10 OFFSET 5;"
+  with
+  | Ast.Select s ->
+      Alcotest.(check bool) "distinct" true s.Ast.distinct;
+      Alcotest.(check int) "items" 3 (List.length s.Ast.items);
+      Alcotest.(check int) "group" 2 (List.length s.Ast.group_by);
+      Alcotest.(check bool) "having" true (s.Ast.having <> None);
+      Alcotest.(check int) "order" 2 (List.length s.Ast.order_by);
+      Alcotest.(check (option int)) "limit" (Some 10) s.Ast.limit;
+      Alcotest.(check (option int)) "offset" (Some 5) s.Ast.offset;
+      (match s.Ast.from with
+      | Some
+          (Ast.Join
+            (Ast.Inner, Ast.Join (Ast.Inner, _, _, Some _), Ast.Table_ref ("t3", None), None)) ->
+          ()
+      | _ -> Alcotest.fail "from shape")
+  | _ -> Alcotest.fail "not a select"
+
+let test_parse_subquery () =
+  match Parser.parse "SELECT x FROM (SELECT a AS x FROM t) sub" with
+  | Ast.Select { Ast.from = Some (Ast.Sub (_, "sub")); _ } -> ()
+  | _ -> Alcotest.fail "subquery in FROM"
+
+let test_parse_star_variants () =
+  (match Parser.parse "SELECT * FROM t" with
+  | Ast.Select { Ast.items = [ Ast.Star ]; _ } -> ()
+  | _ -> Alcotest.fail "star");
+  match Parser.parse "SELECT count(*) FROM t" with
+  | Ast.Select { Ast.items = [ Ast.Item (Ast.Agg { arg = None; _ }, None) ]; _ } -> ()
+  | _ -> Alcotest.fail "count star"
+
+let test_parse_ddl_dml () =
+  (match Parser.parse "CREATE TABLE t (a INT NOT NULL, b VARCHAR(10), c DATE)" with
+  | Ast.Create_table ("t", [ ("a", Value.Int_t, false); ("b", Value.Str_t, true);
+                             ("c", Value.Date_t, true) ]) ->
+      ()
+  | _ -> Alcotest.fail "create table");
+  (match Parser.parse "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')" with
+  | Ast.Insert ("t", Some [ "a"; "b" ], [ _; _ ]) -> ()
+  | _ -> Alcotest.fail "insert");
+  (match Parser.parse "COPY t FROM '/tmp/x.csv'" with
+  | Ast.Copy ("t", "/tmp/x.csv") -> ()
+  | _ -> Alcotest.fail "copy");
+  (match Parser.parse "DROP TABLE t" with
+  | Ast.Drop_table "t" -> ()
+  | _ -> Alcotest.fail "drop");
+  match Parser.parse "EXPLAIN ANALYZE SELECT 1" with
+  | Ast.Explain { analyze = true; _ } -> ()
+  | _ -> Alcotest.fail "explain"
+
+let test_parse_window () =
+  (match Parser.parse_expr "row_number() OVER (PARTITION BY a ORDER BY b DESC)" with
+  | Ast.Winfun { kind = Ast.W_row_number; arg = None; partition = [ Ast.Col "a" ];
+                 order = [ (Ast.Col "b", Ast.Desc) ] } ->
+      ()
+  | _ -> Alcotest.fail "row_number over");
+  (match Parser.parse_expr "sum(x) OVER ()" with
+  | Ast.Winfun { kind = Ast.W_agg Ast.Sum; arg = Some (Ast.Col "x"); partition = [];
+                 order = [] } ->
+      ()
+  | _ -> Alcotest.fail "sum over");
+  (match Parser.parse_expr "lag(x, 3) OVER (ORDER BY y)" with
+  | Ast.Winfun { kind = Ast.W_lag 3; arg = Some (Ast.Col "x"); _ } -> ()
+  | _ -> Alcotest.fail "lag offset");
+  (match Parser.parse_expr "count(*) OVER (PARTITION BY a, b)" with
+  | Ast.Winfun { kind = Ast.W_agg Ast.Count; arg = None; partition = [ _; _ ]; _ } -> ()
+  | _ -> Alcotest.fail "count star over");
+  (* Plain calls are unaffected. *)
+  match Parser.parse_expr "sum(x)" with
+  | Ast.Agg { kind = Ast.Sum; _ } -> ()
+  | _ -> Alcotest.fail "plain agg"
+
+let test_parse_subqueries () =
+  (match Parser.parse_expr "a IN (SELECT b FROM t)" with
+  | Ast.In_select (Ast.Col "a", _) -> ()
+  | _ -> Alcotest.fail "in select");
+  (match Parser.parse_expr "EXISTS (SELECT 1 FROM t)" with
+  | Ast.Exists _ -> ()
+  | _ -> Alcotest.fail "exists");
+  (match Parser.parse_expr "(SELECT max(a) FROM t) + 1" with
+  | Ast.Binary (Ast.Add, Ast.Scalar_sub _, _) -> ()
+  | _ -> Alcotest.fail "scalar sub");
+  (* A parenthesized expression is still just grouping. *)
+  match Parser.parse_expr "(a + 1)" with
+  | Ast.Binary (Ast.Add, Ast.Col "a", _) -> ()
+  | _ -> Alcotest.fail "grouping"
+
+let test_parse_dml_and_ctas () =
+  (match Parser.parse "DELETE FROM t WHERE a > 3" with
+  | Ast.Delete ("t", Some _) -> ()
+  | _ -> Alcotest.fail "delete");
+  (match Parser.parse "DELETE FROM t" with
+  | Ast.Delete ("t", None) -> ()
+  | _ -> Alcotest.fail "delete all");
+  (match Parser.parse "UPDATE t SET a = a + 1, b = 'x' WHERE a < 2" with
+  | Ast.Update ("t", [ ("a", _); ("b", _) ], Some _) -> ()
+  | _ -> Alcotest.fail "update");
+  (match Parser.parse "CREATE INDEX ON t (col)" with
+  | Ast.Create_index ("t", "col") -> ()
+  | _ -> Alcotest.fail "create index");
+  (match Parser.parse "CREATE TABLE t2 AS SELECT a FROM t" with
+  | Ast.Create_table_as ("t2", _) -> ()
+  | _ -> Alcotest.fail "ctas");
+  match Parser.parse "SELECT a FROM t LEFT OUTER JOIN u ON t.x = u.y" with
+  | Ast.Select { Ast.from = Some (Ast.Join (Ast.Left_outer, _, _, Some _)); _ } -> ()
+  | _ -> Alcotest.fail "left outer join"
+
+let test_parse_params () =
+  match Parser.parse_expr "$1 + $2" with
+  | Ast.Binary (Ast.Add, Ast.Param 1, Ast.Param 2) -> ()
+  | _ -> Alcotest.fail "params"
+
+let test_parse_errors () =
+  let bad = [ "SELECT"; "SELECT FROM t"; "SELECT a FROM"; "SELECT a b c";
+              "SELECT a FROM t WHERE"; "SELECT a FROM t GROUP"; "FROB x";
+              "SELECT a FROM t LIMIT x"; "INSERT INTO t"; "SELECT (a FROM t" ] in
+  List.iter
+    (fun sql ->
+      Alcotest.(check bool) (Printf.sprintf "rejects %S" sql) true
+        (try
+           ignore (Parser.parse sql);
+           false
+         with Parser.Parse_error _ | Lexer.Lex_error _ -> true))
+    bad
+
+let test_trailing_input () =
+  Alcotest.(check bool) "trailing" true
+    (try
+       ignore (Parser.parse "SELECT 1 SELECT 2");
+       false
+     with Parser.Parse_error _ -> true)
+
+(* Random AST expressions printed by expr_to_string re-parse to the same
+   tree (modulo Between desugaring printed form, which we avoid). *)
+let ast_expr_gen =
+  let open QCheck2.Gen in
+  let leaf =
+    oneof
+      [ map (fun i -> Ast.Lit (Value.Int i)) (int_range 0 100);
+        map (fun b -> Ast.Lit (Value.Bool b)) bool;
+        pure (Ast.Lit Value.Null);
+        map (fun s -> Ast.Col s) (oneofl [ "a"; "b"; "t.c" ]);
+        map (fun i -> Ast.Param i) (int_range 1 3) ]
+  in
+  let rec go depth =
+    if depth = 0 then leaf
+    else
+      oneof
+        [ leaf;
+          (let* op =
+             oneofl
+               [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Eq; Ast.Lt; Ast.Ge;
+                 Ast.And; Ast.Or ]
+           in
+           let* a = go (depth - 1) in
+           let* b = go (depth - 1) in
+           pure (Ast.Binary (op, a, b)));
+          map (fun a -> Ast.Unary (Ast.Not, a)) (go (depth - 1));
+          map (fun a -> Ast.Is_null { negated = false; arg = a }) (go (depth - 1));
+          (let* a = go (depth - 1) in
+           let* items = list_size (int_range 1 3) (go (depth - 1)) in
+           pure (Ast.In_list (a, items)));
+          map (fun a -> Ast.Cast (a, Value.Float_t)) (go (depth - 1)) ]
+  in
+  go 3
+
+let prop_print_reparse =
+  Tutil.qtest ~count:300 "expr_to_string re-parses to the same AST" ast_expr_gen
+    (fun e ->
+      let printed = Ast.expr_to_string e in
+      match Parser.parse_expr printed with
+      | e2 -> e2 = e
+      | exception exn ->
+          QCheck2.Test.fail_reportf "failed to reparse %S: %s" printed
+            (Printexc.to_string exn))
+
+let () =
+  Alcotest.run "sql"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basic" `Quick test_lexer_basic;
+          Alcotest.test_case "numbers" `Quick test_lexer_numbers;
+          Alcotest.test_case "comments" `Quick test_lexer_comments;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "not/between/in" `Quick test_parse_not_between_in;
+          Alcotest.test_case "case/cast/date" `Quick test_parse_case_cast_date;
+          Alcotest.test_case "select clauses" `Quick test_parse_select_clauses;
+          Alcotest.test_case "subquery" `Quick test_parse_subquery;
+          Alcotest.test_case "star" `Quick test_parse_star_variants;
+          Alcotest.test_case "ddl/dml" `Quick test_parse_ddl_dml;
+          Alcotest.test_case "params" `Quick test_parse_params;
+          Alcotest.test_case "window syntax" `Quick test_parse_window;
+          Alcotest.test_case "subquery syntax" `Quick test_parse_subqueries;
+          Alcotest.test_case "dml/ctas syntax" `Quick test_parse_dml_and_ctas;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "trailing" `Quick test_trailing_input;
+          prop_print_reparse;
+        ] );
+    ]

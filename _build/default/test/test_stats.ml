@@ -1,0 +1,209 @@
+(* Tests for statistics: histograms, HyperLogLog, table stats collection
+   and selectivity estimation. *)
+
+module Value = Quill_storage.Value
+module Schema = Quill_storage.Schema
+module Table = Quill_storage.Table
+module Catalog = Quill_storage.Catalog
+module Histogram = Quill_stats.Histogram
+module Hll = Quill_stats.Hll
+module Table_stats = Quill_stats.Table_stats
+module Estimate = Quill_stats.Estimate
+module Bexpr = Quill_plan.Bexpr
+
+let test_histogram_uniform () =
+  let samples = Array.init 10000 (fun i -> Float.of_int i) in
+  let h = Histogram.build samples in
+  (* P(x < 2500) ~ 0.25 on uniform data. *)
+  Alcotest.(check bool) "quartile" true
+    (Float.abs (Histogram.selectivity_lt h 2500.0 -. 0.25) < 0.03);
+  Alcotest.(check bool) "below min" true (Histogram.selectivity_lt h (-5.0) = 0.0);
+  Alcotest.(check bool) "above max" true (Histogram.selectivity_lt h 1e9 = 1.0);
+  Alcotest.(check bool) "range" true
+    (Float.abs (Histogram.selectivity_range h ~lo:2000.0 ~hi:4000.0 () -. 0.2) < 0.03)
+
+let test_histogram_skewed () =
+  (* 90% of mass at 0..9, 10% spread to 1000. Equi-depth must still
+     estimate P(x < 10) ~ 0.9. *)
+  let rng = Quill_util.Rng.create 4 in
+  let samples =
+    Array.init 20000 (fun _ ->
+        if Quill_util.Rng.int rng 10 < 9 then Float.of_int (Quill_util.Rng.int rng 10)
+        else Float.of_int (Quill_util.Rng.int rng 1000))
+  in
+  let h = Histogram.build samples in
+  let est = Histogram.selectivity_lt h 10.0 in
+  Alcotest.(check bool) "skew caught" true (est > 0.8 && est < 0.95)
+
+let test_histogram_constant () =
+  let samples = Array.make 100 5.0 in
+  let h = Histogram.build samples in
+  Alcotest.(check bool) "all below 6" true (Histogram.selectivity_lt h 6.0 = 1.0);
+  Alcotest.(check bool) "none below 5" true (Histogram.selectivity_lt h 5.0 = 0.0)
+
+let test_hll_accuracy () =
+  List.iter
+    (fun n ->
+      let h = Hll.create () in
+      for i = 1 to n do
+        Hll.add h (Quill_util.Hashing.mix_int i)
+      done;
+      let est = Hll.estimate h in
+      let err = Float.abs (est -. Float.of_int n) /. Float.of_int n in
+      Alcotest.(check bool)
+        (Printf.sprintf "ndv %d within 5%% (got %.0f)" n est)
+        true (err < 0.05))
+    [ 100; 5000; 200000 ]
+
+let test_hll_duplicates () =
+  let h = Hll.create () in
+  for _ = 1 to 10 do
+    for i = 1 to 500 do
+      Hll.add h (Quill_util.Hashing.mix_int i)
+    done
+  done;
+  let est = Hll.estimate h in
+  Alcotest.(check bool) "duplicates don't inflate" true
+    (Float.abs (est -. 500.0) /. 500.0 < 0.05)
+
+let test_hll_merge () =
+  let a = Hll.create () and b = Hll.create () in
+  for i = 1 to 1000 do
+    Hll.add a (Quill_util.Hashing.mix_int i)
+  done;
+  for i = 500 to 1500 do
+    Hll.add b (Quill_util.Hashing.mix_int i)
+  done;
+  let est = Hll.estimate (Hll.merge a b) in
+  Alcotest.(check bool) "union ~1500" true (Float.abs (est -. 1500.0) /. 1500.0 < 0.06)
+
+let stats_table () =
+  let schema =
+    Schema.create
+      [ Schema.col "k" Value.Int_t; Schema.col "s" Value.Str_t; Schema.col "f" Value.Float_t ]
+  in
+  let t = Table.create ~name:"st" schema in
+  for i = 0 to 999 do
+    Table.insert t
+      [| (if i mod 10 = 0 then Value.Null else Value.Int (i mod 50));
+         Value.Str (String.make 5 'x');
+         Value.Float (Float.of_int i) |]
+  done;
+  t
+
+let test_table_stats () =
+  let t = stats_table () in
+  let st = Table_stats.collect t in
+  Alcotest.(check int) "rows" 1000 st.Table_stats.row_count;
+  let k = st.Table_stats.cols.(0) in
+  Alcotest.(check int) "nulls" 100 k.Table_stats.nulls;
+  (* k = i mod 50 for i with i mod 10 <> 0; multiples of 10 never occur,
+     so exactly 45 distinct values remain. *)
+  Alcotest.(check bool) "ndv exact" true (k.Table_stats.ndv = 45.0);
+  Alcotest.check Tutil.value_testable "min" (Value.Int 1) k.Table_stats.min_v;
+  Alcotest.check Tutil.value_testable "max" (Value.Int 49) k.Table_stats.max_v;
+  Alcotest.(check bool) "histogram built" true (k.Table_stats.histogram <> None);
+  let s = st.Table_stats.cols.(1) in
+  Alcotest.(check bool) "no histogram on text" true (s.Table_stats.histogram = None);
+  Alcotest.(check bool) "width" true (s.Table_stats.avg_width = 13.0)
+
+let test_stats_registry_staleness () =
+  let cat = Catalog.create () in
+  let t = stats_table () in
+  Catalog.add cat t;
+  let reg = Table_stats.Registry.create () in
+  let s1 = Table_stats.Registry.get reg cat "st" in
+  Alcotest.(check int) "initial" 1000 s1.Table_stats.row_count;
+  Table.insert t [| Value.Int 1; Value.Str "y"; Value.Float 0.0 |];
+  Catalog.bump cat;
+  let s2 = Table_stats.Registry.get reg cat "st" in
+  Alcotest.(check int) "recollected" 1001 s2.Table_stats.row_count;
+  (* The cheap path serves cached stats without recollection. *)
+  let s3 = Table_stats.Registry.get_if_fresh reg cat "st" in
+  Alcotest.(check int) "cheap path cached" 1001 s3.Table_stats.row_count
+
+(* --- Selectivity estimation -------------------------------------------- *)
+
+let lookup_of_table t : Estimate.lookup =
+  let st = Table_stats.collect t in
+  fun i -> Some st.Table_stats.cols.(i)
+
+let col i dt = { Bexpr.node = Bexpr.Col i; dtype = dt }
+let lit v dt = { Bexpr.node = Bexpr.Lit v; dtype = dt }
+let cmp op a b = { Bexpr.node = Bexpr.Cmp (op, a, b); dtype = Value.Bool_t }
+
+let test_estimate_eq () =
+  let lk = lookup_of_table (stats_table ()) in
+  (* k has ~50 distinct values -> eq sel ~ 1/50 *)
+  let s = Estimate.selectivity lk (cmp Bexpr.Eq (col 0 Value.Int_t) (lit (Value.Int 7) Value.Int_t)) in
+  Alcotest.(check bool) "eq ~ 0.02" true (s > 0.01 && s < 0.04)
+
+let test_estimate_range () =
+  let lk = lookup_of_table (stats_table ()) in
+  (* f uniform 0..999 -> f < 250 sel ~ 0.25 *)
+  let s =
+    Estimate.selectivity lk
+      (cmp Bexpr.Lt (col 2 Value.Float_t) (lit (Value.Float 250.0) Value.Float_t))
+  in
+  Alcotest.(check bool) "range ~ 0.25" true (Float.abs (s -. 0.25) < 0.05)
+
+let test_estimate_null_and_bool () =
+  let lk = lookup_of_table (stats_table ()) in
+  let is_null = { Bexpr.node = Bexpr.Is_null (false, col 0 Value.Int_t); dtype = Value.Bool_t } in
+  let s = Estimate.selectivity lk is_null in
+  Alcotest.(check bool) "nulls ~ 0.1" true (Float.abs (s -. 0.1) < 0.02);
+  let conj =
+    { Bexpr.node =
+        Bexpr.And
+          ( cmp Bexpr.Lt (col 2 Value.Float_t) (lit (Value.Float 500.0) Value.Float_t),
+            cmp Bexpr.Lt (col 2 Value.Float_t) (lit (Value.Float 500.0) Value.Float_t) );
+      dtype = Value.Bool_t }
+  in
+  let s2 = Estimate.selectivity lk conj in
+  Alcotest.(check bool) "and multiplies" true (Float.abs (s2 -. 0.25) < 0.05)
+
+let test_estimate_clamped () =
+  let lk : Estimate.lookup = fun _ -> None in
+  let e =
+    { Bexpr.node = Bexpr.In_list (col 0 Value.Int_t, List.init 100 (fun i -> lit (Value.Int i) Value.Int_t));
+      dtype = Value.Bool_t }
+  in
+  let s = Estimate.selectivity lk e in
+  Alcotest.(check bool) "clamped to [0,1]" true (s >= 0.0 && s <= 1.0)
+
+let test_join_selectivity () =
+  let t = stats_table () in
+  let lk = lookup_of_table t in
+  let s = Estimate.join_selectivity ~left:lk ~right:lk [ (0, 0) ] in
+  (* 1 / max(ndv, ndv) = 1/49ish *)
+  Alcotest.(check bool) "join sel" true (s > 0.015 && s < 0.03)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "uniform" `Quick test_histogram_uniform;
+          Alcotest.test_case "skewed" `Quick test_histogram_skewed;
+          Alcotest.test_case "constant" `Quick test_histogram_constant;
+        ] );
+      ( "hll",
+        [
+          Alcotest.test_case "accuracy" `Quick test_hll_accuracy;
+          Alcotest.test_case "duplicates" `Quick test_hll_duplicates;
+          Alcotest.test_case "merge" `Quick test_hll_merge;
+        ] );
+      ( "table stats",
+        [
+          Alcotest.test_case "collect" `Quick test_table_stats;
+          Alcotest.test_case "registry staleness" `Quick test_stats_registry_staleness;
+        ] );
+      ( "estimation",
+        [
+          Alcotest.test_case "eq" `Quick test_estimate_eq;
+          Alcotest.test_case "range" `Quick test_estimate_range;
+          Alcotest.test_case "null/and" `Quick test_estimate_null_and_bool;
+          Alcotest.test_case "clamping" `Quick test_estimate_clamped;
+          Alcotest.test_case "join" `Quick test_join_selectivity;
+        ] );
+    ]

@@ -1,0 +1,243 @@
+(* Tests for columns, tables, catalog, CSV and indexes. *)
+
+module Value = Quill_storage.Value
+module Schema = Quill_storage.Schema
+module Column = Quill_storage.Column
+module Table = Quill_storage.Table
+module Catalog = Quill_storage.Catalog
+module Csv = Quill_storage.Csv
+module Index = Quill_storage.Index
+
+let int_col vs = Column.of_values Value.Int_t (Array.of_list vs)
+
+let test_column_roundtrip () =
+  let vs = [ Value.Int 1; Value.Null; Value.Int (-7) ] in
+  let c = int_col vs in
+  Alcotest.(check int) "length" 3 (Column.length c);
+  Alcotest.(check bool) "null" true (Column.is_null c 1);
+  List.iteri
+    (fun i v -> Alcotest.check Tutil.value_testable "value" v (Column.get c i))
+    vs
+
+let prop_column_roundtrip =
+  Tutil.qtest "of_values/get roundtrip all dtypes"
+    QCheck2.Gen.(
+      let* dt = Tutil.dtype_gen in
+      let* vs = list_size (int_range 0 50) (Tutil.value_of_dtype dt) in
+      pure (dt, vs))
+    (fun (dt, vs) ->
+      let c = Column.of_values dt (Array.of_list vs) in
+      List.for_all2 Value.equal vs (Array.to_list (Column.to_values c)))
+
+let test_column_gather () =
+  let c = int_col [ Value.Int 10; Value.Null; Value.Int 30; Value.Int 40 ] in
+  let g = Column.gather c [| 3; 1; 0 |] in
+  Alcotest.check Tutil.value_testable "g0" (Value.Int 40) (Column.get g 0);
+  Alcotest.check Tutil.value_testable "g1" Value.Null (Column.get g 1);
+  Alcotest.check Tutil.value_testable "g2" (Value.Int 10) (Column.get g 2)
+
+let test_column_type_error () =
+  Alcotest.check_raises "wrong type"
+    (Invalid_argument "Column.of_values: expected INT, got x") (fun () ->
+      ignore (Column.of_values Value.Int_t [| Value.Str "x" |]))
+
+let mk_table () =
+  let schema =
+    Schema.create
+      [ Schema.col ~nullable:false "a" Value.Int_t;
+        Schema.col "b" Value.Str_t;
+        Schema.col "c" Value.Float_t ]
+  in
+  Table.create ~name:"t" schema
+
+let test_table_insert_and_get () =
+  let t = mk_table () in
+  Table.insert t [| Value.Int 1; Value.Str "x"; Value.Float 1.5 |];
+  Table.insert t [| Value.Int 2; Value.Null; Value.Int 3 |];
+  (* Int widened in float column *)
+  Alcotest.(check int) "rows" 2 (Table.row_count t);
+  Alcotest.check Tutil.value_testable "widened" (Value.Float 3.0) (Table.get t 1 2);
+  Alcotest.check Tutil.value_testable "null kept" Value.Null (Table.get t 1 1)
+
+let test_table_not_null () =
+  let t = mk_table () in
+  Alcotest.(check bool) "raises" true
+    (try
+       Table.insert t [| Value.Null; Value.Null; Value.Null |];
+       false
+     with Invalid_argument _ -> true)
+
+let test_table_arity_and_types () =
+  let t = mk_table () in
+  Alcotest.(check bool) "arity" true
+    (try
+       Table.insert t [| Value.Int 1 |];
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "type" true
+    (try
+       Table.insert t [| Value.Str "no"; Value.Null; Value.Null |];
+       false
+     with Invalid_argument _ -> true)
+
+let test_table_columnar_cache () =
+  let t = mk_table () in
+  Table.insert t [| Value.Int 1; Value.Str "x"; Value.Float 1.0 |];
+  let c1 = Table.columnar t in
+  Alcotest.(check bool) "cached" true (c1 == Table.columnar t);
+  Table.insert t [| Value.Int 2; Value.Str "y"; Value.Float 2.0 |];
+  let c2 = Table.columnar t in
+  Alcotest.(check bool) "invalidated" true (c1 != c2);
+  Alcotest.(check int) "fresh length" 2 (Column.length c2.(0))
+
+let test_of_columns () =
+  let schema = Schema.create [ Schema.col "a" Value.Int_t; Schema.col "b" Value.Str_t ] in
+  let cols =
+    [| Column.of_values Value.Int_t [| Value.Int 1; Value.Int 2 |];
+       Column.of_values Value.Str_t [| Value.Str "x"; Value.Null |] |]
+  in
+  let t = Table.of_columns ~name:"t" schema cols in
+  Alcotest.(check int) "rows" 2 (Table.row_count t);
+  Alcotest.check Tutil.value_testable "get" Value.Null (Table.get t 1 1)
+
+let test_catalog () =
+  let c = Catalog.create () in
+  let v0 = Catalog.version c in
+  Catalog.add c (mk_table ());
+  Alcotest.(check bool) "version bumped" true (Catalog.version c > v0);
+  Alcotest.(check bool) "found" true (Catalog.find c "t" <> None);
+  Alcotest.(check (list string)) "names" [ "t" ] (Catalog.names c);
+  Alcotest.(check bool) "dup add" true
+    (try
+       Catalog.add c (mk_table ());
+       false
+     with Invalid_argument _ -> true);
+  Catalog.drop c "t";
+  Alcotest.(check bool) "dropped" true (Catalog.find c "t" = None);
+  Alcotest.(check bool) "drop missing" true
+    (try
+       Catalog.drop c "t";
+       false
+     with Invalid_argument _ -> true)
+
+let test_csv_parse_quoting () =
+  let rows = Csv.parse_string "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n1,\"multi\nline\"\n" in
+  Alcotest.(check int) "rows" 3 (List.length rows);
+  Alcotest.(check (list string)) "quoted" [ "x,y"; "he said \"hi\"" ] (List.nth rows 1);
+  Alcotest.(check (list string)) "newline" [ "1"; "multi\nline" ] (List.nth rows 2)
+
+let test_csv_roundtrip () =
+  let schema =
+    Schema.create
+      [ Schema.col "i" Value.Int_t; Schema.col "s" Value.Str_t; Schema.col "d" Value.Date_t ]
+  in
+  let t = Table.create ~name:"csv_t" schema in
+  Table.insert t [| Value.Int 1; Value.Str "a,b"; Value.Date 9000 |];
+  Table.insert t [| Value.Null; Value.Str "line\nbreak"; Value.Null |];
+  let path = Filename.temp_file "quill" ".csv" in
+  Csv.save t path;
+  let t2 = Csv.load ~name:"csv_t2" ~schema path in
+  Sys.remove path;
+  Alcotest.(check bool) "same rows" true
+    (Tutil.same_rows_ordered (Tutil.table_rows t) (Tutil.table_rows t2))
+
+let test_csv_errors () =
+  let schema = Schema.create [ Schema.col "i" Value.Int_t ] in
+  Alcotest.(check bool) "bad value" true
+    (try
+       ignore (Csv.rows_of_string ~schema "i\nnotanint\n");
+       false
+     with Failure _ -> true);
+  Alcotest.(check bool) "bad arity" true
+    (try
+       ignore (Csv.rows_of_string ~schema "i\n1,2\n");
+       false
+     with Failure _ -> true)
+
+let indexed_table () =
+  let schema = Schema.create [ Schema.col "k" Value.Int_t; Schema.col "v" Value.Str_t ] in
+  let t = Table.create ~name:"it" schema in
+  List.iteri
+    (fun i k ->
+      Table.insert t
+        [| (if k = 99 then Value.Null else Value.Int k); Value.Str (string_of_int i) |])
+    [ 5; 3; 8; 3; 99; 1; 8 ];
+  t
+
+let test_hash_index () =
+  let t = indexed_table () in
+  let idx = Index.Hash_index.build t 0 in
+  Alcotest.(check int) "dup key" 2 (List.length (Index.Hash_index.lookup idx (Value.Int 3)));
+  Alcotest.(check int) "missing" 0 (List.length (Index.Hash_index.lookup idx (Value.Int 42)));
+  Alcotest.(check int) "null not indexed" 0
+    (List.length (Index.Hash_index.lookup idx Value.Null));
+  Alcotest.(check int) "distinct" 4 (Index.Hash_index.distinct_keys idx)
+
+let test_ordered_index () =
+  let t = indexed_table () in
+  let idx = Index.Ordered_index.build t 0 in
+  Alcotest.(check int) "size excludes null" 6 (Index.Ordered_index.size idx);
+  let r = Index.Ordered_index.range idx ~lo:(Value.Int 3, true) ~hi:(Value.Int 8, false) () in
+  (* keys 3,3,5 *)
+  Alcotest.(check int) "range count" 3 (List.length r);
+  let eq = Index.Ordered_index.lookup idx (Value.Int 8) in
+  Alcotest.(check int) "eq count" 2 (List.length eq);
+  let all = Index.Ordered_index.range idx () in
+  Alcotest.(check int) "unbounded" 6 (List.length all)
+
+let prop_ordered_index_range =
+  Tutil.qtest ~count:100 "ordered index range = linear scan"
+    QCheck2.Gen.(
+      let* keys = list_size (int_range 0 60) (int_range 0 20) in
+      let* lo = int_range 0 20 in
+      let* hi = int_range 0 20 in
+      pure (keys, min lo hi, max lo hi))
+    (fun (keys, lo, hi) ->
+      let schema = Schema.create [ Schema.col "k" Value.Int_t ] in
+      let t = Table.create ~name:"p" schema in
+      List.iter (fun k -> Table.insert t [| Value.Int k |]) keys;
+      let idx = Index.Ordered_index.build t 0 in
+      let got =
+        Index.Ordered_index.range idx ~lo:(Value.Int lo, true) ~hi:(Value.Int hi, true) ()
+        |> List.sort compare
+      in
+      let expect =
+        List.filteri (fun _ _ -> true) keys
+        |> List.mapi (fun i k -> (i, k))
+        |> List.filter (fun (_, k) -> k >= lo && k <= hi)
+        |> List.map fst |> List.sort compare
+      in
+      got = expect)
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "column",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_column_roundtrip;
+          prop_column_roundtrip;
+          Alcotest.test_case "gather" `Quick test_column_gather;
+          Alcotest.test_case "type error" `Quick test_column_type_error;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "insert/get" `Quick test_table_insert_and_get;
+          Alcotest.test_case "not null" `Quick test_table_not_null;
+          Alcotest.test_case "arity/types" `Quick test_table_arity_and_types;
+          Alcotest.test_case "columnar cache" `Quick test_table_columnar_cache;
+          Alcotest.test_case "of_columns" `Quick test_of_columns;
+        ] );
+      ("catalog", [ Alcotest.test_case "lifecycle" `Quick test_catalog ]);
+      ( "csv",
+        [
+          Alcotest.test_case "quoting" `Quick test_csv_parse_quoting;
+          Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "errors" `Quick test_csv_errors;
+        ] );
+      ( "index",
+        [
+          Alcotest.test_case "hash" `Quick test_hash_index;
+          Alcotest.test_case "ordered" `Quick test_ordered_index;
+          prop_ordered_index_range;
+        ] );
+    ]

@@ -1,0 +1,217 @@
+(* Unit and property tests for quill.util. *)
+
+module Rng = Quill_util.Rng
+module Bitset = Quill_util.Bitset
+module Vec = Quill_util.Vec
+module Int_vec = Quill_util.Int_vec
+module Hashing = Quill_util.Hashing
+module Summary = Quill_util.Summary
+module Pretty = Quill_util.Pretty
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 13 in
+    Alcotest.(check bool) "in bounds" true (v >= 0 && v < 13);
+    let r = Rng.int_range rng (-5) 5 in
+    Alcotest.(check bool) "range" true (r >= -5 && r <= 5);
+    let f = Rng.float rng in
+    Alcotest.(check bool) "float01" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_uniformity () =
+  (* Chi-square-ish sanity: each of 10 buckets gets 10% +- 3%. *)
+  let rng = Rng.create 99 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let b = Rng.int rng 10 in
+    counts.(b) <- counts.(b) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let frac = Float.of_int c /. Float.of_int n in
+      Alcotest.(check bool) "bucket near 0.1" true (frac > 0.07 && frac < 0.13))
+    counts
+
+let test_rng_zipf () =
+  let rng = Rng.create 1 in
+  let z = Rng.Zipf.create rng ~n:100 ~theta:1.0 in
+  let counts = Array.make 101 0 in
+  for _ = 1 to 20_000 do
+    let v = Rng.Zipf.sample z in
+    Alcotest.(check bool) "zipf in range" true (v >= 1 && v <= 100);
+    counts.(v) <- counts.(v) + 1
+  done;
+  (* Rank 1 must dominate rank 50. *)
+  Alcotest.(check bool) "skew" true (counts.(1) > 5 * max 1 counts.(50))
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 3 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_gaussian () =
+  let rng = Rng.create 5 in
+  let n = 50_000 in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let g = Rng.gaussian rng in
+    sum := !sum +. g;
+    sumsq := !sumsq +. (g *. g)
+  done;
+  let mean = !sum /. Float.of_int n in
+  let var = (!sumsq /. Float.of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean ~ 0" true (Float.abs mean < 0.05);
+  Alcotest.(check bool) "var ~ 1" true (Float.abs (var -. 1.0) < 0.1)
+
+let test_bitset_basic () =
+  let b = Bitset.create 200 in
+  Alcotest.(check int) "empty count" 0 (Bitset.count b);
+  Bitset.set b 0;
+  Bitset.set b 63;
+  Bitset.set b 64;
+  Bitset.set b 199;
+  Alcotest.(check int) "count" 4 (Bitset.count b);
+  Alcotest.(check bool) "get 63" true (Bitset.get b 63);
+  Alcotest.(check bool) "get 62" false (Bitset.get b 62);
+  Bitset.clear b 63;
+  Alcotest.(check bool) "cleared" false (Bitset.get b 63);
+  Alcotest.(check int) "count after clear" 3 (Bitset.count b)
+
+let test_bitset_full () =
+  let b = Bitset.create_full 130 in
+  Alcotest.(check int) "all set" 130 (Bitset.count b);
+  Alcotest.(check bool) "last bit" true (Bitset.get b 129)
+
+let test_bitset_iter () =
+  let b = Bitset.create 100 in
+  let expected = [ 3; 17; 62; 63; 64; 99 ] in
+  List.iter (Bitset.set b) expected;
+  let got = ref [] in
+  Bitset.iter_set b (fun i -> got := i :: !got);
+  Alcotest.(check (list int)) "iter_set ascending" expected (List.rev !got)
+
+let prop_bitset_model =
+  Tutil.qtest "bitset matches a bool-array model"
+    QCheck2.Gen.(
+      let* n = int_range 1 150 in
+      let* ops = list_size (int_range 0 200) (pair (int_range 0 (n - 1)) bool) in
+      pure (n, ops))
+    (fun (n, ops) ->
+      let b = Bitset.create n in
+      let model = Array.make n false in
+      List.iter
+        (fun (i, set) ->
+          Bitset.assign b i set;
+          model.(i) <- set)
+        ops;
+      let model_count = Array.fold_left (fun acc x -> if x then acc + 1 else acc) 0 model in
+      Bitset.count b = model_count
+      && Array.for_all Fun.id (Array.mapi (fun i m -> Bitset.get b i = m) model))
+
+let test_vec_grow () =
+  let v = Vec.create ~dummy:0 in
+  for i = 0 to 999 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 1000 (Vec.length v);
+  Alcotest.(check int) "get" 567 (Vec.get v 567);
+  Vec.set v 567 (-1);
+  Alcotest.(check int) "set" (-1) (Vec.get v 567);
+  Alcotest.(check int) "fold" (499500 - 567 - 1) (Vec.fold ( + ) 0 v)
+
+let test_vec_sort () =
+  let v = Vec.of_array ~dummy:0 [| 5; 3; 9; 1 |] in
+  Vec.sort compare v;
+  Alcotest.(check (list int)) "sorted" [ 1; 3; 5; 9 ] (Vec.to_list v)
+
+let test_int_vec () =
+  let v = Int_vec.create () in
+  for i = 99 downto 0 do
+    Int_vec.push v i
+  done;
+  Alcotest.(check int) "len" 100 (Int_vec.length v);
+  Int_vec.sort v;
+  Alcotest.(check int) "first" 0 (Int_vec.get v 0);
+  Alcotest.(check int) "last" 99 (Int_vec.get v 99)
+
+let test_hashing_distribution () =
+  (* Consecutive ints must spread across buckets. *)
+  let buckets = Array.make 64 0 in
+  for i = 0 to 6399 do
+    let h = Hashing.mix_int i land 63 in
+    buckets.(h) <- buckets.(h) + 1
+  done;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "balanced" true (c > 50 && c < 150))
+    buckets
+
+let test_hash_string_diff () =
+  Alcotest.(check bool) "different strings hash differently" true
+    (Hashing.hash_string "hello" <> Hashing.hash_string "hellp");
+  Alcotest.(check int) "stable" (Hashing.hash_string "abc") (Hashing.hash_string "abc")
+
+let test_summary () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Summary.mean xs);
+  Alcotest.(check (float 1e-9)) "median" 3.0 (Summary.median xs);
+  Alcotest.(check (float 1e-9)) "p100" 5.0 (Summary.percentile xs 100.0);
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt 2.0) (Summary.stddev xs);
+  let lo, hi = Summary.min_max xs in
+  Alcotest.(check (float 0.0)) "min" 1.0 lo;
+  Alcotest.(check (float 0.0)) "max" 5.0 hi
+
+let test_pretty () =
+  let s = Pretty.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ] in
+  Alcotest.(check bool) "contains cell" true
+    (String.length s > 0
+    && String.split_on_char '\n' s |> List.exists (fun l -> String.trim l <> ""));
+  Alcotest.(check string) "duration ns" "500ns" (Pretty.duration 5e-7);
+  Alcotest.(check string) "duration ms" "2.50ms" (Pretty.duration 2.5e-3)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+          Alcotest.test_case "zipf" `Quick test_rng_zipf;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "gaussian" `Quick test_rng_gaussian;
+        ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "basic" `Quick test_bitset_basic;
+          Alcotest.test_case "full" `Quick test_bitset_full;
+          Alcotest.test_case "iter" `Quick test_bitset_iter;
+          prop_bitset_model;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "grow" `Quick test_vec_grow;
+          Alcotest.test_case "sort" `Quick test_vec_sort;
+          Alcotest.test_case "int_vec" `Quick test_int_vec;
+        ] );
+      ( "hashing",
+        [
+          Alcotest.test_case "distribution" `Quick test_hashing_distribution;
+          Alcotest.test_case "strings" `Quick test_hash_string_diff;
+        ] );
+      ( "summary",
+        [
+          Alcotest.test_case "stats" `Quick test_summary;
+          Alcotest.test_case "pretty" `Quick test_pretty;
+        ] );
+    ]

@@ -1,0 +1,123 @@
+(* Tests for values, dates, schemas. *)
+
+module Value = Quill_storage.Value
+module Schema = Quill_storage.Schema
+
+let test_date_known () =
+  Alcotest.(check int) "epoch" 0 (Value.date_of_ymd ~y:1970 ~m:1 ~d:1);
+  Alcotest.(check int) "1970-01-02" 1 (Value.date_of_ymd ~y:1970 ~m:1 ~d:2);
+  Alcotest.(check int) "1969-12-31" (-1) (Value.date_of_ymd ~y:1969 ~m:12 ~d:31);
+  (* Leap year day. *)
+  let feb29 = Value.date_of_ymd ~y:2000 ~m:2 ~d:29 in
+  let mar1 = Value.date_of_ymd ~y:2000 ~m:3 ~d:1 in
+  Alcotest.(check int) "leap" 1 (mar1 - feb29)
+
+let prop_date_roundtrip =
+  Tutil.qtest ~count:500 "ymd <-> days roundtrip"
+    QCheck2.Gen.(int_range (-200_000) 200_000)
+    (fun days ->
+      let y, m, d = Value.ymd_of_date days in
+      Value.date_of_ymd ~y ~m ~d = days && m >= 1 && m <= 12 && d >= 1 && d <= 31)
+
+let test_date_string () =
+  let d = Value.date_of_ymd ~y:1994 ~m:3 ~d:7 in
+  Alcotest.(check string) "render" "1994-03-07" (Value.date_string d);
+  Alcotest.(check (option int)) "parse" (Some d) (Value.parse_date "1994-03-07");
+  Alcotest.(check (option int)) "bad month" None (Value.parse_date "1994-13-07");
+  Alcotest.(check (option int)) "garbage" None (Value.parse_date "hello")
+
+let test_value_to_string () =
+  Alcotest.(check string) "null" "NULL" (Value.to_string Value.Null);
+  Alcotest.(check string) "int" "42" (Value.to_string (Value.Int 42));
+  Alcotest.(check string) "float" "2.5" (Value.to_string (Value.Float 2.5));
+  Alcotest.(check string) "bool" "true" (Value.to_string (Value.Bool true))
+
+let test_value_parse () =
+  Alcotest.(check bool) "int" true (Value.parse Value.Int_t "17" = Some (Value.Int 17));
+  Alcotest.(check bool) "empty is null" true (Value.parse Value.Int_t "" = Some Value.Null);
+  Alcotest.(check bool) "bad int" true (Value.parse Value.Int_t "x" = None);
+  Alcotest.(check bool) "bool t" true (Value.parse Value.Bool_t "T" = Some (Value.Bool true));
+  Alcotest.(check bool) "float" true (Value.parse Value.Float_t "2.5" = Some (Value.Float 2.5))
+
+let test_compare_numeric_coercion () =
+  Alcotest.(check int) "int vs float eq" 0 (Value.compare (Value.Int 3) (Value.Float 3.0));
+  Alcotest.(check bool) "int < float" true (Value.compare (Value.Int 3) (Value.Float 3.5) < 0);
+  Alcotest.(check bool) "null first" true (Value.compare Value.Null (Value.Int (-999)) < 0)
+
+let prop_compare_total_order =
+  Tutil.qtest ~count:300 "compare is a consistent total order"
+    QCheck2.Gen.(
+      let v = Tutil.value_of_dtype ~null_weight:20 Quill_storage.Value.Int_t in
+      triple v v v)
+    (fun (a, b, c) ->
+      let sgn x = compare x 0 in
+      sgn (Value.compare a b) = -sgn (Value.compare b a)
+      && (not (Value.compare a b <= 0 && Value.compare b c <= 0)
+         || Value.compare a c <= 0))
+
+let prop_hash_consistent =
+  Tutil.qtest ~count:300 "equal values hash equally"
+    QCheck2.Gen.(
+      let* dt = Tutil.dtype_gen in
+      pair (Tutil.value_of_dtype dt) (Tutil.value_of_dtype dt))
+    (fun (a, b) -> (not (Value.equal a b)) || Value.hash a = Value.hash b)
+
+let test_hash_int_float_collide () =
+  (* Int 5 and Float 5.0 compare equal, so they must hash equal. *)
+  Alcotest.(check int) "5 = 5.0" (Value.hash (Value.Int 5)) (Value.hash (Value.Float 5.0))
+
+let test_schema_find () =
+  let s =
+    Schema.create
+      [ Schema.col "t.a" Value.Int_t; Schema.col "t.b" Value.Str_t;
+        Schema.col "u.a" Value.Int_t ]
+  in
+  (match Schema.find s "a" with
+  | Error e ->
+      Alcotest.(check bool) "ambiguous" true
+        (String.length e >= 9 && String.sub e 0 9 = "ambiguous")
+  | Ok _ -> Alcotest.fail "expected ambiguity");
+  Alcotest.(check int) "qualified" 0 (Schema.find_exn s "t.a");
+  Alcotest.(check int) "unique base" 1 (Schema.find_exn s "b");
+  (match Schema.find s "zz" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected unknown")
+
+let test_schema_qualify_concat () =
+  let s = Schema.create [ Schema.col "x" Value.Int_t ] in
+  let q = Schema.qualify "t" s in
+  Alcotest.(check string) "qualified name" "t.x" (Schema.column q 0).Schema.name;
+  let c = Schema.concat q (Schema.qualify "u" s) in
+  Alcotest.(check int) "arity" 2 (Schema.arity c);
+  Alcotest.(check int) "second" 1 (Schema.find_exn c "u.x")
+
+let test_schema_dup_rejected () =
+  Alcotest.check_raises "duplicate columns"
+    (Invalid_argument "Schema.create: duplicate column \"x\"") (fun () ->
+      ignore (Schema.create [ Schema.col "x" Value.Int_t; Schema.col "x" Value.Str_t ]))
+
+let () =
+  Alcotest.run "value"
+    [
+      ( "dates",
+        [
+          Alcotest.test_case "known" `Quick test_date_known;
+          prop_date_roundtrip;
+          Alcotest.test_case "strings" `Quick test_date_string;
+        ] );
+      ( "values",
+        [
+          Alcotest.test_case "to_string" `Quick test_value_to_string;
+          Alcotest.test_case "parse" `Quick test_value_parse;
+          Alcotest.test_case "coercion" `Quick test_compare_numeric_coercion;
+          prop_compare_total_order;
+          prop_hash_consistent;
+          Alcotest.test_case "int/float hash" `Quick test_hash_int_float_collide;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "find" `Quick test_schema_find;
+          Alcotest.test_case "qualify/concat" `Quick test_schema_qualify_concat;
+          Alcotest.test_case "duplicates" `Quick test_schema_dup_rejected;
+        ] );
+    ]

@@ -1,0 +1,221 @@
+(* Window functions: semantics against hand-computed references, engine
+   agreement, composition with GROUP BY, and binder error paths. *)
+
+module Value = Quill_storage.Value
+module Table = Quill_storage.Table
+
+let engines = [ Quill.Db.Volcano; Quill.Db.Vectorized; Quill.Db.Compiled ]
+
+let fresh () =
+  let db = Quill.Db.create () in
+  ignore (Quill.Db.exec db "CREATE TABLE s (dept TEXT, emp TEXT, sal INT, d DATE)");
+  ignore
+    (Quill.Db.exec db
+       "INSERT INTO s VALUES \
+        ('eng','a',100,DATE '2026-01-01'),('eng','b',120,DATE '2026-01-02'),\
+        ('eng','c',120,DATE '2026-01-03'),('ops','d',80,DATE '2026-01-01'),\
+        ('ops','e',90,DATE '2026-01-02'),('ops','f',NULL,DATE '2026-01-03')");
+  db
+
+let col_ints r j = Array.to_list (Array.map (fun row -> row.(j)) (Tutil.table_rows r))
+let i v = Value.Int v
+
+let test_row_number_partitioned () =
+  let db = fresh () in
+  let r =
+    Quill.Db.query db
+      "SELECT emp, row_number() OVER (PARTITION BY dept ORDER BY sal DESC) AS rn \
+       FROM s ORDER BY dept, rn"
+  in
+  Alcotest.(check (list string)) "order" [ "b"; "c"; "a"; "e"; "d"; "f" ]
+    (List.map Value.to_string (col_ints r 0));
+  Alcotest.(check bool) "rn" true (col_ints r 1 = [ i 1; i 2; i 3; i 1; i 2; i 3 ])
+
+let test_rank_vs_dense_rank () =
+  let db = fresh () in
+  let r =
+    Quill.Db.query db
+      "SELECT emp, rank() OVER (ORDER BY sal DESC) AS r, \
+       dense_rank() OVER (ORDER BY sal DESC) AS dr FROM s WHERE sal IS NOT NULL \
+       ORDER BY r, emp"
+  in
+  (* sal: 120,120,100,90,80 -> rank 1,1,3,4,5; dense 1,1,2,3,4 *)
+  Alcotest.(check bool) "rank" true (col_ints r 1 = [ i 1; i 1; i 3; i 4; i 5 ]);
+  Alcotest.(check bool) "dense" true (col_ints r 2 = [ i 1; i 1; i 2; i 3; i 4 ])
+
+let test_running_sum_and_nulls () =
+  let db = fresh () in
+  let r =
+    Quill.Db.query db
+      "SELECT emp, sum(sal) OVER (PARTITION BY dept ORDER BY d) AS run \
+       FROM s ORDER BY dept, d"
+  in
+  (* eng: 100,220,340; ops: 80,170,170 (NULL sal ignored by SUM) *)
+  Alcotest.(check bool) "running" true
+    (col_ints r 1 = [ i 100; i 220; i 340; i 80; i 170; i 170 ])
+
+let test_running_sum_peers () =
+  (* Rows tied on the order key share the running value (RANGE frame). *)
+  let db = Quill.Db.create () in
+  ignore (Quill.Db.exec db "CREATE TABLE p (k INT, v INT)");
+  ignore (Quill.Db.exec db "INSERT INTO p VALUES (1,10),(1,20),(2,5)");
+  let r =
+    Quill.Db.query db "SELECT v, sum(v) OVER (ORDER BY k) AS run FROM p ORDER BY k, v"
+  in
+  Alcotest.(check bool) "peers share" true (col_ints r 1 = [ i 30; i 30; i 35 ])
+
+let test_partition_aggregate () =
+  let db = fresh () in
+  let r =
+    Quill.Db.query db
+      "SELECT emp, count(*) OVER (PARTITION BY dept) AS n, \
+       max(sal) OVER (PARTITION BY dept) AS m FROM s ORDER BY emp"
+  in
+  Alcotest.(check bool) "counts" true (col_ints r 1 = [ i 3; i 3; i 3; i 3; i 3; i 3 ]);
+  Alcotest.(check bool) "maxes" true
+    (col_ints r 2 = [ i 120; i 120; i 120; i 90; i 90; i 90 ])
+
+let test_lag_lead () =
+  let db = fresh () in
+  let r =
+    Quill.Db.query db
+      "SELECT lag(sal) OVER (PARTITION BY dept ORDER BY d) AS prev, \
+       lead(sal, 2) OVER (PARTITION BY dept ORDER BY d) AS nn \
+       FROM s ORDER BY dept, d"
+  in
+  Alcotest.(check bool) "lag" true
+    (col_ints r 0 = [ Value.Null; i 100; i 120; Value.Null; i 80; i 90 ]);
+  Alcotest.(check bool) "lead 2" true
+    (col_ints r 1 = [ i 120; Value.Null; Value.Null; Value.Null; Value.Null; Value.Null ])
+
+let test_window_in_expression () =
+  let db = fresh () in
+  let r =
+    Quill.Db.query db
+      "SELECT emp, sal - avg(sal) OVER (PARTITION BY dept) AS delta FROM s \
+       WHERE sal IS NOT NULL ORDER BY emp"
+  in
+  match Tutil.table_rows r with
+  | [| a; _; _; d; _ |] ->
+      (match (a.(1), d.(1)) with
+      | Value.Float x, Value.Float y ->
+          Alcotest.(check (float 1e-6)) "a delta" (-13.333333) (Float.round (x *. 1e6) /. 1e6);
+          Alcotest.(check (float 1e-6)) "d delta" (-5.0) y
+      | _ -> Alcotest.fail "types")
+  | _ -> Alcotest.fail "row count"
+
+let test_window_over_group_by () =
+  let db = fresh () in
+  let r =
+    Quill.Db.query db
+      "SELECT dept, sum(sal) AS total, rank() OVER (ORDER BY sum(sal) DESC) AS rk \
+       FROM s GROUP BY dept ORDER BY rk"
+  in
+  Alcotest.(check bool) "totals" true (col_ints r 1 = [ i 340; i 170 ]);
+  Alcotest.(check bool) "ranks" true (col_ints r 2 = [ i 1; i 2 ])
+
+let test_engines_agree () =
+  let db = fresh () in
+  let queries =
+    [ "SELECT emp, row_number() OVER (PARTITION BY dept ORDER BY sal, emp) FROM s ORDER BY 1";
+      "SELECT emp, sum(sal) OVER (PARTITION BY dept ORDER BY d) FROM s ORDER BY 1";
+      "SELECT emp, rank() OVER (ORDER BY sal DESC) FROM s ORDER BY 1";
+      "SELECT emp, lag(emp) OVER (ORDER BY d, emp) FROM s ORDER BY 1" ]
+  in
+  List.iter
+    (fun sql ->
+      let reference = Tutil.table_rows (Quill.Db.query db ~engine:Quill.Db.Volcano sql) in
+      List.iter
+        (fun e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s on %s" sql (Quill.Db.engine_name e))
+            true
+            (Tutil.same_rows_ordered reference
+               (Tutil.table_rows (Quill.Db.query db ~engine:e sql))))
+        engines)
+    queries
+
+let test_window_does_not_reorder () =
+  (* Window output keeps the input row order when no final ORDER BY. *)
+  let db = fresh () in
+  let plain = col_ints (Quill.Db.query db "SELECT emp FROM s") 0 in
+  let with_win =
+    col_ints (Quill.Db.query db "SELECT emp, rank() OVER (ORDER BY sal) FROM s") 0
+  in
+  Alcotest.(check bool) "same order" true (plain = with_win)
+
+let test_errors () =
+  let db = fresh () in
+  let expect_err needle sql =
+    try
+      ignore (Quill.Db.query db sql);
+      Alcotest.failf "expected error: %s" sql
+    with Quill.Db.Error m ->
+      let contains =
+        let nh = String.length m and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub m i nn = needle || go (i + 1)) in
+        go 0
+      in
+      if not contains then Alcotest.failf "error %S lacks %S" m needle
+  in
+  expect_err "select list" "SELECT emp FROM s WHERE rank() OVER (ORDER BY sal) < 2";
+  expect_err "HAVING" "SELECT dept FROM s GROUP BY dept HAVING rank() OVER (ORDER BY dept) = 1";
+  expect_err "ORDER BY" "SELECT rank() OVER () FROM s";
+  expect_err "ORDER BY" "SELECT lag(sal) OVER (PARTITION BY dept) FROM s";
+  expect_err "nested" "SELECT sum(rank() OVER (ORDER BY sal)) OVER (ORDER BY sal) FROM s";
+  expect_err "DISTINCT" "SELECT count(DISTINCT sal) OVER () FROM s";
+  expect_err "window function" "SELECT rank(sal) OVER (ORDER BY sal) FROM s"
+
+let prop_row_number_is_permutation =
+  Tutil.qtest ~count:40 "row_number covers 1..n per partition"
+    QCheck2.Gen.(int_range 1 60)
+    (fun n ->
+      let db = Quill.Db.create () in
+      ignore (Quill.Db.exec db "CREATE TABLE t (g INT, v INT)");
+      let rng = Quill_util.Rng.create n in
+      for _ = 1 to n do
+        ignore
+          (Quill.Db.exec db
+             (Printf.sprintf "INSERT INTO t VALUES (%d, %d)" (Quill_util.Rng.int rng 4)
+                (Quill_util.Rng.int rng 100)))
+      done;
+      let r =
+        Quill.Db.query db
+          "SELECT g, row_number() OVER (PARTITION BY g ORDER BY v, g) AS rn FROM t"
+      in
+      (* Per group, the rn values must be exactly 1..count(group). *)
+      let groups = Hashtbl.create 8 in
+      Array.iter
+        (fun row ->
+          let g = row.(0) and rn = row.(1) in
+          let l = Option.value ~default:[] (Hashtbl.find_opt groups g) in
+          Hashtbl.replace groups g (rn :: l))
+        (Tutil.table_rows r);
+      Hashtbl.fold
+        (fun _ rns ok ->
+          ok
+          && List.sort compare rns
+             = List.init (List.length rns) (fun k -> Value.Int (k + 1)))
+        groups true)
+
+let () =
+  Alcotest.run "window"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "row_number" `Quick test_row_number_partitioned;
+          Alcotest.test_case "rank/dense_rank" `Quick test_rank_vs_dense_rank;
+          Alcotest.test_case "running sum + nulls" `Quick test_running_sum_and_nulls;
+          Alcotest.test_case "peer rows" `Quick test_running_sum_peers;
+          Alcotest.test_case "partition aggregate" `Quick test_partition_aggregate;
+          Alcotest.test_case "lag/lead" `Quick test_lag_lead;
+          Alcotest.test_case "in expressions" `Quick test_window_in_expression;
+          Alcotest.test_case "over group by" `Quick test_window_over_group_by;
+          Alcotest.test_case "keeps row order" `Quick test_window_does_not_reorder;
+        ] );
+      ( "engines",
+        [ Alcotest.test_case "agreement" `Quick test_engines_agree ] );
+      ( "errors",
+        [ Alcotest.test_case "binder rejections" `Quick test_errors ] );
+      ("properties", [ prop_row_number_is_permutation ]);
+    ]

@@ -1,0 +1,165 @@
+(* Workload generators: determinism, proportions, and value-domain
+   invariants the experiments depend on. *)
+
+module Value = Quill_storage.Value
+module Table = Quill_storage.Table
+module Catalog = Quill_storage.Catalog
+module Tpch = Quill_workload.Tpch
+module Micro = Quill_workload.Micro
+
+let load sf seed =
+  let cat = Catalog.create () in
+  Tpch.load cat ~sf ~seed;
+  cat
+
+let test_tpch_cardinalities () =
+  let cat = load 0.005 1 in
+  let n name = Table.row_count (Catalog.find_exn cat name) in
+  Alcotest.(check int) "regions" 5 (n "region");
+  Alcotest.(check int) "nations" 25 (n "nation");
+  Alcotest.(check int) "suppliers" 50 (n "supplier");
+  Alcotest.(check int) "customers" 750 (n "customer");
+  Alcotest.(check int) "orders" 7500 (n "orders");
+  (* lineitem averages 4 lines per order *)
+  let l = n "lineitem" in
+  Alcotest.(check bool) "lineitem ~4x orders" true (l > 7500 * 2 && l < 7500 * 7)
+
+let test_tpch_deterministic () =
+  let a = load 0.002 7 and b = load 0.002 7 in
+  List.iter
+    (fun name ->
+      let ta = Catalog.find_exn a name and tb = Catalog.find_exn b name in
+      Alcotest.(check bool) (name ^ " identical") true
+        (Table.to_row_list ta = Table.to_row_list tb))
+    [ "region"; "nation"; "supplier"; "customer"; "part"; "orders"; "lineitem" ];
+  (* A different seed gives different data. *)
+  let c = load 0.002 8 in
+  Alcotest.(check bool) "seed matters" false
+    (Table.to_row_list (Catalog.find_exn a "lineitem")
+    = Table.to_row_list (Catalog.find_exn c "lineitem"))
+
+let test_tpch_domains () =
+  let cat = load 0.002 3 in
+  let lineitem = Catalog.find_exn cat "lineitem" in
+  let schema = Table.schema lineitem in
+  let pos name = Quill_storage.Schema.find_exn schema name in
+  let discount = pos "l_discount" and qty = pos "l_quantity" in
+  let flag = pos "l_returnflag" and status = pos "l_linestatus" in
+  for i = 0 to Table.row_count lineitem - 1 do
+    (match Table.get lineitem i discount with
+    | Value.Float d -> assert (d >= 0.0 && d <= 0.10)
+    | _ -> Alcotest.fail "discount type");
+    (match Table.get lineitem i qty with
+    | Value.Float q -> assert (q >= 1.0 && q <= 50.0)
+    | _ -> Alcotest.fail "qty type");
+    (match (Table.get lineitem i flag, Table.get lineitem i status) with
+    | Value.Str ("R" | "A"), Value.Str "F" | Value.Str "N", Value.Str "O" -> ()
+    | _ -> Alcotest.fail "flag/status domain")
+  done
+
+let test_tpch_referential_integrity () =
+  let cat = load 0.002 5 in
+  let keys table col =
+    let t = Catalog.find_exn cat table in
+    let pos = Quill_storage.Schema.find_exn (Table.schema t) col in
+    let set = Hashtbl.create 64 in
+    for i = 0 to Table.row_count t - 1 do
+      Hashtbl.replace set (Table.get t i pos) ()
+    done;
+    set
+  in
+  let custkeys = keys "customer" "c_custkey" in
+  let orders = Catalog.find_exn cat "orders" in
+  let ck = Quill_storage.Schema.find_exn (Table.schema orders) "o_custkey" in
+  for i = 0 to Table.row_count orders - 1 do
+    if not (Hashtbl.mem custkeys (Table.get orders i ck)) then
+      Alcotest.fail "dangling o_custkey"
+  done;
+  let orderkeys = keys "orders" "o_orderkey" in
+  let lineitem = Catalog.find_exn cat "lineitem" in
+  let ok = Quill_storage.Schema.find_exn (Table.schema lineitem) "l_orderkey" in
+  for i = 0 to Table.row_count lineitem - 1 do
+    if not (Hashtbl.mem orderkeys (Table.get lineitem i ok)) then
+      Alcotest.fail "dangling l_orderkey"
+  done
+
+let test_tpch_part_skew () =
+  (* Zipf-skewed part popularity: the most popular part must be referenced
+     far more than the median one. *)
+  let cat = load 0.01 2 in
+  let lineitem = Catalog.find_exn cat "lineitem" in
+  let pk = Quill_storage.Schema.find_exn (Table.schema lineitem) "l_partkey" in
+  let counts = Hashtbl.create 1024 in
+  for i = 0 to Table.row_count lineitem - 1 do
+    let k = Table.get lineitem i pk in
+    Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+  done;
+  let freqs = Hashtbl.fold (fun _ c acc -> c :: acc) counts [] in
+  let sorted = List.sort (fun a b -> compare b a) freqs in
+  let top = List.hd sorted in
+  let median = List.nth sorted (List.length sorted / 2) in
+  Alcotest.(check bool) "skewed" true (top >= 5 * median)
+
+let test_micro_ints_table () =
+  let t = Micro.ints_table ~name:"m" ~rows:500 ~cols:3 ~seed:1 () in
+  Alcotest.(check int) "rows" 500 (Table.row_count t);
+  (* c0 is a permutation of 0..rows-1. *)
+  let seen = Array.make 500 false in
+  for i = 0 to 499 do
+    match Table.get t i 0 with
+    | Value.Int k -> seen.(k) <- true
+    | _ -> Alcotest.fail "type"
+  done;
+  Alcotest.(check bool) "permutation" true (Array.for_all Fun.id seen)
+
+let test_micro_keyed_pair () =
+  let build, probe = Micro.keyed_pair ~build_rows:100 ~probe_rows:1000 ~seed:2 () in
+  Alcotest.(check int) "build" 100 (Table.row_count build);
+  Alcotest.(check int) "probe" 1000 (Table.row_count probe);
+  (* Every probe fk hits the build key range. *)
+  for i = 0 to 999 do
+    match Table.get probe i 0 with
+    | Value.Int k -> assert (k >= 0 && k < 100)
+    | _ -> Alcotest.fail "type"
+  done
+
+let test_micro_grouped () =
+  let t = Micro.grouped_table ~rows:2000 ~groups:10 ~seed:3 () in
+  let distinct = Hashtbl.create 16 in
+  for i = 0 to 1999 do
+    Hashtbl.replace distinct (Table.get t i 0) ()
+  done;
+  Alcotest.(check int) "distinct groups" 10 (Hashtbl.length distinct)
+
+let test_micro_sort_keys () =
+  let u = Micro.sort_keys ~n:1000 ~dist:`Uniform ~seed:1 () in
+  Alcotest.(check int) "n" 1000 (Array.length u);
+  let c = Micro.sort_keys ~n:1000 ~dist:`Clustered ~seed:1 () in
+  (* Clustered keys are nearly sorted: long non-decreasing stretches. *)
+  let inversions = ref 0 in
+  for i = 0 to 998 do
+    if c.(i) > c.(i + 1) then incr inversions
+  done;
+  Alcotest.(check bool) "nearly sorted" true (!inversions < 400);
+  let d = Micro.sort_keys ~n:1000 ~dist:`Dups ~seed:1 () in
+  Alcotest.(check bool) "dups bounded" true (Array.for_all (fun x -> x < 100) d)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "tpch",
+        [
+          Alcotest.test_case "cardinalities" `Quick test_tpch_cardinalities;
+          Alcotest.test_case "deterministic" `Quick test_tpch_deterministic;
+          Alcotest.test_case "value domains" `Quick test_tpch_domains;
+          Alcotest.test_case "referential integrity" `Quick test_tpch_referential_integrity;
+          Alcotest.test_case "part skew" `Quick test_tpch_part_skew;
+        ] );
+      ( "micro",
+        [
+          Alcotest.test_case "ints table" `Quick test_micro_ints_table;
+          Alcotest.test_case "keyed pair" `Quick test_micro_keyed_pair;
+          Alcotest.test_case "grouped" `Quick test_micro_grouped;
+          Alcotest.test_case "sort keys" `Quick test_micro_sort_keys;
+        ] );
+    ]

@@ -1,0 +1,195 @@
+(* Shared test helpers: value/row generators, expression generators for
+   tier-agreement properties, and result-comparison utilities. *)
+
+module Value = Quill_storage.Value
+module Schema = Quill_storage.Schema
+module Table = Quill_storage.Table
+module Bexpr = Quill_plan.Bexpr
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- Value generators --------------------------------------------------- *)
+
+open QCheck2.Gen
+
+let value_of_dtype ?(null_weight = 10) dtype =
+  let base =
+    match dtype with
+    | Value.Int_t -> map (fun i -> Value.Int i) (int_range (-1000) 1000)
+    | Value.Float_t ->
+        map (fun f -> Value.Float (Float.of_int f /. 8.0)) (int_range (-8000) 8000)
+    | Value.Str_t ->
+        map (fun s -> Value.Str s) (string_size ~gen:(char_range 'a' 'e') (int_range 0 6))
+    | Value.Bool_t -> map (fun b -> Value.Bool b) bool
+    | Value.Date_t -> map (fun d -> Value.Date d) (int_range 8000 11000)
+  in
+  if null_weight = 0 then base
+  else frequency [ (100 - null_weight, base); (null_weight, pure Value.Null) ]
+
+let dtype_gen = oneofl [ Value.Int_t; Value.Float_t; Value.Str_t; Value.Bool_t; Value.Date_t ]
+
+(* A random schema of 1..6 columns. *)
+let schema_gen =
+  let* n = int_range 1 6 in
+  let* dts = list_repeat n dtype_gen in
+  pure
+    (Schema.create (List.mapi (fun i dt -> Schema.col (Printf.sprintf "c%d" i) dt) dts))
+
+let row_gen schema =
+  let cols = Schema.columns schema in
+  let* vs = flatten_l (List.map (fun c -> value_of_dtype c.Schema.dtype) cols) in
+  pure (Array.of_list vs)
+
+let rows_gen ?(max_rows = 40) schema =
+  let* n = int_range 0 max_rows in
+  list_repeat n (row_gen schema)
+
+(* --- Well-typed bound expression generator ------------------------------ *)
+
+(* Generates expressions that never raise at runtime (no division, no
+   casts that can fail), over a schema, so tier-agreement properties can
+   compare results directly. *)
+let bexpr_gen schema =
+  let cols_of t =
+    List.filteri (fun _ _ -> true) (Schema.columns schema)
+    |> List.mapi (fun i c -> (i, c.Schema.dtype))
+    |> List.filter (fun (_, dt) -> dt = t)
+  in
+  let leaf_of t =
+    let lit = map (fun v -> { Bexpr.node = Bexpr.Lit v; dtype = t }) (value_of_dtype t) in
+    match cols_of t with
+    | [] -> lit
+    | cs ->
+        oneof
+          [ lit;
+            map (fun (i, dt) -> { Bexpr.node = Bexpr.Col i; dtype = dt }) (oneofl cs) ]
+  in
+  let rec num_expr depth =
+    if depth = 0 then leaf_of Value.Int_t
+    else
+      oneof
+        [ leaf_of Value.Int_t;
+          (let* op = oneofl [ Bexpr.Add; Bexpr.Sub; Bexpr.Mul ] in
+           let* a = num_expr (depth - 1) in
+           let* b = num_expr (depth - 1) in
+           pure { Bexpr.node = Bexpr.Arith (op, a, b); dtype = Value.Int_t });
+          (let* a = num_expr (depth - 1) in
+           pure { Bexpr.node = Bexpr.Neg a; dtype = Value.Int_t }) ]
+  and bool_expr depth =
+    if depth = 0 then
+      oneof
+        [ leaf_of Value.Bool_t;
+          (let* dt = oneofl [ Value.Int_t; Value.Float_t; Value.Str_t; Value.Date_t ] in
+           let* op = oneofl [ Bexpr.Eq; Bexpr.Neq; Bexpr.Lt; Bexpr.Le; Bexpr.Gt; Bexpr.Ge ] in
+           let* a = leaf_of dt in
+           let* b = leaf_of dt in
+           pure { Bexpr.node = Bexpr.Cmp (op, a, b); dtype = Value.Bool_t }) ]
+    else
+      oneof
+        [ bool_expr 0;
+          (let* a = bool_expr (depth - 1) in
+           let* b = bool_expr (depth - 1) in
+           oneofl
+             [ { Bexpr.node = Bexpr.And (a, b); dtype = Value.Bool_t };
+               { Bexpr.node = Bexpr.Or (a, b); dtype = Value.Bool_t } ]);
+          (let* a = bool_expr (depth - 1) in
+           pure { Bexpr.node = Bexpr.Not a; dtype = Value.Bool_t });
+          (let* a = num_expr (depth - 1) in
+           pure { Bexpr.node = Bexpr.Is_null (false, a); dtype = Value.Bool_t });
+          (let* op = oneofl [ Bexpr.Eq; Bexpr.Lt; Bexpr.Ge ] in
+           let* a = num_expr (depth - 1) in
+           let* b = num_expr (depth - 1) in
+           pure { Bexpr.node = Bexpr.Cmp (op, a, b); dtype = Value.Bool_t });
+          (let* a = leaf_of Value.Int_t in
+           let* items = list_size (int_range 1 4) (leaf_of Value.Int_t) in
+           pure { Bexpr.node = Bexpr.In_list (a, items); dtype = Value.Bool_t }) ]
+  in
+  let case_expr =
+    let* nwhens = int_range 1 3 in
+    let* whens =
+      list_repeat nwhens
+        (let* c = bool_expr 1 in
+         let* v = num_expr 1 in
+         pure (c, v))
+    in
+    let* els = opt (num_expr 1) in
+    pure { Bexpr.node = Bexpr.Case (whens, els); dtype = Value.Int_t }
+  in
+  oneof [ num_expr 3; bool_expr 3; case_expr ]
+
+(* --- Comparison helpers -------------------------------------------------- *)
+
+let value_testable =
+  Alcotest.testable
+    (fun fmt v -> Format.pp_print_string fmt (Value.to_string v))
+    Value.equal
+
+let row_to_string row =
+  "[" ^ String.concat "; " (Array.to_list (Array.map Value.to_string row)) ^ "]"
+
+let rows_to_string rows =
+  String.concat "\n" (List.map row_to_string (Array.to_list rows))
+
+(* Compare result row multisets (order-insensitive). *)
+let same_rows_unordered a b =
+  let norm rows =
+    let l = Array.to_list (Array.map (fun r -> Array.to_list r) rows) in
+    List.sort compare l
+  in
+  norm a = norm b
+
+(* Compare results respecting order. *)
+let same_rows_ordered a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Array.to_list x = Array.to_list y) a b
+
+let check_same_unordered msg a b =
+  if not (same_rows_unordered a b) then
+    Alcotest.failf "%s:\nfirst:\n%s\nsecond:\n%s" msg (rows_to_string a) (rows_to_string b)
+
+(* A deterministic random database for engine-agreement tests. *)
+let random_db ~seed ~rows =
+  let db = Quill.Db.create () in
+  let cat = Quill.Db.catalog db in
+  let rng = Quill_util.Rng.create seed in
+  let mk name cols =
+    let t = Table.create ~name (Schema.create cols) in
+    Quill_storage.Catalog.add cat t;
+    t
+  in
+  let t1 =
+    mk "r"
+      [ Schema.col ~nullable:false "id" Value.Int_t;
+        Schema.col "k" Value.Int_t;
+        Schema.col "v" Value.Float_t;
+        Schema.col "tag" Value.Str_t;
+        Schema.col "dt" Value.Date_t ]
+  in
+  let t2 =
+    mk "s"
+      [ Schema.col ~nullable:false "id" Value.Int_t;
+        Schema.col "k" Value.Int_t;
+        Schema.col "w" Value.Int_t ]
+  in
+  let tags = [| "alpha"; "beta"; "gamma"; "delta"; "" |] in
+  for idx = 0 to rows - 1 do
+    let open Quill_util.Rng in
+    Table.insert t1
+      [| Value.Int idx;
+         (if int rng 10 = 0 then Value.Null else Value.Int (int rng 20));
+         (if int rng 10 = 0 then Value.Null
+          else Value.Float (Float.of_int (int rng 1000) /. 10.0));
+         Value.Str (pick rng tags);
+         Value.Date (9000 + int rng 500) |]
+  done;
+  for idx = 0 to (rows / 2) - 1 do
+    let open Quill_util.Rng in
+    Table.insert t2
+      [| Value.Int idx;
+         (if int rng 10 = 0 then Value.Null else Value.Int (int rng 20));
+         Value.Int (int rng 100) |]
+  done;
+  db
+
+let table_rows (t : Table.t) = Array.of_list (Table.to_row_list t)
