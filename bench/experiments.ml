@@ -1,5 +1,5 @@
 (* The experiment suite: one entry per row of DESIGN.md's experiment
-   index (E1..E12).  Each experiment prints the table/series EXPERIMENTS.md
+   index (E1..E17).  Each experiment prints the table/series EXPERIMENTS.md
    records.  Sizes are chosen so the full suite completes in a few
    minutes on a laptop. *)
 
@@ -639,7 +639,59 @@ let e12 () =
 (* ---------------------------------------------------------------- E13 *)
 
 let e13 () =
-  Bech.section "E13: access path selection (index scan vs full scan)";
+  Bech.section "E13: morsel-driven parallel scaling (TPC-H Q1/Q6 analogs)";
+  let db = Quill.Db.create () in
+  Printf.printf "(loading TPC-H-like data at SF 0.05 ...)\n%!";
+  Tpch.load (Quill.Db.catalog db) ~sf:0.05 ~seed:42;
+  List.iter (Quill.Db.analyze db) [ "lineitem"; "orders"; "customer"; "supplier" ];
+  let avail = Quill_parallel.Pool.hardware_parallelism () in
+  let time ~domains sql =
+    Quill.Db.set_parallelism db domains;
+    let t =
+      Bech.median_time (fun () -> Quill.Db.query db ~engine:Quill.Db.Compiled sql)
+    in
+    Quill.Db.set_parallelism db 1;
+    t
+  in
+  (* Scaling curve.  Domain counts beyond the machine's recommended count
+     still run (the morsel paths are exercised either way) but cannot
+     speed anything up — the recommended count is printed so a flat curve
+     on a small box reads as what it is. *)
+  let sweep = List.sort_uniq compare [ 1; 2; 4; min 8 avail ] in
+  List.iter
+    (fun (name, sql) ->
+      let base = time ~domains:1 sql in
+      let rows =
+        List.map
+          (fun d ->
+            let t = if d = 1 then base else time ~domains:d sql in
+            [ string_of_int d; Bech.ms t; Bech.speedup base t ])
+          sweep
+      in
+      Printf.printf "%s scaling:\n" name;
+      Bech.table ~header:[ "domains"; "ms"; "speedup" ] rows)
+    [ ("Q1", Tpch.q1); ("Q6", Tpch.q6) ];
+  (* Morsel-size sweep: too small and atomic dispatch dominates, too large
+     and skewed predicates strand workers on the last morsels. *)
+  let msweep_domains = max 2 avail in
+  let rows =
+    List.map
+      (fun msize ->
+        let t =
+          Quill_parallel.Morsel.with_size msize (fun () ->
+              time ~domains:msweep_domains Tpch.q6)
+        in
+        [ string_of_int msize; Bech.ms t ])
+      [ 1_024; 4_096; 16_384; 65_536 ]
+  in
+  Printf.printf "Q6 morsel-size sweep at %d domains:\n" msweep_domains;
+  Bech.table ~header:[ "morsel rows"; "ms" ] rows;
+  Printf.printf "(machine reports %d recommended domains)\n" avail
+
+(* ---------------------------------------------------------------- E17 *)
+
+let e17 () =
+  Bech.section "E17: access path selection (index scan vs full scan)";
   let rows_n = 1_000_000 in
   let db = Quill.Db.create () in
   Catalog.add (Quill.Db.catalog db)
@@ -712,7 +764,7 @@ let e15 () =
   Quill.Db.analyze db "big";
   let sql = "SELECT count(*), sum(c1), max(c2) FROM big WHERE c1 > 100000" in
   let run () = Quill.Db.query db ~engine:Quill.Db.Compiled sql in
-  let avail = Domain.recommended_domain_count () in
+  let avail = Quill_parallel.Pool.hardware_parallelism () in
   let base = ref 0.0 in
   let rows =
     List.filter_map
@@ -721,9 +773,9 @@ let e15 () =
            single-core machine (expect ~1x there). *)
         if d > max 2 avail then None
         else begin
-          Quill_compile.Codegen.parallel_domains := d;
+          Quill.Db.set_parallelism db d;
           let t = Bech.median_time run in
-          Quill_compile.Codegen.parallel_domains := 1;
+          Quill.Db.set_parallelism db 1;
           if d = 1 then base := t;
           Some
             [ string_of_int d; Bech.ms t; Printf.sprintf "%.2fx" (!base /. t) ]
@@ -790,4 +842,4 @@ let e16 () =
 let all =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
-    ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16) ]
+    ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17) ]

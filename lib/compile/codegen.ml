@@ -26,6 +26,8 @@ module Join_algos = Quill_exec.Join_algos
 module Agg_algos = Quill_exec.Agg_algos
 module Sort_algos = Quill_exec.Sort_algos
 module Topk = Quill_exec.Topk
+module Pool = Quill_parallel.Pool
+module Pdriver = Quill_parallel.Driver
 module IntSet = Set.Make (Int)
 
 exception Limit_reached
@@ -84,13 +86,12 @@ type agg_par = {
   finish : acc -> Value.t;
 }
 
-(** Number of domains the fused scan->aggregate loop may use.  Defaults to
-    1 (sequential).  Parallel float aggregation reorders additions, so
-    results can differ in the last bits from the sequential plan; opt in
-    per session (see experiment E15). *)
-let parallel_domains = ref 1
-
-let parallel_threshold = 65_536
+(* Parallelism comes from the shared morsel-driven pool ({!Quill_parallel}):
+   the session goal is [Pool.parallelism ()] (set via [Db.set_parallelism]
+   or QUILL_DOMAINS) and defaults to 1, because parallel float aggregation
+   reorders additions and can differ in the last bits from the sequential
+   plan (see experiments E13/E15).  The drivers degrade to the serial loop
+   for small inputs and nested parallel regions. *)
 
 let fuse_scan_agg sctx ~table ~filter ~(aggs : (Lplan.agg * string) list) () :
     (Value.t array -> unit) -> (unit -> unit) option =
@@ -243,30 +244,71 @@ let fuse_scan_agg sctx ~table ~filter ~(aggs : (Lplan.agg * string) list) () :
         in
         Some
           (fun () ->
-            let accs = Array.init nsteps (fun _ -> new_acc ()) in
-            let domains = !parallel_domains in
-            if domains > 1 && n >= parallel_threshold then begin
-              (* Partition the row range; each domain aggregates its chunk
-                 into private accumulators (all shared state is read-only),
-                 then partials merge in order. *)
-              let nd = min domains (max 1 (n / parallel_threshold)) in
-              let chunk = (n + nd - 1) / nd in
-              let workers =
-                List.init nd (fun d ->
-                    Domain.spawn (fun () ->
-                        let local = Array.init nsteps (fun _ -> new_acc ()) in
-                        run_range local (d * chunk) (min n ((d + 1) * chunk));
-                        local))
-              in
-              List.iter
-                (fun w ->
-                  let local = Domain.join w in
-                  Array.iteri (fun j acc -> steps.(j).merge accs.(j) acc) local)
-                workers
-            end
-            else run_range accs 0 n;
+            (* Each pool worker aggregates the morsels it wins into private
+               accumulators (all shared state is read-only); partials merge
+               in worker order at the end. *)
+            let accs =
+              Pdriver.fold ~workers:(Pool.parallelism ()) ~n
+                ~init:(fun () -> Array.init nsteps (fun _ -> new_acc ()))
+                ~range:run_range
+                ~merge:(fun dst src ->
+                  Array.iteri (fun j acc -> steps.(j).merge dst.(j) acc) src)
+            in
             consume (Array.mapi (fun j acc -> steps.(j).finish acc) accs))
       end
+
+(* [stage_col_scan_ranges sctx ~table ~filter ~arity ~needed] stages a
+   columnar scan as a range-runnable producer: the returned thunk is
+   invoked once per execution (parameters in hand) and yields
+   [(n, run)] where [run lo hi consume] streams the qualifying rows of
+   [\[lo, hi)] in ascending row order.  [run] touches only read-only
+   shared state, so disjoint ranges may execute on different domains —
+   this is the morsel substrate for parallel scan/filter, parallel
+   grouped aggregation and the parallel hash-join probe. *)
+let stage_col_scan_ranges sctx ~table ~filter ~arity ~needed =
+  let needed =
+    IntSet.union needed
+      (match filter with None -> IntSet.empty | Some f -> cols_of_expr f)
+  in
+  let needed_list = IntSet.elements (IntSet.filter (fun c -> c < arity) needed) in
+  let row_pred = Option.map (compile_pred sctx) filter in
+  let t = Catalog.find_exn sctx.catalog table in
+  fun () ->
+    let cols = Table.columnar t in
+    let n = Table.row_count t in
+    (* Per-execution predicate specialization: parameters are known now,
+       so constant-vs-column shapes compile to unboxed tests. *)
+    let fast_pred =
+      if !enable_col_pred then
+        Option.bind filter (fun f -> Col_pred.compile cols !(sctx.params) f)
+      else None
+    in
+    let fetchers =
+      List.map (fun c -> fun (row : Value.t array) i -> row.(c) <- Column.get cols.(c) i)
+        needed_list
+    in
+    let build_row i =
+      let row = Array.make arity Value.Null in
+      List.iter (fun f -> f row i) fetchers;
+      row
+    in
+    let run lo hi (consume : consume) =
+      match (fast_pred, row_pred) with
+      | Some p, _ ->
+          for i = lo to hi - 1 do
+            if p i then consume (build_row i)
+          done
+      | None, Some p ->
+          for i = lo to hi - 1 do
+            let row = build_row i in
+            if p row then consume row
+          done
+      | None, None ->
+          for i = lo to hi - 1 do
+            consume (build_row i)
+          done
+    in
+    (n, run)
 
 (* [produce sctx plan ~needed consume] stages the subtree rooted at [plan];
    the returned thunk streams every output row into [consume]. [needed]
@@ -297,41 +339,10 @@ let rec produce sctx (plan : Physical.t) ~needed (consume : consume) : unit -> u
                   if p row then consume (Array.copy row)
                 done)
       | Physical.Col_layout ->
-          let needed_list = IntSet.elements (IntSet.filter (fun c -> c < arity) needed) in
-          let row_pred = Option.map (compile_pred sctx) filter in
+          let staged = stage_col_scan_ranges sctx ~table ~filter ~arity ~needed in
           fun () ->
-            let cols = Table.columnar t in
-            let n = Table.row_count t in
-            (* Per-execution predicate specialization: parameters are known
-               now, so constant-vs-column shapes compile to unboxed tests. *)
-            let fast_pred =
-              if !enable_col_pred then
-                Option.bind filter (fun f -> Col_pred.compile cols !(sctx.params) f)
-              else None
-            in
-            let fetchers =
-              List.map (fun c -> fun (row : Value.t array) i -> row.(c) <- Column.get cols.(c) i)
-                needed_list
-            in
-            let build_row i =
-              let row = Array.make arity Value.Null in
-              List.iter (fun f -> f row i) fetchers;
-              row
-            in
-            (match (fast_pred, row_pred) with
-            | Some p, _ ->
-                for i = 0 to n - 1 do
-                  if p i then consume (build_row i)
-                done
-            | None, Some p ->
-                for i = 0 to n - 1 do
-                  let row = build_row i in
-                  if p row then consume row
-                done
-            | None, None ->
-                for i = 0 to n - 1 do
-                  consume (build_row i)
-                done))
+            let n, run = staged () in
+            run 0 n consume)
   | Physical.Index_scan { table; col; col_name; lo; hi; residual; _ } ->
       let t = Catalog.find_exn sctx.catalog table in
       let residual_p = Option.map (compile_pred sctx) residual in
@@ -410,17 +421,19 @@ let rec produce sctx (plan : Physical.t) ~needed (consume : consume) : unit -> u
              the probe side is the preserved side and padding can happen
              inline while the pipeline stays fused. *)
           let padding = Array.make right_arity Value.Null in
-          let emitted = ref false in
-          let emit l r =
-            let row = Join_algos.concat_rows l r in
-            match residual_p with
-            | Some p when not (p row) -> ()
-            | _ ->
-                emitted := true;
-                consume row
-          in
-          let probe_consume (prow : Value.t array) =
-            emitted := false;
+          (* [probe_row] only reads the build table and emits via its
+             argument, so probe work over disjoint row ranges can run on
+             different domains (Hashtbl reads don't mutate). *)
+          let probe_row ~(on_emit : consume) (prow : Value.t array) =
+            let emitted = ref false in
+            let emit l r =
+              let row = Join_algos.concat_rows l r in
+              match residual_p with
+              | Some p when not (p row) -> ()
+              | _ ->
+                  emitted := true;
+                  on_emit row
+            in
             (match Join_algos.key_of pkeys prow with
             | None -> ()
             | Some k -> (
@@ -433,11 +446,41 @@ let rec produce sctx (plan : Physical.t) ~needed (consume : consume) : unit -> u
                           if build_left then emit brow prow else emit prow brow)
                       !bucket));
             if mode = Join_algos.Left_outer && not !emitted then
-              consume (Join_algos.concat_rows prow padding)
+              on_emit (Join_algos.concat_rows prow padding)
+          in
+          let probe_plan = if build_left then right else left in
+          let probe_needed = if build_left then needed_r else needed_l in
+          (* Morsel-parallel probe when the probe side is a bare columnar
+             scan: serial build, workers probe the shared read-only table
+             over scan morsels, output re-assembled in row order and
+             replayed into the (serial) downstream consumer. *)
+          let par_probe =
+            match probe_plan with
+            | Physical.Scan { table = ptable; layout = Physical.Col_layout; filter; schema; _ }
+              ->
+                Some
+                  (stage_col_scan_ranges sctx ~table:ptable ~filter
+                     ~arity:(Schema.arity schema) ~needed:probe_needed)
+            | _ -> None
           in
           let probe_thunk =
-            if build_left then produce sctx right ~needed:needed_r probe_consume
-            else produce sctx left ~needed:needed_l probe_consume
+            match par_probe with
+            | Some staged ->
+                fun () ->
+                  let n, run = staged () in
+                  let workers = Pool.parallelism () in
+                  if Pdriver.serial ~workers n then
+                    (* Stay streaming: no point materializing the output
+                       just to replay it. *)
+                    run 0 n (probe_row ~on_emit:consume)
+                  else begin
+                    let rows =
+                      Pdriver.collect ~workers ~n ~dummy:[||] (fun ~lo ~hi ~emit ->
+                          run lo hi (probe_row ~on_emit:emit))
+                    in
+                    Array.iter consume rows
+                  end
+            | None -> produce sctx probe_plan ~needed:probe_needed (probe_row ~on_emit:consume)
           in
           fun () ->
             Hashtbl.reset table;
@@ -504,9 +547,7 @@ let rec produce sctx (plan : Physical.t) ~needed (consume : consume) : unit -> u
       | Physical.Hash_agg ->
           (* Streaming upsert into the group table: the input pipeline is
              fused with aggregation. *)
-          let groups : (Value.t list, Agg_algos.state list) Hashtbl.t = Hashtbl.create 64 in
-          let order = Vec.create ~dummy:[] in
-          let feed_consume row =
+          let feed_into groups order row =
             let k = List.map (fun f -> f row) key_fns in
             let states =
               match Hashtbl.find_opt groups k with
@@ -519,11 +560,8 @@ let rec produce sctx (plan : Physical.t) ~needed (consume : consume) : unit -> u
             in
             List.iter2 (fun spec st -> Agg_algos.feed spec st row) specs states
           in
-          let child = produce sctx input ~needed:needed_in feed_consume in
-          fun () ->
-            Hashtbl.reset groups;
-            Vec.clear order;
-            child ();
+          let emit_result (groups : (Value.t list, Agg_algos.state list) Hashtbl.t)
+              order =
             if key_fns = [] && Vec.length order = 0 then
               consume
                 (Agg_algos.output_row [] (List.map Agg_algos.new_state specs) specs)
@@ -531,6 +569,47 @@ let rec produce sctx (plan : Physical.t) ~needed (consume : consume) : unit -> u
               Vec.iter
                 (fun k -> consume (Agg_algos.output_row k (Hashtbl.find groups k) specs))
                 order
+          in
+          (* Morsel-parallel grouped aggregation when the input is a bare
+             columnar scan and no aggregate is DISTINCT: each worker
+             upserts the morsels it wins into a private hash table, then
+             partials merge group-wise ([Agg_algos.merge_state]).  Group
+             emission order is first-seen order of the merged table, which
+             under parallelism depends on morsel scheduling — unordered,
+             as SQL grouping output is. *)
+          let par_input =
+            match input with
+            | Physical.Scan { table; layout = Physical.Col_layout; filter; schema; _ }
+              when List.for_all (fun (s : Agg_algos.spec) -> not s.distinct) specs ->
+                Some
+                  (stage_col_scan_ranges sctx ~table ~filter
+                     ~arity:(Schema.arity schema) ~needed:needed_in)
+            | _ -> None
+          in
+          (match par_input with
+          | Some staged ->
+              fun () ->
+                let n, run = staged () in
+                let groups, order =
+                  Pdriver.fold ~workers:(Pool.parallelism ()) ~n
+                    ~init:(fun () ->
+                      ( (Hashtbl.create 64 : (Value.t list, Agg_algos.state list) Hashtbl.t),
+                        Vec.create ~dummy:([] : Value.t list) ))
+                    ~range:(fun (g, o) lo hi -> run lo hi (feed_into g o))
+                    ~merge:(Agg_algos.merge_group_tables ~specs)
+                in
+                emit_result groups order
+          | None ->
+              let groups : (Value.t list, Agg_algos.state list) Hashtbl.t =
+                Hashtbl.create 64
+              in
+              let order = Vec.create ~dummy:[] in
+              let child = produce sctx input ~needed:needed_in (feed_into groups order) in
+              fun () ->
+                Hashtbl.reset groups;
+                Vec.clear order;
+                child ();
+                emit_result groups order)
       | Physical.Sort_agg ->
           let buf = Vec.create ~dummy:[||] in
           let child = produce sctx input ~needed:needed_in (Vec.push buf) in

@@ -64,7 +64,11 @@ let create () =
     cache = Plan_cache.create ();
     engine = Compiled;
     policy = Tiering.Tiered Tiering.default_hot_threshold;
-    options = Picker.default_options;
+    (* Cost the plans for whatever parallelism the session starts with
+       (1 unless QUILL_DOMAINS pins it). *)
+    options =
+      { Picker.default_options with
+        Picker.parallelism = Quill_parallel.Pool.parallelism () };
   }
 
 (** [catalog db] exposes the catalog (e.g. for bulk loading). *)
@@ -78,6 +82,22 @@ let set_policy db p = db.policy <- p
 
 (** [set_options db o] overrides the algorithm picker's options. *)
 let set_options db o = db.options <- o
+
+(** [set_parallelism db n] sets the session's parallel-execution goal:
+    the shared worker pool targets [n] domains (clamped to a sane range)
+    and the picker costs plans for [n]-way morsel parallelism.  The pool
+    is process-wide, so the last setter wins across sessions. *)
+let set_parallelism db n =
+  Quill_parallel.Pool.set_parallelism n;
+  db.options <-
+    { db.options with Picker.parallelism = Quill_parallel.Pool.parallelism () }
+
+(** [close db] releases session resources: joins the shared pool's worker
+    domains (they re-spawn lazily if another session runs a parallel
+    query).  The in-memory catalog needs no teardown. *)
+let close db =
+  ignore db;
+  Quill_parallel.Pool.shutdown ()
 
 (** [register_udf db ~name ~args ~ret f] registers a scalar UDF usable in
     any SQL expression; it participates in compilation and fusion like a

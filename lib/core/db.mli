@@ -51,6 +51,23 @@ val set_policy : t -> Quill_adaptive.Tiering.policy -> unit
     reordering or index paths) — used by benchmarks and ablations. *)
 val set_options : t -> Quill_optimizer.Picker.options -> unit
 
+(** [set_parallelism db n] sets the session's parallel-execution goal.
+    Morsel-parallel operators (columnar scan/filter, hash aggregation,
+    hash-join probe, the fused scan->aggregate loop) use up to [n] domains
+    from the shared worker pool, and the picker divides parallelizable CPU
+    cost terms by [n].  [n] is clamped to [1, 256]; 1 (the default)
+    restores fully serial, bit-deterministic execution.  Note that
+    parallel aggregation reorders float additions, so SUM/AVG over floats
+    may differ in the last bits from serial runs.  The initial goal is 1
+    unless the QUILL_DOMAINS environment variable pins it; the worker pool
+    itself is process-wide and shared by all sessions. *)
+val set_parallelism : t -> int -> unit
+
+(** [close db] releases session resources: joins the shared worker pool's
+    domains (a later parallel query, from any session, re-spawns them
+    lazily).  Safe to call repeatedly. *)
+val close : t -> unit
+
 (** [register_udf db ~name ~args ~ret f] registers a scalar function
     usable in any SQL expression.  It participates in binding,
     optimization, compilation and fusion exactly like a built-in.

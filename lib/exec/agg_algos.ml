@@ -69,6 +69,30 @@ let feed spec st (row : Value.t array) =
         end
       end)
 
+(** [merge_state spec dst src] folds the partial aggregate [src] into
+    [dst] — the combine step of parallel aggregation, where each worker
+    feeds a private state and partials merge at the end.  Merging is only
+    defined for non-DISTINCT aggregates: a DISTINCT state's dedup table is
+    scoped to the rows one worker saw, so merged counts would double-count
+    values seen by several workers. *)
+let merge_state spec dst src =
+  if spec.distinct || dst.seen <> None || src.seen <> None then
+    invalid_arg "Agg_algos.merge_state: DISTINCT states cannot be merged";
+  dst.count <- dst.count + src.count;
+  dst.sum_i <- dst.sum_i + src.sum_i;
+  dst.sum_f <- dst.sum_f +. src.sum_f;
+  dst.saw_float <- dst.saw_float || src.saw_float;
+  dst.non_null <- dst.non_null + src.non_null;
+  (* min/max: Null means "no non-null input yet" on either side. *)
+  if
+    (not (Value.is_null src.min_v))
+    && (Value.is_null dst.min_v || Value.compare src.min_v dst.min_v < 0)
+  then dst.min_v <- src.min_v;
+  if
+    (not (Value.is_null src.max_v))
+    && (Value.is_null dst.max_v || Value.compare src.max_v dst.max_v > 0)
+  then dst.max_v <- src.max_v
+
 let finish spec st =
   match spec.kind with
   | Lplan.Count -> Value.Int st.non_null
@@ -89,26 +113,22 @@ let output_row keys_vals states specs =
   Array.append (Array.of_list keys_vals)
     (Array.of_list (List.map2 finish specs states))
 
-(** [hash_agg ~keys ~specs rows] groups by hashing the evaluated key
-    values. [keys] evaluate a row to one grouping value each.  With no
-    keys, always emits exactly one (global) row. *)
-let hash_agg ~(keys : (Value.t array -> Value.t) list) ~specs (rows : input) =
-  let groups : (Value.t list, state list) Hashtbl.t = Hashtbl.create 64 in
-  let order = Vec.create ~dummy:[] in
-  Array.iter
-    (fun row ->
-      let k = List.map (fun f -> f row) keys in
-      let states =
-        match Hashtbl.find_opt groups k with
-        | Some s -> s
-        | None ->
-            let s = List.map new_state specs in
-            Hashtbl.add groups k s;
-            Vec.push order k;
-            s
-      in
-      List.iter2 (fun spec st -> feed spec st row) specs states)
-    rows;
+(* One upsert into a group table: find-or-create the key's states and feed
+   the row.  [order] records first-seen key order for emission. *)
+let upsert ~keys ~specs (groups : (Value.t list, state list) Hashtbl.t) order row =
+  let k = List.map (fun f -> f row) keys in
+  let states =
+    match Hashtbl.find_opt groups k with
+    | Some s -> s
+    | None ->
+        let s = List.map new_state specs in
+        Hashtbl.add groups k s;
+        Vec.push order k;
+        s
+  in
+  List.iter2 (fun spec st -> feed spec st row) specs states
+
+let emit_groups ~keys ~specs (groups : (Value.t list, state list) Hashtbl.t) order =
   let out = Vec.create ~dummy:[||] in
   if keys = [] && Vec.length order = 0 then
     Vec.push out (output_row [] (List.map new_state specs) specs)
@@ -117,6 +137,60 @@ let hash_agg ~(keys : (Value.t array -> Value.t) list) ~specs (rows : input) =
       (fun k -> Vec.push out (output_row k (Hashtbl.find groups k) specs))
       order;
   out
+
+(** [hash_agg ~keys ~specs rows] groups by hashing the evaluated key
+    values. [keys] evaluate a row to one grouping value each.  With no
+    keys, always emits exactly one (global) row. *)
+let hash_agg ~(keys : (Value.t array -> Value.t) list) ~specs (rows : input) =
+  let groups : (Value.t list, state list) Hashtbl.t = Hashtbl.create 64 in
+  let order = Vec.create ~dummy:[] in
+  Array.iter (upsert ~keys ~specs groups order) rows;
+  emit_groups ~keys ~specs groups order
+
+(** [merge_group_tables ~specs (g, o) (g2, o2)] folds the partial group
+    table [(g2, o2)] into [(g, o)]: shared keys merge state-wise with
+    {!merge_state}, unseen keys move over and append to [o]'s first-seen
+    order.  The combine step of parallel grouped aggregation. *)
+let merge_group_tables ~specs
+    (((g, o) : (Value.t list, state list) Hashtbl.t * Value.t list Vec.t)) (g2, o2) =
+  Vec.iter
+    (fun k ->
+      let s2 = Hashtbl.find g2 k in
+      match Hashtbl.find_opt g k with
+      | Some s ->
+          List.iter2
+            (fun (spec, st) st2 -> merge_state spec st st2)
+            (List.combine specs s) s2
+      | None ->
+          Hashtbl.add g k s2;
+          Vec.push o k)
+    o2
+
+(** [par_hash_agg ~workers ~keys ~specs rows] is {!hash_agg} with the feed
+    loop morsel-parallelized: each worker upserts the row morsels it wins
+    into a private table; partials merge group-wise with {!merge_state}.
+    Key and argument closures must be pure (they run on pool domains).
+    DISTINCT states cannot be merged, so those fall back to the serial
+    path — as does everything else when [workers] is 1.  Group emission
+    order is first-seen order of the merged table, which under parallelism
+    depends on morsel scheduling: unordered, as SQL grouping output is. *)
+let par_hash_agg ~workers ~(keys : (Value.t array -> Value.t) list) ~specs
+    (rows : input) =
+  if List.exists (fun s -> s.distinct) specs then hash_agg ~keys ~specs rows
+  else begin
+    let groups, order =
+      Quill_parallel.Driver.fold ~workers ~n:(Array.length rows)
+        ~init:(fun () ->
+          ( (Hashtbl.create 64 : (Value.t list, state list) Hashtbl.t),
+            Vec.create ~dummy:([] : Value.t list) ))
+        ~range:(fun (g, o) lo hi ->
+          for i = lo to hi - 1 do
+            upsert ~keys ~specs g o rows.(i)
+          done)
+        ~merge:(merge_group_tables ~specs)
+    in
+    emit_groups ~keys ~specs groups order
+  end
 
 (** [sort_agg ~keys ~specs rows] sorts rows by their key values and folds
     consecutive runs; produces groups in key order. *)

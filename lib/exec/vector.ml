@@ -18,6 +18,8 @@ module Vec = Quill_util.Vec
 module Bexpr = Quill_plan.Bexpr
 module Lplan = Quill_plan.Lplan
 module Physical = Quill_optimizer.Physical
+module Pool = Quill_parallel.Pool
+module Pdriver = Quill_parallel.Driver
 module IntSet = Set.Make (Int)
 
 let batch_size = 1024
@@ -240,32 +242,70 @@ let rec build ctx counter plan ~needed : biter =
           | None -> needed
           | Some f -> IntSet.union needed (cols_of_expr f)
         in
-        let pos = ref 0 in
-        let rec next_batch () =
-          if !pos >= n then None
-          else begin
-            let take = min batch_size (n - !pos) in
-            let base = !pos in
-            pos := !pos + take;
-            let b =
-              { cols =
-                  Array.mapi
-                    (fun ci c ->
-                      if IntSet.mem ci needed then
-                        Array.init take (fun i -> Column.get c (base + i))
-                      else [||])
-                    cols;
-                len = take }
-            in
-            match filter with
-            | None -> Some b
-            | Some f ->
-                let sel = eval_pred_vec ctx b f in
-                if Quill_util.Int_vec.length sel = 0 then next_batch ()
-                else Some (compact b sel)
-          end
+        let fetch base take =
+          { cols =
+              Array.mapi
+                (fun ci c ->
+                  if IntSet.mem ci needed then
+                    Array.init take (fun i -> Column.get c (base + i))
+                  else [||])
+                cols;
+            len = take }
         in
-        { next_batch; close = ignore }
+        let filter_batch b =
+          match filter with
+          | None -> Some b
+          | Some f ->
+              let sel = eval_pred_vec ctx b f in
+              if Quill_util.Int_vec.length sel = 0 then None else Some (compact b sel)
+        in
+        let workers = Pool.parallelism () in
+        if not (Pdriver.serial ~workers n) then begin
+          (* Morsel-parallel scan+filter: workers unpack and filter the
+             morsels they win (predicate evaluation reads only columns,
+             params and pre-materialized subquery cells); the filtered
+             batches are re-assembled in row order, so downstream operators
+             see the same stream a serial scan produces. *)
+          let batches =
+            Pdriver.collect ~workers ~n ~dummy:{ cols = [||]; len = 0 }
+              (fun ~lo ~hi ~emit ->
+                let p = ref lo in
+                while !p < hi do
+                  let take = min batch_size (hi - !p) in
+                  (match filter_batch (fetch !p take) with
+                  | Some b -> emit b
+                  | None -> ());
+                  p := !p + take
+                done)
+          in
+          let pos = ref 0 in
+          {
+            next_batch =
+              (fun () ->
+                if !pos >= Array.length batches then None
+                else begin
+                  let b = batches.(!pos) in
+                  incr pos;
+                  Some b
+                end);
+            close = ignore;
+          }
+        end
+        else begin
+          let pos = ref 0 in
+          let rec next_batch () =
+            if !pos >= n then None
+            else begin
+              let take = min batch_size (n - !pos) in
+              let base = !pos in
+              pos := !pos + take;
+              match filter_batch (fetch base take) with
+              | Some b -> Some b
+              | None -> next_batch ()
+            end
+          in
+          { next_batch; close = ignore }
+        end
     | Physical.Index_scan { table; col; col_name; lo; hi; residual; _ } ->
         let t = Catalog.find_exn ctx.catalog table in
         let lo = Index_access.eval_bound ~params:ctx.params lo in
@@ -364,7 +404,11 @@ let rec build ctx counter plan ~needed : biter =
         in
         let out =
           match algo with
-          | Physical.Hash_agg -> Agg_algos.hash_agg ~keys:key_fns ~specs rows
+          | Physical.Hash_agg ->
+              (* Parallel feed over the drained rows; degrades to the
+                 serial hash_agg for DISTINCT and parallelism 1. *)
+              Agg_algos.par_hash_agg ~workers:(Pool.parallelism ()) ~keys:key_fns
+                ~specs rows
           | Physical.Sort_agg -> Agg_algos.sort_agg ~keys:key_fns ~specs rows
         in
         of_rows (ncols plan) (Vec.to_array out)

@@ -25,17 +25,28 @@ let row_value_cpu = 1.0
 
 let log2 x = if x <= 2.0 then 1.0 else Float.log x /. Float.log 2.0
 
+(* Morsel-parallel operators divide their CPU term by the expected worker
+   count ([workers], the session parallelism goal; 1 = serial).  The
+   data-movement terms are deliberately NOT divided: domains share the
+   memory bus, so bandwidth-bound work gains little from more workers —
+   which is exactly the trade-off that makes the picker prefer
+   compute-heavy parallel plans over movement-heavy ones. *)
+let par ~workers cpu = cpu /. Float.max 1.0 (Float.of_int workers)
+
 (** [scan_row ~rows ~row_width] full scan of a row store. *)
 let scan_row ~rows ~row_width =
   (rows *. cpu_tuple *. row_value_cpu) +. (rows *. row_width *. seq_byte)
 
 (** [scan_col ~rows ~read_width] columnar scan touching only [read_width]
-    bytes per row. *)
-let scan_col ~rows ~read_width =
-  (rows *. cpu_tuple *. col_value_cpu) +. (rows *. read_width *. seq_byte)
+    bytes per row; the engines scan columnar layouts morsel-parallel, so
+    the CPU term divides by [workers]. *)
+let scan_col ?(workers = 1) ~rows ~read_width () =
+  par ~workers (rows *. cpu_tuple *. col_value_cpu) +. (rows *. read_width *. seq_byte)
 
-(** [filter ~rows ~terms] predicate evaluation over [rows]. *)
-let filter ~rows ~terms = rows *. cpu_expr_term *. Float.max 1.0 (Float.of_int terms)
+(** [filter ~rows ~terms] predicate evaluation over [rows]; runs inside
+    parallel scan pipelines, so it divides by [workers]. *)
+let filter ?(workers = 1) ~rows ~terms () =
+  par ~workers (rows *. cpu_expr_term *. Float.max 1.0 (Float.of_int terms))
 
 (** [project ~rows ~exprs] projection compute cost. *)
 let project ~rows ~exprs = rows *. cpu_expr_term *. Float.max 1.0 (Float.of_int exprs)
@@ -46,15 +57,17 @@ let cache_bytes = 4.0e6
 
 (** [hash_join ~build ~probe ~out ~build_width] classic build+probe; the
     random-access penalty on probes scales with how far the hash table
-    spills out of cache. *)
-let hash_join ~build ~probe ~out ~build_width =
+    spills out of cache.  The probe phase reads a shared build table and
+    runs morsel-parallel, so its CPU term divides by [workers]; the build
+    phase is serial. *)
+let hash_join ?(workers = 1) ~build ~probe ~out ~build_width () =
   (* Hash-table entries carry fixed overhead (buckets, boxed keys) on top
      of the payload. *)
   let entry_bytes = build_width +. 64.0 in
   let spill = Float.min 1.0 (build *. entry_bytes /. cache_bytes) in
   (build *. (cpu_hash +. cpu_tuple))
   +. (build *. build_width *. seq_byte)
-  +. (probe *. (cpu_hash +. cpu_compare))
+  +. par ~workers (probe *. (cpu_hash +. cpu_compare))
   (* Probes hit the hash table randomly, but only hurt once it exceeds
      the cache. *)
   +. (probe *. entry_bytes *. rand_byte *. spill)
@@ -92,19 +105,27 @@ let block_nl_join ~outer ~inner ~out ~inner_width =
   +. (out *. cpu_tuple)
 
 (** [hash_agg ~rows ~groups ~key_width] hash aggregation; random access to
-    group state only hurts once the group table exceeds the cache. *)
-let hash_agg ~rows ~groups ~key_width =
+    group state only hurts once the group table exceeds the cache.  The
+    feed loop runs morsel-parallel into per-worker partial tables, so its
+    CPU term divides by [workers]; the merge adds one pass over each
+    worker's groups. *)
+let hash_agg ?(workers = 1) ~rows ~groups ~key_width () =
   let spill = Float.min 1.0 (groups *. (key_width +. 32.0) /. cache_bytes) in
-  (rows *. (cpu_hash +. cpu_tuple))
+  let merge =
+    if workers <= 1 then 0.0
+    else Float.of_int (workers - 1) *. groups *. cpu_tuple
+  in
+  par ~workers (rows *. (cpu_hash +. cpu_tuple))
   +. (rows *. (key_width +. 32.0) *. rand_byte *. spill)
   +. (groups *. cpu_tuple)
+  +. merge
 
 (** [sort_agg ~rows ~width ~sorted] aggregation over sorted runs. *)
 let sort_agg ~rows ~width ~sorted =
   (if sorted then 0.0 else sort ~rows ~width) +. (rows *. cpu_tuple)
 
 (** [distinct ~rows ~width] hash-based duplicate elimination. *)
-let distinct ~rows ~width = hash_agg ~rows ~groups:rows ~key_width:width
+let distinct ~rows ~width = hash_agg ~rows ~groups:rows ~key_width:width ()
 
 (** [top_k ~rows ~k] heap-based top-k: one pass with log k maintenance. *)
 let top_k ~rows ~k = rows *. cpu_compare *. log2 (Float.max 2.0 k)
@@ -121,7 +142,7 @@ let compiled_speedup = 4.0
 (** [index_scan ~total ~matches ~row_width] B-tree-style range scan:
     logarithmic descent plus one random row fetch per match.  Fetches are
     charged heavily: a random row materialization costs roughly 25x a
-    sequentially scanned value (calibrated against E13 measurements). *)
+    sequentially scanned value (calibrated against E17 measurements). *)
 let index_scan ~total ~matches ~row_width =
   (log2 (Float.max 2.0 total) *. cpu_compare)
   +. (matches *. ((12.0 *. cpu_tuple) +. (row_width *. rand_byte *. 8.0)))

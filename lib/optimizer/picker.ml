@@ -20,6 +20,11 @@ type options = {
   enable_topk : bool;
   enable_reorder : bool;
   enable_index : bool;  (** consider index scans as access paths *)
+  parallelism : int;
+      (** expected worker count for morsel-parallel operators (columnar
+          scan, filter, hash-agg feed, hash-join probe): their CPU cost
+          terms divide by this, so under parallelism the picker leans
+          toward parallel-friendly plans.  1 = serial costing. *)
 }
 
 let default_options =
@@ -30,6 +35,7 @@ let default_options =
     enable_topk = true;
     enable_reorder = true;
     enable_index = true;
+    parallelism = 1;
   }
 
 let width_of (card : Card.t) set =
@@ -122,7 +128,7 @@ let try_index_scan env ~full_scan_cost ~out_rows ~table ~schema pred =
         let residual_conjs = residual @ List.rev !extra in
         let cost =
           Cost.index_scan ~total ~matches ~row_width:width
-          +. Cost.filter ~rows:matches ~terms:(List.length residual_conjs)
+          +. Cost.filter ~rows:matches ~terms:(List.length residual_conjs) ()
         in
         Some (col, !lo, !hi, Bexpr.conjoin residual_conjs, matches, cost)
       end
@@ -157,7 +163,7 @@ let rec convert env opts plan ~needed : Physical.t =
         if IntSet.is_empty needed then 8.0 else width_of card needed
       in
       let cost_row = Cost.scan_row ~rows ~row_width:(full_width card) in
-      let cost_col = Cost.scan_col ~rows ~read_width in
+      let cost_col = Cost.scan_col ~workers:opts.parallelism ~rows ~read_width () in
       let layout =
         match opts.force_layout with
         | Some l -> l
@@ -172,7 +178,8 @@ let rec convert env opts plan ~needed : Physical.t =
       let child = Physical.info_of pin in
       let est_cost =
         child.Physical.est_cost
-        +. Cost.filter ~rows:child.Physical.est_rows ~terms:(terms pred)
+        +. Cost.filter ~workers:opts.parallelism ~rows:child.Physical.est_rows
+             ~terms:(terms pred) ()
       in
       let info = { Physical.est_rows = card.Card.rows; est_cost } in
       (* Fuse the predicate into a bare scan, or switch the access path to
@@ -239,8 +246,12 @@ let rec convert env opts plan ~needed : Physical.t =
       let build_left = if kind = Lplan.Left_outer then false else lrows <= rrows in
       let hash_cost =
         if pairs = [] then Float.infinity
-        else if build_left then Cost.hash_join ~build:lrows ~probe:rrows ~out ~build_width:lw
-        else Cost.hash_join ~build:rrows ~probe:lrows ~out ~build_width:rw
+        else if build_left then
+          Cost.hash_join ~workers:opts.parallelism ~build:lrows ~probe:rrows ~out
+            ~build_width:lw ()
+        else
+          Cost.hash_join ~workers:opts.parallelism ~build:rrows ~probe:lrows ~out
+            ~build_width:rw ()
       in
       let merge_cost =
         if pairs = [] then Float.infinity
@@ -310,7 +321,7 @@ let rec convert env opts plan ~needed : Physical.t =
       let rows = child.Physical.est_rows in
       let groups = card.Card.rows in
       let key_width = 8.0 *. Float.of_int (List.length keys) in
-      let hash_cost = Cost.hash_agg ~rows ~groups ~key_width in
+      let hash_cost = Cost.hash_agg ~workers:opts.parallelism ~rows ~groups ~key_width () in
       let sort_cost = Cost.sort_agg ~rows ~width:(full_width in_card) ~sorted:false in
       let algo, self_cost =
         match opts.force_agg with

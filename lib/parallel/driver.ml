@@ -1,0 +1,98 @@
+(* Generic parallel operator drivers.
+
+   The three shapes every parallel relational operator reduces to:
+
+   - {!for_range}: side-effect-free-per-index work (scatter into
+     preallocated, disjoint output slots);
+   - {!fold}: per-worker partial state fed by morsels and merged at the
+     end — parallel aggregation (partial hash tables / accumulators);
+   - {!collect}: per-morsel row emission re-assembled in row order —
+     parallel scan/filter and parallel hash-join probe, where the serial
+     engines' output order must be reproduced exactly.
+
+   All drivers take a [workers] goal and degrade to the serial loop when
+   it is 1, the input is smaller than one morsel, or the caller is itself
+   a pool worker (nested parallelism).  The driver layer is engine
+   agnostic: it knows row indices and closures, never plans or values. *)
+
+module Vec = Quill_util.Vec
+
+let serial ~workers n =
+  workers <= 1 || Pool.in_parallel_region () || n <= !Morsel.size
+
+(** [for_range ~workers ~n f] runs [f i] for every [i] in [0, n),
+    morsel-parallel.  [f] must only touch state owned by index [i]. *)
+let for_range ~workers ~n (f : int -> unit) =
+  if serial ~workers n then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else
+    Morsel.iter ~workers ~n (fun ~worker:_ ~lo ~hi ->
+        for i = lo to hi - 1 do
+          f i
+        done)
+
+(** [fold ~workers ~n ~init ~range ~merge] gives each worker a private
+    state from [init ()], feeds it every morsel the worker wins via
+    [range state lo hi], then folds the partials left-to-right in worker
+    order with [merge dst src] and returns worker 0's state.  With no
+    parallelism this is exactly [let s = init () in range s 0 n; s] — the
+    serial path allocates a single state and never merges, so empty
+    inputs and merge-identity bugs cannot hide behind it. *)
+let fold ~workers ~n ~(init : unit -> 's) ~(range : 's -> int -> int -> unit)
+    ~(merge : 's -> 's -> unit) : 's =
+  if serial ~workers n then begin
+    let st = init () in
+    range st 0 n;
+    st
+  end
+  else begin
+    let nw = Morsel.effective_workers ~workers n in
+    let states = Array.init nw (fun _ -> init ()) in
+    Morsel.iter ~workers:nw ~n (fun ~worker ~lo ~hi -> range states.(worker) lo hi);
+    let acc = states.(0) in
+    for w = 1 to nw - 1 do
+      merge acc states.(w)
+    done;
+    acc
+  end
+
+(** [collect ~workers ~n ~dummy range] runs [range ~lo ~hi ~emit] for
+    every morsel and returns all emitted values concatenated in morsel
+    (= row) order, regardless of which worker produced which morsel — so
+    the result is exactly what the serial sweep would emit.  This is the
+    substrate for parallel scan/filter and the parallel hash-join probe:
+    [range] reads shared state (columns, a read-only build table) and
+    emits output rows. *)
+let collect ~workers ~n ~(dummy : 'a)
+    (range : lo:int -> hi:int -> emit:('a -> unit) -> unit) : 'a array =
+  if serial ~workers n then begin
+    let out = Vec.create ~dummy in
+    if n > 0 then range ~lo:0 ~hi:n ~emit:(Vec.push out);
+    Vec.to_array out
+  end
+  else begin
+    let nw = Morsel.effective_workers ~workers n in
+    (* Each worker accumulates (lo, rows) chunks; chunks are then stitched
+       back in ascending-lo order.  Per-worker chunk lists are already
+       lo-sorted (the atomic counter is monotonic), so stitching is a
+       cheap k-way merge done as sort-by-lo. *)
+    let chunks = Array.init nw (fun _ -> Vec.create ~dummy:(0, [||])) in
+    Morsel.iter ~workers:nw ~n (fun ~worker ~lo ~hi ->
+        let buf = Vec.create ~dummy in
+        range ~lo ~hi ~emit:(Vec.push buf);
+        if Vec.length buf > 0 then Vec.push chunks.(worker) (lo, Vec.to_array buf));
+    let all = Vec.create ~dummy:(0, [||]) in
+    Array.iter (fun per -> Vec.iter (Vec.push all) per) chunks;
+    Vec.sort (fun (a, _) (b, _) -> compare (a : int) b) all;
+    let total = Vec.fold (fun acc (_, rows) -> acc + Array.length rows) 0 all in
+    let out = Array.make total dummy in
+    let pos = ref 0 in
+    Vec.iter
+      (fun (_, rows) ->
+        Array.blit rows 0 out !pos (Array.length rows);
+        pos := !pos + Array.length rows)
+      all;
+    out
+  end

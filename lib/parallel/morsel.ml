@@ -1,0 +1,53 @@
+(* The morsel dispatcher.
+
+   Work over a row range [0, n) is split into fixed-size morsels (~16K
+   rows, the HyPer-style granule: big enough to amortize dispatch, small
+   enough to load-balance skewed predicates) and handed out to pool
+   workers from a single atomic counter — workers that finish early
+   simply grab the next morsel, so no static partitioning decision can
+   strand a domain. *)
+
+let default_size = 16_384
+
+(* Mutable so the E13 morsel-size sweep and the boundary-condition tests
+   can shrink it; every dispatch reads it once up front. *)
+let size = ref default_size
+
+(** [set_size s] sets the morsel size (rows per granule, clamped >= 1). *)
+let set_size s = size := max 1 s
+
+(** [with_size s f] runs [f ()] with the morsel size temporarily set to
+    [s], restoring the previous size even on exceptions. *)
+let with_size s f =
+  let old = !size in
+  set_size s;
+  Fun.protect ~finally:(fun () -> size := old) f
+
+(** [effective_workers ~workers n] caps the worker count so every worker
+    can expect at least one morsel: parallelism never exceeds the number
+    of morsels in [0, n). *)
+let effective_workers ~workers n =
+  let morsels = (n + !size - 1) / !size in
+  max 1 (min workers morsels)
+
+(** [iter ~workers ~n f] calls [f ~worker ~lo ~hi] for every morsel
+    [\[lo, hi)] of [\[0, n)], distributing morsels over [workers] pool
+    slots via an atomic counter.  Each worker's own morsel sequence is in
+    ascending row order; the partition between workers is dynamic.
+    Serial (workers = 1, or nested inside a pool worker) degrades to one
+    in-order sweep. *)
+let iter ~workers ~n (f : worker:int -> lo:int -> hi:int -> unit) =
+  if n > 0 then begin
+    let workers = effective_workers ~workers n in
+    let step = !size in
+    let next = Atomic.make 0 in
+    Pool.run ~workers (fun w ->
+        let rec loop () =
+          let lo = Atomic.fetch_and_add next step in
+          if lo < n then begin
+            f ~worker:w ~lo ~hi:(min n (lo + step));
+            loop ()
+          end
+        in
+        loop ())
+  end

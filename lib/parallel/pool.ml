@@ -1,0 +1,178 @@
+(* The persistent domain pool behind morsel-driven parallel execution.
+
+   OCaml 5 domains are heavyweight (each carries a minor heap and a
+   systhread); spawning per query — what the old E15 path did — costs
+   hundreds of microseconds on the hot path and floods the runtime with
+   short-lived domains.  Instead the engine keeps ONE process-wide pool of
+   worker domains, lazily spawned up to the session's parallelism goal and
+   parked on a condition variable between queries.  Query operators never
+   talk to the pool directly; they go through {!Morsel} and {!Driver},
+   which split work into row-range morsels and hand them out via an atomic
+   counter.
+
+   Guard rails (pool-misuse satellite):
+   - nested parallelism: a worker that reaches another parallel operator
+     runs it serially inline (a DLS flag marks worker domains), so
+     parallel operators can be composed without deadlocking the pool;
+   - [shutdown] (called from [Db.close]) joins every worker; the pool is
+     re-created lazily if a later session runs a parallel query, so one
+     session tearing down cannot brick another;
+   - the parallelism goal is clamped to [1, max_parallelism] and can be
+     pinned for benchmarking boxes with the QUILL_DOMAINS environment
+     variable. *)
+
+(* Hard ceiling on workers; far above any sane domain count, it only
+   bounds runaway [set_parallelism] arguments. *)
+let max_parallelism = 256
+
+(** [parse_env s] parses a QUILL_DOMAINS-style override: a positive
+    integer, clamped to [max_parallelism]; anything else is rejected. *)
+let parse_env s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> Some (min n max_parallelism)
+  | _ -> None
+
+let env_override = Option.bind (Sys.getenv_opt "QUILL_DOMAINS") parse_env
+
+(** [hardware_parallelism ()] is what the machine advertises
+    ({!Domain.recommended_domain_count}), or the QUILL_DOMAINS override. *)
+let hardware_parallelism () =
+  match env_override with
+  | Some n -> n
+  | None -> max 1 (Domain.recommended_domain_count ())
+
+(* The session parallelism goal.  Defaults to QUILL_DOMAINS when set and
+   to 1 (serial) otherwise: parallel float aggregation reorders additions,
+   so sessions opt in explicitly via [Db.set_parallelism]. *)
+let goal = ref (Option.value env_override ~default:1)
+
+(** [set_parallelism n] sets the session-wide worker goal (clamped to
+    [1, max_parallelism]).  Takes effect on the next parallel operator;
+    already-spawned surplus workers stay parked, missing ones spawn
+    lazily. *)
+let set_parallelism n = goal := max 1 (min n max_parallelism)
+
+(** [parallelism ()] is the current session goal. *)
+let parallelism () = !goal
+
+(* Marks worker domains so nested parallel operators degrade to serial. *)
+let in_worker = Domain.DLS.new_key (fun () -> false)
+
+(** [in_parallel_region ()] is true when called from a pool worker. *)
+let in_parallel_region () = Domain.DLS.get in_worker
+
+type pool = {
+  mutex : Mutex.t;
+  work : Condition.t;  (* signalled when jobs arrive or on shutdown *)
+  jobs : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let mk_pool () =
+  {
+    mutex = Mutex.create ();
+    work = Condition.create ();
+    jobs = Queue.create ();
+    stop = false;
+    workers = [];
+  }
+
+(* The process-wide pool.  Replaced wholesale by [shutdown] so a torn-down
+   pool can never be revived half-joined. *)
+let the_pool = ref (mk_pool ())
+
+let worker_loop pool () =
+  Domain.DLS.set in_worker true;
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    while Queue.is_empty pool.jobs && not pool.stop do
+      Condition.wait pool.work pool.mutex
+    done;
+    (* Drain remaining jobs even when stopping, so shutdown never strands
+       a caller waiting on its completion latch. *)
+    match Queue.take_opt pool.jobs with
+    | Some job ->
+        Mutex.unlock pool.mutex;
+        job ();
+        loop ()
+    | None -> Mutex.unlock pool.mutex (* stop && empty *)
+  in
+  loop ()
+
+(* Ensure at least [n] spawned workers; call with [pool.mutex] NOT held. *)
+let ensure_workers pool n =
+  Mutex.lock pool.mutex;
+  let missing = n - List.length pool.workers in
+  for _ = 1 to missing do
+    pool.workers <- Domain.spawn (worker_loop pool) :: pool.workers
+  done;
+  Mutex.unlock pool.mutex
+
+(** [spawned ()] is the number of live worker domains (observability). *)
+let spawned () =
+  let pool = !the_pool in
+  Mutex.lock pool.mutex;
+  let n = List.length pool.workers in
+  Mutex.unlock pool.mutex;
+  n
+
+let take_job pool =
+  Mutex.lock pool.mutex;
+  let j = Queue.take_opt pool.jobs in
+  Mutex.unlock pool.mutex;
+  j
+
+(** [run ~workers f] executes [f 0 .. f (workers-1)], one call per worker
+    slot, and returns when all have finished.  Slot 0 runs on the calling
+    domain; the rest are served by pool workers (the caller helps drain
+    the queue while it waits, so a pool smaller than [workers] — or a
+    busy one — still completes).  Serial fallbacks: [workers <= 1] and
+    calls made from inside a pool worker (nested parallelism) run every
+    slot inline on the caller.  The first exception raised by any slot is
+    re-raised on the caller after all slots finish. *)
+let run ~workers (f : int -> unit) =
+  if workers <= 1 || Domain.DLS.get in_worker then
+    for i = 0 to workers - 1 do
+      f i
+    done
+  else begin
+    let pool = !the_pool in
+    ensure_workers pool (workers - 1);
+    let remaining = Atomic.make (workers - 1) in
+    let failure = Atomic.make None in
+    let record e = ignore (Atomic.compare_and_set failure None (Some e)) in
+    let task i () =
+      (try f i with e -> record e);
+      ignore (Atomic.fetch_and_add remaining (-1))
+    in
+    Mutex.lock pool.mutex;
+    for i = 1 to workers - 1 do
+      Queue.push (task i) pool.jobs
+    done;
+    Condition.broadcast pool.work;
+    Mutex.unlock pool.mutex;
+    (try f 0 with e -> record e);
+    (* Help with queued work (possibly our own tasks) until every slot of
+       THIS run has completed. *)
+    while Atomic.get remaining > 0 do
+      match take_job pool with
+      | Some job -> job ()
+      | None -> Domain.cpu_relax ()
+    done;
+    match Atomic.get failure with Some e -> raise e | None -> ()
+  end
+
+(** [shutdown ()] joins every worker domain and resets the pool.  Called
+    from [Db.close]; safe to call repeatedly and with no pool running.  A
+    later parallel query simply re-creates the pool. *)
+let shutdown () =
+  let pool = !the_pool in
+  Mutex.lock pool.mutex;
+  pool.stop <- true;
+  let workers = pool.workers in
+  pool.workers <- [];
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join workers;
+  the_pool := mk_pool ()

@@ -253,9 +253,9 @@ let test_parallel_fused_agg () =
     (Quill_workload.Micro.grouped_table ~rows:200_000 ~groups:1000 ~seed:4 ());
   let sql = "SELECT count(*), sum(g), min(v), max(v), avg(v) FROM grouped WHERE v > 100" in
   let seq = Tutil.table_rows (Quill.Db.query db ~engine:Quill.Db.Compiled sql) in
-  Quill_compile.Codegen.parallel_domains := 4;
+  Quill.Db.set_parallelism db 4;
   let par = Tutil.table_rows (Quill.Db.query db ~engine:Quill.Db.Compiled sql) in
-  Quill_compile.Codegen.parallel_domains := 1;
+  Quill.Db.set_parallelism db 1;
   Array.iteri
     (fun j a ->
       match (a, par.(0).(j)) with

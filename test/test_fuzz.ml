@@ -188,7 +188,40 @@ let prop_forced_joins_agree =
             shape)
         [ Quill_optimizer.Physical.Hash_join; Quill_optimizer.Physical.Merge_join ])
 
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let prop_parallel_agrees =
+  (* The same random queries run morsel-parallel must match the serial
+     Volcano reference.  Morsel size 16 splits even the 180-row fuzz
+     tables into many morsels so the parallel paths really engage.  One
+     corner is legitimately nondeterministic and skipped: a grouped query
+     with LIMIT but no ORDER BY keeps whichever groups the
+     scheduling-dependent emission order put first. *)
+  Tutil.qtest ~count:150 "fuzz: parallel execution agrees" query_gen
+    (fun shape ->
+      let nondet =
+        contains_sub shape.sql "GROUP BY"
+        && contains_sub shape.sql " LIMIT "
+        && not (contains_sub shape.sql " ORDER BY ")
+      in
+      nondet
+      ||
+      let db = Lazy.force db in
+      Fun.protect
+        ~finally:(fun () -> Quill.Db.set_parallelism db 1)
+        (fun () ->
+          Quill_parallel.Morsel.with_size 16 (fun () ->
+              List.for_all
+                (fun w ->
+                  Quill.Db.set_parallelism db w;
+                  check_shape shape)
+                [ 2; 3 ])))
+
 let () =
   Alcotest.run "fuzz"
     [ ( "random queries",
-        [ prop_engines_agree; prop_optimizer_preserves; prop_forced_joins_agree ] ) ]
+        [ prop_engines_agree; prop_optimizer_preserves; prop_forced_joins_agree;
+          prop_parallel_agrees ] ) ]
