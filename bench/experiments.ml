@@ -839,7 +839,47 @@ let e16 () =
 (* --------------------------------------------------------------- suite *)
 
 (** All experiments with ids matching DESIGN.md. *)
+(* -------------------------------------------------------------- SMOKE *)
+
+(* A seconds-scale observability smoke run, wired into [dune runtest]: it
+   exercises tracing, the metrics registry and EXPLAIN ANALYZE end to end
+   and measures the disabled-tracer overhead (the E13 "no measurable
+   cost when off" bar) without loading any large dataset. *)
+let smoke () =
+  Bech.section "SMOKE: observability end-to-end";
+  let db = Quill.Db.create () in
+  Catalog.add (Quill.Db.catalog db)
+    (Micro_w.grouped_table ~rows:10_000 ~groups:64 ~seed:11 ());
+  Quill.Db.set_tracing true;
+  ignore (Quill.Db.query db "SELECT g, count(*), sum(v) FROM grouped GROUP BY g");
+  let sql = "SELECT count(*) FROM grouped WHERE v > 250" in
+  ignore (Quill.Db.query_adaptive db sql);
+  ignore (Quill.Db.query_adaptive db sql);
+  ignore (Quill.Db.explain db ~analyze:true
+            "SELECT g, count(*) FROM grouped WHERE v > 100 GROUP BY g");
+  Quill.Db.set_tracing false;
+  let json = Quill.Db.trace_json () in
+  let spans = List.length (Quill_obs.Trace.spans ()) in
+  if spans = 0 || String.length json < 2 || json.[0] <> '[' then
+    failwith "SMOKE: trace export is broken";
+  Printf.printf "traced %d spans; chrome export %d bytes\n" spans
+    (String.length json);
+  print_string (Quill.Db.metrics_text ());
+  (* Disabled-tracer cost: with_span when off must be within noise of the
+     bare computation. *)
+  let acc = ref 0 in
+  let work () = acc := Sys.opaque_identity (!acc + 1) in
+  let timings =
+    Bech.ns_per_run ~quota:0.25
+      [ ("bare", work);
+        ("with_span off", fun () -> Quill_obs.Trace.with_span "x" work) ]
+  in
+  Bech.table ~header:[ "kernel"; "ns/op" ]
+    (List.map (fun (n, t) -> [ n; Printf.sprintf "%.2f" t ]) timings);
+  Quill.Db.clear_trace ()
+
 let all =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
-    ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17) ]
+    ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
+    ("SMOKE", smoke) ]

@@ -6,6 +6,9 @@
      \engine NAME  switch engine (volcano | vectorized | compiled)
      \timing       toggle per-statement timing
      \explain SQL  show the physical plan
+     \trace        show tracing status; \trace on|off toggles the span
+                   tracer; \trace json [FILE] exports Chrome trace JSON
+     \metrics      print the process-wide metrics registry
      \tpch SF      load a TPC-H-like database at the given scale factor
      \save DIR     persist the database (CSV files + DDL manifest)
      \load DIR     replace the session database with a saved one
@@ -58,10 +61,36 @@ let meta s line =
       | "compiled" -> Db.set_engine s.db Db.Compiled
       | other -> Printf.printf "unknown engine %S\n" other)
   | "\\explain" :: rest when rest <> [] -> (
+      let analyze, rest =
+        match rest with
+        | first :: more when String.lowercase_ascii first = "analyze" -> (true, more)
+        | _ -> (false, rest)
+      in
       let sql = String.concat " " rest in
-      match Db.explain s.db sql with
+      match Db.explain s.db ~analyze sql with
       | plan -> print_string plan
       | exception Db.Error m -> Printf.printf "error: %s\n" m)
+  | [ "\\trace" ] ->
+      Printf.printf "tracing %s\n" (if Db.tracing () then "on" else "off")
+  | [ "\\trace"; "on" ] ->
+      Db.set_tracing true;
+      print_endline "tracing on (fresh trace)"
+  | [ "\\trace"; "off" ] ->
+      Db.set_tracing false;
+      print_endline "tracing off"
+  | [ "\\trace"; "clear" ] ->
+      Db.clear_trace ();
+      print_endline "trace cleared"
+  | [ "\\trace"; "json" ] -> print_endline (Db.trace_json ())
+  | [ "\\trace"; "json"; file ] -> (
+      match open_out file with
+      | oc ->
+          output_string oc (Db.trace_json ());
+          output_char oc '\n';
+          close_out oc;
+          Printf.printf "trace written to %s (open in chrome://tracing)\n" file
+      | exception Sys_error m -> Printf.printf "error: %s\n" m)
+  | [ "\\metrics" ] -> print_string (Db.metrics_text ())
   | [ "\\save"; dir ] -> (
       match Db.save s.db dir with
       | () -> Printf.printf "saved to %s\n" dir

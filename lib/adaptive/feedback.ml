@@ -17,6 +17,11 @@ let reopt_threshold = 4.0
 
 type t = { hints : (string, float) Hashtbl.t }
 
+(* Selectivity hints recorded and re-optimizations triggered, observable
+   via the registry (C4 made visible). *)
+let m_hints = Quill_obs.Metrics.counter "quill.feedback.hints"
+let m_reopts = Quill_obs.Metrics.counter "quill.feedback.reoptimizations"
+
 (** [create ()] returns an empty feedback store. *)
 let create () = { hints = Hashtbl.create 16 }
 
@@ -62,8 +67,13 @@ let learn t catalog plan profile =
         go input
   in
   go plan;
+  Quill_obs.Metrics.add m_hints !updated;
   !updated
 
 (** [should_reoptimize plan profile] is true when observed cardinalities
-    diverge from the estimates by more than {!reopt_threshold}. *)
-let should_reoptimize plan profile = Profile.max_error plan profile > reopt_threshold
+    diverge from the estimates by more than {!reopt_threshold}; each
+    trigger is counted in the registry. *)
+let should_reoptimize plan profile =
+  let reopt = Profile.max_error plan profile > reopt_threshold in
+  if reopt then Quill_obs.Metrics.incr m_reopts;
+  reopt

@@ -22,6 +22,12 @@ type entry = {
 
 type t = { capacity : int; entries : (string, entry) Hashtbl.t }
 
+(* Cache traffic, observable via the registry: hits serve the cached
+   plan; misses include stale entries invalidated by catalog changes. *)
+let m_hits = Quill_obs.Metrics.counter "quill.plan_cache.hits"
+let m_misses = Quill_obs.Metrics.counter "quill.plan_cache.misses"
+let g_entries = Quill_obs.Metrics.gauge "quill.plan_cache.entries"
+
 (** [create ?capacity ()] returns an empty cache. *)
 let create ?(capacity = 256) () = { entries = Hashtbl.create 64; capacity }
 
@@ -35,11 +41,16 @@ let find t ~sql ~param_types ~catalog_version =
   match Hashtbl.find_opt t.entries k with
   | Some e when e.catalog_version = catalog_version ->
       e.last_used <- Quill_util.Timer.now ();
+      Quill_obs.Metrics.incr m_hits;
       Some e
   | Some _ ->
       Hashtbl.remove t.entries k;
+      Quill_obs.Metrics.set g_entries (Hashtbl.length t.entries);
+      Quill_obs.Metrics.incr m_misses;
       None
-  | None -> None
+  | None ->
+      Quill_obs.Metrics.incr m_misses;
+      None
 
 let evict_if_needed t =
   if Hashtbl.length t.entries > t.capacity then begin
@@ -72,6 +83,7 @@ let add t ~sql ~param_types ~catalog_version ?(subs = []) plan =
   in
   Hashtbl.replace t.entries (key sql param_types) e;
   evict_if_needed t;
+  Quill_obs.Metrics.set g_entries (Hashtbl.length t.entries);
   e
 
 (** [invalidate t ~sql ~param_types] drops one entry (used after

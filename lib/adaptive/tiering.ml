@@ -18,6 +18,9 @@ type policy =
 (** Default invocation-counter threshold. *)
 let default_hot_threshold = 3
 
+(* Cached plans promoted to the compiled tier. *)
+let m_tierups = Quill_obs.Metrics.counter "quill.tiering.tierups"
+
 let policy_name = function
   | Interpret_always -> "interpret-always"
   | Compile_always -> "compile-always"
@@ -45,6 +48,7 @@ let execute ~policy ~(ctx : Quill_exec.Exec_ctx.t) (entry : Plan_cache.entry) =
             in
             entry.Plan_cache.compiled <- Some c;
             entry.Plan_cache.compile_time <- dt;
+            Quill_obs.Metrics.incr m_tierups;
             (* Compilation time counts against the query that triggered
                it, as it would in a JIT. *)
             entry.Plan_cache.total_exec_time <-

@@ -701,34 +701,59 @@ let rec produce sctx (plan : Physical.t) ~needed (consume : consume) : unit -> u
         skipped := 0;
         (try child () with Limit_reached -> ())
 
+(* Stagings performed and time spent staging, fed to the registry so the
+   managed-runtime economics (E5) are observable in production. *)
+let m_compilations = Quill_obs.Metrics.counter "quill.codegen.compilations"
+let h_compile_seconds = Quill_obs.Metrics.histogram "quill.codegen.seconds"
+
 (** [compile catalog plan] stages [plan] once; the result can be run many
     times with different parameters. *)
 let compile ?indexes catalog (plan : Physical.t) : compiled =
-  let indexes =
-    match indexes with Some r -> r | None -> Quill_storage.Index.Registry.create ()
-  in
-  let sctx = { catalog; params = ref [||]; indexes } in
-  let out = Vec.create ~dummy:[||] in
-  let out_arity = Schema.arity (Physical.schema_of plan) in
-  let root =
-    produce sctx plan
-      ~needed:(IntSet.of_list (List.init out_arity Fun.id))
-      (fun row -> Vec.push out row)
-  in
-  fun params ->
-    sctx.params := params;
-    Vec.clear out;
-    root ();
-    (* Hand the caller a fresh vector; [out] is reused across runs. *)
-    let result = Vec.create ~dummy:[||] in
-    Vec.iter (fun r -> Vec.push result r) out;
-    result
+  Quill_obs.Trace.with_span ~cat:"compile" "codegen" (fun () ->
+      let (f : compiled), dt =
+        Quill_util.Timer.time (fun () ->
+            let indexes =
+              match indexes with
+              | Some r -> r
+              | None -> Quill_storage.Index.Registry.create ()
+            in
+            let sctx = { catalog; params = ref [||]; indexes } in
+            let out = Vec.create ~dummy:[||] in
+            let out_arity = Schema.arity (Physical.schema_of plan) in
+            let root =
+              produce sctx plan
+                ~needed:(IntSet.of_list (List.init out_arity Fun.id))
+                (fun row -> Vec.push out row)
+            in
+            fun params ->
+              sctx.params := params;
+              Vec.clear out;
+              root ();
+              (* Hand the caller a fresh vector; [out] is reused across
+                 runs. *)
+              let result = Vec.create ~dummy:[||] in
+              Vec.iter (fun r -> Vec.push result r) out;
+              result)
+      in
+      Quill_obs.Metrics.incr m_compilations;
+      Quill_obs.Metrics.observe h_compile_seconds dt;
+      f)
 
-(** [run ctx plan] one-shot compile-and-execute (profile hooks are not
-    supported in the compiled engine; use the interpreted tiers to gather
-    feedback). *)
+(** [run ctx plan] one-shot compile-and-execute.  The fused loops carry no
+    per-operator hooks (use the interpreted tiers for operator-level
+    feedback), but the root operator's row count and wall time are
+    recorded when a profile is attached, so EXPLAIN ANALYZE and the
+    differential tests can cross-check any engine. *)
 let run (ctx : Quill_exec.Exec_ctx.t) plan =
   let f =
     compile ~indexes:ctx.Quill_exec.Exec_ctx.indexes ctx.Quill_exec.Exec_ctx.catalog plan
   in
-  f ctx.Quill_exec.Exec_ctx.params
+  match ctx.Quill_exec.Exec_ctx.profile with
+  | None -> f ctx.Quill_exec.Exec_ctx.params
+  | Some p ->
+      let rows, dt =
+        Quill_util.Timer.time (fun () -> f ctx.Quill_exec.Exec_ctx.params)
+      in
+      Quill_exec.Profile.add p 0 (Vec.length rows);
+      Quill_exec.Profile.add_time p 0 dt;
+      rows

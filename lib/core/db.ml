@@ -25,8 +25,15 @@ module Codegen = Quill_compile.Codegen
 module Feedback = Quill_adaptive.Feedback
 module Plan_cache = Quill_adaptive.Plan_cache
 module Tiering = Quill_adaptive.Tiering
+module Trace = Quill_obs.Trace
+module Metrics = Quill_obs.Metrics
 
 exception Error of string
+
+(* Statements executed and end-to-end SELECT latency, fed to the
+   process-wide registry. *)
+let m_queries = Metrics.counter "quill.db.queries"
+let h_query_seconds = Metrics.histogram "quill.db.query_seconds"
 
 type engine = Volcano | Vectorized | Compiled
 
@@ -139,13 +146,13 @@ let wrap f =
    any uncorrelated subqueries. *)
 let plan_full db ?(params = [||]) sql =
   wrap (fun () ->
-      match Parser.parse sql with
+      match Trace.with_span "parse" (fun () -> Parser.parse sql) with
       | Ast.Select sel ->
           let env =
             Binder.mk_env ~catalog:db.catalog ~udfs:db.udfs
               ~param_types:(param_types_of params) ()
           in
-          let lplan = Binder.bind_select env sel in
+          let lplan = Trace.with_span "bind" (fun () -> Binder.bind_select env sel) in
           let main = Picker.optimize ~options:db.options (opt_env db) lplan in
           (* Subqueries accumulate innermost-last; materialization order is
              innermost-first. *)
@@ -168,11 +175,13 @@ let rows_to_table plan rows =
   Table.of_rows ~name:"result" schema (Array.to_list rows)
 
 let run_engine db engine ?profile ~params plan =
-  let ctx = Exec_ctx.create ~params ?profile ~indexes:db.indexes db.catalog in
-  match engine with
-  | Volcano -> Quill_exec.Volcano.run ctx plan
-  | Vectorized -> Quill_exec.Vector.run ctx plan
-  | Compiled -> Quill_util.Vec.to_array (Codegen.run ctx plan)
+  Trace.with_span ~cat:"exec" ~args:[ ("engine", engine_name engine) ] "execute"
+    (fun () ->
+      let ctx = Exec_ctx.create ~params ?profile ~indexes:db.indexes db.catalog in
+      match engine with
+      | Volcano -> Quill_exec.Volcano.run ctx plan
+      | Vectorized -> Quill_exec.Vector.run ctx plan
+      | Compiled -> Quill_util.Vec.to_array (Codegen.run ctx plan))
 
 (* Materialize uncorrelated subqueries (innermost first): each cell gets
    the first-column values of its subplan's result. *)
@@ -354,17 +363,33 @@ let exec_stmt db stmt =
         let profile = Profile.create pplan in
         let _ = run_engine db Vectorized ~profile ~params:[||] pplan in
         let est = Profile.estimates pplan in
+        let excl = Profile.exclusive pplan profile in
+        let ops = Physical.preorder pplan in
         let lines =
           List.init (Array.length est) (fun i ->
+              let info = Physical.info_of ops.(i) in
+              let losers =
+                List.filter (fun c -> not c.Physical.cand_chosen) info.Physical.candidates
+              in
               [ string_of_int i;
+                Physical.op_name ops.(i);
                 Printf.sprintf "%.0f" est.(i);
                 string_of_int (Profile.rows profile i);
-                Quill_util.Pretty.duration (Profile.elapsed profile i) ])
+                Quill_util.Pretty.duration excl.(i);
+                Quill_util.Pretty.duration (Profile.elapsed profile i);
+                String.concat ", "
+                  (List.map
+                     (fun c ->
+                       Printf.sprintf "%s (cost=%.0f)" c.Physical.cand_name
+                         c.Physical.cand_cost)
+                     losers) ])
         in
         Text
           (Physical.to_string pplan
           ^ Quill_util.Pretty.render
-              ~header:[ "op"; "est rows"; "actual rows"; "time (cumulative)" ]
+              ~header:
+                [ "op"; "operator"; "est rows"; "actual rows"; "time (self)";
+                  "time (cumulative)"; "rejected candidates" ]
               lines)
       end
 
@@ -372,10 +397,18 @@ let exec_stmt db stmt =
     table (uncached path). *)
 let query db ?(params = [||]) ?engine sql =
   let engine = Option.value ~default:db.engine engine in
-  wrap (fun () ->
-      let pplan, subs = plan_full db ~params sql in
-      fill_subqueries db ~params subs;
-      rows_to_table pplan (run_engine db engine ~params pplan))
+  Trace.with_span ~args:[ ("sql", sql); ("engine", engine_name engine) ] "query"
+    (fun () ->
+      wrap (fun () ->
+          Metrics.incr m_queries;
+          let result, dt =
+            Quill_util.Timer.time (fun () ->
+                let pplan, subs = plan_full db ~params sql in
+                fill_subqueries db ~params subs;
+                rows_to_table pplan (run_engine db engine ~params pplan))
+          in
+          Metrics.observe h_query_seconds dt;
+          result))
 
 (** [exec db sql] runs any statement; SELECTs return [Rows]. *)
 let exec db ?(params = [||]) sql =
@@ -400,14 +433,22 @@ let explain db ?(analyze = false) sql =
     may trigger feedback re-optimization; repeated executions tier up to
     the compiled engine per the session policy. *)
 let query_adaptive db ?(params = [||]) sql =
+  Trace.with_span ~args:[ ("sql", sql) ] "query-adaptive" @@ fun () ->
   wrap (fun () ->
+      Metrics.incr m_queries;
       let param_types = param_types_of params in
       let version = Catalog.version db.catalog in
       match Plan_cache.find db.cache ~sql ~param_types ~catalog_version:version with
       | Some entry ->
+          Trace.instant "plan-cache-hit";
           fill_subqueries db ~params entry.Plan_cache.subs;
           let ctx = Exec_ctx.create ~params ~indexes:db.indexes db.catalog in
-          let rows = Tiering.execute ~policy:db.policy ~ctx entry in
+          let rows, dt =
+            Quill_util.Timer.time (fun () ->
+                Trace.with_span ~cat:"exec" "execute" (fun () ->
+                    Tiering.execute ~policy:db.policy ~ctx entry))
+          in
+          Metrics.observe h_query_seconds dt;
           rows_to_table entry.Plan_cache.plan (Quill_util.Vec.to_array rows)
       | None ->
           let pplan, subs = plan_full db ~params sql in
@@ -422,7 +463,10 @@ let query_adaptive db ?(params = [||]) sql =
           in
           let _ = Feedback.learn db.feedback db.catalog pplan profile in
           let cached_plan, cached_subs =
-            if Feedback.should_reoptimize pplan profile then plan_full db ~params sql
+            if Feedback.should_reoptimize pplan profile then begin
+              Trace.instant "re-optimize";
+              plan_full db ~params sql
+            end
             else (pplan, subs)
           in
           let entry =
@@ -431,6 +475,7 @@ let query_adaptive db ?(params = [||]) sql =
           in
           entry.Plan_cache.runs <- 1;
           entry.Plan_cache.total_exec_time <- elapsed;
+          Metrics.observe h_query_seconds elapsed;
           rows_to_table pplan rows)
 
 (** [cache_stats db] returns (entries, total runs, compiled count) for
@@ -444,6 +489,24 @@ let cache_stats db =
       if e.Plan_cache.compiled <> None then incr compiled)
     db.cache.Plan_cache.entries;
   (!entries, !runs, !compiled)
+
+(* --- Observability ----------------------------------------------------- *)
+
+(** [set_tracing on] turns the process-wide query-lifecycle span tracer
+    on or off.  Turning it on starts a fresh trace. *)
+let set_tracing on = Trace.set_enabled on
+
+(** [tracing ()] is true while spans are being recorded. *)
+let tracing () = Trace.enabled ()
+
+(** [clear_trace ()] drops recorded spans and restarts the trace epoch. *)
+let clear_trace () = Trace.clear ()
+
+(** [trace_json ()] exports recorded spans as Chrome trace-event JSON. *)
+let trace_json () = Trace.to_chrome_json ()
+
+(** [metrics_text ()] renders the process-wide metrics registry. *)
+let metrics_text () = Metrics.render ()
 
 (* --- Persistence ------------------------------------------------------- *)
 

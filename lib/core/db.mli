@@ -121,6 +121,28 @@ val query_adaptive :
     the plan cache, for observability. *)
 val cache_stats : t -> int * int * int
 
+(** [set_tracing on] turns the process-wide query-lifecycle span tracer on
+    or off.  Spans cover parse, bind, rewrite, join-order, pick, codegen
+    and execute; when off the instrumentation is a single flag check.
+    Turning it on starts a fresh trace. *)
+val set_tracing : bool -> unit
+
+(** [tracing ()] is true while spans are being recorded. *)
+val tracing : unit -> bool
+
+(** [clear_trace ()] drops all recorded spans and restarts the trace
+    epoch. *)
+val clear_trace : unit -> unit
+
+(** [trace_json ()] exports the recorded spans as a Chrome trace-event
+    JSON array (loadable in chrome://tracing, Perfetto or speedscope). *)
+val trace_json : unit -> string
+
+(** [metrics_text ()] renders the process-wide metrics registry (query
+    counts and latencies, batches, morsels, plan-cache traffic, tier-ups,
+    re-optimizations, codegen time) as an ASCII table. *)
+val metrics_text : unit -> string
+
 (** [save db dir] persists every table (CSV) plus a DDL manifest (schemas
     and index definitions) into directory [dir], creating it if needed. *)
 val save : t -> string -> unit

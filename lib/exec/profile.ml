@@ -34,28 +34,32 @@ let elapsed t id = t.stats.(id).elapsed
 (** [estimates plan] lists each operator's estimated rows in the same
     preorder numbering as the profile. *)
 let estimates plan =
-  let acc = ref [] in
-  let rec go p =
-    acc := (Quill_optimizer.Physical.info_of p).Quill_optimizer.Physical.est_rows :: !acc;
-    match p with
-    | Quill_optimizer.Physical.Scan _ | Quill_optimizer.Physical.Index_scan _
-    | Quill_optimizer.Physical.One_row ->
-        ()
-    | Quill_optimizer.Physical.Filter (_, i, _) | Quill_optimizer.Physical.Project (_, i, _)
-    | Quill_optimizer.Physical.Distinct (i, _) ->
-        go i
-    | Quill_optimizer.Physical.Join { left; right; _ } ->
-        go left;
-        go right
-    | Quill_optimizer.Physical.Aggregate { input; _ }
-    | Quill_optimizer.Physical.Window { input; _ }
-    | Quill_optimizer.Physical.Sort { input; _ }
-    | Quill_optimizer.Physical.Top_k { input; _ }
-    | Quill_optimizer.Physical.Limit { input; _ } ->
-        go input
-  in
-  go plan;
-  Array.of_list (List.rev !acc)
+  Array.map
+    (fun p -> (Quill_optimizer.Physical.info_of p).Quill_optimizer.Physical.est_rows)
+    (Quill_optimizer.Physical.preorder plan)
+
+(** [exclusive plan t] returns per-operator self time: the profiled
+    cumulative time minus the children's cumulative time (pipelined
+    operators time their [next] calls around the child's, so the child's
+    share must be subtracted out).  Clamped at zero — timer granularity
+    can make a cheap parent appear faster than its children. *)
+let exclusive plan t =
+  let ops = Quill_optimizer.Physical.preorder plan in
+  let n = Array.length t.stats in
+  let excl = Array.init n (fun i -> t.stats.(i).elapsed) in
+  (* Child ids under preorder numbering: first child is parent id + 1,
+     each next sibling follows the previous child's subtree. *)
+  Array.iteri
+    (fun id p ->
+      let child_id = ref (id + 1) in
+      List.iter
+        (fun c ->
+          if !child_id < n then
+            excl.(id) <- excl.(id) -. t.stats.(!child_id).elapsed;
+          child_id := !child_id + Quill_optimizer.Physical.operator_count c)
+        (Quill_optimizer.Physical.children p))
+    ops;
+  Array.map (Float.max 0.0) excl
 
 (** [max_error plan t] returns the largest estimate/actual ratio (in either
     direction) over operators that produced at least one row estimate;

@@ -24,7 +24,17 @@ module IntSet = Set.Make (Int)
 
 let batch_size = 1024
 
+(* Batches materialized by any operator (scans, index scans, pipeline
+   breakers re-batching) and rows those batches carried. *)
+let m_batches = Quill_obs.Metrics.counter "quill.exec.batches"
+let m_batch_rows = Quill_obs.Metrics.counter "quill.exec.batch_rows"
+
 type batch = { cols : Value.t array array; len : int }
+
+let count_batch (b : batch) =
+  Quill_obs.Metrics.incr m_batches;
+  Quill_obs.Metrics.add m_batch_rows b.len;
+  b
 
 type ctx = Exec_ctx.t = {
   catalog : Catalog.t;
@@ -191,7 +201,7 @@ let of_rows ncols rows =
           let take = min batch_size (n - !pos) in
           let slice = Array.sub rows !pos take in
           pos := !pos + take;
-          Some (batch_of_rows ncols slice)
+          Some (count_batch (batch_of_rows ncols slice))
         end);
     close = ignore;
   }
@@ -286,7 +296,7 @@ let rec build ctx counter plan ~needed : biter =
                 else begin
                   let b = batches.(!pos) in
                   incr pos;
-                  Some b
+                  Some (count_batch b)
                 end);
             close = ignore;
           }
@@ -300,7 +310,7 @@ let rec build ctx counter plan ~needed : biter =
               let base = !pos in
               pos := !pos + take;
               match filter_batch (fetch base take) with
-              | Some b -> Some b
+              | Some b -> Some (count_batch b)
               | None -> next_batch ()
             end
           in

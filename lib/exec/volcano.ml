@@ -24,6 +24,10 @@ type ctx = Exec_ctx.t = {
 
 type iter = { next : unit -> Value.t array option; close : unit -> unit }
 
+(* Rows pulled out of base-table scans, flushed to the registry once per
+   exhausted scan so the per-tuple hot loop stays free of atomics. *)
+let m_rows_scanned = Quill_obs.Metrics.counter "quill.exec.rows_scanned"
+
 let observed ctx id iter =
   match ctx.profile with
   | None -> iter
@@ -110,8 +114,15 @@ let rec build ctx counter plan : iter =
               fun i -> Array.map (fun c -> Column.get c i) cols
         in
         let pos = ref 0 in
+        let flushed = ref false in
         let rec next () =
-          if !pos >= n then None
+          if !pos >= n then begin
+            if not !flushed then begin
+              flushed := true;
+              Quill_obs.Metrics.add m_rows_scanned n
+            end;
+            None
+          end
           else begin
             let row = fetch !pos in
             incr pos;

@@ -1,0 +1,202 @@
+(* The process-wide metrics registry.
+
+   Counters, gauges and histograms are interned by name at module-init
+   time by the subsystems that feed them (executors, plan cache, tiering,
+   domain pool), so the hot path is a single [Atomic] operation with no
+   table lookup.  Histograms use fixed log-scale buckets: bucket [i]
+   covers values up to [lowest * ratio^i], which spans nanoseconds to
+   hours in 28 buckets without any per-observation allocation.
+
+   All mutation is lock-free (pool workers bump counters concurrently);
+   the registration table itself is guarded by a mutex but is only
+   touched at module initialization and from [snapshot]/[reset]. *)
+
+type counter = { c_name : string; c : int Atomic.t }
+type gauge = { g_name : string; g : int Atomic.t }
+
+type histogram = {
+  h_name : string;
+  buckets : int Atomic.t array;  (* last bucket catches overflow *)
+  h_count : int Atomic.t;
+  h_sum : float Atomic.t;
+}
+
+(* Histogram shape: bucket [i] holds observations <= lowest * ratio^i.
+   1e-7 * 4^i for 28 buckets reaches ~1.8e9, covering durations from
+   100ns to decades and row counts from 1 to billions. *)
+let bucket_lowest = 1e-7
+let bucket_ratio = 4.0
+let bucket_count = 28
+
+(** [bucket_bound i] is the inclusive upper bound of bucket [i] (the last
+    bucket is unbounded). *)
+let bucket_bound i =
+  if i >= bucket_count - 1 then Float.infinity
+  else bucket_lowest *. (bucket_ratio ** Float.of_int i)
+
+let bucket_index v =
+  if Float.is_nan v || v <= bucket_lowest then 0
+  else begin
+    let i = Float.to_int (Float.ceil (Float.log (v /. bucket_lowest) /. Float.log bucket_ratio)) in
+    if i >= bucket_count then bucket_count - 1 else max 0 i
+  end
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 32
+let registry_mutex = Mutex.create ()
+
+let intern name make select =
+  Mutex.protect registry_mutex (fun () ->
+      let m =
+        match Hashtbl.find_opt registry name with
+        | Some m -> m
+        | None ->
+            let m = make () in
+            Hashtbl.replace registry name m;
+            m
+      in
+      match select m with
+      | Some v -> v
+      | None -> invalid_arg (Printf.sprintf "metric %S registered with another type" name))
+
+(** [counter name] returns the process-wide counter [name], creating it
+    on first use. *)
+let counter name =
+  intern name
+    (fun () -> Counter { c_name = name; c = Atomic.make 0 })
+    (function Counter c -> Some c | _ -> None)
+
+(** [gauge name] returns the process-wide gauge [name]. *)
+let gauge name =
+  intern name
+    (fun () -> Gauge { g_name = name; g = Atomic.make 0 })
+    (function Gauge g -> Some g | _ -> None)
+
+(** [histogram name] returns the process-wide histogram [name]. *)
+let histogram name =
+  intern name
+    (fun () ->
+      Histogram
+        {
+          h_name = name;
+          buckets = Array.init bucket_count (fun _ -> Atomic.make 0);
+          h_count = Atomic.make 0;
+          h_sum = Atomic.make 0.0;
+        })
+    (function Histogram h -> Some h | _ -> None)
+
+(** [incr c] adds 1 to counter [c]. *)
+let incr c = ignore (Atomic.fetch_and_add c.c 1)
+
+(** [add c n] adds [n] to counter [c]. *)
+let add c n = ignore (Atomic.fetch_and_add c.c n)
+
+(** [value c] reads counter [c]. *)
+let value c = Atomic.get c.c
+
+(** [set g v] sets gauge [g] to [v]. *)
+let set g v = Atomic.set g.g v
+
+(** [gauge_value g] reads gauge [g]. *)
+let gauge_value g = Atomic.get g.g
+
+let rec atomic_add_float a x =
+  let old = Atomic.get a in
+  if not (Atomic.compare_and_set a old (old +. x)) then atomic_add_float a x
+
+(** [observe h v] records one observation in histogram [h]. *)
+let observe h v =
+  ignore (Atomic.fetch_and_add h.buckets.(bucket_index v) 1);
+  ignore (Atomic.fetch_and_add h.h_count 1);
+  atomic_add_float h.h_sum v
+
+(** [observations h] is the total number of observations in [h]. *)
+let observations h = Atomic.get h.h_count
+
+(** [sum h] is the sum of all observed values. *)
+let sum h = Atomic.get h.h_sum
+
+(** [mean h] is the mean observed value (0 when empty). *)
+let mean h =
+  let n = observations h in
+  if n = 0 then 0.0 else sum h /. Float.of_int n
+
+(** [quantile h q] approximates the [q]-quantile ([0..1]) from the bucket
+    counts, returning the upper bound of the bucket the quantile falls
+    in. *)
+let quantile h q =
+  let n = observations h in
+  if n = 0 then 0.0
+  else begin
+    let target = Float.to_int (Float.of_int n *. q) in
+    let acc = ref 0 and found = ref (bucket_bound (bucket_count - 2)) in
+    (try
+       Array.iteri
+         (fun i b ->
+           acc := !acc + Atomic.get b;
+           if !acc > target then begin
+             found := bucket_bound i;
+             raise Exit
+           end)
+         h.buckets
+     with Exit -> ());
+    !found
+  end
+
+type snapshot_entry =
+  | Counter_value of string * int
+  | Gauge_value of string * int
+  | Histogram_value of string * int * float * float  (* count, sum, p99 bound *)
+
+(** [snapshot ()] lists every registered metric with its current value,
+    sorted by name. *)
+let snapshot () =
+  let entries =
+    Mutex.protect registry_mutex (fun () ->
+        Hashtbl.fold (fun _ m acc -> m :: acc) registry [])
+  in
+  entries
+  |> List.map (function
+       | Counter c -> Counter_value (c.c_name, value c)
+       | Gauge g -> Gauge_value (g.g_name, gauge_value g)
+       | Histogram h -> Histogram_value (h.h_name, observations h, sum h, quantile h 0.99))
+  |> List.sort (fun a b ->
+         let name = function
+           | Counter_value (n, _) | Gauge_value (n, _) | Histogram_value (n, _, _, _) -> n
+         in
+         compare (name a) (name b))
+
+(** [render ()] pretty-prints the registry for the [\metrics] shell
+    command. *)
+let render () =
+  let rows =
+    List.map
+      (function
+        | Counter_value (n, v) -> [ n; "counter"; string_of_int v ]
+        | Gauge_value (n, v) -> [ n; "gauge"; string_of_int v ]
+        | Histogram_value (n, count, s, p99) ->
+            [ n; "histogram";
+              Printf.sprintf "count=%d sum=%s p99<=%s" count
+                (Quill_util.Pretty.float_cell s)
+                (Quill_util.Pretty.float_cell p99) ])
+      (snapshot ())
+  in
+  Quill_util.Pretty.render ~header:[ "metric"; "kind"; "value" ] rows
+
+(** [reset ()] zeroes every registered metric (tests); registrations are
+    kept so interned handles stay valid. *)
+let reset () =
+  Mutex.protect registry_mutex (fun () ->
+      Hashtbl.iter
+        (fun _ -> function
+          | Counter c -> Atomic.set c.c 0
+          | Gauge g -> Atomic.set g.g 0
+          | Histogram h ->
+              Array.iter (fun b -> Atomic.set b 0) h.buckets;
+              Atomic.set h.h_count 0;
+              Atomic.set h.h_sum 0.0)
+        registry)

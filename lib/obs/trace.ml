@@ -1,0 +1,161 @@
+(* The query-lifecycle span tracer.
+
+   Spans cover the pipeline phases (parse -> bind -> rewrite -> join-order
+   -> pick -> codegen -> execute) and nest: a [with_span] opened while
+   another is running records the parent's sequence number and a depth one
+   deeper.  Tracing is off by default; when disabled, [with_span] is a
+   single [ref] load and a tail call, so instrumented code paths cost
+   nothing measurable (the E13 acceptance bar).
+
+   Finished spans accumulate in an in-memory buffer until [clear];
+   [to_chrome_json] renders them as Chrome trace-event JSON ("X" complete
+   events, microsecond timestamps) loadable in chrome://tracing, Perfetto
+   or speedscope.
+
+   Spans are created on the query-coordinating thread only; pool workers
+   report through {!Metrics} instead, so the buffer needs no locking. *)
+
+type span = {
+  name : string;
+  cat : string;  (** Chrome trace category, e.g. "query" or "compile" *)
+  args : (string * string) list;
+  start : float;  (** seconds since the trace epoch *)
+  dur : float;
+  depth : int;  (** nesting depth at open time; 0 = top-level *)
+  seq : int;  (** span open order, unique per trace buffer *)
+  parent : int;  (** [seq] of the enclosing span, -1 at top level *)
+  marker : bool;  (** true for zero-duration instant events *)
+}
+
+let enabled_flag = ref false
+let finished : span Quill_util.Vec.t option ref = ref None
+let epoch = ref 0.0
+let next_seq = ref 0
+
+(* Stack of (seq, depth) for open spans. *)
+let open_spans : (int * int) list ref = ref []
+
+let buffer () =
+  match !finished with
+  | Some v -> v
+  | None ->
+      let v =
+        Quill_util.Vec.create
+          ~dummy:{ name = ""; cat = ""; args = []; start = 0.0; dur = 0.0;
+                   depth = 0; seq = 0; parent = -1; marker = false }
+      in
+      finished := Some v;
+      v
+
+(** [enabled ()] is true when spans are being recorded. *)
+let enabled () = !enabled_flag
+
+(** [clear ()] drops all recorded spans and restarts the trace epoch. *)
+let clear () =
+  (match !finished with Some v -> Quill_util.Vec.clear v | None -> ());
+  open_spans := [];
+  next_seq := 0;
+  epoch := Quill_util.Timer.now ()
+
+(** [set_enabled b] turns tracing on or off.  Turning it on starts a
+    fresh epoch; recorded spans survive turning it off (so a session can
+    stop tracing and then export). *)
+let set_enabled b =
+  if b && not !enabled_flag then clear ();
+  enabled_flag := b
+
+let record name cat args t0 =
+  let seq = !next_seq in
+  incr next_seq;
+  let depth = List.length !open_spans in
+  let parent = match !open_spans with (p, _) :: _ -> p | [] -> -1 in
+  open_spans := (seq, depth) :: !open_spans;
+  fun () ->
+    (match !open_spans with
+    | (s, _) :: rest when s = seq -> open_spans := rest
+    | stack ->
+        (* A child span leaked past its parent (exception path); drop
+           everything above it. *)
+        open_spans := List.filter (fun (s, _) -> s < seq) stack);
+    let t1 = Quill_util.Timer.now () in
+    Quill_util.Vec.push (buffer ())
+      { name; cat; args; start = t0 -. !epoch; dur = t1 -. t0; depth; seq; parent;
+        marker = false }
+
+(** [with_span ?cat ?args name f] runs [f ()] inside a span named [name];
+    when tracing is disabled this is exactly [f ()]. *)
+let with_span ?(cat = "query") ?(args = []) name f =
+  if not !enabled_flag then f ()
+  else begin
+    let finish = record name cat args (Quill_util.Timer.now ()) in
+    Fun.protect ~finally:finish f
+  end
+
+(** [instant ?cat ?args name] records a zero-duration marker span. *)
+let instant ?(cat = "query") ?(args = []) name =
+  if !enabled_flag then begin
+    let seq = !next_seq in
+    incr next_seq;
+    let parent = match !open_spans with (p, _) :: _ -> p | [] -> -1 in
+    Quill_util.Vec.push (buffer ())
+      { name; cat; args; start = Quill_util.Timer.now () -. !epoch; dur = 0.0;
+        depth = List.length !open_spans; seq; parent; marker = true }
+  end
+
+(** [spans ()] lists recorded spans in span-open order. *)
+let spans () =
+  match !finished with
+  | None -> []
+  | Some v ->
+      List.sort
+        (fun a b -> compare a.seq b.seq)
+        (Array.to_list (Quill_util.Vec.to_array v))
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(** [to_chrome_json ()] renders the recorded spans as a Chrome
+    trace-event JSON array (ph="X" complete events; ph="i" instants),
+    timestamps in microseconds since the trace epoch. *)
+let to_chrome_json () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf ',';
+      let args =
+        match s.args with
+        | [] -> ""
+        | kvs ->
+            Printf.sprintf ",\"args\":{%s}"
+              (String.concat ","
+                 (List.map
+                    (fun (k, v) ->
+                      Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+                    kvs))
+      in
+      if s.marker then
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.1f,\"pid\":1,\"tid\":1%s}"
+             (json_escape s.name) (json_escape s.cat) (s.start *. 1e6) args)
+      else
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.1f,\"dur\":%.1f,\"pid\":1,\"tid\":1%s}"
+             (json_escape s.name) (json_escape s.cat) (s.start *. 1e6) (s.dur *. 1e6) args))
+    (spans ());
+  Buffer.add_char buf ']';
+  Buffer.contents buf

@@ -11,7 +11,34 @@ type layout = Row_layout | Col_layout
 type join_algo = Hash_join | Merge_join | Block_nl
 type agg_algo = Hash_agg | Sort_agg
 
-type info = { est_rows : float; est_cost : float }
+(** One implementation the picker priced for an operator.  The physical
+    plan retains every candidate — winner and losers — so EXPLAIN ANALYZE
+    can show why an algorithm was chosen (claim C2 made visible). *)
+type candidate = {
+  cand_name : string;
+  cand_cost : float;  (** the operator's own (non-cumulative) cost *)
+  cand_chosen : bool;
+}
+
+type info = {
+  est_rows : float;
+  est_cost : float;
+  candidates : candidate list;
+      (** all priced implementations, cheapest first; [] for operators
+          with a single implementation *)
+}
+
+(** [mk_info ?candidates ~est_rows ~est_cost ()] builds an [info],
+    sorting candidates by cost. *)
+let mk_info ?(candidates = []) ~est_rows ~est_cost () =
+  let candidates =
+    List.sort (fun a b -> compare a.cand_cost b.cand_cost) candidates
+  in
+  { est_rows; est_cost; candidates }
+
+(** [candidate ~chosen name cost] is one priced implementation. *)
+let candidate ~chosen name cost =
+  { cand_name = name; cand_cost = cost; cand_chosen = chosen }
 
 type t =
   | Scan of {
@@ -96,7 +123,7 @@ let info_of = function
   | Join { info; _ } | Aggregate { info; _ } | Window { info; _ } | Sort { info; _ }
   | Top_k { info; _ } | Distinct (_, info) | Limit { info; _ } ->
       info
-  | One_row -> { est_rows = 1.0; est_cost = 0.0 }
+  | One_row -> { est_rows = 1.0; est_cost = 0.0; candidates = [] }
 
 let join_algo_name = function
   | Hash_join -> "HashJoin"
@@ -210,6 +237,45 @@ let rec operator_count = function
   | Aggregate { input; _ } | Window { input; _ } | Sort { input; _ }
   | Top_k { input; _ } | Limit { input; _ } ->
       1 + operator_count input
+
+(** [children p] lists [p]'s direct inputs (left before right), matching
+    the preorder numbering the profiler uses. *)
+let children = function
+  | Scan _ | Index_scan _ | One_row -> []
+  | Filter (_, i, _) | Project (_, i, _) | Distinct (i, _) -> [ i ]
+  | Join { left; right; _ } -> [ left; right ]
+  | Aggregate { input; _ } | Window { input; _ } | Sort { input; _ }
+  | Top_k { input; _ } | Limit { input; _ } ->
+      [ input ]
+
+(** [op_name p] is a short operator label for EXPLAIN ANALYZE rows. *)
+let op_name = function
+  | Scan { table; _ } -> "Scan " ^ table
+  | Index_scan { table; col_name; _ } -> Printf.sprintf "IndexScan %s.%s" table col_name
+  | One_row -> "OneRow"
+  | Filter _ -> "Filter"
+  | Project _ -> "Project"
+  | Join { algo; kind; _ } ->
+      (match kind with Lplan.Inner -> "" | Lplan.Left_outer -> "LeftOuter")
+      ^ join_algo_name algo
+  | Aggregate { algo; _ } -> agg_algo_name algo
+  | Window _ -> "Window"
+  | Sort _ -> "Sort"
+  | Top_k _ -> "TopK"
+  | Distinct _ -> "Distinct"
+  | Limit _ -> "Limit"
+
+(** [preorder p] lists every operator of [p] in the preorder numbering
+    shared with {!Quill_exec.Profile}: index [i] of the result is the
+    node profiled as operator [i]. *)
+let preorder p =
+  let acc = ref [] in
+  let rec go p =
+    acc := p :: !acc;
+    List.iter go (children p)
+  in
+  go p;
+  Array.of_list (List.rev !acc)
 
 (** [ordering_of p] returns an order guarantee on [p]'s output: the rows
     are sorted by this (possibly empty) key prefix.  Used by the picker to

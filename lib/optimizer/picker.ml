@@ -55,10 +55,11 @@ let cols_of_expr e = IntSet.of_list (Bexpr.cols e)
 
 let terms e = List.length (Bexpr.conjuncts e)
 
-(* Access-path selection: can predicate [pred] over [table] be served by
-   a declared ordered index more cheaply than a filtered full scan?
-   Returns the Index_scan node if so. *)
-let try_index_scan env ~full_scan_cost ~out_rows ~table ~schema pred =
+(* Access-path selection: the best declared ordered index able to serve
+   predicate [pred] over [table], as (col, col_name, lo, hi, residual,
+   cost).  The caller compares the cost against the filtered full scan
+   and keeps the loser as an EXPLAIN candidate. *)
+let try_index_scan env ~table ~schema pred =
   let indexed = env.Card.indexed table in
   if indexed = [] then None
   else begin
@@ -144,13 +145,10 @@ let try_index_scan env ~full_scan_cost ~out_rows ~table ~schema pred =
         None indexed
     in
     match best with
-    | Some (col, lo, hi, residual, _, cost) when cost < full_scan_cost ->
+    | Some (col, lo, hi, residual, _, cost) ->
         let col_name = Schema.base_name (Schema.column schema col).Schema.name in
-        Some
-          (Physical.Index_scan
-             { table; schema; col; col_name; lo; hi; residual;
-               info = { Physical.est_rows = out_rows; est_cost = cost } })
-    | _ -> None
+        Some (col, col_name, lo, hi, residual, cost)
+    | None -> None
   end
 
 let rec convert env opts plan ~needed : Physical.t =
@@ -170,8 +168,13 @@ let rec convert env opts plan ~needed : Physical.t =
         | None -> if cost_col <= cost_row then Physical.Col_layout else Physical.Row_layout
       in
       let est_cost = match layout with Physical.Col_layout -> cost_col | _ -> cost_row in
+      let candidates =
+        [ Physical.candidate ~chosen:(layout = Physical.Col_layout) "col-scan" cost_col;
+          Physical.candidate ~chosen:(layout = Physical.Row_layout) "row-scan" cost_row ]
+      in
       Physical.Scan
-        { table; schema; layout; filter = None; info = { est_rows = rows; est_cost } }
+        { table; schema; layout; filter = None;
+          info = Physical.mk_info ~candidates ~est_rows:rows ~est_cost () }
   | Lplan.Filter (pred, input) ->
       let needed_in = IntSet.union needed (cols_of_expr pred) in
       let pin = convert env opts input ~needed:needed_in in
@@ -181,20 +184,42 @@ let rec convert env opts plan ~needed : Physical.t =
         +. Cost.filter ~workers:opts.parallelism ~rows:child.Physical.est_rows
              ~terms:(terms pred) ()
       in
-      let info = { Physical.est_rows = card.Card.rows; est_cost } in
+      let info = Physical.mk_info ~est_rows:card.Card.rows ~est_cost () in
       (* Fuse the predicate into a bare scan, or switch the access path to
          an index range scan when it is cheaper. *)
       (match pin with
-      | Physical.Scan { table; schema; layout; filter = None; info = _ } -> (
+      | Physical.Scan { table; schema; layout; filter = None; info = scan_info } -> (
           let index_path =
-            if opts.enable_index then
-              try_index_scan env ~full_scan_cost:est_cost ~out_rows:card.Card.rows
-                ~table ~schema pred
+            if opts.enable_index then try_index_scan env ~table ~schema pred
             else None
           in
           match index_path with
-          | Some iscan -> iscan
-          | None -> Physical.Scan { table; schema; layout; filter = Some pred; info })
+          | Some (col, col_name, lo, hi, residual, cost) when cost < est_cost ->
+              let candidates =
+                [ Physical.candidate ~chosen:true
+                    (Printf.sprintf "index-scan(%s)" col_name) cost;
+                  Physical.candidate ~chosen:false "filtered-scan" est_cost ]
+              in
+              Physical.Index_scan
+                { table; schema; col; col_name; lo; hi; residual;
+                  info =
+                    Physical.mk_info ~candidates ~est_rows:card.Card.rows
+                      ~est_cost:cost () }
+          | index_path ->
+              (* Keep the layout decision's candidates and record the losing
+                 index path (when one was priced) on the fused scan. *)
+              let candidates =
+                scan_info.Physical.candidates
+                @
+                match index_path with
+                | Some (_, col_name, _, _, _, cost) ->
+                    [ Physical.candidate ~chosen:false
+                        (Printf.sprintf "index-scan(%s)" col_name) cost ]
+                | None -> []
+              in
+              Physical.Scan
+                { table; schema; layout; filter = Some pred;
+                  info = { info with Physical.candidates } })
       | _ -> Physical.Filter (pred, pin, info))
   | Lplan.Project (items, input) ->
       let needed_in =
@@ -208,7 +233,7 @@ let rec convert env opts plan ~needed : Physical.t =
         child.Physical.est_cost
         +. Cost.project ~rows:child.Physical.est_rows ~exprs:(List.length items)
       in
-      Physical.Project (items, pin, { est_rows = card.Card.rows; est_cost })
+      Physical.Project (items, pin, Physical.mk_info ~est_rows:card.Card.rows ~est_cost ())
   | Lplan.Join { kind; cond; left; right } ->
       let left_card = Card.derive env left and right_card = Card.derive env right in
       let la = Array.length left_card.Card.cols in
@@ -298,9 +323,16 @@ let rec convert env opts plan ~needed : Physical.t =
         +. (Physical.info_of pr).Physical.est_cost
         +. self_cost
       in
+      let candidates =
+        List.filter
+          (fun c -> c.Physical.cand_chosen || c.Physical.cand_cost < Float.infinity)
+          [ Physical.candidate ~chosen:(algo = Physical.Hash_join) "hash-join" hash_cost;
+            Physical.candidate ~chosen:(algo = Physical.Merge_join) "merge-join" merge_cost;
+            Physical.candidate ~chosen:(algo = Physical.Block_nl) "block-nl-join" nl_cost ]
+      in
       Physical.Join
         { algo; kind; keys; residual; build_left; left = pl; right = pr;
-          info = { est_rows = out; est_cost } }
+          info = Physical.mk_info ~candidates ~est_rows:out ~est_cost () }
   | Lplan.Aggregate { keys; aggs; input } ->
       let needed_in =
         List.fold_left
@@ -331,9 +363,15 @@ let rec convert env opts plan ~needed : Physical.t =
             if keys = [] || hash_cost <= sort_cost then (Physical.Hash_agg, hash_cost)
             else (Physical.Sort_agg, sort_cost)
       in
+      let candidates =
+        [ Physical.candidate ~chosen:(algo = Physical.Hash_agg) "hash-agg" hash_cost;
+          Physical.candidate ~chosen:(algo = Physical.Sort_agg) "sort-agg" sort_cost ]
+      in
       Physical.Aggregate
         { algo; keys; aggs; input = pin;
-          info = { est_rows = groups; est_cost = child.Physical.est_cost +. self_cost } }
+          info =
+            Physical.mk_info ~candidates ~est_rows:groups
+              ~est_cost:(child.Physical.est_cost +. self_cost) () }
   | Lplan.Window { specs; input } ->
       (* The window operator needs its input rows intact (it appends
          columns), so everything below is needed; cost is one sort per
@@ -368,7 +406,9 @@ let rec convert env opts plan ~needed : Physical.t =
       in
       Physical.Window
         { specs; input = pin;
-          info = { est_rows = card.Card.rows; est_cost = child.Physical.est_cost +. self } }
+          info =
+            Physical.mk_info ~est_rows:card.Card.rows
+              ~est_cost:(child.Physical.est_cost +. self) () }
   | Lplan.Sort { keys; input } ->
       let needed_in =
         IntSet.union needed (IntSet.of_list (List.map fst keys))
@@ -383,7 +423,9 @@ let rec convert env opts plan ~needed : Physical.t =
         let self = Cost.sort ~rows:child.Physical.est_rows ~width:(full_width in_card) in
         Physical.Sort
           { keys; input = pin;
-            info = { est_rows = card.Card.rows; est_cost = child.Physical.est_cost +. self } }
+            info =
+              Physical.mk_info ~est_rows:card.Card.rows
+                ~est_cost:(child.Physical.est_cost +. self) () }
       end
   | Lplan.Distinct input ->
       let pin = convert env opts input ~needed in
@@ -391,7 +433,9 @@ let rec convert env opts plan ~needed : Physical.t =
       let in_card = Card.derive env input in
       let self = Cost.distinct ~rows:child.Physical.est_rows ~width:(full_width in_card) in
       Physical.Distinct
-        (pin, { est_rows = card.Card.rows; est_cost = child.Physical.est_cost +. self })
+        ( pin,
+          Physical.mk_info ~est_rows:card.Card.rows
+            ~est_cost:(child.Physical.est_cost +. self) () )
   | Lplan.Limit { n; offset; input } -> (
       match (n, input) with
       | Some k, Lplan.Sort { keys; input = sort_in }
@@ -408,23 +452,34 @@ let rec convert env opts plan ~needed : Physical.t =
             Physical.Limit
               { n = Some k; offset; input = pin;
                 info =
-                  { est_rows = Float.of_int k; est_cost = child.Physical.est_cost } }
+                  Physical.mk_info ~est_rows:(Float.of_int k)
+                    ~est_cost:child.Physical.est_cost () }
           else begin
             let self =
               Cost.top_k ~rows:child.Physical.est_rows ~k:(Float.of_int (k + offset))
             in
+            let sort_cost =
+              Cost.sort ~rows:child.Physical.est_rows
+                ~width:(full_width (Card.derive env sort_in))
+            in
+            let candidates =
+              [ Physical.candidate ~chosen:true "top-k" self;
+                Physical.candidate ~chosen:false "sort+limit" sort_cost ]
+            in
             Physical.Top_k
               { k; offset; keys; input = pin;
                 info =
-                  { est_rows = Float.of_int k;
-                    est_cost = child.Physical.est_cost +. self } }
+                  Physical.mk_info ~candidates ~est_rows:(Float.of_int k)
+                    ~est_cost:(child.Physical.est_cost +. self) () }
           end
       | _ ->
           let pin = convert env opts input ~needed in
           let child = Physical.info_of pin in
           Physical.Limit
             { n; offset; input = pin;
-              info = { est_rows = card.Card.rows; est_cost = child.Physical.est_cost } })
+              info =
+                Physical.mk_info ~est_rows:card.Card.rows
+                  ~est_cost:child.Physical.est_cost () })
 
 (** [to_physical ?options env plan] picks algorithms for an already
     rewritten/ordered logical plan. *)
@@ -433,10 +488,14 @@ let to_physical ?(options = default_options) env plan =
   convert env options plan ~needed:(IntSet.of_list (List.init out_arity Fun.id))
 
 (** [optimize ?options env plan] runs the full pipeline: rewrite, join
-    reorder, algorithm picking. *)
+    reorder, algorithm picking.  Each phase is a tracer span. *)
 let optimize ?(options = default_options) env plan =
-  let plan = Rewrite.rewrite plan in
-  let plan = if options.enable_reorder then Join_order.reorder env plan else plan in
+  let plan = Quill_obs.Trace.with_span "rewrite" (fun () -> Rewrite.rewrite plan) in
+  let plan =
+    if options.enable_reorder then
+      Quill_obs.Trace.with_span "join-order" (fun () -> Join_order.reorder env plan)
+    else plan
+  in
   (* Reordering can introduce new projections; clean up once more. *)
   let plan = Rewrite.drop_noop_projects plan in
-  to_physical ~options env plan
+  Quill_obs.Trace.with_span "pick" (fun () -> to_physical ~options env plan)

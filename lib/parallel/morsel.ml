@@ -9,6 +9,11 @@
 
 let default_size = 16_384
 
+(* Morsels handed out and parallel dispatches started, for the metrics
+   registry ([\metrics] in quillsh). *)
+let m_morsels = Quill_obs.Metrics.counter "quill.parallel.morsels"
+let m_dispatches = Quill_obs.Metrics.counter "quill.parallel.dispatches"
+
 (* Mutable so the E13 morsel-size sweep and the boundary-condition tests
    can shrink it; every dispatch reads it once up front. *)
 let size = ref default_size
@@ -40,6 +45,8 @@ let iter ~workers ~n (f : worker:int -> lo:int -> hi:int -> unit) =
   if n > 0 then begin
     let workers = effective_workers ~workers n in
     let step = !size in
+    Quill_obs.Metrics.incr m_dispatches;
+    Quill_obs.Metrics.add m_morsels ((n + step - 1) / step);
     let next = Atomic.make 0 in
     Pool.run ~workers (fun w ->
         let rec loop () =

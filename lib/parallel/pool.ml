@@ -100,6 +100,8 @@ let worker_loop pool () =
   in
   loop ()
 
+let g_workers = Quill_obs.Metrics.gauge "quill.parallel.workers"
+
 (* Ensure at least [n] spawned workers; call with [pool.mutex] NOT held. *)
 let ensure_workers pool n =
   Mutex.lock pool.mutex;
@@ -107,6 +109,7 @@ let ensure_workers pool n =
   for _ = 1 to missing do
     pool.workers <- Domain.spawn (worker_loop pool) :: pool.workers
   done;
+  Quill_obs.Metrics.set g_workers (List.length pool.workers);
   Mutex.unlock pool.mutex
 
 (** [spawned ()] is the number of live worker domains (observability). *)
@@ -175,4 +178,5 @@ let shutdown () =
   Condition.broadcast pool.work;
   Mutex.unlock pool.mutex;
   List.iter Domain.join workers;
+  Quill_obs.Metrics.set g_workers 0;
   the_pool := mk_pool ()

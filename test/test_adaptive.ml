@@ -150,6 +150,42 @@ let test_query_adaptive_caches_and_agrees () =
   let after = Tutil.table_rows (Quill.Db.query_adaptive db ~params sql) in
   Tutil.check_same_unordered "still correct" direct after
 
+(* The adaptive layer's behaviour must be visible through the metrics
+   registry: cache traffic, tier-ups and feedback re-optimizations all
+   move the process-wide counters (deltas, since the registry is global). *)
+let test_registry_observes_adaptive () =
+  let module Metrics = Quill_obs.Metrics in
+  let m_hits = Metrics.counter "quill.plan_cache.hits" in
+  let m_misses = Metrics.counter "quill.plan_cache.misses" in
+  let m_tierups = Metrics.counter "quill.tiering.tierups" in
+  let m_reopts = Metrics.counter "quill.feedback.reoptimizations" in
+  let m_hints = Metrics.counter "quill.feedback.hints" in
+  let hits0 = Metrics.value m_hits
+  and misses0 = Metrics.value m_misses
+  and tierups0 = Metrics.value m_tierups in
+  let db = Tutil.random_db ~seed:12 ~rows:150 in
+  Quill.Db.set_policy db (Tiering.Tiered 2);
+  let sql = "SELECT k, count(*) FROM r GROUP BY k" in
+  for _ = 1 to 3 do
+    ignore (Quill.Db.query_adaptive db sql)
+  done;
+  Alcotest.(check int) "one cold miss" 1 (Metrics.value m_misses - misses0);
+  Alcotest.(check int) "two warm hits" 2 (Metrics.value m_hits - hits0);
+  Alcotest.(check int) "one tier-up at threshold" 1
+    (Metrics.value m_tierups - tierups0);
+  (* Feedback counters: a correlated predicate triggers re-optimization
+     and hint learning on the first (instrumented) adaptive run. *)
+  let reopts0 = Metrics.value m_reopts and hints0 = Metrics.value m_hints in
+  let cdb = correlated_db () in
+  ignore (Quill.Db.query_adaptive cdb "SELECT v FROM corr WHERE a < 30 AND b < 30");
+  Alcotest.(check bool) "re-optimization counted" true
+    (Metrics.value m_reopts > reopts0);
+  Alcotest.(check bool) "hints counted" true (Metrics.value m_hints > hints0);
+  (* The gauge tracks live entries. *)
+  let g_entries = Metrics.gauge "quill.plan_cache.entries" in
+  Alcotest.(check bool) "entries gauge set" true
+    (Metrics.gauge_value g_entries >= 1)
+
 let test_micro_adaptive_agrees_and_settles () =
   let schema =
     Schema.create [ Schema.col "x" Value.Int_t; Schema.col "y" Value.Int_t ]
@@ -208,6 +244,7 @@ let () =
       ( "integration",
         [
           Alcotest.test_case "query_adaptive" `Quick test_query_adaptive_caches_and_agrees;
+          Alcotest.test_case "registry observes" `Quick test_registry_observes_adaptive;
           Alcotest.test_case "micro adaptivity" `Quick test_micro_adaptive_agrees_and_settles;
         ] );
     ]

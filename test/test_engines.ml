@@ -265,6 +265,41 @@ let test_parallel_fused_agg () =
       | a, b -> Alcotest.check Tutil.value_testable "exact" a b)
     seq.(0)
 
+(* Differential profile sweep: for every engine, serial and parallel, the
+   root operator's profiled rows_out must equal the materialized result's
+   row count on the TPC-H-analog workload. *)
+let test_profile_root_rows () =
+  let db = Quill.Db.create () in
+  Quill_workload.Tpch.load (Quill.Db.catalog db) ~sf:0.002 ~seed:7;
+  List.iter
+    (fun par ->
+      Quill.Db.set_parallelism db par;
+      List.iter
+        (fun (name, sql) ->
+          let plan = Quill.Db.plan db sql in
+          List.iter
+            (fun engine ->
+              let profile = Quill_exec.Profile.create plan in
+              let ctx =
+                Quill_exec.Exec_ctx.create ~profile (Quill.Db.catalog db)
+              in
+              let rows =
+                match engine with
+                | Quill.Db.Volcano -> Quill_exec.Volcano.run ctx plan
+                | Quill.Db.Vectorized -> Quill_exec.Vector.run ctx plan
+                | Quill.Db.Compiled ->
+                    Quill_util.Vec.to_array (Quill_compile.Codegen.run ctx plan)
+              in
+              Alcotest.(check int)
+                (Printf.sprintf "%s root rows_out (%s, par=%d)" name
+                   (Quill.Db.engine_name engine) par)
+                (Array.length rows)
+                (Quill_exec.Profile.rows profile 0))
+            engines)
+        Quill_workload.Tpch.queries)
+    [ 1; 4 ];
+  Quill.Db.set_parallelism db 1
+
 let test_tpch_engines_agree () =
   let db = Quill.Db.create () in
   Quill_workload.Tpch.load (Quill.Db.catalog db) ~sf:0.002 ~seed:7;
@@ -350,6 +385,7 @@ let () =
       ( "tpch",
         [
           Alcotest.test_case "queries agree" `Slow test_tpch_engines_agree;
+          Alcotest.test_case "profile root rows" `Quick test_profile_root_rows;
           Alcotest.test_case "q1 floats close" `Slow test_tpch_q1_values_close;
         ] );
     ]

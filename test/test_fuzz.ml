@@ -220,8 +220,53 @@ let prop_parallel_agrees =
                   check_shape shape)
                 [ 2; 3 ])))
 
+let row_dump rows =
+  (* A byte-exact serialization: observability must not change a single
+     value, not just multiset equality. *)
+  String.concat "\n"
+    (Array.to_list
+       (Array.map
+          (fun row ->
+            String.concat "|"
+              (Array.to_list (Array.map Quill_storage.Value.to_string row)))
+          rows))
+
+let prop_observability_is_transparent =
+  (* Running the same query with tracing on AND an instrumented EXPLAIN
+     ANALYZE in between must return byte-identical rows to the
+     uninstrumented run: profiling sinks and spans cannot perturb
+     results. *)
+  Tutil.qtest ~count:100 "fuzz: tracing + EXPLAIN ANALYZE is transparent"
+    query_gen
+    (fun shape ->
+      let db = Lazy.force db in
+      let sort rows =
+        if shape.ordered then rows
+        else begin
+          let l = Array.copy rows in
+          Array.sort compare l;
+          l
+        end
+      in
+      let plain =
+        row_dump (sort (Tutil.table_rows (Quill.Db.query db shape.sql)))
+      in
+      Fun.protect
+        ~finally:(fun () -> Quill.Db.set_tracing false)
+        (fun () ->
+          Quill.Db.set_tracing true;
+          ignore (Quill.Db.explain db ~analyze:true shape.sql);
+          let traced =
+            row_dump (sort (Tutil.table_rows (Quill.Db.query db shape.sql)))
+          in
+          if plain <> traced then
+            QCheck2.Test.fail_reportf
+              "instrumented run differs on %s\nplain:\n%s\ntraced:\n%s"
+              shape.sql plain traced
+          else true))
+
 let () =
   Alcotest.run "fuzz"
     [ ( "random queries",
         [ prop_engines_agree; prop_optimizer_preserves; prop_forced_joins_agree;
-          prop_parallel_agrees ] ) ]
+          prop_parallel_agrees; prop_observability_is_transparent ] ) ]

@@ -1,0 +1,421 @@
+(* Observability layer: span tracer units (nesting, ordering, exception
+   safety, disabled no-op), metrics registry units (counters, gauges,
+   histograms, interning, type clash), Chrome-trace JSON shape (validated
+   with a small JSON parser), and the enriched EXPLAIN ANALYZE surface. *)
+
+module Trace = Quill_obs.Trace
+module Metrics = Quill_obs.Metrics
+
+(* --- A minimal JSON parser, enough to validate trace exports. --------- *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_arr of json list
+  | J_obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail m = raise (Bad_json (Printf.sprintf "%s at %d" m !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some got when got = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some (('"' | '\\' | '/') as c) ->
+              Buffer.add_char buf c;
+              advance ();
+              go ()
+          | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
+          | Some 'b' -> Buffer.add_char buf '\b'; advance (); go ()
+          | Some 'f' -> Buffer.add_char buf '\012'; advance (); go ()
+          | Some 'u' ->
+              advance ();
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              Buffer.add_char buf (Char.chr (int_of_string ("0x" ^ hex) land 0xff));
+              go ()
+          | _ -> fail "bad escape")
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let number_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> number_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); J_obj [] end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((k, v) :: acc)
+            | Some '}' -> advance (); List.rev ((k, v) :: acc)
+            | _ -> fail "expected , or }"
+          in
+          J_obj (members [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); J_arr [] end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements (v :: acc)
+            | Some ']' -> advance (); List.rev (v :: acc)
+            | _ -> fail "expected , or ]"
+          in
+          J_arr (elements [])
+        end
+    | Some '"' -> J_str (parse_string ())
+    | Some 't' -> literal "true" (J_bool true)
+    | Some 'f' -> literal "false" (J_bool false)
+    | Some 'n' -> literal "null" J_null
+    | Some _ -> J_num (parse_number ())
+    | None -> fail "unexpected end"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage";
+  v
+
+let field obj name =
+  match obj with
+  | J_obj kvs -> (
+      match List.assoc_opt name kvs with
+      | Some v -> v
+      | None -> Alcotest.failf "missing field %S" name)
+  | _ -> Alcotest.fail "not an object"
+
+let str = function J_str s -> s | _ -> Alcotest.fail "not a string"
+let num = function J_num f -> f | _ -> Alcotest.fail "not a number"
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let count_substring hay needle =
+  let nl = String.length needle in
+  let n = ref 0 in
+  for i = 0 to String.length hay - nl do
+    if String.sub hay i nl = needle then incr n
+  done;
+  !n
+
+(* --- Tracer ----------------------------------------------------------- *)
+
+let span_names spans = List.map (fun s -> s.Trace.name) spans
+
+let test_span_nesting () =
+  Trace.set_enabled true;
+  Trace.with_span "outer" (fun () ->
+      Trace.with_span "inner1" (fun () -> ignore (Sys.opaque_identity 1));
+      Trace.instant "mark";
+      Trace.with_span "inner2" (fun () ->
+          Trace.with_span "leaf" (fun () -> ())));
+  Trace.set_enabled false;
+  let spans = Trace.spans () in
+  Alcotest.(check (list string))
+    "open order" [ "outer"; "inner1"; "mark"; "inner2"; "leaf" ]
+    (span_names spans);
+  let by_name n = List.find (fun s -> s.Trace.name = n) spans in
+  let outer = by_name "outer" in
+  Alcotest.(check int) "outer depth" 0 outer.Trace.depth;
+  Alcotest.(check int) "outer is root" (-1) outer.Trace.parent;
+  List.iter
+    (fun n ->
+      let s = by_name n in
+      Alcotest.(check int) (n ^ " depth") 1 s.Trace.depth;
+      Alcotest.(check int) (n ^ " parent") outer.Trace.seq s.Trace.parent)
+    [ "inner1"; "mark"; "inner2" ];
+  let leaf = by_name "leaf" in
+  Alcotest.(check int) "leaf depth" 2 leaf.Trace.depth;
+  Alcotest.(check int) "leaf parent" (by_name "inner2").Trace.seq leaf.Trace.parent;
+  (* Children are contained in the parent's time window. *)
+  List.iter
+    (fun n ->
+      let s = by_name n in
+      Alcotest.(check bool) (n ^ " starts after outer") true
+        (s.Trace.start >= outer.Trace.start);
+      Alcotest.(check bool) (n ^ " ends within outer") true
+        (s.Trace.start +. s.Trace.dur
+        <= outer.Trace.start +. outer.Trace.dur +. 1e-9))
+    [ "inner1"; "inner2"; "leaf" ]
+
+let test_span_exception_safety () =
+  Trace.set_enabled true;
+  (try Trace.with_span "boom" (fun () -> failwith "bang") with Failure _ -> ());
+  Trace.with_span "after" (fun () -> ());
+  Trace.set_enabled false;
+  let spans = Trace.spans () in
+  Alcotest.(check (list string)) "both recorded" [ "boom"; "after" ]
+    (span_names spans);
+  let after = List.nth spans 1 in
+  Alcotest.(check int) "stack unwound: after is top-level" 0 after.Trace.depth;
+  Alcotest.(check int) "after has no parent" (-1) after.Trace.parent
+
+let test_disabled_noop () =
+  Trace.set_enabled false;
+  Trace.clear ();
+  let r = Trace.with_span "invisible" (fun () -> 41 + 1) in
+  Trace.instant "also invisible";
+  Alcotest.(check int) "f still runs" 42 r;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Trace.spans ()));
+  Alcotest.(check string) "empty export" "[]" (Trace.to_chrome_json ());
+  Alcotest.(check bool) "reports disabled" false (Trace.enabled ())
+
+let test_reenable_fresh_epoch () =
+  Trace.set_enabled true;
+  Trace.with_span "first" (fun () -> ());
+  Trace.set_enabled false;
+  Alcotest.(check (list string)) "survives disable" [ "first" ]
+    (span_names (Trace.spans ()));
+  Trace.set_enabled true;
+  (* re-enabling starts a fresh trace *)
+  Trace.with_span "second" (fun () -> ());
+  Trace.set_enabled false;
+  Alcotest.(check (list string)) "fresh buffer" [ "second" ]
+    (span_names (Trace.spans ()))
+
+let test_chrome_json_shape () =
+  Trace.set_enabled true;
+  Trace.with_span ~cat:"compile" ~args:[ ("sql", "select \"x\"\n") ] "codegen"
+    (fun () -> Trace.instant "tick");
+  Trace.set_enabled false;
+  let text = Trace.to_chrome_json () in
+  match parse_json text with
+  | J_arr [ span; instant ] ->
+      Alcotest.(check string) "span name" "codegen" (str (field span "name"));
+      Alcotest.(check string) "span cat" "compile" (str (field span "cat"));
+      Alcotest.(check string) "complete event" "X" (str (field span "ph"));
+      Alcotest.(check bool) "ts >= 0" true (num (field span "ts") >= 0.0);
+      Alcotest.(check bool) "dur >= 0" true (num (field span "dur") >= 0.0);
+      Alcotest.(check bool) "pid" true (num (field span "pid") = 1.0);
+      Alcotest.(check bool) "tid" true (num (field span "tid") = 1.0);
+      Alcotest.(check string) "args round-trip escaping" "select \"x\"\n"
+        (str (field (field span "args") "sql"));
+      Alcotest.(check string) "instant name" "tick" (str (field instant "name"));
+      Alcotest.(check string) "instant event" "i" (str (field instant "ph"));
+      Alcotest.(check string) "instant scope" "t" (str (field instant "s"))
+  | J_arr l -> Alcotest.failf "expected 2 events, got %d" (List.length l)
+  | _ -> Alcotest.fail "not a JSON array"
+  | exception Bad_json m -> Alcotest.failf "invalid JSON (%s): %s" m text
+
+(* --- Metrics ---------------------------------------------------------- *)
+
+let test_counter () =
+  let c = Metrics.counter "test.obs.counter" in
+  let v0 = Metrics.value c in
+  Metrics.incr c;
+  Metrics.add c 41;
+  Alcotest.(check int) "incr + add" 42 (Metrics.value c - v0);
+  (* Interning by name returns the same underlying cell. *)
+  let c' = Metrics.counter "test.obs.counter" in
+  Metrics.incr c';
+  Alcotest.(check int) "same cell" 43 (Metrics.value c - v0)
+
+let test_gauge () =
+  let g = Metrics.gauge "test.obs.gauge" in
+  Metrics.set g 7;
+  Alcotest.(check int) "set" 7 (Metrics.gauge_value g);
+  Metrics.set g 3;
+  Alcotest.(check int) "overwrite" 3 (Metrics.gauge_value g)
+
+let test_type_clash () =
+  let _ = Metrics.counter "test.obs.clash" in
+  Alcotest.check_raises "counter reused as gauge"
+    (Invalid_argument "metric \"test.obs.clash\" registered with another type")
+    (fun () -> ignore (Metrics.gauge "test.obs.clash"))
+
+let test_histogram () =
+  let h = Metrics.histogram "test.obs.hist" in
+  let samples = [ 1e-6; 1e-3; 0.5; 0.5; 2.0 ] in
+  List.iter (Metrics.observe h) samples;
+  Alcotest.(check int) "count" 5 (Metrics.observations h);
+  let total = List.fold_left ( +. ) 0.0 samples in
+  Alcotest.(check bool) "sum" true (Float.abs (Metrics.sum h -. total) < 1e-9);
+  Alcotest.(check bool) "mean" true
+    (Float.abs (Metrics.mean h -. (total /. 5.0)) < 1e-9);
+  (* Quantile bounds: the p99 bucket bound must cover the max sample, and
+     the median bound must not be absurdly above it. *)
+  Alcotest.(check bool) "p99 covers max" true (Metrics.quantile h 0.99 >= 2.0);
+  Alcotest.(check bool) "median sane" true
+    (Metrics.quantile h 0.5 >= 1e-3 && Metrics.quantile h 0.5 <= 2.0);
+  (* Bucket geometry. *)
+  Alcotest.(check int) "tiny values in bucket 0" 0 (Metrics.bucket_index 1e-9);
+  Alcotest.(check bool) "bounds increase" true
+    (Metrics.bucket_bound 3 > Metrics.bucket_bound 2);
+  Alcotest.(check bool) "last bound open" true
+    (Metrics.bucket_bound (Metrics.bucket_count - 1) = Float.infinity);
+  Alcotest.(check bool) "index within range" true
+    (Metrics.bucket_index 1e12 = Metrics.bucket_count - 1)
+
+let test_snapshot_and_render () =
+  let c = Metrics.counter "test.obs.snap" in
+  Metrics.add c 5;
+  let entries = Metrics.snapshot () in
+  let found =
+    List.exists
+      (function
+        | Metrics.Counter_value ("test.obs.snap", v) -> v >= 5
+        | _ -> false)
+      entries
+  in
+  Alcotest.(check bool) "snapshot has counter" true found;
+  let names =
+    List.map
+      (function
+        | Metrics.Counter_value (n, _)
+        | Metrics.Gauge_value (n, _)
+        | Metrics.Histogram_value (n, _, _, _) -> n)
+      entries
+  in
+  Alcotest.(check bool) "sorted by name" true
+    (List.sort compare names = names);
+  let text = Metrics.render () in
+  Alcotest.(check bool) "render mentions metric" true
+    (contains text "test.obs.snap")
+
+(* --- Full pipeline: spans, instants, EXPLAIN ANALYZE ------------------- *)
+
+let test_query_trace_pipeline () =
+  let db = Tutil.random_db ~seed:31 ~rows:120 in
+  Quill.Db.set_tracing true;
+  ignore (Quill.Db.query db "SELECT tag, count(*) FROM r GROUP BY tag");
+  Quill.Db.set_tracing false;
+  let names = span_names (Trace.spans ()) in
+  List.iter
+    (fun phase ->
+      Alcotest.(check bool) ("phase " ^ phase) true (List.mem phase names))
+    [ "query"; "parse"; "bind"; "rewrite"; "pick"; "execute" ];
+  (* The whole export parses as JSON. *)
+  match parse_json (Quill.Db.trace_json ()) with
+  | J_arr events -> Alcotest.(check bool) "events" true (List.length events >= 6)
+  | _ -> Alcotest.fail "trace_json: not an array"
+  | exception Bad_json m -> Alcotest.failf "trace_json invalid: %s" m
+
+let test_adaptive_trace_instants () =
+  let db = Tutil.random_db ~seed:32 ~rows:100 in
+  let sql = "SELECT k, sum(v) FROM r GROUP BY k" in
+  ignore (Quill.Db.query_adaptive db sql);
+  Quill.Db.set_tracing true;
+  ignore (Quill.Db.query_adaptive db sql);
+  Quill.Db.set_tracing false;
+  let spans = Trace.spans () in
+  Alcotest.(check bool) "plan-cache-hit instant" true
+    (List.exists
+       (fun s -> s.Trace.name = "plan-cache-hit" && s.Trace.marker)
+       spans)
+
+let test_explain_analyze_rich () =
+  let db = Tutil.random_db ~seed:33 ~rows:250 in
+  (* Two joins plus a group-by: the acceptance-criteria query shape. *)
+  let sql =
+    "SELECT r.tag, count(*) FROM r, s, r r2 \
+     WHERE r.id = s.id AND r.k = r2.k GROUP BY r.tag"
+  in
+  let out = Quill.Db.explain db ~analyze:true sql in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("has " ^ needle) true (contains out needle))
+    [ "est rows"; "actual rows"; "time (self)"; "time (cumulative)";
+      "rejected candidates"; "HashJoin"; "HashAgg" ];
+  Alcotest.(check bool) "at least two losing candidates" true
+    (count_substring out "cost=" >= 2)
+
+let test_metrics_move_on_query () =
+  let db = Tutil.random_db ~seed:34 ~rows:80 in
+  let queries = Metrics.counter "quill.db.queries" in
+  let batches = Metrics.counter "quill.exec.batches" in
+  let q0 = Metrics.value queries and b0 = Metrics.value batches in
+  ignore (Quill.Db.query db ~engine:Quill.Db.Vectorized "SELECT count(*) FROM r");
+  Alcotest.(check bool) "query counted" true (Metrics.value queries > q0);
+  Alcotest.(check bool) "batches counted" true (Metrics.value batches > b0);
+  let text = Quill.Db.metrics_text () in
+  Alcotest.(check bool) "rendered" true (contains text "quill.db.queries")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "nesting and order" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick test_span_exception_safety;
+          Alcotest.test_case "disabled no-op" `Quick test_disabled_noop;
+          Alcotest.test_case "re-enable fresh" `Quick test_reenable_fresh_epoch;
+          Alcotest.test_case "chrome json shape" `Quick test_chrome_json_shape;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "type clash" `Quick test_type_clash;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "snapshot/render" `Quick test_snapshot_and_render;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "query spans" `Quick test_query_trace_pipeline;
+          Alcotest.test_case "adaptive instants" `Quick test_adaptive_trace_instants;
+          Alcotest.test_case "explain analyze" `Quick test_explain_analyze_rich;
+          Alcotest.test_case "metrics move" `Quick test_metrics_move_on_query;
+        ] );
+    ]
