@@ -878,8 +878,67 @@ let smoke () =
     (List.map (fun (n, t) -> [ n; Printf.sprintf "%.2f" t ]) timings);
   Quill.Db.clear_trace ()
 
+(* ---------------------------------------------------------------- GOV *)
+
+(* Governor smoke: measures abort latency — total wall time of a doomed
+   cross join under a 25ms deadline, and how far past the deadline the
+   Aborted exception surfaced — in all three engines, serial and
+   morsel-parallel, then checks a budget kill and session recovery.
+   Rides with `dune runtest` so resource governance cannot rot between
+   full benchmark runs. *)
+let gov () =
+  Bech.section "GOV: resource governor abort latency";
+  let db = Quill.Db.create () in
+  let mk name col =
+    let t =
+      Table.create ~name
+        (Schema.create [ Schema.col ~nullable:false col Value.Int_t ])
+    in
+    for i = 0 to 59_999 do
+      Table.insert t [| Value.Int i |]
+    done;
+    Catalog.add (Quill.Db.catalog db) t
+  in
+  mk "ga" "x";
+  mk "gb" "y";
+  let timeout_ms = 25 in
+  let doomed = "SELECT count(*) FROM ga, gb" in
+  let measure engine par =
+    Quill.Db.set_parallelism db par;
+    let t0 = Quill_util.Timer.now () in
+    (try
+       ignore (Quill.Db.query db ~engine ~timeout_ms doomed);
+       failwith "GOV: a 3.6e9-pair cross join finished under a 25ms deadline"
+     with Quill.Db.Aborted Quill.Db.Timeout -> ());
+    let elapsed = Quill_util.Timer.now () -. t0 in
+    if elapsed > 1.0 then
+      failwith (Printf.sprintf "GOV: abort took %.2fs (bound: 1s)" elapsed);
+    let overrun = Float.max 0.0 (elapsed -. (Float.of_int timeout_ms /. 1000.0)) in
+    [ Quill.Db.engine_name engine; string_of_int par; Bech.ms elapsed;
+      Bech.ms overrun ]
+  in
+  let rows =
+    List.concat_map
+      (fun engine -> [ measure engine 1; measure engine 4 ])
+      [ Quill.Db.Volcano; Quill.Db.Vectorized; Quill.Db.Compiled ]
+  in
+  Quill.Db.set_parallelism db 1;
+  Bech.table ~header:[ "engine"; "parallelism"; "total ms"; "overrun ms" ] rows;
+  (* A 1MB budget must kill the 60k-group hash aggregation early... *)
+  (try
+     ignore
+       (Quill.Db.query db ~budget_bytes:(1024 * 1024)
+          "SELECT x, count(*) FROM ga GROUP BY x");
+     failwith "GOV: budget did not abort"
+   with Quill.Db.Aborted Quill.Db.Resource_exhausted -> ());
+  (* ...and the session (and the shared pool) stays usable afterwards. *)
+  (match Table.get (Quill.Db.query db "SELECT count(*) FROM ga") 0 0 with
+  | Value.Int 60_000 -> ()
+  | _ -> failwith "GOV: session unusable after abort");
+  print_endline "budget kill + recovery OK"
+
 let all =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
     ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
-    ("SMOKE", smoke) ]
+    ("SMOKE", smoke); ("GOV", gov) ]

@@ -5,6 +5,8 @@
      \d NAME       describe a table
      \engine NAME  switch engine (volcano | vectorized | compiled)
      \timing       toggle per-statement timing
+     \timeout [MS] show or set the per-query deadline (0 or off = none)
+     \budget [B]   show or set the per-query memory budget in bytes
      \explain SQL  show the physical plan
      \trace        show tracing status; \trace on|off toggles the span
                    tracer; \trace json [FILE] exports Chrome trace JSON
@@ -36,6 +38,7 @@ let run_sql s sql =
   match Quill_util.Timer.time (fun () -> Db.exec s.db sql) with
   | result, dt -> print_result s dt result
   | exception Db.Error m -> Printf.printf "error: %s\n" m
+  | exception Db.Aborted r -> Printf.printf "aborted: %s\n" (Db.abort_reason_name r)
 
 let describe s name =
   match Catalog.find (Db.catalog s.db) name with
@@ -54,6 +57,32 @@ let meta s line =
   | [ "\\timing" ] ->
       s.timing <- not s.timing;
       Printf.printf "timing %s\n" (if s.timing then "on" else "off")
+  | [ "\\timeout" ] -> (
+      match Db.timeout_ms s.db with
+      | None -> print_endline "timeout: none"
+      | Some ms -> Printf.printf "timeout: %d ms\n" ms)
+  | [ "\\timeout"; v ] -> (
+      match (String.lowercase_ascii v, int_of_string_opt v) with
+      | "off", _ | _, Some 0 ->
+          Db.set_timeout s.db None;
+          print_endline "timeout off"
+      | _, Some ms when ms > 0 ->
+          Db.set_timeout s.db (Some ms);
+          Printf.printf "timeout: %d ms\n" ms
+      | _ -> print_endline "usage: \\timeout MS (0 or off to clear)")
+  | [ "\\budget" ] -> (
+      match Db.budget_bytes s.db with
+      | None -> print_endline "budget: none"
+      | Some b -> Printf.printf "budget: %d bytes\n" b)
+  | [ "\\budget"; v ] -> (
+      match (String.lowercase_ascii v, int_of_string_opt v) with
+      | "off", _ | _, Some 0 ->
+          Db.set_budget s.db None;
+          print_endline "budget off"
+      | _, Some b when b > 0 ->
+          Db.set_budget s.db (Some b);
+          Printf.printf "budget: %d bytes\n" b
+      | _ -> print_endline "usage: \\budget BYTES (0 or off to clear)")
   | [ "\\engine"; name ] -> (
       match String.lowercase_ascii name with
       | "volcano" -> Db.set_engine s.db Db.Volcano

@@ -88,10 +88,14 @@ let add t ~sql ~param_types ~catalog_version ?(subs = []) plan =
 
 (** [invalidate t ~sql ~param_types] drops one entry (used after
     re-optimization decisions). *)
-let invalidate t ~sql ~param_types = Hashtbl.remove t.entries (key sql param_types)
+let invalidate t ~sql ~param_types =
+  Hashtbl.remove t.entries (key sql param_types);
+  Quill_obs.Metrics.set g_entries (Hashtbl.length t.entries)
 
 (** [clear t] empties the cache. *)
-let clear t = Hashtbl.reset t.entries
+let clear t =
+  Hashtbl.reset t.entries;
+  Quill_obs.Metrics.set g_entries 0
 
 (** [size t] is the number of live entries. *)
 let size t = Hashtbl.length t.entries

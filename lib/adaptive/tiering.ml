@@ -55,7 +55,8 @@ let execute ~policy ~(ctx : Quill_exec.Exec_ctx.t) (entry : Plan_cache.entry) =
               entry.Plan_cache.total_exec_time +. dt;
             c
       in
-      Quill_util.Timer.time (fun () -> compiled ctx.Quill_exec.Exec_ctx.params)
+      Quill_util.Timer.time (fun () ->
+          compiled ctx.Quill_exec.Exec_ctx.governor ctx.Quill_exec.Exec_ctx.params)
     end
     else
       Quill_util.Timer.time (fun () ->

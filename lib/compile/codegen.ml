@@ -22,6 +22,7 @@ module Vec = Quill_util.Vec
 module Bexpr = Quill_plan.Bexpr
 module Lplan = Quill_plan.Lplan
 module Physical = Quill_optimizer.Physical
+module Governor = Quill_exec.Governor
 module Join_algos = Quill_exec.Join_algos
 module Agg_algos = Quill_exec.Agg_algos
 module Sort_algos = Quill_exec.Sort_algos
@@ -37,17 +38,20 @@ exception Limit_reached
 let enable_scan_agg_fusion = ref true
 let enable_col_pred = ref true
 
-type compiled = Value.t array -> Value.t array Vec.t
-(** [run params] executes the staged plan and returns the result rows. *)
+type compiled = Governor.t -> Value.t array -> Value.t array Vec.t
+(** [run gov params] executes the staged plan under resource governor
+    [gov] and returns the result rows.  Pass {!Governor.none} for an
+    ungoverned run. *)
 
 type consume = Value.t array -> unit
 
-(* The parameter vector of the current execution, read by staged
-   closures through this cell. *)
+(* The parameter vector and governor of the current execution, read by
+   staged closures through these cells. *)
 type stage_ctx = {
   catalog : Catalog.t;
   params : Value.t array ref;
   indexes : Quill_storage.Index.Registry.t;
+  gov : Governor.t ref;
 }
 
 let cols_of_expr e = IntSet.of_list (Bexpr.cols e)
@@ -99,6 +103,7 @@ let fuse_scan_agg sctx ~table ~filter ~(aggs : (Lplan.agg * string) list) () :
   let t = Catalog.find_exn sctx.catalog table in
   let cols = Table.columnar t in
   let params = !(sctx.params) in
+  let gov = !(sctx.gov) in
   let n = Table.row_count t in
   let pred =
     match filter with
@@ -236,6 +241,7 @@ let fuse_scan_agg sctx ~table ~filter ~(aggs : (Lplan.agg * string) list) () :
         let nsteps = Array.length steps in
         let run_range accs lo hi =
           for i = lo to hi - 1 do
+            Governor.tick gov;
             if pred i then
               for j = 0 to nsteps - 1 do
                 steps.(j).step accs.(j) i
@@ -274,6 +280,7 @@ let stage_col_scan_ranges sctx ~table ~filter ~arity ~needed =
   let row_pred = Option.map (compile_pred sctx) filter in
   let t = Catalog.find_exn sctx.catalog table in
   fun () ->
+    let gov = !(sctx.gov) in
     let cols = Table.columnar t in
     let n = Table.row_count t in
     (* Per-execution predicate specialization: parameters are known now,
@@ -296,15 +303,18 @@ let stage_col_scan_ranges sctx ~table ~filter ~arity ~needed =
       match (fast_pred, row_pred) with
       | Some p, _ ->
           for i = lo to hi - 1 do
+            Governor.tick gov;
             if p i then consume (build_row i)
           done
       | None, Some p ->
           for i = lo to hi - 1 do
+            Governor.tick gov;
             let row = build_row i in
             if p row then consume row
           done
       | None, None ->
           for i = lo to hi - 1 do
+            Governor.tick gov;
             consume (build_row i)
           done
     in
@@ -327,14 +337,17 @@ let rec produce sctx (plan : Physical.t) ~needed (consume : consume) : unit -> u
       | Physical.Row_layout ->
           let pred = Option.map (compile_pred sctx) filter in
           fun () ->
+            let gov = !(sctx.gov) in
             let n = Table.row_count t in
             (match pred with
             | None ->
                 for i = 0 to n - 1 do
+                  Governor.tick gov;
                   consume (Array.copy (Table.get_row t i))
                 done
             | Some p ->
                 for i = 0 to n - 1 do
+                  Governor.tick gov;
                   let row = Table.get_row t i in
                   if p row then consume (Array.copy row)
                 done)
@@ -352,8 +365,10 @@ let rec produce sctx (plan : Physical.t) ~needed (consume : consume) : unit -> u
         let lo = Quill_exec.Index_access.eval_bound ~params lo in
         let hi = Quill_exec.Index_access.eval_bound ~params hi in
         let ids = Quill_exec.Index_access.rowids ctx ~table ~col_name ~col ~lo ~hi in
+        let gov = !(sctx.gov) in
         List.iter
           (fun i ->
+            Governor.tick gov;
             let row = Array.copy (Table.get_row t i) in
             match residual_p with
             | Some p when not (p row) -> ()
@@ -408,6 +423,7 @@ let rec produce sctx (plan : Physical.t) ~needed (consume : consume) : unit -> u
             match Join_algos.key_of bkeys row with
             | None -> ()
             | Some k ->
+                Governor.charge_row ~overhead:48 !(sctx.gov) row;
                 let h = Join_algos.hash_key k in
                 (match Hashtbl.find_opt table h with
                 | Some l -> l := (k, row) :: !l
@@ -488,21 +504,26 @@ let rec produce sctx (plan : Physical.t) ~needed (consume : consume) : unit -> u
             probe_thunk ()
       | Physical.Merge_join | Physical.Block_nl ->
           let lbuf = Vec.create ~dummy:[||] and rbuf = Vec.create ~dummy:[||] in
-          let lthunk = produce sctx left ~needed:needed_l (Vec.push lbuf) in
-          let rthunk = produce sctx right ~needed:needed_r (Vec.push rbuf) in
+          let buffer buf row =
+            Governor.charge_row !(sctx.gov) row;
+            Vec.push buf row
+          in
+          let lthunk = produce sctx left ~needed:needed_l (buffer lbuf) in
+          let rthunk = produce sctx right ~needed:needed_r (buffer rbuf) in
           let residual_p = Option.map (compile_pred sctx) residual in
           fun () ->
             Vec.clear lbuf;
             Vec.clear rbuf;
             lthunk ();
             rthunk ();
+            let gov = !(sctx.gov) in
             let out =
               match algo with
               | Physical.Merge_join ->
-                  Join_algos.merge_join ~mode ~right_arity ~keys ~residual:residual_p
+                  Join_algos.merge_join ~gov ~mode ~right_arity ~keys ~residual:residual_p
                     (Vec.to_array lbuf) (Vec.to_array rbuf)
               | _ ->
-                  Join_algos.block_nl_join ~mode ~right_arity ~pred:residual_p
+                  Join_algos.block_nl_join ~gov ~mode ~right_arity ~pred:residual_p
                     (Vec.to_array lbuf) (Vec.to_array rbuf)
             in
             Vec.iter consume out)
@@ -547,12 +568,16 @@ let rec produce sctx (plan : Physical.t) ~needed (consume : consume) : unit -> u
       | Physical.Hash_agg ->
           (* Streaming upsert into the group table: the input pipeline is
              fused with aggregation. *)
+          let nspecs = List.length specs in
           let feed_into groups order row =
+            let gov = !(sctx.gov) in
+            Governor.tick gov;
             let k = List.map (fun f -> f row) key_fns in
             let states =
               match Hashtbl.find_opt groups k with
               | Some s -> s
               | None ->
+                  Governor.charge gov (Agg_algos.group_bytes k nspecs);
                   let s = List.map Agg_algos.new_state specs in
                   Hashtbl.add groups k s;
                   Vec.push order k;
@@ -612,11 +637,17 @@ let rec produce sctx (plan : Physical.t) ~needed (consume : consume) : unit -> u
                 emit_result groups order)
       | Physical.Sort_agg ->
           let buf = Vec.create ~dummy:[||] in
-          let child = produce sctx input ~needed:needed_in (Vec.push buf) in
+          let child =
+            produce sctx input ~needed:needed_in (fun row ->
+                Governor.charge_row !(sctx.gov) row;
+                Vec.push buf row)
+          in
           fun () ->
             Vec.clear buf;
             child ();
-            Vec.iter consume (Agg_algos.sort_agg ~keys:key_fns ~specs (Vec.to_array buf)))
+            Vec.iter consume
+              (Agg_algos.sort_agg ~gov:!(sctx.gov) ~keys:key_fns ~specs
+                 (Vec.to_array buf)))
       in
       (match fused_attempt with
       | None -> general
@@ -638,7 +669,11 @@ let rec produce sctx (plan : Physical.t) ~needed (consume : consume) : unit -> u
           specs
       in
       let buf = Vec.create ~dummy:[||] in
-      let child = produce sctx input ~needed:all (Vec.push buf) in
+      let child =
+        produce sctx input ~needed:all (fun row ->
+            Governor.charge_row !(sctx.gov) row;
+            Vec.push buf row)
+      in
       fun () ->
         Vec.clear buf;
         child ();
@@ -647,7 +682,11 @@ let rec produce sctx (plan : Physical.t) ~needed (consume : consume) : unit -> u
   | Physical.Sort { keys; input; _ } ->
       let needed_in = IntSet.union needed (IntSet.of_list (List.map fst keys)) in
       let buf = Vec.create ~dummy:[||] in
-      let child = produce sctx input ~needed:needed_in (Vec.push buf) in
+      let child =
+        produce sctx input ~needed:needed_in (fun row ->
+            Governor.charge_row !(sctx.gov) row;
+            Vec.push buf row)
+      in
       fun () ->
         Vec.clear buf;
         child ();
@@ -657,10 +696,12 @@ let rec produce sctx (plan : Physical.t) ~needed (consume : consume) : unit -> u
   | Physical.Top_k { k; offset; keys; input; _ } ->
       let needed_in = IntSet.union needed (IntSet.of_list (List.map fst keys)) in
       let cmp = Sort_algos.row_compare keys in
-      let heap = ref (Topk.create ~cmp ~k:(k + offset) ~dummy:[||]) in
+      let heap = ref (Topk.create ~cmp ~k:(k + offset) ~dummy:[||] ()) in
       let child = produce sctx input ~needed:needed_in (fun row -> Topk.offer !heap row) in
       fun () ->
-        heap := Topk.create ~cmp ~k:(k + offset) ~dummy:[||];
+        heap :=
+          Topk.create ~gov:!(sctx.gov) ~bytes:Governor.row_bytes ~cmp
+            ~k:(k + offset) ~dummy:[||] ();
         child ();
         let sorted = Topk.finish !heap in
         for i = offset to Array.length sorted - 1 do
@@ -674,6 +715,7 @@ let rec produce sctx (plan : Physical.t) ~needed (consume : consume) : unit -> u
             let k = Array.to_list row in
             if not (Hashtbl.mem seen k) then begin
               Hashtbl.add seen k ();
+              Governor.charge_row ~overhead:48 !(sctx.gov) row;
               consume row
             end)
       in
@@ -717,16 +759,21 @@ let compile ?indexes catalog (plan : Physical.t) : compiled =
               | Some r -> r
               | None -> Quill_storage.Index.Registry.create ()
             in
-            let sctx = { catalog; params = ref [||]; indexes } in
+            let sctx =
+              { catalog; params = ref [||]; indexes; gov = ref Governor.none }
+            in
             let out = Vec.create ~dummy:[||] in
             let out_arity = Schema.arity (Physical.schema_of plan) in
             let root =
               produce sctx plan
                 ~needed:(IntSet.of_list (List.init out_arity Fun.id))
-                (fun row -> Vec.push out row)
+                (fun row ->
+                  Governor.charge_row !(sctx.gov) row;
+                  Vec.push out row)
             in
-            fun params ->
+            fun gov params ->
               sctx.params := params;
+              sctx.gov := gov;
               Vec.clear out;
               root ();
               (* Hand the caller a fresh vector; [out] is reused across
@@ -748,11 +795,12 @@ let run (ctx : Quill_exec.Exec_ctx.t) plan =
   let f =
     compile ~indexes:ctx.Quill_exec.Exec_ctx.indexes ctx.Quill_exec.Exec_ctx.catalog plan
   in
+  let gov = ctx.Quill_exec.Exec_ctx.governor in
   match ctx.Quill_exec.Exec_ctx.profile with
-  | None -> f ctx.Quill_exec.Exec_ctx.params
+  | None -> f gov ctx.Quill_exec.Exec_ctx.params
   | Some p ->
       let rows, dt =
-        Quill_util.Timer.time (fun () -> f ctx.Quill_exec.Exec_ctx.params)
+        Quill_util.Timer.time (fun () -> f gov ctx.Quill_exec.Exec_ctx.params)
       in
       Quill_exec.Profile.add p 0 (Vec.length rows);
       Quill_exec.Profile.add_time p 0 dt;

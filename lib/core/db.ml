@@ -27,8 +27,21 @@ module Plan_cache = Quill_adaptive.Plan_cache
 module Tiering = Quill_adaptive.Tiering
 module Trace = Quill_obs.Trace
 module Metrics = Quill_obs.Metrics
+module Governor = Quill_exec.Governor
 
 exception Error of string
+
+type abort_reason = Governor.abort_reason =
+  | Timeout
+  | Cancelled
+  | Resource_exhausted
+
+exception Aborted of abort_reason
+(** Raised when the resource governor stops a query: its deadline passed,
+    {!cancel} was called, or it exceeded its memory budget.  The session
+    stays usable; the next statement runs normally. *)
+
+let abort_reason_name = Governor.reason_name
 
 (* Statements executed and end-to-end SELECT latency, fed to the
    process-wide registry. *)
@@ -52,6 +65,9 @@ type t = {
   mutable engine : engine;  (** default engine for [query] *)
   mutable policy : Tiering.policy;  (** tier policy for [query_adaptive] *)
   mutable options : Picker.options;
+  mutable timeout_ms : int option;  (** session default deadline *)
+  mutable budget_bytes : int option;  (** session default memory budget *)
+  cancel : bool Atomic.t;  (** set by {!cancel}, consumed by the governor *)
 }
 
 type result =
@@ -76,6 +92,9 @@ let create () =
     options =
       { Picker.default_options with
         Picker.parallelism = Quill_parallel.Pool.parallelism () };
+    timeout_ms = None;
+    budget_bytes = None;
+    cancel = Atomic.make false;
   }
 
 (** [catalog db] exposes the catalog (e.g. for bulk loading). *)
@@ -89,6 +108,27 @@ let set_policy db p = db.policy <- p
 
 (** [set_options db o] overrides the algorithm picker's options. *)
 let set_options db o = db.options <- o
+
+(** [set_timeout db ms] sets the session's default query deadline
+    ([None] = none); each statement gets a fresh deadline when it starts. *)
+let set_timeout db ms = db.timeout_ms <- ms
+
+(** [timeout_ms db] is the session's default deadline. *)
+let timeout_ms db = db.timeout_ms
+
+(** [set_budget db bytes] sets the session's default per-query memory
+    budget ([None] = unlimited).  The budget also feeds the picker, which
+    penalizes algorithms whose working set wouldn't fit. *)
+let set_budget db bytes = db.budget_bytes <- bytes
+
+(** [budget_bytes db] is the session's default memory budget. *)
+let budget_bytes db = db.budget_bytes
+
+(** [cancel db] asks the session's currently running query (possibly on
+    another domain) to abort with {!Aborted}[ Cancelled] at its next
+    governor check.  If no query is running, the next one consumes the
+    flag immediately. *)
+let cancel db = Atomic.set db.cancel true
 
 (** [set_parallelism db n] sets the session's parallel-execution goal:
     the shared worker pool targets [n] domains (clamped to a sane range)
@@ -134,6 +174,7 @@ let param_types_of params =
 
 let wrap f =
   try f () with
+  | Governor.Aborted r -> raise (Aborted r)
   | Quill_sql.Parser.Parse_error m -> raise (Error ("parse error: " ^ m))
   | Quill_sql.Lexer.Lex_error (m, pos) ->
       raise (Error (Printf.sprintf "lex error: %s at %d" m pos))
@@ -142,9 +183,18 @@ let wrap f =
   | Invalid_argument m -> raise (Error m)
   | Failure m -> raise (Error m)
 
+(* Picker options for one query: a memory budget (per-call override or
+   session default) is surfaced to the cost model so memory-hungry
+   algorithms the governor would kill get penalized. *)
+let effective_options db budget_override =
+  match (match budget_override with Some _ as b -> b | None -> db.budget_bytes) with
+  | None -> db.options
+  | Some b -> { db.options with Picker.budget_bytes = Some b }
+
 (* Full planning result: main physical plan plus materialization plans for
    any uncorrelated subqueries. *)
-let plan_full db ?(params = [||]) sql =
+let plan_full db ?(params = [||]) ?budget_bytes sql =
+  let options = effective_options db budget_bytes in
   wrap (fun () ->
       match Trace.with_span "parse" (fun () -> Parser.parse sql) with
       | Ast.Select sel ->
@@ -153,13 +203,13 @@ let plan_full db ?(params = [||]) sql =
               ~param_types:(param_types_of params) ()
           in
           let lplan = Trace.with_span "bind" (fun () -> Binder.bind_select env sel) in
-          let main = Picker.optimize ~options:db.options (opt_env db) lplan in
+          let main = Picker.optimize ~options (opt_env db) lplan in
           (* Subqueries accumulate innermost-last; materialization order is
              innermost-first. *)
           let subs =
             List.rev_map
               (fun (cell, sub_lplan) ->
-                (cell, Picker.optimize ~options:db.options (opt_env db) sub_lplan))
+                (cell, Picker.optimize ~options (opt_env db) sub_lplan))
               !(env.Binder.subqueries)
           in
           (main, subs)
@@ -174,21 +224,25 @@ let rows_to_table plan rows =
   let schema = Physical.schema_of plan in
   Table.of_rows ~name:"result" schema (Array.to_list rows)
 
-let run_engine db engine ?profile ~params plan =
+let run_engine db engine ?profile ?(gov = Governor.none) ~params plan =
   Trace.with_span ~cat:"exec" ~args:[ ("engine", engine_name engine) ] "execute"
     (fun () ->
-      let ctx = Exec_ctx.create ~params ?profile ~indexes:db.indexes db.catalog in
+      let ctx =
+        Exec_ctx.create ~params ?profile ~indexes:db.indexes ~governor:gov db.catalog
+      in
       match engine with
       | Volcano -> Quill_exec.Volcano.run ctx plan
       | Vectorized -> Quill_exec.Vector.run ctx plan
       | Compiled -> Quill_util.Vec.to_array (Codegen.run ctx plan))
 
 (* Materialize uncorrelated subqueries (innermost first): each cell gets
-   the first-column values of its subplan's result. *)
-let fill_subqueries db ~params subs =
+   the first-column values of its subplan's result.  They run under the
+   outer query's governor, so a huge subquery result counts against the
+   same budget and deadline. *)
+let fill_subqueries db ?(gov = Governor.none) ~params subs =
   List.iter
     (fun (cell, sub_plan) ->
-      let rows = run_engine db Compiled ~params sub_plan in
+      let rows = run_engine db Compiled ~gov ~params sub_plan in
       cell := Some (Array.to_list (Array.map (fun r -> r.(0)) rows)))
     subs
 
@@ -393,28 +447,44 @@ let exec_stmt db stmt =
               lines)
       end
 
-(** [query db ?params ?engine sql] runs a SELECT and returns the result
-    table (uncached path). *)
-let query db ?(params = [||]) ?engine sql =
+(* One statement's governor: per-call override beats the session default;
+   the session cancel flag is always armed.  [observe_peak] records the
+   peak-bytes histogram however the query ends. *)
+let governed db ?timeout_ms ?budget_bytes f =
+  let timeout_ms =
+    match timeout_ms with Some _ as t -> t | None -> db.timeout_ms
+  in
+  let budget_bytes =
+    match budget_bytes with Some _ as b -> b | None -> db.budget_bytes
+  in
+  let gov = Governor.create ?timeout_ms ?budget_bytes ~cancel:db.cancel () in
+  Fun.protect ~finally:(fun () -> Governor.observe_peak gov) (fun () ->
+      f gov budget_bytes)
+
+(** [query db ?params ?engine ?timeout_ms ?budget_bytes sql] runs a SELECT
+    and returns the result table (uncached path).  [timeout_ms] and
+    [budget_bytes] override the session defaults for this call. *)
+let query db ?(params = [||]) ?engine ?timeout_ms ?budget_bytes sql =
   let engine = Option.value ~default:db.engine engine in
   Trace.with_span ~args:[ ("sql", sql); ("engine", engine_name engine) ] "query"
     (fun () ->
       wrap (fun () ->
           Metrics.incr m_queries;
-          let result, dt =
-            Quill_util.Timer.time (fun () ->
-                let pplan, subs = plan_full db ~params sql in
-                fill_subqueries db ~params subs;
-                rows_to_table pplan (run_engine db engine ~params pplan))
-          in
-          Metrics.observe h_query_seconds dt;
-          result))
+          governed db ?timeout_ms ?budget_bytes (fun gov budget ->
+              let result, dt =
+                Quill_util.Timer.time (fun () ->
+                    let pplan, subs = plan_full db ~params ?budget_bytes:budget sql in
+                    fill_subqueries db ~gov ~params subs;
+                    rows_to_table pplan (run_engine db engine ~gov ~params pplan))
+              in
+              Metrics.observe h_query_seconds dt;
+              result)))
 
 (** [exec db sql] runs any statement; SELECTs return [Rows]. *)
-let exec db ?(params = [||]) sql =
+let exec db ?(params = [||]) ?timeout_ms ?budget_bytes sql =
   wrap (fun () ->
       match Parser.parse sql with
-      | Ast.Select _ -> Rows (query db ~params sql)
+      | Ast.Select _ -> Rows (query db ~params ?timeout_ms ?budget_bytes sql)
       | stmt -> exec_stmt db stmt)
 
 (** [explain db ?analyze sql] renders the optimized plan; with
@@ -432,17 +502,20 @@ let explain db ?(analyze = false) sql =
     cached per (sql, parameter types); the first execution is profiled and
     may trigger feedback re-optimization; repeated executions tier up to
     the compiled engine per the session policy. *)
-let query_adaptive db ?(params = [||]) sql =
+let query_adaptive db ?(params = [||]) ?timeout_ms ?budget_bytes sql =
   Trace.with_span ~args:[ ("sql", sql) ] "query-adaptive" @@ fun () ->
   wrap (fun () ->
       Metrics.incr m_queries;
+      governed db ?timeout_ms ?budget_bytes @@ fun gov budget ->
       let param_types = param_types_of params in
       let version = Catalog.version db.catalog in
       match Plan_cache.find db.cache ~sql ~param_types ~catalog_version:version with
       | Some entry ->
           Trace.instant "plan-cache-hit";
-          fill_subqueries db ~params entry.Plan_cache.subs;
-          let ctx = Exec_ctx.create ~params ~indexes:db.indexes db.catalog in
+          fill_subqueries db ~gov ~params entry.Plan_cache.subs;
+          let ctx =
+            Exec_ctx.create ~params ~indexes:db.indexes ~governor:gov db.catalog
+          in
           let rows, dt =
             Quill_util.Timer.time (fun () ->
                 Trace.with_span ~cat:"exec" "execute" (fun () ->
@@ -451,21 +524,21 @@ let query_adaptive db ?(params = [||]) sql =
           Metrics.observe h_query_seconds dt;
           rows_to_table entry.Plan_cache.plan (Quill_util.Vec.to_array rows)
       | None ->
-          let pplan, subs = plan_full db ~params sql in
-          fill_subqueries db ~params subs;
+          let pplan, subs = plan_full db ~params ?budget_bytes:budget sql in
+          fill_subqueries db ~gov ~params subs;
           (* The first execution is instrumented; estimation misses feed
              the feedback store and can trigger an immediate re-plan for
              subsequent executions. *)
           let profile = Profile.create pplan in
           let rows, elapsed =
             Quill_util.Timer.time (fun () ->
-                run_engine db Vectorized ~profile ~params pplan)
+                run_engine db Vectorized ~profile ~gov ~params pplan)
           in
           let _ = Feedback.learn db.feedback db.catalog pplan profile in
           let cached_plan, cached_subs =
             if Feedback.should_reoptimize pplan profile then begin
               Trace.instant "re-optimize";
-              plan_full db ~params sql
+              plan_full db ~params ?budget_bytes:budget sql
             end
             else (pplan, subs)
           in

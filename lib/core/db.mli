@@ -11,6 +11,22 @@
     prefixed message such as ["parse error: ..."]. *)
 exception Error of string
 
+(** Why the resource governor stopped a query. *)
+type abort_reason = Quill_exec.Governor.abort_reason =
+  | Timeout  (** the deadline set by [?timeout_ms] / {!set_timeout} passed *)
+  | Cancelled  (** {!cancel} was called while the query ran *)
+  | Resource_exhausted  (** the memory budget was exceeded *)
+
+(** Raised (instead of {!Error}) when the governor aborts a query.  The
+    session stays fully usable: the abort unwinds cooperatively at
+    batch/morsel boundaries in all three engines, the shared worker pool
+    stays healthy, and the next statement runs normally. *)
+exception Aborted of abort_reason
+
+(** [abort_reason_name r] is ["timeout"], ["cancelled"] or
+    ["resource exhausted"]. *)
+val abort_reason_name : abort_reason -> string
+
 (** The three execution engines. They share one runtime algorithm library
     and return identical results; they differ in architecture:
     tuple-at-a-time interpretation, batch-at-a-time interpretation, and
@@ -50,6 +66,34 @@ val set_policy : t -> Quill_adaptive.Tiering.policy -> unit
     aggregation algorithm, force a scan layout, toggle top-k fusion, join
     reordering or index paths) — used by benchmarks and ablations. *)
 val set_options : t -> Quill_optimizer.Picker.options -> unit
+
+(** [set_timeout db ms] sets the session's default query deadline in
+    milliseconds ([None] = no deadline).  Every governed statement gets a
+    fresh deadline when it starts; on expiry it raises {!Aborted}
+    [Timeout].  Overridable per call via [?timeout_ms]. *)
+val set_timeout : t -> int option -> unit
+
+(** [timeout_ms db] is the session's default deadline, if any. *)
+val timeout_ms : t -> int option
+
+(** [set_budget db bytes] sets the session's default per-query memory
+    budget ([None] = unlimited).  Allocating operators (hash-join builds,
+    group tables, sort and top-k buffers, materialized results) charge
+    coarse byte estimates against it; exceeding it raises {!Aborted}
+    [Resource_exhausted].  The budget is also visible to the picker, which
+    cost-penalizes algorithms whose working set would not fit (e.g.
+    preferring merge-join over hash-join).  Overridable per call via
+    [?budget_bytes]. *)
+val set_budget : t -> int option -> unit
+
+(** [budget_bytes db] is the session's default memory budget, if any. *)
+val budget_bytes : t -> int option
+
+(** [cancel db] asks the currently running query to abort with {!Aborted}
+    [Cancelled] at its next governor check.  Safe to call from another
+    domain while a query runs; if no query is running, the next governed
+    statement consumes the flag. *)
+val cancel : t -> unit
 
 (** [set_parallelism db n] sets the session's parallel-execution goal.
     Morsel-parallel operators (columnar scan/filter, hash aggregation,
@@ -91,19 +135,30 @@ val analyze : t -> string -> unit
 val plan :
   t -> ?params:Quill_storage.Value.t array -> string -> Quill_optimizer.Physical.t
 
-(** [query db ?params ?engine sql] runs a SELECT and returns the result
-    table. [params] supplies values for [$1], [$2], ... (their dtypes type
-    the parameters). *)
+(** [query db ?params ?engine ?timeout_ms ?budget_bytes sql] runs a SELECT
+    and returns the result table. [params] supplies values for [$1], [$2],
+    ... (their dtypes type the parameters).  [timeout_ms] and
+    [budget_bytes] override the session's governor defaults for this call
+    (see {!set_timeout} and {!set_budget}). *)
 val query :
   t ->
   ?params:Quill_storage.Value.t array ->
   ?engine:engine ->
+  ?timeout_ms:int ->
+  ?budget_bytes:int ->
   string ->
   Quill_storage.Table.t
 
 (** [exec db ?params sql] runs any statement: CREATE TABLE/INDEX, INSERT,
-    UPDATE, DELETE, DROP, COPY, EXPLAIN [ANALYZE], or SELECT. *)
-val exec : t -> ?params:Quill_storage.Value.t array -> string -> result
+    UPDATE, DELETE, DROP, COPY, EXPLAIN [ANALYZE], or SELECT.  The
+    governor overrides apply to SELECTs. *)
+val exec :
+  t ->
+  ?params:Quill_storage.Value.t array ->
+  ?timeout_ms:int ->
+  ?budget_bytes:int ->
+  string ->
+  result
 
 (** [explain db ?analyze sql] renders the optimized physical plan with the
     picker's row/cost estimates; with [~analyze:true] the query also runs
@@ -115,7 +170,12 @@ val explain : t -> ?analyze:bool -> string -> string
     and can trigger feedback re-optimization; repeated executions tier up
     to the compiled engine per the session policy. *)
 val query_adaptive :
-  t -> ?params:Quill_storage.Value.t array -> string -> Quill_storage.Table.t
+  t ->
+  ?params:Quill_storage.Value.t array ->
+  ?timeout_ms:int ->
+  ?budget_bytes:int ->
+  string ->
+  Quill_storage.Table.t
 
 (** [cache_stats db] returns [(entries, total runs, compiled entries)] of
     the plan cache, for observability. *)

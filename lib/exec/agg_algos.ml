@@ -113,14 +113,24 @@ let output_row keys_vals states specs =
   Array.append (Array.of_list keys_vals)
     (Array.of_list (List.map2 finish specs states))
 
+(* Estimated heap bytes of one fresh group: table slot + boxed key values
+   + one state record per aggregate. *)
+let group_bytes k nspecs =
+  List.fold_left (fun acc v -> acc + Governor.value_bytes v) (48 + (96 * nspecs)) k
+
 (* One upsert into a group table: find-or-create the key's states and feed
-   the row.  [order] records first-seen key order for emission. *)
-let upsert ~keys ~specs (groups : (Value.t list, state list) Hashtbl.t) order row =
+   the row.  [order] records first-seen key order for emission.  [gov] is
+   ticked per row and charged per fresh group, which is how a budget
+   bounds a high-cardinality GROUP BY before its table grows unbounded. *)
+let upsert ?(gov = Governor.none) ~keys ~specs
+    (groups : (Value.t list, state list) Hashtbl.t) order row =
+  Governor.tick gov;
   let k = List.map (fun f -> f row) keys in
   let states =
     match Hashtbl.find_opt groups k with
     | Some s -> s
     | None ->
+        Governor.charge gov (group_bytes k (List.length specs));
         let s = List.map new_state specs in
         Hashtbl.add groups k s;
         Vec.push order k;
@@ -141,10 +151,10 @@ let emit_groups ~keys ~specs (groups : (Value.t list, state list) Hashtbl.t) ord
 (** [hash_agg ~keys ~specs rows] groups by hashing the evaluated key
     values. [keys] evaluate a row to one grouping value each.  With no
     keys, always emits exactly one (global) row. *)
-let hash_agg ~(keys : (Value.t array -> Value.t) list) ~specs (rows : input) =
+let hash_agg ?gov ~(keys : (Value.t array -> Value.t) list) ~specs (rows : input) =
   let groups : (Value.t list, state list) Hashtbl.t = Hashtbl.create 64 in
   let order = Vec.create ~dummy:[] in
-  Array.iter (upsert ~keys ~specs groups order) rows;
+  Array.iter (upsert ?gov ~keys ~specs groups order) rows;
   emit_groups ~keys ~specs groups order
 
 (** [merge_group_tables ~specs (g, o) (g2, o2)] folds the partial group
@@ -174,9 +184,9 @@ let merge_group_tables ~specs
     path — as does everything else when [workers] is 1.  Group emission
     order is first-seen order of the merged table, which under parallelism
     depends on morsel scheduling: unordered, as SQL grouping output is. *)
-let par_hash_agg ~workers ~(keys : (Value.t array -> Value.t) list) ~specs
+let par_hash_agg ?gov ~workers ~(keys : (Value.t array -> Value.t) list) ~specs
     (rows : input) =
-  if List.exists (fun s -> s.distinct) specs then hash_agg ~keys ~specs rows
+  if List.exists (fun s -> s.distinct) specs then hash_agg ?gov ~keys ~specs rows
   else begin
     let groups, order =
       Quill_parallel.Driver.fold ~workers ~n:(Array.length rows)
@@ -185,7 +195,7 @@ let par_hash_agg ~workers ~(keys : (Value.t array -> Value.t) list) ~specs
             Vec.create ~dummy:([] : Value.t list) ))
         ~range:(fun (g, o) lo hi ->
           for i = lo to hi - 1 do
-            upsert ~keys ~specs g o rows.(i)
+            upsert ?gov ~keys ~specs g o rows.(i)
           done)
         ~merge:(merge_group_tables ~specs)
     in
@@ -194,14 +204,19 @@ let par_hash_agg ~workers ~(keys : (Value.t array -> Value.t) list) ~specs
 
 (** [sort_agg ~keys ~specs rows] sorts rows by their key values and folds
     consecutive runs; produces groups in key order. *)
-let sort_agg ~(keys : (Value.t array -> Value.t) list) ~specs (rows : input) =
-  if keys = [] then hash_agg ~keys ~specs rows
+let sort_agg ?(gov = Governor.none) ~(keys : (Value.t array -> Value.t) list) ~specs
+    (rows : input) =
+  if keys = [] then hash_agg ~gov ~keys ~specs rows
   else begin
     (* Materialize (key values, row) pairs and sort on the keys. *)
     let nk = List.length keys in
     let pairs =
       Array.map
-        (fun row -> (Array.of_list (List.map (fun f -> f row) keys), row))
+        (fun row ->
+          Governor.tick gov;
+          let k = Array.of_list (List.map (fun f -> f row) keys) in
+          Governor.charge_row ~overhead:24 gov k;
+          (k, row))
         rows
     in
     let cmp (ka, _) (kb, _) =
@@ -221,6 +236,7 @@ let sort_agg ~(keys : (Value.t array -> Value.t) list) ~specs (rows : input) =
       let k, _ = pairs.(!i) in
       let states = List.map new_state specs in
       while !i < n && cmp pairs.(!i) (k, [||]) = 0 do
+        Governor.tick gov;
         let _, row = pairs.(!i) in
         List.iter2 (fun spec st -> feed spec st row) specs states;
         incr i
@@ -233,14 +249,16 @@ let sort_agg ~(keys : (Value.t array -> Value.t) list) ~specs (rows : input) =
 (** [distinct rows] removes duplicate rows (whole-row comparison with SQL
     "NULLs are not distinct from each other" semantics), preserving first
     occurrence order. *)
-let distinct (rows : input) =
+let distinct ?(gov = Governor.none) (rows : input) =
   let seen : (Value.t list, unit) Hashtbl.t = Hashtbl.create 64 in
   let out = Vec.create ~dummy:[||] in
   Array.iter
     (fun row ->
+      Governor.tick gov;
       let k = Array.to_list row in
       if not (Hashtbl.mem seen k) then begin
         Hashtbl.add seen k ();
+        Governor.charge_row ~overhead:48 gov row;
         Vec.push out row
       end)
     rows;

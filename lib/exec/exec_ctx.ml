@@ -1,17 +1,20 @@
 (* Execution context shared by all engines: the catalog, bound parameter
-   values, declared secondary indexes, and an optional profile sink. *)
+   values, declared secondary indexes, an optional profile sink, and the
+   per-query resource governor. *)
 
 type t = {
   catalog : Quill_storage.Catalog.t;
   params : Quill_storage.Value.t array;
   profile : Profile.t option;
   indexes : Quill_storage.Index.Registry.t;
+  governor : Governor.t;
 }
 
-(** [create ?params ?profile ?indexes catalog] builds a context; without
-    [indexes] an empty registry is used (index scans then build their
-    index on the fly). *)
-let create ?(params = [||]) ?profile ?indexes catalog =
+(** [create ?params ?profile ?indexes ?governor catalog] builds a context;
+    without [indexes] an empty registry is used (index scans then build
+    their index on the fly); without [governor] the query runs
+    ungoverned ({!Governor.none}). *)
+let create ?(params = [||]) ?profile ?indexes ?(governor = Governor.none) catalog =
   {
     catalog;
     params;
@@ -20,4 +23,5 @@ let create ?(params = [||]) ?profile ?indexes catalog =
       (match indexes with
       | Some r -> r
       | None -> Quill_storage.Index.Registry.create ());
+    governor;
   }

@@ -1,0 +1,144 @@
+(* The per-query resource governor: deadlines, cooperative cancellation
+   and coarse memory budgets.
+
+   One governor travels with each query through {!Exec_ctx}; every engine
+   polls it at batch/morsel boundaries ([tick]/[check]) and the allocating
+   operators (hash-join builds, group tables, sort/top-k buffers,
+   materialized subqueries) charge byte estimates against the budget
+   ([charge]).  Aborts raise {!Aborted}, which unwinds cleanly through the
+   engines and the worker pool: {!Quill_parallel.Pool.run} records the
+   first worker failure and re-raises it on the caller after every slot
+   finishes, so the pool stays healthy and the session stays usable.
+
+   Thread-safety: the abort state, cancel flag and byte counter are
+   atomics shared by all domains executing the query.  [ticks] is a plain
+   mutable counter with benign races — it only gates how often the
+   deadline is polled, so a lost increment merely delays one poll. *)
+
+module Value = Quill_storage.Value
+
+type abort_reason = Timeout | Cancelled | Resource_exhausted
+
+exception Aborted of abort_reason
+
+let reason_name = function
+  | Timeout -> "timeout"
+  | Cancelled -> "cancelled"
+  | Resource_exhausted -> "resource exhausted"
+
+type t = {
+  deadline : float;  (** absolute time ([Timer.now] scale); infinity = none *)
+  budget : int;  (** byte budget; [max_int] = unlimited, accounting off *)
+  cancel : bool Atomic.t;  (** session flag, consumed when the abort fires *)
+  used : int Atomic.t;  (** bytes charged so far (monotone, = peak) *)
+  state : abort_reason option Atomic.t;  (** set once by the abort winner *)
+  mutable ticks : int;
+}
+
+(* Aborts by reason, and the peak bytes charged by budgeted queries. *)
+let m_timeouts = Quill_obs.Metrics.counter "quill.governor.timeouts"
+let m_cancels = Quill_obs.Metrics.counter "quill.governor.cancels"
+let m_budget_kills = Quill_obs.Metrics.counter "quill.governor.budget_kills"
+let h_peak_bytes = Quill_obs.Metrics.histogram "quill.governor.peak_bytes"
+
+(** [create ?timeout_ms ?budget_bytes ?cancel ()] builds a governor whose
+    deadline is [timeout_ms] from now; [cancel] shares a session-level
+    flag so [Db.cancel] reaches the running query. *)
+let create ?timeout_ms ?budget_bytes ?cancel () =
+  {
+    deadline =
+      (match timeout_ms with
+      | Some ms -> Quill_util.Timer.now () +. (Float.of_int ms /. 1000.0)
+      | None -> Float.infinity);
+    budget = (match budget_bytes with Some b -> b | None -> max_int);
+    cancel = (match cancel with Some c -> c | None -> Atomic.make false);
+    used = Atomic.make 0;
+    state = Atomic.make None;
+    ticks = 0;
+  }
+
+(** [none] never aborts: the default for contexts built without a
+    governor (tests, EXPLAIN, direct engine calls). *)
+let none = create ()
+
+let metric_of = function
+  | Timeout -> m_timeouts
+  | Cancelled -> m_cancels
+  | Resource_exhausted -> m_budget_kills
+
+(* First domain to abort wins the CAS and records the metric and trace
+   instant exactly once; everyone raises the winning reason.  The span
+   tracer is coordinating-thread-only, so pool workers skip the instant
+   (the metric still counts their abort). *)
+let abort t reason =
+  if Atomic.compare_and_set t.state None (Some reason) then begin
+    Quill_obs.Metrics.incr (metric_of reason);
+    if not (Quill_parallel.Pool.in_parallel_region ()) then
+      Quill_obs.Trace.instant ~cat:"governor"
+        ~args:[ ("reason", reason_name reason) ]
+        "governor-abort"
+  end;
+  match Atomic.get t.state with
+  | Some r -> raise (Aborted r)
+  | None -> raise (Aborted reason)
+
+(** [check t] polls the governor immediately: raises {!Aborted} if the
+    query was already aborted elsewhere, the session cancel flag is set,
+    or the deadline has passed. *)
+let check t =
+  (match Atomic.get t.state with Some r -> raise (Aborted r) | None -> ());
+  if Atomic.get t.cancel then begin
+    Atomic.set t.cancel false;
+    abort t Cancelled
+  end;
+  if t.deadline < Float.infinity && Quill_util.Timer.now () > t.deadline then
+    abort t Timeout
+
+(* Gate the clock read: hot loops tick per row/pair, but only every 256th
+   tick pays for [Timer.now]. *)
+let tick_mask = 255
+
+(** [tick t] is the cheap per-row poll: increments a counter and runs
+    {!check} every 256th call.  Safe to call from pool workers. *)
+let tick t =
+  t.ticks <- t.ticks + 1;
+  if t.ticks land tick_mask = 0 then check t
+
+(* Coarse per-value heap estimate: boxed words for floats, header +
+   payload for strings, one word for immediates (the row array itself is
+   charged by row_bytes). *)
+let value_bytes = function
+  | Value.Str s -> 24 + String.length s
+  | Value.Float _ -> 16
+  | Value.Null | Value.Int _ | Value.Bool _ | Value.Date _ -> 8
+
+(** [row_bytes row] estimates the heap footprint of one materialized row:
+    array header + one word per slot + boxed payloads. *)
+let row_bytes (row : Value.t array) =
+  Array.fold_left (fun acc v -> acc + value_bytes v) (16 + (8 * Array.length row)) row
+
+(** [charge t bytes] accounts [bytes] against the budget and aborts with
+    [Resource_exhausted] once the total exceeds it.  A no-op (not even
+    counted) when no budget is set, so unbudgeted queries skip the
+    estimation cost entirely. *)
+let charge t bytes =
+  if t.budget <> max_int && bytes > 0 then begin
+    let before = Atomic.fetch_and_add t.used bytes in
+    if before + bytes > t.budget then abort t Resource_exhausted
+  end
+
+(** [charge_row ?overhead t row] charges one materialized row plus fixed
+    per-entry [overhead] (hash buckets, table slots). *)
+let charge_row ?(overhead = 0) t row =
+  if t.budget <> max_int then charge t (overhead + row_bytes row)
+
+(** [used_bytes t] is the bytes charged so far (monotone: allocation
+    peaks, not live bytes). *)
+let used_bytes t = Atomic.get t.used
+
+(** [observe_peak t] records the query's peak charged bytes in the
+    [quill.governor.peak_bytes] histogram; called once per budgeted query
+    by [Db] when execution ends (normally or by abort). *)
+let observe_peak t =
+  let peak = Atomic.get t.used in
+  if peak > 0 then Quill_obs.Metrics.observe h_peak_bytes (Float.of_int peak)

@@ -39,9 +39,10 @@ let keys_equal a b = List.for_all2 Value.equal a b
 (** [hash_join ~keys ~residual ~build_left left right] equi-join by
     building a hash table on one side and probing with the other.
     [keys] are (left col, right col) pairs; [residual] filters
-    concatenated candidate rows. *)
-let hash_join ?(mode = Inner) ?right_arity ~keys ~residual ~build_left (left : input)
-    (right : input) =
+    concatenated candidate rows.  [gov] is ticked per build/probe row and
+    charged for the build table and the output. *)
+let hash_join ?(gov = Governor.none) ?(mode = Inner) ?right_arity ~keys ~residual
+    ~build_left (left : input) (right : input) =
   (* An outer join must probe with the preserved (left) side. *)
   assert (not (mode = Left_outer && build_left));
   let lcols = List.map fst keys and rcols = List.map snd keys in
@@ -53,9 +54,11 @@ let hash_join ?(mode = Inner) ?right_arity ~keys ~residual ~build_left (left : i
   in
   Array.iter
     (fun row ->
+      Governor.tick gov;
       match key_of bcols row with
       | None -> ()
       | Some k ->
+          Governor.charge_row ~overhead:48 gov row;
           let h = hash_key k in
           (match Hashtbl.find_opt table h with
           | Some l -> l := (k, row) :: !l
@@ -74,10 +77,12 @@ let hash_join ?(mode = Inner) ?right_arity ~keys ~residual ~build_left (left : i
     | Some p when not (p row) -> ()
     | _ ->
         matched := true;
+        Governor.charge_row gov row;
         Vec.push out row
   in
   Array.iter
     (fun prow ->
+      Governor.tick gov;
       let matched = ref false in
       (match key_of pcols prow with
       | None -> ()
@@ -97,10 +102,14 @@ let hash_join ?(mode = Inner) ?right_arity ~keys ~residual ~build_left (left : i
 
 (** [merge_join ~keys ~residual left right] sorts both inputs on the join
     keys and merges, pairing equal-key runs. *)
-let merge_join ?(mode = Inner) ?right_arity ~keys ~residual (left : input) (right : input) =
+let merge_join ?(gov = Governor.none) ?(mode = Inner) ?right_arity ~keys ~residual
+    (left : input) (right : input) =
   let lcols = List.map fst keys and rcols = List.map snd keys in
   let lkeys = List.map (fun c -> (c, Quill_plan.Lplan.Asc)) lcols in
   let rkeys = List.map (fun c -> (c, Quill_plan.Lplan.Asc)) rcols in
+  (* The sorted copies are shallow (row pointers only). *)
+  Governor.charge gov (16 * (Array.length left + Array.length right));
+  Governor.check gov;
   let l = Array.copy left and r = Array.copy right in
   Sort_algos.sort_rows lkeys l;
   Sort_algos.sort_rows rkeys r;
@@ -124,6 +133,7 @@ let merge_join ?(mode = Inner) ?right_arity ~keys ~residual (left : input) (righ
   while !i < nl && has_null_key l.(!i) lcols do incr i done;
   while !j < nr && has_null_key r.(!j) rcols do incr j done;
   while !i < nl && !j < nr do
+    Governor.tick gov;
     let c = cmp_rows !i !j in
     if c < 0 then incr i
     else if c > 0 then incr j
@@ -137,11 +147,13 @@ let merge_join ?(mode = Inner) ?right_arity ~keys ~residual (left : input) (righ
       while same_r !j1 do incr j1 done;
       for a = i0 to !i1 - 1 do
         for b = j0 to !j1 - 1 do
+          Governor.tick gov;
           let row = concat_rows l.(a) r.(b) in
           match residual with
           | Some p when not (p row) -> ()
           | _ ->
               if mode = Left_outer then matched.(a) <- true;
+              Governor.charge_row gov row;
               Vec.push out row
         done
       done;
@@ -163,8 +175,11 @@ let merge_join ?(mode = Inner) ?right_arity ~keys ~residual (left : input) (righ
   out
 
 (** [block_nl_join ~pred left right] nested loops in cache-friendly blocks;
-    [pred] sees the concatenated row ([None] = cross join). *)
-let block_nl_join ?(mode = Inner) ?right_arity ~pred (left : input) (right : input) =
+    [pred] sees the concatenated row ([None] = cross join).  [gov] ticks
+    per candidate pair, so a runaway cross join aborts within one tick
+    window of its deadline. *)
+let block_nl_join ?(gov = Governor.none) ?(mode = Inner) ?right_arity ~pred
+    (left : input) (right : input) =
   let out = Vec.create ~dummy:[||] in
   let block = 256 in
   let nl = Array.length left in
@@ -175,11 +190,13 @@ let block_nl_join ?(mode = Inner) ?right_arity ~pred (left : input) (right : inp
     Array.iter
       (fun rrow ->
         for i = !lo to hi - 1 do
+          Governor.tick gov;
           let row = concat_rows left.(i) rrow in
           match pred with
           | Some p when not (p row) -> ()
           | _ ->
               if mode = Left_outer then matched.(i) <- true;
+              Governor.charge_row gov row;
               Vec.push out row
         done)
       right;

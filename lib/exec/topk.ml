@@ -8,13 +8,17 @@ type 'a t = {
   cmp : 'a -> 'a -> int;  (** ascending "better first" order *)
   data : 'a array;
   mutable len : int;
+  gov : Governor.t;
+  bytes : 'a -> int;  (** element size estimate while the heap grows *)
 }
 
-(** [create ~cmp ~k ~dummy] returns an empty top-k collector for the [k]
-    smallest elements under [cmp]. *)
-let create ~cmp ~k ~dummy =
+(** [create ~cmp ~k ~dummy ()] returns an empty top-k collector for the
+    [k] smallest elements under [cmp].  [gov] is ticked per offer and
+    charged [bytes] per kept element while the heap grows — a bounded
+    buffer, but k can be large. *)
+let create ?(gov = Governor.none) ?(bytes = fun _ -> 0) ~cmp ~k ~dummy () =
   assert (k > 0);
-  { cmp; data = Array.make k dummy; len = 0 }
+  { cmp; data = Array.make k dummy; len = 0; gov; bytes }
 
 let swap t i j =
   let x = t.data.(i) in
@@ -44,7 +48,9 @@ let rec sift_down t i =
 
 (** [offer t x] considers [x] for the kept set. *)
 let offer t x =
+  Governor.tick t.gov;
   if t.len < Array.length t.data then begin
+    Governor.charge t.gov (16 + t.bytes x);
     t.data.(t.len) <- x;
     t.len <- t.len + 1;
     sift_up t (t.len - 1)

@@ -41,6 +41,7 @@ type ctx = Exec_ctx.t = {
   params : Value.t array;
   profile : Profile.t option;
   indexes : Quill_storage.Index.Registry.t;
+  governor : Governor.t;
 }
 
 (* Columns the scan skipped (not in the needed set) are empty
@@ -206,12 +207,19 @@ let of_rows ncols rows =
     close = ignore;
   }
 
-let drain it =
+(* Pipeline breakers materialize through [drain]: one deadline check and
+   one budget charge per batch of buffered rows. *)
+let drain ?(gov = Governor.none) it =
   let out = Vec.create ~dummy:[||] in
   let rec go () =
     match it.next_batch () with
     | Some b ->
-        Array.iter (fun r -> Vec.push out r) (rows_of_batch b);
+        Governor.check gov;
+        Array.iter
+          (fun r ->
+            Governor.charge_row gov r;
+            Vec.push out r)
+          (rows_of_batch b);
         go ()
     | None -> it.close ()
   in
@@ -281,6 +289,7 @@ let rec build ctx counter plan ~needed : biter =
               (fun ~lo ~hi ~emit ->
                 let p = ref lo in
                 while !p < hi do
+                  Governor.check ctx.governor;
                   let take = min batch_size (hi - !p) in
                   (match filter_batch (fetch !p take) with
                   | Some b -> emit b
@@ -304,6 +313,7 @@ let rec build ctx counter plan ~needed : biter =
         else begin
           let pos = ref 0 in
           let rec next_batch () =
+            Governor.check ctx.governor;
             if !pos >= n then None
             else begin
               let take = min batch_size (n - !pos) in
@@ -324,6 +334,7 @@ let rec build ctx counter plan ~needed : biter =
         let rows =
           List.filter_map
             (fun i ->
+              Governor.tick ctx.governor;
               let row = Array.copy (Table.get_row t i) in
               match residual with
               | Some f when not (Bexpr.eval_pred ~row ~params:ctx.params f) -> None
@@ -367,8 +378,9 @@ let rec build ctx counter plan ~needed : biter =
         in
         let needed_l = IntSet.filter (fun i -> i < la) all in
         let needed_r = IntSet.map (fun i -> i - la) (IntSet.filter (fun i -> i >= la) all) in
-        let lrows = drain (build ctx counter left ~needed:needed_l) in
-        let rrows = drain (build ctx counter right ~needed:needed_r) in
+        let gov = ctx.governor in
+        let lrows = drain ~gov (build ctx counter left ~needed:needed_l) in
+        let rrows = drain ~gov (build ctx counter right ~needed:needed_r) in
         let residual_fn =
           Option.map (fun e row -> Bexpr.eval_pred ~row ~params:ctx.params e) residual
         in
@@ -379,12 +391,13 @@ let rec build ctx counter plan ~needed : biter =
         let out =
           match algo with
           | Physical.Hash_join ->
-              Join_algos.hash_join ~mode ~right_arity ~keys ~residual:residual_fn ~build_left
-                lrows rrows
+              Join_algos.hash_join ~gov ~mode ~right_arity ~keys ~residual:residual_fn
+                ~build_left lrows rrows
           | Physical.Merge_join ->
-              Join_algos.merge_join ~mode ~right_arity ~keys ~residual:residual_fn lrows rrows
+              Join_algos.merge_join ~gov ~mode ~right_arity ~keys ~residual:residual_fn
+                lrows rrows
           | Physical.Block_nl ->
-              Join_algos.block_nl_join ~mode ~right_arity ~pred:residual_fn lrows rrows
+              Join_algos.block_nl_join ~gov ~mode ~right_arity ~pred:residual_fn lrows rrows
         in
         of_rows (ncols plan) (Vec.to_array out)
     | Physical.Aggregate { algo; keys; aggs; input; _ } ->
@@ -399,7 +412,7 @@ let rec build ctx counter plan ~needed : biter =
               | None -> acc)
             needed_in aggs
         in
-        let rows = drain (build ctx counter input ~needed:needed_in) in
+        let rows = drain ~gov:ctx.governor (build ctx counter input ~needed:needed_in) in
         let key_fns = List.map (fun (e, _) row -> Bexpr.eval ~row ~params:ctx.params e) keys in
         let specs =
           List.map
@@ -417,14 +430,14 @@ let rec build ctx counter plan ~needed : biter =
           | Physical.Hash_agg ->
               (* Parallel feed over the drained rows; degrades to the
                  serial hash_agg for DISTINCT and parallelism 1. *)
-              Agg_algos.par_hash_agg ~workers:(Pool.parallelism ()) ~keys:key_fns
-                ~specs rows
-          | Physical.Sort_agg -> Agg_algos.sort_agg ~keys:key_fns ~specs rows
+              Agg_algos.par_hash_agg ~gov:ctx.governor ~workers:(Pool.parallelism ())
+                ~keys:key_fns ~specs rows
+          | Physical.Sort_agg -> Agg_algos.sort_agg ~gov:ctx.governor ~keys:key_fns ~specs rows
         in
         of_rows (ncols plan) (Vec.to_array out)
     | Physical.Window { specs; input; _ } ->
         let all = IntSet.of_list (List.init (ncols input) Fun.id) in
-        let rows = drain (build ctx counter input ~needed:all) in
+        let rows = drain ~gov:ctx.governor (build ctx counter input ~needed:all) in
         let wspecs =
           List.map
             (fun ((w : Lplan.wspec), _) ->
@@ -444,14 +457,17 @@ let rec build ctx counter plan ~needed : biter =
         of_rows (ncols plan) (Window_algos.run ~specs:wspecs rows)
     | Physical.Sort { keys; input; _ } ->
         let needed_in = IntSet.union needed (IntSet.of_list (List.map fst keys)) in
-        let rows = drain (build ctx counter input ~needed:needed_in) in
+        let rows = drain ~gov:ctx.governor (build ctx counter input ~needed:needed_in) in
         Sort_algos.sort_rows keys rows;
         of_rows (ncols plan) rows
     | Physical.Top_k { k; offset; keys; input; _ } ->
         let needed_in = IntSet.union needed (IntSet.of_list (List.map fst keys)) in
         let child = build ctx counter input ~needed:needed_in in
         let cmp = Sort_algos.row_compare keys in
-        let heap = Topk.create ~cmp ~k:(k + offset) ~dummy:[||] in
+        let heap =
+          Topk.create ~gov:ctx.governor ~bytes:Governor.row_bytes ~cmp
+            ~k:(k + offset) ~dummy:[||] ()
+        in
         let rec fill () =
           match child.next_batch () with
           | Some b ->
@@ -470,8 +486,8 @@ let rec build ctx counter plan ~needed : biter =
         of_rows (ncols plan) kept
     | Physical.Distinct (input, _) ->
         let all = IntSet.of_list (List.init (ncols input) Fun.id) in
-        let rows = drain (build ctx counter input ~needed:all) in
-        of_rows (ncols plan) (Vec.to_array (Agg_algos.distinct rows))
+        let rows = drain ~gov:ctx.governor (build ctx counter input ~needed:all) in
+        of_rows (ncols plan) (Vec.to_array (Agg_algos.distinct ~gov:ctx.governor rows))
     | Physical.Limit { n; offset; input; _ } ->
         let child = build ctx counter input ~needed in
         let skipped = ref 0 and emitted = ref 0 in
@@ -506,4 +522,5 @@ let rec build ctx counter plan ~needed : biter =
 let run ctx plan =
   let counter = ref 0 in
   let arity = Quill_storage.Schema.arity (Physical.schema_of plan) in
-  drain (build ctx counter plan ~needed:(IntSet.of_list (List.init arity Fun.id)))
+  drain ~gov:ctx.governor
+    (build ctx counter plan ~needed:(IntSet.of_list (List.init arity Fun.id)))

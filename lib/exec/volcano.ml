@@ -20,6 +20,7 @@ type ctx = Exec_ctx.t = {
   params : Value.t array;
   profile : Profile.t option;
   indexes : Quill_storage.Index.Registry.t;
+  governor : Governor.t;
 }
 
 type iter = { next : unit -> Value.t array option; close : unit -> unit }
@@ -43,11 +44,16 @@ let observed ctx id iter =
             r);
       }
 
-let drain iter =
+(* Pipeline breakers materialize through [drain]; it is where the
+   governor sees every buffered row (budget) and where blocking operators
+   keep polling the deadline even when their children don't. *)
+let drain ?(gov = Governor.none) iter =
   let out = Vec.create ~dummy:[||] in
   let rec go () =
     match iter.next () with
     | Some row ->
+        Governor.tick gov;
+        Governor.charge_row gov row;
         Vec.push out row;
         go ()
     | None -> iter.close ()
@@ -116,6 +122,7 @@ let rec build ctx counter plan : iter =
         let pos = ref 0 in
         let flushed = ref false in
         let rec next () =
+          Governor.tick ctx.governor;
           if !pos >= n then begin
             if not !flushed then begin
               flushed := true;
@@ -139,6 +146,7 @@ let rec build ctx counter plan : iter =
         let ids = Index_access.rowids ctx ~table ~col_name ~col ~lo ~hi in
         let remaining = ref ids in
         let rec next () =
+          Governor.tick ctx.governor;
           match !remaining with
           | [] -> None
           | i :: rest ->
@@ -170,8 +178,9 @@ let rec build ctx counter plan : iter =
           close = child.close;
         }
     | Physical.Join { algo; kind; keys; residual; build_left; left; right; _ } ->
-        let lrows = drain (build ctx counter left) in
-        let rrows = drain (build ctx counter right) in
+        let gov = ctx.governor in
+        let lrows = drain ~gov (build ctx counter left) in
+        let rrows = drain ~gov (build ctx counter right) in
         let residual_fn = Option.map (fun e -> pred_fn ctx e) residual in
         let mode =
           match kind with Lplan.Inner -> Join_algos.Inner | Lplan.Left_outer -> Join_algos.Left_outer
@@ -180,16 +189,17 @@ let rec build ctx counter plan : iter =
         let out =
           match algo with
           | Physical.Hash_join ->
-              Join_algos.hash_join ~mode ~right_arity ~keys ~residual:residual_fn ~build_left
-                lrows rrows
+              Join_algos.hash_join ~gov ~mode ~right_arity ~keys ~residual:residual_fn
+                ~build_left lrows rrows
           | Physical.Merge_join ->
-              Join_algos.merge_join ~mode ~right_arity ~keys ~residual:residual_fn lrows rrows
+              Join_algos.merge_join ~gov ~mode ~right_arity ~keys ~residual:residual_fn
+                lrows rrows
           | Physical.Block_nl ->
-              Join_algos.block_nl_join ~mode ~right_arity ~pred:residual_fn lrows rrows
+              Join_algos.block_nl_join ~gov ~mode ~right_arity ~pred:residual_fn lrows rrows
         in
         of_vec out
     | Physical.Aggregate { algo; keys; aggs; input; _ } ->
-        let rows = drain (build ctx counter input) in
+        let rows = drain ~gov:ctx.governor (build ctx counter input) in
         let key_fns =
           List.map (fun (e, _) row -> Bexpr.eval ~row ~params:ctx.params e) keys
         in
@@ -209,12 +219,14 @@ let rec build ctx counter plan : iter =
         in
         let out =
           match algo with
-          | Physical.Hash_agg -> Agg_algos.hash_agg ~keys:key_fns ~specs rows
-          | Physical.Sort_agg -> Agg_algos.sort_agg ~keys:key_fns ~specs rows
+          | Physical.Hash_agg ->
+              Agg_algos.hash_agg ~gov:ctx.governor ~keys:key_fns ~specs rows
+          | Physical.Sort_agg ->
+              Agg_algos.sort_agg ~gov:ctx.governor ~keys:key_fns ~specs rows
         in
         of_vec out
     | Physical.Window { specs; input; _ } ->
-        let rows = drain (build ctx counter input) in
+        let rows = drain ~gov:ctx.governor (build ctx counter input) in
         let wspecs =
           List.map
             (fun ((w : Lplan.wspec), _) ->
@@ -233,13 +245,16 @@ let rec build ctx counter plan : iter =
         in
         of_array (Window_algos.run ~specs:wspecs rows)
     | Physical.Sort { keys; input; _ } ->
-        let rows = drain (build ctx counter input) in
+        let rows = drain ~gov:ctx.governor (build ctx counter input) in
         Sort_algos.sort_rows keys rows;
         of_array rows
     | Physical.Top_k { k; offset; keys; input; _ } ->
         let child = build ctx counter input in
         let cmp = Sort_algos.row_compare keys in
-        let heap = Topk.create ~cmp ~k:(k + offset) ~dummy:[||] in
+        let heap =
+          Topk.create ~gov:ctx.governor ~bytes:Governor.row_bytes ~cmp
+            ~k:(k + offset) ~dummy:[||] ()
+        in
         let rec fill () =
           match child.next () with
           | Some row ->
@@ -255,8 +270,8 @@ let rec build ctx counter plan : iter =
         in
         of_array kept
     | Physical.Distinct (input, _) ->
-        let rows = drain (build ctx counter input) in
-        of_vec (Agg_algos.distinct rows)
+        let rows = drain ~gov:ctx.governor (build ctx counter input) in
+        of_vec (Agg_algos.distinct ~gov:ctx.governor rows)
     | Physical.Limit { n; offset; input; _ } ->
         let child = build ctx counter input in
         let emitted = ref 0 and skipped = ref 0 in
@@ -283,4 +298,4 @@ let rec build ctx counter plan : iter =
 (** [run ctx plan] executes [plan] and returns all result rows. *)
 let run ctx plan =
   let counter = ref 0 in
-  drain (build ctx counter plan)
+  drain ~gov:ctx.governor (build ctx counter plan)

@@ -146,3 +146,19 @@ let compiled_speedup = 4.0
 let index_scan ~total ~matches ~row_width =
   (log2 (Float.max 2.0 total) *. cpu_compare)
   +. (matches *. ((12.0 *. cpu_tuple) +. (row_width *. rand_byte *. 8.0)))
+
+(* Memory-governed costing: when the session runs under a memory budget,
+   an algorithm whose working set cannot fit is effectively a kill — the
+   governor would abort it mid-build.  A large multiplicative penalty
+   steers the picker to streaming alternatives (merge-join, sort-agg)
+   without making the over-budget plan unpickable when nothing else
+   applies. *)
+let budget_penalty = 64.0
+
+(** [budget_penalize ?budget ~bytes cost] multiplies [cost] by
+    {!budget_penalty} when the estimated working set [bytes] exceeds the
+    byte [budget]; no-op without a budget. *)
+let budget_penalize ?budget ~bytes cost =
+  match budget with
+  | Some b when bytes > Float.of_int b -> cost *. budget_penalty
+  | _ -> cost

@@ -25,6 +25,11 @@ type options = {
           scan, filter, hash-agg feed, hash-join probe): their CPU cost
           terms divide by this, so under parallelism the picker leans
           toward parallel-friendly plans.  1 = serial costing. *)
+  budget_bytes : int option;
+      (** the session's per-query memory budget, if any: algorithms whose
+          estimated working set exceeds it are cost-penalized
+          ({!Cost.budget_penalize}), steering the picker to streaming
+          alternatives the governor won't kill. *)
 }
 
 let default_options =
@@ -36,6 +41,7 @@ let default_options =
     enable_reorder = true;
     enable_index = true;
     parallelism = 1;
+    budget_bytes = None;
   }
 
 let width_of (card : Card.t) set =
@@ -278,6 +284,13 @@ let rec convert env opts plan ~needed : Physical.t =
           Cost.hash_join ~workers:opts.parallelism ~build:rrows ~probe:lrows ~out
             ~build_width:rw ()
       in
+      (* Under a memory budget, a hash build that won't fit is a governor
+         kill waiting to happen; penalize it so streaming joins win. *)
+      let hash_cost =
+        let brows, bw = if build_left then (lrows, lw) else (rrows, rw) in
+        Cost.budget_penalize ?budget:opts.budget_bytes
+          ~bytes:(brows *. (bw +. 64.0)) hash_cost
+      in
       let merge_cost =
         if pairs = [] then Float.infinity
         else begin
@@ -354,6 +367,12 @@ let rec convert env opts plan ~needed : Physical.t =
       let groups = card.Card.rows in
       let key_width = 8.0 *. Float.of_int (List.length keys) in
       let hash_cost = Cost.hash_agg ~workers:opts.parallelism ~rows ~groups ~key_width () in
+      (* The group table is this operator's resident working set; under a
+         budget it cannot fit, prefer sort-agg (sorted runs, O(1) state). *)
+      let hash_cost =
+        Cost.budget_penalize ?budget:opts.budget_bytes
+          ~bytes:(groups *. (key_width +. 32.0)) hash_cost
+      in
       let sort_cost = Cost.sort_agg ~rows ~width:(full_width in_card) ~sorted:false in
       let algo, self_cost =
         match opts.force_agg with

@@ -8,9 +8,14 @@
 let parse_string s =
   let rows = ref [] and row = ref [] and buf = Buffer.create 64 in
   let n = String.length s in
+  (* A quoted empty field ([""]) leaves the buffer empty, so the EOF flush
+     below cannot key on buffer contents alone; [field_started] remembers
+     that quotes opened a field on the current line. *)
+  let field_started = ref false in
   let flush_field () =
     row := Buffer.contents buf :: !row;
-    Buffer.clear buf
+    Buffer.clear buf;
+    field_started := false
   in
   let flush_row () =
     flush_field ();
@@ -32,15 +37,19 @@ let parse_string s =
     end
     else begin
       match c with
-      | '"' -> in_quotes := true
+      | '"' ->
+          in_quotes := true;
+          field_started := true
       | ',' -> flush_field ()
       | '\n' -> flush_row ()
       | '\r' -> ()
-      | c -> Buffer.add_char buf c
+      | c ->
+          field_started := true;
+          Buffer.add_char buf c
     end;
     incr i
   done;
-  if Buffer.length buf > 0 || !row <> [] then flush_row ();
+  if Buffer.length buf > 0 || !row <> [] || !field_started then flush_row ();
   List.rev !rows
 
 let escape_field f =

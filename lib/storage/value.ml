@@ -58,13 +58,23 @@ let ymd_of_date days =
   let m = if mp < 10 then mp + 3 else mp - 9 in
   ((if m <= 2 then y + 1 else y), m, d)
 
+(** [days_in_month ~y ~m] is the calendar length of month [m] in year
+    [y] (proleptic Gregorian leap rule). *)
+let days_in_month ~y ~m =
+  match m with
+  | 2 -> if (y mod 4 = 0 && y mod 100 <> 0) || y mod 400 = 0 then 29 else 28
+  | 4 | 6 | 9 | 11 -> 30
+  | _ -> 31
+
 (** [parse_date s] parses ["YYYY-MM-DD"]; returns [None] on malformed
-    input or out-of-range month/day. *)
+    input or an impossible calendar date (bad month, day past the month's
+    end, Feb 29 outside leap years). *)
 let parse_date s =
   match String.split_on_char '-' s with
   | [ ys; ms; ds ] -> (
       match (int_of_string_opt ys, int_of_string_opt ms, int_of_string_opt ds) with
-      | Some y, Some m, Some d when m >= 1 && m <= 12 && d >= 1 && d <= 31 ->
+      | Some y, Some m, Some d
+        when m >= 1 && m <= 12 && d >= 1 && d <= days_in_month ~y ~m ->
           Some (date_of_ymd ~y ~m ~d)
       | _ -> None)
   | _ -> None
@@ -96,8 +106,26 @@ let rank = function
   | Date _ -> 4
   | Str _ -> 5
 
+(* Exact int/float ordering.  Rounding the int to float loses precision
+   for |i| >= 2^53 — e.g. [Int (max_int - 1) < Float (2. ** 62.)] would
+   come out equal.  Instead classify the float against the representable
+   int range (min_int = -2^62 is exactly representable; 2^62 is not an
+   int) and compare through [floor] within it. *)
+let min_int_float = Float.of_int min_int
+
+let compare_int_float x y =
+  if Float.is_nan y then 1 (* floats order NaN above everything *)
+  else if y < min_int_float then 1
+  else if y >= -.min_int_float then -1
+  else begin
+    let fl = Float.floor y in
+    (* |fl| <= 2^62 here, so the conversion is exact. *)
+    let iy = Float.to_int fl in
+    if x < iy then -1 else if x > iy then 1 else if y > fl then -1 else 0
+  end
+
 (** [compare a b] is a total order suitable for sorting: NULL sorts first,
-    ints and floats compare numerically. *)
+    ints and floats compare numerically (exactly, even beyond 2^53). *)
 let compare a b =
   match (a, b) with
   | Null, Null -> 0
@@ -105,8 +133,8 @@ let compare a b =
   | _, Null -> 1
   | Int x, Int y -> Stdlib.compare x y
   | Float x, Float y -> Stdlib.compare x y
-  | Int x, Float y -> Stdlib.compare (Float.of_int x) y
-  | Float x, Int y -> Stdlib.compare x (Float.of_int y)
+  | Int x, Float y -> compare_int_float x y
+  | Float x, Int y -> -compare_int_float y x
   | Str x, Str y -> Stdlib.compare x y
   | Bool x, Bool y -> Stdlib.compare x y
   | Date x, Date y -> Stdlib.compare x y
@@ -122,7 +150,9 @@ let hash = function
   | Null -> 0x9e3779b9
   | Int i -> Quill_util.Hashing.mix_int i
   | Float f ->
-      if Float.is_integer f && Float.abs f < 1e18 then
+      (* The int-collision range must match [compare_int_float]'s notion
+         of "equal to an int": exactly the representable int range. *)
+      if Float.is_integer f && f >= min_int_float && f < -.min_int_float then
         Quill_util.Hashing.mix_int (Float.to_int f)
       else Quill_util.Hashing.hash_float f
   | Str s -> Quill_util.Hashing.hash_string s

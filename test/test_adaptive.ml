@@ -45,6 +45,27 @@ let test_plan_cache_eviction () =
   done;
   Alcotest.(check bool) "bounded" true (Plan_cache.size cache <= 5)
 
+let test_plan_cache_gauge_tracks () =
+  (* Regression: clear/invalidate dropped entries without moving the
+     quill.plan_cache.entries gauge, so it read stale counts forever. *)
+  let db = Tutil.random_db ~seed:7 ~rows:20 in
+  let cache = Plan_cache.create () in
+  let version = Catalog.version (Quill.Db.catalog db) in
+  let pplan = Quill.Db.plan db "SELECT id FROM r" in
+  let g = Quill_obs.Metrics.gauge "quill.plan_cache.entries" in
+  let gauge () = Quill_obs.Metrics.gauge_value g in
+  ignore (Plan_cache.add cache ~sql:"g1" ~param_types:[||] ~catalog_version:version pplan);
+  ignore (Plan_cache.add cache ~sql:"g2" ~param_types:[||] ~catalog_version:version pplan);
+  Alcotest.(check int) "after adds" 2 (gauge ());
+  Plan_cache.invalidate cache ~sql:"g1" ~param_types:[||];
+  Alcotest.(check int) "after invalidate" 1 (gauge ());
+  (* Dropping a stale entry inside find also updates the gauge. *)
+  ignore (Plan_cache.find cache ~sql:"g2" ~param_types:[||] ~catalog_version:(version + 1));
+  Alcotest.(check int) "after stale drop" 0 (gauge ());
+  ignore (Plan_cache.add cache ~sql:"g3" ~param_types:[||] ~catalog_version:version pplan);
+  Plan_cache.clear cache;
+  Alcotest.(check int) "after clear" 0 (gauge ())
+
 let test_tiering_policies () =
   let db = Tutil.random_db ~seed:2 ~rows:200 in
   let cache = Plan_cache.create () in
@@ -237,6 +258,7 @@ let () =
         [
           Alcotest.test_case "hit/miss/invalidate" `Quick test_plan_cache_hit_miss;
           Alcotest.test_case "eviction" `Quick test_plan_cache_eviction;
+          Alcotest.test_case "entries gauge" `Quick test_plan_cache_gauge_tracks;
         ] );
       ("tiering", [ Alcotest.test_case "policies" `Quick test_tiering_policies ]);
       ( "feedback",

@@ -252,7 +252,9 @@ let test_compiled_reuse_across_params () =
     Codegen.compile (Quill.Db.catalog db) pplan
   in
   let count p =
-    match (Quill_util.Vec.get (compiled [| Value.Int p |]) 0).(0) with
+    match
+      (Quill_util.Vec.get (compiled Quill_exec.Governor.none [| Value.Int p |]) 0).(0)
+    with
     | Value.Int n -> n
     | _ -> Alcotest.fail "type"
   in
@@ -273,7 +275,9 @@ let test_limit_early_exit () =
   let pplan = Quill.Db.plan db "SELECT id FROM r ORDER BY id LIMIT 3" in
   let compiled = Codegen.compile (Quill.Db.catalog db) pplan in
   for _ = 1 to 3 do
-    Alcotest.(check int) "limit rows" 3 (Quill_util.Vec.length (compiled [||]))
+    Alcotest.(check int)
+      "limit rows" 3
+      (Quill_util.Vec.length (compiled Quill_exec.Governor.none [||]))
   done
 
 let prop_fast_pred_random =

@@ -276,7 +276,7 @@ let prop_topk =
   Tutil.qtest "topk = sort-then-take"
     QCheck2.Gen.(pair (int_range 1 20) int_list_gen)
     (fun (k, xs) ->
-      let heap = Topk.create ~cmp:compare ~k ~dummy:0 in
+      let heap = Topk.create ~cmp:compare ~k ~dummy:0 () in
       List.iter (Topk.offer heap) xs;
       let got = Array.to_list (Topk.finish heap) in
       let expect =

@@ -265,8 +265,36 @@ let prop_observability_is_transparent =
               shape.sql plain traced
           else true))
 
+let prop_governor_is_transparent =
+  (* A governor with a generous deadline and budget must never change
+     results: the polling, charging and budget-aware plan penalties are
+     pure overhead unless a limit is actually hit. *)
+  Tutil.qtest ~count:100 "fuzz: generous governor is transparent" query_gen
+    (fun shape ->
+      let db = Lazy.force db in
+      let plain =
+        Tutil.table_rows (Quill.Db.query db ~engine:Quill.Db.Volcano shape.sql)
+      in
+      List.for_all
+        (fun engine ->
+          let governed =
+            Tutil.table_rows
+              (Quill.Db.query db ~engine ~timeout_ms:600_000
+                 ~budget_bytes:(1 lsl 30) shape.sql)
+          in
+          let ok =
+            if shape.ordered then Tutil.same_rows_ordered plain governed
+            else Tutil.same_rows_unordered plain governed
+          in
+          if not ok then
+            QCheck2.Test.fail_reportf "governed run differs on %s (%s)" shape.sql
+              (Quill.Db.engine_name engine)
+          else true)
+        (Quill.Db.Volcano :: engines))
+
 let () =
   Alcotest.run "fuzz"
     [ ( "random queries",
         [ prop_engines_agree; prop_optimizer_preserves; prop_forced_joins_agree;
-          prop_parallel_agrees; prop_observability_is_transparent ] ) ]
+          prop_parallel_agrees; prop_observability_is_transparent;
+          prop_governor_is_transparent ] ) ]

@@ -1,0 +1,317 @@
+(* Tests for the per-query resource governor: deadlines fire in every
+   engine (serial and morsel-parallel), cancellation reaches a running
+   query from another domain, memory budgets kill allocating operators,
+   the picker sees the budget, every abort is observable, and the session
+   stays fully usable afterwards. *)
+
+module Value = Quill_storage.Value
+module Schema = Quill_storage.Schema
+module Table = Quill_storage.Table
+module Catalog = Quill_storage.Catalog
+module Governor = Quill_exec.Governor
+module Metrics = Quill_obs.Metrics
+module Picker = Quill_optimizer.Picker
+module Physical = Quill_optimizer.Physical
+
+let m_timeouts = Metrics.counter "quill.governor.timeouts"
+let m_cancels = Metrics.counter "quill.governor.cancels"
+let m_budget_kills = Metrics.counter "quill.governor.budget_kills"
+
+let engines = [ Quill.Db.Volcano; Quill.Db.Vectorized; Quill.Db.Compiled ]
+
+(* Two single-column tables whose cross product is far too large to ever
+   finish: abort tests rely on the deadline/flag firing, not on luck. *)
+let cross_db rows =
+  let db = Quill.Db.create () in
+  let mk name col =
+    let t =
+      Table.create ~name (Schema.create [ Schema.col ~nullable:false col Value.Int_t ])
+    in
+    for i = 0 to rows - 1 do
+      Table.insert t [| Value.Int i |]
+    done;
+    Catalog.add (Quill.Db.catalog db) t
+  in
+  mk "a" "x";
+  mk "b" "y";
+  db
+
+(* t(k, v) with one group per row: a hash aggregation over it allocates
+   [rows] group states, which any small budget must catch. *)
+let grouped_db rows =
+  let db = Quill.Db.create () in
+  let t =
+    Table.create ~name:"g"
+      (Schema.create
+         [ Schema.col ~nullable:false "k" Value.Int_t;
+           Schema.col ~nullable:false "v" Value.Int_t ])
+  in
+  for i = 0 to rows - 1 do
+    Table.insert t [| Value.Int i; Value.Int (i mod 7) |]
+  done;
+  Catalog.add (Quill.Db.catalog db) t;
+  db
+
+let expect_abort reason thunk =
+  match thunk () with
+  | _ -> Error "query finished instead of aborting"
+  | exception Quill.Db.Aborted r ->
+      if r = reason then Ok ()
+      else Error (Printf.sprintf "aborted with %s" (Quill.Db.abort_reason_name r))
+
+(* The acceptance bar: a 100k x 100k cross join under a 50ms deadline must
+   abort well under a second in every engine, serial and parallel, and the
+   session (and the shared domain pool) must answer the next query. *)
+let test_timeout_all_engines () =
+  let db = cross_db 100_000 in
+  let sql = "SELECT count(*) FROM a, b" in
+  Fun.protect
+    ~finally:(fun () -> Quill.Db.set_parallelism db 1)
+    (fun () ->
+      List.iter
+        (fun par ->
+          Quill.Db.set_parallelism db par;
+          List.iter
+            (fun engine ->
+              let label =
+                Printf.sprintf "%s/parallelism %d" (Quill.Db.engine_name engine) par
+              in
+              let before = Metrics.value m_timeouts in
+              let t0 = Quill_util.Timer.now () in
+              (match
+                 expect_abort Quill.Db.Timeout (fun () ->
+                     Quill.Db.query db ~engine ~timeout_ms:50 sql)
+               with
+              | Ok () -> ()
+              | Error msg -> Alcotest.failf "%s: %s" label msg);
+              let elapsed = Quill_util.Timer.now () -. t0 in
+              if elapsed > 1.0 then
+                Alcotest.failf "%s: abort took %.2fs (bound: 1s)" label elapsed;
+              Alcotest.(check bool)
+                (label ^ ": timeout counted") true
+                (Metrics.value m_timeouts > before);
+              (* The session stays usable on the same engine. *)
+              let r = Quill.Db.query db ~engine "SELECT count(*) FROM a WHERE x < 10" in
+              Alcotest.check Tutil.value_testable
+                (label ^ ": usable after abort")
+                (Value.Int 10) (Table.get r 0 0))
+            engines)
+        [ 1; 4 ])
+
+(* Session default deadline via set_timeout, cleared again afterwards. *)
+let test_session_timeout_default () =
+  let db = cross_db 60_000 in
+  Quill.Db.set_timeout db (Some 40);
+  Alcotest.(check (option int)) "default stored" (Some 40) (Quill.Db.timeout_ms db);
+  (match
+     expect_abort Quill.Db.Timeout (fun () ->
+         Quill.Db.query db "SELECT count(*) FROM a, b")
+   with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "session default: %s" msg);
+  (* A per-call override beats the session default. *)
+  Quill.Db.set_timeout db (Some 3_600_000);
+  (match
+     expect_abort Quill.Db.Timeout (fun () ->
+         Quill.Db.query db ~timeout_ms:40 "SELECT count(*) FROM a, b")
+   with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "per-call override: %s" msg);
+  Quill.Db.set_timeout db None;
+  let r = Quill.Db.query db "SELECT count(*) FROM a" in
+  Alcotest.check Tutil.value_testable "cleared" (Value.Int 60_000) (Table.get r 0 0)
+
+let test_cancel_from_other_domain () =
+  let db = cross_db 60_000 in
+  let before = Metrics.value m_cancels in
+  let canceller =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.05;
+        Quill.Db.cancel db)
+  in
+  let outcome =
+    expect_abort Quill.Db.Cancelled (fun () ->
+        Quill.Db.query db ~engine:Quill.Db.Vectorized "SELECT count(*) FROM a, b")
+  in
+  Domain.join canceller;
+  (match outcome with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "cancel: %s" msg);
+  Alcotest.(check bool) "cancel counted" true (Metrics.value m_cancels > before);
+  let r = Quill.Db.query db "SELECT count(*) FROM a" in
+  Alcotest.check Tutil.value_testable "usable after cancel" (Value.Int 60_000)
+    (Table.get r 0 0)
+
+(* query_adaptive is governed too, on both the cold (plan + run) and the
+   warm (cached plan) paths. *)
+let test_adaptive_path_governed () =
+  let db = cross_db 60_000 in
+  let sql = "SELECT count(*) FROM a, b" in
+  for round = 1 to 2 do
+    match
+      expect_abort Quill.Db.Timeout (fun () ->
+          Quill.Db.query_adaptive db ~timeout_ms:40 sql)
+    with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "adaptive round %d: %s" round msg
+  done
+
+let test_budget_aborts_hash_agg () =
+  let db = grouped_db 100_000 in
+  let before = Metrics.value m_budget_kills in
+  (match
+     expect_abort Quill.Db.Resource_exhausted (fun () ->
+         Quill.Db.query db ~budget_bytes:(1024 * 1024)
+           "SELECT k, count(*) FROM g GROUP BY k")
+   with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "hash agg: %s" msg);
+  Alcotest.(check bool) "budget kill counted" true
+    (Metrics.value m_budget_kills > before);
+  (* Ungoverned, the same aggregation completes. *)
+  let r = Quill.Db.query db "SELECT k, count(*) FROM g GROUP BY k" in
+  Alcotest.(check int) "ungoverned completes" 100_000 (Table.row_count r)
+
+let test_budget_aborts_hash_join_build () =
+  let db = grouped_db 100_000 in
+  (* The budget-aware picker would sidestep the hash join, so force it:
+     the build side's charge must trip the budget. *)
+  Quill.Db.set_options db
+    { Picker.default_options with Picker.force_join = Some Physical.Hash_join };
+  let outcome =
+    expect_abort Quill.Db.Resource_exhausted (fun () ->
+        Quill.Db.query db ~budget_bytes:(1024 * 1024)
+          "SELECT count(*) FROM g g1, g g2 WHERE g1.k = g2.k")
+  in
+  Quill.Db.set_options db Picker.default_options;
+  match outcome with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "hash join build: %s" msg
+
+(* The budget is visible to the picker: a tight session budget flips the
+   plan from hash join / hash aggregation to merge join / sort
+   aggregation, whose working sets it does not penalize. *)
+let test_budget_aware_planning () =
+  let db = grouped_db 20_000 in
+  Quill.Db.analyze db "g";
+  let rec find_join = function
+    | Physical.Join { algo; _ } -> Some algo
+    | Physical.Project (_, i, _) | Physical.Filter (_, i, _) | Physical.Distinct (i, _)
+      ->
+        find_join i
+    | Physical.Aggregate { input; _ }
+    | Physical.Window { input; _ }
+    | Physical.Sort { input; _ }
+    | Physical.Top_k { input; _ }
+    | Physical.Limit { input; _ } ->
+        find_join input
+    | _ -> None
+  in
+  let rec find_agg = function
+    | Physical.Aggregate { algo; _ } -> Some algo
+    | Physical.Project (_, i, _) | Physical.Filter (_, i, _) | Physical.Distinct (i, _)
+      ->
+        find_agg i
+    | Physical.Window { input; _ }
+    | Physical.Sort { input; _ }
+    | Physical.Top_k { input; _ }
+    | Physical.Limit { input; _ } ->
+        find_agg input
+    | _ -> None
+  in
+  let join_sql = "SELECT count(*) FROM g g1, g g2 WHERE g1.k = g2.k" in
+  let agg_sql = "SELECT k, count(*) FROM g GROUP BY k" in
+  Alcotest.(check bool) "roomy: hash join" true
+    (find_join (Quill.Db.plan db join_sql) = Some Physical.Hash_join);
+  Alcotest.(check bool) "roomy: hash agg" true
+    (find_agg (Quill.Db.plan db agg_sql) = Some Physical.Hash_agg);
+  Quill.Db.set_budget db (Some 65_536);
+  Alcotest.(check (option int)) "budget stored" (Some 65_536) (Quill.Db.budget_bytes db);
+  Alcotest.(check bool) "tight: merge join" true
+    (find_join (Quill.Db.plan db join_sql) = Some Physical.Merge_join);
+  Alcotest.(check bool) "tight: sort agg" true
+    (find_agg (Quill.Db.plan db agg_sql) = Some Physical.Sort_agg);
+  Quill.Db.set_budget db None
+
+(* --- Governor unit behaviour -------------------------------------------- *)
+
+let test_none_is_inert () =
+  let g = Governor.none in
+  for _ = 1 to 10_000 do
+    Governor.tick g;
+    Governor.charge g 1_000_000;
+    Governor.charge_row g [| Value.Str (String.make 64 'x') |]
+  done;
+  Governor.check g;
+  Alcotest.(check int) "nothing accounted" 0 (Governor.used_bytes g)
+
+let test_budget_accounting () =
+  let g = Governor.create ~budget_bytes:1000 () in
+  Governor.charge g 400;
+  Alcotest.(check int) "accumulates" 400 (Governor.used_bytes g);
+  Governor.charge g 300;
+  Alcotest.(check int) "monotone" 700 (Governor.used_bytes g);
+  (match Governor.charge g 400 with
+  | () -> Alcotest.fail "overcharge did not abort"
+  | exception Governor.Aborted Governor.Resource_exhausted -> ());
+  (* The abort is sticky: every later poll re-raises the same reason. *)
+  (match Governor.tick g with
+  | () ->
+      (* tick only polls every 256th call; check is immediate. *)
+      ()
+  | exception Governor.Aborted Governor.Resource_exhausted -> ());
+  match Governor.check g with
+  | () -> Alcotest.fail "abort state not sticky"
+  | exception Governor.Aborted Governor.Resource_exhausted -> ()
+
+let test_deadline_and_cancel_flag () =
+  let g = Governor.create ~timeout_ms:1 () in
+  Unix.sleepf 0.01;
+  (match Governor.check g with
+  | () -> Alcotest.fail "deadline did not fire"
+  | exception Governor.Aborted Governor.Timeout -> ());
+  (* The shared cancel flag is consumed by the governor that honors it. *)
+  let flag = Atomic.make true in
+  let g2 = Governor.create ~cancel:flag () in
+  (match Governor.check g2 with
+  | () -> Alcotest.fail "cancel flag ignored"
+  | exception Governor.Aborted Governor.Cancelled -> ());
+  Alcotest.(check bool) "flag consumed" false (Atomic.get flag);
+  let g3 = Governor.create ~cancel:flag () in
+  Governor.check g3
+
+let test_row_bytes_estimate () =
+  (* The estimate is coarse but must scale with payload size. *)
+  let small = Governor.row_bytes [| Value.Int 1 |] in
+  let big = Governor.row_bytes [| Value.Str (String.make 1000 'x') |] in
+  Alcotest.(check bool) "positive" true (small > 0);
+  Alcotest.(check bool) "payload counted" true (big > small + 900)
+
+let () =
+  Alcotest.run "governor"
+    [
+      ( "timeouts",
+        [
+          Alcotest.test_case "all engines, serial+parallel" `Quick
+            test_timeout_all_engines;
+          Alcotest.test_case "session default" `Quick test_session_timeout_default;
+          Alcotest.test_case "adaptive path" `Quick test_adaptive_path_governed;
+        ] );
+      ( "cancellation",
+        [ Alcotest.test_case "from another domain" `Quick test_cancel_from_other_domain ]
+      );
+      ( "budgets",
+        [
+          Alcotest.test_case "hash agg" `Quick test_budget_aborts_hash_agg;
+          Alcotest.test_case "hash join build" `Quick test_budget_aborts_hash_join_build;
+          Alcotest.test_case "picker sees budget" `Quick test_budget_aware_planning;
+        ] );
+      ( "unit",
+        [
+          Alcotest.test_case "none is inert" `Quick test_none_is_inert;
+          Alcotest.test_case "budget accounting" `Quick test_budget_accounting;
+          Alcotest.test_case "deadline + cancel flag" `Quick
+            test_deadline_and_cancel_flag;
+          Alcotest.test_case "row bytes" `Quick test_row_bytes_estimate;
+        ] );
+    ]

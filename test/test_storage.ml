@@ -126,6 +126,25 @@ let test_csv_parse_quoting () =
   Alcotest.(check (list string)) "quoted" [ "x,y"; "he said \"hi\"" ] (List.nth rows 1);
   Alcotest.(check (list string)) "newline" [ "1"; "multi\nline" ] (List.nth rows 2)
 
+let test_csv_trailing_quoted_empty () =
+  (* Regression: a quoted empty field at end of input left both the buffer
+     and the row-in-progress empty, so the final flush was skipped and the
+     field (or the whole last row) vanished. *)
+  Alcotest.(check (list (list string))) "lone quoted empty" [ [ "" ] ]
+    (Csv.parse_string "\"\"");
+  Alcotest.(check (list (list string))) "trailing quoted empty field" [ [ "a"; "" ] ]
+    (Csv.parse_string "a,\"\"");
+  Alcotest.(check (list (list string))) "quoted empty last row" [ [ "x" ]; [ "" ] ]
+    (Csv.parse_string "x\n\"\"");
+  Alcotest.(check (list (list string))) "two quoted empties, no newline"
+    [ [ ""; "" ] ]
+    (Csv.parse_string "\"\",\"\"");
+  (* With a final newline the row was already kept; it must stay so. *)
+  Alcotest.(check (list (list string))) "with newline" [ [ "a"; "" ] ]
+    (Csv.parse_string "a,\"\"\n");
+  (* And truly empty input still parses to no rows at all. *)
+  Alcotest.(check (list (list string))) "empty input" [] (Csv.parse_string "")
+
 let test_csv_roundtrip () =
   let schema =
     Schema.create
@@ -231,6 +250,7 @@ let () =
       ( "csv",
         [
           Alcotest.test_case "quoting" `Quick test_csv_parse_quoting;
+          Alcotest.test_case "trailing quoted empty" `Quick test_csv_trailing_quoted_empty;
           Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
           Alcotest.test_case "errors" `Quick test_csv_errors;
         ] );

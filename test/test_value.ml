@@ -26,6 +26,38 @@ let test_date_string () =
   Alcotest.(check (option int)) "bad month" None (Value.parse_date "1994-13-07");
   Alcotest.(check (option int)) "garbage" None (Value.parse_date "hello")
 
+let test_date_calendar_validation () =
+  (* Regression: parse_date used to accept any day 1..31 for any month,
+     so impossible dates like 2024-02-31 slipped into tables. *)
+  let ok s = Value.parse_date s <> None in
+  Alcotest.(check bool) "2024-02-31 rejected" false (ok "2024-02-31");
+  Alcotest.(check bool) "2023-02-29 rejected" false (ok "2023-02-29");
+  Alcotest.(check bool) "2024-04-31 rejected" false (ok "2024-04-31");
+  Alcotest.(check bool) "1900-02-29 rejected (century)" false (ok "1900-02-29");
+  Alcotest.(check bool) "2024-02-29 accepted (leap)" true (ok "2024-02-29");
+  Alcotest.(check bool) "2000-02-29 accepted (400-year)" true (ok "2000-02-29");
+  Alcotest.(check bool) "2024-01-31 accepted" true (ok "2024-01-31");
+  Alcotest.(check bool) "2024-11-30 accepted" true (ok "2024-11-30");
+  (* Accepted dates roundtrip through the day-number encoding. *)
+  match Value.parse_date "2024-02-29" with
+  | Some d -> Alcotest.(check string) "roundtrip" "2024-02-29" (Value.date_string d)
+  | None -> Alcotest.fail "2024-02-29 should parse"
+
+let prop_parse_date_matches_calendar =
+  Tutil.qtest ~count:500 "parse_date accepts exactly the real calendar"
+    QCheck2.Gen.(triple (int_range 1850 2150) (int_range 1 12) (int_range 1 31))
+    (fun (y, m, d) ->
+      let parsed = Value.parse_date (Printf.sprintf "%04d-%02d-%02d" y m d) in
+      match parsed with
+      | Some days ->
+          (* Everything accepted must roundtrip to the same y/m/d. *)
+          Value.ymd_of_date days = (y, m, d)
+      | None ->
+          (* Everything rejected must really not exist: no day number
+             renders to this y/m/d. *)
+          Value.date_of_ymd ~y ~m ~d |> fun days ->
+          Value.ymd_of_date days <> (y, m, d))
+
 let test_value_to_string () =
   Alcotest.(check string) "null" "NULL" (Value.to_string Value.Null);
   Alcotest.(check string) "int" "42" (Value.to_string (Value.Int 42));
@@ -43,6 +75,49 @@ let test_compare_numeric_coercion () =
   Alcotest.(check int) "int vs float eq" 0 (Value.compare (Value.Int 3) (Value.Float 3.0));
   Alcotest.(check bool) "int < float" true (Value.compare (Value.Int 3) (Value.Float 3.5) < 0);
   Alcotest.(check bool) "null first" true (Value.compare Value.Null (Value.Int (-999)) < 0)
+
+let test_compare_huge_int_float () =
+  (* Regression: Int/Float comparison went through float_of_int, which
+     rounds above 2^53 — max_int compared equal to 2^62 as a float. *)
+  let two62 = 4611686018427387904.0 (* 2^62 = max_int + 1, exact as float *) in
+  Alcotest.(check int) "max_int < 2^62" (-1)
+    (Value.compare (Value.Int max_int) (Value.Float two62));
+  Alcotest.(check int) "2^62 > max_int" 1
+    (Value.compare (Value.Float two62) (Value.Int max_int));
+  let p53 = 1 lsl 53 in
+  Alcotest.(check int) "2^53+1 > 2^53" 1
+    (Value.compare (Value.Int (p53 + 1)) (Value.Float (Float.of_int p53)));
+  Alcotest.(check int) "2^53 = 2^53" 0
+    (Value.compare (Value.Int p53) (Value.Float (Float.of_int p53)));
+  Alcotest.(check int) "-(2^53)-1 < -(2^53)" (-1)
+    (Value.compare (Value.Int (-p53 - 1)) (Value.Float (Float.of_int (-p53))));
+  Alcotest.(check int) "min_int = min_int as float" 0
+    (Value.compare (Value.Int min_int) (Value.Float (Float.of_int min_int)));
+  Alcotest.(check int) "fraction just above" (-1)
+    (Value.compare (Value.Int 3) (Value.Float 3.5));
+  Alcotest.(check int) "huge negative float" 1
+    (Value.compare (Value.Int min_int) (Value.Float (-1e300)));
+  Alcotest.(check int) "huge positive float" (-1)
+    (Value.compare (Value.Int max_int) (Value.Float 1e300));
+  (* Antisymmetry over the interesting boundary pairs. *)
+  let ints = [ min_int; min_int + 1; -p53 - 1; -p53; -1; 0; 1; p53; p53 + 1; max_int - 1; max_int ] in
+  let floats =
+    [ -1e300; Float.of_int min_int; -.Float.of_int p53; -1.5; 0.0; 2.5;
+      Float.of_int p53; two62; 1e300 ]
+  in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun f ->
+          let a = Value.compare (Value.Int i) (Value.Float f) in
+          let b = Value.compare (Value.Float f) (Value.Int i) in
+          if compare a 0 <> -compare b 0 then
+            Alcotest.failf "not antisymmetric at Int %d vs Float %h" i f;
+          (* Equality still implies equal hashes (hash-join correctness). *)
+          if a = 0 && Value.hash (Value.Int i) <> Value.hash (Value.Float f) then
+            Alcotest.failf "equal but hash differs at Int %d vs Float %h" i f)
+        floats)
+    ints
 
 let prop_compare_total_order =
   Tutil.qtest ~count:300 "compare is a consistent total order"
@@ -104,12 +179,15 @@ let () =
           Alcotest.test_case "known" `Quick test_date_known;
           prop_date_roundtrip;
           Alcotest.test_case "strings" `Quick test_date_string;
+          Alcotest.test_case "calendar validation" `Quick test_date_calendar_validation;
+          prop_parse_date_matches_calendar;
         ] );
       ( "values",
         [
           Alcotest.test_case "to_string" `Quick test_value_to_string;
           Alcotest.test_case "parse" `Quick test_value_parse;
           Alcotest.test_case "coercion" `Quick test_compare_numeric_coercion;
+          Alcotest.test_case "huge int/float" `Quick test_compare_huge_int_float;
           prop_compare_total_order;
           prop_hash_consistent;
           Alcotest.test_case "int/float hash" `Quick test_hash_int_float_collide;
