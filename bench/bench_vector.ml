@@ -1,0 +1,120 @@
+(* E18 microbenchmarks: typed batches + selection vectors vs the boxed
+   ablation ([Vector.enable_typed := false]).
+
+   The module is shared by two entry points: the full benchmark run
+   ([main.exe E18], which prints the ablation table EXPERIMENTS.md
+   records and rewrites [bench/BENCH_vector.json]) and the regression
+   gate ([check_bench.exe], wired into `dune runtest`, which re-runs
+   the smoke scale and compares against the committed baseline). *)
+
+module Value = Quill_storage.Value
+module Schema = Quill_storage.Schema
+module Table = Quill_storage.Table
+module Catalog = Quill_storage.Catalog
+module Vector = Quill_exec.Vector
+module Rng = Quill_util.Rng
+
+(* Scale used for the committed baseline and the runtest gate: big enough
+   that per-query noise is small against the per-row work, small enough
+   to stay in the seconds range inside `dune runtest`. *)
+let smoke_rows = 200_000
+
+(* vb(k INT, v INT, f FLOAT, tag TEXT): k spans 64 groups, v is uniform
+   in [0, 10000) so predicates over it have predictable selectivity, f
+   feeds float aggregation, and tag draws from 8 values so it
+   dictionary-encodes. *)
+let build_db ~rows =
+  let rng = Rng.create 2024 in
+  let tags =
+    [| "alpha"; "beta"; "gamma"; "delta"; "epsilon"; "zeta"; "eta"; "theta" |]
+  in
+  let schema =
+    Schema.create
+      [ Schema.col ~nullable:false "k" Value.Int_t;
+        Schema.col ~nullable:false "v" Value.Int_t;
+        Schema.col ~nullable:false "f" Value.Float_t;
+        Schema.col ~nullable:false "tag" Value.Str_t ]
+  in
+  let t = Table.create ~name:"vb" schema in
+  for _ = 1 to rows do
+    Table.insert t
+      [| Value.Int (Rng.int rng 64); Value.Int (Rng.int rng 10_000);
+         Value.Float (Rng.float rng); Value.Str tags.(Rng.int rng 8) |]
+  done;
+  let db = Quill.Db.create () in
+  Catalog.add (Quill.Db.catalog db) t;
+  Quill.Db.analyze db "vb";
+  db
+
+(* The three shapes the typed data plane is supposed to speed up: a
+   selective scan+filter, the scan->filter->hash-agg pipeline (the
+   acceptance benchmark), and a dict-coded string predicate feeding an
+   aggregation. *)
+let queries =
+  [ ("filter_count", "SELECT count(*) FROM vb WHERE v < 200");
+    ("filter_agg", "SELECT k, count(*), sum(f) FROM vb WHERE v < 1000 GROUP BY k");
+    ("str_filter_agg",
+     "SELECT k, sum(v) FROM vb WHERE tag < 'eta' AND v < 8000 GROUP BY k") ]
+
+type result = { name : string; typed_rps : float; boxed_rps : float }
+
+(* rows/sec is input rows over median wall time: both modes scan the same
+   table, so the ratio is exactly the per-row cost ratio of the two data
+   planes. *)
+let measure ?(reps = 3) ~rows db =
+  List.map
+    (fun (name, sql) ->
+      let run () = ignore (Quill.Db.query db ~engine:Quill.Db.Vectorized sql) in
+      let timed flag =
+        let prev = !Vector.enable_typed in
+        Vector.enable_typed := flag;
+        Fun.protect
+          ~finally:(fun () -> Vector.enable_typed := prev)
+          (fun () -> Bech.median_time ~reps run)
+      in
+      let typed_s = timed true in
+      let boxed_s = timed false in
+      { name;
+        typed_rps = Float.of_int rows /. typed_s;
+        boxed_rps = Float.of_int rows /. boxed_s })
+    queries
+
+let mrps v = Printf.sprintf "%.2f" (v /. 1e6)
+
+let print_table results =
+  Bech.table
+    ~header:[ "benchmark"; "typed Mrows/s"; "boxed Mrows/s"; "speedup" ]
+    (List.map
+       (fun r ->
+         [ r.name; mrps r.typed_rps; mrps r.boxed_rps;
+           Printf.sprintf "%.2fx" (r.typed_rps /. r.boxed_rps) ])
+       results)
+
+let json_of ~rows results =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"rows\": %d,\n" rows);
+  Buffer.add_string buf "  \"benchmarks\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"name\": \"%s\", \"typed_rows_per_sec\": %.1f, \
+            \"boxed_rows_per_sec\": %.1f, \"speedup\": %.2f }%s\n"
+           r.name r.typed_rps r.boxed_rps
+           (r.typed_rps /. r.boxed_rps)
+           (if i = List.length results - 1 then "" else ",")))
+    results;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let write_json ~rows results =
+  let path =
+    if Sys.file_exists "bench" && Sys.is_directory "bench" then
+      Filename.concat "bench" "BENCH_vector.json"
+    else "BENCH_vector.json"
+  in
+  let oc = open_out path in
+  output_string oc (json_of ~rows results);
+  close_out oc;
+  Printf.printf "wrote %s\n" path

@@ -1,0 +1,89 @@
+(* Regression gate for the typed-batch data plane, wired into
+   `dune runtest`: re-runs the vector microbenchmarks at smoke scale and
+   fails the build if typed throughput regressed more than 2x against
+   the committed [bench/BENCH_vector.json] baseline, or if the typed
+   path lost its edge over the boxed ablation entirely.
+
+   The baseline file is tiny and hand-auditable, so it is parsed with a
+   string scanner rather than a JSON dependency. *)
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("check_bench: " ^ s); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* [field_after text pos key] finds ["key": <float>] at or after [pos]. *)
+let field_after text pos key =
+  let marker = "\"" ^ key ^ "\":" in
+  match
+    let mlen = String.length marker in
+    let rec find i =
+      if i + mlen > String.length text then None
+      else if String.sub text i mlen = marker then Some (i + mlen)
+      else find (i + 1)
+    in
+    find pos
+  with
+  | None -> fail "baseline is missing field %S" key
+  | Some start ->
+      let stop = ref start in
+      while
+        !stop < String.length text
+        && (match text.[!stop] with ',' | '}' | ']' -> false | _ -> true)
+      do
+        incr stop
+      done;
+      float_of_string (String.trim (String.sub text start (!stop - start)))
+
+let baseline_of text name =
+  let marker = Printf.sprintf "\"name\": \"%s\"" name in
+  let mlen = String.length marker in
+  let rec find i =
+    if i + mlen > String.length text then
+      fail "baseline has no entry for benchmark %S" name
+    else if String.sub text i mlen = marker then i
+    else find (i + 1)
+  in
+  let pos = find 0 in
+  (field_after text pos "typed_rows_per_sec", field_after text pos "boxed_rows_per_sec")
+
+let () =
+  let path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_vector.json"
+  in
+  let baseline = read_file path in
+  let rows = Bench_vector.smoke_rows in
+  let db = Bench_vector.build_db ~rows in
+  let results = Bench_vector.measure ~rows db in
+  Printf.printf "vector smoke bench (%d rows) vs baseline %s\n" rows path;
+  Bench_vector.print_table results;
+  let failures = ref [] in
+  List.iter
+    (fun r ->
+      let base_typed, _ = baseline_of baseline r.Bench_vector.name in
+      (* The committed baseline demonstrates the >=2x typed-vs-boxed bar;
+         the gate enforces (a) typed throughput has not collapsed more
+         than 2x against that baseline and (b) typed still beats boxed by
+         a healthy margin right now (1.5x, below the committed ~2x+ so
+         machine-to-machine noise cannot flake the build). *)
+      if r.Bench_vector.typed_rps *. 2.0 < base_typed then
+        failures :=
+          Printf.sprintf "%s: typed path regressed >2x (%.0f rows/s vs baseline %.0f)"
+            r.Bench_vector.name r.Bench_vector.typed_rps base_typed
+          :: !failures;
+      if r.Bench_vector.typed_rps < 1.5 *. r.Bench_vector.boxed_rps then
+        failures :=
+          Printf.sprintf "%s: typed path lost its edge over boxed (%.2fx < 1.5x)"
+            r.Bench_vector.name
+            (r.Bench_vector.typed_rps /. r.Bench_vector.boxed_rps)
+          :: !failures)
+    results;
+  match !failures with
+  | [] -> print_endline "check_bench: OK"
+  | fs ->
+      List.iter (fun f -> prerr_endline ("check_bench: " ^ f)) fs;
+      exit 1

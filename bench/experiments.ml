@@ -1,5 +1,5 @@
 (* The experiment suite: one entry per row of DESIGN.md's experiment
-   index (E1..E17).  Each experiment prints the table/series EXPERIMENTS.md
+   index (E1..E18).  Each experiment prints the table/series EXPERIMENTS.md
    records.  Sizes are chosen so the full suite completes in a few
    minutes on a laptop. *)
 
@@ -937,8 +937,29 @@ let gov () =
   | _ -> failwith "GOV: session unusable after abort");
   print_endline "budget kill + recovery OK"
 
+(* ---------------------------------------------------------------- E18 *)
+
+(* Typed batches + selection vectors vs the boxed-batch ablation
+   ([Vector.enable_typed := false]): scan+filter+agg rows/sec at full
+   scale for the EXPERIMENTS.md table, then a smoke-scale run that
+   rewrites the committed bench/BENCH_vector.json baseline consumed by
+   check_bench.exe in `dune runtest`. *)
+let e18 () =
+  Bech.section "E18: typed batches vs boxed batches (vectorized engine)";
+  let rows = 1_000_000 in
+  Printf.printf "(building %d-row microbench table ...)\n%!" rows;
+  let db = Bench_vector.build_db ~rows in
+  let results = Bench_vector.measure ~reps:5 ~rows db in
+  Bench_vector.print_table results;
+  let srows = Bench_vector.smoke_rows in
+  Printf.printf "(rebuilding baseline at smoke scale, %d rows ...)\n%!" srows;
+  let sdb = Bench_vector.build_db ~rows:srows in
+  let sresults = Bench_vector.measure ~reps:5 ~rows:srows sdb in
+  Bench_vector.print_table sresults;
+  Bench_vector.write_json ~rows:srows sresults
+
 let all =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
     ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
-    ("SMOKE", smoke); ("GOV", gov) ]
+    ("E18", e18); ("SMOKE", smoke); ("GOV", gov) ]

@@ -1,6 +1,6 @@
 (* Benchmark harness entry point.
 
-   [dune exec bench/main.exe] runs every experiment (E1..E17, matching the
+   [dune exec bench/main.exe] runs every experiment (E1..E18, matching the
    experiment index in DESIGN.md / EXPERIMENTS.md); pass experiment ids to
    run a subset, e.g. [dune exec bench/main.exe -- E3 E7]. *)
 

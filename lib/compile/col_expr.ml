@@ -1,24 +1,25 @@
 (* Unboxed numeric expression compilation over typed columns.
 
-   Compiles the arithmetic-over-columns subset of expressions to [int ->
-   int] / [int -> float] evaluators that read typed arrays directly — the
-   building block of scan->aggregate fusion in the compiled engine (the
-   "hand-written loop" HyPer generates for queries like TPC-H Q6).
+   Thin wrapper over {!Quill_exec.Kernel}, which holds the single
+   implementation of unboxed kernel compilation shared with the
+   vectorized engine's typed batches.  This module keeps the historical
+   whole-relation interface used by scan->aggregate fusion in the
+   compiled engine (the "hand-written loop" HyPer generates for queries
+   like TPC-H Q6): columns resolve at base offset 0 and evaluators index
+   rows absolutely.
 
-   NULL semantics: for this restricted grammar (literals, parameters,
-   columns, +,-,*,/,%, unary minus, numeric casts) an expression is NULL
-   exactly when one of its referenced columns is NULL, so the caller
-   guards each row with [valid_fn] and the evaluators can assume all
-   inputs present.  Division/modulo by zero raises {!Bexpr.Eval_error}
-   like every other tier. *)
+   NULL semantics and error behaviour are documented on {!Kernel}: the
+   caller guards each row with [valid_fn]; division/modulo by zero raises
+   {!Bexpr.Eval_error} like every other tier. *)
 
-module Value = Quill_storage.Value
 module Column = Quill_storage.Column
 module Bitset = Quill_util.Bitset
 module Bexpr = Quill_plan.Bexpr
+module Kernel = Quill_exec.Kernel
 
 (** [valid_fn cols e] returns a per-row test that every column referenced
-    by [e] is non-NULL. *)
+    by [e] is non-NULL (out-of-range references are ignored, matching the
+    binder's defensive history). *)
 let valid_fn (cols : Column.t array) (e : Bexpr.t) : int -> bool =
   let refs = List.filter (fun c -> c < Array.length cols) (Bexpr.cols e) in
   match List.map (fun c -> Column.validity cols.(c)) refs with
@@ -29,81 +30,11 @@ let valid_fn (cols : Column.t array) (e : Bexpr.t) : int -> bool =
 
 (** [compile_int cols params e] compiles an INT/DATE-typed expression to an
     unboxed evaluator; [None] when the shape is unsupported. *)
-let rec compile_int (cols : Column.t array) params (e : Bexpr.t) : (int -> int) option =
-  match e.Bexpr.node with
-  | Bexpr.Lit (Value.Int v) | Bexpr.Lit (Value.Date v) -> Some (fun _ -> v)
-  | Bexpr.Param i -> (
-      match params.(i) with
-      | Value.Int v | Value.Date v -> Some (fun _ -> v)
-      | _ -> None)
-  | Bexpr.Col c when c < Array.length cols -> (
-      match cols.(c) with
-      | Column.Ints (a, _) | Column.Dates (a, _) -> Some (fun i -> Array.unsafe_get a i)
-      | _ -> None)
-  | Bexpr.Neg a ->
-      Option.map (fun f -> fun i -> -f i) (compile_int cols params a)
-  | Bexpr.Arith (op, a, b) -> (
-      match (compile_int cols params a, compile_int cols params b) with
-      | Some fa, Some fb -> (
-          match op with
-          | Bexpr.Add -> Some (fun i -> fa i + fb i)
-          | Bexpr.Sub -> Some (fun i -> fa i - fb i)
-          | Bexpr.Mul -> Some (fun i -> fa i * fb i)
-          | Bexpr.Div ->
-              Some
-                (fun i ->
-                  let d = fb i in
-                  if d = 0 then raise (Bexpr.Eval_error "division by zero") else fa i / d)
-          | Bexpr.Mod ->
-              Some
-                (fun i ->
-                  let d = fb i in
-                  if d = 0 then raise (Bexpr.Eval_error "modulo by zero") else fa i mod d))
-      | _ -> None)
-  | Bexpr.Cast (a, (Value.Int_t | Value.Date_t)) when a.Bexpr.dtype = Value.Int_t || a.Bexpr.dtype = Value.Date_t ->
-      compile_int cols params a
-  | _ -> None
+let compile_int (cols : Column.t array) params (e : Bexpr.t) : (int -> int) option =
+  Kernel.compile_int (Kernel.of_columns cols params) e
 
 (** [compile_float cols params e] compiles a numeric expression to an
     unboxed float evaluator, widening int inputs; [None] when the shape is
     unsupported. *)
-let rec compile_float (cols : Column.t array) params (e : Bexpr.t) : (int -> float) option =
-  match e.Bexpr.node with
-  | Bexpr.Lit (Value.Float v) -> Some (fun _ -> v)
-  | Bexpr.Lit (Value.Int v) ->
-      let f = Float.of_int v in
-      Some (fun _ -> f)
-  | Bexpr.Param i -> (
-      match params.(i) with
-      | Value.Float v -> Some (fun _ -> v)
-      | Value.Int v ->
-          let f = Float.of_int v in
-          Some (fun _ -> f)
-      | _ -> None)
-  | Bexpr.Col c when c < Array.length cols -> (
-      match cols.(c) with
-      | Column.Floats (a, _) -> Some (fun i -> Array.unsafe_get a i)
-      | Column.Ints (a, _) -> Some (fun i -> Float.of_int (Array.unsafe_get a i))
-      | _ -> None)
-  | Bexpr.Neg a -> Option.map (fun f -> fun i -> -.(f i)) (compile_float cols params a)
-  | Bexpr.Arith (op, a, b) -> (
-      (* Integer-only subtrees keep exact int arithmetic then widen. *)
-      if e.Bexpr.dtype = Value.Int_t then
-        Option.map (fun f -> fun i -> Float.of_int (f i)) (compile_int cols params e)
-      else
-        match (compile_float cols params a, compile_float cols params b) with
-        | Some fa, Some fb -> (
-            match op with
-            | Bexpr.Add -> Some (fun i -> fa i +. fb i)
-            | Bexpr.Sub -> Some (fun i -> fa i -. fb i)
-            | Bexpr.Mul -> Some (fun i -> fa i *. fb i)
-            | Bexpr.Div ->
-                Some
-                  (fun i ->
-                    let d = fb i in
-                    if d = 0.0 then raise (Bexpr.Eval_error "division by zero")
-                    else fa i /. d)
-            | Bexpr.Mod -> None)
-        | _ -> None)
-  | Bexpr.Cast (a, Value.Float_t) -> compile_float cols params a
-  | _ -> None
+let compile_float (cols : Column.t array) params (e : Bexpr.t) : (int -> float) option =
+  Kernel.compile_float (Kernel.of_columns cols params) e

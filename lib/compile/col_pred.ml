@@ -1,198 +1,24 @@
 (* Unboxed predicate compilation over typed columns.
 
-   For the common shapes — comparisons between a column and a constant or
-   parameter, conjunctions, disjunctions, constant IN lists — we compile a
-   [int -> bool] test that reads the typed arrays directly, with no value
-   boxing at all.  Anything else returns [None] and the caller falls back
-   to the closure-compiled row predicate.
+   Thin wrapper over {!Quill_exec.Kernel.compile_pred}, the shared
+   implementation also behind the vectorized engine's typed batches.  For
+   the supported shapes — comparisons (column vs constant, or any two
+   numeric kernel-compilable expressions of the same type), conjunctions,
+   disjunctions, constant IN lists, LIKE over strings, IS NULL — the
+   result is a [int -> bool] test that reads the typed arrays directly,
+   with no value boxing at all.  Anything else returns [None] and the
+   caller falls back to the closure-compiled row predicate.
 
    Soundness under 3-valued logic: each compiled test answers "is the
    predicate definitely TRUE for row i" (NULL maps to false).  AND/OR of
    is-true tests is exact for is-true of AND/OR, so composition is sound;
    NOT is not compositional in this encoding and is rejected. *)
 
-module Value = Quill_storage.Value
 module Column = Quill_storage.Column
-module Bitset = Quill_util.Bitset
 module Bexpr = Quill_plan.Bexpr
-
-let const_of params (e : Bexpr.t) =
-  match e.Bexpr.node with
-  | Bexpr.Lit v -> Some v
-  | Bexpr.Param i -> Some params.(i)
-  | Bexpr.Cast ({ Bexpr.node = Bexpr.Lit v; _ }, t) -> (
-      match Bexpr.do_cast v t with v -> Some v | exception _ -> None)
-  | _ -> None
-
-let int_test op (v : int) a (valid : Bitset.t) : int -> bool =
-  match op with
-  | Bexpr.Eq -> fun i -> Bitset.get valid i && Array.unsafe_get a i = v
-  | Bexpr.Neq -> fun i -> Bitset.get valid i && Array.unsafe_get a i <> v
-  | Bexpr.Lt -> fun i -> Bitset.get valid i && Array.unsafe_get a i < v
-  | Bexpr.Le -> fun i -> Bitset.get valid i && Array.unsafe_get a i <= v
-  | Bexpr.Gt -> fun i -> Bitset.get valid i && Array.unsafe_get a i > v
-  | Bexpr.Ge -> fun i -> Bitset.get valid i && Array.unsafe_get a i >= v
-
-let float_test op (v : float) a (valid : Bitset.t) : int -> bool =
-  match op with
-  | Bexpr.Eq -> fun i -> Bitset.get valid i && Array.unsafe_get a i = v
-  | Bexpr.Neq -> fun i -> Bitset.get valid i && Array.unsafe_get a i <> v
-  | Bexpr.Lt -> fun i -> Bitset.get valid i && Array.unsafe_get a i < v
-  | Bexpr.Le -> fun i -> Bitset.get valid i && Array.unsafe_get a i <= v
-  | Bexpr.Gt -> fun i -> Bitset.get valid i && Array.unsafe_get a i > v
-  | Bexpr.Ge -> fun i -> Bitset.get valid i && Array.unsafe_get a i >= v
-
-let str_test op (v : string) a (valid : Bitset.t) : int -> bool =
-  let c i = String.compare (Array.unsafe_get a i) v in
-  match op with
-  | Bexpr.Eq -> fun i -> Bitset.get valid i && c i = 0
-  | Bexpr.Neq -> fun i -> Bitset.get valid i && c i <> 0
-  | Bexpr.Lt -> fun i -> Bitset.get valid i && c i < 0
-  | Bexpr.Le -> fun i -> Bitset.get valid i && c i <= 0
-  | Bexpr.Gt -> fun i -> Bitset.get valid i && c i > 0
-  | Bexpr.Ge -> fun i -> Bitset.get valid i && c i >= 0
-
-(* First dictionary index with entry >= x. *)
-let dict_lower_bound (dict : string array) x =
-  let lo = ref 0 and hi = ref (Array.length dict) in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if String.compare dict.(mid) x < 0 then lo := mid + 1 else hi := mid
-  done;
-  !lo
-
-let flip = function
-  | Bexpr.Lt -> Bexpr.Gt | Bexpr.Le -> Bexpr.Ge
-  | Bexpr.Gt -> Bexpr.Lt | Bexpr.Ge -> Bexpr.Le
-  | op -> op
+module Kernel = Quill_exec.Kernel
 
 (** [compile cols params e] attempts to build an unboxed is-true test for
     predicate [e] over the typed columns [cols]. *)
-let rec compile (cols : Column.t array) params (e : Bexpr.t) : (int -> bool) option =
-  match e.Bexpr.node with
-  | Bexpr.Cmp (op, a, b) -> (
-      let col_rhs =
-        match (a.Bexpr.node, const_of params b) with
-        | Bexpr.Col c, Some v -> Some (c, op, v)
-        | _ -> (
-            match (b.Bexpr.node, const_of params a) with
-            | Bexpr.Col c, Some v -> Some (c, flip op, v)
-            | _ -> None)
-      in
-      match col_rhs with
-      | None -> None
-      | Some (c, op, v) -> (
-          if c >= Array.length cols then None
-          else
-            let col = cols.(c) in
-            let valid = Column.validity col in
-            match (col, v) with
-            | Column.Ints (a, _), Value.Int x | Column.Dates (a, _), Value.Date x ->
-                Some (int_test op x a valid)
-            | Column.Floats (a, _), Value.Float x -> Some (float_test op x a valid)
-            | Column.Floats (a, _), Value.Int x ->
-                Some (float_test op (Float.of_int x) a valid)
-            | Column.Strs (a, _), Value.Str x -> Some (str_test op x a valid)
-            | Column.Dict (codes, dict, _), Value.Str x -> (
-                (* The dictionary is sorted, so code order = string order:
-                   string comparisons become integer code comparisons. *)
-                let lb = dict_lower_bound dict x in
-                let exact = lb < Array.length dict && dict.(lb) = x in
-                match op with
-                | Bexpr.Eq ->
-                    if exact then Some (int_test Bexpr.Eq lb codes valid)
-                    else Some (fun _ -> false)
-                | Bexpr.Neq ->
-                    if exact then Some (int_test Bexpr.Neq lb codes valid)
-                    else Some (fun i -> Bitset.get valid i)
-                | Bexpr.Lt -> Some (int_test Bexpr.Lt lb codes valid)
-                | Bexpr.Ge -> Some (int_test Bexpr.Ge lb codes valid)
-                | Bexpr.Le ->
-                    let ub = if exact then lb + 1 else lb in
-                    Some (int_test Bexpr.Lt ub codes valid)
-                | Bexpr.Gt ->
-                    let ub = if exact then lb + 1 else lb in
-                    Some (int_test Bexpr.Ge ub codes valid))
-            | _, Value.Null -> Some (fun _ -> false)
-            | _ -> None))
-  | Bexpr.Like ({ Bexpr.node = Bexpr.Col c; _ }, pattern) when c < Array.length cols -> (
-      match cols.(c) with
-      | Column.Dict (codes, dict, _) ->
-          (* Evaluate the pattern once per dictionary entry, then the
-             per-row test is a table lookup. *)
-          let matches = Array.map (fun s -> Bexpr.like_match ~pattern s) dict in
-          let valid = Column.validity cols.(c) in
-          Some (fun i -> Bitset.get valid i && matches.(Array.unsafe_get codes i))
-      | _ -> None)
-  | Bexpr.And (a, b) -> (
-      match (compile cols params a, compile cols params b) with
-      | Some fa, Some fb -> Some (fun i -> fa i && fb i)
-      | _ -> None)
-  | Bexpr.Or (a, b) -> (
-      match (compile cols params a, compile cols params b) with
-      | Some fa, Some fb -> Some (fun i -> fa i || fb i)
-      | _ -> None)
-  | Bexpr.In_list ({ Bexpr.node = Bexpr.Col c; _ }, items)
-    when List.for_all (fun it -> const_of params it <> None) items -> (
-      if c >= Array.length cols then None
-      else
-        let col = cols.(c) in
-        let valid = Column.validity col in
-        match col with
-        | Column.Ints (a, _) | Column.Dates (a, _) ->
-            let tbl = Hashtbl.create 16 in
-            let ok =
-              List.for_all
-                (fun it ->
-                  match const_of params it with
-                  | Some (Value.Int x) | Some (Value.Date x) ->
-                      Hashtbl.replace tbl x ();
-                      true
-                  | Some Value.Null -> true (* never contributes TRUE *)
-                  | _ -> false)
-                items
-            in
-            if ok then Some (fun i -> Bitset.get valid i && Hashtbl.mem tbl a.(i))
-            else None
-        | Column.Strs (a, _) ->
-            let tbl = Hashtbl.create 16 in
-            let ok =
-              List.for_all
-                (fun it ->
-                  match const_of params it with
-                  | Some (Value.Str s) ->
-                      Hashtbl.replace tbl s ();
-                      true
-                  | Some Value.Null -> true
-                  | _ -> false)
-                items
-            in
-            if ok then Some (fun i -> Bitset.get valid i && Hashtbl.mem tbl a.(i))
-            else None
-        | Column.Dict (codes, dict, _) ->
-            let keep = Array.make (Array.length dict) false in
-            let ok =
-              List.for_all
-                (fun it ->
-                  match const_of params it with
-                  | Some (Value.Str s) ->
-                      let lb = dict_lower_bound dict s in
-                      if lb < Array.length dict && dict.(lb) = s then keep.(lb) <- true;
-                      true
-                  | Some Value.Null -> true
-                  | _ -> false)
-                items
-            in
-            if ok then Some (fun i -> Bitset.get valid i && keep.(Array.unsafe_get codes i))
-            else None
-        | _ -> None)
-  | Bexpr.Is_null (negated, { Bexpr.node = Bexpr.Col c; _ }) ->
-      if c >= Array.length cols then None
-      else begin
-        let valid = Column.validity cols.(c) in
-        if negated then Some (fun i -> Bitset.get valid i)
-        else Some (fun i -> not (Bitset.get valid i))
-      end
-  | Bexpr.Lit (Value.Bool true) -> Some (fun _ -> true)
-  | Bexpr.Lit (Value.Bool false) | Bexpr.Lit Value.Null -> Some (fun _ -> false)
-  | _ -> None
+let compile (cols : Column.t array) params (e : Bexpr.t) : (int -> bool) option =
+  Kernel.compile_pred (Kernel.of_columns cols params) e

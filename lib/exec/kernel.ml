@@ -1,0 +1,418 @@
+(* Unboxed expression/predicate kernels over typed column sources.
+
+   The single compiler behind both tiers that avoid boxing: the compiled
+   engine's fused loops ({!Quill_compile.Col_expr} / [Col_pred] are thin
+   wrappers over this module) and the vectorized engine's typed batches.
+   Given a [source] that resolves column references to typed columns (or
+   constants), the arithmetic/comparison subset of expressions compiles to
+   [int -> int] / [int -> float] / [int -> bool] evaluators that read the
+   unboxed arrays directly; the caller loops them over a selection vector
+   or a row range.
+
+   A resolved column carries a base offset: lane [i] of the kernel reads
+   slot [base + i], so a batch can reference a window of a storage column
+   zero-copy.  [resolve] answering [None] means the reference cannot be
+   served unboxed (missing column, boxed intermediate) and compilation
+   returns [None]; the caller then takes its boxed fallback, so semantics
+   never depend on what compiles.
+
+   NULL semantics: for the restricted grammar (literals, parameters,
+   columns, +,-,*,/,%, unary minus, numeric casts) an expression is NULL
+   exactly when one of its referenced columns is NULL, so the caller
+   guards each lane with {!valid_fn} and the evaluators can assume all
+   inputs present.  Division/modulo by zero raises {!Bexpr.Eval_error}
+   like every other tier.
+
+   Predicate soundness under 3-valued logic: each compiled test answers
+   "is the predicate definitely TRUE for lane i" (NULL maps to false).
+   AND/OR of is-true tests is exact for is-true of AND/OR — and [&&]/[||]
+   keep the right operand lazy, preserving guarded-error behaviour for
+   predicates like [y <> 0 AND x/y > 2].  NOT is not compositional in
+   this encoding and is rejected. *)
+
+module Value = Quill_storage.Value
+module Column = Quill_storage.Column
+module Bitset = Quill_util.Bitset
+module Bexpr = Quill_plan.Bexpr
+
+type src =
+  | S_col of Column.t * int  (** typed column; lane [i] reads slot [base + i] *)
+  | S_const of Value.t  (** constant vector (e.g. a literal projection) *)
+
+type source = { resolve : int -> src option; params : Value.t array }
+
+(** [of_columns cols params] is the whole-relation source: column [c]
+    resolves to [cols.(c)] at base 0 and kernels index rows absolutely. *)
+let of_columns (cols : Column.t array) params =
+  {
+    resolve = (fun c -> if c < Array.length cols then Some (S_col (cols.(c), 0)) else None);
+    params;
+  }
+
+(** [validities source e] lists the (validity bitset, base) pairs of every
+    column [e] references, or [None] when a reference does not resolve to
+    a typed column or constant (constants contribute no validity test). *)
+let validities source (e : Bexpr.t) : (Bitset.t * int) list option =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | c :: rest -> (
+        match source.resolve c with
+        | Some (S_col (col, base)) -> go ((Column.validity col, base) :: acc) rest
+        | Some (S_const _) -> go acc rest
+        | None -> None)
+  in
+  go [] (Bexpr.cols e)
+
+(** [valid_fn source e] is the per-lane test that every column referenced
+    by [e] is non-NULL; [None] when a reference does not resolve. *)
+let valid_fn source (e : Bexpr.t) : (int -> bool) option =
+  match validities source e with
+  | None -> None
+  | Some [] -> Some (fun _ -> true)
+  | Some [ (v, 0) ] -> Some (fun i -> Bitset.get v i)
+  | Some [ (v, b) ] -> Some (fun i -> Bitset.get v (b + i))
+  | Some [ (v1, b1); (v2, b2) ] ->
+      Some (fun i -> Bitset.get v1 (b1 + i) && Bitset.get v2 (b2 + i))
+  | Some vs -> Some (fun i -> List.for_all (fun (v, b) -> Bitset.get v (b + i)) vs)
+
+(* --- Numeric kernels ---------------------------------------------------- *)
+
+(** [compile_int source e] compiles an INT/DATE-typed expression to an
+    unboxed evaluator; [None] when the shape is unsupported. *)
+let rec compile_int source (e : Bexpr.t) : (int -> int) option =
+  match e.Bexpr.node with
+  | Bexpr.Lit (Value.Int v) | Bexpr.Lit (Value.Date v) -> Some (fun _ -> v)
+  | Bexpr.Param i -> (
+      match source.params.(i) with
+      | Value.Int v | Value.Date v -> Some (fun _ -> v)
+      | _ -> None)
+  | Bexpr.Col c -> (
+      match source.resolve c with
+      | Some (S_col ((Column.Ints (a, _) | Column.Dates (a, _)), 0)) ->
+          Some (fun i -> Array.unsafe_get a i)
+      | Some (S_col ((Column.Ints (a, _) | Column.Dates (a, _)), base)) ->
+          Some (fun i -> Array.unsafe_get a (base + i))
+      | Some (S_const (Value.Int v | Value.Date v)) -> Some (fun _ -> v)
+      | _ -> None)
+  | Bexpr.Neg a -> Option.map (fun f -> fun i -> -f i) (compile_int source a)
+  | Bexpr.Arith (op, a, b) -> (
+      match (compile_int source a, compile_int source b) with
+      | Some fa, Some fb -> (
+          match op with
+          | Bexpr.Add -> Some (fun i -> fa i + fb i)
+          | Bexpr.Sub -> Some (fun i -> fa i - fb i)
+          | Bexpr.Mul -> Some (fun i -> fa i * fb i)
+          | Bexpr.Div ->
+              Some
+                (fun i ->
+                  let d = fb i in
+                  if d = 0 then raise (Bexpr.Eval_error "division by zero") else fa i / d)
+          | Bexpr.Mod ->
+              Some
+                (fun i ->
+                  let d = fb i in
+                  if d = 0 then raise (Bexpr.Eval_error "modulo by zero") else fa i mod d))
+      | _ -> None)
+  | Bexpr.Cast (a, (Value.Int_t | Value.Date_t))
+    when a.Bexpr.dtype = Value.Int_t || a.Bexpr.dtype = Value.Date_t ->
+      compile_int source a
+  | _ -> None
+
+(** [compile_float source e] compiles a numeric expression to an unboxed
+    float evaluator, widening int inputs; [None] when the shape is
+    unsupported. *)
+let rec compile_float source (e : Bexpr.t) : (int -> float) option =
+  match e.Bexpr.node with
+  | Bexpr.Lit (Value.Float v) -> Some (fun _ -> v)
+  | Bexpr.Lit (Value.Int v) ->
+      let f = Float.of_int v in
+      Some (fun _ -> f)
+  | Bexpr.Param i -> (
+      match source.params.(i) with
+      | Value.Float v -> Some (fun _ -> v)
+      | Value.Int v ->
+          let f = Float.of_int v in
+          Some (fun _ -> f)
+      | _ -> None)
+  | Bexpr.Col c -> (
+      match source.resolve c with
+      | Some (S_col (Column.Floats (a, _), 0)) -> Some (fun i -> Array.unsafe_get a i)
+      | Some (S_col (Column.Floats (a, _), base)) ->
+          Some (fun i -> Array.unsafe_get a (base + i))
+      | Some (S_col (Column.Ints (a, _), 0)) ->
+          Some (fun i -> Float.of_int (Array.unsafe_get a i))
+      | Some (S_col (Column.Ints (a, _), base)) ->
+          Some (fun i -> Float.of_int (Array.unsafe_get a (base + i)))
+      | Some (S_const (Value.Float v)) -> Some (fun _ -> v)
+      | Some (S_const (Value.Int v)) ->
+          let f = Float.of_int v in
+          Some (fun _ -> f)
+      | _ -> None)
+  | Bexpr.Neg a -> Option.map (fun f -> fun i -> -.f i) (compile_float source a)
+  | Bexpr.Arith (op, a, b) -> (
+      (* Integer-only subtrees keep exact int arithmetic then widen. *)
+      if e.Bexpr.dtype = Value.Int_t then
+        Option.map (fun f -> fun i -> Float.of_int (f i)) (compile_int source e)
+      else
+        match (compile_float source a, compile_float source b) with
+        | Some fa, Some fb -> (
+            match op with
+            | Bexpr.Add -> Some (fun i -> fa i +. fb i)
+            | Bexpr.Sub -> Some (fun i -> fa i -. fb i)
+            | Bexpr.Mul -> Some (fun i -> fa i *. fb i)
+            | Bexpr.Div ->
+                Some
+                  (fun i ->
+                    let d = fb i in
+                    if d = 0.0 then raise (Bexpr.Eval_error "division by zero")
+                    else fa i /. d)
+            | Bexpr.Mod -> None)
+        | _ -> None)
+  | Bexpr.Cast (a, Value.Float_t) -> compile_float source a
+  | _ -> None
+
+(* --- Predicate kernels -------------------------------------------------- *)
+
+let const_of params (e : Bexpr.t) =
+  match e.Bexpr.node with
+  | Bexpr.Lit v -> Some v
+  | Bexpr.Param i -> Some params.(i)
+  | Bexpr.Cast ({ Bexpr.node = Bexpr.Lit v; _ }, t) -> (
+      match Bexpr.do_cast v t with v -> Some v | exception _ -> None)
+  | _ -> None
+
+let int_test op (v : int) a base (valid : Bitset.t) : int -> bool =
+  match op with
+  | Bexpr.Eq -> fun i -> Bitset.get valid (base + i) && Array.unsafe_get a (base + i) = v
+  | Bexpr.Neq -> fun i -> Bitset.get valid (base + i) && Array.unsafe_get a (base + i) <> v
+  | Bexpr.Lt -> fun i -> Bitset.get valid (base + i) && Array.unsafe_get a (base + i) < v
+  | Bexpr.Le -> fun i -> Bitset.get valid (base + i) && Array.unsafe_get a (base + i) <= v
+  | Bexpr.Gt -> fun i -> Bitset.get valid (base + i) && Array.unsafe_get a (base + i) > v
+  | Bexpr.Ge -> fun i -> Bitset.get valid (base + i) && Array.unsafe_get a (base + i) >= v
+
+let float_test op (v : float) a base (valid : Bitset.t) : int -> bool =
+  match op with
+  | Bexpr.Eq -> fun i -> Bitset.get valid (base + i) && Array.unsafe_get a (base + i) = v
+  | Bexpr.Neq -> fun i -> Bitset.get valid (base + i) && Array.unsafe_get a (base + i) <> v
+  | Bexpr.Lt -> fun i -> Bitset.get valid (base + i) && Array.unsafe_get a (base + i) < v
+  | Bexpr.Le -> fun i -> Bitset.get valid (base + i) && Array.unsafe_get a (base + i) <= v
+  | Bexpr.Gt -> fun i -> Bitset.get valid (base + i) && Array.unsafe_get a (base + i) > v
+  | Bexpr.Ge -> fun i -> Bitset.get valid (base + i) && Array.unsafe_get a (base + i) >= v
+
+let str_test op (v : string) a base (valid : Bitset.t) : int -> bool =
+  let c i = String.compare (Array.unsafe_get a (base + i)) v in
+  match op with
+  | Bexpr.Eq -> fun i -> Bitset.get valid (base + i) && c i = 0
+  | Bexpr.Neq -> fun i -> Bitset.get valid (base + i) && c i <> 0
+  | Bexpr.Lt -> fun i -> Bitset.get valid (base + i) && c i < 0
+  | Bexpr.Le -> fun i -> Bitset.get valid (base + i) && c i <= 0
+  | Bexpr.Gt -> fun i -> Bitset.get valid (base + i) && c i > 0
+  | Bexpr.Ge -> fun i -> Bitset.get valid (base + i) && c i >= 0
+
+(* First dictionary index with entry >= x. *)
+let dict_lower_bound (dict : string array) x =
+  let lo = ref 0 and hi = ref (Array.length dict) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare dict.(mid) x < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let flip = function
+  | Bexpr.Lt -> Bexpr.Gt
+  | Bexpr.Le -> Bexpr.Ge
+  | Bexpr.Gt -> Bexpr.Lt
+  | Bexpr.Ge -> Bexpr.Le
+  | op -> op
+
+(* Column-vs-constant comparison, with dict-code comparisons for strings. *)
+let compile_cmp_const source op col v : (int -> bool) option =
+  match source.resolve col with
+  | None | Some (S_const _) -> None
+  | Some (S_col (col, base)) -> (
+      let valid = Column.validity col in
+      match (col, v) with
+      | Column.Ints (a, _), Value.Int x | Column.Dates (a, _), Value.Date x ->
+          Some (int_test op x a base valid)
+      | Column.Floats (a, _), Value.Float x -> Some (float_test op x a base valid)
+      | Column.Floats (a, _), Value.Int x -> Some (float_test op (Float.of_int x) a base valid)
+      | Column.Strs (a, _), Value.Str x -> Some (str_test op x a base valid)
+      | Column.Dict (codes, dict, _), Value.Str x -> (
+          (* The dictionary is sorted, so code order = string order: string
+             comparisons become integer code comparisons. *)
+          let lb = dict_lower_bound dict x in
+          let exact = lb < Array.length dict && dict.(lb) = x in
+          match op with
+          | Bexpr.Eq ->
+              if exact then Some (int_test Bexpr.Eq lb codes base valid)
+              else Some (fun _ -> false)
+          | Bexpr.Neq ->
+              if exact then Some (int_test Bexpr.Neq lb codes base valid)
+              else Some (fun i -> Bitset.get valid (base + i))
+          | Bexpr.Lt -> Some (int_test Bexpr.Lt lb codes base valid)
+          | Bexpr.Ge -> Some (int_test Bexpr.Ge lb codes base valid)
+          | Bexpr.Le ->
+              let ub = if exact then lb + 1 else lb in
+              Some (int_test Bexpr.Lt ub codes base valid)
+          | Bexpr.Gt ->
+              let ub = if exact then lb + 1 else lb in
+              Some (int_test Bexpr.Ge ub codes base valid))
+      | _, Value.Null -> Some (fun _ -> false)
+      | _ -> None)
+
+let cmp_int_result op =
+  match op with
+  | Bexpr.Eq -> fun a b -> a = b
+  | Bexpr.Neq -> fun a b -> a <> b
+  | Bexpr.Lt -> fun a b -> a < b
+  | Bexpr.Le -> fun a b -> a <= b
+  | Bexpr.Gt -> fun a b -> a > b
+  | Bexpr.Ge -> fun a b -> a >= b
+
+let cmp_float_result op =
+  match op with
+  | Bexpr.Eq -> fun a b -> a = b
+  | Bexpr.Neq -> fun a b -> a <> b
+  | Bexpr.Lt -> fun (a : float) b -> a < b
+  | Bexpr.Le -> fun (a : float) b -> a <= b
+  | Bexpr.Gt -> fun (a : float) b -> a > b
+  | Bexpr.Ge -> fun (a : float) b -> a >= b
+
+(** [compile_pred source e] attempts to build an unboxed is-true test for
+    predicate [e]; [None] when the shape is unsupported. *)
+let rec compile_pred source (e : Bexpr.t) : (int -> bool) option =
+  match e.Bexpr.node with
+  | Bexpr.Cmp (op, a, b) -> (
+      let col_rhs =
+        match (a.Bexpr.node, const_of source.params b) with
+        | Bexpr.Col c, Some v -> Some (c, op, v)
+        | _ -> (
+            match (b.Bexpr.node, const_of source.params a) with
+            | Bexpr.Col c, Some v -> Some (c, flip op, v)
+            | _ -> None)
+      in
+      match col_rhs with
+      | Some (c, op, v) -> compile_cmp_const source op c v
+      | None -> (
+          (* General expression-vs-expression comparisons through the
+             numeric kernels; lanes with any NULL input answer false (the
+             is-true encoding) via the validity guard, so the kernels only
+             run on fully-present lanes.  The float path is restricted to
+             FLOAT-typed operands: widening a giant int for comparison
+             could disagree with the exact boxed {!Value.compare}. *)
+          let guarded test =
+            match valid_fn source e with
+            | None -> None
+            | Some valid -> Some (fun i -> valid i && test i)
+          in
+          let int_ty t = t = Value.Int_t || t = Value.Date_t in
+          if a.Bexpr.dtype = b.Bexpr.dtype && int_ty a.Bexpr.dtype then
+            match (compile_int source a, compile_int source b) with
+            | Some fa, Some fb ->
+                let cmp = cmp_int_result op in
+                guarded (fun i -> cmp (fa i) (fb i))
+            | _ -> None
+          else if a.Bexpr.dtype = Value.Float_t && b.Bexpr.dtype = Value.Float_t then
+            match (compile_float source a, compile_float source b) with
+            | Some fa, Some fb ->
+                let cmp = cmp_float_result op in
+                guarded (fun i -> cmp (fa i) (fb i))
+            | _ -> None
+          else None))
+  | Bexpr.Like ({ Bexpr.node = Bexpr.Col c; _ }, pattern) -> (
+      match source.resolve c with
+      | Some (S_col (Column.Dict (codes, dict, valid), base)) ->
+          (* Evaluate the pattern once per dictionary entry, then the
+             per-lane test is a table lookup. *)
+          let matches = Array.map (fun s -> Bexpr.like_match ~pattern s) dict in
+          Some
+            (fun i ->
+              Bitset.get valid (base + i) && matches.(Array.unsafe_get codes (base + i)))
+      | Some (S_col (Column.Strs (a, valid), base)) ->
+          Some
+            (fun i ->
+              Bitset.get valid (base + i)
+              && Bexpr.like_match ~pattern (Array.unsafe_get a (base + i)))
+      | _ -> None)
+  | Bexpr.And (a, b) -> (
+      match (compile_pred source a, compile_pred source b) with
+      | Some fa, Some fb -> Some (fun i -> fa i && fb i)
+      | _ -> None)
+  | Bexpr.Or (a, b) -> (
+      match (compile_pred source a, compile_pred source b) with
+      | Some fa, Some fb -> Some (fun i -> fa i || fb i)
+      | _ -> None)
+  | Bexpr.In_list ({ Bexpr.node = Bexpr.Col c; _ }, items)
+    when List.for_all (fun it -> const_of source.params it <> None) items -> (
+      match source.resolve c with
+      | None | Some (S_const _) -> None
+      | Some (S_col (col, base)) -> (
+          let valid = Column.validity col in
+          match col with
+          | Column.Ints (a, _) | Column.Dates (a, _) ->
+              let tbl = Hashtbl.create 16 in
+              let ok =
+                List.for_all
+                  (fun it ->
+                    match const_of source.params it with
+                    | Some (Value.Int x) | Some (Value.Date x) ->
+                        Hashtbl.replace tbl x ();
+                        true
+                    | Some Value.Null -> true (* never contributes TRUE *)
+                    | _ -> false)
+                  items
+              in
+              if ok then
+                Some (fun i -> Bitset.get valid (base + i) && Hashtbl.mem tbl a.(base + i))
+              else None
+          | Column.Strs (a, _) ->
+              let tbl = Hashtbl.create 16 in
+              let ok =
+                List.for_all
+                  (fun it ->
+                    match const_of source.params it with
+                    | Some (Value.Str s) ->
+                        Hashtbl.replace tbl s ();
+                        true
+                    | Some Value.Null -> true
+                    | _ -> false)
+                  items
+              in
+              if ok then
+                Some (fun i -> Bitset.get valid (base + i) && Hashtbl.mem tbl a.(base + i))
+              else None
+          | Column.Dict (codes, dict, _) ->
+              let keep = Array.make (Array.length dict) false in
+              let ok =
+                List.for_all
+                  (fun it ->
+                    match const_of source.params it with
+                    | Some (Value.Str s) ->
+                        let lb = dict_lower_bound dict s in
+                        if lb < Array.length dict && dict.(lb) = s then keep.(lb) <- true;
+                        true
+                    | Some Value.Null -> true
+                    | _ -> false)
+                  items
+              in
+              if ok then
+                Some
+                  (fun i ->
+                    Bitset.get valid (base + i)
+                    && keep.(Array.unsafe_get codes (base + i)))
+              else None
+          | _ -> None))
+  | Bexpr.Is_null (negated, { Bexpr.node = Bexpr.Col c; _ }) -> (
+      match source.resolve c with
+      | Some (S_col (col, base)) ->
+          let valid = Column.validity col in
+          if negated then Some (fun i -> Bitset.get valid (base + i))
+          else Some (fun i -> not (Bitset.get valid (base + i)))
+      | Some (S_const v) ->
+          let n = Value.is_null v in
+          let r = if negated then not n else n in
+          Some (fun _ -> r)
+      | None -> None)
+  | Bexpr.Lit (Value.Bool true) -> Some (fun _ -> true)
+  | Bexpr.Lit (Value.Bool false) | Bexpr.Lit Value.Null -> Some (fun _ -> false)
+  | _ -> None

@@ -1,20 +1,40 @@
-(* The vectorized engine: batch-at-a-time interpretation.
+(* The vectorized engine: batch-at-a-time interpretation over typed
+   batches with selection vectors.
 
-   Operators exchange batches of [batch_size] rows stored column-wise;
-   expressions are evaluated one node per *vector* instead of one node per
-   tuple, amortizing interpretive dispatch (the VectorWise design).
+   A batch is an array of typed vectors — [Typed] vectors reference a
+   window of a storage {!Column.t} zero-copy (unboxed int/float payloads,
+   dict codes, validity bitsets), [Const] vectors represent literals and
+   parameters without per-batch allocation, [Boxed] vectors hold computed
+   or re-batched intermediates — plus an optional selection vector of the
+   live lanes.  Filters produce a selection instead of compacting the
+   batch, so the only copies on the scan->filter->project hot path are
+   the kernel outputs themselves.
+
+   Expressions evaluate through the shared unboxed kernels ({!Kernel},
+   also behind the compiled engine's fused loops) whenever every
+   referenced column resolves to a typed vector: numeric expressions run
+   as [int -> int]/[int -> float] loops over the selection with validity
+   computed by bulk {!Bitset.land_range}, and predicates run as
+   [int -> bool] tests (dict-code comparisons for strings included).
+   Shapes the kernels do not cover fall back to the boxed column-at-a-time
+   evaluator of the original engine, so semantics never depend on what
+   compiles; {!enable_typed} forces that fallback everywhere for the E18
+   ablation.  Kernel-vs-fallback dispatch counts are exported as metrics.
+
    Pipeline breakers materialize to rows and call the shared algorithm
    library, so E2 compares engine architectures on equal algorithms.
 
    Laziness note: AND/OR right operands and CASE branches are evaluated
-   per-row on the undecided rows only, preserving the scalar engine's
-   error behaviour for guarded expressions like [y <> 0 AND x/y > 2]. *)
+   on the undecided lanes only, preserving the scalar engine's error
+   behaviour for guarded expressions like [y <> 0 AND x/y > 2]. *)
 
 module Value = Quill_storage.Value
 module Table = Quill_storage.Table
 module Catalog = Quill_storage.Catalog
 module Column = Quill_storage.Column
 module Vec = Quill_util.Vec
+module Int_vec = Quill_util.Int_vec
+module Bitset = Quill_util.Bitset
 module Bexpr = Quill_plan.Bexpr
 module Lplan = Quill_plan.Lplan
 module Physical = Quill_optimizer.Physical
@@ -24,16 +44,49 @@ module IntSet = Set.Make (Int)
 
 let batch_size = 1024
 
+(** Evaluate through the typed kernels when possible; off, every batch
+    boxes at the scan and every expression takes the boxed fallback —
+    the pre-typed engine, kept for the E18 ablation (mirrors
+    {!Column.enable_dict}). *)
+let enable_typed = ref true
+
 (* Batches materialized by any operator (scans, index scans, pipeline
    breakers re-batching) and rows those batches carried. *)
 let m_batches = Quill_obs.Metrics.counter "quill.exec.batches"
 let m_batch_rows = Quill_obs.Metrics.counter "quill.exec.batch_rows"
 
-type batch = { cols : Value.t array array; len : int }
+(* Expression/predicate dispatches served by an unboxed kernel vs the
+   boxed fallback, counted once per node per batch. *)
+let m_kernel = Quill_obs.Metrics.counter "quill.exec.kernel_dispatches"
+let m_fallback = Quill_obs.Metrics.counter "quill.exec.fallback_dispatches"
+
+type vec =
+  | Typed of Column.t * int
+      (** typed column window: lane [i] lives at slot [base + i] *)
+  | Boxed of Value.t array  (** boxed intermediate, one slot per lane *)
+  | Const of Value.t  (** every lane holds the same value *)
+  | Absent  (** column the scan skipped (not needed); reads as NULL *)
+
+type batch = {
+  vecs : vec array;
+  len : int;  (** lane count; vectors address lanes [0, len) *)
+  sel : Int_vec.t option;
+      (** live lanes, ascending; [None] means all lanes live *)
+}
+
+let rows_in b = match b.sel with None -> b.len | Some s -> Int_vec.length s
+
+let iter_lanes b f =
+  match b.sel with
+  | None ->
+      for i = 0 to b.len - 1 do
+        f i
+      done
+  | Some s -> Int_vec.iter f s
 
 let count_batch (b : batch) =
   Quill_obs.Metrics.incr m_batches;
-  Quill_obs.Metrics.add m_batch_rows b.len;
+  Quill_obs.Metrics.add m_batch_rows (rows_in b);
   b
 
 type ctx = Exec_ctx.t = {
@@ -44,130 +97,279 @@ type ctx = Exec_ctx.t = {
   governor : Governor.t;
 }
 
-(* Columns the scan skipped (not in the needed set) are empty
-   placeholders and read back as NULL. *)
-let row_of batch i =
-  Array.map (fun c -> if Array.length c = 0 then Value.Null else c.(i)) batch.cols
+let vec_get v i =
+  match v with
+  | Typed (c, base) -> Column.get c (base + i)
+  | Boxed a -> a.(i)
+  | Const v -> v
+  | Absent -> Value.Null
+
+let row_of b i = Array.map (fun v -> vec_get v i) b.vecs
+
+let rows_of_batch b =
+  let out = Array.make (rows_in b) [||] in
+  let k = ref 0 in
+  iter_lanes b (fun i ->
+      out.(!k) <- row_of b i;
+      incr k);
+  out
 
 let batch_of_rows ncols (rows : Value.t array array) =
   let len = Array.length rows in
-  { cols = Array.init ncols (fun c -> Array.init len (fun i -> rows.(i).(c))); len }
+  {
+    vecs =
+      Array.init ncols (fun c -> Boxed (Array.init len (fun i -> rows.(i).(c))));
+    len;
+    sel = None;
+  }
 
-let rows_of_batch b = Array.init b.len (row_of b)
+(* --- Vectorized expression evaluation ----------------------------------
 
-(* --- Vectorized expression evaluation ---------------------------------- *)
+   [eval_vec] returns a vector whose *live* lanes (per [b.sel]) hold the
+   expression's value; dead lanes are unspecified and never read. *)
 
-let rec eval_vec ctx (b : batch) (e : Bexpr.t) : Value.t array =
-  let scalar i sub = Bexpr.eval ~row:(row_of b i) ~params:ctx.params sub in
+let source_of ctx b =
+  {
+    Kernel.resolve =
+      (fun c ->
+        if c >= Array.length b.vecs then None
+        else
+          match b.vecs.(c) with
+          | Typed (col, base) -> Some (Kernel.S_col (col, base))
+          | Const v -> Some (Kernel.S_const v)
+          | Boxed _ | Absent -> None);
+    Kernel.params = ctx.params;
+  }
+
+(* Validity of a kernel output: the AND of every referenced column's
+   validity over the live lanes — a bulk word-wise [land_range] when the
+   batch is dense, a per-lane test under a selection. *)
+let kernel_validity b (refs : (Bitset.t * int) list) =
+  match b.sel with
+  | None ->
+      let v = Bitset.create_full b.len in
+      List.iter (fun (src, base) -> Bitset.land_range ~into:v src ~src_pos:base) refs;
+      v
+  | Some sel ->
+      let v = Bitset.create b.len in
+      let ok i = List.for_all (fun (r, base) -> Bitset.get r (base + i)) refs in
+      Int_vec.iter (fun i -> if ok i then Bitset.set v i) sel;
+      v
+
+let rec eval_vec ctx (b : batch) (e : Bexpr.t) : vec =
   match e.Bexpr.node with
-  | Bexpr.Lit v -> Array.make b.len v
-  | Bexpr.Col c -> b.cols.(c)
-  | Bexpr.Param i -> Array.make b.len ctx.params.(i)
+  | Bexpr.Lit v -> Const v
+  | Bexpr.Param i -> Const ctx.params.(i)
+  | Bexpr.Col c -> b.vecs.(c)
+  | _ -> (
+      match if !enable_typed then eval_typed ctx b e else None with
+      | Some v ->
+          Quill_obs.Metrics.incr m_kernel;
+          v
+      | None ->
+          Quill_obs.Metrics.incr m_fallback;
+          eval_boxed ctx b e)
+
+(* Numeric expressions through the shared unboxed kernels: compile once
+   per batch, run over the live lanes only.  [None] when a referenced
+   column is boxed/absent or the shape is unsupported. *)
+and eval_typed ctx (b : batch) (e : Bexpr.t) : vec option =
+  let source = source_of ctx b in
+  match e.Bexpr.dtype with
+  | Value.Int_t | Value.Date_t -> (
+      match (Kernel.compile_int source e, Kernel.validities source e) with
+      | Some f, Some refs ->
+          let out = Array.make b.len 0 in
+          let validity = kernel_validity b refs in
+          (match b.sel with
+          | None -> Bitset.iter_set validity (fun i -> out.(i) <- f i)
+          | Some sel ->
+              Int_vec.iter (fun i -> if Bitset.get validity i then out.(i) <- f i) sel);
+          let col =
+            if e.Bexpr.dtype = Value.Date_t then Column.Dates (out, validity)
+            else Column.Ints (out, validity)
+          in
+          Some (Typed (col, 0))
+      | _ -> None)
+  | Value.Float_t -> (
+      match (Kernel.compile_float source e, Kernel.validities source e) with
+      | Some f, Some refs ->
+          let out = Array.make b.len 0.0 in
+          let validity = kernel_validity b refs in
+          (match b.sel with
+          | None -> Bitset.iter_set validity (fun i -> out.(i) <- f i)
+          | Some sel ->
+              Int_vec.iter (fun i -> if Bitset.get validity i then out.(i) <- f i) sel);
+          Some (Typed (Column.Floats (out, validity), 0))
+      | _ -> None)
+  | _ -> None
+
+(* The boxed column-at-a-time fallback (the original engine's evaluator,
+   generalized to read any vector kind and touch live lanes only). *)
+and eval_boxed ctx (b : batch) (e : Bexpr.t) : vec =
+  let scalar i sub = Bexpr.eval ~row:(row_of b i) ~params:ctx.params sub in
+  let map1 va f =
+    let out = Array.make b.len Value.Null in
+    iter_lanes b (fun i -> out.(i) <- f (vec_get va i));
+    Boxed out
+  in
+  match e.Bexpr.node with
   | Bexpr.Neg a ->
-      let va = eval_vec ctx b a in
-      Array.map
-        (function
-          | Value.Null -> Value.Null
-          | Value.Int x -> Value.Int (-x)
-          | Value.Float x -> Value.Float (-.x)
-          | v -> raise (Bexpr.Eval_error ("cannot negate " ^ Value.to_string v)))
-        va
+      map1 (eval_vec ctx b a) (function
+        | Value.Null -> Value.Null
+        | Value.Int x -> Value.Int (-x)
+        | Value.Float x -> Value.Float (-.x)
+        | v -> raise (Bexpr.Eval_error ("cannot negate " ^ Value.to_string v)))
   | Bexpr.Not a ->
-      let va = eval_vec ctx b a in
-      Array.map
-        (function
-          | Value.Null -> Value.Null
-          | Value.Bool x -> Value.Bool (not x)
-          | v -> raise (Bexpr.Eval_error ("NOT on " ^ Value.to_string v)))
-        va
+      map1 (eval_vec ctx b a) (function
+        | Value.Null -> Value.Null
+        | Value.Bool x -> Value.Bool (not x)
+        | v -> raise (Bexpr.Eval_error ("NOT on " ^ Value.to_string v)))
   | Bexpr.Arith (op, x, y) ->
       let vx = eval_vec ctx b x and vy = eval_vec ctx b y in
-      Array.init b.len (fun i ->
-          match (vx.(i), vy.(i)) with
-          | Value.Null, _ | _, Value.Null -> Value.Null
-          | a, c -> Bexpr.num_arith op a c)
+      let out = Array.make b.len Value.Null in
+      iter_lanes b (fun i ->
+          match (vec_get vx i, vec_get vy i) with
+          | Value.Null, _ | _, Value.Null -> ()
+          | a, c -> out.(i) <- Bexpr.num_arith op a c);
+      Boxed out
   | Bexpr.Cmp (op, x, y) ->
       let vx = eval_vec ctx b x and vy = eval_vec ctx b y in
-      Array.init b.len (fun i ->
-          match (vx.(i), vy.(i)) with
-          | Value.Null, _ | _, Value.Null -> Value.Null
-          | a, c -> Value.Bool (Bexpr.cmp_result op (Value.compare a c)))
+      let out = Array.make b.len Value.Null in
+      iter_lanes b (fun i ->
+          match (vec_get vx i, vec_get vy i) with
+          | Value.Null, _ | _, Value.Null -> ()
+          | a, c -> out.(i) <- Value.Bool (Bexpr.cmp_result op (Value.compare a c)));
+      Boxed out
   | Bexpr.And (x, y) ->
       let vx = eval_vec ctx b x in
-      Array.init b.len (fun i ->
-          match vx.(i) with
-          | Value.Bool false -> Value.Bool false
-          | vxi -> (
-              match scalar i y with
-              | Value.Bool false -> Value.Bool false
-              | Value.Null -> Value.Null
-              | vyi -> if vxi = Value.Null then Value.Null else vyi))
+      let out = Array.make b.len Value.Null in
+      iter_lanes b (fun i ->
+          out.(i) <-
+            (match vec_get vx i with
+            | Value.Bool false -> Value.Bool false
+            | vxi -> (
+                match scalar i y with
+                | Value.Bool false -> Value.Bool false
+                | Value.Null -> Value.Null
+                | vyi -> if vxi = Value.Null then Value.Null else vyi)));
+      Boxed out
   | Bexpr.Or (x, y) ->
       let vx = eval_vec ctx b x in
-      Array.init b.len (fun i ->
-          match vx.(i) with
-          | Value.Bool true -> Value.Bool true
-          | vxi -> (
-              match scalar i y with
-              | Value.Bool true -> Value.Bool true
-              | Value.Null -> Value.Null
-              | vyi -> if vxi = Value.Null then Value.Null else vyi))
+      let out = Array.make b.len Value.Null in
+      iter_lanes b (fun i ->
+          out.(i) <-
+            (match vec_get vx i with
+            | Value.Bool true -> Value.Bool true
+            | vxi -> (
+                match scalar i y with
+                | Value.Bool true -> Value.Bool true
+                | Value.Null -> Value.Null
+                | vyi -> if vxi = Value.Null then Value.Null else vyi)));
+      Boxed out
   | Bexpr.Like (x, pattern) ->
-      let vx = eval_vec ctx b x in
-      Array.map
-        (function
-          | Value.Null -> Value.Null
-          | Value.Str s -> Value.Bool (Bexpr.like_match ~pattern s)
-          | v -> raise (Bexpr.Eval_error ("LIKE on " ^ Value.to_string v)))
-        vx
+      map1 (eval_vec ctx b x) (function
+        | Value.Null -> Value.Null
+        | Value.Str s -> Value.Bool (Bexpr.like_match ~pattern s)
+        | v -> raise (Bexpr.Eval_error ("LIKE on " ^ Value.to_string v)))
   | Bexpr.Is_null (negated, x) ->
-      let vx = eval_vec ctx b x in
-      Array.map
-        (fun v ->
+      map1 (eval_vec ctx b x) (fun v ->
           let n = Value.is_null v in
           Value.Bool (if negated then not n else n))
-        vx
-  | Bexpr.Cast (x, t) ->
-      let vx = eval_vec ctx b x in
-      Array.map (fun v -> Bexpr.do_cast v t) vx
+  | Bexpr.Cast (x, t) -> map1 (eval_vec ctx b x) (fun v -> Bexpr.do_cast v t)
   | Bexpr.Call { fn; args; _ } ->
       (* Vectorized UDF invocation: arguments evaluate column-at-a-time,
-         then the function applies per row. *)
+         then the function applies per live lane. *)
       let vargs = Array.of_list (List.map (eval_vec ctx b) args) in
       let nargs = Array.length vargs in
       let scratch = Array.make nargs Value.Null in
-      Array.init b.len (fun i ->
+      let out = Array.make b.len Value.Null in
+      iter_lanes b (fun i ->
           for k = 0 to nargs - 1 do
-            scratch.(k) <- vargs.(k).(i)
+            scratch.(k) <- vec_get vargs.(k) i
           done;
-          fn scratch)
-  | Bexpr.In_list _ | Bexpr.Case _ | Bexpr.Subquery _ ->
-      (* Row-wise fallback for control-flow-heavy nodes. *)
-      Array.init b.len (fun i -> scalar i e)
+          out.(i) <- fn scratch);
+      Boxed out
+  | Bexpr.Lit _ | Bexpr.Param _ | Bexpr.Col _ | Bexpr.In_list _ | Bexpr.Case _
+  | Bexpr.Subquery _ ->
+      (* Row-wise fallback for control-flow-heavy nodes (Lit/Param/Col are
+         handled before dispatch and never reach here). *)
+      let out = Array.make b.len Value.Null in
+      iter_lanes b (fun i -> out.(i) <- scalar i e);
+      Boxed out
 
-(** [eval_pred_vec ctx b e] evaluates predicate [e] over a batch, returning
-    the selected row indices (NULL is false, as in WHERE). *)
-let eval_pred_vec ctx b e =
-  let v = eval_vec ctx b e in
-  let sel = Quill_util.Int_vec.create () in
-  for i = 0 to b.len - 1 do
-    match v.(i) with
-    | Value.Bool true -> Quill_util.Int_vec.push sel i
-    | _ -> ()
-  done;
-  sel
+(* --- Predicates: selection in, selection out ---------------------------- *)
 
-let compact b sel =
-  let n = Quill_util.Int_vec.length sel in
-  {
-    cols =
-      Array.map
-        (fun col ->
-          if Array.length col = 0 then [||]
-          else Array.init n (fun k -> col.(Quill_util.Int_vec.get sel k)))
-        b.cols;
-    len = n;
-  }
+(* Live lanes of [b] not in [sx] (both ascending). *)
+let lanes_minus b sx =
+  let out = Int_vec.create () in
+  let k = ref 0 in
+  let nk = Int_vec.length sx in
+  iter_lanes b (fun i ->
+      if !k < nk && Int_vec.get sx !k = i then incr k else Int_vec.push out i);
+  out
+
+let merge_sorted sa sb =
+  let na = Int_vec.length sa and nb = Int_vec.length sb in
+  if na = 0 then sb
+  else if nb = 0 then sa
+  else begin
+    let out = Int_vec.with_capacity (na + nb) in
+    let i = ref 0 and j = ref 0 in
+    while !i < na && !j < nb do
+      let a = Int_vec.get sa !i and b = Int_vec.get sb !j in
+      if a < b then begin
+        Int_vec.push out a;
+        incr i
+      end
+      else begin
+        Int_vec.push out b;
+        incr j
+      end
+    done;
+    while !i < na do
+      Int_vec.push out (Int_vec.get sa !i);
+      incr i
+    done;
+    while !j < nb do
+      Int_vec.push out (Int_vec.get sb !j);
+      incr j
+    done;
+    out
+  end
+
+(** [eval_sel ctx b e] returns the live lanes where predicate [e] is TRUE
+    (NULL is false, as in WHERE), a subset of [b.sel] in ascending order.
+    AND restricts the right operand to the left's survivors and OR
+    evaluates the right operand on the left's rejects only, so guarded
+    expressions keep their error behaviour and no lane is tested twice. *)
+let rec eval_sel ctx (b : batch) (e : Bexpr.t) : Int_vec.t =
+  let kernel =
+    if !enable_typed then Kernel.compile_pred (source_of ctx b) e else None
+  in
+  match kernel with
+  | Some test ->
+      Quill_obs.Metrics.incr m_kernel;
+      let out = Int_vec.create () in
+      iter_lanes b (fun i -> if test i then Int_vec.push out i);
+      out
+  | None -> (
+      match e.Bexpr.node with
+      | Bexpr.And (x, y) ->
+          let sx = eval_sel ctx b x in
+          if Int_vec.length sx = 0 then sx
+          else eval_sel ctx { b with sel = Some sx } y
+      | Bexpr.Or (x, y) ->
+          let sx = eval_sel ctx b x in
+          let rest = lanes_minus b sx in
+          if Int_vec.length rest = 0 then sx
+          else merge_sorted sx (eval_sel ctx { b with sel = Some rest } y)
+      | _ ->
+          let v = eval_vec ctx b e in
+          let out = Int_vec.create () in
+          iter_lanes b (fun i ->
+              if vec_get v i = Value.Bool true then Int_vec.push out i);
+          out)
 
 (* --- Operators --------------------------------------------------------- *)
 
@@ -186,7 +388,7 @@ let observed ctx id it =
             Profile.add_time p id (Quill_util.Timer.now () -. t0);
             match r with
             | Some b ->
-                Profile.add p id b.len;
+                Profile.add p id (rows_in b);
                 Some b
             | None -> None);
       }
@@ -227,7 +429,7 @@ let drain ?(gov = Governor.none) it =
   Vec.to_array out
 
 (* [needed] is the set of this operator's output columns the consumer
-   reads; scans skip materializing (boxing) the rest. *)
+   reads; scans skip materializing the rest. *)
 let rec build ctx counter plan ~needed : biter =
   let id = !counter in
   incr counter;
@@ -243,15 +445,16 @@ let rec build ctx counter plan ~needed : biter =
               if !done_ then None
               else begin
                 done_ := true;
-                Some { cols = [||]; len = 1 }
+                Some { vecs = [||]; len = 1; sel = None }
               end);
           close = ignore;
         }
     | Physical.Scan { table; filter; _ } ->
-        (* Both layouts batch from the columnar projection; the layout
-           distinction matters most in the compiled engine, which reads the
-           typed arrays directly.  Only referenced columns are unpacked
-           into the batch; the rest stay as empty placeholders. *)
+        (* Both layouts batch from the columnar projection.  With typed
+           batches on, a scan batch is an array of zero-copy windows into
+           the storage columns; the boxed ablation unpacks the needed
+           columns through [Column.get] like the original engine.  Columns
+           outside the needed set stay [Absent]. *)
         let t = Catalog.find_exn ctx.catalog table in
         let cols = Table.columnar t in
         let n = Table.row_count t in
@@ -261,37 +464,61 @@ let rec build ctx counter plan ~needed : biter =
           | Some f -> IntSet.union needed (cols_of_expr f)
         in
         let fetch base take =
-          { cols =
+          {
+            vecs =
               Array.mapi
                 (fun ci c ->
                   if IntSet.mem ci needed then
-                    Array.init take (fun i -> Column.get c (base + i))
-                  else [||])
+                    if !enable_typed then Typed (c, base)
+                    else Boxed (Array.init take (fun i -> Column.get c (base + i)))
+                  else Absent)
                 cols;
-            len = take }
+            len = take;
+            sel = None;
+          }
         in
-        let filter_batch b =
+        (* The scan's predicate kernel compiles once against the storage
+           columns (absolute row indexing), so per-batch filtering is a
+           bare loop — no per-batch closure compilation on the hottest
+           path.  Unsupported shapes fall back to [eval_sel] per batch. *)
+        let scan_kernel =
+          if !enable_typed then
+            Option.bind filter (fun f ->
+                Kernel.compile_pred (Kernel.of_columns cols ctx.params) f)
+          else None
+        in
+        let filter_batch base b =
           match filter with
           | None -> Some b
           | Some f ->
-              let sel = eval_pred_vec ctx b f in
-              if Quill_util.Int_vec.length sel = 0 then None else Some (compact b sel)
+              let sel =
+                match scan_kernel with
+                | Some test ->
+                    Quill_obs.Metrics.incr m_kernel;
+                    let out = Int_vec.create () in
+                    for i = 0 to b.len - 1 do
+                      if test (base + i) then Int_vec.push out i
+                    done;
+                    out
+                | None -> eval_sel ctx b f
+              in
+              if Int_vec.length sel = 0 then None else Some { b with sel = Some sel }
         in
         let workers = Pool.parallelism () in
         if not (Pdriver.serial ~workers n) then begin
-          (* Morsel-parallel scan+filter: workers unpack and filter the
-             morsels they win (predicate evaluation reads only columns,
-             params and pre-materialized subquery cells); the filtered
-             batches are re-assembled in row order, so downstream operators
-             see the same stream a serial scan produces. *)
+          (* Morsel-parallel scan+filter: workers filter the morsels they
+             win (the shared scan kernel and storage columns are read-only);
+             the surviving batches are re-assembled in row order, so
+             downstream operators see the same stream a serial scan
+             produces. *)
           let batches =
-            Pdriver.collect ~workers ~n ~dummy:{ cols = [||]; len = 0 }
+            Pdriver.collect ~workers ~n ~dummy:{ vecs = [||]; len = 0; sel = None }
               (fun ~lo ~hi ~emit ->
                 let p = ref lo in
                 while !p < hi do
                   Governor.check ctx.governor;
                   let take = min batch_size (hi - !p) in
-                  (match filter_batch (fetch !p take) with
+                  (match filter_batch !p (fetch !p take) with
                   | Some b -> emit b
                   | None -> ());
                   p := !p + take
@@ -319,7 +546,7 @@ let rec build ctx counter plan ~needed : biter =
               let take = min batch_size (n - !pos) in
               let base = !pos in
               pos := !pos + take;
-              match filter_batch (fetch base take) with
+              match filter_batch base (fetch base take) with
               | Some b -> Some (count_batch b)
               | None -> next_batch ()
             end
@@ -343,19 +570,23 @@ let rec build ctx counter plan ~needed : biter =
         in
         of_rows (ncols plan) (Array.of_list rows)
     | Physical.Filter (pred, input, _) ->
-        let child = build ctx counter input ~needed:(IntSet.union needed (cols_of_expr pred)) in
+        let child =
+          build ctx counter input ~needed:(IntSet.union needed (cols_of_expr pred))
+        in
         let rec next_batch () =
           match child.next_batch () with
           | None -> None
           | Some b ->
-              let sel = eval_pred_vec ctx b pred in
-              if Quill_util.Int_vec.length sel = 0 then next_batch ()
-              else Some (compact b sel)
+              let sel = eval_sel ctx b pred in
+              if Int_vec.length sel = 0 then next_batch ()
+              else Some { b with sel = Some sel }
         in
         { next_batch; close = child.close }
     | Physical.Project (items, input, _) ->
         let needed_in =
-          List.fold_left (fun acc (e, _) -> IntSet.union acc (cols_of_expr e)) IntSet.empty items
+          List.fold_left
+            (fun acc (e, _) -> IntSet.union acc (cols_of_expr e))
+            IntSet.empty items
         in
         let child = build ctx counter input ~needed:needed_in in
         let exprs = Array.of_list (List.map fst items) in
@@ -365,14 +596,21 @@ let rec build ctx counter plan ~needed : biter =
               match child.next_batch () with
               | None -> None
               | Some b ->
-                  Some { cols = Array.map (fun e -> eval_vec ctx b e) exprs; len = b.len });
+                  Some
+                    {
+                      vecs = Array.map (fun e -> eval_vec ctx b e) exprs;
+                      len = b.len;
+                      sel = b.sel;
+                    });
           close = child.close;
         }
     | Physical.Join { algo; kind; keys; residual; build_left; left; right; _ } ->
         let la = Quill_storage.Schema.arity (Physical.schema_of left) in
         let all =
           let base =
-            List.fold_left (fun acc (l, r) -> IntSet.add l (IntSet.add (r + la) acc)) needed keys
+            List.fold_left
+              (fun acc (l, r) -> IntSet.add l (IntSet.add (r + la) acc))
+              needed keys
           in
           match residual with None -> base | Some e -> IntSet.union base (cols_of_expr e)
         in
@@ -385,7 +623,9 @@ let rec build ctx counter plan ~needed : biter =
           Option.map (fun e row -> Bexpr.eval_pred ~row ~params:ctx.params e) residual
         in
         let mode =
-          match kind with Lplan.Inner -> Join_algos.Inner | Lplan.Left_outer -> Join_algos.Left_outer
+          match kind with
+          | Lplan.Inner -> Join_algos.Inner
+          | Lplan.Left_outer -> Join_algos.Left_outer
         in
         let right_arity = Quill_storage.Schema.arity (Physical.schema_of right) in
         let out =
@@ -397,12 +637,15 @@ let rec build ctx counter plan ~needed : biter =
               Join_algos.merge_join ~gov ~mode ~right_arity ~keys ~residual:residual_fn
                 lrows rrows
           | Physical.Block_nl ->
-              Join_algos.block_nl_join ~gov ~mode ~right_arity ~pred:residual_fn lrows rrows
+              Join_algos.block_nl_join ~gov ~mode ~right_arity ~pred:residual_fn lrows
+                rrows
         in
         of_rows (ncols plan) (Vec.to_array out)
     | Physical.Aggregate { algo; keys; aggs; input; _ } ->
         let needed_in =
-          List.fold_left (fun acc (e, _) -> IntSet.union acc (cols_of_expr e)) IntSet.empty keys
+          List.fold_left
+            (fun acc (e, _) -> IntSet.union acc (cols_of_expr e))
+            IntSet.empty keys
         in
         let needed_in =
           List.fold_left
@@ -471,9 +714,7 @@ let rec build ctx counter plan ~needed : biter =
         let rec fill () =
           match child.next_batch () with
           | Some b ->
-              for i = 0 to b.len - 1 do
-                Topk.offer heap (row_of b i)
-              done;
+              iter_lanes b (fun i -> Topk.offer heap (row_of b i));
               fill ()
           | None -> child.close ()
         in
@@ -498,21 +739,20 @@ let rec build ctx counter plan ~needed : biter =
               match child.next_batch () with
               | None -> None
               | Some b ->
-                  let keep = Quill_util.Int_vec.create () in
-                  for i = 0 to b.len - 1 do
-                    if !skipped < offset then incr skipped
-                    else begin
-                      match n with
-                      | Some n when !emitted >= n -> ()
-                      | _ ->
-                          incr emitted;
-                          Quill_util.Int_vec.push keep i
-                    end
-                  done;
-                  if Quill_util.Int_vec.length keep = 0 then
+                  let keep = Int_vec.create () in
+                  iter_lanes b (fun i ->
+                      if !skipped < offset then incr skipped
+                      else begin
+                        match n with
+                        | Some n when !emitted >= n -> ()
+                        | _ ->
+                            incr emitted;
+                            Int_vec.push keep i
+                      end);
+                  if Int_vec.length keep = 0 then
                     if !emitted > 0 && n <> None && !emitted >= Option.get n then None
                     else next_batch ()
-                  else Some (compact b keep))
+                  else Some { b with sel = Some keep })
         in
         { next_batch; close = child.close }
   in

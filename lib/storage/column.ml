@@ -71,11 +71,34 @@ let floats = function
   | Floats (a, _) -> a
   | c -> invalid_arg ("Column.floats: column is " ^ Value.dtype_name (dtype c))
 
+(* Memoized dictionary decodes for [strs]: keyed by the physical identity
+   of the codes array (columns are immutable once built, so identity is a
+   sound cache key), held weakly so dropped columns don't pin their
+   decoded copies.  A mutex guards the table because pool workers may
+   decode concurrently. *)
+module Decode_cache = Ephemeron.K1.Make (struct
+  type t = int array
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let decode_cache : string array Decode_cache.t = Decode_cache.create 16
+let decode_mutex = Mutex.create ()
+
 (** [strs c] exposes the raw string payload, decoding a dictionary column
-    if needed; raises on non-string types. *)
+    if needed; the decode is computed once per column and memoized, so
+    repeated calls are O(1).  Raises on non-string types. *)
 let strs = function
   | Strs (a, _) -> a
-  | Dict (codes, dict, _) -> Array.map (fun code -> dict.(code)) codes
+  | Dict (codes, dict, _) ->
+      Mutex.protect decode_mutex (fun () ->
+          match Decode_cache.find_opt decode_cache codes with
+          | Some decoded -> decoded
+          | None ->
+              let decoded = Array.map (fun code -> dict.(code)) codes in
+              Decode_cache.add decode_cache codes decoded;
+              decoded)
   | c -> invalid_arg ("Column.strs: column is " ^ Value.dtype_name (dtype c))
 
 (** [dict_parts c] exposes (codes, sorted dictionary) of a dict-encoded

@@ -77,3 +77,31 @@ let union_into ~into src =
 
 (** [is_empty t] is true when no bit is set. *)
 let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+(** [land_range ~into src ~src_pos] ands a window of [src] starting at bit
+    [src_pos] into [into]: [into.(i) <- into.(i) && src.(src_pos + i)] for
+    every [i < length into].  The window may start at any bit offset; the
+    word-at-a-time loop shifts across word boundaries, so batch validity
+    masks can be built from a storage column's bitset without per-bit
+    reads. *)
+let land_range ~into src ~src_pos =
+  let n = into.length in
+  assert (src_pos >= 0 && src_pos + n <= src.length);
+  let nwords = Array.length into.words in
+  let w0 = src_pos / bits_per_word in
+  let shift = src_pos mod bits_per_word in
+  if shift = 0 then
+    for w = 0 to nwords - 1 do
+      into.words.(w) <- into.words.(w) land src.words.(w0 + w)
+    done
+  else begin
+    let src_words = Array.length src.words in
+    for w = 0 to nwords - 1 do
+      let lo = src.words.(w0 + w) lsr shift in
+      let hi =
+        if w0 + w + 1 < src_words then src.words.(w0 + w + 1) lsl (bits_per_word - shift)
+        else 0
+      in
+      into.words.(w) <- into.words.(w) land (lo lor hi)
+    done
+  end

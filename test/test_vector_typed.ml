@@ -1,0 +1,342 @@
+(* Differential battery for the typed-batch + selection-vector data plane
+   (E18): the typed path, the boxed ablation ([Vector.enable_typed :=
+   false]) and the Volcano reference must agree byte-for-byte, serial and
+   morsel-parallel, on TPC-H analogs, hand-picked edge cases and fuzzed
+   queries — plus unit regressions for the pieces the data plane leans on
+   (bulk validity AND, memoized dictionary decodes, allocation-free
+   constant vectors, kernel/fallback dispatch counters). *)
+
+module Value = Quill_storage.Value
+module Schema = Quill_storage.Schema
+module Table = Quill_storage.Table
+module Catalog = Quill_storage.Catalog
+module Column = Quill_storage.Column
+module Bitset = Quill_util.Bitset
+module Bexpr = Quill_plan.Bexpr
+module Vector = Quill_exec.Vector
+module Profile = Quill_exec.Profile
+module Metrics = Quill_obs.Metrics
+module Tpch = Quill_workload.Tpch
+
+let with_typed flag f =
+  let prev = !Vector.enable_typed in
+  Vector.enable_typed := flag;
+  Fun.protect ~finally:(fun () -> Vector.enable_typed := prev) f
+
+let rows_of db ?(engine = Quill.Db.Vectorized) sql =
+  Tutil.table_rows (Quill.Db.query db ~engine sql)
+
+let dump rows =
+  String.concat "\n"
+    (Array.to_list
+       (Array.map
+          (fun row ->
+            String.concat "|" (Array.to_list (Array.map Value.to_string row)))
+          rows))
+
+(* Order-insensitive byte-exact serialization: all engines must produce
+   the same multiset down to the last character. *)
+let sorted_dump rows =
+  let l = Array.copy rows in
+  Array.sort compare l;
+  dump l
+
+let check_triple db name sql =
+  let volcano = sorted_dump (rows_of db ~engine:Quill.Db.Volcano sql) in
+  let typed = with_typed true (fun () -> sorted_dump (rows_of db sql)) in
+  let boxed = with_typed false (fun () -> sorted_dump (rows_of db sql)) in
+  Alcotest.(check string) (name ^ ": typed vs volcano") volcano typed;
+  Alcotest.(check string) (name ^ ": boxed vs typed") typed boxed
+
+(* --- TPC-H analogs ------------------------------------------------------ *)
+
+let tpch_db =
+  lazy
+    (let db = Quill.Db.create () in
+     Tpch.load (Quill.Db.catalog db) ~sf:0.002 ~seed:7;
+     db)
+
+let test_tpch_differential () =
+  let db = Lazy.force tpch_db in
+  List.iter (fun (name, sql) -> check_triple db name sql) Tpch.queries
+
+(* --- Edge cases --------------------------------------------------------- *)
+
+(* e(x, nul, tag): x is a dense int key, nul is entirely NULL, tag cycles
+   through 4 short strings with some NULLs.  Built twice with identical
+   data: "ed" dictionary-encodes tag, "ep" keeps plain strings (the
+   columnar projection is forced inside the toggled region so the layout
+   really differs). *)
+let edge_db =
+  lazy
+    (let db = Quill.Db.create () in
+     let tags = [| "alpha"; "beta"; "gamma"; "delta" |] in
+     let mk name =
+       let t =
+         Table.create ~name
+           (Schema.create
+              [ Schema.col ~nullable:false "x" Value.Int_t;
+                Schema.col "nul" Value.Int_t;
+                Schema.col "tag" Value.Str_t ])
+       in
+       for i = 0 to 199 do
+         Table.insert t
+           [| Value.Int i; Value.Null;
+              (if i mod 11 = 0 then Value.Null else Value.Str tags.(i mod 4)) |]
+       done;
+       Catalog.add (Quill.Db.catalog db) t;
+       t
+     in
+     ignore (Table.columnar (mk "ed"));
+     let prev = !Column.enable_dict in
+     Column.enable_dict := false;
+     Fun.protect
+       ~finally:(fun () -> Column.enable_dict := prev)
+       (fun () -> ignore (Table.columnar (mk "ep")));
+     (* g(x, y): y is never NULL and sometimes zero, for the guarded
+        division cases. *)
+     let g =
+       Table.create ~name:"g"
+         (Schema.create
+            [ Schema.col ~nullable:false "x" Value.Int_t;
+              Schema.col ~nullable:false "y" Value.Int_t ])
+     in
+     for i = 0 to 99 do
+       Table.insert g [| Value.Int (i * 3); Value.Int (i mod 5) |]
+     done;
+     Catalog.add (Quill.Db.catalog db) g;
+     db)
+
+let test_edge_cases () =
+  let db = Lazy.force edge_db in
+  (* Sanity: the two string layouts really differ. *)
+  let col name =
+    Table.column (Option.get (Catalog.find (Quill.Db.catalog db) name)) 2
+  in
+  (match col "ed" with
+  | Column.Dict _ -> ()
+  | _ -> Alcotest.fail "ed.tag should be dictionary-encoded");
+  (match col "ep" with
+  | Column.Strs _ -> ()
+  | _ -> Alcotest.fail "ep.tag should be plain strings");
+  List.iter
+    (fun sql -> check_triple db sql sql)
+    [ (* all-NULL column through filters and aggregates *)
+      "SELECT count(nul), count(*), sum(nul) FROM ed";
+      "SELECT x FROM ed WHERE nul > 5";
+      "SELECT x FROM ed WHERE nul IS NULL AND x < 7";
+      (* empty selections feeding downstream operators *)
+      "SELECT sum(x), count(*) FROM ed WHERE x < 0";
+      "SELECT tag, count(*) FROM ed WHERE x > 1000 GROUP BY tag";
+      (* division kept safe by an AND guard *)
+      "SELECT x FROM g WHERE y <> 0 AND x / y > 40";
+      "SELECT x / y AS q FROM g WHERE y <> 0";
+      "SELECT x FROM g WHERE y = 0 OR x / y > 40" ];
+  (* dict-coded and plain string columns must answer identically. *)
+  List.iter
+    (fun shape ->
+      let q t = Printf.sprintf shape t in
+      check_triple db (q "ed") (q "ed");
+      check_triple db (q "ep") (q "ep");
+      let d = with_typed true (fun () -> sorted_dump (rows_of db (q "ed"))) in
+      let p = with_typed true (fun () -> sorted_dump (rows_of db (q "ep"))) in
+      Alcotest.(check string) (q "ed" ^ ": dict vs plain") d p)
+    [ "SELECT x FROM %s WHERE tag LIKE 'b%%'";
+      "SELECT x FROM %s WHERE tag = 'beta'";
+      "SELECT x FROM %s WHERE tag < 'beta'";
+      "SELECT x FROM %s WHERE tag IN ('alpha', 'gamma')";
+      "SELECT x FROM %s WHERE tag IS NOT NULL AND tag >= 'delta'";
+      "SELECT tag, count(*) AS n FROM %s GROUP BY tag" ]
+
+(* --- Parallel agreement ------------------------------------------------- *)
+
+let test_parallel_agreement () =
+  let db = Lazy.force tpch_db in
+  Fun.protect
+    ~finally:(fun () -> Quill.Db.set_parallelism db 1)
+    (fun () ->
+      Quill_parallel.Morsel.with_size 16 (fun () ->
+          List.iter
+            (fun w ->
+              Quill.Db.set_parallelism db w;
+              List.iter
+                (fun (name, sql) ->
+                  check_triple db (Printf.sprintf "%s (par=%d)" name w) sql)
+                Tpch.queries)
+            [ 2; 3 ]))
+
+(* --- Profiled row counts ------------------------------------------------ *)
+
+(* EXPLAIN ANALYZE feeds off the profile, so per-operator rows_out must
+   not depend on the data plane: compare the whole profile vector typed
+   vs boxed, and the root against the materialized result. *)
+let test_profile_rows () =
+  let db = Lazy.force tpch_db in
+  List.iter
+    (fun (name, sql) ->
+      let plan = Quill.Db.plan db sql in
+      let nops = Quill_optimizer.Physical.operator_count plan in
+      let run_mode flag =
+        with_typed flag (fun () ->
+            let profile = Profile.create plan in
+            let ctx = Quill_exec.Exec_ctx.create ~profile (Quill.Db.catalog db) in
+            let rows = Vector.run ctx plan in
+            Alcotest.(check int)
+              (Printf.sprintf "%s root rows (typed=%b)" name flag)
+              (Array.length rows) (Profile.rows profile 0);
+            Array.init nops (Profile.rows profile))
+      in
+      Alcotest.(check (array int))
+        (name ^ ": per-operator rows typed vs boxed")
+        (run_mode true) (run_mode false))
+    Tpch.queries
+
+(* --- Dispatch counters -------------------------------------------------- *)
+
+let test_dispatch_counters () =
+  let db = Lazy.force edge_db in
+  let kernel = Metrics.counter "quill.exec.kernel_dispatches" in
+  let fallback = Metrics.counter "quill.exec.fallback_dispatches" in
+  let sql = "SELECT x + x FROM g WHERE x > 30" in
+  let k0 = Metrics.value kernel in
+  with_typed true (fun () -> ignore (rows_of db sql));
+  Alcotest.(check bool) "typed run counts kernel dispatches" true
+    (Metrics.value kernel > k0);
+  let f0 = Metrics.value fallback in
+  with_typed false (fun () -> ignore (rows_of db sql));
+  Alcotest.(check bool) "boxed run counts fallback dispatches" true
+    (Metrics.value fallback > f0)
+
+(* --- Memoized dictionary decode ---------------------------------------- *)
+
+let test_strs_memoized () =
+  let vs = Array.init 128 (fun i -> Value.Str (if i mod 3 = 0 then "aa" else "bb")) in
+  let c = Column.of_values Value.Str_t vs in
+  (match c with
+  | Column.Dict _ -> ()
+  | _ -> Alcotest.fail "expected a dictionary-encoded column");
+  let a = Column.strs c in
+  (* O(1) regression: repeated decodes must return the SAME array, not a
+     fresh per-call copy. *)
+  Alcotest.(check bool) "decode is memoized (physical equality)" true
+    (a == Column.strs c);
+  Alcotest.(check string) "decode is correct" "aa" a.(0);
+  Alcotest.(check string) "decode is correct" "bb" a.(1)
+
+(* --- Constants are constant vectors ------------------------------------ *)
+
+let test_const_vectors () =
+  let db = Quill.Db.create () in
+  let ctx =
+    Quill_exec.Exec_ctx.create ~params:[| Value.Int 9 |] (Quill.Db.catalog db)
+  in
+  let b = { Vector.vecs = [||]; len = 512; sel = None } in
+  let expect_const name e =
+    List.iter
+      (fun flag ->
+        with_typed flag (fun () ->
+            match Vector.eval_vec ctx b e with
+            | Vector.Const _ -> ()
+            | _ ->
+                Alcotest.failf "%s (typed=%b): expected a constant vector, got a materialized one"
+                  name flag))
+      [ true; false ]
+  in
+  expect_const "Lit" { Bexpr.node = Bexpr.Lit (Value.Int 7); dtype = Value.Int_t };
+  expect_const "Param" { Bexpr.node = Bexpr.Param 0; dtype = Value.Int_t }
+
+(* --- Bitset.land_range -------------------------------------------------- *)
+
+let test_land_range () =
+  List.iter
+    (fun (n, src_n, pos) ->
+      let mk len f =
+        let t = Bitset.create len in
+        for i = 0 to len - 1 do
+          if f i then Bitset.set t i
+        done;
+        t
+      in
+      let src = mk src_n (fun i -> i mod 3 <> 0) in
+      let into = mk n (fun i -> i mod 2 = 0) in
+      Bitset.land_range ~into src ~src_pos:pos;
+      for i = 0 to n - 1 do
+        Alcotest.(check bool)
+          (Printf.sprintf "bit %d (n=%d pos=%d)" i n pos)
+          (i mod 2 = 0 && (pos + i) mod 3 <> 0)
+          (Bitset.get into i)
+      done)
+    (* aligned, small shifts, word-boundary shifts, and windows ending at
+       the last source word (the hi-word-out-of-range case) *)
+    [ (64, 256, 0); (50, 200, 13); (63, 300, 64); (65, 300, 127);
+      (1, 70, 69); (10, 100, 90) ]
+
+(* --- Fuzz: the boxed fallback is byte-identical ------------------------- *)
+
+let rdb = lazy (Tutil.random_db ~seed:20260805 ~rows:160)
+
+open QCheck2.Gen
+
+let pred_gen =
+  let base =
+    oneofl
+      [ "r.k > 10"; "r.k <= 5"; "r.id >= 40"; "r.id + r.k < 60"; "r.v > 50.0";
+        "r.tag LIKE 'a%'"; "r.tag = 'beta'"; "r.tag IN ('alpha', 'gamma')";
+        "r.k IS NULL"; "r.v IS NOT NULL"; "r.dt >= DATE '1994-09-01'";
+        "(r.k <> 0 AND r.id / r.k > 3)" ]
+  in
+  let rec go depth =
+    if depth = 0 then base
+    else
+      oneof
+        [ base;
+          (let* a = go (depth - 1) in
+           let* b = go (depth - 1) in
+           let* op = oneofl [ "AND"; "OR" ] in
+           pure (Printf.sprintf "(%s %s %s)" a op b)) ]
+  in
+  go 2
+
+let query_gen =
+  let* where = oneof [ pure ""; map (Printf.sprintf " WHERE %s") pred_gen ] in
+  let* shape = int_range 0 2 in
+  pure
+    (match shape with
+    | 0 -> Printf.sprintf "SELECT r.id, r.k, r.v, r.tag FROM r%s" where
+    | 1 ->
+        Printf.sprintf "SELECT r.k, count(*) AS n, sum(r.id) AS s FROM r%s GROUP BY r.k"
+          where
+    | _ ->
+        Printf.sprintf "SELECT r.id, r.id + coalesce(r.k, 0) AS e FROM r%s LIMIT 25"
+          where)
+
+let prop_boxed_identical =
+  (* Serial execution is deterministic and both modes run the same
+     operator order, so the comparison is unsorted: byte-identical
+     output, not just the same multiset. *)
+  Tutil.qtest ~count:250 "fuzz: boxed fallback is byte-identical to typed"
+    query_gen
+    (fun sql ->
+      let db = Lazy.force rdb in
+      let typed = with_typed true (fun () -> dump (rows_of db sql)) in
+      let boxed = with_typed false (fun () -> dump (rows_of db sql)) in
+      if typed <> boxed then
+        QCheck2.Test.fail_reportf "typed/boxed differ on %s\ntyped:\n%s\nboxed:\n%s"
+          sql typed boxed
+      else true)
+
+let () =
+  Alcotest.run "vector_typed"
+    [ ( "differential",
+        [ Alcotest.test_case "tpch analogs: typed = boxed = volcano" `Quick
+            test_tpch_differential;
+          Alcotest.test_case "edge cases" `Quick test_edge_cases;
+          Alcotest.test_case "parallel agreement" `Quick test_parallel_agreement;
+          Alcotest.test_case "profiled row counts" `Quick test_profile_rows ] );
+      ( "machinery",
+        [ Alcotest.test_case "dispatch counters" `Quick test_dispatch_counters;
+          Alcotest.test_case "dict decode memoized" `Quick test_strs_memoized;
+          Alcotest.test_case "constants stay constant vectors" `Quick
+            test_const_vectors;
+          Alcotest.test_case "Bitset.land_range" `Quick test_land_range ] );
+      ("fuzz", [ prop_boxed_identical ]) ]
