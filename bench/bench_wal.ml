@@ -1,0 +1,98 @@
+(* Durability microbenchmarks (experiment E19): what write-ahead logging
+   costs per INSERT under each sync policy — against a purely in-memory
+   session as the baseline — and how long recovery takes per replayed
+   statement.  Smoke-scale parameters ride with `dune runtest` so the
+   durable write path cannot rot between full benchmark runs. *)
+
+module Db = Quill.Db
+module Sim_fs = Quill_storage.Sim_fs
+module Wal = Quill_storage.Wal
+
+let tmpdir () =
+  let p = Filename.temp_file "quill_bwal" "" in
+  Sys.remove p;
+  p
+
+let rec rmrf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rmrf (Filename.concat path f)) (Sys.readdir path);
+      try Unix.rmdir path with Unix.Unix_error _ -> ()
+    end
+    else Sys.remove path
+
+let insert_sql i = Printf.sprintf "INSERT INTO b VALUES (%d, 'payload-%d')" i i
+
+type mode = In_memory | Durable of Db.sync_policy
+
+let mode_name = function
+  | In_memory -> "in-memory"
+  | Durable p -> "wal sync=" ^ Wal.policy_name p
+
+(* Wall time of [n] single-statement inserts on a fresh session. *)
+let time_inserts ~n mode =
+  Sim_fs.reset ();
+  let dir = tmpdir () in
+  let db =
+    match mode with
+    | In_memory -> Db.create ()
+    | Durable p -> fst (Db.open_durable ~policy:p dir)
+  in
+  ignore (Db.exec db "CREATE TABLE b (k INT NOT NULL, v TEXT)");
+  let t0 = Quill_util.Timer.now () in
+  for i = 1 to n do
+    ignore (Db.exec db (insert_sql i))
+  done;
+  let dt = Quill_util.Timer.now () -. t0 in
+  (match Quill_storage.Table.get (Db.query db "SELECT count(*) FROM b") 0 0 with
+  | Quill_storage.Value.Int c when c = n -> ()
+  | _ -> failwith "E19: wrong row count after inserts");
+  Db.close db;
+  rmrf dir;
+  dt
+
+(* Wall time of [open_durable] over a WAL holding [n] inserts (plus the
+   CREATE TABLE), i.e. a crash just before the first checkpoint. *)
+let recovery_latency ~n =
+  Sim_fs.reset ();
+  let dir = tmpdir () in
+  let db, _ = Db.open_durable ~policy:Db.Never dir in
+  ignore (Db.exec db "CREATE TABLE b (k INT NOT NULL, v TEXT)");
+  for i = 1 to n do
+    ignore (Db.exec db (insert_sql i))
+  done;
+  Db.close db;
+  Sim_fs.reset ();
+  let t0 = Quill_util.Timer.now () in
+  let db2, report = Db.open_durable dir in
+  let dt = Quill_util.Timer.now () -. t0 in
+  (match Quill_storage.Table.get (Db.query db2 "SELECT count(*) FROM b") 0 0 with
+  | Quill_storage.Value.Int c when c = n -> ()
+  | _ -> failwith "E19: recovery lost rows");
+  Db.close db2;
+  rmrf dir;
+  (dt, report.Db.replayed)
+
+let run ~inserts ~recovery_stmts () =
+  Bech.section "E19: durability — group-commit overhead and recovery latency";
+  let modes =
+    [ In_memory; Durable Db.Never; Durable (Db.Every 32); Durable Db.On_commit ]
+  in
+  let timed = List.map (fun m -> (m, time_inserts ~n:inserts m)) modes in
+  let base = List.assoc In_memory timed in
+  Bech.table
+    ~header:[ "mode"; Printf.sprintf "%d inserts" inserts; "us/insert"; "vs in-memory" ]
+    (List.map
+       (fun (m, dt) ->
+         [ mode_name m; Bech.ms dt;
+           Printf.sprintf "%.1f" (dt /. float_of_int inserts *. 1e6);
+           Printf.sprintf "%.2fx" (dt /. base) ])
+       timed);
+  Bech.table
+    ~header:[ "wal statements"; "recovery"; "us/statement" ]
+    (List.map
+       (fun n ->
+         let dt, replayed = recovery_latency ~n in
+         [ string_of_int replayed; Bech.ms dt;
+           Printf.sprintf "%.1f" (dt /. float_of_int (max 1 replayed) *. 1e6) ])
+       [ recovery_stmts; recovery_stmts * 4 ])

@@ -958,8 +958,16 @@ let e18 () =
   Bench_vector.print_table sresults;
   Bench_vector.write_json ~rows:srows sresults
 
+(* ---------------------------------------------------------------- E19 *)
+
+(* Durability cost: per-INSERT overhead of write-ahead logging under each
+   sync policy vs an in-memory session, and recovery latency per WAL
+   statement (see bench_wal.ml).  Rides with `dune runtest` at these
+   smoke-scale sizes so the durable write path cannot rot. *)
+let e19 () = Bench_wal.run ~inserts:400 ~recovery_stmts:500 ()
+
 let all =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
     ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
-    ("E18", e18); ("SMOKE", smoke); ("GOV", gov) ]
+    ("E18", e18); ("E19", e19); ("SMOKE", smoke); ("GOV", gov) ]

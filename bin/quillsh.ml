@@ -14,6 +14,12 @@
      \tpch SF      load a TPC-H-like database at the given scale factor
      \save DIR     persist the database (CSV files + DDL manifest)
      \load DIR     replace the session database with a saved one
+     \open DIR     open (or create) a crash-safe durable database at DIR:
+                   recovers from the last snapshot + WAL, then write-ahead
+                   logs every mutation
+     \wal          show durability status; \wal sync never|commit|every N
+                   sets the fsync policy; \wal flush fsyncs now
+     \checkpoint   fold the WAL into a fresh checksummed snapshot
      \q            quit
 
    Run with: dune exec bin/quillsh.exe [-- --init FILE.sql --engine NAME] *)
@@ -132,6 +138,46 @@ let meta s line =
             (List.length (Catalog.names (Db.catalog db)))
       | exception (Db.Error _ | Sys_error _) ->
           Printf.printf "error: cannot load %s\n" dir)
+  | [ "\\open"; dir ] -> (
+      match Db.open_durable dir with
+      | db, report ->
+          s.db <- db;
+          Printf.printf "durable database at %s (generation %d, %d tables)\n" dir
+            report.Db.generation
+            (List.length (Catalog.names (Db.catalog db)));
+          if report.Db.replayed > 0 || report.Db.dropped > 0 then
+            Printf.printf "recovery: %d statement(s) replayed, %d dropped%s\n"
+              report.Db.replayed report.Db.dropped
+              (if report.Db.torn then " (torn WAL tail)" else "");
+          Option.iter (Printf.printf "note: %s\n") report.Db.note
+      | exception Db.Error m -> Printf.printf "error: %s\n" m)
+  | [ "\\wal" ] -> (
+      match Db.wal_status s.db with
+      | None -> print_endline "not a durable session (\\open DIR to start one)"
+      | Some w ->
+          Printf.printf "durable dir: %s\ngeneration: %d\nsync policy: %s\nstatements logged this session: %d\n"
+            w.Db.ws_dir w.Db.ws_generation
+            (Quill_storage.Wal.policy_name w.Db.ws_policy)
+            w.Db.ws_appended)
+  | [ "\\wal"; "flush" ] -> (
+      match Db.wal_sync s.db with
+      | () -> print_endline "wal synced"
+      | exception Db.Error m -> Printf.printf "error: %s\n" m)
+  | "\\wal" :: "sync" :: rest -> (
+      match Quill_storage.Wal.policy_of_string (String.concat " " rest) with
+      | None -> print_endline "usage: \\wal sync never|commit|every N"
+      | Some p -> (
+          match Db.set_sync_policy s.db p with
+          | () ->
+              Printf.printf "wal sync policy: %s\n" (Quill_storage.Wal.policy_name p)
+          | exception Db.Error m -> Printf.printf "error: %s\n" m))
+  | [ "\\checkpoint" ] -> (
+      match Db.checkpoint s.db with
+      | () -> (
+          match Db.wal_status s.db with
+          | Some w -> Printf.printf "checkpointed (generation %d)\n" w.Db.ws_generation
+          | None -> print_endline "checkpointed")
+      | exception Db.Error m -> Printf.printf "error: %s\n" m)
   | [ "\\tpch"; sf ] -> (
       match float_of_string_opt sf with
       | Some sf when sf > 0.0 && sf <= 1.0 ->

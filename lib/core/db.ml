@@ -28,6 +28,10 @@ module Tiering = Quill_adaptive.Tiering
 module Trace = Quill_obs.Trace
 module Metrics = Quill_obs.Metrics
 module Governor = Quill_exec.Governor
+module Csv = Quill_storage.Csv
+module Wal = Quill_storage.Wal
+module Snapshot = Quill_storage.Snapshot
+module Sim_fs = Quill_storage.Sim_fs
 
 exception Error of string
 
@@ -48,12 +52,28 @@ let abort_reason_name = Governor.reason_name
 let m_queries = Metrics.counter "quill.db.queries"
 let h_query_seconds = Metrics.histogram "quill.db.query_seconds"
 
+(* Durability traffic: checkpoints taken, and what recovery salvaged. *)
+let m_checkpoints = Metrics.counter "quill.wal.checkpoints"
+let m_recoveries = Metrics.counter "quill.recovery.runs"
+let m_recovered = Metrics.counter "quill.recovery.replayed"
+let m_dropped = Metrics.counter "quill.recovery.dropped"
+
 type engine = Volcano | Vectorized | Compiled
 
 let engine_name = function
   | Volcano -> "volcano"
   | Vectorized -> "vectorized"
   | Compiled -> "compiled"
+
+type sync_policy = Wal.sync_policy = Never | On_commit | Every of int
+
+(* Durable-session state: the directory of generations, which generation
+   is live, and the open WAL that mutations append to. *)
+type durable = {
+  dur_dir : string;
+  mutable generation : int;
+  mutable wal : Wal.t;
+}
 
 type t = {
   catalog : Catalog.t;
@@ -68,6 +88,7 @@ type t = {
   mutable timeout_ms : int option;  (** session default deadline *)
   mutable budget_bytes : int option;  (** session default memory budget *)
   cancel : bool Atomic.t;  (** set by {!cancel}, consumed by the governor *)
+  mutable durable : durable option;  (** WAL-backed session state, if any *)
 }
 
 type result =
@@ -95,6 +116,7 @@ let create () =
     timeout_ms = None;
     budget_bytes = None;
     cancel = Atomic.make false;
+    durable = None;
   }
 
 (** [catalog db] exposes the catalog (e.g. for bulk loading). *)
@@ -139,11 +161,15 @@ let set_parallelism db n =
   db.options <-
     { db.options with Picker.parallelism = Quill_parallel.Pool.parallelism () }
 
-(** [close db] releases session resources: joins the shared pool's worker
-    domains (they re-spawn lazily if another session runs a parallel
-    query).  The in-memory catalog needs no teardown. *)
+(** [close db] releases session resources: closes the WAL of a durable
+    session and joins the shared pool's worker domains (they re-spawn
+    lazily if another session runs a parallel query). *)
 let close db =
-  ignore db;
+  (match db.durable with
+  | Some d ->
+      db.durable <- None;
+      Wal.close d.wal
+  | None -> ());
   Quill_parallel.Pool.shutdown ()
 
 (** [register_udf db ~name ~args ~ret f] registers a scalar UDF usable in
@@ -172,6 +198,9 @@ let param_types_of params =
     (fun v -> if Value.is_null v then Value.Str_t else Value.type_of v)
     params
 
+(* Note: [Sim_fs.Crash] (the simulated power cut) is deliberately NOT
+   wrapped — it must unwind out of the API uncaught, like the process
+   dying would. *)
 let wrap f =
   try f () with
   | Governor.Aborted r -> raise (Aborted r)
@@ -180,6 +209,9 @@ let wrap f =
       raise (Error (Printf.sprintf "lex error: %s at %d" m pos))
   | Binder.Bind_error m -> raise (Error ("bind error: " ^ m))
   | Quill_plan.Bexpr.Eval_error m -> raise (Error ("runtime error: " ^ m))
+  | Sys_error m -> raise (Error m)
+  | Sim_fs.Io_error m -> raise (Error ("io error: " ^ m))
+  | Snapshot.Invalid m -> raise (Error ("snapshot error: " ^ m))
   | Invalid_argument m -> raise (Error m)
   | Failure m -> raise (Error m)
 
@@ -447,6 +479,77 @@ let exec_stmt db stmt =
               lines)
       end
 
+(* --- Durability internals ---------------------------------------------- *)
+
+(* DDL manifest replayed by [load]: CREATE TABLE / CREATE INDEX text. *)
+let manifest_text db =
+  let manifest = Buffer.create 256 in
+  List.iter
+    (fun name ->
+      let table = Catalog.find_exn db.catalog name in
+      let schema = Table.schema table in
+      let cols =
+        List.map
+          (fun c ->
+            Printf.sprintf "%s %s%s" c.Schema.name
+              (Value.dtype_name c.Schema.dtype)
+              (if c.Schema.nullable then "" else " NOT NULL"))
+          (Schema.columns schema)
+      in
+      Buffer.add_string manifest
+        (Printf.sprintf "CREATE TABLE %s (%s);\n" name (String.concat ", " cols));
+      List.iter
+        (fun col ->
+          Buffer.add_string manifest
+            (Printf.sprintf "CREATE INDEX ON %s (%s);\n" name col))
+        (Quill_storage.Index.Registry.declared db.indexes name))
+    (Catalog.names db.catalog);
+  Buffer.contents manifest
+
+(* The full file set of one snapshot: manifest plus one CSV per table. *)
+let snapshot_files db =
+  ("_manifest.sql", manifest_text db)
+  :: List.map
+       (fun name -> (name ^ ".csv", Csv.to_string (Catalog.find_exn db.catalog name)))
+       (Catalog.names db.catalog)
+
+(* Write generation [n] (snapshot + fresh WAL) and flip CURRENT to it.
+   The flip is the commit point: a crash anywhere before it leaves the
+   previous generation (snapshot AND un-truncated WAL) authoritative. *)
+let write_generation db dir n policy =
+  let snap = Snapshot.snap_dir dir n in
+  let tmp = snap ^ ".tmp" in
+  Snapshot.write ~dir:tmp (snapshot_files db);
+  let wal = Wal.create ~policy (Snapshot.wal_path dir n) in
+  (try
+     Sim_fs.rename tmp snap;
+     Sim_fs.fsync_dir dir;
+     Snapshot.set_current dir n
+   with e ->
+     Wal.close wal;
+     raise e);
+  wal
+
+(* Take a checkpoint of a durable session: new generation, then the old
+   one (including its WAL — the logical WAL truncation) is pruned. *)
+let checkpoint_durable db d =
+  Trace.with_span ~cat:"storage" "checkpoint" (fun () ->
+      let n = 1 + List.fold_left max d.generation (Snapshot.generations d.dur_dir) in
+      let wal = write_generation db d.dur_dir n (Wal.policy d.wal) in
+      Wal.close d.wal;
+      d.wal <- wal;
+      d.generation <- n;
+      Metrics.incr m_checkpoints;
+      Snapshot.prune d.dur_dir ~keep:n)
+
+(* Statements that change durable state and therefore must be logged.
+   SELECT and EXPLAIN read only. *)
+let is_mutation = function
+  | Ast.Select _ | Ast.Explain _ -> false
+  | Ast.Insert _ | Ast.Update _ | Ast.Delete _ | Ast.Copy _ | Ast.Create_table _
+  | Ast.Create_table_as _ | Ast.Create_index _ | Ast.Drop_table _ ->
+      true
+
 (* One statement's governor: per-call override beats the session default;
    the session cancel flag is always armed.  [observe_peak] records the
    peak-bytes histogram however the query ends. *)
@@ -480,12 +583,32 @@ let query db ?(params = [||]) ?engine ?timeout_ms ?budget_bytes sql =
               Metrics.observe h_query_seconds dt;
               result)))
 
-(** [exec db sql] runs any statement; SELECTs return [Rows]. *)
+(** [exec db sql] runs any statement; SELECTs return [Rows].  On a
+    durable session every mutation is logged to the WAL before it is
+    acknowledged: the statement frame is staged, applied in memory, and
+    group-committed (statement + commit marker in one write, fsynced per
+    the sync policy).  A statement that fails in memory is rolled back
+    from the staging buffer and never reaches the log.  COPY triggers an
+    immediate checkpoint so recovery never needs to re-read the external
+    file. *)
 let exec db ?(params = [||]) ?timeout_ms ?budget_bytes sql =
   wrap (fun () ->
       match Parser.parse sql with
       | Ast.Select _ -> Rows (query db ~params ?timeout_ms ?budget_bytes sql)
-      | stmt -> exec_stmt db stmt)
+      | stmt -> (
+          match db.durable with
+          | Some d when is_mutation stmt ->
+              Wal.log_statement d.wal (String.trim sql);
+              let result =
+                try exec_stmt db stmt
+                with e ->
+                  Wal.rollback d.wal;
+                  raise e
+              in
+              Wal.commit d.wal;
+              (match stmt with Ast.Copy _ -> checkpoint_durable db d | _ -> ());
+              result
+          | _ -> exec_stmt db stmt))
 
 (** [explain db ?analyze sql] renders the optimized plan; with
     [~analyze:true] also executes and reports estimated vs. actual rows. *)
@@ -585,53 +708,174 @@ let metrics_text () = Metrics.render ()
 
 (** [save db dir] writes the database to directory [dir]: one CSV file per
     table plus a [_manifest.sql] of CREATE TABLE / CREATE INDEX statements
-    that [load] replays. Existing files are overwritten. *)
-let save db dir =
-  wrap (fun () ->
-      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-      let manifest = Buffer.create 256 in
-      List.iter
-        (fun name ->
-          let table = Catalog.find_exn db.catalog name in
-          let schema = Table.schema table in
-          let cols =
-            List.map
-              (fun c ->
-                Printf.sprintf "%s %s%s" c.Schema.name
-                  (Value.dtype_name c.Schema.dtype)
-                  (if c.Schema.nullable then "" else " NOT NULL"))
-              (Schema.columns schema)
-          in
-          Buffer.add_string manifest
-            (Printf.sprintf "CREATE TABLE %s (%s);\n" name (String.concat ", " cols));
-          List.iter
-            (fun col ->
-              Buffer.add_string manifest
-                (Printf.sprintf "CREATE INDEX ON %s (%s);\n" name col))
-            (Quill_storage.Index.Registry.declared db.indexes name);
-          Quill_storage.Csv.save table (Filename.concat dir (name ^ ".csv")))
-        (Catalog.names db.catalog);
-      let oc = open_out (Filename.concat dir "_manifest.sql") in
-      output_string oc (Buffer.contents manifest);
-      close_out oc)
+    that [load] replays.  Every file is written atomically (tmp + fsync +
+    rename) and a [_checksums] manifest records each file's CRC32, so a
+    crash or full disk mid-save can never corrupt an existing directory:
+    readers see either the old file or the new one, and {!load} verifies
+    the checksums before trusting anything. *)
+let save db dir = wrap (fun () -> Snapshot.write ~dir (snapshot_files db))
 
-(** [load dir] reads a database previously written by {!save}. *)
+(* Read a snapshot-layout directory (manifest + CSVs [+ checksums]) into
+   a fresh database.  Raises [Error] naming the precise missing or
+   corrupt file; shared by [load] and durable recovery. *)
+let load_dir dir =
+  Snapshot.verify ~dir;
+  let db = create () in
+  let manifest_path = Filename.concat dir "_manifest.sql" in
+  let manifest =
+    match Sim_fs.read_file manifest_path with
+    | Some s -> s
+    | None -> raise (Error (Printf.sprintf "load: missing manifest file %s" manifest_path))
+  in
+  String.split_on_char ';' manifest
+  |> List.iter (fun stmt ->
+         let stmt = String.trim stmt in
+         if stmt <> "" then ignore (exec db stmt));
+  List.iter
+    (fun name ->
+      let path = Filename.concat dir (name ^ ".csv") in
+      match Sim_fs.read_file path with
+      | None ->
+          raise
+            (Error (Printf.sprintf "load: missing file %s (table %s)" path name))
+      | Some text ->
+          let table = Catalog.find_exn db.catalog name in
+          let rows = Csv.rows_of_string ~schema:(Table.schema table) ~src:path text in
+          Table.insert_all table rows;
+          Catalog.bump db.catalog)
+    (Catalog.names db.catalog);
+  db
+
+(** [load dir] reads a database previously written by {!save}, verifying
+    file checksums.  Missing or corrupt files raise {!Error} naming the
+    file (never a bare [Sys_error]). *)
 let load dir =
   wrap (fun () ->
-      let db = create () in
-      let ic = open_in (Filename.concat dir "_manifest.sql") in
-      let len = in_channel_length ic in
-      let text = really_input_string ic len in
-      close_in ic;
-      String.split_on_char ';' text
-      |> List.iter (fun stmt ->
-             let stmt = String.trim stmt in
-             if stmt <> "" then ignore (exec db stmt));
-      List.iter
-        (fun name ->
-          ignore
-            (exec db
-               (Printf.sprintf "COPY %s FROM '%s'" name
-                  (Filename.concat dir (name ^ ".csv")))))
-        (Catalog.names db.catalog);
-      db)
+      if not (Sys.file_exists dir) then
+        raise (Error (Printf.sprintf "load: no such directory %s" dir));
+      load_dir dir)
+
+(* --- Durable sessions -------------------------------------------------- *)
+
+(** What {!open_durable} recovered. *)
+type recovery_report = {
+  generation : int;  (** the snapshot generation recovery started from *)
+  replayed : int;  (** committed WAL statements re-applied on top of it *)
+  dropped : int;  (** uncommitted or torn-tail statements discarded *)
+  torn : bool;  (** the WAL scan stopped early (torn frame, bad CRC, replay error) *)
+  note : string option;  (** human-readable detail on where/why it stopped *)
+}
+
+(** [checkpoint db] snapshots a durable session into a new generation
+    (checksummed, atomic) and truncates the WAL: [snap-<n+1>] and an
+    empty [wal-<n+1>] are written, [CURRENT] flips atomically, and the
+    old generation is pruned.  A crash at any point leaves the previous
+    generation fully authoritative. *)
+let checkpoint db =
+  wrap (fun () ->
+      match db.durable with
+      | None -> raise (Error "checkpoint: not a durable session (use open_durable)")
+      | Some d -> checkpoint_durable db d)
+
+(** [open_durable ?policy dir] opens (or creates) a crash-safe database
+    rooted at [dir] and returns it with a report of what recovery found:
+    the CURRENT snapshot generation is verified and loaded, then the
+    generation's WAL is replayed — committed statements only, stopping at
+    the first torn or corrupt record — and if the WAL held anything (or
+    was damaged) a fresh checkpoint re-bases the directory.  Subsequent
+    mutations are write-ahead logged with sync policy [policy] (default
+    {!On_commit}). *)
+let open_durable ?(policy = Wal.On_commit) dir =
+  wrap (fun () ->
+      Metrics.incr m_recoveries;
+      Trace.with_span ~cat:"storage" ~args:[ ("dir", dir) ] "recovery" (fun () ->
+          if not (Sys.file_exists dir) then Sim_fs.mkdir dir;
+          match Snapshot.current dir with
+          | None ->
+              (* Fresh (or pre-durability) directory: generation 0 is an
+                 empty database. *)
+              Snapshot.prune dir ~keep:(-1);
+              let db = create () in
+              let wal = write_generation db dir 0 policy in
+              db.durable <- Some { dur_dir = dir; generation = 0; wal };
+              (db, { generation = 0; replayed = 0; dropped = 0; torn = false; note = None })
+          | Some n ->
+              let db = load_dir (Snapshot.snap_dir dir n) in
+              let wr = Wal.replay (Snapshot.wal_path dir n) in
+              let replayed = ref 0 and replay_note = ref None in
+              (try
+                 List.iter
+                   (fun sql ->
+                     (try ignore (exec db sql)
+                      with e ->
+                        replay_note :=
+                          Some
+                            (Printf.sprintf "replay stopped at statement %d (%s): %s"
+                               (!replayed + 1) sql (Printexc.to_string e));
+                        raise Exit);
+                     incr replayed)
+                   wr.Wal.statements
+               with Exit -> ());
+              let dropped =
+                wr.Wal.dropped + (List.length wr.Wal.statements - !replayed)
+              in
+              let torn = wr.Wal.torn || !replay_note <> None in
+              let note =
+                match (!replay_note, wr.Wal.detail) with
+                | Some m, _ -> Some m
+                | None, d -> d
+              in
+              Metrics.add m_recovered !replayed;
+              Metrics.add m_dropped dropped;
+              Trace.instant ~cat:"storage" "recovered"
+                ~args:
+                  [ ("generation", string_of_int n);
+                    ("replayed", string_of_int !replayed);
+                    ("dropped", string_of_int dropped) ];
+              let wal = Wal.open_append ~policy (Snapshot.wal_path dir n) in
+              let d = { dur_dir = dir; generation = n; wal } in
+              db.durable <- Some d;
+              (* Re-base whenever the WAL held anything: replayed work is
+                 folded into a fresh snapshot and a damaged tail is
+                 discarded for good (appending after it would be lost to
+                 the next recovery's stop-at-first-tear scan). *)
+              if !replayed > 0 || dropped > 0 || torn then checkpoint_durable db d
+              else Snapshot.prune dir ~keep:n;
+              (db, { generation = n; replayed = !replayed; dropped; torn; note })))
+
+(** [durable_dir db] is the root directory of a durable session. *)
+let durable_dir db =
+  match db.durable with Some d -> Some d.dur_dir | None -> None
+
+(** Status of a durable session, for shells and tests. *)
+type wal_status = {
+  ws_dir : string;
+  ws_generation : int;
+  ws_policy : sync_policy;
+  ws_appended : int;  (** statements committed to the WAL by this handle *)
+}
+
+(** [wal_status db] describes the session's WAL ([None] when the session
+    is purely in-memory). *)
+let wal_status db =
+  match db.durable with
+  | None -> None
+  | Some d ->
+      Some
+        { ws_dir = d.dur_dir; ws_generation = d.generation;
+          ws_policy = Wal.policy d.wal; ws_appended = Wal.appended d.wal }
+
+(** [set_sync_policy db p] changes when WAL commits are fsynced:
+    {!Never} (OS decides), {!On_commit} (every commit, the default), or
+    {!Every}[ n] (batched).  Errors on a non-durable session. *)
+let set_sync_policy db p =
+  match db.durable with
+  | None -> raise (Error "set_sync_policy: not a durable session")
+  | Some d -> Wal.set_policy d.wal p
+
+(** [wal_sync db] forces the session's WAL to stable storage now. *)
+let wal_sync db =
+  wrap (fun () ->
+      match db.durable with
+      | None -> raise (Error "wal_sync: not a durable session")
+      | Some d -> Wal.sync d.wal)

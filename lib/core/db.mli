@@ -204,8 +204,79 @@ val trace_json : unit -> string
 val metrics_text : unit -> string
 
 (** [save db dir] persists every table (CSV) plus a DDL manifest (schemas
-    and index definitions) into directory [dir], creating it if needed. *)
+    and index definitions) into directory [dir], creating it if needed.
+    Every file is written atomically (tmp + fsync + rename) under a CRC32
+    [_checksums] manifest, so an interrupted save never corrupts an
+    existing directory. *)
 val save : t -> string -> unit
 
-(** [load dir] reconstructs a database written by {!save}. *)
+(** [load dir] reconstructs a database written by {!save}, verifying the
+    checksum manifest first.  A missing directory, manifest or table file
+    — or a checksum mismatch — raises {!Error} naming the file, never a
+    bare [Sys_error]. *)
 val load : string -> t
+
+(** {1 Crash-safe durability}
+
+    A {e durable} session pairs the in-memory database with an on-disk
+    directory of {e generations}: checksummed snapshot [snap-<n>/] plus
+    write-ahead log [wal-<n>], with a [CURRENT] file naming the live
+    pair.  Every mutation (DML and DDL) is appended to the WAL as a
+    CRC32-checksummed, length-prefixed frame and group-committed before
+    it is acknowledged; {!checkpoint} folds the log into a fresh
+    snapshot and truncates it.  {!open_durable} recovers after a crash
+    by loading the CURRENT snapshot and replaying the committed WAL
+    prefix, stopping at the first torn or corrupt record. *)
+
+(** When WAL commits are forced to stable storage. *)
+type sync_policy = Quill_storage.Wal.sync_policy =
+  | Never  (** never fsync; the OS decides (fastest, weakest) *)
+  | On_commit  (** fsync every commit — full durability (default) *)
+  | Every of int  (** fsync once per [n] commits *)
+
+(** What {!open_durable} recovered. *)
+type recovery_report = {
+  generation : int;  (** the snapshot generation recovery started from *)
+  replayed : int;  (** committed WAL statements re-applied on top of it *)
+  dropped : int;  (** uncommitted or torn-tail statements discarded *)
+  torn : bool;  (** the WAL scan stopped early (torn frame, bad CRC, replay error) *)
+  note : string option;  (** human-readable detail on where/why it stopped *)
+}
+
+(** [open_durable ?policy dir] opens (or creates) a crash-safe database
+    rooted at [dir]: verifies and loads the CURRENT snapshot, replays the
+    committed WAL prefix (never a partial statement), re-bases into a
+    fresh checkpoint when the log held anything, and returns the session
+    with a {!recovery_report} of what was recovered vs. dropped.
+    Mutations on the returned session are write-ahead logged with sync
+    policy [policy] (default {!On_commit}). *)
+val open_durable : ?policy:sync_policy -> string -> t * recovery_report
+
+(** [checkpoint db] snapshots a durable session into a new generation and
+    truncates the WAL.  The generation flip ([CURRENT] rename) is atomic:
+    a crash mid-checkpoint leaves the previous snapshot + WAL fully
+    authoritative.  Errors on a non-durable session. *)
+val checkpoint : t -> unit
+
+(** [durable_dir db] is the root directory of a durable session, if any. *)
+val durable_dir : t -> string option
+
+(** Status of a durable session's WAL. *)
+type wal_status = {
+  ws_dir : string;
+  ws_generation : int;
+  ws_policy : sync_policy;
+  ws_appended : int;  (** statements committed to the WAL by this handle *)
+}
+
+(** [wal_status db] describes the session's WAL ([None] for a purely
+    in-memory session). *)
+val wal_status : t -> wal_status option
+
+(** [set_sync_policy db p] changes the WAL fsync policy of a durable
+    session. *)
+val set_sync_policy : t -> sync_policy -> unit
+
+(** [wal_sync db] forces the WAL to stable storage now, regardless of
+    policy. *)
+val wal_sync : t -> unit

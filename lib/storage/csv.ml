@@ -1,21 +1,29 @@
 (* RFC-4180-ish CSV reading and writing.
 
    Supports quoted fields with embedded commas, quotes ("" escaping) and
-   newlines.  [load] parses a file against a known schema; empty fields
-   become NULL. *)
+   newlines.  [load] parses a file against a known schema; *bare* empty
+   fields become NULL, while a quoted empty field ([""]) is the empty
+   string — the distinction [save]/[to_string] writes, so NULL vs ''
+   survives a round trip (the WAL crash-recovery fuzz caught exactly
+   this divergence). *)
 
-(** [parse_string s] splits CSV text into rows of raw string fields. *)
-let parse_string s =
+(** [parse_string_marked s] splits CSV text into rows of
+    [(field, was_quoted)] pairs, keeping whether quotes ever opened the
+    field so typed readers can tell a bare empty field (NULL) from a
+    quoted empty string. *)
+let parse_string_marked s =
   let rows = ref [] and row = ref [] and buf = Buffer.create 64 in
   let n = String.length s in
   (* A quoted empty field ([""]) leaves the buffer empty, so the EOF flush
      below cannot key on buffer contents alone; [field_started] remembers
      that quotes opened a field on the current line. *)
   let field_started = ref false in
+  let field_quoted = ref false in
   let flush_field () =
-    row := Buffer.contents buf :: !row;
+    row := (Buffer.contents buf, !field_quoted) :: !row;
     Buffer.clear buf;
-    field_started := false
+    field_started := false;
+    field_quoted := false
   in
   let flush_row () =
     flush_field ();
@@ -39,7 +47,8 @@ let parse_string s =
       match c with
       | '"' ->
           in_quotes := true;
-          field_started := true
+          field_started := true;
+          field_quoted := true
       | ',' -> flush_field ()
       | '\n' -> flush_row ()
       | '\r' -> ()
@@ -51,6 +60,9 @@ let parse_string s =
   done;
   if Buffer.length buf > 0 || !row <> [] || !field_started then flush_row ();
   List.rev !rows
+
+(** [parse_string s] splits CSV text into rows of raw string fields. *)
+let parse_string s = List.map (List.map fst) (parse_string_marked s)
 
 let escape_field f =
   if String.exists (fun c -> c = ',' || c = '"' || c = '\n') f then
@@ -68,48 +80,73 @@ let write_string ~header rows =
   List.iter line rows;
   Buffer.contents buf
 
-(** [rows_of_string ~schema ?has_header s] parses CSV text into typed rows
-    according to [schema]; raises [Failure] with row/column context on
-    malformed values. *)
-let rows_of_string ~schema ?(has_header = true) s =
-  let raw = parse_string s in
+(** [rows_of_string ~schema ?src ?has_header s] parses CSV text into typed
+    rows according to [schema]; raises [Failure] with row/column context —
+    and the source file or table named by [src] — on malformed values.
+    Row numbers are 1-based data-row numbers (the header, when present,
+    is row 0). *)
+let rows_of_string ~schema ?src ?(has_header = true) s =
+  let where = match src with None -> "CSV" | Some src -> Printf.sprintf "CSV %s" src in
+  let raw = parse_string_marked s in
   let raw = if has_header && raw <> [] then List.tl raw else raw in
   List.mapi
     (fun rowno fields ->
       if List.length fields <> Schema.arity schema then
         failwith
-          (Printf.sprintf "CSV row %d: %d fields, expected %d" (rowno + 1)
+          (Printf.sprintf "%s row %d: %d fields, expected %d" where (rowno + 1)
              (List.length fields) (Schema.arity schema));
       Array.of_list
         (List.mapi
-           (fun colno field ->
+           (fun colno (field, quoted) ->
              let c = Schema.column schema colno in
-             match Value.parse c.Schema.dtype field with
+             let parsed =
+               (* a *quoted* empty field is the empty string, not NULL *)
+               if field = "" && quoted && c.Schema.dtype = Value.Str_t then
+                 Some (Value.Str "")
+               else Value.parse c.Schema.dtype field
+             in
+             match parsed with
              | Some v -> v
              | None ->
                  failwith
-                   (Printf.sprintf "CSV row %d, column %s: cannot parse %S as %s"
-                      (rowno + 1) c.Schema.name field
+                   (Printf.sprintf "%s row %d, column %s: cannot parse %S as %s"
+                      where (rowno + 1) c.Schema.name field
                       (Value.dtype_name c.Schema.dtype)))
            fields))
     raw
 
-(** [load ~name ~schema path] reads a CSV file into a fresh table. *)
+(** [load ~name ~schema path] reads a CSV file into a fresh table; parse
+    failures name [path] in the error. *)
 let load ~name ~schema path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
   let s = really_input_string ic len in
   close_in ic;
-  Table.of_rows ~name schema (rows_of_string ~schema s)
+  Table.of_rows ~name schema (rows_of_string ~schema ~src:path s)
+
+(** [to_string table] renders a whole table as CSV text with a header
+    line.  NULL becomes a bare empty field; an empty string becomes a
+    quoted one ([""]) so the two stay distinguishable on reload. *)
+let to_string table =
+  let header = List.map (fun c -> c.Schema.name) (Schema.columns (Table.schema table)) in
+  let field v =
+    if Value.is_null v then ""
+    else
+      match Value.to_string v with "" -> "\"\"" | s -> escape_field s
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (String.concat "," (List.map escape_field header));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf
+        (String.concat "," (Array.to_list (Array.map field row)));
+      Buffer.add_char buf '\n')
+    (Table.to_row_list table);
+  Buffer.contents buf
 
 (** [save table path] writes a table out as CSV with a header line. *)
 let save table path =
-  let header = List.map (fun c -> c.Schema.name) (Schema.columns (Table.schema table)) in
-  let rows =
-    List.map
-      (fun row -> Array.to_list (Array.map (fun v -> if Value.is_null v then "" else Value.to_string v) row))
-      (Table.to_row_list table)
-  in
   let oc = open_out_bin path in
-  output_string oc (write_string ~header rows);
+  output_string oc (to_string table);
   close_out oc

@@ -1,0 +1,203 @@
+(* Fault-injectable file I/O.
+
+   Every byte the durability subsystem (WAL appends, snapshot writes,
+   CURRENT flips) puts on disk goes through this layer, which by default
+   passes straight through to [Unix] with no buffering: a completed
+   [write] is in the OS, exactly like a real storage engine's pwrite.
+
+   Tests arm deterministic faults:
+
+   - a byte budget ({!crash_after_bytes}): the write that would exceed it
+     persists only the prefix that fits and then raises {!Crash} — a torn
+     or short write, depending on where the budget lands;
+   - an op budget ({!crash_after_ops}): the k-th mutating operation
+     (write, fsync, rename, create, remove) raises {!Crash} before doing
+     anything — a power cut between operations, e.g. between a WAL append
+     and the CURRENT-pointer flip of a checkpoint;
+   - {!fail_fsync}: fsync raises {!Io_error} instead of syncing — a disk
+     reporting failure without the machine dying (the fsyncgate mode).
+
+   After {!Crash} fires the simulated machine is off: every subsequent
+   mutating call raises {!Crash} again (closing a file stays allowed so
+   finalizers can run) until {!reset}, which models the reboot before
+   recovery.  [bytes_written]/[ops_performed] counters let a fuzz harness
+   run a workload once fault-free, then re-run it with a budget landing
+   at any chosen point. *)
+
+exception Crash of string
+(** A simulated power cut.  Deliberately not an [Io_error]/[Sys_error]:
+    nothing in the engine catches it, so it unwinds out of [Db] like the
+    process dying would. *)
+
+exception Io_error of string
+(** A simulated I/O failure (currently: fsync).  The machine stays up;
+    callers surface it as an ordinary storage error. *)
+
+type state = {
+  mutable write_budget : int option;  (* bytes left before a crash *)
+  mutable op_budget : int option;  (* mutating ops left before a crash *)
+  mutable fsync_fails : bool;
+  mutable crashed : bool;
+  mutable bytes_written : int;
+  mutable ops_performed : int;
+}
+
+let st =
+  {
+    write_budget = None;
+    op_budget = None;
+    fsync_fails = false;
+    crashed = false;
+    bytes_written = 0;
+    ops_performed = 0;
+  }
+
+(** [reset ()] clears every armed fault and the crashed flag ("reboot"),
+    and zeroes the byte/op counters. *)
+let reset () =
+  st.write_budget <- None;
+  st.op_budget <- None;
+  st.fsync_fails <- false;
+  st.crashed <- false;
+  st.bytes_written <- 0;
+  st.ops_performed <- 0
+
+(** [crash_after_bytes n] arms a power cut once [n] more bytes have been
+    written: the write crossing the boundary persists only its prefix. *)
+let crash_after_bytes n = st.write_budget <- Some n
+
+(** [crash_after_ops n] arms a power cut before the [n+1]-th mutating
+    operation from now ([n = 0] crashes the very next one). *)
+let crash_after_ops n = st.op_budget <- Some n
+
+(** [fail_fsync b] makes every fsync raise {!Io_error} while [b]. *)
+let fail_fsync b = st.fsync_fails <- b
+
+(** [bytes_written ()] counts bytes persisted since the last {!reset}. *)
+let bytes_written () = st.bytes_written
+
+(** [ops_performed ()] counts mutating ops since the last {!reset}. *)
+let ops_performed () = st.ops_performed
+
+(** [crashed ()] is true between a {!Crash} and the next {!reset}. *)
+let crashed () = st.crashed
+
+let check_alive what = if st.crashed then raise (Crash ("machine is down: " ^ what))
+
+(* Each mutating op passes here: dies if already crashed, burns one op
+   from the budget, crashes when the budget hits zero. *)
+let mutating what =
+  check_alive what;
+  (match st.op_budget with
+  | Some 0 ->
+      st.crashed <- true;
+      raise (Crash ("power cut before " ^ what))
+  | Some n -> st.op_budget <- Some (n - 1)
+  | None -> ());
+  st.ops_performed <- st.ops_performed + 1
+
+type t = { fd : Unix.file_descr; path : string; mutable closed : bool }
+
+(** [create path] opens [path] for writing, truncating any old content. *)
+let create path =
+  mutating ("create " ^ path);
+  { fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644;
+    path; closed = false }
+
+(** [open_append path] opens [path] for appending, creating it empty if
+    missing. *)
+let open_append path =
+  mutating ("open " ^ path);
+  { fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644;
+    path; closed = false }
+
+let write_all fd s pos len =
+  let written = ref 0 in
+  while !written < len do
+    written := !written + Unix.write_substring fd s (pos + !written) (len - !written)
+  done
+
+(** [write t s] appends the bytes of [s].  Under a byte budget the write
+    may persist only a prefix and raise {!Crash} — a torn write. *)
+let write t s =
+  mutating ("write " ^ t.path);
+  let len = String.length s in
+  match st.write_budget with
+  | Some budget when budget < len ->
+      if budget > 0 then write_all t.fd s 0 budget;
+      st.bytes_written <- st.bytes_written + budget;
+      st.write_budget <- Some 0;
+      st.crashed <- true;
+      raise (Crash (Printf.sprintf "power cut %d bytes into a %d-byte write to %s" budget len t.path))
+  | budget ->
+      write_all t.fd s 0 len;
+      st.bytes_written <- st.bytes_written + len;
+      (match budget with
+      | Some b -> st.write_budget <- Some (b - len)
+      | None -> ())
+
+(** [fsync t] forces written bytes to stable storage; raises {!Io_error}
+    when fsync failure is armed. *)
+let fsync t =
+  mutating ("fsync " ^ t.path);
+  if st.fsync_fails then raise (Io_error ("fsync failed (injected): " ^ t.path));
+  Unix.fsync t.fd
+
+(** [close t] closes the handle.  Always allowed — even after a crash —
+    so [Fun.protect] finalizers in the engine never mask the {!Crash}. *)
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+(** [rename src dst] atomically replaces [dst] with [src] (POSIX rename
+    semantics — the commit point of snapshot writes). *)
+let rename src dst =
+  mutating (Printf.sprintf "rename %s -> %s" src dst);
+  Sys.rename src dst
+
+(** [remove path] deletes a file (no-op when absent). *)
+let remove path =
+  mutating ("remove " ^ path);
+  if Sys.file_exists path then Sys.remove path
+
+(** [mkdir path] creates a directory (no-op when it already exists). *)
+let mkdir path =
+  mutating ("mkdir " ^ path);
+  if not (Sys.file_exists path) then Unix.mkdir path 0o755
+
+(** [fsync_dir path] fsyncs a directory so a preceding rename survives a
+    power cut (Linux semantics); counts as a mutating op and honours the
+    armed fsync failure. *)
+let fsync_dir path =
+  mutating ("fsync dir " ^ path);
+  if st.fsync_fails then raise (Io_error ("fsync failed (injected): " ^ path));
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+(** [write_file path contents] is create + write + fsync + close: the
+    building block for snapshot files (callers rename afterwards). *)
+let write_file path contents =
+  let f = create path in
+  Fun.protect
+    ~finally:(fun () -> close f)
+    (fun () ->
+      write f contents;
+      fsync f)
+
+(** [read_file path] reads a whole file; [None] when it does not exist.
+    Reads are never fault-injected — recovery reads what the "disk"
+    holds. *)
+let read_file path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+  end

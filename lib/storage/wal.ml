@@ -1,0 +1,256 @@
+(* The write-ahead log.
+
+   An append-only file of length-prefixed, CRC32-checksummed frames.
+   Layout:
+
+     header   "QWAL1\n"
+     frame    [len : u32 LE] [crc32(payload) : u32 LE] [payload]
+     payload  'S' sql-text     a statement (DML or DDL)
+              'C'              commit marker for the statements since
+                               the previous 'C'
+
+   Writers buffer frames in memory ([log_statement]) and persist them in
+   a single write at [commit] — group commit: the statement frame and
+   its commit marker hit the file together, and fsync is batched per the
+   {!sync_policy}.  A statement whose in-memory application fails is
+   [rollback]ed before anything reaches the file.
+
+   Replay scans frames from the start and yields the longest clean
+   prefix of *committed* statements: it stops at the first torn frame
+   (truncated length/checksum/payload — a power cut mid-write) or CRC
+   mismatch (corruption), and statements appended but not followed by a
+   commit marker are reported as dropped, never replayed.  Checkpoints
+   do not write frames: the snapshot layer starts a fresh generation's
+   log and deletes this one, which is the WAL truncation point. *)
+
+module Metrics = Quill_obs.Metrics
+
+let m_appends = Metrics.counter "quill.wal.appends"
+let m_commits = Metrics.counter "quill.wal.commits"
+let m_rollbacks = Metrics.counter "quill.wal.rollbacks"
+let m_syncs = Metrics.counter "quill.wal.syncs"
+let m_bytes = Metrics.counter "quill.wal.bytes"
+
+let header = "QWAL1\n"
+
+(** When committed frames are forced to stable storage. *)
+type sync_policy =
+  | Never  (** never fsync; the OS decides (fastest, weakest) *)
+  | On_commit  (** fsync every commit (group commit still batches frames) *)
+  | Every of int  (** fsync once per [n] commits *)
+
+(** [policy_name p] renders a policy for the shell and metrics. *)
+let policy_name = function
+  | Never -> "never"
+  | On_commit -> "commit"
+  | Every n -> Printf.sprintf "every-%d" n
+
+(** [policy_of_string s] parses ["never"], ["commit"] or ["every N"]. *)
+let policy_of_string s =
+  match String.split_on_char ' ' (String.lowercase_ascii (String.trim s)) with
+  | [ "never" ] -> Some Never
+  | [ "commit" ] -> Some On_commit
+  | [ "every"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 -> Some (Every n)
+      | _ -> None)
+  | _ -> None
+
+type t = {
+  path : string;
+  mutable file : Sim_fs.t option;  (* None after [close] *)
+  mutable policy : sync_policy;
+  pending : Buffer.t;  (* frames of the statement being executed *)
+  mutable pending_stmts : int;
+  mutable commits_since_sync : int;
+  mutable appended_stmts : int;  (* committed statements this session *)
+}
+
+let put_u32 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff))
+
+let get_u32 s pos =
+  Char.code s.[pos]
+  lor (Char.code s.[pos + 1] lsl 8)
+  lor (Char.code s.[pos + 2] lsl 16)
+  lor (Char.code s.[pos + 3] lsl 24)
+
+let add_frame buf payload =
+  put_u32 buf (String.length payload);
+  put_u32 buf (Quill_util.Hashing.crc32 payload);
+  Buffer.add_string buf payload
+
+let handle t =
+  match t.file with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Wal: %s is closed" t.path)
+
+(** [create ?policy path] starts a fresh, empty log at [path] (replacing
+    any old file) and syncs the header — a checkpoint's truncation
+    point. *)
+let create ?(policy = On_commit) path =
+  let f = Sim_fs.create path in
+  (try
+     Sim_fs.write f header;
+     Sim_fs.fsync f
+   with e ->
+     Sim_fs.close f;
+     raise e);
+  { path; file = Some f; policy; pending = Buffer.create 256; pending_stmts = 0;
+    commits_since_sync = 0; appended_stmts = 0 }
+
+(** [open_append ?policy path] opens an existing log for further
+    appends (creating an empty one when missing). *)
+let open_append ?(policy = On_commit) path =
+  let fresh = not (Sys.file_exists path) in
+  let f = Sim_fs.open_append path in
+  (try if fresh then Sim_fs.write f header
+   with e ->
+     Sim_fs.close f;
+     raise e);
+  { path; file = Some f; policy; pending = Buffer.create 256; pending_stmts = 0;
+    commits_since_sync = 0; appended_stmts = 0 }
+
+(** [set_policy t p] changes when commits are fsynced. *)
+let set_policy t p = t.policy <- p
+
+(** [policy t] is the current sync policy. *)
+let policy t = t.policy
+
+(** [path t] is the log's file path. *)
+let path t = t.path
+
+(** [appended t] counts statements committed through this handle. *)
+let appended t = t.appended_stmts
+
+(** [log_statement t sql] stages a statement frame in the group-commit
+    buffer.  Nothing reaches the file until {!commit}. *)
+let log_statement t sql =
+  ignore (handle t);
+  add_frame t.pending ("S" ^ sql);
+  t.pending_stmts <- t.pending_stmts + 1;
+  Metrics.incr m_appends
+
+(** [rollback t] discards staged frames (the statement failed in
+    memory; it must not be replayed). *)
+let rollback t =
+  if t.pending_stmts > 0 then begin
+    Buffer.clear t.pending;
+    t.pending_stmts <- 0;
+    Metrics.incr m_rollbacks
+  end
+
+(** [sync t] forces the log to stable storage now, regardless of
+    policy. *)
+let sync t =
+  Sim_fs.fsync (handle t);
+  t.commits_since_sync <- 0;
+  Metrics.incr m_syncs
+
+(** [commit t] appends a commit marker and writes the staged frames in
+    one write, fsyncing per policy.  A torn write here (power cut) loses
+    the whole statement — recovery sees no commit marker and drops it,
+    which is correct: the client was never acknowledged. *)
+let commit t =
+  if t.pending_stmts > 0 then begin
+    let f = handle t in
+    add_frame t.pending "C";
+    let frames = Buffer.contents t.pending in
+    Buffer.clear t.pending;
+    let stmts = t.pending_stmts in
+    t.pending_stmts <- 0;
+    Sim_fs.write f frames;
+    t.appended_stmts <- t.appended_stmts + stmts;
+    Metrics.add m_bytes (String.length frames);
+    Metrics.incr m_commits;
+    t.commits_since_sync <- t.commits_since_sync + 1;
+    match t.policy with
+    | Never -> ()
+    | On_commit -> sync t
+    | Every n -> if t.commits_since_sync >= n then sync t
+  end
+
+(** [close t] closes the log file (staged-but-uncommitted frames are
+    discarded).  Idempotent. *)
+let close t =
+  match t.file with
+  | None -> ()
+  | Some f ->
+      t.file <- None;
+      Buffer.clear t.pending;
+      t.pending_stmts <- 0;
+      Sim_fs.close f
+
+(* --- Replay ------------------------------------------------------------ *)
+
+(** What a replay recovered, and where (and why) it stopped. *)
+type replay = {
+  statements : string list;  (** committed statements, oldest first *)
+  dropped : int;  (** statements appended but never committed *)
+  torn : bool;  (** the scan hit a torn/corrupt frame and stopped *)
+  detail : string option;  (** human-readable reason for stopping early *)
+}
+
+(** [replay path] scans the log and returns the longest clean committed
+    prefix.  A missing file replays as empty; a bad header, short frame
+    or checksum mismatch stops the scan at the last good commit. *)
+let replay path =
+  match Sim_fs.read_file path with
+  | None ->
+      { statements = []; dropped = 0; torn = false;
+        detail = Some (Printf.sprintf "missing WAL file %s" path) }
+  | Some data ->
+      let n = String.length data in
+      let hlen = String.length header in
+      if n < hlen || String.sub data 0 hlen <> header then
+        { statements = []; dropped = 0; torn = true;
+          detail = Some (Printf.sprintf "bad WAL header in %s" path) }
+      else begin
+        let committed = ref [] and uncommitted = ref [] in
+        let torn = ref false and detail = ref None in
+        let stop fmt =
+          Printf.ksprintf
+            (fun msg ->
+              torn := true;
+              detail := Some msg)
+            fmt
+        in
+        let pos = ref hlen in
+        (try
+           while !pos < n do
+             if n - !pos < 8 then begin
+               stop "torn frame header at byte %d (%d trailing bytes)" !pos (n - !pos);
+               raise Exit
+             end;
+             let len = get_u32 data !pos in
+             let crc = get_u32 data (!pos + 4) in
+             if len > n - !pos - 8 then begin
+               stop "torn frame at byte %d (payload %d bytes, %d available)" !pos len
+                 (n - !pos - 8);
+               raise Exit
+             end;
+             if len = 0 then begin
+               stop "empty frame at byte %d" !pos;
+               raise Exit
+             end;
+             if Quill_util.Hashing.crc32 ~pos:(!pos + 8) ~len data <> crc then begin
+               stop "checksum mismatch at byte %d" !pos;
+               raise Exit
+             end;
+             (match data.[!pos + 8] with
+             | 'S' -> uncommitted := String.sub data (!pos + 9) (len - 1) :: !uncommitted
+             | 'C' ->
+                 committed := !uncommitted @ !committed;
+                 uncommitted := []
+             | c ->
+                 stop "unknown frame type %C at byte %d" c !pos;
+                 raise Exit);
+             pos := !pos + 8 + len
+           done
+         with Exit -> ());
+        { statements = List.rev !committed; dropped = List.length !uncommitted;
+          torn = !torn; detail = !detail }
+      end

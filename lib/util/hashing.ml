@@ -26,3 +26,26 @@ let hash_float f = mix_int (Int64.to_int (Int64.bits_of_float f))
 
 (** [combine h1 h2] mixes two hash values non-commutatively. *)
 let combine h1 h2 = mix_int ((h1 * 31) lxor h2)
+
+(* CRC32 (IEEE 802.3, reflected polynomial 0xedb88320) — a checksum, not
+   a hash: unlike the mixers above it detects burst errors and torn
+   writes, which is what the WAL and snapshot manifests need. *)
+let crc32_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+(** [crc32 ?pos ?len s] is the CRC32 of the given slice of [s] (whole
+    string by default), as a non-negative int in [0, 2^32). *)
+let crc32 ?(pos = 0) ?len s =
+  let len = match len with Some l -> l | None -> String.length s - pos in
+  let table = Lazy.force crc32_table in
+  let c = ref 0xffffffff in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code s.[i]) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xffffffff

@@ -335,6 +335,137 @@ let test_save_load () =
   Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
   Sys.rmdir dir
 
+let str_contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let rm_dir dir =
+  let rec go path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> go (Filename.concat path f)) (Sys.readdir path);
+        try Sys.rmdir path with Sys_error _ -> ()
+      end
+      else Sys.remove path
+  in
+  go dir
+
+let fresh_dir () =
+  let dir = Filename.temp_file "quill_db" "" in
+  Sys.remove dir;
+  dir
+
+(* Save/load round-trips the hard cases: NULLs in every column, strings
+   with commas, quotes and embedded newlines, a dictionary-encoded
+   column, and the result is identical under all three engines. *)
+let test_save_load_rich_roundtrip () =
+  let module Schema = Quill_storage.Schema in
+  let db = Quill.Db.create () in
+  let cat = Quill.Db.catalog db in
+  let t =
+    Table.create ~name:"rich"
+      (Schema.create
+         [ Schema.col ~nullable:false "id" Value.Int_t;
+           Schema.col "txt" Value.Str_t;
+           Schema.col "num" Value.Float_t;
+           Schema.col "flag" Value.Bool_t;
+           Schema.col "day" Value.Date_t ])
+  in
+  Quill_storage.Catalog.add cat t;
+  Table.insert t
+    [| Value.Int 1; Value.Str "comma, \"quote\" and 'tick'"; Value.Float 12.25;
+       Value.Bool true; Value.Date 9500 |];
+  Table.insert t [| Value.Int 2; Value.Str "line\nbreak"; Value.Null; Value.Null; Value.Null |];
+  Table.insert t
+    [| Value.Int 3; Value.Str "plain"; Value.Float (-0.5); Value.Bool false; Value.Date 9000 |];
+  (* few distinct strings over many rows: packs as a dictionary column *)
+  let dt = Table.create ~name:"dicty" (Schema.create [ Schema.col "s" Value.Str_t ]) in
+  Quill_storage.Catalog.add cat dt;
+  for i = 0 to 199 do
+    Table.insert dt
+      [| Value.Str (match i mod 3 with 0 -> "red" | 1 -> "green" | _ -> "blue") |]
+  done;
+  Alcotest.(check bool) "source column is dict-encoded" true
+    (Option.is_some (Quill_storage.Column.dict_parts (Table.column dt 0)));
+  let dir = fresh_dir () in
+  Quill.Db.save db dir;
+  let db2 = Quill.Db.load dir in
+  List.iter
+    (fun eng ->
+      Quill.Db.set_engine db2 eng;
+      List.iter
+        (fun sql ->
+          let a = Tutil.table_rows (Quill.Db.query db sql) in
+          let b = Tutil.table_rows (Quill.Db.query db2 sql) in
+          Alcotest.(check bool)
+            (Quill.Db.engine_name eng ^ ": " ^ sql)
+            true
+            (Tutil.same_rows_ordered a b))
+        [ "SELECT * FROM rich ORDER BY id";
+          "SELECT s, count(*) FROM dicty GROUP BY s ORDER BY s" ])
+    [ Quill.Db.Volcano; Quill.Db.Vectorized; Quill.Db.Compiled ];
+  rm_dir dir
+
+(* Index declarations survive a save/load cycle: the reloaded session
+   re-declares them (checked by saving it again) and serves the same
+   results. *)
+let test_load_rebuilds_indexes () =
+  let db = fresh () in
+  ignore (Quill.Db.exec db "CREATE INDEX ON emp (id)");
+  let dir = fresh_dir () in
+  Quill.Db.save db dir;
+  let db2 = Quill.Db.load dir in
+  let dir2 = fresh_dir () in
+  Quill.Db.save db2 dir2;
+  let ic = open_in (Filename.concat dir2 "_manifest.sql") in
+  let manifest = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check bool) "index re-declared" true
+    (str_contains manifest "CREATE INDEX ON emp (id)");
+  let a = Tutil.table_rows (Quill.Db.query db "SELECT name FROM emp WHERE id = 3") in
+  let b = Tutil.table_rows (Quill.Db.query db2 "SELECT name FROM emp WHERE id = 3") in
+  Alcotest.(check bool) "indexed lookup agrees" true (Tutil.same_rows_ordered a b);
+  rm_dir dir;
+  rm_dir dir2
+
+(* Regression: [load] failures are catchable {!Quill.Db.Error}s naming
+   the offending file — never a bare [Sys_error]. *)
+let test_load_errors () =
+  let expect_error what thunk fragment =
+    match thunk () with
+    | _ -> Alcotest.failf "%s: expected an error" what
+    | exception Quill.Db.Error m ->
+        if not (str_contains m fragment) then
+          Alcotest.failf "%s: error %S lacks %S" what m fragment
+  in
+  expect_error "missing directory"
+    (fun () -> Quill.Db.load "/nonexistent/quill-db-xyz")
+    "/nonexistent/quill-db-xyz";
+  let db = fresh () in
+  let dir = fresh_dir () in
+  Quill.Db.save db dir;
+  let emp_csv = Filename.concat dir "emp.csv" in
+  let ic = open_in_bin emp_csv in
+  let orig = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  (* corruption is caught by the checksum manifest and names the file *)
+  let oc = open_out_bin emp_csv in
+  output_string oc (orig ^ "junk");
+  close_out oc;
+  expect_error "corrupt table file" (fun () -> Quill.Db.load dir) "emp.csv";
+  let oc = open_out_bin emp_csv in
+  output_string oc orig;
+  close_out oc;
+  (* a missing table file (without checksums to catch it first) *)
+  Sys.remove (Filename.concat dir "_checksums");
+  Sys.remove emp_csv;
+  expect_error "missing table file" (fun () -> Quill.Db.load dir) "emp.csv";
+  (* a missing manifest *)
+  Sys.remove (Filename.concat dir "_manifest.sql");
+  expect_error "missing manifest" (fun () -> Quill.Db.load dir) "_manifest.sql";
+  rm_dir dir
+
 let test_error_messages () =
   let db = fresh () in
   let check_msg sql fragment =
@@ -408,6 +539,10 @@ let () =
           Alcotest.test_case "copy" `Quick test_copy_roundtrip;
           Alcotest.test_case "create table as" `Quick test_create_table_as;
           Alcotest.test_case "save/load" `Quick test_save_load;
+          Alcotest.test_case "save/load rich round-trip" `Quick
+            test_save_load_rich_roundtrip;
+          Alcotest.test_case "load rebuilds indexes" `Quick test_load_rebuilds_indexes;
+          Alcotest.test_case "load errors" `Quick test_load_errors;
         ] );
       ( "features",
         [

@@ -1,0 +1,356 @@
+(* Crash-matrix and fuzz tests for durable recovery.
+
+   The harness runs a DML workload against a durable database twice: once
+   fault-free to record the logical state after every step (plus the
+   cumulative byte/op counts, so crash points can be chosen
+   deterministically), then again with a power cut armed at a chosen
+   point.  After the "reboot" ([Sim_fs.reset]), [Db.open_durable] must
+   recover a consistent prefix of the acknowledged workload:
+
+     recovered state = state after k steps,
+     where k = #acknowledged steps, or #acknowledged + 1 when the
+     in-flight statement's commit record made it to disk whole.
+
+   Anything else — a half-applied statement, a lost acknowledged commit,
+   a crash during recovery itself — fails the test. *)
+
+module Db = Quill.Db
+module Sim_fs = Quill_storage.Sim_fs
+module Table = Quill_storage.Table
+module Schema = Quill_storage.Schema
+module Catalog = Quill_storage.Catalog
+module Value = Quill_storage.Value
+
+let tmpdir () =
+  let p = Filename.temp_file "quill_rec" "" in
+  Sys.remove p;
+  p
+
+let rec rmrf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rmrf (Filename.concat path f)) (Sys.readdir path);
+      try Unix.rmdir path with Unix.Unix_error _ -> ()
+    end
+    else Sys.remove path
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* Canonical rendering of a database's logical state: every table with
+   its schema and (sorted) rows, so two databases compare as strings. *)
+let dump db =
+  let cat = Db.catalog db in
+  Catalog.names cat |> List.sort compare
+  |> List.map (fun name ->
+         let t = Option.get (Catalog.find cat name) in
+         let rows =
+           Table.to_row_list t
+           |> List.map (fun r -> Array.to_list (Array.map Value.to_string r))
+           |> List.sort compare
+         in
+         name ^ " " ^ Schema.to_string (Table.schema t) ^ "\n"
+         ^ String.concat "\n" (List.map (String.concat "|") rows))
+  |> String.concat "\n===\n"
+
+type step = Stmt of string | Checkpoint
+
+let apply db = function
+  | Stmt sql -> ignore (Db.exec db sql)
+  | Checkpoint -> Db.checkpoint db
+
+(* Fault-free instrumented run in a fresh [dir]: returns the dump after
+   every step (index 0 = freshly opened, empty) and the cumulative
+   byte/op counters at each step boundary.  Both runs of a workload are
+   byte-for-byte deterministic, so these marks locate any boundary in
+   the faulted run too. *)
+let run_clean steps dir =
+  Sim_fs.reset ();
+  let db, _ = Db.open_durable dir in
+  let dumps = ref [ dump db ] in
+  let byte_marks = ref [ Sim_fs.bytes_written () ] in
+  let op_marks = ref [ Sim_fs.ops_performed () ] in
+  List.iter
+    (fun s ->
+      apply db s;
+      dumps := dump db :: !dumps;
+      byte_marks := Sim_fs.bytes_written () :: !byte_marks;
+      op_marks := Sim_fs.ops_performed () :: !op_marks)
+    steps;
+  Db.close db;
+  ( Array.of_list (List.rev !dumps),
+    Array.of_list (List.rev !byte_marks),
+    Array.of_list (List.rev !op_marks) )
+
+(* Run [steps] in a fresh [dir] with a fault armed by [arm]; the power
+   cut (if it fires) unwinds here as [Sim_fs.Crash].  Returns how many
+   steps were acknowledged before the cut. *)
+let run_faulted steps dir ~arm =
+  Sim_fs.reset ();
+  let session = ref None in
+  let acked = ref 0 in
+  (try
+     arm ();
+     let db, _ = Db.open_durable dir in
+     session := Some db;
+     List.iter
+       (fun s ->
+         apply db s;
+         incr acked)
+       steps
+   with Sim_fs.Crash _ -> ());
+  (* "reboot", then release the dead session's descriptors (close is the
+     one operation the simulated crash still allows) *)
+  Sim_fs.reset ();
+  Option.iter Db.close !session;
+  !acked
+
+(* Recover [dir] and check the consistent-prefix property against the
+   clean run's per-step dumps.  Returns the report for extra checks. *)
+let recover_and_check ~what ~dumps ~acked dir =
+  Sim_fs.reset ();
+  let db, report = Db.open_durable dir in
+  let got = dump db in
+  Db.close db;
+  let nsteps = Array.length dumps - 1 in
+  let expected =
+    if acked < nsteps then [ dumps.(acked); dumps.(acked + 1) ] else [ dumps.(acked) ]
+  in
+  if not (List.mem got expected) then
+    Alcotest.failf
+      "%s: recovered state is not a consistent prefix (%d/%d steps acked%s)\n\
+       got:\n%s\nexpected one of:\n%s"
+      what acked nsteps
+      (match report.Db.note with Some n -> "; " ^ n | None -> "")
+      got
+      (String.concat "\n-- or --\n" expected);
+  (got, report)
+
+(* A fixed workload exercising DDL, inserts, updates, deletes, an index
+   and a mid-stream checkpoint. *)
+let base_workload =
+  [
+    Stmt "CREATE TABLE kv (k INT NOT NULL, v TEXT)";
+    Stmt "INSERT INTO kv VALUES (1, 'one'), (2, 'two')";
+    Stmt "INSERT INTO kv VALUES (3, NULL)";
+    Checkpoint;
+    Stmt "UPDATE kv SET v = 'deux' WHERE k = 2";
+    Stmt "CREATE INDEX ON kv (k)";
+    Stmt "INSERT INTO kv VALUES (4, 'four')";
+    Stmt "DELETE FROM kv WHERE k = 1";
+  ]
+
+let with_clean_run f =
+  let dir = tmpdir () in
+  let marks = run_clean base_workload dir in
+  rmrf dir;
+  Fun.protect ~finally:Sim_fs.reset (fun () -> f marks)
+
+let crash_at_bytes ~what ~dumps cut =
+  let dir = tmpdir () in
+  let acked =
+    run_faulted base_workload dir ~arm:(fun () -> Sim_fs.crash_after_bytes cut)
+  in
+  let got, report = recover_and_check ~what ~dumps ~acked dir in
+  rmrf dir;
+  (acked, got, report)
+
+let crash_at_ops ~what ~dumps cut =
+  let dir = tmpdir () in
+  let acked =
+    run_faulted base_workload dir ~arm:(fun () -> Sim_fs.crash_after_ops cut)
+  in
+  let got, report = recover_and_check ~what ~dumps ~acked dir in
+  rmrf dir;
+  (acked, got, report)
+
+(* --- The named matrix points -------------------------------------------- *)
+
+let nsteps = List.length base_workload
+
+(* Power cut 2 bytes short of the end: the final statement's commit
+   record is torn, so recovery must land exactly on the state before
+   it — the client never got an acknowledgement. *)
+let test_short_write () =
+  with_clean_run (fun (dumps, bytes, _) ->
+      let total = bytes.(nsteps) in
+      let acked, got, _ = crash_at_bytes ~what:"short write" ~dumps (total - 2) in
+      Alcotest.(check int) "last step unacked" (nsteps - 1) acked;
+      Alcotest.(check string) "exactly the prior state" dumps.(nsteps - 1) got)
+
+(* Power cut with the statement frame fully on disk but the commit
+   marker torn — the group-commit gap.  Replay must report the dropped
+   statement and recovery must not apply it. *)
+let test_crash_between_append_and_commit () =
+  with_clean_run (fun (dumps, bytes, _) ->
+      let sql = "DELETE FROM kv WHERE k = 1" in
+      (* the last step's single commit write is [S frame][C frame]; cut
+         two bytes into the C frame's header *)
+      let s_frame = 8 + 1 + String.length sql in
+      let cut = bytes.(nsteps - 1) + s_frame + 2 in
+      let acked, got, report =
+        crash_at_bytes ~what:"append/commit gap" ~dumps cut
+      in
+      Alcotest.(check int) "last step unacked" (nsteps - 1) acked;
+      Alcotest.(check string) "statement dropped" dumps.(nsteps - 1) got;
+      Alcotest.(check int) "reported dropped" 1 report.Db.dropped;
+      Alcotest.(check bool) "reported torn" true report.Db.torn)
+
+(* A torn WAL record strictly inside the payload (not at a frame
+   boundary). *)
+let test_torn_record () =
+  with_clean_run (fun (dumps, bytes, _) ->
+      (* 5 bytes into step 5's commit write: mid-payload of its S frame *)
+      let cut = bytes.(4) + 5 in
+      let acked, got, _ = crash_at_bytes ~what:"torn record" ~dumps cut in
+      Alcotest.(check int) "acked" 4 acked;
+      Alcotest.(check string) "prefix state" dumps.(4) got)
+
+(* Power cut at every operation boundary inside the checkpoint: before
+   the snapshot tmp writes, between them, before the WAL swap, before
+   and after the CURRENT flip.  The checkpoint is atomic: recovery sees
+   either the old generation (plus its WAL) or the new one — in both
+   cases the same logical state. *)
+let test_crash_mid_checkpoint () =
+  with_clean_run (fun (dumps, _, ops) ->
+      let cp = 3 in
+      (* base_workload.(cp) is the Checkpoint *)
+      for cut = ops.(cp) to ops.(cp + 1) - 1 do
+        let what = Printf.sprintf "mid-checkpoint op %d" cut in
+        let acked, got, _ = crash_at_ops ~what ~dumps cut in
+        Alcotest.(check int) (what ^ ": acked") cp acked;
+        Alcotest.(check string) (what ^ ": state unchanged") dumps.(cp) got
+      done)
+
+(* An fsync that reports failure without the machine dying: the
+   statement surfaces an io error, the session stays usable, and the
+   statement (whose frames did reach the file) survives recovery. *)
+let test_fsync_failure () =
+  Sim_fs.reset ();
+  let dir = tmpdir () in
+  let db, _ = Db.open_durable dir in
+  ignore (Db.exec db "CREATE TABLE t (a INT NOT NULL)");
+  ignore (Db.exec db "INSERT INTO t VALUES (1)");
+  Sim_fs.fail_fsync true;
+  (match Db.exec db "INSERT INTO t VALUES (2)" with
+  | _ -> Alcotest.fail "expected an io error"
+  | exception Db.Error m ->
+      Alcotest.(check bool) "named io error" true (contains m "io error"));
+  Sim_fs.fail_fsync false;
+  ignore (Db.exec db "INSERT INTO t VALUES (3)");
+  Alcotest.(check int) "session stays usable" 3
+    (Table.row_count (Db.query db "SELECT a FROM t"));
+  Db.close db;
+  Sim_fs.reset ();
+  let db2, _ = Db.open_durable dir in
+  Alcotest.(check int) "all rows recovered" 3
+    (Table.row_count (Db.query db2 "SELECT a FROM t"));
+  Db.close db2;
+  rmrf dir
+
+(* Recovery is idempotent: opening twice with no faults and no new
+   writes yields the same state, and a run with no crash loses
+   nothing. *)
+let test_no_crash_and_reopen () =
+  with_clean_run (fun (dumps, bytes, _) ->
+      let acked, got, _ =
+        crash_at_bytes ~what:"no crash" ~dumps (bytes.(nsteps) + 1_000_000)
+      in
+      Alcotest.(check int) "all acked" nsteps acked;
+      Alcotest.(check string) "final state" dumps.(nsteps) got)
+
+(* --- Sweeps: a power cut at (almost) every byte and every op ------------ *)
+
+let sweep_points total target =
+  let stride = max 1 (total / target) in
+  let rec go acc cut = if cut >= total then acc else go (cut :: acc) (cut + stride) in
+  go [ total - 1 ] 0 |> List.sort_uniq compare
+
+let test_byte_sweep () =
+  with_clean_run (fun (dumps, bytes, _) ->
+      List.iter
+        (fun cut ->
+          ignore
+            (crash_at_bytes ~what:(Printf.sprintf "byte sweep cut=%d" cut) ~dumps cut))
+        (sweep_points bytes.(nsteps) 110))
+
+let test_op_sweep () =
+  with_clean_run (fun (dumps, _, ops) ->
+      List.iter
+        (fun cut ->
+          ignore
+            (crash_at_ops ~what:(Printf.sprintf "op sweep cut=%d" cut) ~dumps cut))
+        (sweep_points ops.(nsteps) 90))
+
+(* --- Fuzz: random workload, random crash point -------------------------- *)
+
+let fuzz_case_gen =
+  QCheck2.Gen.(
+    let word = string_size ~gen:(char_range 'a' 'z') (int_range 0 6) in
+    let stmt =
+      frequency
+        [
+          ( 5,
+            map2
+              (fun k s -> Stmt (Printf.sprintf "INSERT INTO kv VALUES (%d, '%s')" k s))
+              (int_range 0 30) word );
+          ( 2,
+            map2
+              (fun k s -> Stmt (Printf.sprintf "UPDATE kv SET v = '%s' WHERE k = %d" s k))
+              (int_range 0 30) word );
+          ( 2,
+            map (fun k -> Stmt (Printf.sprintf "DELETE FROM kv WHERE k = %d" k))
+              (int_range 0 30) );
+          (1, pure Checkpoint);
+        ]
+    in
+    let* body = list_size (int_range 1 10) stmt in
+    let* frac = int_range 0 1000 in
+    let* by_ops = bool in
+    pure (Stmt "CREATE TABLE kv (k INT NOT NULL, v TEXT)" :: body, frac, by_ops))
+
+let prop_random_crash_point =
+  Tutil.qtest ~count:30 "random workload + random crash point recovers a prefix"
+    fuzz_case_gen
+    (fun (steps, frac, by_ops) ->
+      let dir1 = tmpdir () in
+      let dumps, bytes, ops = run_clean steps dir1 in
+      rmrf dir1;
+      let n = Array.length dumps - 1 in
+      let dir2 = tmpdir () in
+      let acked =
+        run_faulted steps dir2 ~arm:(fun () ->
+            if by_ops then Sim_fs.crash_after_ops (ops.(n) * frac / 1000)
+            else Sim_fs.crash_after_bytes (bytes.(n) * frac / 1000))
+      in
+      let _ =
+        recover_and_check
+          ~what:(Printf.sprintf "fuzz (%s frac=%d)" (if by_ops then "ops" else "bytes") frac)
+          ~dumps ~acked dir2
+      in
+      rmrf dir2;
+      Sim_fs.reset ();
+      true)
+
+let () =
+  Alcotest.run "recovery"
+    [
+      ( "matrix",
+        [
+          Alcotest.test_case "short write" `Quick test_short_write;
+          Alcotest.test_case "append/commit gap" `Quick
+            test_crash_between_append_and_commit;
+          Alcotest.test_case "torn record" `Quick test_torn_record;
+          Alcotest.test_case "mid-checkpoint" `Quick test_crash_mid_checkpoint;
+          Alcotest.test_case "fsync failure" `Quick test_fsync_failure;
+          Alcotest.test_case "no crash / reopen" `Quick test_no_crash_and_reopen;
+        ] );
+      ( "sweeps",
+        [
+          Alcotest.test_case "every ~1% of bytes" `Quick test_byte_sweep;
+          Alcotest.test_case "every ~1% of ops" `Quick test_op_sweep;
+        ] );
+      ("fuzz", [ prop_random_crash_point ]);
+    ]

@@ -160,6 +160,26 @@ let test_csv_roundtrip () =
   Alcotest.(check bool) "same rows" true
     (Tutil.same_rows_ordered (Tutil.table_rows t) (Tutil.table_rows t2))
 
+let test_csv_null_vs_empty () =
+  (* Regression (found by the recovery fuzz): [Str ""] used to be written
+     as a bare empty field, which reads back as NULL — so a checkpointed
+     snapshot diverged from the in-memory state.  A bare empty field is
+     NULL; a quoted empty field is the empty string, both ways. *)
+  let schema =
+    Schema.create [ Schema.col "i" Value.Int_t; Schema.col "s" Value.Str_t ]
+  in
+  let rows = Csv.rows_of_string ~schema "i,s\n1,\"\"\n2,\n" in
+  Alcotest.(check bool) "quoted empty is Str \"\"" true
+    (List.nth rows 0 = [| Value.Int 1; Value.Str "" |]);
+  Alcotest.(check bool) "bare empty is NULL" true
+    (List.nth rows 1 = [| Value.Int 2; Value.Null |]);
+  let t = Table.create ~name:"ne" schema in
+  Table.insert t [| Value.Int 1; Value.Str "" |];
+  Table.insert t [| Value.Int 2; Value.Null |];
+  let t2 = Table.of_rows ~name:"ne2" schema (Csv.rows_of_string ~schema (Csv.to_string t)) in
+  Alcotest.(check bool) "round trip preserves the distinction" true
+    (Tutil.same_rows_ordered (Tutil.table_rows t) (Tutil.table_rows t2))
+
 let test_csv_errors () =
   let schema = Schema.create [ Schema.col "i" Value.Int_t ] in
   Alcotest.(check bool) "bad value" true
@@ -172,6 +192,44 @@ let test_csv_errors () =
        ignore (Csv.rows_of_string ~schema "i\n1,2\n");
        false
      with Failure _ -> true)
+
+let test_csv_error_context () =
+  (* Regression: CSV parse failures must say which source (file or
+     table), which data row, and which column went wrong. *)
+  let schema =
+    Schema.create [ Schema.col "i" Value.Int_t; Schema.col "s" Value.Str_t ]
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let check_msg what text fragments =
+    try
+      ignore (Csv.rows_of_string ~schema ~src:"emp.csv" text);
+      Alcotest.failf "%s: expected a parse failure" what
+    with Failure m ->
+      List.iter
+        (fun frag ->
+          if not (contains m frag) then
+            Alcotest.failf "%s: error %S lacks %S" what m frag)
+        fragments
+  in
+  check_msg "bad value" "i,s\n1,a\nnope,b\n"
+    [ "emp.csv"; "row 2"; "column i"; "nope"; "INT" ];
+  check_msg "bad arity" "i,s\n1\n" [ "emp.csv"; "row 1"; "1 fields, expected 2" ];
+  (* without a named source the row/column context must still be there *)
+  (try
+     ignore (Csv.rows_of_string ~schema "i,s\n1,a\nx,y\n");
+     Alcotest.fail "expected a parse failure"
+   with Failure m ->
+     if not (contains m "CSV row 2") then Alcotest.failf "error %S lacks row context" m);
+  (* headerless data counts rows from 1 too *)
+  (try
+     ignore (Csv.rows_of_string ~schema ~has_header:false "bad,b\n");
+     Alcotest.fail "expected a parse failure"
+   with Failure m ->
+     if not (contains m "row 1") then Alcotest.failf "error %S lacks row context" m)
 
 let indexed_table () =
   let schema = Schema.create [ Schema.col "k" Value.Int_t; Schema.col "v" Value.Str_t ] in
@@ -252,7 +310,9 @@ let () =
           Alcotest.test_case "quoting" `Quick test_csv_parse_quoting;
           Alcotest.test_case "trailing quoted empty" `Quick test_csv_trailing_quoted_empty;
           Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "null vs empty string" `Quick test_csv_null_vs_empty;
           Alcotest.test_case "errors" `Quick test_csv_errors;
+          Alcotest.test_case "error context" `Quick test_csv_error_context;
         ] );
       ( "index",
         [

@@ -1,0 +1,434 @@
+(* Units for the durability building blocks: CRC32, the fault-injectable
+   filesystem, WAL framing / group commit / replay, and the checksummed
+   snapshot + generation protocol.  Crash-matrix and fuzz tests over the
+   whole recovery path live in test_recovery.ml. *)
+
+module Sim_fs = Quill_storage.Sim_fs
+module Wal = Quill_storage.Wal
+module Snapshot = Quill_storage.Snapshot
+module Hashing = Quill_util.Hashing
+
+let tmppath () =
+  let p = Filename.temp_file "quill_wal" ".log" in
+  Sys.remove p;
+  p
+
+let tmpdir () =
+  let p = Filename.temp_file "quill_snap" "" in
+  Sys.remove p;
+  p
+
+let rec rmrf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rmrf (Filename.concat path f)) (Sys.readdir path);
+      try Unix.rmdir path with Unix.Unix_error _ -> ()
+    end
+    else Sys.remove path
+
+let read_raw path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_raw path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* An independent mirror of the on-disk frame encoding, so a format
+   drift in wal.ml fails these tests instead of round-tripping. *)
+let frame payload =
+  let b = Buffer.create 32 in
+  let u32 v =
+    Buffer.add_char b (Char.chr (v land 0xff));
+    Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+    Buffer.add_char b (Char.chr ((v lsr 16) land 0xff));
+    Buffer.add_char b (Char.chr ((v lsr 24) land 0xff))
+  in
+  u32 (String.length payload);
+  u32 (Hashing.crc32 payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let wal_header = "QWAL1\n"
+
+let check_replay msg ~stmts ~dropped ~torn (r : Wal.replay) =
+  Alcotest.(check (list string)) (msg ^ ": statements") stmts r.Wal.statements;
+  Alcotest.(check int) (msg ^ ": dropped") dropped r.Wal.dropped;
+  Alcotest.(check bool) (msg ^ ": torn") torn r.Wal.torn
+
+(* --- CRC32 -------------------------------------------------------------- *)
+
+let test_crc32 () =
+  (* The standard IEEE 802.3 check value. *)
+  Alcotest.(check int) "check vector" 0xcbf43926 (Hashing.crc32 "123456789");
+  Alcotest.(check int) "empty" 0 (Hashing.crc32 "");
+  (* Slicing matches taking a substring. *)
+  let s = "xx123456789yy" in
+  Alcotest.(check int) "slice" 0xcbf43926 (Hashing.crc32 ~pos:2 ~len:9 s);
+  (* Sensitive to every byte. *)
+  Alcotest.(check bool) "bit flip" false
+    (Hashing.crc32 "hello world" = Hashing.crc32 "hello worle")
+
+(* --- Sim_fs faults ------------------------------------------------------ *)
+
+let test_sim_fs_op_crash () =
+  Sim_fs.reset ();
+  let path = tmppath () in
+  Sim_fs.crash_after_ops 0;
+  Alcotest.(check bool) "next op crashes" true
+    (try
+       ignore (Sim_fs.create path);
+       false
+     with Sim_fs.Crash _ -> true);
+  Alcotest.(check bool) "machine stays down" true
+    (try
+       Sim_fs.remove path;
+       false
+     with Sim_fs.Crash _ -> true);
+  Alcotest.(check bool) "crashed flag" true (Sim_fs.crashed ());
+  Sim_fs.reset ();
+  let f = Sim_fs.create path in
+  Sim_fs.write f "ok";
+  Sim_fs.close f;
+  Alcotest.(check string) "works after reset" "ok" (read_raw path);
+  Alcotest.(check int) "bytes counted" 2 (Sim_fs.bytes_written ());
+  Sys.remove path
+
+let test_sim_fs_torn_write () =
+  Sim_fs.reset ();
+  let path = tmppath () in
+  let f = Sim_fs.create path in
+  Sim_fs.crash_after_bytes 4;
+  Alcotest.(check bool) "write crashes" true
+    (try
+       Sim_fs.write f "abcdefgh";
+       false
+     with Sim_fs.Crash _ -> true);
+  (* close is still allowed so finalizers never mask the crash *)
+  Sim_fs.close f;
+  Alcotest.(check string) "prefix persisted" "abcd" (read_raw path);
+  Sim_fs.reset ();
+  Sys.remove path
+
+let test_sim_fs_fsync_failure () =
+  Sim_fs.reset ();
+  let path = tmppath () in
+  let f = Sim_fs.create path in
+  Sim_fs.write f "x";
+  Sim_fs.fail_fsync true;
+  Alcotest.(check bool) "fsync fails" true
+    (try
+       Sim_fs.fsync f;
+       false
+     with Sim_fs.Io_error _ -> true);
+  Alcotest.(check bool) "machine stays up" false (Sim_fs.crashed ());
+  Sim_fs.fail_fsync false;
+  Sim_fs.fsync f;
+  Sim_fs.close f;
+  Sim_fs.reset ();
+  Sys.remove path
+
+(* --- WAL write path ----------------------------------------------------- *)
+
+let test_wal_roundtrip () =
+  Sim_fs.reset ();
+  let path = tmppath () in
+  let w = Wal.create path in
+  Wal.log_statement w "INSERT INTO t VALUES (1)";
+  Wal.commit w;
+  (* group commit: two statements, one marker *)
+  Wal.log_statement w "INSERT INTO t VALUES (2)";
+  Wal.log_statement w "INSERT INTO t VALUES (3)";
+  Wal.commit w;
+  Alcotest.(check int) "appended" 3 (Wal.appended w);
+  Wal.close w;
+  check_replay "roundtrip"
+    ~stmts:
+      [ "INSERT INTO t VALUES (1)"; "INSERT INTO t VALUES (2)";
+        "INSERT INTO t VALUES (3)" ]
+    ~dropped:0 ~torn:false (Wal.replay path);
+  (* the file matches the documented layout byte for byte *)
+  Alcotest.(check string) "layout"
+    (wal_header
+    ^ frame "SINSERT INTO t VALUES (1)"
+    ^ frame "C"
+    ^ frame "SINSERT INTO t VALUES (2)"
+    ^ frame "SINSERT INTO t VALUES (3)"
+    ^ frame "C")
+    (read_raw path);
+  Sys.remove path
+
+let test_wal_rollback_and_close_discard () =
+  Sim_fs.reset ();
+  let path = tmppath () in
+  let w = Wal.create path in
+  Wal.log_statement w "BAD";
+  Wal.rollback w;
+  Wal.log_statement w "GOOD";
+  Wal.commit w;
+  (* staged but uncommitted at close: never reaches the file *)
+  Wal.log_statement w "UNCOMMITTED";
+  Wal.close w;
+  check_replay "rollback" ~stmts:[ "GOOD" ] ~dropped:0 ~torn:false (Wal.replay path);
+  Sys.remove path
+
+let test_wal_empty_commit_is_noop () =
+  Sim_fs.reset ();
+  let path = tmppath () in
+  let w = Wal.create path in
+  Wal.commit w;
+  Wal.close w;
+  Alcotest.(check string) "header only" wal_header (read_raw path);
+  check_replay "empty" ~stmts:[] ~dropped:0 ~torn:false (Wal.replay path);
+  Sys.remove path
+
+let test_wal_sync_batching () =
+  (* Count fsyncs through the op counter: each single-statement commit is
+     one write, plus one fsync when the policy says so. *)
+  Sim_fs.reset ();
+  let path = tmppath () in
+  let commits w n =
+    let before = Sim_fs.ops_performed () in
+    for i = 1 to n do
+      Wal.log_statement w (Printf.sprintf "S%d" i);
+      Wal.commit w
+    done;
+    Sim_fs.ops_performed () - before
+  in
+  let w = Wal.create ~policy:Wal.Never path in
+  Alcotest.(check int) "never: 4 writes, 0 fsyncs" 4 (commits w 4);
+  Wal.set_policy w Wal.On_commit;
+  Alcotest.(check int) "commit: 4 writes, 4 fsyncs" 8 (commits w 4);
+  Wal.set_policy w (Wal.Every 2);
+  Alcotest.(check int) "every-2: 4 writes, 2 fsyncs" 6 (commits w 4);
+  Wal.close w;
+  Sys.remove path
+
+let test_wal_policy_parse () =
+  Alcotest.(check bool) "never" true (Wal.policy_of_string "never" = Some Wal.Never);
+  Alcotest.(check bool) "commit" true
+    (Wal.policy_of_string " Commit " = Some Wal.On_commit);
+  Alcotest.(check bool) "every 3" true
+    (Wal.policy_of_string "every 3" = Some (Wal.Every 3));
+  Alcotest.(check bool) "every 0" true (Wal.policy_of_string "every 0" = None);
+  Alcotest.(check bool) "garbage" true (Wal.policy_of_string "sometimes" = None);
+  Alcotest.(check string) "name" "every-3" (Wal.policy_name (Wal.Every 3))
+
+(* --- WAL replay on damaged files ---------------------------------------- *)
+
+let test_replay_missing_file () =
+  check_replay "missing" ~stmts:[] ~dropped:0 ~torn:false
+    (Wal.replay "/nonexistent/quill-wal")
+
+let test_replay_bad_header () =
+  let path = tmppath () in
+  write_raw path "NOT A WAL";
+  check_replay "bad header" ~stmts:[] ~dropped:0 ~torn:true (Wal.replay path);
+  Sys.remove path
+
+let test_replay_uncommitted_tail () =
+  (* A statement frame with no commit marker: appended but never
+     acknowledged, so replay must drop it (cleanly, not as torn). *)
+  let path = tmppath () in
+  write_raw path (wal_header ^ frame "Sone" ^ frame "C" ^ frame "Stwo");
+  check_replay "uncommitted tail" ~stmts:[ "one" ] ~dropped:1 ~torn:false
+    (Wal.replay path);
+  Sys.remove path
+
+let test_replay_torn_tail () =
+  (* A power cut mid-frame leaves trailing garbage; the committed prefix
+     before it must survive. *)
+  let path = tmppath () in
+  let whole = frame "Stwo" in
+  List.iter
+    (fun cut ->
+      write_raw path
+        (wal_header ^ frame "Sone" ^ frame "C" ^ String.sub whole 0 cut);
+      check_replay
+        (Printf.sprintf "torn at %d" cut)
+        ~stmts:[ "one" ] ~dropped:0 ~torn:true (Wal.replay path))
+    [ 1; 7; 9; String.length whole - 1 ];
+  Sys.remove path
+
+let test_replay_corrupt_record () =
+  (* Bit rot inside a committed record: replay stops at the damage and
+     keeps only the clean prefix. *)
+  let path = tmppath () in
+  let good = wal_header ^ frame "Sone" ^ frame "C" ^ frame "Stwo" ^ frame "C" in
+  let bad = Bytes.of_string good in
+  let flip = String.length wal_header + String.length (frame "Sone") + String.length (frame "C") + 9 in
+  Bytes.set bad flip (Char.chr (Char.code (Bytes.get bad flip) lxor 1));
+  write_raw path (Bytes.to_string bad);
+  let r = Wal.replay path in
+  check_replay "corrupt" ~stmts:[ "one" ] ~dropped:0 ~torn:true r;
+  Alcotest.(check bool) "detail names checksum" true
+    (match r.Wal.detail with
+    | Some d ->
+        let nh = String.length d and needle = "checksum" in
+        let nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub d i nn = needle || go (i + 1)) in
+        go 0
+    | None -> false);
+  Sys.remove path
+
+let test_torn_commit_write_drops_statement () =
+  (* The crash the group-commit protocol is designed for: power cut after
+     the statement frame but before the commit marker of the same write.
+     Recovery sees an uncommitted statement and drops it — the client was
+     never acknowledged. *)
+  Sim_fs.reset ();
+  let path = tmppath () in
+  let w = Wal.create path in
+  Wal.log_statement w "x";
+  (* the commit write is [frame "Sx"][frame "C"]; cut 3 bytes into the
+     commit marker's header *)
+  Sim_fs.crash_after_bytes (String.length (frame "Sx") + 3);
+  Alcotest.(check bool) "commit crashes" true
+    (try
+       Wal.commit w;
+       false
+     with Sim_fs.Crash _ -> true);
+  Wal.close w;
+  Sim_fs.reset ();
+  check_replay "torn commit" ~stmts:[] ~dropped:1 ~torn:true (Wal.replay path);
+  Sys.remove path
+
+(* --- Snapshots and generations ------------------------------------------ *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_snapshot_verify () =
+  Sim_fs.reset ();
+  let dir = tmpdir () in
+  Snapshot.write ~dir [ ("a.csv", "k,v\n1,one\n"); ("_manifest.sql", "CREATE TABLE t;\n") ];
+  Snapshot.verify ~dir;
+  Alcotest.(check string) "read back" "k,v\n1,one\n" (Snapshot.read_file ~dir "a.csv");
+  (* corruption: one flipped byte fails verification, naming the file *)
+  let path = Filename.concat dir "a.csv" in
+  let orig = read_raw path in
+  write_raw path (orig ^ "junk");
+  Alcotest.(check bool) "size mismatch detected" true
+    (try
+       Snapshot.verify ~dir;
+       false
+     with Snapshot.Invalid m -> contains m "a.csv");
+  let b = Bytes.of_string orig in
+  Bytes.set b 0 'X';
+  write_raw path (Bytes.to_string b);
+  Alcotest.(check bool) "checksum mismatch detected" true
+    (try
+       Snapshot.verify ~dir;
+       false
+     with Snapshot.Invalid m -> contains m "checksum mismatch");
+  Sys.remove path;
+  Alcotest.(check bool) "missing file detected" true
+    (try
+       Snapshot.verify ~dir;
+       false
+     with Snapshot.Invalid m -> contains m "a.csv");
+  rmrf dir
+
+let test_snapshot_missing_member () =
+  Sim_fs.reset ();
+  let dir = tmpdir () in
+  Snapshot.write ~dir [ ("a.csv", "x\n") ];
+  Alcotest.(check bool) "read_file missing" true
+    (try
+       ignore (Snapshot.read_file ~dir "b.csv");
+       false
+     with Snapshot.Invalid m -> contains m "b.csv");
+  rmrf dir
+
+let test_generations () =
+  Sim_fs.reset ();
+  let root = tmpdir () in
+  Sim_fs.mkdir root;
+  Alcotest.(check bool) "no CURRENT yet" true (Snapshot.current root = None);
+  Snapshot.set_current root 3;
+  Alcotest.(check bool) "current" true (Snapshot.current root = Some 3);
+  write_raw (Filename.concat root "CURRENT") "banana\n";
+  Alcotest.(check bool) "unreadable CURRENT" true
+    (try
+       ignore (Snapshot.current root);
+       false
+     with Snapshot.Invalid _ -> true);
+  Snapshot.set_current root 2;
+  (* generation listing sees snapshot dirs and WAL files, committed or
+     orphaned; prune keeps only the live one plus CURRENT *)
+  Sim_fs.mkdir (Snapshot.snap_dir root 1);
+  write_raw (Snapshot.wal_path root 1) "old";
+  Sim_fs.mkdir (Snapshot.snap_dir root 2);
+  write_raw (Snapshot.wal_path root 2) "live";
+  Sim_fs.mkdir (Snapshot.snap_dir root 9);
+  write_raw (Filename.concat root "snap-9.tmp") "leftover";
+  Alcotest.(check (list int)) "generations" [ 1; 2; 9 ] (Snapshot.generations root);
+  Snapshot.prune root ~keep:2;
+  Alcotest.(check (list int)) "pruned" [ 2 ] (Snapshot.generations root);
+  Alcotest.(check bool) "tmp leftovers gone" false
+    (Sys.file_exists (Filename.concat root "snap-9.tmp"));
+  Alcotest.(check bool) "live wal kept" true
+    (Sys.file_exists (Snapshot.wal_path root 2));
+  rmrf root
+
+let test_snapshot_write_is_atomic () =
+  (* A crash during [write] must never disturb the files already in
+     place from an earlier snapshot of the same directory. *)
+  Sim_fs.reset ();
+  let dir = tmpdir () in
+  Snapshot.write ~dir [ ("a.csv", "old\n") ];
+  let before = read_raw (Filename.concat dir "a.csv") in
+  Sim_fs.crash_after_ops 2;
+  (* dies inside the tmp-file write of the replacement *)
+  Alcotest.(check bool) "write crashes" true
+    (try
+       Snapshot.write ~dir [ ("a.csv", "newer contents\n") ];
+       false
+     with Sim_fs.Crash _ -> true);
+  Sim_fs.reset ();
+  Alcotest.(check string) "old file intact" before (read_raw (Filename.concat dir "a.csv"));
+  Snapshot.verify ~dir;
+  rmrf dir
+
+let () =
+  Alcotest.run "wal"
+    [
+      ("crc32", [ Alcotest.test_case "vectors" `Quick test_crc32 ]);
+      ( "sim_fs",
+        [
+          Alcotest.test_case "op crash" `Quick test_sim_fs_op_crash;
+          Alcotest.test_case "torn write" `Quick test_sim_fs_torn_write;
+          Alcotest.test_case "fsync failure" `Quick test_sim_fs_fsync_failure;
+        ] );
+      ( "wal",
+        [
+          Alcotest.test_case "roundtrip + layout" `Quick test_wal_roundtrip;
+          Alcotest.test_case "rollback/close discard" `Quick
+            test_wal_rollback_and_close_discard;
+          Alcotest.test_case "empty commit" `Quick test_wal_empty_commit_is_noop;
+          Alcotest.test_case "sync batching" `Quick test_wal_sync_batching;
+          Alcotest.test_case "policy parse" `Quick test_wal_policy_parse;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "missing file" `Quick test_replay_missing_file;
+          Alcotest.test_case "bad header" `Quick test_replay_bad_header;
+          Alcotest.test_case "uncommitted tail" `Quick test_replay_uncommitted_tail;
+          Alcotest.test_case "torn tail" `Quick test_replay_torn_tail;
+          Alcotest.test_case "corrupt record" `Quick test_replay_corrupt_record;
+          Alcotest.test_case "torn commit write" `Quick
+            test_torn_commit_write_drops_statement;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "verify" `Quick test_snapshot_verify;
+          Alcotest.test_case "missing member" `Quick test_snapshot_missing_member;
+          Alcotest.test_case "generations" `Quick test_generations;
+          Alcotest.test_case "atomic write" `Quick test_snapshot_write_is_atomic;
+        ] );
+    ]
