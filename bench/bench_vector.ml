@@ -70,7 +70,7 @@ let measure ?(reps = 3) ~rows db =
         Vector.enable_typed := flag;
         Fun.protect
           ~finally:(fun () -> Vector.enable_typed := prev)
-          (fun () -> Bech.median_time ~reps run)
+          (fun () -> Harness.median_time ~reps run)
       in
       let typed_s = timed true in
       let boxed_s = timed false in
@@ -82,7 +82,7 @@ let measure ?(reps = 3) ~rows db =
 let mrps v = Printf.sprintf "%.2f" (v /. 1e6)
 
 let print_table results =
-  Bech.table
+  Harness.table
     ~header:[ "benchmark"; "typed Mrows/s"; "boxed Mrows/s"; "speedup" ]
     (List.map
        (fun r ->

@@ -74,25 +74,25 @@ let recovery_latency ~n =
   (dt, report.Db.replayed)
 
 let run ~inserts ~recovery_stmts () =
-  Bech.section "E19: durability — group-commit overhead and recovery latency";
+  Harness.section "E19: durability — group-commit overhead and recovery latency";
   let modes =
     [ In_memory; Durable Db.Never; Durable (Db.Every 32); Durable Db.On_commit ]
   in
   let timed = List.map (fun m -> (m, time_inserts ~n:inserts m)) modes in
   let base = List.assoc In_memory timed in
-  Bech.table
+  Harness.table
     ~header:[ "mode"; Printf.sprintf "%d inserts" inserts; "us/insert"; "vs in-memory" ]
     (List.map
        (fun (m, dt) ->
-         [ mode_name m; Bech.ms dt;
+         [ mode_name m; Harness.ms dt;
            Printf.sprintf "%.1f" (dt /. float_of_int inserts *. 1e6);
            Printf.sprintf "%.2fx" (dt /. base) ])
        timed);
-  Bech.table
+  Harness.table
     ~header:[ "wal statements"; "recovery"; "us/statement" ]
     (List.map
        (fun n ->
          let dt, replayed = recovery_latency ~n in
-         [ string_of_int replayed; Bech.ms dt;
+         [ string_of_int replayed; Harness.ms dt;
            Printf.sprintf "%.1f" (dt /. float_of_int (max 1 replayed) *. 1e6) ])
        [ recovery_stmts; recovery_stmts * 4 ])

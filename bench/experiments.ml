@@ -57,7 +57,7 @@ let rec find_agg_algo = function
 (* ----------------------------------------------------------------- E1 *)
 
 let e1 () =
-  Bech.section
+  Harness.section
     "E1: expression evaluation tiers (interpreter vs closures vs bytecode VM)";
   let n = 4096 in
   let rng = Rng.create 7 in
@@ -100,23 +100,23 @@ let e1 () =
     !c
   in
   let results =
-    Bech.ns_per_run
+    Harness.ns_per_run
       [ ("interpreter", fun () -> count (fun row -> Bexpr.eval ~row ~params:[||] e));
         ("closures", fun () -> count (fun row -> closure [||] row));
         ("bytecode-vm", fun () -> count (fun row -> Quill_compile.Expr_vm.run vm ~params:[||] ~row)) ]
   in
   let base = snd (List.hd results) in
-  Bech.table ~header:[ "tier"; "ns/tuple"; "speedup vs interp" ]
+  Harness.table ~header:[ "tier"; "ns/tuple"; "speedup vs interp" ]
     (List.map
        (fun (name, ns) ->
          [ name; Printf.sprintf "%.1f" (ns /. Float.of_int n);
-           Bech.speedup base ns ])
+           Harness.speedup base ns ])
        results)
 
 (* ----------------------------------------------------------------- E2 *)
 
 let e2 () =
-  Bech.section "E2: engine architectures on TPC-H-like queries";
+  Harness.section "E2: engine architectures on TPC-H-like queries";
   let db = Lazy.force tpch_db in
   let engines =
     [ ("volcano", Quill.Db.Volcano); ("vectorized", Quill.Db.Vectorized);
@@ -127,14 +127,14 @@ let e2 () =
       (fun (qname, sql) ->
         let times =
           List.map
-            (fun (_, e) -> Bech.median_time (fun () -> Quill.Db.query db ~engine:e sql))
+            (fun (_, e) -> Harness.median_time (fun () -> Quill.Db.query db ~engine:e sql))
             engines
         in
         let base = List.hd times in
-        qname :: List.concat_map (fun t -> [ Bech.ms t; Bech.speedup base t ]) times)
+        qname :: List.concat_map (fun t -> [ Harness.ms t; Harness.speedup base t ]) times)
       Tpch.queries
   in
-  Bech.table
+  Harness.table
     ~header:
       [ "query"; "volcano ms"; "x"; "vectorized ms"; "x"; "compiled ms"; "x" ]
     rows
@@ -142,7 +142,7 @@ let e2 () =
 (* ----------------------------------------------------------------- E3 *)
 
 let e3 () =
-  Bech.section "E3: join algorithm crossover (fixed probe, varying build)";
+  Harness.section "E3: join algorithm crossover (fixed probe, varying build)";
   let probe_rows = 100_000 in
   let header =
     [ "build rows"; "hash ms"; "merge ms"; "blockNL ms"; "measured winner"; "picker choice" ]
@@ -157,16 +157,16 @@ let e3 () =
         let p = Array.of_list (Table.to_row_list probe) in
         let keys = [ (0, 0) ] in
         let hash_t =
-          Bech.median_time (fun () ->
+          Harness.median_time (fun () ->
               Join_algos.hash_join ~keys ~residual:None ~build_left:true b p)
         in
         let merge_t =
-          Bech.median_time (fun () -> Join_algos.merge_join ~keys ~residual:None b p)
+          Harness.median_time (fun () -> Join_algos.merge_join ~keys ~residual:None b p)
         in
         let nl_t =
           if build_rows <= 2000 then
             Some
-              (Bech.median_time (fun () ->
+              (Harness.median_time (fun () ->
                    Join_algos.block_nl_join
                      ~pred:
                        (Some
@@ -196,17 +196,17 @@ let e3 () =
           | Some (algo, _, _) -> Physical.join_algo_name algo
           | None -> "?"
         in
-        [ string_of_int build_rows; Bech.ms hash_t; Bech.ms merge_t;
-          (match nl_t with Some t -> Bech.ms t | None -> "-");
+        [ string_of_int build_rows; Harness.ms hash_t; Harness.ms merge_t;
+          (match nl_t with Some t -> Harness.ms t | None -> "-");
           winner; choice ])
       [ 100; 1_000; 10_000; 100_000 ]
   in
-  Bech.table ~header rows
+  Harness.table ~header rows
 
 (* ----------------------------------------------------------------- E4 *)
 
 let e4 () =
-  Bech.section "E4: feedback re-optimization under correlated predicates";
+  Harness.section "E4: feedback re-optimization under correlated predicates";
   let db = Quill.Db.create () in
   let cat = Quill.Db.catalog db in
   (* corr: a and b perfectly correlated; the independence assumption
@@ -279,7 +279,7 @@ let e4 () =
   in
   let adaptive_plan = Picker.optimize hinted_env lplan in
   let time_of plan =
-    Bech.median_time (fun () ->
+    Harness.median_time (fun () ->
         Quill_compile.Codegen.run (Quill_exec.Exec_ctx.create cat) plan)
   in
   let t_static = time_of static_plan and t_adaptive = time_of adaptive_plan in
@@ -288,12 +288,12 @@ let e4 () =
     let est = Profile.estimates plan in
     if Array.length est > 1 then est.(Array.length est - 1) else 0.0
   in
-  Bech.table
+  Harness.table
     ~header:[ "plan"; "filtered-rows estimate"; "hash build side"; "runtime ms"; "speedup" ]
     [ [ "static (independence)"; Printf.sprintf "%.0f" (filter_est static_plan); sb;
-        Bech.ms t_static; "1.00x" ];
+        Harness.ms t_static; "1.00x" ];
       [ "feedback re-optimized"; Printf.sprintf "%.0f" (filter_est adaptive_plan); ab;
-        Bech.ms t_adaptive; Bech.speedup t_static t_adaptive ] ];
+        Harness.ms t_adaptive; Harness.speedup t_static t_adaptive ] ];
   Printf.printf "(true filtered rows: %d; reoptimize trigger fired: %b)\n"
     (Table.row_count (Quill.Db.query db "SELECT a FROM corr WHERE a < 100 AND b < 100"))
     (Feedback.should_reoptimize static_plan profile)
@@ -301,7 +301,7 @@ let e4 () =
 (* ----------------------------------------------------------------- E5 *)
 
 let e5 () =
-  Bech.section "E5: tiered execution break-even (interpret vs compile vs tiered)";
+  Harness.section "E5: tiered execution break-even (interpret vs compile vs tiered)";
   let db = Lazy.force tpch_db in
   let cat = Quill.Db.catalog db in
   let sql =
@@ -331,17 +331,17 @@ let e5 () =
           if List.mem run checkpoints then
             cum := entry.Plan_cache.total_exec_time :: !cum
         done;
-        name :: List.rev_map Bech.ms !cum)
+        name :: List.rev_map Harness.ms !cum)
       policies
   in
-  Bech.table
+  Harness.table
     ~header:[ "policy"; "cum ms @1"; "@2"; "@3"; "@5"; "@10" ]
     rows
 
 (* ----------------------------------------------------------------- E6 *)
 
 let e6 () =
-  Bech.section "E6: data layout vs projectivity (row vs columnar scans)";
+  Harness.section "E6: data layout vs projectivity (row vs columnar scans)";
   let db = Quill.Db.create () in
   Catalog.add (Quill.Db.catalog db)
     (Micro_w.wide_table ~rows:300_000 ~cols:16 ~seed:5 ());
@@ -358,9 +358,9 @@ let e6 () =
       (fun p ->
         let sql = query p in
         Quill.Db.set_options db (force Physical.Row_layout);
-        let t_row = Bech.median_time (fun () -> Quill.Db.query db sql) in
+        let t_row = Harness.median_time (fun () -> Quill.Db.query db sql) in
         Quill.Db.set_options db (force Physical.Col_layout);
-        let t_col = Bech.median_time (fun () -> Quill.Db.query db sql) in
+        let t_col = Harness.median_time (fun () -> Quill.Db.query db sql) in
         Quill.Db.set_options db Picker.default_options;
         let plan = Quill.Db.plan db sql in
         let rec layout_of = function
@@ -369,18 +369,18 @@ let e6 () =
           | Physical.Aggregate { input; _ } -> layout_of input
           | _ -> "?"
         in
-        [ string_of_int p; Bech.ms t_row; Bech.ms t_col;
+        [ string_of_int p; Harness.ms t_row; Harness.ms t_col;
           Printf.sprintf "%.2fx" (t_row /. t_col); layout_of plan ])
       [ 1; 2; 4; 8; 16 ]
   in
-  Bech.table
+  Harness.table
     ~header:[ "columns read"; "row ms"; "columnar ms"; "col speedup"; "picker layout" ]
     rows
 
 (* ----------------------------------------------------------------- E7 *)
 
 let e7 () =
-  Bech.section "E7: sort algorithm library across key distributions";
+  Harness.section "E7: sort algorithm library across key distributions";
   let n = 1_000_000 in
   let dists =
     [ ("uniform ints", `Uniform); ("nearly-sorted ints", `Clustered);
@@ -391,13 +391,13 @@ let e7 () =
       (fun (name, dist) ->
         let keys = Micro_w.sort_keys ~n ~dist ~seed:3 () in
         let t_quick =
-          Bech.median_time (fun () -> Sort_algos.quicksort compare (Array.copy keys))
+          Harness.median_time (fun () -> Sort_algos.quicksort compare (Array.copy keys))
         in
         let t_merge =
-          Bech.median_time (fun () -> Sort_algos.mergesort compare (Array.copy keys))
+          Harness.median_time (fun () -> Sort_algos.mergesort compare (Array.copy keys))
         in
         let t_radix =
-          Bech.median_time (fun () -> Sort_algos.radix_sort_ints (Array.copy keys))
+          Harness.median_time (fun () -> Sort_algos.radix_sort_ints (Array.copy keys))
         in
         let winner =
           fst
@@ -410,29 +410,29 @@ let e7 () =
           Sort_algos.choice_name
             (Sort_algos.pick ~n ~int_keys:true ~need_stable:false)
         in
-        [ name; Bech.ms t_quick; Bech.ms t_merge; Bech.ms t_radix; winner; pick ])
+        [ name; Harness.ms t_quick; Harness.ms t_merge; Harness.ms t_radix; winner; pick ])
       dists
   in
   let strings = Micro_w.string_keys ~n:200_000 ~seed:4 () in
   let t_quick =
-    Bech.median_time (fun () -> Sort_algos.quicksort compare (Array.copy strings))
+    Harness.median_time (fun () -> Sort_algos.quicksort compare (Array.copy strings))
   in
   let t_merge =
-    Bech.median_time (fun () -> Sort_algos.mergesort compare (Array.copy strings))
+    Harness.median_time (fun () -> Sort_algos.mergesort compare (Array.copy strings))
   in
   let srow =
-    [ "strings (200k)"; Bech.ms t_quick; Bech.ms t_merge; "-";
+    [ "strings (200k)"; Harness.ms t_quick; Harness.ms t_merge; "-";
       (if t_quick < t_merge then "quick" else "merge");
       Sort_algos.choice_name (Sort_algos.pick ~n:200_000 ~int_keys:false ~need_stable:false) ]
   in
-  Bech.table
+  Harness.table
     ~header:[ "distribution"; "quick ms"; "merge ms"; "radix ms"; "winner"; "picker" ]
     (rows @ [ srow ])
 
 (* ----------------------------------------------------------------- E8 *)
 
 let e8 () =
-  Bech.section "E8: aggregation algorithm crossover (group count sweep)";
+  Harness.section "E8: aggregation algorithm crossover (group count sweep)";
   let rows_n = 500_000 in
   let force alg = { Picker.default_options with Picker.force_agg = Some alg } in
   let rows =
@@ -444,27 +444,27 @@ let e8 () =
         Quill.Db.analyze db "grouped";
         let sql = "SELECT g, count(*), sum(v) FROM grouped GROUP BY g" in
         Quill.Db.set_options db (force Physical.Hash_agg);
-        let t_hash = Bech.median_time (fun () -> Quill.Db.query db sql) in
+        let t_hash = Harness.median_time (fun () -> Quill.Db.query db sql) in
         Quill.Db.set_options db (force Physical.Sort_agg);
-        let t_sort = Bech.median_time (fun () -> Quill.Db.query db sql) in
+        let t_sort = Harness.median_time (fun () -> Quill.Db.query db sql) in
         Quill.Db.set_options db Picker.default_options;
         let choice =
           match find_agg_algo (Quill.Db.plan db sql) with
           | Some algo -> Physical.agg_algo_name algo
           | None -> "?"
         in
-        [ string_of_int groups; Bech.ms t_hash; Bech.ms t_sort;
+        [ string_of_int groups; Harness.ms t_hash; Harness.ms t_sort;
           (if t_hash <= t_sort then "hash" else "sort"); choice ])
       [ 10; 1_000; 100_000; 500_000 ]
   in
-  Bech.table
+  Harness.table
     ~header:[ "groups"; "hash ms"; "sort ms"; "winner"; "picker choice" ]
     rows
 
 (* ----------------------------------------------------------------- E9 *)
 
 let e9 () =
-  Bech.section "E9: selection pipeline cost vs selectivity, per engine";
+  Harness.section "E9: selection pipeline cost vs selectivity, per engine";
   let db = Lazy.force tpch_db in
   let rows =
     List.map
@@ -473,20 +473,20 @@ let e9 () =
           Printf.sprintf
             "SELECT sum(l_extendedprice) FROM lineitem WHERE l_quantity < %.1f" threshold
         in
-        let t e = Bech.median_time (fun () -> Quill.Db.query db ~engine:e sql) in
+        let t e = Harness.median_time (fun () -> Quill.Db.query db ~engine:e sql) in
         let tv = t Quill.Db.Volcano and tx = t Quill.Db.Vectorized and tc = t Quill.Db.Compiled in
-        [ sel_label; Bech.ms tv; Bech.ms tx; Bech.ms tc;
-          Bech.speedup tv tc ])
+        [ sel_label; Harness.ms tv; Harness.ms tx; Harness.ms tc;
+          Harness.speedup tv tc ])
       [ ("~2%", 2.0); ("~25%", 13.0); ("~50%", 25.0); ("~75%", 38.0); ("~100%", 51.0) ]
   in
-  Bech.table
+  Harness.table
     ~header:[ "selectivity"; "volcano ms"; "vectorized ms"; "compiled ms"; "compiled speedup" ]
     rows
 
 (* ---------------------------------------------------------------- E10 *)
 
 let e10 () =
-  Bech.section "E10: user-defined functions in the declarative pipeline";
+  Harness.section "E10: user-defined functions in the declarative pipeline";
   let db = Quill.Db.create () in
   let cat = Quill.Db.catalog db in
   let schema = Schema.create [ Schema.col ~nullable:false "x" Value.Float_t ] in
@@ -502,23 +502,23 @@ let e10 () =
     | [| Value.Null |] -> Value.Null
     | _ -> invalid_arg "sigmoid");
   let sql = "SELECT count(*) FROM pts WHERE sigmoid(x) > 0.75" in
-  let t_volcano = Bech.median_time (fun () -> Quill.Db.query db ~engine:Quill.Db.Volcano sql) in
-  let t_vector = Bech.median_time (fun () -> Quill.Db.query db ~engine:Quill.Db.Vectorized sql) in
-  let t_compiled = Bech.median_time (fun () -> Quill.Db.query db ~engine:Quill.Db.Compiled sql) in
+  let t_volcano = Harness.median_time (fun () -> Quill.Db.query db ~engine:Quill.Db.Volcano sql) in
+  let t_vector = Harness.median_time (fun () -> Quill.Db.query db ~engine:Quill.Db.Vectorized sql) in
+  let t_compiled = Harness.median_time (fun () -> Quill.Db.query db ~engine:Quill.Db.Compiled sql) in
   (* Equivalent built-in expression as the fusion reference point. *)
   let builtin_sql = "SELECT count(*) FROM pts WHERE x > 1.0986" in
-  let t_builtin = Bech.median_time (fun () -> Quill.Db.query db ~engine:Quill.Db.Compiled builtin_sql) in
-  Bech.table
+  let t_builtin = Harness.median_time (fun () -> Quill.Db.query db ~engine:Quill.Db.Compiled builtin_sql) in
+  Harness.table
     ~header:[ "mode"; "ms"; "speedup vs volcano" ]
-    [ [ "volcano + UDF"; Bech.ms t_volcano; "1.00x" ];
-      [ "vectorized + UDF"; Bech.ms t_vector; Bech.speedup t_volcano t_vector ];
-      [ "compiled + fused UDF"; Bech.ms t_compiled; Bech.speedup t_volcano t_compiled ];
-      [ "compiled, built-in predicate"; Bech.ms t_builtin; Bech.speedup t_volcano t_builtin ] ]
+    [ [ "volcano + UDF"; Harness.ms t_volcano; "1.00x" ];
+      [ "vectorized + UDF"; Harness.ms t_vector; Harness.speedup t_volcano t_vector ];
+      [ "compiled + fused UDF"; Harness.ms t_compiled; Harness.speedup t_volcano t_compiled ];
+      [ "compiled, built-in predicate"; Harness.ms t_builtin; Harness.speedup t_volcano t_builtin ] ]
 
 (* ---------------------------------------------------------------- E11 *)
 
 let e11 () =
-  Bech.section "E11: micro-adaptive expression tier selection";
+  Harness.section "E11: micro-adaptive expression tier selection";
   let rng = Rng.create 5 in
   let mk_batch () =
     Array.init 1024 (fun _ ->
@@ -548,7 +548,7 @@ let e11 () =
   (* Fixed tiers write results into an output vector exactly like the
      adaptive evaluator does, so the comparison is apples-to-apples. *)
   let run_fixed f =
-    Bech.median_time ~reps:3 (fun () ->
+    Harness.median_time ~reps:3 (fun () ->
         Array.iter
           (fun batch ->
             let out = Array.make (Array.length batch) Value.Null in
@@ -559,25 +559,25 @@ let e11 () =
   let t_closure = run_fixed (fun row -> closure [||] row) in
   let t_vm = run_fixed (fun row -> Quill_compile.Expr_vm.run vm ~params:[||] ~row) in
   let t_adaptive =
-    Bech.median_time ~reps:3 (fun () ->
+    Harness.median_time ~reps:3 (fun () ->
         let m = Quill_adaptive.Micro.create ~explore_batches:2 ~reexplore_every:64 e in
         Array.iter (fun batch -> ignore (Quill_adaptive.Micro.eval_batch m ~params:[||] batch)) batches)
   in
   let m = Quill_adaptive.Micro.create e in
   Array.iter (fun b -> ignore (Quill_adaptive.Micro.eval_batch m ~params:[||] b)) batches;
-  Bech.table
+  Harness.table
     ~header:[ "evaluator"; "ms (300 x 1024 rows)"; "vs interp" ]
-    [ [ "fixed: interpreter"; Bech.ms t_interp; "1.00x" ];
-      [ "fixed: bytecode VM"; Bech.ms t_vm; Bech.speedup t_interp t_vm ];
-      [ "fixed: closures"; Bech.ms t_closure; Bech.speedup t_interp t_closure ];
-      [ "micro-adaptive"; Bech.ms t_adaptive; Bech.speedup t_interp t_adaptive ] ];
+    [ [ "fixed: interpreter"; Harness.ms t_interp; "1.00x" ];
+      [ "fixed: bytecode VM"; Harness.ms t_vm; Harness.speedup t_interp t_vm ];
+      [ "fixed: closures"; Harness.ms t_closure; Harness.speedup t_interp t_closure ];
+      [ "micro-adaptive"; Harness.ms t_adaptive; Harness.speedup t_interp t_adaptive ] ];
   Printf.printf "(adaptive settled on tier: %s)\n"
     (Quill_adaptive.Micro.tier_name (Quill_adaptive.Micro.current_tier m))
 
 (* ---------------------------------------------------------------- E12 *)
 
 let e12 () =
-  Bech.section "E12: join ordering (DP vs syntactic orders on star queries)";
+  Harness.section "E12: join ordering (DP vs syntactic orders on star queries)";
   let rows =
     List.map
       (fun ndims ->
@@ -614,23 +614,23 @@ let e12 () =
            reasonable time and report "-" beyond. *)
         let t_bad =
           if ndims <= 3 then
-            Some (Bech.median_time ~reps:1 (fun () -> Quill.Db.query db dims_first))
+            Some (Harness.median_time ~reps:1 (fun () -> Quill.Db.query db dims_first))
           else None
         in
-        let t_syntactic = Bech.median_time ~reps:1 (fun () -> Quill.Db.query db fact_first) in
+        let t_syntactic = Harness.median_time ~reps:1 (fun () -> Quill.Db.query db fact_first) in
         Quill.Db.set_options db Picker.default_options;
         let opt_time = ref 0.0 in
         let _, dt = Quill_util.Timer.time (fun () -> Quill.Db.plan db dims_first) in
         opt_time := dt;
-        let t_dp = Bech.median_time ~reps:1 (fun () -> Quill.Db.query db dims_first) in
+        let t_dp = Harness.median_time ~reps:1 (fun () -> Quill.Db.query db dims_first) in
         [ string_of_int ndims;
-          (match t_bad with Some t -> Bech.ms t | None -> "-");
-          Bech.ms t_syntactic; Bech.ms t_dp;
-          (match t_bad with Some t -> Bech.speedup t t_dp | None -> "-");
+          (match t_bad with Some t -> Harness.ms t | None -> "-");
+          Harness.ms t_syntactic; Harness.ms t_dp;
+          (match t_bad with Some t -> Harness.speedup t t_dp | None -> "-");
           Printf.sprintf "%.2f" (!opt_time *. 1e3) ])
       [ 3; 4; 5 ]
   in
-  Bech.table
+  Harness.table
     ~header:
       [ "#dims"; "worst order ms"; "fact-first ms"; "DP-ordered ms"; "DP speedup";
         "optimize ms" ]
@@ -639,7 +639,7 @@ let e12 () =
 (* ---------------------------------------------------------------- E13 *)
 
 let e13 () =
-  Bech.section "E13: morsel-driven parallel scaling (TPC-H Q1/Q6 analogs)";
+  Harness.section "E13: morsel-driven parallel scaling (TPC-H Q1/Q6 analogs)";
   let db = Quill.Db.create () in
   Printf.printf "(loading TPC-H-like data at SF 0.05 ...)\n%!";
   Tpch.load (Quill.Db.catalog db) ~sf:0.05 ~seed:42;
@@ -648,7 +648,7 @@ let e13 () =
   let time ~domains sql =
     Quill.Db.set_parallelism db domains;
     let t =
-      Bech.median_time (fun () -> Quill.Db.query db ~engine:Quill.Db.Compiled sql)
+      Harness.median_time (fun () -> Quill.Db.query db ~engine:Quill.Db.Compiled sql)
     in
     Quill.Db.set_parallelism db 1;
     t
@@ -665,11 +665,11 @@ let e13 () =
         List.map
           (fun d ->
             let t = if d = 1 then base else time ~domains:d sql in
-            [ string_of_int d; Bech.ms t; Bech.speedup base t ])
+            [ string_of_int d; Harness.ms t; Harness.speedup base t ])
           sweep
       in
       Printf.printf "%s scaling:\n" name;
-      Bech.table ~header:[ "domains"; "ms"; "speedup" ] rows)
+      Harness.table ~header:[ "domains"; "ms"; "speedup" ] rows)
     [ ("Q1", Tpch.q1); ("Q6", Tpch.q6) ];
   (* Morsel-size sweep: too small and atomic dispatch dominates, too large
      and skewed predicates strand workers on the last morsels. *)
@@ -681,17 +681,17 @@ let e13 () =
           Quill_parallel.Morsel.with_size msize (fun () ->
               time ~domains:msweep_domains Tpch.q6)
         in
-        [ string_of_int msize; Bech.ms t ])
+        [ string_of_int msize; Harness.ms t ])
       [ 1_024; 4_096; 16_384; 65_536 ]
   in
   Printf.printf "Q6 morsel-size sweep at %d domains:\n" msweep_domains;
-  Bech.table ~header:[ "morsel rows"; "ms" ] rows;
+  Harness.table ~header:[ "morsel rows"; "ms" ] rows;
   Printf.printf "(machine reports %d recommended domains)\n" avail
 
 (* ---------------------------------------------------------------- E17 *)
 
 let e17 () =
-  Bech.section "E17: access path selection (index scan vs full scan)";
+  Harness.section "E17: access path selection (index scan vs full scan)";
   let rows_n = 1_000_000 in
   let db = Quill.Db.create () in
   Catalog.add (Quill.Db.catalog db)
@@ -714,29 +714,29 @@ let e17 () =
           Printf.sprintf "SELECT sum(c1) FROM t WHERE c0 >= 500 AND c0 < %d" (500 + width)
         in
         Quill.Db.set_options db no_index;
-        let t_scan = Bech.median_time (fun () -> Quill.Db.query db sql) in
+        let t_scan = Harness.median_time (fun () -> Quill.Db.query db sql) in
         Quill.Db.set_options db Picker.default_options;
-        let t_auto = Bech.median_time (fun () -> Quill.Db.query db sql) in
+        let t_auto = Harness.median_time (fun () -> Quill.Db.query db sql) in
         let choice = if uses_index (Quill.Db.plan db sql) then "index" else "scan" in
-        [ label; Bech.ms t_scan; Bech.ms t_auto;
+        [ label; Harness.ms t_scan; Harness.ms t_auto;
           Printf.sprintf "%.1fx" (t_scan /. t_auto); choice ])
       [ ("0.001%", 10); ("0.1%", 1_000); ("1%", 10_000); ("10%", 100_000);
         ("50%", 500_000) ]
   in
-  Bech.table
+  Harness.table
     ~header:[ "selectivity"; "full scan ms"; "picker ms"; "speedup"; "picker choice" ]
     rows
 
 (* ---------------------------------------------------------------- E14 *)
 
 let e14 () =
-  Bech.section "E14: compiled-engine fusion ablation (TPC-H Q6 analog)";
+  Harness.section "E14: compiled-engine fusion ablation (TPC-H Q6 analog)";
   let db = Lazy.force tpch_db in
   let run () = Quill.Db.query db ~engine:Quill.Db.Compiled Tpch.q6 in
   let measure ~agg_fusion ~col_pred =
     Quill_compile.Codegen.enable_scan_agg_fusion := agg_fusion;
     Quill_compile.Codegen.enable_col_pred := col_pred;
-    let t = Bech.median_time run in
+    let t = Harness.median_time run in
     Quill_compile.Codegen.enable_scan_agg_fusion := true;
     Quill_compile.Codegen.enable_col_pred := true;
     t
@@ -744,20 +744,20 @@ let e14 () =
   let full = measure ~agg_fusion:true ~col_pred:true in
   let no_agg = measure ~agg_fusion:false ~col_pred:true in
   let no_pred = measure ~agg_fusion:false ~col_pred:false in
-  let volcano = Bech.median_time (fun () -> Quill.Db.query db ~engine:Quill.Db.Volcano Tpch.q6) in
-  Bech.table
+  let volcano = Harness.median_time (fun () -> Quill.Db.query db ~engine:Quill.Db.Volcano Tpch.q6) in
+  Harness.table
     ~header:[ "configuration"; "ms"; "slowdown vs full fusion" ]
-    [ [ "full fusion (scan-agg + unboxed preds)"; Bech.ms full; "1.00x" ];
-      [ "closures only (no scan-agg fusion)"; Bech.ms no_agg;
+    [ [ "full fusion (scan-agg + unboxed preds)"; Harness.ms full; "1.00x" ];
+      [ "closures only (no scan-agg fusion)"; Harness.ms no_agg;
         Printf.sprintf "%.1fx" (no_agg /. full) ];
-      [ "no unboxed predicates either"; Bech.ms no_pred;
+      [ "no unboxed predicates either"; Harness.ms no_pred;
         Printf.sprintf "%.1fx" (no_pred /. full) ];
-      [ "volcano (reference)"; Bech.ms volcano; Printf.sprintf "%.1fx" (volcano /. full) ] ]
+      [ "volcano (reference)"; Harness.ms volcano; Printf.sprintf "%.1fx" (volcano /. full) ] ]
 
 (* ---------------------------------------------------------------- E15 *)
 
 let e15 () =
-  Bech.section "E15: multicore scaling of the fused scan->aggregate loop";
+  Harness.section "E15: multicore scaling of the fused scan->aggregate loop";
   let db = Quill.Db.create () in
   Catalog.add (Quill.Db.catalog db)
     (Micro_w.ints_table ~name:"big" ~rows:4_000_000 ~cols:3 ~seed:2 ());
@@ -774,21 +774,21 @@ let e15 () =
         if d > max 2 avail then None
         else begin
           Quill.Db.set_parallelism db d;
-          let t = Bech.median_time run in
+          let t = Harness.median_time run in
           Quill.Db.set_parallelism db 1;
           if d = 1 then base := t;
           Some
-            [ string_of_int d; Bech.ms t; Printf.sprintf "%.2fx" (!base /. t) ]
+            [ string_of_int d; Harness.ms t; Printf.sprintf "%.2fx" (!base /. t) ]
         end)
       [ 1; 2; 4; 8 ]
   in
-  Bech.table ~header:[ "domains"; "ms"; "speedup" ] rows;
+  Harness.table ~header:[ "domains"; "ms"; "speedup" ] rows;
   Printf.printf "(machine reports %d recommended domains)\n" avail
 
 (* ---------------------------------------------------------------- E16 *)
 
 let e16 () =
-  Bech.section "E16: dictionary encoding for low-cardinality strings";
+  Harness.section "E16: dictionary encoding for low-cardinality strings";
   let rows_n = 1_000_000 in
   let tags =
     [| "PROMO BURNISHED COPPER"; "STANDARD ANODIZED TIN"; "SMALL PLATED COPPER";
@@ -821,18 +821,18 @@ let e16 () =
   Quill_storage.Column.enable_dict := false;
   let plain_db = build_db () in
   let plain =
-    List.map (fun (_, q) -> Bech.median_time (fun () -> Quill.Db.query plain_db q)) queries
+    List.map (fun (_, q) -> Harness.median_time (fun () -> Quill.Db.query plain_db q)) queries
   in
   Quill_storage.Column.enable_dict := true;
   let dict_db = build_db () in
   let dict =
-    List.map (fun (_, q) -> Bech.median_time (fun () -> Quill.Db.query dict_db q)) queries
+    List.map (fun (_, q) -> Harness.median_time (fun () -> Quill.Db.query dict_db q)) queries
   in
-  Bech.table
+  Harness.table
     ~header:[ "predicate"; "plain strings ms"; "dictionary ms"; "speedup" ]
     (List.map2
        (fun ((label, _), p) d ->
-         [ label; Bech.ms p; Bech.ms d; Printf.sprintf "%.1fx" (p /. d) ])
+         [ label; Harness.ms p; Harness.ms d; Printf.sprintf "%.1fx" (p /. d) ])
        (List.combine queries plain)
        dict)
 
@@ -846,7 +846,7 @@ let e16 () =
    and measures the disabled-tracer overhead (the E13 "no measurable
    cost when off" bar) without loading any large dataset. *)
 let smoke () =
-  Bech.section "SMOKE: observability end-to-end";
+  Harness.section "SMOKE: observability end-to-end";
   let db = Quill.Db.create () in
   Catalog.add (Quill.Db.catalog db)
     (Micro_w.grouped_table ~rows:10_000 ~groups:64 ~seed:11 ());
@@ -870,11 +870,11 @@ let smoke () =
   let acc = ref 0 in
   let work () = acc := Sys.opaque_identity (!acc + 1) in
   let timings =
-    Bech.ns_per_run ~quota:0.25
+    Harness.ns_per_run ~quota:0.25
       [ ("bare", work);
         ("with_span off", fun () -> Quill_obs.Trace.with_span "x" work) ]
   in
-  Bech.table ~header:[ "kernel"; "ns/op" ]
+  Harness.table ~header:[ "kernel"; "ns/op" ]
     (List.map (fun (n, t) -> [ n; Printf.sprintf "%.2f" t ]) timings);
   Quill.Db.clear_trace ()
 
@@ -887,7 +887,7 @@ let smoke () =
    Rides with `dune runtest` so resource governance cannot rot between
    full benchmark runs. *)
 let gov () =
-  Bech.section "GOV: resource governor abort latency";
+  Harness.section "GOV: resource governor abort latency";
   let db = Quill.Db.create () in
   let mk name col =
     let t =
@@ -914,8 +914,8 @@ let gov () =
     if elapsed > 1.0 then
       failwith (Printf.sprintf "GOV: abort took %.2fs (bound: 1s)" elapsed);
     let overrun = Float.max 0.0 (elapsed -. (Float.of_int timeout_ms /. 1000.0)) in
-    [ Quill.Db.engine_name engine; string_of_int par; Bech.ms elapsed;
-      Bech.ms overrun ]
+    [ Quill.Db.engine_name engine; string_of_int par; Harness.ms elapsed;
+      Harness.ms overrun ]
   in
   let rows =
     List.concat_map
@@ -923,7 +923,7 @@ let gov () =
       [ Quill.Db.Volcano; Quill.Db.Vectorized; Quill.Db.Compiled ]
   in
   Quill.Db.set_parallelism db 1;
-  Bech.table ~header:[ "engine"; "parallelism"; "total ms"; "overrun ms" ] rows;
+  Harness.table ~header:[ "engine"; "parallelism"; "total ms"; "overrun ms" ] rows;
   (* A 1MB budget must kill the 60k-group hash aggregation early... *)
   (try
      ignore
@@ -945,7 +945,7 @@ let gov () =
    rewrites the committed bench/BENCH_vector.json baseline consumed by
    check_bench.exe in `dune runtest`. *)
 let e18 () =
-  Bech.section "E18: typed batches vs boxed batches (vectorized engine)";
+  Harness.section "E18: typed batches vs boxed batches (vectorized engine)";
   let rows = 1_000_000 in
   Printf.printf "(building %d-row microbench table ...)\n%!" rows;
   let db = Bench_vector.build_db ~rows in
@@ -966,8 +966,14 @@ let e18 () =
    smoke-scale sizes so the durable write path cannot rot. *)
 let e19 () = Bench_wal.run ~inserts:400 ~recovery_stmts:500 ()
 
+(* ---------------------------------------------------------------- E20 *)
+
+(* MVCC concurrency: aggregate snapshot-read throughput with and without
+   a churning writer, with a torn-read invariant check (bench_txn.ml). *)
+let e20 () = Bench_txn.run ~readers:4 ~reads:150 ()
+
 let all =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
     ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
-    ("E18", e18); ("E19", e19); ("SMOKE", smoke); ("GOV", gov) ]
+    ("E18", e18); ("E19", e19); ("E20", e20); ("SMOKE", smoke); ("GOV", gov) ]

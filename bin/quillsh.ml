@@ -195,10 +195,13 @@ let ends_statement buf =
   (not !in_str) && String.length s > 0 && s.[String.length s - 1] = ';'
 
 let repl s =
+  let tty = Unix.isatty Unix.stdin in
   let buf = Buffer.create 256 in
   let rec loop () =
-    print_string (if Buffer.length buf = 0 then "quill> " else "   ... ");
-    flush stdout;
+    if tty then begin
+      print_string (if Buffer.length buf = 0 then "quill> " else "   ... ");
+      flush stdout
+    end;
     match input_line stdin with
     | exception End_of_file -> ()
     | line ->
@@ -239,29 +242,247 @@ let run_file s path =
     (fun sql -> if String.trim sql <> "" then run_sql s sql)
     (List.rev !stmts)
 
-open Cmdliner
+(* --- command line ------------------------------------------------------- *)
 
-let engine_arg =
-  let doc = "Default execution engine: volcano, vectorized or compiled." in
-  Arg.(value & opt string "compiled" & info [ "engine" ] ~doc)
+let usage_text =
+  "usage: quillsh [OPTIONS]\n\n\
+   An interactive SQL shell over the Quill query engine.\n\n\
+   Options:\n\
+  \  --engine NAME        default execution engine: volcano, vectorized or\n\
+  \                       compiled (default: compiled)\n\
+  \  --init FILE          run the SQL statements in FILE before the shell\n\
+  \  --data-dir DIR       open (or create) a crash-safe durable database at\n\
+  \                       DIR instead of an in-memory one\n\
+  \  --serve              run a TCP server instead of the local shell\n\
+  \  --host HOST          bind/connect address (default: 127.0.0.1)\n\
+  \  --port PORT          TCP port for --serve (default: 7878)\n\
+  \  --connect HOST:PORT  connect to a running quillsh --serve as a client\n\
+  \  --help               show this message\n"
 
-let init_arg =
-  let doc = "Run the SQL statements in $(docv) before starting the shell." in
-  Arg.(value & opt (some file) None & info [ "init" ] ~docv:"FILE" ~doc)
+(* Argument errors print usage on stderr and exit 2; --help prints it on
+   stdout and exits 0. *)
+let usage_error fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "quillsh: %s\n%s" msg usage_text;
+      exit 2)
+    fmt
 
-let main engine init =
-  let db = Db.create () in
-  (match String.lowercase_ascii engine with
-  | "volcano" -> Db.set_engine db Db.Volcano
-  | "vectorized" | "vector" -> Db.set_engine db Db.Vectorized
-  | _ -> Db.set_engine db Db.Compiled);
-  let s = { db; timing = false } in
-  Option.iter (run_file s) init;
-  print_endline "Quill SQL shell — \\q to quit, \\d to list tables, \\tpch 0.01 for sample data";
-  repl s
+type mode = Local | Serve | Connect of string * int
 
-let cmd =
-  let doc = "Interactive SQL shell over the Quill query engine" in
-  Cmd.v (Cmd.info "quillsh" ~doc) Term.(const main $ engine_arg $ init_arg)
+type opts = {
+  mutable mode : mode;
+  mutable engine : Db.engine;
+  mutable init : string option;
+  mutable data_dir : string option;
+  mutable host : string;
+  mutable port : int;
+}
 
-let () = exit (Cmd.eval cmd)
+let parse_engine v =
+  match String.lowercase_ascii v with
+  | "volcano" -> Db.Volcano
+  | "vectorized" | "vector" -> Db.Vectorized
+  | "compiled" -> Db.Compiled
+  | other -> usage_error "unknown engine %S (want volcano, vectorized or compiled)" other
+
+let parse_port v =
+  match int_of_string_opt v with
+  | Some p when p >= 0 && p <= 65535 -> p
+  | _ -> usage_error "invalid port %S" v
+
+(* HOST:PORT with a required port; a bare HOST defaults to 7878. *)
+let parse_endpoint v =
+  match String.rindex_opt v ':' with
+  | None -> if v = "" then usage_error "empty --connect endpoint" else (v, 7878)
+  | Some i ->
+      let host = String.sub v 0 i in
+      let port = parse_port (String.sub v (i + 1) (String.length v - i - 1)) in
+      if host = "" then usage_error "empty host in --connect %S" v;
+      (host, port)
+
+let parse_args argv =
+  let o =
+    { mode = Local; engine = Db.Compiled; init = None; data_dir = None;
+      host = "127.0.0.1"; port = 7878 }
+  in
+  let n = Array.length argv in
+  let value flag i =
+    if i + 1 >= n then usage_error "%s requires a value" flag else argv.(i + 1)
+  in
+  let rec go i =
+    if i < n then
+      match argv.(i) with
+      | "--" -> go (i + 1)
+      | "--help" | "-h" ->
+          print_string usage_text;
+          exit 0
+      | "--engine" ->
+          o.engine <- parse_engine (value "--engine" i);
+          go (i + 2)
+      | "--init" ->
+          let f = value "--init" i in
+          if not (Sys.file_exists f) then usage_error "--init: no such file %S" f;
+          o.init <- Some f;
+          go (i + 2)
+      | "--data-dir" ->
+          let d = value "--data-dir" i in
+          if d = "" then usage_error "--data-dir requires a non-empty path";
+          o.data_dir <- Some d;
+          go (i + 2)
+      | "--serve" ->
+          o.mode <- Serve;
+          go (i + 1)
+      | "--host" ->
+          o.host <- value "--host" i;
+          go (i + 2)
+      | "--port" ->
+          o.port <- parse_port (value "--port" i);
+          go (i + 2)
+      | "--connect" ->
+          let host, port = parse_endpoint (value "--connect" i) in
+          o.mode <- Connect (host, port);
+          go (i + 2)
+      | flag when String.length flag > 0 && flag.[0] = '-' ->
+          usage_error "unknown option %S" flag
+      | arg -> usage_error "unexpected argument %S" arg
+  in
+  go 1;
+  o
+
+(* --- client mode -------------------------------------------------------- *)
+
+module Client = Quill_server.Client
+module Wire = Quill_server.Wire
+
+let render_result cols rows =
+  let schema =
+    Schema.create
+      (List.map (fun (name, dt) -> Schema.col ~nullable:true name dt) cols)
+  in
+  Table.to_string (Table.of_rows ~name:"result" schema rows)
+
+let print_response = function
+  | Wire.Result (cols, rows) -> print_string (render_result cols rows)
+  | Wire.Affected n -> Printf.printf "ok (%d rows affected)\n" n
+  | Wire.Text t -> print_string t
+  | Wire.Prepared id -> Printf.printf "prepared statement %d\n" id
+  | Wire.Err (Wire.Conflict_err, m) -> Printf.printf "conflict: %s\n" m
+  | Wire.Err (Wire.Aborted_err, m) -> Printf.printf "aborted: %s\n" m
+  | Wire.Err (Wire.Protocol_err, m) -> Printf.printf "protocol error: %s\n" m
+  | Wire.Err (Wire.Generic, m) -> Printf.printf "error: %s\n" m
+
+let remote_repl host port =
+  let c =
+    try Client.connect ~host ~port ()
+    with Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "quillsh: cannot connect to %s:%d: %s\n" host port
+        (Unix.error_message e);
+      exit 1
+  in
+  let tty = Unix.isatty Unix.stdin in
+  if tty then
+    Printf.printf "connected to %s:%d — \\q to quit; statements end with ';'\n"
+      host port;
+  let buf = Buffer.create 256 in
+  let submit () =
+    (match Client.query c (Buffer.contents buf) with
+    | resp -> print_response resp
+    | exception (End_of_file | Unix.Unix_error _) ->
+        Printf.eprintf "quillsh: server closed the connection\n";
+        exit 1
+    | exception Wire.Protocol_error m ->
+        Printf.eprintf "quillsh: protocol error: %s\n" m;
+        exit 1);
+    Buffer.clear buf
+  in
+  let rec loop () =
+    if tty then begin
+      print_string (if Buffer.length buf = 0 then "quill> " else "   ... ");
+      flush stdout
+    end;
+    match input_line stdin with
+    | exception End_of_file ->
+        (* Piped input may omit the final ';': flush what's pending. *)
+        if String.trim (Buffer.contents buf) <> "" then submit ()
+    | line ->
+        let trimmed = String.trim line in
+        if Buffer.length buf = 0 && (trimmed = "\\q" || trimmed = "\\quit") then ()
+        else begin
+          Buffer.add_string buf line;
+          Buffer.add_char buf '\n';
+          if ends_statement buf then submit ();
+          loop ()
+        end
+  in
+  loop ();
+  Client.close c
+
+(* --- server mode -------------------------------------------------------- *)
+
+module Server = Quill_server.Server
+
+let serve opts =
+  let db =
+    match opts.data_dir with
+    | None -> Db.create ()
+    | Some dir ->
+        let db, report = Db.open_durable dir in
+        if report.Db.replayed > 0 || report.Db.dropped > 0 then
+          Printf.printf "recovery: %d statement(s) replayed, %d dropped%s\n"
+            report.Db.replayed report.Db.dropped
+            (if report.Db.torn then " (torn WAL tail)" else "");
+        db
+  in
+  Db.set_engine db opts.engine;
+  Option.iter (run_file { db; timing = false }) opts.init;
+  let store = Db.share db in
+  let config =
+    { Server.default_config with Server.host = opts.host; port = opts.port }
+  in
+  let server =
+    try Server.start ~config store
+    with Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "quillsh: cannot listen on %s:%d: %s\n" opts.host opts.port
+        (Unix.error_message e);
+      exit 1
+  in
+  Printf.printf "quillsh: listening on %s:%d%s\n%!" opts.host (Server.port server)
+    (match opts.data_dir with Some d -> " (durable: " ^ d ^ ")" | None -> "");
+  let stop = Atomic.make false in
+  let handler = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+  Sys.set_signal Sys.sigint handler;
+  Sys.set_signal Sys.sigterm handler;
+  while not (Atomic.get stop) do
+    Thread.delay 0.05
+  done;
+  print_endline "quillsh: shutting down";
+  Server.stop server;
+  Db.close db
+
+(* --- entry point -------------------------------------------------------- *)
+
+let () =
+  let opts = parse_args Sys.argv in
+  match opts.mode with
+  | Connect (host, port) -> remote_repl host port
+  | Serve -> serve opts
+  | Local ->
+      let db =
+        match opts.data_dir with
+        | None -> Db.create ()
+        | Some dir ->
+            let db, report = Db.open_durable dir in
+            if report.Db.replayed > 0 || report.Db.dropped > 0 then
+              Printf.printf "recovery: %d statement(s) replayed, %d dropped%s\n"
+                report.Db.replayed report.Db.dropped
+                (if report.Db.torn then " (torn WAL tail)" else "");
+            db
+      in
+      Db.set_engine db opts.engine;
+      let s = { db; timing = false } in
+      Option.iter (run_file s) opts.init;
+      if Unix.isatty Unix.stdin then
+        print_endline
+          "Quill SQL shell — \\q to quit, \\d to list tables, \\tpch 0.01 for sample data";
+      repl s

@@ -32,8 +32,17 @@ module Csv = Quill_storage.Csv
 module Wal = Quill_storage.Wal
 module Snapshot = Quill_storage.Snapshot
 module Sim_fs = Quill_storage.Sim_fs
+module Store = Quill_txn.Store
+module Index_reg = Quill_storage.Index.Registry
+
+type store = Store.t
 
 exception Error of string
+
+exception Conflict = Store.Conflict
+(** A snapshot-isolation write-write conflict: this transaction lost a
+    table in its write set to a first committer and has been rolled
+    back.  Retry on a fresh snapshot. *)
 
 type abort_reason = Governor.abort_reason =
   | Timeout
@@ -75,6 +84,17 @@ type durable = {
   mutable wal : Wal.t;
 }
 
+(* A session's attachment to a shared MVCC store.  The session's catalog
+   is a *view*: table-version pointers copied from a committed snapshot
+   (or, inside a transaction, this session's private copy-on-write
+   versions layered over its pinned snapshot).  [view_ts] is the commit
+   timestamp the view reflects; -1 forces a re-sync. *)
+type shared_session = {
+  handle : Store.t;
+  mutable view_ts : int;
+  mutable txn : Store.txn option;  (** open explicit transaction, if any *)
+}
+
 type t = {
   catalog : Catalog.t;
   udfs : Udf.t;
@@ -89,6 +109,7 @@ type t = {
   mutable budget_bytes : int option;  (** session default memory budget *)
   cancel : bool Atomic.t;  (** set by {!cancel}, consumed by the governor *)
   mutable durable : durable option;  (** WAL-backed session state, if any *)
+  mutable shared : shared_session option;  (** MVCC store attachment *)
 }
 
 type result =
@@ -117,6 +138,7 @@ let create () =
     budget_bytes = None;
     cancel = Atomic.make false;
     durable = None;
+    shared = None;
   }
 
 (** [catalog db] exposes the catalog (e.g. for bulk loading). *)
@@ -163,14 +185,19 @@ let set_parallelism db n =
 
 (** [close db] releases session resources: closes the WAL of a durable
     session and joins the shared pool's worker domains (they re-spawn
-    lazily if another session runs a parallel query). *)
+    lazily if another session runs a parallel query).  Closing a derived
+    session of a shared store ({!session}) releases nothing — the store,
+    its WAL and the pool belong to the root database. *)
 let close db =
-  (match db.durable with
-  | Some d ->
-      db.durable <- None;
-      Wal.close d.wal
-  | None -> ());
-  Quill_parallel.Pool.shutdown ()
+  match (db.shared, db.durable) with
+  | Some _, None -> ()
+  | _ ->
+      (match db.durable with
+      | Some d ->
+          db.durable <- None;
+          Wal.close d.wal
+      | None -> ());
+      Quill_parallel.Pool.shutdown ()
 
 (** [register_udf db ~name ~args ~ret f] registers a scalar UDF usable in
     any SQL expression; it participates in compilation and fusion like a
@@ -215,6 +242,31 @@ let wrap f =
   | Invalid_argument m -> raise (Error m)
   | Failure m -> raise (Error m)
 
+(* --- MVCC view maintenance --------------------------------------------- *)
+
+(* Point the session's catalog view at a committed snapshot: table
+   versions become the snapshot's pointers, index declarations re-sync,
+   and the catalog version bump invalidates this session's plan and
+   index caches. *)
+let apply_snapshot db sh (snap : Store.snapshot) =
+  Catalog.reset db.catalog snap.Store.tables;
+  Index_reg.reset_defs db.indexes snap.Store.snap_index_defs;
+  sh.view_ts <- snap.Store.ts
+
+(* Re-sync the view with the latest committed state.  Cheap no-op when
+   nothing committed since the last sync (the common read-heavy case —
+   plan-cache hits survive), and never moves the view while a
+   transaction has it pinned. *)
+let sync_view db =
+  match db.shared with
+  | None -> ()
+  | Some sh -> (
+      match sh.txn with
+      | Some _ -> ()
+      | None ->
+          if sh.view_ts <> Store.committed_ts sh.handle then
+            apply_snapshot db sh (Store.snapshot sh.handle))
+
 (* Picker options for one query: a memory budget (per-call override or
    session default) is surfaced to the cost model so memory-hungry
    algorithms the governor would kill get penalized. *)
@@ -227,6 +279,7 @@ let effective_options db budget_override =
    any uncorrelated subqueries. *)
 let plan_full db ?(params = [||]) ?budget_bytes sql =
   let options = effective_options db budget_bytes in
+  sync_view db;
   wrap (fun () ->
       match Trace.with_span "parse" (fun () -> Parser.parse sql) with
       | Ast.Select sel ->
@@ -295,7 +348,10 @@ let bind_stmt_scalar db env schema ast =
 (* Statement dispatch for non-SELECT statements. *)
 let exec_stmt db stmt =
   match stmt with
-  | Ast.Select _ -> assert false
+  | Ast.Select _ | Ast.Begin | Ast.Commit | Ast.Rollback ->
+      (* SELECT goes through [query]; transaction control is handled in
+         [exec] before dispatch reaches here. *)
+      assert false
   | Ast.Create_table (name, cols) ->
       let schema =
         Schema.create
@@ -531,24 +587,49 @@ let write_generation db dir n policy =
   wal
 
 (* Take a checkpoint of a durable session: new generation, then the old
-   one (including its WAL — the logical WAL truncation) is pruned. *)
+   one (including its WAL — the logical WAL truncation) is pruned.  On a
+   shared store, commits are quiesced (commit lock held), the session's
+   view is re-synced to the committed state so the snapshot captures
+   exactly that, and the fresh WAL is installed in the store so every
+   session's next commit appends to it. *)
 let checkpoint_durable db d =
   Trace.with_span ~cat:"storage" "checkpoint" (fun () ->
-      let n = 1 + List.fold_left max d.generation (Snapshot.generations d.dur_dir) in
-      let wal = write_generation db d.dur_dir n (Wal.policy d.wal) in
-      Wal.close d.wal;
-      d.wal <- wal;
-      d.generation <- n;
-      Metrics.incr m_checkpoints;
-      Snapshot.prune d.dur_dir ~keep:n)
+      let rotate () =
+        let n = 1 + List.fold_left max d.generation (Snapshot.generations d.dur_dir) in
+        let wal = write_generation db d.dur_dir n (Wal.policy d.wal) in
+        Wal.close d.wal;
+        d.wal <- wal;
+        d.generation <- n;
+        Metrics.incr m_checkpoints;
+        Snapshot.prune d.dur_dir ~keep:n
+      in
+      match db.shared with
+      | None -> rotate ()
+      | Some sh ->
+          (match sh.txn with
+          | Some _ -> raise (Error "checkpoint: a transaction is in progress")
+          | None -> ());
+          Store.locked sh.handle (fun () ->
+              apply_snapshot db sh (Store.snapshot_unlocked sh.handle);
+              rotate ();
+              Store.set_wal sh.handle (Some d.wal)))
 
 (* Statements that change durable state and therefore must be logged.
    SELECT and EXPLAIN read only. *)
 let is_mutation = function
-  | Ast.Select _ | Ast.Explain _ -> false
+  | Ast.Select _ | Ast.Explain _ | Ast.Begin | Ast.Commit | Ast.Rollback -> false
   | Ast.Insert _ | Ast.Update _ | Ast.Delete _ | Ast.Copy _ | Ast.Create_table _
   | Ast.Create_table_as _ | Ast.Create_index _ | Ast.Drop_table _ ->
       true
+
+(* The table names a statement writes (creates, drops or mutates) —
+   the transaction's conflict footprint and copy-on-write set. *)
+let write_targets = function
+  | Ast.Insert (n, _, _) | Ast.Update (n, _, _) | Ast.Delete (n, _)
+  | Ast.Copy (n, _) | Ast.Create_table (n, _) | Ast.Create_table_as (n, _)
+  | Ast.Drop_table n | Ast.Create_index (n, _) ->
+      [ n ]
+  | Ast.Select _ | Ast.Explain _ | Ast.Begin | Ast.Commit | Ast.Rollback -> []
 
 (* One statement's governor: per-call override beats the session default;
    the session cancel flag is always armed.  [observe_peak] records the
@@ -564,6 +645,166 @@ let governed db ?timeout_ms ?budget_bytes f =
   Fun.protect ~finally:(fun () -> Governor.observe_peak gov) (fun () ->
       f gov budget_bytes)
 
+(* --- Transactions ------------------------------------------------------ *)
+
+(** [share db] publishes the database's current state as a shared MVCC
+    store and returns the store handle; {!session} opens further
+    independent sessions on it.  The calling database becomes the
+    store's root session: it keeps its durable state (the store commits
+    through its WAL) and is the only session that can {!checkpoint}.
+    Idempotent — sharing twice returns the same handle. *)
+let share db =
+  match db.shared with
+  | Some sh -> sh.handle
+  | None ->
+      let tables = List.map (Catalog.find_exn db.catalog) (Catalog.names db.catalog) in
+      let index_defs = Index_reg.all_defs db.indexes in
+      let wal = Option.map (fun d -> d.wal) db.durable in
+      let store = Store.create ?wal ~tables ~index_defs () in
+      db.shared <- Some { handle = store; view_ts = 0; txn = None };
+      store
+
+(** [session store] opens a new session on a shared store: its own
+    catalog view, plan cache, engine defaults and governor settings,
+    reading a consistent committed snapshot that re-syncs between
+    statements.  Sessions are single-threaded; concurrency comes from
+    one session per thread/connection. *)
+let session store =
+  let db = create () in
+  let sh = { handle = store; view_ts = -1; txn = None } in
+  db.shared <- Some sh;
+  apply_snapshot db sh (Store.snapshot store);
+  db
+
+(** [in_transaction db] is true between BEGIN and COMMIT/ROLLBACK. *)
+let in_transaction db =
+  match db.shared with Some { txn = Some _; _ } -> true | _ -> false
+
+(* A session doing transactional work without an explicit [share]
+   becomes the root session of its own private store. *)
+let ensure_shared db =
+  ignore (share db);
+  Option.get db.shared
+
+(* Stage a mutation into an open transaction: copy-on-write every
+   written table the first time it is touched (the private version goes
+   into the session catalog, so execution below needs no special cases),
+   extend the conflict footprint, and record the SQL for the WAL frame
+   group. *)
+let stage_mutation db (txn : Store.txn) stmt sql =
+  List.iter
+    (fun name ->
+      if not (List.mem name txn.Store.writes) then begin
+        (match Catalog.find db.catalog name with
+        | Some tbl -> Catalog.put db.catalog (Table.cow_copy tbl)
+        | None -> ());
+        txn.Store.writes <- name :: txn.Store.writes
+      end)
+    (write_targets stmt);
+  (match stmt with
+  | Ast.Create_index _ | Ast.Drop_table _ -> txn.Store.index_ddl <- true
+  | _ -> ());
+  if is_mutation stmt then txn.Store.stmts <- String.trim sql :: txn.Store.stmts
+
+(* Open a transaction and pin the session view to its snapshot. *)
+let open_txn db (sh : shared_session) =
+  let txn = Store.begin_txn sh.handle in
+  if sh.view_ts <> txn.Store.snap.Store.ts then apply_snapshot db sh txn.Store.snap;
+  sh.txn <- Some txn;
+  txn
+
+(* Discard a transaction.  If it wrote anything the session catalog
+   holds private versions, so force the next sync to rebuild the view;
+   otherwise the view still equals the pinned snapshot. *)
+let abort_txn db (sh : shared_session) (txn : Store.txn) =
+  Store.rollback txn;
+  sh.txn <- None;
+  if txn.Store.writes <> [] then sh.view_ts <- -1;
+  sync_view db
+
+(* Publish a transaction through the store's commit protocol.  On
+   [Conflict] the transaction is rolled back before re-raising.  Either
+   way the view re-syncs: other sessions may have committed tables this
+   one never touched. *)
+let publish_txn db (sh : shared_session) (txn : Store.txn) =
+  sh.txn <- None;
+  let lookup name = Catalog.find db.catalog name in
+  let index_defs =
+    if txn.Store.index_ddl then Some (Index_reg.all_defs db.indexes) else None
+  in
+  match Store.commit sh.handle txn ~lookup ~index_defs with
+  | _ts ->
+      if txn.Store.writes <> [] then sh.view_ts <- -1;
+      sync_view db
+  | exception Conflict m ->
+      if txn.Store.writes <> [] then sh.view_ts <- -1;
+      sync_view db;
+      raise (Conflict m)
+
+(* Auto-commit on a shared session: every mutation is its own implicit
+   transaction.  First-committer-wins conflicts are retried on a fresh
+   snapshot a few times (the statement re-executes against the new
+   state) before surfacing to the caller. *)
+let autocommit_retries = 3
+
+let exec_autocommit db sh stmt sql =
+  let rec go attempt =
+    let txn = open_txn db sh in
+    let result =
+      try
+        stage_mutation db txn stmt sql;
+        exec_stmt db stmt
+      with e ->
+        abort_txn db sh txn;
+        raise e
+    in
+    match publish_txn db sh txn with
+    | () -> result
+    | exception Conflict m ->
+        if attempt >= autocommit_retries then raise (Conflict m) else go (attempt + 1)
+  in
+  let result = go 1 in
+  (* COPY on the root durable session folds into a checkpoint at once,
+     so recovery never re-reads the external file. *)
+  (match (stmt, db.durable) with
+  | Ast.Copy _, Some d -> checkpoint_durable db d
+  | _ -> ());
+  result
+
+(** [begin_transaction db] opens an explicit snapshot-isolation
+    transaction (SQL: [BEGIN]).  Reads see the pinned snapshot plus the
+    transaction's own writes; nothing is visible to other sessions until
+    {!commit_transaction}. *)
+let begin_transaction db =
+  wrap (fun () ->
+      let sh = ensure_shared db in
+      match sh.txn with
+      | Some _ -> raise (Error "BEGIN: a transaction is already in progress")
+      | None -> ignore (open_txn db sh))
+
+(** [commit_transaction db] publishes the open transaction (SQL:
+    [COMMIT]).  Raises {!Conflict} — after rolling the transaction
+    back — if a concurrent committer won a table in the write set. *)
+let commit_transaction db =
+  wrap (fun () ->
+      match db.shared with
+      | Some sh -> (
+          match sh.txn with
+          | Some txn -> publish_txn db sh txn
+          | None -> raise (Error "COMMIT: no transaction in progress"))
+      | None -> raise (Error "COMMIT: no transaction in progress"))
+
+(** [rollback_transaction db] discards the open transaction (SQL:
+    [ROLLBACK]). *)
+let rollback_transaction db =
+  wrap (fun () ->
+      match db.shared with
+      | Some sh -> (
+          match sh.txn with
+          | Some txn -> abort_txn db sh txn
+          | None -> raise (Error "ROLLBACK: no transaction in progress"))
+      | None -> raise (Error "ROLLBACK: no transaction in progress"))
+
 (** [query db ?params ?engine ?timeout_ms ?budget_bytes sql] runs a SELECT
     and returns the result table (uncached path).  [timeout_ms] and
     [budget_bytes] override the session defaults for this call. *)
@@ -573,6 +814,7 @@ let query db ?(params = [||]) ?engine ?timeout_ms ?budget_bytes sql =
     (fun () ->
       wrap (fun () ->
           Metrics.incr m_queries;
+          sync_view db;
           governed db ?timeout_ms ?budget_bytes (fun gov budget ->
               let result, dt =
                 Quill_util.Timer.time (fun () ->
@@ -595,25 +837,54 @@ let exec db ?(params = [||]) ?timeout_ms ?budget_bytes sql =
   wrap (fun () ->
       match Parser.parse sql with
       | Ast.Select _ -> Rows (query db ~params ?timeout_ms ?budget_bytes sql)
+      | Ast.Begin ->
+          begin_transaction db;
+          Affected 0
+      | Ast.Commit ->
+          commit_transaction db;
+          Affected 0
+      | Ast.Rollback ->
+          rollback_transaction db;
+          Affected 0
       | stmt -> (
-          match db.durable with
-          | Some d when is_mutation stmt ->
-              Wal.log_statement d.wal (String.trim sql);
-              let result =
-                try exec_stmt db stmt
-                with e ->
-                  Wal.rollback d.wal;
-                  raise e
-              in
-              Wal.commit d.wal;
-              (match stmt with Ast.Copy _ -> checkpoint_durable db d | _ -> ());
-              result
-          | _ -> exec_stmt db stmt))
+          sync_view db;
+          match db.shared with
+          | Some sh -> (
+              match sh.txn with
+              | Some txn -> (
+                  (* Inside an explicit transaction every statement is
+                     all-or-nothing at the transaction level: an error
+                     rolls the whole transaction back (the copy-on-write
+                     version may hold a partial application). *)
+                  try
+                    stage_mutation db txn stmt sql;
+                    exec_stmt db stmt
+                  with e ->
+                    abort_txn db sh txn;
+                    raise e)
+              | None ->
+                  if is_mutation stmt then exec_autocommit db sh stmt sql
+                  else exec_stmt db stmt)
+          | None -> (
+              match db.durable with
+              | Some d when is_mutation stmt ->
+                  Wal.log_statement d.wal (String.trim sql);
+                  let result =
+                    try exec_stmt db stmt
+                    with e ->
+                      Wal.rollback d.wal;
+                      raise e
+                  in
+                  Wal.commit d.wal;
+                  (match stmt with Ast.Copy _ -> checkpoint_durable db d | _ -> ());
+                  result
+              | _ -> exec_stmt db stmt)))
 
 (** [explain db ?analyze sql] renders the optimized plan; with
     [~analyze:true] also executes and reports estimated vs. actual rows. *)
 let explain db ?(analyze = false) sql =
   wrap (fun () ->
+      sync_view db;
       match Parser.parse sql with
       | Ast.Select sel -> (
           match exec_stmt db (Ast.Explain { analyze; query = sel }) with
@@ -629,6 +900,7 @@ let query_adaptive db ?(params = [||]) ?timeout_ms ?budget_bytes sql =
   Trace.with_span ~args:[ ("sql", sql) ] "query-adaptive" @@ fun () ->
   wrap (fun () ->
       Metrics.incr m_queries;
+      sync_view db;
       governed db ?timeout_ms ?budget_bytes @@ fun gov budget ->
       let param_types = param_types_of params in
       let version = Catalog.version db.catalog in

@@ -181,6 +181,59 @@ val query_adaptive :
     the plan cache, for observability. *)
 val cache_stats : t -> int * int * int
 
+(** {1 Transactions and shared stores}
+
+    Multi-session concurrency is snapshot-isolation MVCC: a {e shared
+    store} holds the committed table versions (immutable), each session
+    reads a pinned consistent snapshot (readers never block behind
+    writers), writers copy-on-write private versions, and commits are
+    first-committer-wins — a write-write conflict rolls the loser back
+    with {!Conflict}.  SQL [BEGIN] / [COMMIT] / [ROLLBACK] map to
+    {!begin_transaction} / {!commit_transaction} /
+    {!rollback_transaction}; mutations outside an explicit transaction
+    auto-commit as implicit single-statement transactions (retried a few
+    times on conflict).  On a durable root session, commits group-commit
+    their whole WAL frame set atomically, so recovery replays exactly
+    the committed transactions. *)
+
+(** A shared MVCC store that multiple sessions commit through. *)
+type store = Quill_txn.Store.t
+
+(** Raised when {!commit_transaction} (or an auto-committed statement
+    after retries) loses a first-committer-wins conflict.  The
+    transaction has already been rolled back; the session stays usable. *)
+exception Conflict of string
+
+(** [share db] publishes the database's current state as a shared store
+    and returns its handle; the calling database becomes the store's
+    root session (it keeps durability and {!checkpoint} rights).
+    Idempotent. *)
+val share : t -> store
+
+(** [session store] opens an independent session on a shared store: own
+    catalog view, plan cache and governor settings, one consistent
+    committed snapshot per statement (or per transaction).  Sessions are
+    single-threaded; use one per thread or connection. *)
+val session : store -> t
+
+(** [begin_transaction db] opens an explicit transaction (SQL [BEGIN]).
+    Reads see the pinned snapshot plus the transaction's own writes.  A
+    database that never called {!share} gets a private store on first
+    use. *)
+val begin_transaction : t -> unit
+
+(** [commit_transaction db] publishes the open transaction (SQL
+    [COMMIT]); raises {!Conflict} after rolling back if a concurrent
+    committer won a table in the write set. *)
+val commit_transaction : t -> unit
+
+(** [rollback_transaction db] discards the open transaction (SQL
+    [ROLLBACK]). *)
+val rollback_transaction : t -> unit
+
+(** [in_transaction db] is true between [BEGIN] and [COMMIT]/[ROLLBACK]. *)
+val in_transaction : t -> bool
+
 (** [set_tracing on] turns the process-wide query-lifecycle span tracer on
     or off.  Spans cover parse, bind, rewrite, join-order, pick, codegen
     and execute; when off the instrumentation is a single flag check.

@@ -12,8 +12,10 @@
    events, microsecond timestamps) loadable in chrome://tracing, Perfetto
    or speedscope.
 
-   Spans are created on the query-coordinating thread only; pool workers
-   report through {!Metrics} instead, so the buffer needs no locking. *)
+   Pool workers report through {!Metrics} instead of opening spans, but
+   server sessions run queries from many threads, so the buffer and the
+   open-span stack are guarded by a mutex.  The disabled path stays a
+   single unsynchronized flag load — the E13 bar is unaffected. *)
 
 type span = {
   name : string;
@@ -31,6 +33,9 @@ let enabled_flag = ref false
 let finished : span Quill_util.Vec.t option ref = ref None
 let epoch = ref 0.0
 let next_seq = ref 0
+
+(* Guards every mutable structure below when tracing is enabled. *)
+let lock = Mutex.create ()
 
 (* Stack of (seq, depth) for open spans. *)
 let open_spans : (int * int) list ref = ref []
@@ -52,10 +57,11 @@ let enabled () = !enabled_flag
 
 (** [clear ()] drops all recorded spans and restarts the trace epoch. *)
 let clear () =
-  (match !finished with Some v -> Quill_util.Vec.clear v | None -> ());
-  open_spans := [];
-  next_seq := 0;
-  epoch := Quill_util.Timer.now ()
+  Mutex.protect lock (fun () ->
+      (match !finished with Some v -> Quill_util.Vec.clear v | None -> ());
+      open_spans := [];
+      next_seq := 0;
+      epoch := Quill_util.Timer.now ())
 
 (** [set_enabled b] turns tracing on or off.  Turning it on starts a
     fresh epoch; recorded spans survive turning it off (so a session can
@@ -65,22 +71,27 @@ let set_enabled b =
   enabled_flag := b
 
 let record name cat args t0 =
-  let seq = !next_seq in
-  incr next_seq;
-  let depth = List.length !open_spans in
-  let parent = match !open_spans with (p, _) :: _ -> p | [] -> -1 in
-  open_spans := (seq, depth) :: !open_spans;
+  let seq, depth, parent =
+    Mutex.protect lock (fun () ->
+        let seq = !next_seq in
+        incr next_seq;
+        let depth = List.length !open_spans in
+        let parent = match !open_spans with (p, _) :: _ -> p | [] -> -1 in
+        open_spans := (seq, depth) :: !open_spans;
+        (seq, depth, parent))
+  in
   fun () ->
-    (match !open_spans with
-    | (s, _) :: rest when s = seq -> open_spans := rest
-    | stack ->
-        (* A child span leaked past its parent (exception path); drop
-           everything above it. *)
-        open_spans := List.filter (fun (s, _) -> s < seq) stack);
     let t1 = Quill_util.Timer.now () in
-    Quill_util.Vec.push (buffer ())
-      { name; cat; args; start = t0 -. !epoch; dur = t1 -. t0; depth; seq; parent;
-        marker = false }
+    Mutex.protect lock (fun () ->
+        (match !open_spans with
+        | (s, _) :: rest when s = seq -> open_spans := rest
+        | stack ->
+            (* A child span leaked past its parent (exception path); drop
+               everything above it. *)
+            open_spans := List.filter (fun (s, _) -> s < seq) stack);
+        Quill_util.Vec.push (buffer ())
+          { name; cat; args; start = t0 -. !epoch; dur = t1 -. t0; depth; seq;
+            parent; marker = false })
 
 (** [with_span ?cat ?args name f] runs [f ()] inside a span named [name];
     when tracing is disabled this is exactly [f ()]. *)
@@ -93,23 +104,24 @@ let with_span ?(cat = "query") ?(args = []) name f =
 
 (** [instant ?cat ?args name] records a zero-duration marker span. *)
 let instant ?(cat = "query") ?(args = []) name =
-  if !enabled_flag then begin
-    let seq = !next_seq in
-    incr next_seq;
-    let parent = match !open_spans with (p, _) :: _ -> p | [] -> -1 in
-    Quill_util.Vec.push (buffer ())
-      { name; cat; args; start = Quill_util.Timer.now () -. !epoch; dur = 0.0;
-        depth = List.length !open_spans; seq; parent; marker = true }
-  end
+  if !enabled_flag then
+    Mutex.protect lock (fun () ->
+        let seq = !next_seq in
+        incr next_seq;
+        let parent = match !open_spans with (p, _) :: _ -> p | [] -> -1 in
+        Quill_util.Vec.push (buffer ())
+          { name; cat; args; start = Quill_util.Timer.now () -. !epoch; dur = 0.0;
+            depth = List.length !open_spans; seq; parent; marker = true })
 
 (** [spans ()] lists recorded spans in span-open order. *)
 let spans () =
-  match !finished with
-  | None -> []
-  | Some v ->
-      List.sort
-        (fun a b -> compare a.seq b.seq)
-        (Array.to_list (Quill_util.Vec.to_array v))
+  Mutex.protect lock (fun () ->
+      match !finished with
+      | None -> []
+      | Some v ->
+          List.sort
+            (fun a b -> compare a.seq b.seq)
+            (Array.to_list (Quill_util.Vec.to_array v)))
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in

@@ -166,6 +166,22 @@ let run ~workers (f : int -> unit) =
     match Atomic.get failure with Some e -> raise e | None -> ()
   end
 
+(** [submit f] enqueues a fire-and-forget job on the pool (spawning a
+    worker if none is live) and returns immediately.  This is the
+    server's scheduling entry point: each wire-protocol query runs as
+    one submitted job, so client connections multiplex onto the same
+    worker domains morsel execution uses.  Jobs run with the worker's
+    nested-parallelism flag set — a parallel operator inside a submitted
+    job degrades to serial rather than deadlocking the pool.  [f] must
+    not raise; wrap it. *)
+let submit f =
+  let pool = !the_pool in
+  ensure_workers pool (max 2 (min !goal 4));
+  Mutex.lock pool.mutex;
+  Queue.push f pool.jobs;
+  Condition.signal pool.work;
+  Mutex.unlock pool.mutex
+
 (** [shutdown ()] joins every worker domain and resets the pool.  Called
     from [Db.close]; safe to call repeatedly and with no pool running.  A
     later parallel query simply re-creates the pool. *)

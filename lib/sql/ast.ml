@@ -81,6 +81,9 @@ type stmt =
   | Delete of string * expr option  (** DELETE FROM t [WHERE e] *)
   | Update of string * (string * expr) list * expr option
       (** UPDATE t SET c = e, ... [WHERE e] *)
+  | Begin  (** BEGIN [TRANSACTION | WORK] / START TRANSACTION *)
+  | Commit  (** COMMIT [TRANSACTION | WORK] *)
+  | Rollback  (** ROLLBACK [TRANSACTION | WORK] / ABORT *)
 
 let binop_name = function
   | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"

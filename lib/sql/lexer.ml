@@ -24,7 +24,8 @@ let keywords =
     "DELETE"; "UPDATE"; "SET"; "INDEX"; "EXISTS"; "OVER"; "PARTITION";
     "DATE"; "INT"; "INTEGER"; "BIGINT"; "FLOAT"; "DOUBLE"; "REAL"; "TEXT";
     "VARCHAR"; "CHAR"; "BOOL"; "BOOLEAN"; "DROP"; "COUNT"; "SUM"; "AVG";
-    "MIN"; "MAX" ]
+    "MIN"; "MAX"; "BEGIN"; "COMMIT"; "ROLLBACK"; "ABORT"; "START";
+    "TRANSACTION"; "WORK" ]
 
 let keyword_set = List.fold_left (fun s k -> (k, ()) :: s) [] keywords
 

@@ -581,6 +581,25 @@ let statement st =
         advance st;
         let analyze = try_keyword st "ANALYZE" in
         Explain { analyze; query = select_body st }
+    | Lexer.Keyword "BEGIN" ->
+        advance st;
+        let _ = try_keyword st "TRANSACTION" || try_keyword st "WORK" in
+        Begin
+    | Lexer.Keyword "START" ->
+        advance st;
+        eat_keyword st "TRANSACTION";
+        Begin
+    | Lexer.Keyword "COMMIT" ->
+        advance st;
+        let _ = try_keyword st "TRANSACTION" || try_keyword st "WORK" in
+        Commit
+    | Lexer.Keyword "ROLLBACK" ->
+        advance st;
+        let _ = try_keyword st "TRANSACTION" || try_keyword st "WORK" in
+        Rollback
+    | Lexer.Keyword "ABORT" ->
+        advance st;
+        Rollback
     | _ -> fail st "expected a statement"
   in
   let _ = try_punct st ";" in

@@ -31,6 +31,20 @@ let drop c name =
   Hashtbl.remove c.tables name;
   bump c
 
+(** [put c table] binds [table] under its name, replacing any existing
+    binding (used by MVCC sessions to swap a table version into a view). *)
+let put c table =
+  Hashtbl.replace c.tables (Table.name table) table;
+  bump c
+
+(** [reset c tables] replaces the whole catalog contents with [tables]
+    in one step (one version bump) — how an MVCC session re-points its
+    view at a fresh committed snapshot. *)
+let reset c tables =
+  Hashtbl.reset c.tables;
+  List.iter (fun t -> Hashtbl.replace c.tables (Table.name t) t) tables;
+  bump c
+
 (** [find c name] looks a table up. *)
 let find c name = Hashtbl.find_opt c.tables name
 

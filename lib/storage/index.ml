@@ -105,6 +105,21 @@ module Registry = struct
   (** [declared t table] lists indexed column names of [table]. *)
   let declared t table = Option.value ~default:[] (Hashtbl.find_opt t.defs table)
 
+  (** [all_defs t] lists every declared index as [(table, col)] pairs. *)
+  let all_defs t =
+    Hashtbl.fold
+      (fun table cols acc -> List.fold_left (fun acc col -> (table, col) :: acc) acc cols)
+      t.defs []
+    |> List.sort compare
+
+  (** [reset_defs t defs] replaces all declarations with [defs] (built
+      indexes are dropped; they rebuild lazily) — used when an MVCC view
+      re-syncs to a committed snapshot. *)
+  let reset_defs t defs =
+    Hashtbl.reset t.defs;
+    Hashtbl.reset t.cache;
+    List.iter (fun (table, col) -> declare t ~table ~col) defs
+
   (** [drop_table t table] forgets all indexes of [table]. *)
   let drop_table t table =
     List.iter (fun col -> Hashtbl.remove t.cache (table, col)) (declared t table);

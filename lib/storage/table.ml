@@ -118,6 +118,16 @@ let of_columns ~name schema cols =
   t.columnar <- Some cols;
   t
 
+(** [cow_copy t] is a copy-on-write clone for MVCC writers: the row
+    vector is copied shallowly (row arrays are shared — no Table mutation
+    ever writes into an existing row array, [update] replaces the slot
+    with a fresh array), and the columnar cache is carried over since the
+    rows are identical at copy time.  Mutating the clone never affects
+    the original, so committed versions can stay lock-free shared among
+    concurrent readers. *)
+let cow_copy t =
+  { name = t.name; schema = t.schema; rows = Vec.copy t.rows; columnar = t.columnar }
+
 (** [retain t keep] deletes every row for which [keep row] is false;
     returns the number of rows removed. *)
 let retain t keep =

@@ -5,23 +5,35 @@
 
      header   "QWAL1\n"
      frame    [len : u32 LE] [crc32(payload) : u32 LE] [payload]
-     payload  'S' sql-text     a statement (DML or DDL)
-              'C'              commit marker for the statements since
+     payload  'S' sql-text     a statement (DML or DDL), auto-commit
+              'C'              commit marker for the 'S' frames since
                                the previous 'C'
+              'B' txn-id       transaction begin
+              'X' txn-id ':' sql-text
+                               a statement belonging to transaction txn-id
+              'T' txn-id       transaction commit
+              'A' txn-id       transaction abort (its statements must
+                               never replay)
 
-   Writers buffer frames in memory ([log_statement]) and persist them in
-   a single write at [commit] — group commit: the statement frame and
-   its commit marker hit the file together, and fsync is batched per the
-   {!sync_policy}.  A statement whose in-memory application fails is
-   [rollback]ed before anything reaches the file.
+   Writers buffer frames in memory ([log_statement] and the txn-marker
+   variants) and persist them in a single write at [commit]/[flush] —
+   group commit: a transaction's begin, statements and commit marker hit
+   the file together, and fsync is batched per the {!sync_policy}.  A
+   statement whose in-memory application fails is [rollback]ed before
+   anything reaches the file.  The MVCC store serializes commits, so a
+   committed transaction's frames are always contiguous on disk, but
+   replay does not rely on that: it reassembles transactions by id.
 
    Replay scans frames from the start and yields the longest clean
-   prefix of *committed* statements: it stops at the first torn frame
-   (truncated length/checksum/payload — a power cut mid-write) or CRC
-   mismatch (corruption), and statements appended but not followed by a
-   commit marker are reported as dropped, never replayed.  Checkpoints
-   do not write frames: the snapshot layer starts a fresh generation's
-   log and deletes this one, which is the WAL truncation point. *)
+   prefix of *committed* statements (auto-commit groups and committed
+   transactions alike, in commit order): it stops at the first torn
+   frame (truncated length/checksum/payload — a power cut mid-write) or
+   CRC mismatch (corruption); statements appended but not committed —
+   an 'S' run without its 'C', a 'B'..'X' group without its 'T', or an
+   aborted transaction — are reported as dropped, never replayed.
+   Checkpoints do not write frames: the snapshot layer starts a fresh
+   generation's log and deletes this one, which is the WAL truncation
+   point. *)
 
 module Metrics = Quill_obs.Metrics
 
@@ -126,13 +138,41 @@ let path t = t.path
 (** [appended t] counts statements committed through this handle. *)
 let appended t = t.appended_stmts
 
-(** [log_statement t sql] stages a statement frame in the group-commit
-    buffer.  Nothing reaches the file until {!commit}. *)
+(** [log_statement t sql] stages an auto-commit statement frame in the
+    group-commit buffer.  Nothing reaches the file until {!commit}. *)
 let log_statement t sql =
   ignore (handle t);
   add_frame t.pending ("S" ^ sql);
   t.pending_stmts <- t.pending_stmts + 1;
   Metrics.incr m_appends
+
+(* --- Transaction frames ------------------------------------------------- *)
+
+(** [log_txn_begin t ~txn] stages a transaction-begin marker. *)
+let log_txn_begin t ~txn =
+  ignore (handle t);
+  add_frame t.pending ("B" ^ string_of_int txn)
+
+(** [log_txn_statement t ~txn sql] stages one statement of transaction
+    [txn]. *)
+let log_txn_statement t ~txn sql =
+  ignore (handle t);
+  add_frame t.pending (Printf.sprintf "X%d:%s" txn sql);
+  t.pending_stmts <- t.pending_stmts + 1;
+  Metrics.incr m_appends
+
+(** [log_txn_commit t ~txn] stages the commit marker of transaction
+    [txn]; pair with {!flush} to persist the whole group in one write. *)
+let log_txn_commit t ~txn =
+  ignore (handle t);
+  add_frame t.pending ("T" ^ string_of_int txn)
+
+(** [log_txn_abort t ~txn] stages an abort marker — only needed if a
+    transaction's frames were already flushed, which the group-commit
+    protocol avoids; kept for protocol completeness and tests. *)
+let log_txn_abort t ~txn =
+  ignore (handle t);
+  add_frame t.pending ("A" ^ string_of_int txn)
 
 (** [rollback t] discards staged frames (the statement failed in
     memory; it must not be replayed). *)
@@ -150,14 +190,14 @@ let sync t =
   t.commits_since_sync <- 0;
   Metrics.incr m_syncs
 
-(** [commit t] appends a commit marker and writes the staged frames in
-    one write, fsyncing per policy.  A torn write here (power cut) loses
-    the whole statement — recovery sees no commit marker and drops it,
-    which is correct: the client was never acknowledged. *)
-let commit t =
-  if t.pending_stmts > 0 then begin
+(** [flush t] writes every staged frame in one write, fsyncing per
+    policy.  Used by the transaction path, whose commit marker is staged
+    explicitly ({!log_txn_commit}); a torn write here (power cut) loses
+    the group — recovery finds no commit marker and drops it, which is
+    correct: the client was never acknowledged. *)
+let flush t =
+  if Buffer.length t.pending > 0 then begin
     let f = handle t in
-    add_frame t.pending "C";
     let frames = Buffer.contents t.pending in
     Buffer.clear t.pending;
     let stmts = t.pending_stmts in
@@ -171,6 +211,14 @@ let commit t =
     | Never -> ()
     | On_commit -> sync t
     | Every n -> if t.commits_since_sync >= n then sync t
+  end
+
+(** [commit t] appends a commit marker for the staged auto-commit
+    statements and {!flush}es the group. *)
+let commit t =
+  if t.pending_stmts > 0 then begin
+    add_frame t.pending "C";
+    flush t
   end
 
 (** [close t] closes the log file (staged-but-uncommitted frames are
@@ -210,6 +258,9 @@ let replay path =
           detail = Some (Printf.sprintf "bad WAL header in %s" path) }
       else begin
         let committed = ref [] and uncommitted = ref [] in
+        (* In-flight transactions by id: statements in reverse order. *)
+        let open_txns : (int, string list) Hashtbl.t = Hashtbl.create 8 in
+        let dropped = ref 0 in
         let torn = ref false and detail = ref None in
         let stop fmt =
           Printf.ksprintf
@@ -217,6 +268,13 @@ let replay path =
               torn := true;
               detail := Some msg)
             fmt
+        in
+        let txn_id payload pos_ =
+          match int_of_string_opt (String.sub payload 1 (String.length payload - 1)) with
+          | Some id -> id
+          | None ->
+              stop "malformed txn marker at byte %d" pos_;
+              raise Exit
         in
         let pos = ref hlen in
         (try
@@ -245,12 +303,56 @@ let replay path =
              | 'C' ->
                  committed := !uncommitted @ !committed;
                  uncommitted := []
+             | 'B' ->
+                 let payload = String.sub data (!pos + 8) len in
+                 Hashtbl.replace open_txns (txn_id payload !pos) []
+             | 'X' -> (
+                 let payload = String.sub data (!pos + 8) len in
+                 match String.index_opt payload ':' with
+                 | None ->
+                     stop "malformed txn statement at byte %d" !pos;
+                     raise Exit
+                 | Some colon -> (
+                     match int_of_string_opt (String.sub payload 1 (colon - 1)) with
+                     | None ->
+                         stop "malformed txn statement at byte %d" !pos;
+                         raise Exit
+                     | Some id ->
+                         let sql =
+                           String.sub payload (colon + 1)
+                             (String.length payload - colon - 1)
+                         in
+                         (* A statement without a begin marker still opens
+                            the transaction — replay is lenient so a lost
+                            'B' cannot strand its commit marker. *)
+                         let sofar =
+                           Option.value ~default:[] (Hashtbl.find_opt open_txns id)
+                         in
+                         Hashtbl.replace open_txns id (sql :: sofar)))
+             | 'T' ->
+                 let payload = String.sub data (!pos + 8) len in
+                 let id = txn_id payload !pos in
+                 let stmts =
+                   Option.value ~default:[] (Hashtbl.find_opt open_txns id)
+                 in
+                 Hashtbl.remove open_txns id;
+                 committed := stmts @ !committed
+             | 'A' ->
+                 let payload = String.sub data (!pos + 8) len in
+                 let id = txn_id payload !pos in
+                 dropped :=
+                   !dropped
+                   + List.length (Option.value ~default:[] (Hashtbl.find_opt open_txns id));
+                 Hashtbl.remove open_txns id
              | c ->
                  stop "unknown frame type %C at byte %d" c !pos;
                  raise Exit);
              pos := !pos + 8 + len
            done
          with Exit -> ());
-        { statements = List.rev !committed; dropped = List.length !uncommitted;
+        (* Transactions still open at the scan end never committed. *)
+        Hashtbl.iter (fun _ stmts -> dropped := !dropped + List.length stmts) open_txns;
+        { statements = List.rev !committed;
+          dropped = !dropped + List.length !uncommitted;
           torn = !torn; detail = !detail }
       end

@@ -1,0 +1,36 @@
+(* The transaction-id / commit-timestamp oracle.
+
+   Two monotonic counters drive snapshot isolation:
+
+   - transaction ids are handed out lock-free at [begin] and only
+     identify a transaction (in WAL frames, conflict messages, metrics);
+   - commit timestamps form the serial order of committed transactions.
+     They are assigned under the store's commit lock, so [next_ts] needs
+     no CAS loop of its own — but it is still an [Atomic] so readers
+     ([last_ts]) can observe it without taking the lock.
+
+   A reader's snapshot timestamp is the last committed timestamp at
+   [begin]; version visibility is then a plain integer compare. *)
+
+type t = { next_id : int Atomic.t; last_ts : int Atomic.t }
+
+(** [create ()] starts both counters; timestamp 0 is the empty store. *)
+let create () = { next_id = Atomic.make 1; last_ts = Atomic.make 0 }
+
+(** [fresh_id t] issues a unique transaction id (lock-free). *)
+let fresh_id t = Atomic.fetch_and_add t.next_id 1
+
+(** [last_ts t] is the latest committed timestamp — what a new snapshot
+    pins. *)
+let last_ts t = Atomic.get t.last_ts
+
+(** [advance t] assigns the next commit timestamp.  Must be called with
+    the store's commit lock held: timestamps are the commit order. *)
+let advance t =
+  let ts = Atomic.get t.last_ts + 1 in
+  Atomic.set t.last_ts ts;
+  ts
+
+(** [restore t ts] fast-forwards the clock after recovery so fresh
+    commits continue the old order. *)
+let restore t ts = if ts > Atomic.get t.last_ts then Atomic.set t.last_ts ts

@@ -1,0 +1,188 @@
+(* The multi-version store behind snapshot-isolation transactions.
+
+   The store owns the *committed* state: one immutable [Table.t] version
+   per table name, a per-name stamp (the commit timestamp of the last
+   transaction that wrote, created or dropped that name), the declared
+   secondary-index definitions, and — for durable stores — the shared
+   write-ahead log.
+
+   The protocol, LegoBase-style "abstraction without regret": versioning
+   lives entirely behind the storage interface, so engines and kernels
+   never see it.
+
+   - [begin_txn] pins a snapshot: the current commit timestamp plus the
+     current table-version pointers.  Building it takes the mutex for a
+     pointer copy (O(#tables)), after which readers touch no shared
+     mutable state at all — a reader NEVER blocks behind a writer, and a
+     writer never waits for readers.
+   - Writers copy-on-write: the session layer clones a table version
+     before the first write ({!Quill_storage.Table.cow_copy}, a shallow
+     row-vector copy) and mutates only the private clone.
+   - [commit] is first-committer-wins: under the commit lock, if any
+     name in the write set carries a stamp newer than the snapshot,
+     another transaction committed there first and this one aborts with
+     {!Conflict}.  Otherwise the oracle assigns the next commit
+     timestamp, the transaction's frames (begin / statements / commit
+     marker) are group-committed to the WAL in ONE write, and the
+     private versions are installed as the new committed state.
+
+   Recovery composes with the WAL layer: a committed transaction's
+   frames hit disk atomically before the commit is acknowledged, so
+   replay ({!Quill_storage.Wal.replay}) yields exactly the committed
+   transactions in commit order. *)
+
+module Table = Quill_storage.Table
+module Wal = Quill_storage.Wal
+module Metrics = Quill_obs.Metrics
+
+exception Conflict of string
+(** First-committer-wins abort: another transaction committed to a table
+    in this transaction's write set after this transaction's snapshot.
+    The loser's changes are discarded; retrying on a fresh snapshot is
+    the standard reaction. *)
+
+let m_begins = Metrics.counter "quill.txn.begins"
+let m_commits = Metrics.counter "quill.txn.commits"
+let m_rollbacks = Metrics.counter "quill.txn.rollbacks"
+let m_conflicts = Metrics.counter "quill.txn.conflicts"
+let g_committed_ts = Metrics.gauge "quill.txn.committed_ts"
+
+type t = {
+  mutex : Mutex.t;  (** guards committed state and the commit protocol *)
+  tables : (string, Table.t) Hashtbl.t;  (** committed versions, immutable *)
+  stamps : (string, int) Hashtbl.t;  (** name -> commit ts of last writer *)
+  mutable index_defs : (string * string) list;  (** committed (table, col) *)
+  oracle : Oracle.t;
+  mutable wal : Wal.t option;  (** shared log of a durable store *)
+}
+
+(** A pinned committed snapshot: table versions as of [ts]. *)
+type snapshot = {
+  ts : int;
+  tables : Table.t list;
+  snap_index_defs : (string * string) list;
+}
+
+(** An open transaction.  [writes] lists the names this transaction
+    created, dropped or copy-on-wrote; [stmts] the SQL to log, newest
+    first.  The session layer owns the private table versions (its
+    catalog view); the store only sees them at commit. *)
+type txn = {
+  id : int;
+  snap : snapshot;
+  mutable writes : string list;
+  mutable stmts : string list;
+  mutable index_ddl : bool;  (** index/DDL changed: republish defs at commit *)
+}
+
+(** [create ?wal ~tables ~index_defs ()] seeds a store with committed
+    state (timestamp 0).  [tables] become the committed versions and
+    must not be mutated by the caller afterwards. *)
+let create ?wal ~tables ~index_defs () =
+  let t =
+    {
+      mutex = Mutex.create ();
+      tables = Hashtbl.create 16;
+      stamps = Hashtbl.create 16;
+      index_defs;
+      oracle = Oracle.create ();
+      wal;
+    }
+  in
+  List.iter (fun tbl -> Hashtbl.replace t.tables (Table.name tbl) tbl) tables;
+  t
+
+(** [committed_ts t] is the newest commit timestamp (lock-free read). *)
+let committed_ts t = Oracle.last_ts t.oracle
+
+(** [wal t] is the store's write-ahead log, if durable. *)
+let wal t = t.wal
+
+(** [set_wal t w] swaps the log handle (checkpointing starts a fresh
+    generation's log).  Call with {!locked} held or before sharing. *)
+let set_wal t w = t.wal <- w
+
+(** [locked t f] runs [f] with the commit lock held — quiesces commits,
+    e.g. around a checkpoint that snapshots committed state and swaps
+    the WAL. *)
+let locked t f = Mutex.protect t.mutex f
+
+(** [snapshot_unlocked t] is {!snapshot} for callers already inside
+    {!locked} (e.g. a checkpoint quiescing commits). *)
+let snapshot_unlocked t =
+  {
+    ts = Oracle.last_ts t.oracle;
+    tables = Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t.tables [];
+    snap_index_defs = t.index_defs;
+  }
+
+(** [snapshot t] pins the current committed state: O(#tables) pointer
+    copies under the mutex, then fully private. *)
+let snapshot t = Mutex.protect t.mutex (fun () -> snapshot_unlocked t)
+
+(** [begin_txn t] opens a transaction on a fresh snapshot. *)
+let begin_txn t =
+  Metrics.incr m_begins;
+  { id = Oracle.fresh_id t.oracle; snap = snapshot t; writes = []; stmts = [];
+    index_ddl = false }
+
+(** [rollback txn] discards the transaction (the session layer drops its
+    private versions; the store never saw them). *)
+let rollback (_ : txn) = Metrics.incr m_rollbacks
+
+(* The conflict check: any name in the write set stamped after our
+   snapshot means someone committed there first. *)
+let check_conflicts t txn =
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt t.stamps name with
+      | Some s when s > txn.snap.ts ->
+          Metrics.incr m_conflicts;
+          raise
+            (Conflict
+               (Printf.sprintf
+                  "transaction %d lost table %S to a first committer (snapshot ts \
+                   %d, table committed at ts %d)"
+                  txn.id name txn.snap.ts s))
+      | _ -> ())
+    txn.writes
+
+(** [commit t txn ~lookup ~index_defs] atomically publishes the
+    transaction: first-committer-wins conflict check, WAL group commit
+    (begin + statements + commit marker in one write, fsynced per the
+    log's policy), then version installation.  [lookup name] returns the
+    session's private version of a written table ([None] = dropped);
+    [index_defs] is the full new declaration list when the transaction
+    changed DDL.  Returns the commit timestamp.  Read-only transactions
+    commit trivially without taking the lock. *)
+let commit t txn ~lookup ~index_defs =
+  if txn.writes = [] then begin
+    Metrics.incr m_commits;
+    txn.snap.ts
+  end
+  else
+    Mutex.protect t.mutex (fun () ->
+        check_conflicts t txn;
+        (* Write-ahead: the transaction is durable before it is visible.
+           A crash inside the flush leaves a torn, commit-marker-less
+           group that replay drops — correct, the client was never
+           acknowledged. *)
+        (match t.wal with
+        | Some w when txn.stmts <> [] ->
+            Wal.log_txn_begin w ~txn:txn.id;
+            List.iter (Wal.log_txn_statement w ~txn:txn.id) (List.rev txn.stmts);
+            Wal.log_txn_commit w ~txn:txn.id;
+            Wal.flush w
+        | _ -> ());
+        let ts = Oracle.advance t.oracle in
+        List.iter
+          (fun name ->
+            Hashtbl.replace t.stamps name ts;
+            match lookup name with
+            | Some tbl -> Hashtbl.replace t.tables name tbl
+            | None -> Hashtbl.remove t.tables name)
+          txn.writes;
+        (match index_defs with Some defs -> t.index_defs <- defs | None -> ());
+        Metrics.incr m_commits;
+        Metrics.set g_committed_ts ts;
+        ts)

@@ -50,6 +50,10 @@ let to_array v = Array.sub v.data 0 v.len
 (** [of_array ~dummy a] builds a vector containing the elements of [a]. *)
 let of_array ~dummy a = { data = Array.copy a; len = Array.length a; dummy }
 
+(** [copy v] is an independent vector with the same elements (the
+    elements themselves are shared, not deep-copied). *)
+let copy v = { data = Array.sub v.data 0 v.len; len = v.len; dummy = v.dummy }
+
 (** [iter f v] applies [f] to each element in order. *)
 let iter f v =
   for i = 0 to v.len - 1 do

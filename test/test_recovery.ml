@@ -284,6 +284,131 @@ let test_op_sweep () =
             (crash_at_ops ~what:(Printf.sprintf "op sweep cut=%d" cut) ~dumps cut))
         (sweep_points ops.(nsteps) 90))
 
+(* --- Concurrent transactions: interleaved sessions, crash sweep --------- *)
+
+(* Two sessions on one shared durable store, their statements interleaved
+   at statement granularity from a single thread — deterministic, so the
+   clean run's byte marks locate crash points in the faulted run exactly
+   as in the single-session matrix.  Each COMMIT writes its whole WAL
+   frame group (begin / statements / commit marker) in one write, so a
+   power cut anywhere must recover a prefix of the *committed
+   transactions* in commit order: never a half-applied transaction,
+   never a lost acknowledged commit. *)
+
+type tstep = TA of string | TB of string | Tcp
+
+let txn_workload =
+  [
+    TA "CREATE TABLE a (x INT NOT NULL)";
+    TB "CREATE TABLE b (y INT NOT NULL)";
+    TA "BEGIN";
+    TA "INSERT INTO a VALUES (1)";
+    TB "BEGIN";
+    TB "INSERT INTO b VALUES (10)";
+    TA "INSERT INTO a VALUES (2)";
+    TA "COMMIT";
+    TB "INSERT INTO b VALUES (11)";
+    TB "COMMIT";
+    TB "BEGIN";
+    TB "UPDATE b SET y = y + 100";
+    TB "ROLLBACK";
+    Tcp;
+    TA "BEGIN";
+    TA "UPDATE a SET x = x * 10";
+    TB "BEGIN";
+    TB "DELETE FROM b WHERE y = 11";
+    TA "COMMIT";
+    TB "COMMIT";
+    TA "INSERT INTO a VALUES (3)";
+  ]
+
+(* The committed state is what a brand-new session sees — the drivers'
+   own views may sit inside an open transaction. *)
+let observe store = dump (Db.session store)
+
+let apply_tstep sa sb root = function
+  | TA sql -> ignore (Db.exec sa sql)
+  | TB sql -> ignore (Db.exec sb sql)
+  | Tcp -> Db.checkpoint root
+
+let run_txn_clean steps dir =
+  Sim_fs.reset ();
+  let root, _ = Db.open_durable dir in
+  let store = Db.share root in
+  let sa = Db.session store and sb = Db.session store in
+  let dumps = ref [ observe store ] in
+  let marks = ref [ Sim_fs.bytes_written () ] in
+  List.iter
+    (fun s ->
+      apply_tstep sa sb root s;
+      dumps := observe store :: !dumps;
+      marks := Sim_fs.bytes_written () :: !marks)
+    steps;
+  Db.close sa;
+  Db.close sb;
+  Db.close root;
+  (Array.of_list (List.rev !dumps), Array.of_list (List.rev !marks))
+
+let crash_txn_at_bytes ~what ~dumps cut =
+  let dir = tmpdir () in
+  Sim_fs.reset ();
+  let acked = ref 0 in
+  let open_dbs = ref [] in
+  (try
+     Sim_fs.crash_after_bytes cut;
+     let root, _ = Db.open_durable dir in
+     let store = Db.share root in
+     let sa = Db.session store and sb = Db.session store in
+     open_dbs := [ sa; sb; root ];
+     List.iter
+       (fun s ->
+         apply_tstep sa sb root s;
+         incr acked)
+       txn_workload
+   with Sim_fs.Crash _ -> ());
+  Sim_fs.reset ();
+  List.iter Db.close !open_dbs;
+  let got, report = recover_and_check ~what ~dumps ~acked:!acked dir in
+  rmrf dir;
+  (!acked, got, report)
+
+let with_txn_clean_run f =
+  let dir = tmpdir () in
+  let marks = run_txn_clean txn_workload dir in
+  rmrf dir;
+  Fun.protect ~finally:Sim_fs.reset (fun () -> f marks)
+
+(* A power cut a few bytes into the first COMMIT's frame group: the torn
+   group must be dropped whole — both inserts of transaction A vanish
+   even though its B-frame and first statement frame are on disk. *)
+let test_torn_txn_group () =
+  with_txn_clean_run (fun (dumps, marks) ->
+      let commit_step = 7 in
+      (* txn_workload.(commit_step) is TA "COMMIT" *)
+      let cut = marks.(commit_step) + 3 in
+      let acked, got, report =
+        crash_txn_at_bytes ~what:"torn txn group" ~dumps cut
+      in
+      Alcotest.(check int) "crash lands on the COMMIT" commit_step acked;
+      Alcotest.(check string)
+        "whole transaction dropped" dumps.(commit_step) got;
+      Alcotest.(check bool) "reported torn" true report.Db.torn)
+
+(* The sweep: a power cut at ~80 byte positions across the interleaved
+   run, including inside both overlapping commit groups, the rollback
+   (which writes nothing), the shared-store checkpoint rotation and the
+   trailing auto-commit. *)
+let test_txn_interleaved_sweep () =
+  with_txn_clean_run (fun (dumps, marks) ->
+      let nsteps = List.length txn_workload in
+      List.iter
+        (fun cut ->
+          ignore
+            (crash_txn_at_bytes
+               ~what:(Printf.sprintf "txn sweep cut=%d" cut)
+               ~dumps cut))
+        (sweep_points marks.(nsteps) 80))
+
 (* --- Fuzz: random workload, random crash point -------------------------- *)
 
 let fuzz_case_gen =
@@ -351,6 +476,13 @@ let () =
         [
           Alcotest.test_case "every ~1% of bytes" `Quick test_byte_sweep;
           Alcotest.test_case "every ~1% of ops" `Quick test_op_sweep;
+        ] );
+      ( "interleaved txns",
+        [
+          Alcotest.test_case "torn txn group dropped whole" `Quick
+            test_torn_txn_group;
+          Alcotest.test_case "crash sweep over two sessions" `Quick
+            test_txn_interleaved_sweep;
         ] );
       ("fuzz", [ prop_random_crash_point ]);
     ]

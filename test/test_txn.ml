@@ -1,0 +1,291 @@
+(* Snapshot-isolation MVCC: visibility, snapshot stability, conflicts,
+   rollback, durability of transaction frame groups, and concurrent WAL
+   group commit (N writer threads committing in parallel must produce a
+   replayable log whose recovered state equals the committed state). *)
+
+module Db = Quill.Db
+module Sim_fs = Quill_storage.Sim_fs
+module Table = Quill_storage.Table
+module Catalog = Quill_storage.Catalog
+module Value = Quill_storage.Value
+
+let tmpdir () =
+  let p = Filename.temp_file "quill_txn" "" in
+  Sys.remove p;
+  p
+
+let rec rmrf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rmrf (Filename.concat path f)) (Sys.readdir path);
+      try Unix.rmdir path with Unix.Unix_error _ -> ()
+    end
+    else Sys.remove path
+
+let run db sql = ignore (Db.exec db sql)
+
+let int_of db sql =
+  match Table.get (Db.query db sql) 0 0 with
+  | Value.Int n -> n
+  | Value.Null -> 0
+  | v -> Alcotest.failf "expected int from %s, got %s" sql (Value.to_string v)
+
+let check_int msg want got = Alcotest.(check int) msg want got
+
+(* --- visibility and snapshot stability ---------------------------------- *)
+
+let test_visibility () =
+  let root = Db.create () in
+  run root "CREATE TABLE t (a INT NOT NULL)";
+  run root "INSERT INTO t VALUES (1), (2)";
+  let store = Db.share root in
+  let s1 = Db.session store and s2 = Db.session store in
+  check_int "fresh session sees seed" 2 (int_of s1 "SELECT COUNT(*) FROM t");
+  (* Uncommitted writes are invisible to others. *)
+  run s1 "BEGIN";
+  run s1 "INSERT INTO t VALUES (3)";
+  check_int "own writes visible in txn" 3 (int_of s1 "SELECT COUNT(*) FROM t");
+  check_int "uncommitted invisible to s2" 2 (int_of s2 "SELECT COUNT(*) FROM t");
+  check_int "uncommitted invisible to root" 2 (int_of root "SELECT COUNT(*) FROM t");
+  run s1 "COMMIT";
+  check_int "committed visible to s2" 3 (int_of s2 "SELECT COUNT(*) FROM t");
+  check_int "committed visible to root" 3 (int_of root "SELECT COUNT(*) FROM t")
+
+let test_snapshot_stability () =
+  let root = Db.create () in
+  run root "CREATE TABLE t (a INT NOT NULL)";
+  run root "INSERT INTO t VALUES (1), (2)";
+  let store = Db.share root in
+  let reader = Db.session store and writer = Db.session store in
+  run reader "BEGIN";
+  check_int "pinned at 2" 2 (int_of reader "SELECT COUNT(*) FROM t");
+  run writer "INSERT INTO t VALUES (3)";
+  run writer "INSERT INTO t VALUES (4)";
+  check_int "snapshot unmoved by commits" 2 (int_of reader "SELECT COUNT(*) FROM t");
+  check_int "sum also unmoved" 3 (int_of reader "SELECT SUM(a) FROM t");
+  run reader "COMMIT";
+  check_int "refreshed after commit" 4 (int_of reader "SELECT COUNT(*) FROM t")
+
+let test_conflict_first_committer_wins () =
+  let root = Db.create () in
+  run root "CREATE TABLE t (a INT NOT NULL)";
+  run root "CREATE TABLE u (b INT NOT NULL)";
+  run root "INSERT INTO t VALUES (1)";
+  run root "INSERT INTO u VALUES (1)";
+  let store = Db.share root in
+  let s1 = Db.session store and s2 = Db.session store in
+  (* Write-write on the same table: exactly the second committer loses. *)
+  run s1 "BEGIN";
+  run s2 "BEGIN";
+  run s1 "UPDATE t SET a = 10";
+  run s2 "UPDATE t SET a = 20";
+  run s1 "COMMIT";
+  (match Db.exec s2 "COMMIT" with
+  | _ -> Alcotest.fail "second committer must conflict"
+  | exception Db.Conflict _ -> ());
+  check_int "winner's write survives" 10 (int_of root "SELECT MAX(a) FROM t");
+  (* The loser's session stays usable and can retry. *)
+  run s2 "BEGIN";
+  run s2 "UPDATE t SET a = 30";
+  run s2 "COMMIT";
+  check_int "retry on fresh snapshot wins" 30 (int_of root "SELECT MAX(a) FROM t");
+  (* Disjoint write sets never conflict. *)
+  run s1 "BEGIN";
+  run s2 "BEGIN";
+  run s1 "UPDATE t SET a = 40";
+  run s2 "UPDATE u SET b = 40";
+  run s1 "COMMIT";
+  run s2 "COMMIT";
+  check_int "disjoint commit t" 40 (int_of root "SELECT MAX(a) FROM t");
+  check_int "disjoint commit u" 40 (int_of root "SELECT MAX(b) FROM u")
+
+let test_rollback () =
+  let root = Db.create () in
+  run root "CREATE TABLE t (a INT NOT NULL)";
+  run root "INSERT INTO t VALUES (1)";
+  let store = Db.share root in
+  let s = Db.session store in
+  run s "BEGIN";
+  run s "INSERT INTO t VALUES (2)";
+  run s "CREATE TABLE fresh (x INT NOT NULL)";
+  run s "ROLLBACK";
+  check_int "insert discarded" 1 (int_of s "SELECT COUNT(*) FROM t");
+  Alcotest.(check bool)
+    "DDL discarded" true
+    (Catalog.find (Db.catalog s) "fresh" = None);
+  Alcotest.(check bool)
+    "DDL never escaped" true
+    (Catalog.find (Db.catalog root) "fresh" = None);
+  (* A failing statement aborts the whole transaction. *)
+  run s "BEGIN";
+  run s "INSERT INTO t VALUES (5)";
+  (match Db.exec s "INSERT INTO nosuch VALUES (1)" with
+  | _ -> Alcotest.fail "insert into missing table must fail"
+  | exception Db.Error _ -> ());
+  Alcotest.(check bool) "txn rolled back on error" false (Db.in_transaction s);
+  check_int "partial txn discarded" 1 (int_of s "SELECT COUNT(*) FROM t")
+
+let test_txn_control_errors () =
+  let db = Db.create () in
+  run db "CREATE TABLE t (a INT NOT NULL)";
+  (match Db.exec db "COMMIT" with
+  | _ -> Alcotest.fail "COMMIT outside txn must error"
+  | exception Db.Error _ -> ());
+  run db "BEGIN";
+  (match Db.exec db "BEGIN" with
+  | _ -> Alcotest.fail "nested BEGIN must error"
+  | exception Db.Error _ -> ());
+  run db "ROLLBACK";
+  (* BEGIN on a never-shared database auto-creates a private store. *)
+  run db "BEGIN";
+  run db "INSERT INTO t VALUES (1)";
+  run db "COMMIT";
+  check_int "private store committed" 1 (int_of db "SELECT COUNT(*) FROM t")
+
+let test_ddl_through_txn () =
+  let root = Db.create () in
+  let store = Db.share root in
+  let s1 = Db.session store and s2 = Db.session store in
+  run s1 "BEGIN";
+  run s1 "CREATE TABLE built (k INT NOT NULL, v TEXT)";
+  run s1 "INSERT INTO built VALUES (1, 'x'), (2, 'y')";
+  run s1 "CREATE INDEX ON built (k)";
+  run s1 "COMMIT";
+  check_int "created table + rows visible" 2 (int_of s2 "SELECT COUNT(*) FROM built");
+  check_int "index usable in s2" 1
+    (int_of s2 "SELECT COUNT(*) FROM built WHERE k = 2");
+  run s2 "DROP TABLE built";
+  Alcotest.(check bool)
+    "drop visible to s1" true
+    (match Db.exec s1 "SELECT COUNT(*) FROM built" with
+    | _ -> false
+    | exception Db.Error _ -> true)
+
+(* --- durability --------------------------------------------------------- *)
+
+let test_durable_roundtrip () =
+  Sim_fs.reset ();
+  let dir = tmpdir () in
+  let root, _ = Db.open_durable dir in
+  run root "CREATE TABLE t (a INT NOT NULL)";
+  let store = Db.share root in
+  let s = Db.session store in
+  run s "BEGIN";
+  run s "INSERT INTO t VALUES (1), (2)";
+  run s "INSERT INTO t VALUES (3)";
+  run s "COMMIT";
+  (* An aborted transaction must leave nothing in the log's committed set. *)
+  run s "BEGIN";
+  run s "INSERT INTO t VALUES (99)";
+  run s "ROLLBACK";
+  run s "INSERT INTO t VALUES (4)";
+  let want = int_of root "SELECT SUM(a) FROM t" in
+  check_int "pre-close sum" 10 want;
+  let db2, report = Db.open_durable dir in
+  check_int "recovered sum" 10 (int_of db2 "SELECT SUM(a) FROM t");
+  Alcotest.(check bool) "no torn tail" false report.Db.torn;
+  rmrf dir
+
+(* Concurrent WAL group commit: [writers] threads, each committing
+   [txns] explicit transactions of two inserts into its own table (so no
+   write-write conflicts — pure commit-protocol interleaving).  The
+   recovered database must equal the live committed state: every
+   committed transaction wholly present, nothing else, i.e. the replayed
+   log is equivalent to a serial order of the committed transactions. *)
+let test_concurrent_group_commit () =
+  Sim_fs.reset ();
+  let dir = tmpdir () in
+  let root, _ = Db.open_durable dir in
+  let writers = 4 and txns = 12 in
+  for w = 0 to writers - 1 do
+    run root (Printf.sprintf "CREATE TABLE w%d (seq INT NOT NULL, half INT NOT NULL)" w)
+  done;
+  let store = Db.share root in
+  let worker w =
+    let db = Db.session store in
+    for i = 1 to txns do
+      run db "BEGIN";
+      run db (Printf.sprintf "INSERT INTO w%d VALUES (%d, 1)" w i);
+      run db (Printf.sprintf "INSERT INTO w%d VALUES (%d, 2)" w i);
+      run db "COMMIT"
+    done;
+    Db.close db
+  in
+  let threads = List.init writers (fun w -> Thread.create worker w) in
+  List.iter Thread.join threads;
+  let live =
+    List.init writers (fun w -> int_of root (Printf.sprintf "SELECT COUNT(*) FROM w%d" w))
+  in
+  List.iteri
+    (fun w n -> check_int (Printf.sprintf "live rows w%d" w) (2 * txns) n)
+    live;
+  (* Reboot: replay the log written by four interleaved committers. *)
+  let db2, report = Db.open_durable dir in
+  Alcotest.(check bool) "log not torn" false report.Db.torn;
+  for w = 0 to writers - 1 do
+    check_int
+      (Printf.sprintf "recovered rows w%d" w)
+      (2 * txns)
+      (int_of db2 (Printf.sprintf "SELECT COUNT(*) FROM w%d" w));
+    (* Per-transaction atomicity: each seq has exactly both halves. *)
+    check_int
+      (Printf.sprintf "atomic txns w%d" w)
+      txns
+      (int_of db2
+         (Printf.sprintf
+            "SELECT COUNT(*) FROM (SELECT seq FROM w%d GROUP BY seq HAVING \
+             COUNT(*) = 2 AND SUM(half) = 3) q"
+            w))
+  done;
+  rmrf dir
+
+(* Contended auto-commit: all writers hammer one table; the built-in
+   conflict retry means most statements succeed, and every acknowledged
+   statement must be present after recovery. *)
+let test_contended_autocommit () =
+  Sim_fs.reset ();
+  let dir = tmpdir () in
+  let root, _ = Db.open_durable dir in
+  run root "CREATE TABLE hits (w INT NOT NULL, i INT NOT NULL)";
+  let store = Db.share root in
+  let acked = Atomic.make 0 in
+  let worker w =
+    let db = Db.session store in
+    for i = 1 to 20 do
+      match Db.exec db (Printf.sprintf "INSERT INTO hits VALUES (%d, %d)" w i) with
+      | _ -> Atomic.incr acked
+      | exception Db.Conflict _ -> ()  (* retries exhausted: not acked *)
+    done;
+    Db.close db
+  in
+  let threads = List.init 4 (fun w -> Thread.create worker w) in
+  List.iter Thread.join threads;
+  check_int "live rows = acked" (Atomic.get acked)
+    (int_of root "SELECT COUNT(*) FROM hits");
+  let db2, _ = Db.open_durable dir in
+  check_int "recovered rows = acked" (Atomic.get acked)
+    (int_of db2 "SELECT COUNT(*) FROM hits");
+  rmrf dir
+
+let () =
+  Alcotest.run "txn"
+    [
+      ( "mvcc",
+        [
+          Alcotest.test_case "visibility" `Quick test_visibility;
+          Alcotest.test_case "snapshot stability" `Quick test_snapshot_stability;
+          Alcotest.test_case "first committer wins" `Quick
+            test_conflict_first_committer_wins;
+          Alcotest.test_case "rollback" `Quick test_rollback;
+          Alcotest.test_case "txn control errors" `Quick test_txn_control_errors;
+          Alcotest.test_case "DDL through txn" `Quick test_ddl_through_txn;
+        ] );
+      ( "durable",
+        [
+          Alcotest.test_case "txn frame round-trip" `Quick test_durable_roundtrip;
+          Alcotest.test_case "concurrent group commit" `Quick
+            test_concurrent_group_commit;
+          Alcotest.test_case "contended auto-commit" `Quick
+            test_contended_autocommit;
+        ] );
+    ]
