@@ -1,0 +1,149 @@
+(* E21: high-QPS traffic — throughput and latency percentiles vs session
+   count and cache policy, driven by the lib/workload traffic driver.
+
+   Shared by two entry points: the full run ([main.exe E21], which
+   prints the sweep EXPERIMENTS.md records and rewrites
+   [bench/BENCH_traffic.json] from a smoke-scale measurement) and the
+   regression gate ([check_bench.exe], wired into `dune runtest`, which
+   re-runs the smoke scale and compares throughput and p99 against the
+   committed baseline).  The TRAFFIC experiment id runs just the smoke
+   report inside `dune runtest` so every build exercises the driver. *)
+
+module Value = Quill_storage.Value
+module Schema = Quill_storage.Schema
+module Table = Quill_storage.Table
+module Catalog = Quill_storage.Catalog
+module Rng = Quill_util.Rng
+module Driver = Quill_driver.Driver
+
+(* Scale for the committed baseline and the runtest gate: ~1.2k queries
+   over 20k rows keeps the smoke run around a second. *)
+let smoke_rows = 20_000
+let smoke_sessions = 4
+let smoke_per_session = 300
+
+(* traffic(k INT, v INT, grp INT): k is near-unique and indexed (point
+   lookups), v is skewed — ~90% of rows in [0,10), the rest spread to
+   1e6 — so range predicates over it swing across selectivity bands,
+   and grp keys a small aggregation. *)
+let build_store ~rows =
+  let rng = Rng.create 777 in
+  let schema =
+    Schema.create
+      [ Schema.col ~nullable:false "k" Value.Int_t;
+        Schema.col ~nullable:false "v" Value.Int_t;
+        Schema.col ~nullable:false "grp" Value.Int_t ]
+  in
+  let t = Table.create ~name:"traffic" schema in
+  for _ = 1 to rows do
+    let v =
+      if Rng.int rng 10 < 9 then Rng.int rng 10 else Rng.int rng 1_000_000
+    in
+    Table.insert t
+      [| Value.Int (Rng.int rng rows); Value.Int v; Value.Int (Rng.int rng 32) |]
+  done;
+  let db = Quill.Db.create () in
+  Catalog.add (Quill.Db.catalog db) t;
+  ignore (Quill.Db.exec db "CREATE INDEX ON traffic (k)");
+  Quill.Db.analyze db "traffic";
+  (db, Quill.Db.share db)
+
+(* The query mix: point lookups through the index, band-crossing range
+   counts, and a grouped aggregate — all parameterized, so the whole mix
+   flows through the prepared plan-cache path. *)
+let gen_op ~rows rng =
+  match Rng.int rng 10 with
+  | 0 | 1 | 2 | 3 | 4 | 5 ->
+      { Driver.sql = "SELECT v, grp FROM traffic WHERE k = $1";
+        params = [| Value.Int (Rng.int rng rows) |] }
+  | 6 | 7 ->
+      let cutoff = if Rng.int rng 2 = 0 then Rng.int rng 10 else Rng.int rng 1_000_000 in
+      { Driver.sql = "SELECT count(*) FROM traffic WHERE v < $1";
+        params = [| Value.Int cutoff |] }
+  | _ ->
+      { Driver.sql = "SELECT grp, count(*) FROM traffic WHERE v < $1 GROUP BY grp";
+        params = [| Value.Int (Rng.int rng 20) |] }
+
+let run_once ?(warmup = 0) ~rows ~sessions ~per_session ~mode ~rate store =
+  let streams =
+    Driver.streams ~sessions ~per_session ~seed:42 (gen_op ~rows)
+  in
+  Driver.run
+    ~spec:{ Driver.mode; rate; warmup }
+    ~target:(Driver.In_process store) streams
+
+(** [smoke ()] is the fixed-scale measurement the gate and the baseline
+    share.  The warmup keeps first-run planning and tier-up compilation
+    out of the recorded percentiles, which would otherwise dominate the
+    p99 and make the gate flaky. *)
+let smoke () =
+  let _db, store = build_store ~rows:smoke_rows in
+  run_once ~warmup:50 ~rows:smoke_rows ~sessions:smoke_sessions
+    ~per_session:smoke_per_session ~mode:Driver.Prepared ~rate:0.0 store
+
+let json_of (r : Driver.report) =
+  Printf.sprintf
+    "{\n  \"rows\": %d,\n  \"sessions\": %d,\n  \"ops\": %d,\n  \"qps\": %.1f,\n\
+    \  \"p50_ms\": %.4f,\n  \"p99_ms\": %.4f\n}\n"
+    smoke_rows r.Driver.sessions r.Driver.acked r.Driver.qps
+    (r.Driver.p50 *. 1e3) (r.Driver.p99 *. 1e3)
+
+let write_json r =
+  let path =
+    if Sys.file_exists "bench" && Sys.is_directory "bench" then
+      Filename.concat "bench" "BENCH_traffic.json"
+    else "BENCH_traffic.json"
+  in
+  let oc = open_out path in
+  output_string oc (json_of r);
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let ms v = Printf.sprintf "%.3f" (v *. 1e3)
+
+(** The TRAFFIC smoke experiment: one driver run with the report (and
+    its obs-metrics percentiles) printed, riding `dune runtest`. *)
+let traffic_smoke () =
+  Harness.section "TRAFFIC: smoke traffic run (driver sanity)";
+  let r = smoke () in
+  print_endline (Driver.render r);
+  if r.Driver.acked <> r.Driver.issued then begin
+    Printf.eprintf "TRAFFIC: %d issued but %d acked\n" r.Driver.issued
+      r.Driver.acked;
+    exit 1
+  end
+
+(** The full E21 experiment: throughput/latency vs session count and
+    cache policy, plus an open-loop run showing schedule lag, then the
+    baseline refresh. *)
+let e21 () =
+  Harness.section "E21: traffic throughput/latency vs sessions and cache policy";
+  let rows = 200_000 in
+  let _db, store = build_store ~rows in
+  let per_session = 400 in
+  let sweep =
+    List.concat_map
+      (fun sessions ->
+        List.map
+          (fun (policy, mode) ->
+            let r = run_once ~rows ~sessions ~per_session ~mode ~rate:0.0 store in
+            [ string_of_int sessions; policy;
+              Printf.sprintf "%.0f" r.Driver.qps; ms r.Driver.p50;
+              ms r.Driver.p95; ms r.Driver.p99; ms r.Driver.max;
+              string_of_int r.Driver.errors ])
+          [ ("cached", Driver.Prepared); ("fresh", Driver.Fresh) ])
+      [ 1; 2; 4; 8 ]
+  in
+  Harness.table
+    ~header:[ "sessions"; "plans"; "qps"; "p50 ms"; "p95 ms"; "p99 ms"; "max ms"; "errors" ]
+    sweep;
+  (* Open loop at a rate the closed loop can sustain: percentiles now
+     include any queueing behind the schedule rather than service time
+     alone. *)
+  let closed = run_once ~rows ~sessions:4 ~per_session ~mode:Driver.Prepared ~rate:0.0 store in
+  let rate = closed.Driver.qps *. 0.6 in
+  let open_r = run_once ~rows ~sessions:4 ~per_session ~mode:Driver.Prepared ~rate store in
+  Printf.printf "\nopen loop @ %.0f arrivals/s (4 sessions):\n%s\n" rate
+    (Driver.render open_r);
+  print_newline ();
+  write_json (smoke ())

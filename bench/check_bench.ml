@@ -1,11 +1,18 @@
-(* Regression gate for the typed-batch data plane, wired into
-   `dune runtest`: re-runs the vector microbenchmarks at smoke scale and
-   fails the build if typed throughput regressed more than 2x against
-   the committed [bench/BENCH_vector.json] baseline, or if the typed
-   path lost its edge over the boxed ablation entirely.
+(* Regression gates wired into `dune runtest`:
 
-   The baseline file is tiny and hand-auditable, so it is parsed with a
-   string scanner rather than a JSON dependency. *)
+   - typed-batch data plane: re-runs the vector microbenchmarks at
+     smoke scale and fails the build if typed throughput regressed more
+     than 2x against the committed [bench/BENCH_vector.json] baseline,
+     or if the typed path lost its edge over the boxed ablation;
+   - traffic: re-runs the smoke traffic workload (argv.(2), optional)
+     and fails if throughput collapsed more than 4x or p99 latency
+     inflated more than 8x against [bench/BENCH_traffic.json].  The
+     traffic bounds are loose on purpose — one CI box vs another varies
+     a lot at millisecond latencies; the gate is for order-of-magnitude
+     regressions, the committed numbers are for humans.
+
+   The baseline files are tiny and hand-auditable, so they are parsed
+   with a string scanner rather than a JSON dependency. *)
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("check_bench: " ^ s); exit 1) fmt
 
@@ -82,6 +89,32 @@ let () =
             (r.Bench_vector.typed_rps /. r.Bench_vector.boxed_rps)
           :: !failures)
     results;
+  if Array.length Sys.argv > 2 then begin
+    let tpath = Sys.argv.(2) in
+    let tbase = read_file tpath in
+    let base_qps = field_after tbase 0 "qps" in
+    let base_p99 = field_after tbase 0 "p99_ms" in
+    let r = Bench_traffic.smoke () in
+    Printf.printf "\ntraffic smoke bench vs baseline %s\n" tpath;
+    print_endline (Quill_driver.Driver.render r);
+    let qps = r.Quill_driver.Driver.qps in
+    let p99_ms = r.Quill_driver.Driver.p99 *. 1e3 in
+    if qps *. 4.0 < base_qps then
+      failures :=
+        Printf.sprintf "traffic: throughput regressed >4x (%.0f qps vs baseline %.0f)"
+          qps base_qps
+        :: !failures;
+    if p99_ms > 8.0 *. base_p99 then
+      failures :=
+        Printf.sprintf "traffic: p99 inflated >8x (%.3f ms vs baseline %.3f ms)"
+          p99_ms base_p99
+        :: !failures;
+    if r.Quill_driver.Driver.acked <> r.Quill_driver.Driver.issued then
+      failures :=
+        Printf.sprintf "traffic: %d issued but only %d acked"
+          r.Quill_driver.Driver.issued r.Quill_driver.Driver.acked
+        :: !failures
+  end;
   match !failures with
   | [] -> print_endline "check_bench: OK"
   | fs ->

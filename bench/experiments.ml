@@ -976,4 +976,5 @@ let all =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
     ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
-    ("E18", e18); ("E19", e19); ("E20", e20); ("SMOKE", smoke); ("GOV", gov) ]
+    ("E18", e18); ("E19", e19); ("E20", e20); ("E21", Bench_traffic.e21);
+    ("SMOKE", smoke); ("GOV", gov); ("TRAFFIC", Bench_traffic.traffic_smoke) ]

@@ -12,6 +12,11 @@
                    tracer; \trace json [FILE] exports Chrome trace JSON
      \metrics      print the process-wide metrics registry
      \tpch SF      load a TPC-H-like database at the given scale factor
+     \bench [N [TOTAL]] [SQL]
+                   replay SQL (default: a count over the first table)
+                   from N concurrent sessions (default 4) for TOTAL
+                   queries (default 400); prints throughput and latency
+                   percentiles from the traffic driver
      \save DIR     persist the database (CSV files + DDL manifest)
      \load DIR     replace the session database with a saved one
      \open DIR     open (or create) a crash-safe durable database at DIR:
@@ -53,6 +58,54 @@ let describe s name =
       Printf.printf "%s %s — %d rows\n" name
         (Schema.to_string (Table.schema t))
         (Table.row_count t)
+
+module Driver = Quill_driver.Driver
+
+(* \bench [SESSIONS [TOTAL]] [SQL] — replay a statement from N
+   concurrent sessions over a shared handle to the current database and
+   print the traffic driver's throughput/latency report.  The replay
+   goes through the prepared path, so it exercises the plan cache the
+   same way the TCP server does. *)
+let bench s args =
+  let args = List.filter (fun t -> t <> "") args in
+  let sessions, total, sql_toks =
+    match args with
+    | a :: b :: rest
+      when int_of_string_opt a <> None && int_of_string_opt b <> None ->
+        (int_of_string a, int_of_string b, rest)
+    | a :: rest when int_of_string_opt a <> None -> (int_of_string a, 400, rest)
+    | rest -> (4, 400, rest)
+  in
+  if sessions < 1 || sessions > 64 || total < 1 then
+    print_endline "usage: \\bench [SESSIONS [TOTAL]] [SQL]  (1 <= SESSIONS <= 64)"
+  else
+    let sql =
+      match sql_toks with
+      | [] -> (
+          match Catalog.names (Db.catalog s.db) with
+          | t :: _ -> Some (Printf.sprintf "SELECT count(*) FROM %s" t)
+          | [] -> None)
+      | toks ->
+          let sql = String.trim (String.concat " " toks) in
+          Some
+            (if String.length sql > 0 && sql.[String.length sql - 1] = ';' then
+               String.sub sql 0 (String.length sql - 1)
+             else sql)
+    in
+    match sql with
+    | None ->
+        print_endline "\\bench: empty database — give a SQL statement to replay"
+    | Some sql -> (
+        let store = Db.share s.db in
+        let per_session = max 1 (total / sessions) in
+        Printf.printf "replaying %d x %d: %s\n%!" sessions per_session sql;
+        let streams =
+          Driver.streams ~sessions ~per_session ~seed:42 (fun _rng ->
+              { Driver.sql; params = [||] })
+        in
+        match Driver.run ~target:(Driver.In_process store) streams with
+        | r -> print_endline (Driver.render r)
+        | exception Failure m -> Printf.printf "error: %s\n" m)
 
 let meta s line =
   match String.split_on_char ' ' (String.trim line) with
@@ -185,6 +238,7 @@ let meta s line =
           Quill_workload.Tpch.load (Db.catalog s.db) ~sf ~seed:42;
           print_endline "done; try: SELECT count(*) FROM lineitem;"
       | _ -> print_endline "usage: \\tpch 0.01")
+  | "\\bench" :: rest -> bench s rest
   | _ -> Printf.printf "unknown meta command: %s\n" line
 
 (* Accumulate lines until a terminating ';' (outside string literals). *)

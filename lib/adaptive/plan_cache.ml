@@ -1,9 +1,22 @@
 (* Plan cache for parameterized queries.
 
-   Keyed by (SQL text, parameter dtypes); entries hold the optimized
-   physical plan, the staged compilation (if the query got hot), run
-   counts and cumulative timings.  Entries are invalidated when the
-   catalog version moves (DDL/DML), and evicted LRU beyond [capacity]. *)
+   Keyed by the structured triple (SQL text, parameter dtypes,
+   selectivity band); entries hold the optimized physical plan, the
+   staged compilation (if the query got hot), run counts and cumulative
+   timings.  The earlier string key [sql ^ "|" ^ types] only stayed
+   injective as long as every dtype name was free of '|' and ',' — the
+   structured key removes that implicit contract.
+
+   Entries are invalidated when the catalog version moves (DDL/DML),
+   and evicted LRU when the cache exceeds [capacity] entries or
+   [budget_bytes] of estimated plan memory.
+
+   Parameter-sensitive plans: when the planner detects that a query's
+   selectivity depends on its bound parameters, it registers a
+   classifier (params -> selectivity band) alongside the plan.  Lookups
+   classify the incoming parameters first, so each band keeps its own
+   plan variant; landing in a band with no variant while others exist
+   counts as a re-pick (quill.plan_cache.repicks). *)
 
 module Value = Quill_storage.Value
 
@@ -18,56 +31,156 @@ type entry = {
   mutable total_exec_time : float;
   mutable last_used : float;
   catalog_version : int;
+  band : int option;  (** selectivity band the plan was picked for *)
+  bytes : int;  (** estimated memory charge against [budget_bytes] *)
 }
 
-type t = { capacity : int; entries : (string, entry) Hashtbl.t }
+(* Structural equality/hashing over this triple is unambiguous by
+   construction: no string concatenation, no separator to collide on. *)
+type key = { k_sql : string; k_types : string list; k_band : int option }
+
+type classifier = {
+  cl_version : int;
+  cl_fn : Value.t array -> int;  (** bound params -> selectivity band *)
+}
+
+type t = {
+  mutable capacity : int;
+  mutable budget_bytes : int;
+  mutable used_bytes : int;
+  entries : (key, entry) Hashtbl.t;
+  classifiers : (string * string list, classifier) Hashtbl.t;
+      (** parameter-sensitive queries: base key -> band classifier *)
+}
 
 (* Cache traffic, observable via the registry: hits serve the cached
-   plan; misses include stale entries invalidated by catalog changes. *)
+   plan; misses include stale entries invalidated by catalog changes.
+   Evictions count LRU drops under capacity/byte pressure; repicks count
+   lookups whose parameters landed in a band with no cached variant
+   while other variants of the same query existed. *)
 let m_hits = Quill_obs.Metrics.counter "quill.plan_cache.hits"
 let m_misses = Quill_obs.Metrics.counter "quill.plan_cache.misses"
+let m_evictions = Quill_obs.Metrics.counter "quill.plan_cache.evictions"
+let m_repicks = Quill_obs.Metrics.counter "quill.plan_cache.repicks"
 let g_entries = Quill_obs.Metrics.gauge "quill.plan_cache.entries"
+let g_bytes = Quill_obs.Metrics.gauge "quill.plan_cache.bytes"
 
-(** [create ?capacity ()] returns an empty cache. *)
-let create ?(capacity = 256) () = { entries = Hashtbl.create 64; capacity }
+let default_budget_bytes = 64 * 1024 * 1024
 
-let key sql param_types =
-  sql ^ "|" ^ String.concat "," (List.map Value.dtype_name (Array.to_list param_types))
+(** [create ?capacity ?budget_bytes ()] returns an empty cache bounded
+    both by entry count and by estimated plan bytes. *)
+let create ?(capacity = 256) ?(budget_bytes = default_budget_bytes) () =
+  { entries = Hashtbl.create 64; classifiers = Hashtbl.create 16; capacity;
+    budget_bytes; used_bytes = 0 }
 
-(** [find t ~sql ~param_types ~catalog_version] returns a live cached
-    entry, dropping stale ones. *)
-let find t ~sql ~param_types ~catalog_version =
-  let k = key sql param_types in
+let base_key sql param_types =
+  (sql, List.map Value.dtype_name (Array.to_list param_types))
+
+(* Plans are closures over boxed values; a precise size is out of reach,
+   so charge a deliberate over-estimate per plan node (staging allocates
+   several closures and arrays per operator) plus the SQL text we key
+   on.  What matters for eviction is that the charge is monotone in plan
+   complexity, not that it matches the allocator. *)
+let entry_bytes ~sql ~subs plan =
+  let nodes plan = Array.length (Quill_optimizer.Physical.preorder plan) in
+  let n =
+    List.fold_left (fun acc (_, p) -> acc + nodes p) (nodes plan) subs
+  in
+  (n * 512) + (2 * String.length sql) + 256
+
+let publish t =
+  Quill_obs.Metrics.set g_entries (Hashtbl.length t.entries);
+  Quill_obs.Metrics.set g_bytes t.used_bytes
+
+let remove_entry t k (e : entry) =
+  Hashtbl.remove t.entries k;
+  t.used_bytes <- t.used_bytes - e.bytes
+
+(* Band of the incoming parameters under the registered classifier, or
+   [None] for parameter-insensitive queries (and stale classifiers,
+   which are dropped the same way stale entries are). *)
+let classify t ~base ~params ~catalog_version =
+  match Hashtbl.find_opt t.classifiers base with
+  | Some cl when cl.cl_version = catalog_version -> Some (cl.cl_fn params)
+  | Some _ ->
+      Hashtbl.remove t.classifiers base;
+      None
+  | None -> None
+
+let variants t (sql, types) =
+  Hashtbl.fold
+    (fun k e acc ->
+      if k.k_sql = sql && k.k_types = types then (k, e) :: acc else acc)
+    t.entries []
+
+(** [find t ~sql ~param_types ~params ~catalog_version] returns a live
+    cached entry for the band [params] lands in, dropping stale ones. *)
+let find t ~sql ~param_types ~params ~catalog_version =
+  let base = base_key sql param_types in
+  let sql, types = base in
+  let band = classify t ~base ~params ~catalog_version in
+  let k = { k_sql = sql; k_types = types; k_band = band } in
   match Hashtbl.find_opt t.entries k with
   | Some e when e.catalog_version = catalog_version ->
       e.last_used <- Quill_util.Timer.now ();
       Quill_obs.Metrics.incr m_hits;
       Some e
-  | Some _ ->
-      Hashtbl.remove t.entries k;
-      Quill_obs.Metrics.set g_entries (Hashtbl.length t.entries);
+  | Some e ->
+      remove_entry t k e;
+      publish t;
       Quill_obs.Metrics.incr m_misses;
       None
   | None ->
+      (* Other live variants of this query exist but none planned for
+         this band: the upcoming plan is a parameter-driven re-pick. *)
+      if
+        band <> None
+        && List.exists
+             (fun (_, (e : entry)) -> e.catalog_version = catalog_version)
+             (variants t base)
+      then begin
+        Quill_obs.Metrics.incr m_repicks;
+        Quill_obs.Trace.instant "plan-repick" ~args:[ ("sql", sql) ]
+      end;
       Quill_obs.Metrics.incr m_misses;
       None
 
 let evict_if_needed t =
-  if Hashtbl.length t.entries > t.capacity then begin
-    (* Drop the least recently used entry. *)
+  let over () =
+    Hashtbl.length t.entries > t.capacity || t.used_bytes > t.budget_bytes
+  in
+  while over () && Hashtbl.length t.entries > 1 do
+    (* Drop the least recently used entry; the loop spares the single
+       newest entry so one plan bigger than the whole budget still
+       runs cached rather than thrashing. *)
     let oldest = ref None in
     Hashtbl.iter
       (fun k e ->
         match !oldest with
-        | Some (_, t0) when t0 <= e.last_used -> ()
-        | _ -> oldest := Some (k, e.last_used))
+        | Some (_, _, t0) when t0 <= e.last_used -> ()
+        | _ -> oldest := Some (k, e, e.last_used))
       t.entries;
-    match !oldest with Some (k, _) -> Hashtbl.remove t.entries k | None -> ()
-  end
+    match !oldest with
+    | Some (k, e, _) ->
+        remove_entry t k e;
+        Quill_obs.Metrics.incr m_evictions
+    | None -> ()
+  done
 
-(** [add t ~sql ~param_types ~catalog_version ?subs plan] caches a fresh
-    plan and returns its entry. *)
-let add t ~sql ~param_types ~catalog_version ?(subs = []) plan =
+(** [add t ~sql ~param_types ?params ?classifier ~catalog_version ?subs
+    plan] caches a fresh plan and returns its entry.  [classifier]
+    registers the query as parameter-sensitive; the new plan is stored
+    under the band [params] classifies to. *)
+let add t ~sql ~param_types ?(params = [||]) ?classifier ~catalog_version
+    ?(subs = []) plan =
+  let base = base_key sql param_types in
+  (match classifier with
+  | Some fn ->
+      Hashtbl.replace t.classifiers base
+        { cl_version = catalog_version; cl_fn = fn }
+  | None -> ());
+  let band = classify t ~base ~params ~catalog_version in
+  let bytes = entry_bytes ~sql ~subs plan in
   let e =
     {
       sql;
@@ -79,23 +192,50 @@ let add t ~sql ~param_types ~catalog_version ?(subs = []) plan =
       total_exec_time = 0.0;
       last_used = Quill_util.Timer.now ();
       catalog_version;
+      band;
+      bytes;
     }
   in
-  Hashtbl.replace t.entries (key sql param_types) e;
+  let sql_k, types = base in
+  let k = { k_sql = sql_k; k_types = types; k_band = band } in
+  (match Hashtbl.find_opt t.entries k with
+  | Some old -> remove_entry t k old
+  | None -> ());
+  Hashtbl.replace t.entries k e;
+  t.used_bytes <- t.used_bytes + bytes;
   evict_if_needed t;
-  Quill_obs.Metrics.set g_entries (Hashtbl.length t.entries);
+  publish t;
   e
 
-(** [invalidate t ~sql ~param_types] drops one entry (used after
-    re-optimization decisions). *)
+(** [invalidate t ~sql ~param_types] drops every band variant of one
+    query, plus its classifier (used after re-optimization decisions). *)
 let invalidate t ~sql ~param_types =
-  Hashtbl.remove t.entries (key sql param_types);
-  Quill_obs.Metrics.set g_entries (Hashtbl.length t.entries)
+  let base = base_key sql param_types in
+  List.iter (fun (k, e) -> remove_entry t k e) (variants t base);
+  Hashtbl.remove t.classifiers base;
+  publish t
 
 (** [clear t] empties the cache. *)
 let clear t =
   Hashtbl.reset t.entries;
-  Quill_obs.Metrics.set g_entries 0
+  Hashtbl.reset t.classifiers;
+  t.used_bytes <- 0;
+  publish t
 
 (** [size t] is the number of live entries. *)
 let size t = Hashtbl.length t.entries
+
+(** [used_bytes t] is the estimated bytes currently charged. *)
+let used_bytes t = t.used_bytes
+
+(** [set_capacity t n] / [set_budget t bytes] re-bound the cache,
+    evicting immediately if the new bound is tighter. *)
+let set_capacity t n =
+  t.capacity <- max 1 n;
+  evict_if_needed t;
+  publish t
+
+let set_budget t bytes =
+  t.budget_bytes <- max 0 bytes;
+  evict_if_needed t;
+  publish t

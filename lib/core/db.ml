@@ -209,7 +209,7 @@ let register_udf db ~name ~args ~ret f =
 (** [analyze db table] recollects statistics for [table]. *)
 let analyze db table = ignore (Table_stats.Registry.analyze db.registry db.catalog table)
 
-let opt_env db =
+let opt_env ?params db =
   let indexed table =
     match Catalog.find db.catalog table with
     | None -> []
@@ -218,7 +218,8 @@ let opt_env db =
           (fun col -> Schema.find (Table.schema t) col |> Result.to_option)
           (Quill_storage.Index.Registry.declared db.indexes table)
   in
-  Card.make_env ~hints:(Feedback.hints db.feedback) ~indexed db.catalog db.registry
+  Card.make_env ~hints:(Feedback.hints db.feedback) ~indexed ?params db.catalog
+    db.registry
 
 let param_types_of params =
   Array.map
@@ -275,8 +276,10 @@ let effective_options db budget_override =
   | None -> db.options
   | Some b -> { db.options with Picker.budget_bytes = Some b }
 
-(* Full planning result: main physical plan plus materialization plans for
-   any uncorrelated subqueries. *)
+(* Full planning result: main physical plan, materialization plans for
+   any uncorrelated subqueries, and — when the plan shape depends on the
+   bound parameter values — a classifier mapping parameters to the
+   selectivity band the plan cache keys variants on. *)
 let plan_full db ?(params = [||]) ?budget_bytes sql =
   let options = effective_options db budget_bytes in
   sync_view db;
@@ -288,22 +291,29 @@ let plan_full db ?(params = [||]) ?budget_bytes sql =
               ~param_types:(param_types_of params) ()
           in
           let lplan = Trace.with_span "bind" (fun () -> Binder.bind_select env sel) in
-          let main = Picker.optimize ~options (opt_env db) lplan in
+          let card_env = opt_env ~params db in
+          let main = Picker.optimize ~options card_env lplan in
+          let classifier =
+            Card.param_selectivity card_env lplan
+            |> Option.map (fun sel ps -> Card.selectivity_band (sel ps))
+          in
           (* Subqueries accumulate innermost-last; materialization order is
              innermost-first. *)
           let subs =
             List.rev_map
               (fun (cell, sub_lplan) ->
-                (cell, Picker.optimize ~options (opt_env db) sub_lplan))
+                (cell, Picker.optimize ~options card_env sub_lplan))
               !(env.Binder.subqueries)
           in
-          (main, subs)
+          (main, subs, classifier)
       | _ -> raise (Error "plan: not a SELECT statement"))
 
 (** [plan db ?params sql] parses and optimizes a SELECT, returning the
     physical plan (subquery materialization plans are handled internally by
     [query]/[query_adaptive]). *)
-let plan db ?params sql = fst (plan_full db ?params sql)
+let plan db ?params sql =
+  let main, _, _ = plan_full db ?params sql in
+  main
 
 let rows_to_table plan rows =
   let schema = Physical.schema_of plan in
@@ -818,7 +828,7 @@ let query db ?(params = [||]) ?engine ?timeout_ms ?budget_bytes sql =
           governed db ?timeout_ms ?budget_bytes (fun gov budget ->
               let result, dt =
                 Quill_util.Timer.time (fun () ->
-                    let pplan, subs = plan_full db ~params ?budget_bytes:budget sql in
+                    let pplan, subs, _ = plan_full db ~params ?budget_bytes:budget sql in
                     fill_subqueries db ~gov ~params subs;
                     rows_to_table pplan (run_engine db engine ~gov ~params pplan))
               in
@@ -904,7 +914,10 @@ let query_adaptive db ?(params = [||]) ?timeout_ms ?budget_bytes sql =
       governed db ?timeout_ms ?budget_bytes @@ fun gov budget ->
       let param_types = param_types_of params in
       let version = Catalog.version db.catalog in
-      match Plan_cache.find db.cache ~sql ~param_types ~catalog_version:version with
+      match
+        Plan_cache.find db.cache ~sql ~param_types ~params
+          ~catalog_version:version
+      with
       | Some entry ->
           Trace.instant "plan-cache-hit";
           fill_subqueries db ~gov ~params entry.Plan_cache.subs;
@@ -919,7 +932,9 @@ let query_adaptive db ?(params = [||]) ?timeout_ms ?budget_bytes sql =
           Metrics.observe h_query_seconds dt;
           rows_to_table entry.Plan_cache.plan (Quill_util.Vec.to_array rows)
       | None ->
-          let pplan, subs = plan_full db ~params ?budget_bytes:budget sql in
+          let pplan, subs, classifier =
+            plan_full db ~params ?budget_bytes:budget sql
+          in
           fill_subqueries db ~gov ~params subs;
           (* The first execution is instrumented; estimation misses feed
              the feedback store and can trigger an immediate re-plan for
@@ -933,13 +948,14 @@ let query_adaptive db ?(params = [||]) ?timeout_ms ?budget_bytes sql =
           let cached_plan, cached_subs =
             if Feedback.should_reoptimize pplan profile then begin
               Trace.instant "re-optimize";
-              plan_full db ~params ?budget_bytes:budget sql
+              let p, s, _ = plan_full db ~params ?budget_bytes:budget sql in
+              (p, s)
             end
             else (pplan, subs)
           in
           let entry =
-            Plan_cache.add db.cache ~sql ~param_types ~catalog_version:version
-              ~subs:cached_subs cached_plan
+            Plan_cache.add db.cache ~sql ~param_types ~params ?classifier
+              ~catalog_version:version ~subs:cached_subs cached_plan
           in
           entry.Plan_cache.runs <- 1;
           entry.Plan_cache.total_exec_time <- elapsed;
@@ -957,6 +973,36 @@ let cache_stats db =
       if e.Plan_cache.compiled <> None then incr compiled)
     db.cache.Plan_cache.entries;
   (!entries, !runs, !compiled)
+
+(* Cheap syntactic dispatch so the prepared path skips a full parse for
+   the (dominant) SELECT case; anything else falls through to [exec],
+   which parses properly. *)
+let starts_with_select sql =
+  let n = String.length sql in
+  let rec skip i =
+    if i < n && (sql.[i] = ' ' || sql.[i] = '\t' || sql.[i] = '\n' || sql.[i] = '\r')
+    then skip (i + 1)
+    else i
+  in
+  let i = skip 0 in
+  n - i >= 6 && String.lowercase_ascii (String.sub sql i 6) = "select"
+
+(** [exec_prepared db ?params sql] is the prepared-statement execution
+    path: SELECTs go through the adaptive plan cache (band-aware cached
+    plans, profiling, tier-up), everything else behaves like [exec].
+    This is what the server and the traffic driver use per execution. *)
+let exec_prepared db ?(params = [||]) ?timeout_ms ?budget_bytes sql =
+  if starts_with_select sql then
+    Rows (query_adaptive db ~params ?timeout_ms ?budget_bytes sql)
+  else exec db ~params ?timeout_ms ?budget_bytes sql
+
+(** [set_plan_cache_budget db bytes] bounds the estimated memory of
+    cached plans; least-recently-used entries are evicted immediately if
+    the cache is over the new budget. *)
+let set_plan_cache_budget db bytes = Plan_cache.set_budget db.cache bytes
+
+(** [set_plan_cache_capacity db n] bounds the number of cached plans. *)
+let set_plan_cache_capacity db n = Plan_cache.set_capacity db.cache n
 
 (* --- Observability ----------------------------------------------------- *)
 

@@ -177,9 +177,30 @@ val query_adaptive :
   string ->
   Quill_storage.Table.t
 
+(** [exec_prepared db ?params sql] is the prepared-statement execution
+    path: SELECTs go through {!query_adaptive} (the band-aware plan
+    cache), everything else behaves like {!exec}.  The server's
+    execute-prepared frames and the traffic driver use this per
+    execution. *)
+val exec_prepared :
+  t ->
+  ?params:Quill_storage.Value.t array ->
+  ?timeout_ms:int ->
+  ?budget_bytes:int ->
+  string ->
+  result
+
 (** [cache_stats db] returns [(entries, total runs, compiled entries)] of
     the plan cache, for observability. *)
 val cache_stats : t -> int * int * int
+
+(** [set_plan_cache_budget db bytes] bounds the estimated memory of this
+    session's cached plans; least-recently-used entries (across all
+    queries and band variants) are evicted when the cache goes over. *)
+val set_plan_cache_budget : t -> int -> unit
+
+(** [set_plan_cache_capacity db n] bounds the number of cached plans. *)
+val set_plan_cache_capacity : t -> int -> unit
 
 (** {1 Transactions and shared stores}
 

@@ -147,6 +147,10 @@ let quantile h q =
     !found
   end
 
+(** [percentiles h] is [(p50, p95, p99)] — the standard latency-report
+    triple, each the upper bound of the bucket the quantile falls in. *)
+let percentiles h = (quantile h 0.5, quantile h 0.95, quantile h 0.99)
+
 type snapshot_entry =
   | Counter_value of string * int
   | Gauge_value of string * int

@@ -19,12 +19,18 @@ type env = {
       (** feedback: predicate fingerprint -> observed selectivity *)
   indexed : string -> int list;
       (** table name -> column positions with a declared ordered index *)
+  params : Value.t array;
+      (** bound parameter values of the execution being planned, for
+          parameter peeking; [[||]] when planning generically *)
 }
 
-(** [make_env ?hints ?indexed catalog registry] builds an estimation
-    environment; [indexed] reports declared index positions per table. *)
-let make_env ?hints ?(indexed = fun _ -> []) catalog registry =
-  { catalog; registry; indexed;
+(** [make_env ?hints ?indexed ?params catalog registry] builds an
+    estimation environment; [indexed] reports declared index positions per
+    table and [params] enables parameter peeking in selectivity
+    estimates. *)
+let make_env ?hints ?(indexed = fun _ -> []) ?(params = [||]) catalog registry
+    =
+  { catalog; registry; indexed; params;
     hints = Option.value ~default:(Hashtbl.create 4) hints }
 
 type t = { rows : float; cols : Table_stats.col_stats option array }
@@ -75,7 +81,7 @@ let rec derive env (plan : Lplan.t) : t =
         (* Feedback hints from prior executions win over the estimator. *)
         match Hashtbl.find_opt env.hints (Bexpr.to_string pred) with
         | Some s -> s
-        | None -> Estimate.selectivity (lookup_of c) pred
+        | None -> Estimate.selectivity ~params:env.params (lookup_of c) pred
       in
       let rows = Float.max 0.0 (c.rows *. sel) in
       { rows; cols = rescale_cols rows c.cols }
@@ -187,3 +193,52 @@ let avg_row_width (c : t) =
     (fun acc s ->
       acc +. match s with Some s -> s.Table_stats.avg_width | None -> 8.0)
     0.0 c.cols
+
+(** [selectivity_band s] maps a selectivity estimate to a coarse decade
+    band: 0 for s in (0.1, 1], 1 for (0.01, 0.1], ... capped at 6.  Plans
+    picked inside one band stay valid for any parameters landing in the
+    same band; crossing bands is what triggers a plan-cache re-pick. *)
+let selectivity_band s =
+  if Float.is_nan s || s <= 0.0 then 6
+  else
+    let b = int_of_float (Float.floor (-.Float.log10 s)) in
+    if b < 0 then 0 else if b > 6 then 6 else b
+
+(** [param_selectivity env plan] is [Some f] when [plan] contains filter
+    predicates that mention bound parameters; [f params] then estimates
+    the combined selectivity of those predicates under the given
+    parameter values.  [None] means the plan shape cannot depend on
+    parameter values, so one cached plan fits all executions. *)
+let param_selectivity env (plan : Lplan.t) =
+  (* Collect (pred, lookup over the predicate's input) for every
+     parameterized filter; the lookups snapshot the stats at planning
+     time, which is fine because catalog-version bumps invalidate the
+     cached classifier along with the cached plans. *)
+  let preds = ref [] in
+  let rec walk (p : Lplan.t) =
+    (match p with
+    | Lplan.Filter (pred, input) when Bexpr.mentions_param pred ->
+        preds := (pred, lookup_of (derive env input)) :: !preds
+    | _ -> ());
+    match p with
+    | Lplan.One_row | Lplan.Scan _ -> ()
+    | Lplan.Filter (_, i) | Lplan.Project (_, i) | Lplan.Distinct i -> walk i
+    | Lplan.Join { left; right; _ } ->
+        walk left;
+        walk right
+    | Lplan.Aggregate { input; _ }
+    | Lplan.Window { input; _ }
+    | Lplan.Sort { input; _ }
+    | Lplan.Limit { input; _ } ->
+        walk input
+  in
+  walk plan;
+  match !preds with
+  | [] -> None
+  | preds ->
+      Some
+        (fun params ->
+          List.fold_left
+            (fun acc (pred, lookup) ->
+              acc *. Estimate.selectivity ~params lookup pred)
+            1.0 preds)

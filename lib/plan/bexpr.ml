@@ -69,6 +69,23 @@ let cols e =
   go e;
   List.sort_uniq compare !acc
 
+(** [mentions_param e] is true when [e] references any [Param] slot. *)
+let rec mentions_param e =
+  match e.node with
+  | Param _ -> true
+  | Lit _ | Col _ -> false
+  | Neg a | Not a | Cast (a, _) | Is_null (_, a) | Like (a, _) ->
+      mentions_param a
+  | Arith (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+      mentions_param a || mentions_param b
+  | In_list (a, es) -> mentions_param a || List.exists mentions_param es
+  | Case (whens, els) ->
+      List.exists (fun (c, v) -> mentions_param c || mentions_param v) whens
+      || (match els with Some e -> mentions_param e | None -> false)
+  | Call { args; _ } -> List.exists mentions_param args
+  | Subquery { kind = Sub_in arg; _ } -> mentions_param arg
+  | Subquery _ -> false
+
 (** [remap f e] rewrites every column index [i] to [f i]. *)
 let rec remap f e =
   let r = remap f in

@@ -201,8 +201,11 @@ let handle_conn t fd =
                  (Wire.Err
                     (Wire.Generic, Printf.sprintf "no prepared statement %d" id))
            | Some sql ->
+               (* Prepared executions take the plan-cached path: at high
+                  QPS re-planning per execution dominates, and the cache
+                  re-picks per selectivity band when parameters shift. *)
                let resp, quit =
-                 run_statement t db fd (fun () -> Db.exec db ~params sql)
+                 run_statement t db fd (fun () -> Db.exec_prepared db ~params sql)
                in
                if quit then alive := false else respond resp)
        | Wire.Cancel -> ()  (* nothing in flight; a benign race *)

@@ -17,9 +17,16 @@ type lookup = int -> Table_stats.col_stats option
 
 let clamp s = Float.max 0.0 (Float.min 1.0 s)
 
-let literal_of (e : Bexpr.t) =
+(* A bound parameter with a known value is as good as a literal for
+   estimation purposes ("parameter peeking"): resolving it here is what
+   makes plans parameter-sensitive, which the plan cache's selectivity
+   bands then account for. *)
+let literal_of ?(params = [||]) (e : Bexpr.t) =
   match e.Bexpr.node with
   | Bexpr.Lit v when not (Value.is_null v) -> Some v
+  | Bexpr.Param i
+    when i >= 0 && i < Array.length params && not (Value.is_null params.(i)) ->
+      Some params.(i)
   | _ -> None
 
 let is_param (e : Bexpr.t) =
@@ -46,18 +53,22 @@ let range_selectivity lookup i op v =
       | _ -> default_range)
   | _ -> default_range
 
-(** [selectivity lookup e] estimates the fraction of input rows for which
-    predicate [e] is true. *)
-let rec selectivity lookup (e : Bexpr.t) =
+(** [selectivity ?params lookup e] estimates the fraction of input rows
+    for which predicate [e] is true.  When [params] carries the bound
+    parameter values of the current execution, [Param] references are
+    peeked and estimated like literals. *)
+let rec selectivity ?(params = [||]) lookup (e : Bexpr.t) =
   match e.Bexpr.node with
   | Bexpr.Lit (Value.Bool true) -> 1.0
   | Bexpr.Lit (Value.Bool false) | Bexpr.Lit Value.Null -> 0.0
-  | Bexpr.And (a, b) -> clamp (selectivity lookup a *. selectivity lookup b)
+  | Bexpr.And (a, b) ->
+      clamp (selectivity ~params lookup a *. selectivity ~params lookup b)
   | Bexpr.Or (a, b) ->
-      let sa = selectivity lookup a and sb = selectivity lookup b in
+      let sa = selectivity ~params lookup a
+      and sb = selectivity ~params lookup b in
       clamp (sa +. sb -. (sa *. sb))
-  | Bexpr.Not a -> clamp (1.0 -. selectivity lookup a)
-  | Bexpr.Cmp (op, a, b) -> cmp_selectivity lookup op a b
+  | Bexpr.Not a -> clamp (1.0 -. selectivity ~params lookup a)
+  | Bexpr.Cmp (op, a, b) -> cmp_selectivity ~params lookup op a b
   | Bexpr.Like (_, pattern) ->
       (* A leading literal prefix narrows more than an unanchored pattern. *)
       if String.length pattern > 0 && pattern.[0] <> '%' && pattern.[0] <> '_' then
@@ -81,7 +92,7 @@ let rec selectivity lookup (e : Bexpr.t) =
       clamp (if negated then 1.0 -. base else base))
   | _ -> default_pred
 
-and cmp_selectivity lookup op a b =
+and cmp_selectivity ?(params = [||]) lookup op a b =
   (* Normalize to col OP rhs. *)
   let flip = function
     | Bexpr.Lt -> Bexpr.Gt | Bexpr.Le -> Bexpr.Ge
@@ -97,7 +108,7 @@ and cmp_selectivity lookup op a b =
   in
   match (col, rhs) with
   | Some i, Some r -> (
-      match (op, literal_of r) with
+      match (op, literal_of ~params r) with
       | Bexpr.Eq, Some _ -> clamp (eq_selectivity lookup i)
       | Bexpr.Eq, None when is_param r -> clamp (eq_selectivity lookup i)
       | Bexpr.Neq, Some _ -> clamp (1.0 -. eq_selectivity lookup i)

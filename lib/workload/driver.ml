@@ -1,0 +1,268 @@
+(* The traffic driver: replay parameterized query streams from N
+   concurrent sessions against a shared store (in-process) or a running
+   TCP server, and report throughput plus latency percentiles.
+
+   Arrival control is open-loop when [spec.rate > 0]: the k-th operation
+   of the whole run is scheduled at [t0 + k/rate] (round-robin across
+   sessions), and latency is measured from the *scheduled* arrival, not
+   from when the session got around to sending it — so queueing delay
+   under overload shows up in the percentiles instead of being
+   coordinated-omission'd away.  With [rate = 0] the driver is
+   closed-loop: each session fires its next query as soon as the
+   previous one returns, and latency is pure service time.
+
+   Every query's result is folded into an order-insensitive multiset
+   digest, so two runs over the same seeded streams can assert they
+   computed identical results regardless of engine, parallelism or
+   transport (the differential tests in test/test_traffic.ml). *)
+
+module Value = Quill_storage.Value
+module Table = Quill_storage.Table
+module Db = Quill.Db
+module Metrics = Quill_obs.Metrics
+module Client = Quill_server.Client
+module Wire = Quill_server.Wire
+module Rng = Quill_util.Rng
+module Timer = Quill_util.Timer
+
+type op = { sql : string; params : Value.t array }
+
+type target =
+  | In_process of Db.store  (** one [Db.session] per driver session *)
+  | Tcp of { host : string; port : int }
+      (** one connection per session; statements are prepared once and
+          executed via 'E' frames (the plan-cached server path) *)
+
+type mode =
+  | Prepared  (** the plan-cached path: [Db.exec_prepared] *)
+  | Fresh  (** parse-plan-execute every time: [Db.exec] *)
+  | Engine of Db.engine
+      (** force one engine via [Db.query]; SELECT-only streams,
+          in-process targets only *)
+
+type spec = {
+  rate : float;  (** arrivals/sec across all sessions; 0 = closed loop *)
+  mode : mode;
+  warmup : int;
+      (** per-session operations executed (and digested) before latency
+          recording starts *)
+}
+
+let default_spec = { rate = 0.0; mode = Prepared; warmup = 0 }
+
+type report = {
+  sessions : int;
+  issued : int;
+  acked : int;
+  errors : int;
+  elapsed : float;  (** seconds, first schedule to last ack *)
+  qps : float;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max : float;  (** latencies in seconds, from the fine recorder *)
+  obs_p50 : float;
+  obs_p95 : float;
+  obs_p99 : float;
+      (** the same percentiles as read back from the
+          [quill.workload.latency_seconds] obs histogram *)
+  max_lag : float;
+      (** open loop: worst distance behind schedule at send time *)
+  digest : int;  (** order-insensitive multiset digest of all results *)
+}
+
+let m_issued = Metrics.counter "quill.workload.issued"
+let m_acked = Metrics.counter "quill.workload.acked"
+let m_errors = Metrics.counter "quill.workload.errors"
+let h_latency = Metrics.histogram "quill.workload.latency_seconds"
+
+(* --- result digests ---------------------------------------------------- *)
+
+(* [Hashtbl.hash] is structural, so a row hashed from a server-side
+   [Value.t array] and the same row hashed client-side agree; summing
+   per-row hashes makes the digest insensitive to row order. *)
+let digest_rows fold_rows n = fold_rows (fun acc row -> acc + Hashtbl.hash row) (17 * n)
+
+let digest_of_table t =
+  let n = Table.row_count t in
+  digest_rows
+    (fun f acc ->
+      let r = ref acc in
+      for i = 0 to n - 1 do
+        r := f !r (Table.get_row t i)
+      done;
+      !r)
+    n
+
+let digest_of_result = function
+  | Db.Rows t -> digest_of_table t
+  | Db.Affected n -> 31 + n
+  | Db.Text s -> Hashtbl.hash s
+
+let digest_of_response = function
+  | Wire.Result (_, rows) ->
+      digest_rows (fun f acc -> List.fold_left f acc rows) (List.length rows)
+  | Wire.Affected n -> 31 + n
+  | Wire.Text s -> Hashtbl.hash s
+  | Wire.Prepared _ -> 0
+  | Wire.Err (_, m) -> failwith m
+
+(* --- stream generation ------------------------------------------------- *)
+
+(** [streams ~sessions ~per_session ~seed gen] builds one deterministic
+    operation stream per session; [gen] draws one operation from the
+    session's private RNG.  Same seed, same streams — the basis of every
+    differential test. *)
+let streams ~sessions ~per_session ~seed gen =
+  Array.init sessions (fun i ->
+      let rng = Rng.create (seed + (7919 * (i + 1))) in
+      Array.init per_session (fun _ -> gen rng))
+
+(* --- the run loop ------------------------------------------------------ *)
+
+let rec cas_max a x =
+  let old = Atomic.get a in
+  if x > old && not (Atomic.compare_and_set a old x) then cas_max a x
+
+(** [run ?spec ~target streams] replays [streams] (one array of
+    operations per concurrent session) against [target] and returns the
+    aggregate report.  Individual query failures are counted in
+    [errors]; the run always completes. *)
+let run ?(spec = default_spec) ~target streams =
+  let sessions = Array.length streams in
+  if sessions = 0 then invalid_arg "Driver.run: no sessions";
+  (match (target, spec.mode) with
+  | Tcp _, (Fresh | Engine _) ->
+      invalid_arg "Driver.run: TCP targets only support Prepared mode"
+  | _ -> ());
+  let recorder = Latency.create () in
+  let issued = Atomic.make 0
+  and acked = Atomic.make 0
+  and errors = Atomic.make 0
+  and digest = Atomic.make 0
+  and max_lag = Atomic.make 0.0 in
+  let t0 = Timer.now () in
+  let session_body i ops () =
+    let exec_op, cleanup =
+      match target with
+      | In_process store ->
+          let db = Db.session store in
+          let f op =
+            match spec.mode with
+            | Prepared -> digest_of_result (Db.exec_prepared db ~params:op.params op.sql)
+            | Fresh -> digest_of_result (Db.exec db ~params:op.params op.sql)
+            | Engine e ->
+                digest_of_table (Db.query db ~engine:e ~params:op.params op.sql)
+          in
+          (f, fun () -> ())
+      | Tcp { host; port } ->
+          let c = Client.connect ~host ~port () in
+          let ids = Hashtbl.create 8 in
+          let f op =
+            let id =
+              match Hashtbl.find_opt ids op.sql with
+              | Some id -> id
+              | None -> (
+                  match Client.prepare c op.sql with
+                  | Ok id ->
+                      Hashtbl.replace ids op.sql id;
+                      id
+                  | Error m -> failwith m)
+            in
+            digest_of_response (Client.execute c id op.params)
+          in
+          (f, fun () -> Client.close c)
+    in
+    Fun.protect ~finally:cleanup @@ fun () ->
+    Array.iteri
+      (fun k op ->
+        let sched =
+          if spec.rate > 0.0 then
+            Some (t0 +. (Float.of_int ((k * sessions) + i) /. spec.rate))
+          else None
+        in
+        (match sched with
+        | Some s ->
+            let rec wait () =
+              let dt = s -. Timer.now () in
+              if dt > 0.0 then begin
+                Thread.delay (Float.min dt 0.002);
+                wait ()
+              end
+            in
+            wait ();
+            cas_max max_lag (Timer.now () -. s)
+        | None -> ());
+        let start = match sched with Some s -> s | None -> Timer.now () in
+        Atomic.incr issued;
+        Metrics.incr m_issued;
+        try
+          let d = exec_op op in
+          let dt = Timer.now () -. start in
+          Atomic.incr acked;
+          Metrics.incr m_acked;
+          ignore (Atomic.fetch_and_add digest d);
+          if k >= spec.warmup then begin
+            Latency.record recorder dt;
+            Metrics.observe h_latency dt
+          end
+        with e ->
+          (match e with
+          | Db.Error _ | Db.Aborted _ | Db.Conflict _ | Failure _
+          | Unix.Unix_error _ | Wire.Protocol_error _ ->
+              Atomic.incr errors;
+              Metrics.incr m_errors
+          | e -> raise e))
+      ops
+  in
+  let threads =
+    Array.to_list
+      (Array.mapi
+         (fun i ops ->
+           Thread.create
+             (fun () ->
+               try session_body i ops ()
+               with _ ->
+                 (* connection/setup failure: everything this session
+                    did not ack shows up as issued<>acked *)
+                 Atomic.incr errors;
+                 Metrics.incr m_errors)
+             ())
+         streams)
+  in
+  List.iter Thread.join threads;
+  let elapsed = Float.max 1e-9 (Timer.now () -. t0) in
+  let acked_n = Atomic.get acked in
+  let obs_p50, obs_p95, obs_p99 = Metrics.percentiles h_latency in
+  {
+    sessions;
+    issued = Atomic.get issued;
+    acked = acked_n;
+    errors = Atomic.get errors;
+    elapsed;
+    qps = Float.of_int acked_n /. elapsed;
+    mean = Latency.mean recorder;
+    p50 = Latency.percentile recorder 0.5;
+    p95 = Latency.percentile recorder 0.95;
+    p99 = Latency.percentile recorder 0.99;
+    max = Latency.max_seconds recorder;
+    obs_p50;
+    obs_p95;
+    obs_p99;
+    max_lag = Atomic.get max_lag;
+    digest = Atomic.get digest;
+  }
+
+(** [render r] pretty-prints a report for quillsh and the bench. *)
+let render r =
+  let ms v = v *. 1e3 in
+  Printf.sprintf
+    "sessions=%d issued=%d acked=%d errors=%d elapsed=%.2fs throughput=%.0f qps\n\
+     latency (ms): mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f%s\n\
+     obs histogram (ms): p50<=%.3f p95<=%.3f p99<=%.3f"
+    r.sessions r.issued r.acked r.errors r.elapsed r.qps (ms r.mean) (ms r.p50)
+    (ms r.p95) (ms r.p99) (ms r.max)
+    (if r.max_lag > 0.0 then Printf.sprintf " max_lag=%.3f" (ms r.max_lag)
+     else "")
+    (ms r.obs_p50) (ms r.obs_p95) (ms r.obs_p99)

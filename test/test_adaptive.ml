@@ -20,17 +20,17 @@ let test_plan_cache_hit_miss () =
   let version = Catalog.version (Quill.Db.catalog db) in
   let pplan = Quill.Db.plan db "SELECT id FROM r" in
   Alcotest.(check bool) "miss" true
-    (Plan_cache.find cache ~sql:"q" ~param_types:[||] ~catalog_version:version = None);
+    (Plan_cache.find cache ~sql:"q" ~param_types:[||] ~params:[||] ~catalog_version:version = None);
   let _ = Plan_cache.add cache ~sql:"q" ~param_types:[||] ~catalog_version:version pplan in
   Alcotest.(check bool) "hit" true
-    (Plan_cache.find cache ~sql:"q" ~param_types:[||] ~catalog_version:version <> None);
+    (Plan_cache.find cache ~sql:"q" ~param_types:[||] ~params:[||] ~catalog_version:version <> None);
   (* Different parameter types are a different entry. *)
   Alcotest.(check bool) "param types keyed" true
-    (Plan_cache.find cache ~sql:"q" ~param_types:[| Value.Int_t |] ~catalog_version:version
+    (Plan_cache.find cache ~sql:"q" ~param_types:[| Value.Int_t |] ~params:[||] ~catalog_version:version
     = None);
   (* Catalog changes invalidate. *)
   Alcotest.(check bool) "stale dropped" true
-    (Plan_cache.find cache ~sql:"q" ~param_types:[||] ~catalog_version:(version + 1) = None);
+    (Plan_cache.find cache ~sql:"q" ~param_types:[||] ~params:[||] ~catalog_version:(version + 1) = None);
   Alcotest.(check int) "dropped from table" 0 (Plan_cache.size cache)
 
 let test_plan_cache_eviction () =
@@ -60,11 +60,152 @@ let test_plan_cache_gauge_tracks () =
   Plan_cache.invalidate cache ~sql:"g1" ~param_types:[||];
   Alcotest.(check int) "after invalidate" 1 (gauge ());
   (* Dropping a stale entry inside find also updates the gauge. *)
-  ignore (Plan_cache.find cache ~sql:"g2" ~param_types:[||] ~catalog_version:(version + 1));
+  ignore (Plan_cache.find cache ~sql:"g2" ~param_types:[||] ~params:[||] ~catalog_version:(version + 1));
   Alcotest.(check int) "after stale drop" 0 (gauge ());
   ignore (Plan_cache.add cache ~sql:"g3" ~param_types:[||] ~catalog_version:version pplan);
   Plan_cache.clear cache;
   Alcotest.(check int) "after clear" 0 (gauge ())
+
+let test_plan_cache_key_unambiguous () =
+  (* Regression: the key used to be the concatenation
+     [sql ^ "|" ^ String.concat "," dtype_names], so a SQL text
+     containing the separator could alias a differently-typed entry.
+     The structured key must keep these two distinct. *)
+  let db = Tutil.random_db ~seed:3 ~rows:20 in
+  let cache = Plan_cache.create () in
+  let version = Catalog.version (Quill.Db.catalog db) in
+  let pplan = Quill.Db.plan db "SELECT id FROM r" in
+  ignore
+    (Plan_cache.add cache ~sql:"q|int" ~param_types:[||]
+       ~catalog_version:version pplan);
+  Alcotest.(check bool) "no alias across the separator" true
+    (Plan_cache.find cache ~sql:"q" ~param_types:[| Value.Int_t |]
+       ~params:[||] ~catalog_version:version
+    = None);
+  ignore
+    (Plan_cache.add cache ~sql:"q" ~param_types:[| Value.Int_t |]
+       ~catalog_version:version pplan);
+  Alcotest.(check int) "two distinct entries" 2 (Plan_cache.size cache);
+  Alcotest.(check bool) "both retrievable" true
+    (Plan_cache.find cache ~sql:"q|int" ~param_types:[||] ~params:[||]
+       ~catalog_version:version
+     <> None
+    && Plan_cache.find cache ~sql:"q" ~param_types:[| Value.Int_t |]
+         ~params:[||] ~catalog_version:version
+       <> None)
+
+let test_plan_cache_byte_budget () =
+  let db = Tutil.random_db ~seed:5 ~rows:20 in
+  let version = Catalog.version (Quill.Db.catalog db) in
+  let pplan = Quill.Db.plan db "SELECT id, v FROM r WHERE k > 3" in
+  (* Learn the per-entry charge from a throwaway cache (all entries here
+     share one plan, so they all weigh the same). *)
+  let probe = Plan_cache.create () in
+  ignore (Plan_cache.add probe ~sql:"p" ~param_types:[||] ~catalog_version:version pplan);
+  let per = Plan_cache.used_bytes probe in
+  Alcotest.(check bool) "entries are charged" true (per > 0);
+  let m_evictions = Quill_obs.Metrics.counter "quill.plan_cache.evictions" in
+  let ev0 = Quill_obs.Metrics.value m_evictions in
+  (* Budget for three entries (and change): adding ten must evict seven,
+     keeping the byte gauge under budget. *)
+  let budget = (3 * per) + (per / 2) in
+  let cache = Plan_cache.create ~budget_bytes:budget () in
+  for i = 0 to 9 do
+    ignore
+      (Plan_cache.add cache ~sql:(Printf.sprintf "b%d" i) ~param_types:[||]
+         ~catalog_version:version pplan)
+  done;
+  Alcotest.(check int) "bounded by bytes" 3 (Plan_cache.size cache);
+  Alcotest.(check bool) "under budget" true (Plan_cache.used_bytes cache <= budget);
+  Alcotest.(check int) "evictions counted" 7
+    (Quill_obs.Metrics.value m_evictions - ev0);
+  (* LRU: touching b7 via a hit makes b8 the eviction victim. *)
+  ignore
+    (Plan_cache.find cache ~sql:"b7" ~param_types:[||] ~params:[||]
+       ~catalog_version:version);
+  ignore
+    (Plan_cache.add cache ~sql:"b10" ~param_types:[||] ~catalog_version:version
+       pplan);
+  Alcotest.(check bool) "recently-used survives" true
+    (Plan_cache.find cache ~sql:"b7" ~param_types:[||] ~params:[||]
+       ~catalog_version:version
+    <> None);
+  (* A budget below any single entry keeps exactly one plan live rather
+     than thrashing to zero. *)
+  Plan_cache.set_budget cache 1;
+  Alcotest.(check int) "oversized keeps newest" 1 (Plan_cache.size cache)
+
+(* A skewed, indexed column: ~0.25% of values land in [0,10), the rest
+   spread over [1000, 1e6).  A range predicate's selectivity therefore
+   swings across decade bands with the bound parameter, and the cheapest
+   access path swings with it (index scan vs full scan — the cost model
+   charges ~25x per random index fetch, so the index only wins when the
+   band is genuinely selective). *)
+let skewed_db () =
+  let db = Quill.Db.create () in
+  let schema =
+    Schema.create
+      [ Schema.col ~nullable:false "v" Value.Int_t;
+        Schema.col ~nullable:false "pad" Value.Int_t ]
+  in
+  let t = Table.create ~name:"skew" schema in
+  let rng = Quill_util.Rng.create 29 in
+  for _ = 1 to 4000 do
+    let v =
+      if Quill_util.Rng.int rng 400 = 0 then Quill_util.Rng.int rng 10
+      else 1000 + Quill_util.Rng.int rng 999_000
+    in
+    Table.insert t [| Value.Int v; Value.Int (Quill_util.Rng.int rng 100) |]
+  done;
+  Catalog.add (Quill.Db.catalog db) t;
+  ignore (Quill.Db.exec db "CREATE INDEX ON skew (v)");
+  Quill.Db.analyze db "skew";
+  db
+
+let uses_index plan =
+  Array.exists
+    (fun (op : Physical.t) ->
+      match op with Physical.Index_scan _ -> true | _ -> false)
+    (Physical.preorder plan)
+
+(* The acceptance scenario for parameter-sensitive plans: a cached plan
+   is re-picked when the bound parameter crosses a selectivity band, the
+   re-pick is counted, and each band keeps its own variant. *)
+let test_param_band_repick () =
+  let module Metrics = Quill_obs.Metrics in
+  let db = skewed_db () in
+  let sql = "SELECT count(*) FROM skew WHERE v < $1" in
+  let small = [| Value.Int 5 |] and huge = [| Value.Int 900_000 |] in
+  (* Parameter peeking steers the access path: the selective bound takes
+     the index, the non-selective one scans. *)
+  Alcotest.(check bool) "small param -> index scan" true
+    (uses_index (Quill.Db.plan db ~params:small sql));
+  Alcotest.(check bool) "huge param -> full scan" false
+    (uses_index (Quill.Db.plan db ~params:huge sql));
+  let m_repicks = Metrics.counter "quill.plan_cache.repicks" in
+  let check_count params =
+    let fresh = Tutil.table_rows (Quill.Db.query db ~params sql) in
+    let cached = Tutil.table_rows (Quill.Db.query_adaptive db ~params sql) in
+    Tutil.check_same_unordered "adaptive = fresh" fresh cached
+  in
+  let r0 = Metrics.value m_repicks in
+  check_count small;
+  check_count small;
+  let entries, _, _ = Quill.Db.cache_stats db in
+  Alcotest.(check int) "one variant so far" 1 entries;
+  Alcotest.(check int) "no repick within the band" 0 (Metrics.value m_repicks - r0);
+  (* Crossing the band: the lookup misses, counts a re-pick, and the
+     optimizer plans a second variant for the new band. *)
+  check_count huge;
+  Alcotest.(check int) "band crossing counted" 1 (Metrics.value m_repicks - r0);
+  let entries, _, _ = Quill.Db.cache_stats db in
+  Alcotest.(check int) "variant per band" 2 entries;
+  (* Both variants now serve hits; no further re-picks. *)
+  check_count huge;
+  check_count small;
+  Alcotest.(check int) "variants are stable" 1 (Metrics.value m_repicks - r0);
+  let entries, _, _ = Quill.Db.cache_stats db in
+  Alcotest.(check int) "still two variants" 2 entries
 
 let test_tiering_policies () =
   let db = Tutil.random_db ~seed:2 ~rows:200 in
@@ -259,6 +400,9 @@ let () =
           Alcotest.test_case "hit/miss/invalidate" `Quick test_plan_cache_hit_miss;
           Alcotest.test_case "eviction" `Quick test_plan_cache_eviction;
           Alcotest.test_case "entries gauge" `Quick test_plan_cache_gauge_tracks;
+          Alcotest.test_case "unambiguous key" `Quick test_plan_cache_key_unambiguous;
+          Alcotest.test_case "byte budget + LRU" `Quick test_plan_cache_byte_budget;
+          Alcotest.test_case "band repick" `Quick test_param_band_repick;
         ] );
       ("tiering", [ Alcotest.test_case "policies" `Quick test_tiering_policies ]);
       ( "feedback",

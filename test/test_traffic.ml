@@ -1,0 +1,268 @@
+(* The traffic driver and the hardened prepared path under load.
+
+   - the fine latency recorder's percentiles against a sorted-array
+     oracle (within one log-bucket ratio; max is exact);
+   - differential replays: the same seeded streams through every
+     execution mode (prepared / fresh / each engine / a parallel
+     session) and both transports (in-process sessions, TCP) must
+     produce the identical result-multiset digest with every query
+     acknowledged;
+   - cache transparency fuzz: for random parameterized queries, the
+     plan-cached path returns exactly what a fresh parse-plan-execute
+     returns;
+   - DDL/DML churn concurrent with prepared execution: plans are
+     invalidated mid-run and replanned without wrong results. *)
+
+module Value = Quill_storage.Value
+module Schema = Quill_storage.Schema
+module Table = Quill_storage.Table
+module Catalog = Quill_storage.Catalog
+module Rng = Quill_util.Rng
+module Db = Quill.Db
+module Server = Quill_server.Server
+module Latency = Quill_driver.Latency
+module Driver = Quill_driver.Driver
+module Metrics = Quill_obs.Metrics
+
+(* --- latency recorder vs sorted-array oracle ---------------------------- *)
+
+(* One log-bucket ratio: 10^(1/20) ~ 1.122; percentiles report the upper
+   bucket bound, so they sit within [oracle, oracle * ratio]. *)
+let bucket_ratio = 10.0 ** (1.0 /. Float.of_int Latency.buckets_per_decade)
+
+let test_latency_percentiles () =
+  let rng = Rng.create 11 in
+  let n = 5000 in
+  let samples =
+    Array.init n (fun _ ->
+        (* spread over 5 decades: 10us .. 1s *)
+        let scale = 1e-5 *. (10.0 ** Float.of_int (Rng.int rng 5)) in
+        scale *. (1.0 +. (Float.of_int (Rng.int rng 9000) /. 1000.0)))
+  in
+  let r = Latency.create () in
+  Array.iter (Latency.record r) samples;
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  Alcotest.(check int) "count" n (Latency.count r);
+  let expect_mean = Array.fold_left ( +. ) 0.0 samples /. Float.of_int n in
+  Alcotest.(check bool) "mean" true
+    (Float.abs (Latency.mean r -. expect_mean) < 1e-9);
+  Alcotest.(check bool) "max exact" true
+    (Latency.max_seconds r = sorted.(n - 1));
+  List.iter
+    (fun q ->
+      let rank = max 1 (Float.to_int (Float.ceil (q *. Float.of_int n))) in
+      let oracle = sorted.(rank - 1) in
+      let got = Latency.percentile r q in
+      if got < oracle *. 0.999 || got > oracle *. bucket_ratio *. 1.001 then
+        Alcotest.failf "p%.0f: got %.9f, oracle %.9f (ratio %.4f)" (q *. 100.0)
+          got oracle (got /. oracle))
+    [ 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.95; 0.99; 0.999; 1.0 ]
+
+let test_latency_empty_and_tiny () =
+  let r = Latency.create () in
+  Alcotest.(check bool) "empty percentile" true (Latency.percentile r 0.5 = 0.0);
+  (* Sub-microsecond observations land in bucket 0 and report its bound
+     clamped by the true maximum. *)
+  Latency.record r 1e-9;
+  Alcotest.(check bool) "tiny clamped to max" true
+    (Latency.percentile r 0.5 <= 1e-6)
+
+(* --- shared fixture: a table with point, range and group-by traffic ----- *)
+
+let traffic_db ~rows ~seed =
+  let rng = Rng.create seed in
+  let schema =
+    Schema.create
+      [ Schema.col ~nullable:false "k" Value.Int_t;
+        Schema.col ~nullable:false "v" Value.Int_t;
+        Schema.col ~nullable:false "grp" Value.Int_t ]
+  in
+  let t = Table.create ~name:"t" schema in
+  for _ = 1 to rows do
+    let v =
+      if Rng.int rng 10 < 9 then Rng.int rng 10 else Rng.int rng 1_000_000
+    in
+    Table.insert t
+      [| Value.Int (Rng.int rng rows); Value.Int v; Value.Int (Rng.int rng 16) |]
+  done;
+  let db = Db.create () in
+  Catalog.add (Db.catalog db) t;
+  ignore (Db.exec db "CREATE INDEX ON t (k)");
+  Db.analyze db "t";
+  db
+
+let gen_op ~rows rng =
+  match Rng.int rng 10 with
+  | 0 | 1 | 2 | 3 | 4 | 5 ->
+      { Driver.sql = "SELECT v, grp FROM t WHERE k = $1";
+        params = [| Value.Int (Rng.int rng rows) |] }
+  | 6 | 7 ->
+      let cutoff =
+        if Rng.int rng 2 = 0 then Rng.int rng 10 else Rng.int rng 1_000_000
+      in
+      { Driver.sql = "SELECT count(*) FROM t WHERE v < $1";
+        params = [| Value.Int cutoff |] }
+  | _ ->
+      { Driver.sql = "SELECT grp, count(*) FROM t WHERE v < $1 GROUP BY grp";
+        params = [| Value.Int (Rng.int rng 20) |] }
+
+let sessions = 3
+let per_session = 60
+
+let streams ~rows () =
+  Driver.streams ~sessions ~per_session ~seed:99 (gen_op ~rows)
+
+(* --- differential: every mode and transport, one digest ----------------- *)
+
+let run_checked ?spec ~rows target =
+  let r = Driver.run ?spec ~target (streams ~rows ()) in
+  Alcotest.(check int) "no errors" 0 r.Driver.errors;
+  Alcotest.(check int) "all acked" r.Driver.issued r.Driver.acked;
+  Alcotest.(check int) "all issued" (sessions * per_session) r.Driver.issued;
+  r.Driver.digest
+
+let test_driver_differential () =
+  let rows = 2000 in
+  let db = traffic_db ~rows ~seed:5 in
+  let store = Db.share db in
+  let base = run_checked ~rows (Driver.In_process store) in
+  List.iter
+    (fun (name, mode) ->
+      let spec = { Driver.default_spec with mode } in
+      let d = run_checked ~spec ~rows (Driver.In_process store) in
+      Alcotest.(check int) (name ^ " digest = prepared digest") base d)
+    [ ("fresh", Driver.Fresh);
+      ("volcano", Driver.Engine Db.Volcano);
+      ("vectorized", Driver.Engine Db.Vectorized);
+      ("compiled", Driver.Engine Db.Compiled) ];
+  (* A parallel session, replaying every stream sequentially: the digest
+     is an order-insensitive sum, so partitioning across sessions and
+     folding in one session must agree. *)
+  let par = Db.session store in
+  Db.set_parallelism par 4;
+  let d =
+    Array.fold_left
+      (fun acc ops ->
+        Array.fold_left
+          (fun acc op ->
+            acc
+            + Driver.digest_of_table
+                (Db.query par ~params:op.Driver.params op.Driver.sql))
+          acc ops)
+      0 (streams ~rows ())
+  in
+  Alcotest.(check int) "parallel session digest" base d;
+  (* And over TCP: per-connection prepared statements on the server's
+     shared store. *)
+  let srv =
+    Server.start ~config:{ Server.default_config with Server.port = 0 } store
+  in
+  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+  let d =
+    run_checked ~rows
+      (Driver.Tcp { host = "127.0.0.1"; port = Server.port srv })
+  in
+  Alcotest.(check int) "tcp digest" base d
+
+(* --- cache transparency fuzz -------------------------------------------- *)
+
+let test_prepared_matches_fresh_fuzz () =
+  let rows = 1500 in
+  let db = traffic_db ~rows ~seed:21 in
+  Db.set_policy db (Quill_adaptive.Tiering.Tiered 2);
+  let rng = Rng.create 4242 in
+  for _ = 1 to 150 do
+    let op = gen_op ~rows rng in
+    let fresh = Tutil.table_rows (Db.query db ~params:op.Driver.params op.Driver.sql) in
+    let cached =
+      Tutil.table_rows (Db.query_adaptive db ~params:op.Driver.params op.Driver.sql)
+    in
+    Tutil.check_same_unordered op.Driver.sql fresh cached
+  done;
+  (* The mix has three statements; band variants may add a few entries,
+     but the cache must have been exercised, not bypassed. *)
+  let entries, runs, _ = Db.cache_stats db in
+  Alcotest.(check bool) "cache populated" true (entries >= 3);
+  Alcotest.(check bool) "cache reused" true (runs > entries)
+
+(* --- DDL/DML churn concurrent with prepared execution ------------------- *)
+
+let test_ddl_churn_during_prepared () =
+  let rows = 2000 in
+  let db = traffic_db ~rows ~seed:33 in
+  let store = Db.share db in
+  let m_misses = Metrics.counter "quill.plan_cache.misses" in
+  (* Reference digest from a quiet run over the same streams; its miss
+     delta is the cold-start cost (one per statement, band and session). *)
+  let misses0 = Metrics.value m_misses in
+  let quiet = run_checked ~rows (Driver.In_process store) in
+  let quiet_misses = Metrics.value m_misses - misses0 in
+  let stop = Atomic.make false in
+  let churner =
+    Thread.create
+      (fun () ->
+        (* Catalog churn from a concurrent session: DDL plus DML on a
+           side table, each bumping the catalog version and invalidating
+           every cached plan in every other session. *)
+        let s = Db.session store in
+        ignore (Db.exec s "CREATE TABLE churn (x INT NOT NULL)");
+        while not (Atomic.get stop) do
+          ignore (Db.exec s "INSERT INTO churn VALUES (1)");
+          Thread.delay 0.001
+        done)
+      ()
+  in
+  let misses1 = Metrics.value m_misses in
+  let noisy =
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.set stop true;
+        Thread.join churner)
+      (fun () -> run_checked ~rows (Driver.In_process store))
+  in
+  Alcotest.(check int) "digest unaffected by churn" quiet noisy;
+  (* The churn forced replans: strictly more misses than the quiet run's
+     cold start. *)
+  Alcotest.(check bool) "churn caused replans" true
+    (Metrics.value m_misses - misses1 > quiet_misses)
+
+(* --- open-loop schedule control ----------------------------------------- *)
+
+let test_open_loop_rate () =
+  let rows = 500 in
+  let db = traffic_db ~rows ~seed:9 in
+  let store = Db.share db in
+  let rate = 2000.0 in
+  let spec = { Driver.default_spec with rate } in
+  let r = Driver.run ~spec ~target:(Driver.In_process store) (streams ~rows ()) in
+  Alcotest.(check int) "no errors" 0 r.Driver.errors;
+  Alcotest.(check int) "all acked" r.Driver.issued r.Driver.acked;
+  (* 180 arrivals at 2000/s: the run cannot finish faster than the
+     schedule's span. *)
+  let span = Float.of_int ((sessions * per_session) - 1) /. rate in
+  Alcotest.(check bool) "paced by the schedule" true (r.Driver.elapsed >= span);
+  Alcotest.(check bool) "lag recorded" true (r.Driver.max_lag >= 0.0)
+
+let () =
+  Alcotest.run "traffic"
+    [
+      ( "latency",
+        [
+          Alcotest.test_case "percentiles vs oracle" `Quick test_latency_percentiles;
+          Alcotest.test_case "empty and tiny" `Quick test_latency_empty_and_tiny;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "differential modes+transports" `Quick
+            test_driver_differential;
+          Alcotest.test_case "open-loop pacing" `Quick test_open_loop_rate;
+        ] );
+      ( "hardening",
+        [
+          Alcotest.test_case "prepared = fresh (fuzz)" `Quick
+            test_prepared_matches_fresh_fuzz;
+          Alcotest.test_case "DDL churn during prepared" `Quick
+            test_ddl_churn_during_prepared;
+        ] );
+    ]
