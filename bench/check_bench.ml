@@ -9,7 +9,14 @@
      inflated more than 8x against [bench/BENCH_traffic.json].  The
      traffic bounds are loose on purpose — one CI box vs another varies
      a lot at millisecond latencies; the gate is for order-of-magnitude
-     regressions, the committed numbers are for humans.
+     regressions, the committed numbers are for humans;
+   - disjoint-writer scaling (E22 smoke): runs the deterministic
+     interleaved ablation pair and fails if row-granular conflict
+     detection reports ANY conflict on a disjoint workload, if its
+     commit count is not at least 2x the name-granular single-stripe
+     baseline's, or if its commit throughput does not beat that
+     baseline outright.  Self-relative — no baseline file, and the
+     interleaving is deterministic, so the counts cannot flake.
 
    The baseline files are tiny and hand-auditable, so they are parsed
    with a string scanner rather than a JSON dependency. *)
@@ -115,6 +122,28 @@ let () =
           r.Quill_driver.Driver.issued r.Quill_driver.Driver.acked
         :: !failures
   end;
+  (let name, row = Bench_txn.e22_pair ~writers:8 ~rounds:6 () in
+   Printf.printf "\nE22 smoke: disjoint-writer ablation pair\n";
+   Bench_txn.print_e22 [ name; row ];
+   if row.Bench_txn.conflicted > 0 then
+     failures :=
+       Printf.sprintf
+         "E22: %d conflicts on a disjoint-row workload (must be 0)"
+         row.Bench_txn.conflicted
+       :: !failures;
+   if row.Bench_txn.committed < 2 * name.Bench_txn.committed then
+     failures :=
+       Printf.sprintf
+         "E22: row-granular commits (%d) not 2x the name-granular baseline (%d)"
+         row.Bench_txn.committed name.Bench_txn.committed
+       :: !failures;
+   if Bench_txn.e22_qps row <= Bench_txn.e22_qps name then
+     failures :=
+       Printf.sprintf
+         "E22: disjoint-writer commit throughput (%.0f/s) does not beat the \
+          single-stripe name-granular baseline (%.0f/s)"
+         (Bench_txn.e22_qps row) (Bench_txn.e22_qps name)
+       :: !failures);
   match !failures with
   | [] -> print_endline "check_bench: OK"
   | fs ->

@@ -696,19 +696,45 @@ let ensure_shared db =
   ignore (share db);
   Option.get db.shared
 
+(* Statements whose row writes the cow clone's tracker accounts for
+   exactly: updated base chunks, appended rows, whole-table degradation
+   on delete.  Everything else (DDL, drops, creates) is a structural
+   write and conflicts with any other writer of the name. *)
+let tracker_covers = function
+  | Ast.Insert _ | Ast.Update _ | Ast.Delete _ | Ast.Copy _ -> true
+  | _ -> false
+
 (* Stage a mutation into an open transaction: copy-on-write every
-   written table the first time it is touched (the private version goes
-   into the session catalog, so execution below needs no special cases),
-   extend the conflict footprint, and record the SQL for the WAL frame
-   group. *)
+   written table the first time it is touched (the private version —
+   carrying a write-footprint tracker — goes into the session catalog,
+   so execution below needs no special cases), extend the conflict
+   footprint, and record the SQL for the WAL frame group.
+
+   A name whose table does not exist and which the statement does not
+   create is *not* staged: the statement is about to fail, and stamping
+   the phantom name at commit would spuriously conflict other
+   transactions.  Membership is a hashtable probe ({!Store.stage}), not
+   the old O(n^2) list scan. *)
 let stage_mutation db (txn : Store.txn) stmt sql =
   List.iter
     (fun name ->
-      if not (List.mem name txn.Store.writes) then begin
-        (match Catalog.find db.catalog name with
-        | Some tbl -> Catalog.put db.catalog (Table.cow_copy tbl)
-        | None -> ());
-        txn.Store.writes <- name :: txn.Store.writes
+      let existing = Catalog.find db.catalog name in
+      let creates =
+        match stmt with
+        | Ast.Create_table _ | Ast.Create_table_as _ -> true
+        | _ -> false
+      in
+      if existing <> None || creates then begin
+        let first_touch = not (Hashtbl.mem txn.Store.writes name) in
+        let fp = Store.stage txn name in
+        if first_touch then
+          Option.iter
+            (fun tbl ->
+              let copy = Table.cow_copy_tracked tbl in
+              fp.Store.ft_tracker <- Table.tracker copy;
+              Catalog.put db.catalog copy)
+            existing;
+        if not (tracker_covers stmt) then fp.Store.ft_whole <- true
       end)
     (write_targets stmt);
   (match stmt with
@@ -729,27 +755,31 @@ let open_txn db (sh : shared_session) =
 let abort_txn db (sh : shared_session) (txn : Store.txn) =
   Store.rollback txn;
   sh.txn <- None;
-  if txn.Store.writes <> [] then sh.view_ts <- -1;
+  if Store.has_writes txn then sh.view_ts <- -1;
   sync_view db
 
-(* Publish a transaction through the store's commit protocol.  On
-   [Conflict] the transaction is rolled back before re-raising.  Either
-   way the view re-syncs: other sessions may have committed tables this
-   one never touched. *)
+(* Publish a transaction through the store's commit protocol.  However
+   the commit ends — success, [Conflict], or an I/O error from the WAL
+   flush — the session must shed its private versions and re-sync: on
+   any failure the transaction is dead, and even on success other
+   sessions may have committed tables this one never touched.  (Before
+   the catch-all, a failed COMMIT's io error left the private rows
+   visible to the very session that was told the commit failed.) *)
 let publish_txn db (sh : shared_session) (txn : Store.txn) =
   sh.txn <- None;
   let lookup name = Catalog.find db.catalog name in
   let index_defs =
     if txn.Store.index_ddl then Some (Index_reg.all_defs db.indexes) else None
   in
+  let reset () =
+    if Store.has_writes txn then sh.view_ts <- -1;
+    sync_view db
+  in
   match Store.commit sh.handle txn ~lookup ~index_defs with
-  | _ts ->
-      if txn.Store.writes <> [] then sh.view_ts <- -1;
-      sync_view db
-  | exception Conflict m ->
-      if txn.Store.writes <> [] then sh.view_ts <- -1;
-      sync_view db;
-      raise (Conflict m)
+  | _ts -> reset ()
+  | exception e ->
+      reset ();
+      raise e
 
 (* Auto-commit on a shared session: every mutation is its own implicit
    transaction.  First-committer-wins conflicts are retried on a fresh

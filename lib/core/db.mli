@@ -208,14 +208,22 @@ val set_plan_cache_capacity : t -> int -> unit
     store} holds the committed table versions (immutable), each session
     reads a pinned consistent snapshot (readers never block behind
     writers), writers copy-on-write private versions, and commits are
-    first-committer-wins — a write-write conflict rolls the loser back
-    with {!Conflict}.  SQL [BEGIN] / [COMMIT] / [ROLLBACK] map to
+    first-committer-wins at {e row/chunk granularity}: transactions
+    updating disjoint row ranges of the same table all commit (the
+    store merges their chunks at install time), concurrent appenders
+    never conflict, and only overlapping row chunks — or a collision
+    with a whole-table write such as a delete or DDL — roll the loser
+    back with {!Conflict}.  The commit path is hash-sharded across lock
+    stripes so commits touching disjoint tables proceed in parallel.
+    SQL [BEGIN] / [COMMIT] / [ROLLBACK] map to
     {!begin_transaction} / {!commit_transaction} /
     {!rollback_transaction}; mutations outside an explicit transaction
     auto-commit as implicit single-statement transactions (retried a few
     times on conflict).  On a durable root session, commits group-commit
     their whole WAL frame set atomically, so recovery replays exactly
-    the committed transactions. *)
+    the committed transactions; a commit whose fsync fails is revoked in
+    the WAL before the error reaches the client, so a transaction the
+    client saw fail never reappears after recovery. *)
 
 (** A shared MVCC store that multiple sessions commit through. *)
 type store = Quill_txn.Store.t

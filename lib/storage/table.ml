@@ -9,16 +9,39 @@
 
 module Vec = Quill_util.Vec
 
+(* A write-footprint tracker, attached to the copy-on-write clone a
+   transaction mutates.  It records *which base rows* (rows that existed
+   at snapshot time) the transaction touched, at chunk granularity —
+   [base_rows] never moves, so chunk indices are stable against the
+   snapshot no matter how many rows the transaction appends after them.
+   Appends are summarized by a flag (they occupy indices >= [base_rows]
+   and cannot collide with any concurrent transaction's *base* rows);
+   structural rewrites (deletes) degrade to a whole-table footprint
+   because they shift every index after the removed row. *)
+type tracker = {
+  base_rows : int;  (** committed row count at copy time *)
+  chunk_rows : int;  (** footprint granularity, rows per chunk *)
+  touched : (int, unit) Hashtbl.t;  (** chunk indices with in-place writes *)
+  mutable appended : bool;  (** pushed rows past [base_rows] *)
+  mutable whole : bool;  (** row identity not preserved: treat as all rows *)
+}
+
+(** Rows per conflict-detection chunk for freshly tracked copies.
+    Settable (it is read at {!cow_copy_tracked} time) so tests and
+    benchmarks can force many-chunk tables without millions of rows. *)
+let default_chunk_rows = ref 1024
+
 type t = {
   name : string;
   schema : Schema.t;
   rows : Value.t array Vec.t;
   mutable columnar : Column.t array option;
+  mutable tracker : tracker option;
 }
 
 (** [create ~name schema] returns an empty table. *)
 let create ~name schema =
-  { name; schema; rows = Vec.create ~dummy:[||]; columnar = None }
+  { name; schema; rows = Vec.create ~dummy:[||]; columnar = None; tracker = None }
 
 (** [name t] is the table's name. *)
 let name t = t.name
@@ -66,6 +89,7 @@ let insert t row =
       row
   in
   Vec.push t.rows row;
+  (match t.tracker with Some tr -> tr.appended <- true | None -> ());
   t.columnar <- None
 
 (** [insert_all t rows] appends many rows. *)
@@ -126,7 +150,70 @@ let of_columns ~name schema cols =
     the original, so committed versions can stay lock-free shared among
     concurrent readers. *)
 let cow_copy t =
-  { name = t.name; schema = t.schema; rows = Vec.copy t.rows; columnar = t.columnar }
+  {
+    name = t.name;
+    schema = t.schema;
+    rows = Vec.copy t.rows;
+    columnar = t.columnar;
+    tracker = None;
+  }
+
+(** [cow_copy_tracked t] is {!cow_copy} plus a fresh write-footprint
+    tracker anchored at the current row count — the clone a transaction
+    mutates when commit-time conflict detection wants row/chunk
+    granularity. *)
+let cow_copy_tracked t =
+  let c = cow_copy t in
+  c.tracker <-
+    Some
+      {
+        base_rows = row_count t;
+        chunk_rows = !default_chunk_rows;
+        touched = Hashtbl.create 8;
+        appended = false;
+        whole = false;
+      };
+  c
+
+(** [tracker t] is the write-footprint tracker, if this is a tracked
+    copy-on-write clone. *)
+let tracker t = t.tracker
+
+(** [touched_chunks tr] lists the chunk indices written in place,
+    sorted. *)
+let touched_chunks tr =
+  Hashtbl.fold (fun c () acc -> c :: acc) tr.touched [] |> List.sort compare
+
+(** [tracker_clean tr] is true when the transaction never actually
+    mutated the table through this clone — no in-place write, no append,
+    no structural rewrite. *)
+let tracker_clean tr =
+  (not tr.whole) && (not tr.appended) && Hashtbl.length tr.touched = 0
+
+(** [merge ~base ours tr] installs [ours]'s footprint onto [base]
+    (the *current* committed version, possibly newer than the snapshot
+    [ours] was cloned from): returns a clone of [base] with [ours]'s
+    touched chunks spliced in and [ours]'s appended tail re-appended.
+    Only sound when commit validation has already proven the footprint
+    disjoint from every version committed since the snapshot — then all
+    rows of [base] below [tr.base_rows] outside the touched chunks equal
+    the snapshot's, and inside a touched chunk nobody else wrote, so
+    [ours]'s values are authoritative. *)
+let merge ~base ours tr =
+  let t = cow_copy base in
+  t.columnar <- None;
+  Hashtbl.iter
+    (fun c () ->
+      let lo = c * tr.chunk_rows in
+      let hi = min tr.base_rows ((c + 1) * tr.chunk_rows) in
+      for i = lo to hi - 1 do
+        Vec.set t.rows i (Vec.get ours.rows i)
+      done)
+    tr.touched;
+  for i = tr.base_rows to row_count ours - 1 do
+    Vec.push t.rows (Vec.get ours.rows i)
+  done;
+  t
 
 (** [retain t keep] deletes every row for which [keep row] is false;
     returns the number of rows removed. *)
@@ -139,7 +226,10 @@ let retain t keep =
   if !removed > 0 then begin
     Vec.clear t.rows;
     Vec.iter (fun row -> Vec.push t.rows row) kept;
-    t.columnar <- None
+    t.columnar <- None;
+    (* Deletion renumbers every later row, so per-chunk identities are
+       gone: the footprint degrades to the whole table. *)
+    match t.tracker with Some tr -> tr.whole <- true | None -> ()
   end;
   !removed
 
@@ -161,7 +251,14 @@ let update t ~where ~apply =
             | v, _ -> v)
           row'
       in
-      Vec.set t.rows i row'
+      Vec.set t.rows i row';
+      match t.tracker with
+      | Some tr when i < tr.base_rows ->
+          (* In-place write to a base row: chunk joins the footprint.
+             Writes at [i >= base_rows] hit rows this transaction itself
+             appended — private until commit, no footprint needed. *)
+          Hashtbl.replace tr.touched (i / tr.chunk_rows) ()
+      | _ -> ()
     end
   done;
   if !n > 0 then t.columnar <- None;

@@ -167,9 +167,10 @@ let log_txn_commit t ~txn =
   ignore (handle t);
   add_frame t.pending ("T" ^ string_of_int txn)
 
-(** [log_txn_abort t ~txn] stages an abort marker — only needed if a
-    transaction's frames were already flushed, which the group-commit
-    protocol avoids; kept for protocol completeness and tests. *)
+(** [log_txn_abort t ~txn] stages an abort marker.  The store writes one
+    (and flushes) when a commit group's fsync failed after the group —
+    commit marker included — may already have reached the file: the
+    client got an error, so replay must revoke the group. *)
 let log_txn_abort t ~txn =
   ignore (handle t);
   add_frame t.pending ("A" ^ string_of_int txn)
@@ -257,7 +258,14 @@ let replay path =
         { statements = []; dropped = 0; torn = true;
           detail = Some (Printf.sprintf "bad WAL header in %s" path) }
       else begin
-        let committed = ref [] and uncommitted = ref [] in
+        (* Committed groups, newest first; each is (txn id if any,
+           statements newest first).  Groups keep their id because an
+           abort marker *after* a commit marker revokes the group: the
+           store writes that sequence when the commit group reached the
+           file but its fsync failed — the client got an error, so the
+           group must not recover. *)
+        let committed : (int option * string list) list ref = ref [] in
+        let uncommitted = ref [] in
         (* In-flight transactions by id: statements in reverse order. *)
         let open_txns : (int, string list) Hashtbl.t = Hashtbl.create 8 in
         let dropped = ref 0 in
@@ -301,7 +309,7 @@ let replay path =
              (match data.[!pos + 8] with
              | 'S' -> uncommitted := String.sub data (!pos + 9) (len - 1) :: !uncommitted
              | 'C' ->
-                 committed := !uncommitted @ !committed;
+                 committed := (None, !uncommitted) :: !committed;
                  uncommitted := []
              | 'B' ->
                  let payload = String.sub data (!pos + 8) len in
@@ -336,14 +344,25 @@ let replay path =
                    Option.value ~default:[] (Hashtbl.find_opt open_txns id)
                  in
                  Hashtbl.remove open_txns id;
-                 committed := stmts @ !committed
+                 committed := (Some id, stmts) :: !committed
              | 'A' ->
                  let payload = String.sub data (!pos + 8) len in
                  let id = txn_id payload !pos in
                  dropped :=
                    !dropped
                    + List.length (Option.value ~default:[] (Hashtbl.find_opt open_txns id));
-                 Hashtbl.remove open_txns id
+                 Hashtbl.remove open_txns id;
+                 (* Revoke a commit-marked group of the same transaction:
+                    its client was told the commit failed. *)
+                 committed :=
+                   List.filter
+                     (fun (tid, stmts) ->
+                       if tid = Some id then begin
+                         dropped := !dropped + List.length stmts;
+                         false
+                       end
+                       else true)
+                     !committed
              | c ->
                  stop "unknown frame type %C at byte %d" c !pos;
                  raise Exit);
@@ -352,7 +371,11 @@ let replay path =
          with Exit -> ());
         (* Transactions still open at the scan end never committed. *)
         Hashtbl.iter (fun _ stmts -> dropped := !dropped + List.length stmts) open_txns;
-        { statements = List.rev !committed;
+        let statements =
+          List.rev !committed
+          |> List.concat_map (fun (_, stmts) -> List.rev stmts)
+        in
+        { statements;
           dropped = !dropped + List.length !uncommitted;
           torn = !torn; detail = !detail }
       end

@@ -5,9 +5,11 @@
    - transaction ids are handed out lock-free at [begin] and only
      identify a transaction (in WAL frames, conflict messages, metrics);
    - commit timestamps form the serial order of committed transactions.
-     They are assigned under the store's commit lock, so [next_ts] needs
-     no CAS loop of its own — but it is still an [Atomic] so readers
-     ([last_ts]) can observe it without taking the lock.
+     They are assigned inside the store's publish critical section (the
+     sharded commit path serializes installation there, even when the
+     per-stripe locks let the rest of two commits overlap), so [next_ts]
+     needs no CAS loop of its own — but it is still an [Atomic] so
+     readers ([last_ts]) can observe it without taking the lock.
 
    A reader's snapshot timestamp is the last committed timestamp at
    [begin]; version visibility is then a plain integer compare. *)
@@ -25,7 +27,9 @@ let fresh_id t = Atomic.fetch_and_add t.next_id 1
 let last_ts t = Atomic.get t.last_ts
 
 (** [advance t] assigns the next commit timestamp.  Must be called with
-    the store's commit lock held: timestamps are the commit order. *)
+    the store's publish lock held: timestamps are the commit order, and
+    advancing inside the same critical section that installs the
+    versions keeps every snapshot a consistent (ts, versions) pair. *)
 let advance t =
   let ts = Atomic.get t.last_ts + 1 in
   Atomic.set t.last_ts ts;

@@ -250,6 +250,46 @@ let test_fsync_failure () =
   Db.close db2;
   rmrf dir
 
+(* The transactional analogue of the fsync-failure point: the fsync of
+   an explicit COMMIT's frame group reports failure.  The client saw an
+   error, so the transaction must be rolled back everywhere — not
+   visible to further statements in the session, and *not* replayed at
+   recovery even though the group (commit marker included) may already
+   sit whole in the WAL file.  acked == recovered. *)
+let test_txn_fsync_failure () =
+  Sim_fs.reset ();
+  let dir = tmpdir () in
+  let root, _ = Db.open_durable dir in
+  let store = Db.share root in
+  let s = Db.session store in
+  ignore (Db.exec s "CREATE TABLE t (a INT NOT NULL)");
+  ignore (Db.exec s "INSERT INTO t VALUES (1)");
+  ignore (Db.exec s "BEGIN");
+  ignore (Db.exec s "INSERT INTO t VALUES (2)");
+  Sim_fs.fail_fsync true;
+  (match Db.exec s "COMMIT" with
+  | _ -> Alcotest.fail "expected an io error"
+  | exception Db.Error m ->
+      Alcotest.(check bool) "named io error" true (contains m "io error"));
+  Sim_fs.fail_fsync false;
+  Alcotest.(check int) "failed commit invisible to the session" 1
+    (Table.row_count (Db.query s "SELECT a FROM t"));
+  ignore (Db.exec s "INSERT INTO t VALUES (3)");
+  Alcotest.(check int) "session stays usable" 2
+    (Table.row_count (Db.query s "SELECT a FROM t"));
+  Db.close s;
+  Db.close root;
+  Sim_fs.reset ();
+  let db2, _ = Db.open_durable dir in
+  let got =
+    Table.to_row_list (Db.query db2 "SELECT a FROM t")
+    |> List.map (fun r -> Value.to_string r.(0))
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "acked == recovered" [ "1"; "3" ] got;
+  Db.close db2;
+  rmrf dir
+
 (* Recovery is idempotent: opening twice with no faults and no new
    writes yields the same state, and a run with no crash loses
    nothing. *)
@@ -470,6 +510,8 @@ let () =
           Alcotest.test_case "torn record" `Quick test_torn_record;
           Alcotest.test_case "mid-checkpoint" `Quick test_crash_mid_checkpoint;
           Alcotest.test_case "fsync failure" `Quick test_fsync_failure;
+          Alcotest.test_case "fsync failure (txn ack)" `Quick
+            test_txn_fsync_failure;
           Alcotest.test_case "no crash / reopen" `Quick test_no_crash_and_reopen;
         ] );
       ( "sweeps",

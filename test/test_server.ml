@@ -290,6 +290,52 @@ let test_conflict_exactly_one_loser () =
         (one_int (Client.query c3 "SELECT MAX(a) FROM t"));
       Client.close c1; Client.close c2; Client.close c3)
 
+(* Row-granular conflict detection over TCP: sessions updating disjoint
+   chunk-aligned row ranges of one hot table all commit (zero
+   conflicts), while overlapping ranges keep exactly one loser (covered
+   above — both whole-table UPDATEs of [test_conflict_exactly_one_loser]
+   share every chunk). *)
+let test_tcp_disjoint_writers () =
+  let writers = 4 in
+  let old = !Table.default_chunk_rows in
+  Table.default_chunk_rows := 16;
+  Fun.protect ~finally:(fun () -> Table.default_chunk_rows := old) (fun () ->
+      with_server
+        (fun root ->
+          run root "CREATE TABLE hot (id INT NOT NULL, v INT NOT NULL)";
+          let b = Buffer.create 1024 in
+          for i = 0 to (writers * 16) - 1 do
+            if i > 0 then Buffer.add_string b ", ";
+            Buffer.add_string b (Printf.sprintf "(%d, 0)" i)
+          done;
+          run root ("INSERT INTO hot VALUES " ^ Buffer.contents b))
+        (fun port ->
+          let cs = List.init writers (fun _ -> Client.connect ~port ()) in
+          List.iter (fun c -> expect_affected (Client.query c "BEGIN")) cs;
+          List.iteri
+            (fun w c ->
+              expect_affected
+                (Client.query c
+                   (Printf.sprintf
+                      "UPDATE hot SET v = v + 1 WHERE id >= %d AND id < %d"
+                      (w * 16)
+                      ((w + 1) * 16))))
+            cs;
+          List.iteri
+            (fun w c ->
+              match Client.query c "COMMIT" with
+              | Wire.Affected _ -> ()
+              | Wire.Err (_, m) ->
+                  Alcotest.failf "disjoint TCP writer %d conflicted: %s" w m
+              | _ -> Alcotest.fail "unexpected response to COMMIT")
+            cs;
+          let c = Client.connect ~port () in
+          Alcotest.(check int)
+            "every range's update survived" (writers * 16)
+            (one_int (Client.query c "SELECT SUM(v) FROM hot"));
+          Client.close c;
+          List.iter Client.close cs))
+
 (* Disconnecting mid-transaction must roll the transaction back, not
    leave the table pinned against future writers. *)
 let test_disconnect_rolls_back () =
@@ -534,6 +580,8 @@ let () =
           Alcotest.test_case "prepare/execute" `Quick test_prepare_execute;
           Alcotest.test_case "conflict: exactly one loser" `Quick
             test_conflict_exactly_one_loser;
+          Alcotest.test_case "disjoint writers commit over TCP" `Quick
+            test_tcp_disjoint_writers;
           Alcotest.test_case "disconnect rolls back" `Quick
             test_disconnect_rolls_back;
         ] );

@@ -161,6 +161,197 @@ let test_ddl_through_txn () =
     | _ -> false
     | exception Db.Error _ -> true)
 
+(* --- row/chunk-granular conflict detection ------------------------------ *)
+
+(* Run [f] with small conflict-detection chunks so a few hundred rows
+   span many chunks. *)
+let with_chunk_rows n f =
+  let old = !Table.default_chunk_rows in
+  Table.default_chunk_rows := n;
+  Fun.protect ~finally:(fun () -> Table.default_chunk_rows := old) f
+
+(* Seed one hot table with [n] rows id 0..n-1, v = 0. *)
+let seed_hot root n =
+  run root "CREATE TABLE hot (id INT NOT NULL, v INT NOT NULL)";
+  let b = Buffer.create (n * 8) in
+  for i = 0 to n - 1 do
+    if i > 0 then Buffer.add_string b ", ";
+    Buffer.add_string b (Printf.sprintf "(%d, 0)" i)
+  done;
+  run root ("INSERT INTO hot VALUES " ^ Buffer.contents b)
+
+(* Eight transactions updating disjoint chunk-aligned row ranges of one
+   hot table, all open before any commits: every one must commit (PR 6's
+   name-granular check aborted all but the first), and every range's
+   update must survive — later committers splice their chunks onto the
+   winners' versions. *)
+let test_disjoint_writers_all_commit () =
+  with_chunk_rows 16 (fun () ->
+      let writers = 8 in
+      let root = Db.create () in
+      seed_hot root (writers * 16);
+      let store = Db.share root in
+      let sessions = List.init writers (fun _ -> Db.session store) in
+      List.iter (fun s -> run s "BEGIN") sessions;
+      List.iteri
+        (fun w s ->
+          run s
+            (Printf.sprintf "UPDATE hot SET v = v + 1 WHERE id >= %d AND id < %d"
+               (w * 16) ((w + 1) * 16)))
+        sessions;
+      List.iteri
+        (fun w s ->
+          match Db.exec s "COMMIT" with
+          | _ -> ()
+          | exception Db.Conflict m ->
+              Alcotest.failf "disjoint writer %d conflicted: %s" w m)
+        sessions;
+      check_int "every range's update survived" (writers * 16)
+        (int_of root "SELECT SUM(v) FROM hot");
+      check_int "no rows duplicated or lost" (writers * 16)
+        (int_of root "SELECT COUNT(*) FROM hot"))
+
+(* The same hot table under real threads: each worker runs [rounds]
+   BEGIN / UPDATE own range / COMMIT transactions.  Disjoint footprints
+   must mean zero conflicts — any [Db.Conflict] fails the test — and
+   every increment must survive the commit-path interleaving. *)
+let test_disjoint_writers_threaded () =
+  with_chunk_rows 16 (fun () ->
+      let writers = 8 and rounds = 10 in
+      let root = Db.create () in
+      seed_hot root (writers * 16);
+      let store = Db.share root in
+      let failures = Atomic.make 0 in
+      let worker w =
+        let db = Db.session store in
+        (try
+           for _ = 1 to rounds do
+             run db "BEGIN";
+             run db
+               (Printf.sprintf
+                  "UPDATE hot SET v = v + 1 WHERE id >= %d AND id < %d" (w * 16)
+                  ((w + 1) * 16));
+             run db "COMMIT"
+           done
+         with Db.Conflict _ -> Atomic.incr failures);
+        Db.close db
+      in
+      let threads = List.init writers (fun w -> Thread.create worker w) in
+      List.iter Thread.join threads;
+      check_int "zero conflicts on disjoint ranges" 0 (Atomic.get failures);
+      check_int "every increment survived" (writers * 16 * rounds)
+        (int_of root "SELECT SUM(v) FROM hot"))
+
+(* Overlapping ranges keep first-committer-wins: exactly the later
+   committer of a shared chunk loses. *)
+let test_overlap_one_loser () =
+  with_chunk_rows 16 (fun () ->
+      let root = Db.create () in
+      seed_hot root 64;
+      let store = Db.share root in
+      let s1 = Db.session store and s2 = Db.session store in
+      run s1 "BEGIN";
+      run s2 "BEGIN";
+      run s1 "UPDATE hot SET v = 1 WHERE id >= 0 AND id < 32";
+      run s2 "UPDATE hot SET v = 2 WHERE id >= 16 AND id < 48";
+      run s1 "COMMIT";
+      (match Db.exec s2 "COMMIT" with
+      | _ -> Alcotest.fail "overlapping committer must conflict"
+      | exception Db.Conflict _ -> ());
+      check_int "winner's rows intact" 32 (int_of root "SELECT SUM(v) FROM hot"))
+
+(* Concurrent INSERTs into one table are append-append: both commit and
+   both rows land (PR 6 aborted the second). *)
+let test_concurrent_inserts_merge () =
+  let root = Db.create () in
+  run root "CREATE TABLE t (a INT NOT NULL)";
+  let store = Db.share root in
+  let s1 = Db.session store and s2 = Db.session store in
+  run s1 "BEGIN";
+  run s2 "BEGIN";
+  run s1 "INSERT INTO t VALUES (1)";
+  run s2 "INSERT INTO t VALUES (2)";
+  run s1 "COMMIT";
+  run s2 "COMMIT";
+  check_int "both inserts survived" 2 (int_of root "SELECT COUNT(*) FROM t");
+  check_int "values intact" 3 (int_of root "SELECT SUM(a) FROM t")
+
+(* DDL still conflicts at name granularity with concurrent DML — in both
+   commit orders. *)
+let test_ddl_vs_dml_conflicts () =
+  with_chunk_rows 16 (fun () ->
+      let root = Db.create () in
+      seed_hot root 64;
+      let store = Db.share root in
+      (* DML commits first; the DDL transaction must lose. *)
+      let s1 = Db.session store and s2 = Db.session store in
+      run s1 "BEGIN";
+      run s2 "BEGIN";
+      run s1 "UPDATE hot SET v = 1 WHERE id < 16";
+      run s2 "CREATE INDEX ON hot (id)";
+      run s1 "COMMIT";
+      (match Db.exec s2 "COMMIT" with
+      | _ -> Alcotest.fail "DDL after DML commit must conflict"
+      | exception Db.Conflict _ -> ());
+      (* DDL commits first; the DML transaction must lose. *)
+      let s3 = Db.session store and s4 = Db.session store in
+      run s3 "BEGIN";
+      run s4 "BEGIN";
+      run s3 "CREATE INDEX ON hot (v)";
+      run s4 "UPDATE hot SET v = 2 WHERE id >= 32 AND id < 48";
+      run s3 "COMMIT";
+      match Db.exec s4 "COMMIT" with
+      | _ -> Alcotest.fail "DML after DDL commit must conflict"
+      | exception Db.Conflict _ -> ())
+
+(* A mutation that matches no rows leaves an empty footprint: it must
+   neither conflict with concurrent writers nor stamp the table against
+   them (the write-set-pollution class of the phantom-entry bug). *)
+let test_noop_mutation_no_conflict () =
+  with_chunk_rows 16 (fun () ->
+      let root = Db.create () in
+      seed_hot root 32;
+      let store = Db.share root in
+      let s1 = Db.session store and s2 = Db.session store in
+      run s1 "BEGIN";
+      run s1 "UPDATE hot SET v = 99 WHERE id < 0";
+      (* concurrent real writer commits while s1 is open *)
+      run s2 "UPDATE hot SET v = 5 WHERE id < 16";
+      run s1 "COMMIT";
+      check_int "real writer's rows survived the no-op commit" 80
+        (int_of root "SELECT SUM(v) FROM hot");
+      (* and the reverse: a no-op commit must not stamp the name *)
+      let s3 = Db.session store in
+      run s3 "BEGIN";
+      run s3 "UPDATE hot SET v = 7 WHERE id >= 16";
+      run s1 "DELETE FROM hot WHERE id < 0";
+      (match Db.exec s3 "COMMIT" with
+      | _ -> ()
+      | exception Db.Conflict m ->
+          Alcotest.failf "no-op delete spuriously stamped the table: %s" m);
+      check_int "both effects present" (80 + 7 * 16)
+        (int_of root "SELECT SUM(v) FROM hot"))
+
+(* Store-level regression (read-only DDL edge): a transaction whose only
+   effect is [index_ddl] — empty write set — must still republish
+   [index_defs] through the locked path rather than vanish down the
+   read-only fast path. *)
+let test_index_ddl_only_commit () =
+  let module Store = Quill_txn.Store in
+  let store = Store.create ~tables:[] ~index_defs:[] () in
+  let txn = Store.begin_txn store in
+  txn.Store.index_ddl <- true;
+  let ts =
+    Store.commit store txn ~lookup:(fun _ -> None)
+      ~index_defs:(Some [ ("t", "k") ])
+  in
+  Alcotest.(check bool) "commit advanced the clock" true (ts > 0);
+  let snap = Store.snapshot store in
+  Alcotest.(check (list (pair string string)))
+    "index defs republished"
+    [ ("t", "k") ]
+    snap.Store.snap_index_defs
+
 (* --- durability --------------------------------------------------------- *)
 
 let test_durable_roundtrip () =
@@ -279,6 +470,23 @@ let () =
           Alcotest.test_case "rollback" `Quick test_rollback;
           Alcotest.test_case "txn control errors" `Quick test_txn_control_errors;
           Alcotest.test_case "DDL through txn" `Quick test_ddl_through_txn;
+        ] );
+      ( "row granularity",
+        [
+          Alcotest.test_case "disjoint writers all commit" `Quick
+            test_disjoint_writers_all_commit;
+          Alcotest.test_case "disjoint writers threaded" `Quick
+            test_disjoint_writers_threaded;
+          Alcotest.test_case "overlap: exactly one loser" `Quick
+            test_overlap_one_loser;
+          Alcotest.test_case "concurrent inserts merge" `Quick
+            test_concurrent_inserts_merge;
+          Alcotest.test_case "DDL vs DML conflicts both orders" `Quick
+            test_ddl_vs_dml_conflicts;
+          Alcotest.test_case "no-op mutation: empty footprint" `Quick
+            test_noop_mutation_no_conflict;
+          Alcotest.test_case "index-DDL-only commit republishes" `Quick
+            test_index_ddl_only_commit;
         ] );
       ( "durable",
         [
