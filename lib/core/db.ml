@@ -730,7 +730,15 @@ let stage_mutation db (txn : Store.txn) stmt sql =
         if first_touch then
           Option.iter
             (fun tbl ->
-              let copy = Table.cow_copy_tracked tbl in
+              (* The store's chunk size, not the global default: chunk
+                 stamps are keyed by index, so every tracker must share
+                 the granularity fixed at store creation. *)
+              let chunk_rows =
+                match db.shared with
+                | Some sh -> Store.chunk_rows sh.handle
+                | None -> !Table.default_chunk_rows
+              in
+              let copy = Table.cow_copy_tracked ~chunk_rows tbl in
               fp.Store.ft_tracker <- Table.tracker copy;
               Catalog.put db.catalog copy)
             existing;
@@ -1151,21 +1159,38 @@ let open_durable ?(policy = Wal.On_commit) dir =
               let db = load_dir (Snapshot.snap_dir dir n) in
               let wr = Wal.replay (Snapshot.wal_path dir n) in
               let replayed = ref 0 and replay_note = ref None in
+              let describe = function
+                | Wal.Stmt sql -> sql
+                | Wal.Patch { table; _ } -> Printf.sprintf "patch for table %s" table
+              in
               (try
                  List.iter
-                   (fun sql ->
-                     (try ignore (exec db sql)
+                   (fun entry ->
+                     (try
+                        match entry with
+                        | Wal.Stmt sql -> ignore (exec db sql)
+                        | Wal.Patch { table; data } -> (
+                            match Catalog.find db.catalog table with
+                            | None ->
+                                failwith
+                                  (Printf.sprintf "patch targets unknown table %s" table)
+                            | Some tbl ->
+                                Csv.apply_patch tbl data;
+                                (* Patches bypass the DML paths, so bump the
+                                   catalog version by hand to invalidate any
+                                   lazily-built secondary indexes. *)
+                                Catalog.bump db.catalog)
                       with e ->
                         replay_note :=
                           Some
-                            (Printf.sprintf "replay stopped at statement %d (%s): %s"
-                               (!replayed + 1) sql (Printexc.to_string e));
+                            (Printf.sprintf "replay stopped at entry %d (%s): %s"
+                               (!replayed + 1) (describe entry) (Printexc.to_string e));
                         raise Exit);
                      incr replayed)
-                   wr.Wal.statements
+                   wr.Wal.entries
                with Exit -> ());
               let dropped =
-                wr.Wal.dropped + (List.length wr.Wal.statements - !replayed)
+                wr.Wal.dropped + (List.length wr.Wal.entries - !replayed)
               in
               let torn = wr.Wal.torn || !replay_note <> None in
               let note =

@@ -80,6 +80,24 @@ let write_string ~header rows =
   List.iter line rows;
   Buffer.contents buf
 
+(* Parse one marked field against schema column [colno]; [rowno] is the
+   1-based row number used in error messages. *)
+let typed_field ~where ~rowno schema colno (field, quoted) =
+  let c = Schema.column schema colno in
+  let parsed =
+    (* a *quoted* empty field is the empty string, not NULL *)
+    if field = "" && quoted && c.Schema.dtype = Value.Str_t then
+      Some (Value.Str "")
+    else Value.parse c.Schema.dtype field
+  in
+  match parsed with
+  | Some v -> v
+  | None ->
+      failwith
+        (Printf.sprintf "%s row %d, column %s: cannot parse %S as %s" where
+           rowno c.Schema.name field
+           (Value.dtype_name c.Schema.dtype))
+
 (** [rows_of_string ~schema ?src ?has_header s] parses CSV text into typed
     rows according to [schema]; raises [Failure] with row/column context —
     and the source file or table named by [src] — on malformed values.
@@ -97,21 +115,7 @@ let rows_of_string ~schema ?src ?(has_header = true) s =
              (List.length fields) (Schema.arity schema));
       Array.of_list
         (List.mapi
-           (fun colno (field, quoted) ->
-             let c = Schema.column schema colno in
-             let parsed =
-               (* a *quoted* empty field is the empty string, not NULL *)
-               if field = "" && quoted && c.Schema.dtype = Value.Str_t then
-                 Some (Value.Str "")
-               else Value.parse c.Schema.dtype field
-             in
-             match parsed with
-             | Some v -> v
-             | None ->
-                 failwith
-                   (Printf.sprintf "%s row %d, column %s: cannot parse %S as %s"
-                      where (rowno + 1) c.Schema.name field
-                      (Value.dtype_name c.Schema.dtype)))
+           (fun colno field -> typed_field ~where ~rowno:(rowno + 1) schema colno field)
            fields))
     raw
 
@@ -124,16 +128,19 @@ let load ~name ~schema path =
   close_in ic;
   Table.of_rows ~name schema (rows_of_string ~schema ~src:path s)
 
+(* Render one value as a CSV field: NULL becomes a bare empty field, an
+   empty string a quoted one ([""]), so the two stay distinguishable on
+   reload. *)
+let render_field v =
+  if Value.is_null v then ""
+  else match Value.to_string v with "" -> "\"\"" | s -> escape_field s
+
 (** [to_string table] renders a whole table as CSV text with a header
     line.  NULL becomes a bare empty field; an empty string becomes a
     quoted one ([""]) so the two stay distinguishable on reload. *)
 let to_string table =
   let header = List.map (fun c -> c.Schema.name) (Schema.columns (Table.schema table)) in
-  let field v =
-    if Value.is_null v then ""
-    else
-      match Value.to_string v with "" -> "\"\"" | s -> escape_field s
-  in
+  let field = render_field in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (String.concat "," (List.map escape_field header));
   Buffer.add_char buf '\n';
@@ -150,3 +157,74 @@ let save table path =
   let oc = open_out_bin path in
   output_string oc (to_string table);
   close_out oc
+
+(* --- Physical WAL patches ----------------------------------------------- *)
+
+(* A patch serializes a transaction's write footprint on one table as
+   data instead of SQL: CSV rows (same field conventions as snapshots)
+   whose first field is the target — a base-row index to overwrite, or
+   "+" to append.  The WAL logs one for each table of a commit whose
+   install merges onto a concurrently-advanced version: re-executing the
+   SQL against the merged state could touch rows the footprint proves
+   this transaction never wrote (e.g. a row a concurrent committer
+   appended), so recovery must apply the row images, not the
+   predicates. *)
+
+(** [patch_of_table ours tr] serializes tracked clone [ours]'s write
+    footprint — every row of its touched base chunks plus its appended
+    tail — exactly the splice {!Table.merge} installs. *)
+let patch_of_table ours (tr : Table.tracker) =
+  let buf = Buffer.create 256 in
+  let emit target row =
+    Buffer.add_string buf target;
+    Array.iter
+      (fun v ->
+        Buffer.add_char buf ',';
+        Buffer.add_string buf (render_field v))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  List.iter
+    (fun c ->
+      let lo = c * tr.Table.chunk_rows in
+      let hi = min tr.Table.base_rows ((c + 1) * tr.Table.chunk_rows) in
+      for i = lo to hi - 1 do
+        emit (string_of_int i) (Table.get_row ours i)
+      done)
+    (Table.touched_chunks tr);
+  for i = tr.Table.base_rows to Table.row_count ours - 1 do
+    emit "+" (Table.get_row ours i)
+  done;
+  Buffer.contents buf
+
+(** [apply_patch table s] applies a serialized row-image patch to
+    [table] in place — the recovery replay of a merged commit.  Raises
+    [Failure] with row/column context on malformed input. *)
+let apply_patch table s =
+  let schema = Table.schema table in
+  let where = Printf.sprintf "patch for table %s" (Table.name table) in
+  List.iteri
+    (fun rowno fields ->
+      match fields with
+      | [] -> ()
+      | (target, _) :: values ->
+          if List.length values <> Schema.arity schema then
+            failwith
+              (Printf.sprintf "%s row %d: %d fields, expected %d" where
+                 (rowno + 1) (List.length values) (Schema.arity schema));
+          let row =
+            Array.of_list
+              (List.mapi
+                 (fun colno f -> typed_field ~where ~rowno:(rowno + 1) schema colno f)
+                 values)
+          in
+          if target = "+" then Table.insert table row
+          else
+            match int_of_string_opt target with
+            | Some i when i >= 0 && i < Table.row_count table ->
+                Table.set_row table i row
+            | _ ->
+                failwith
+                  (Printf.sprintf "%s row %d: bad row target %S" where
+                     (rowno + 1) target))
+    (parse_string_marked s)

@@ -26,9 +26,13 @@ type tracker = {
   mutable whole : bool;  (** row identity not preserved: treat as all rows *)
 }
 
-(** Rows per conflict-detection chunk for freshly tracked copies.
-    Settable (it is read at {!cow_copy_tracked} time) so tests and
-    benchmarks can force many-chunk tables without millions of rows. *)
+(** Rows per conflict-detection chunk for stores that do not pick their
+    own size.  Read once per store at creation time (and by
+    {!cow_copy_tracked} when no [?chunk_rows] is passed) — never at
+    validation time — so tests and benchmarks can force many-chunk
+    tables without millions of rows, and changing it mid-flight cannot
+    make a live store's new trackers incommensurable with the chunk
+    stamps it already holds. *)
 let default_chunk_rows = ref 1024
 
 type t = {
@@ -76,18 +80,21 @@ let check_row t row =
                  c.Schema.name (Value.dtype_name vt) (Value.dtype_name c.Schema.dtype)))
     row
 
+(* Widen Int literals into FLOAT columns so stored rows are uniformly
+   typed. *)
+let widen t row =
+  Array.mapi
+    (fun i v ->
+      match (v, (Schema.column t.schema i).Schema.dtype) with
+      | Value.Int x, Value.Float_t -> Value.Float (Float.of_int x)
+      | v, _ -> v)
+    row
+
 (** [insert t row] appends [row], checking arity, types and NOT NULL.
     Int values are widened to float in FLOAT columns. *)
 let insert t row =
   check_row t row;
-  let row =
-    Array.mapi
-      (fun i v ->
-        match (v, (Schema.column t.schema i).Schema.dtype) with
-        | Value.Int x, Value.Float_t -> Value.Float (Float.of_int x)
-        | v, _ -> v)
-      row
-  in
+  let row = widen t row in
   Vec.push t.rows row;
   (match t.tracker with Some tr -> tr.appended <- true | None -> ());
   t.columnar <- None
@@ -158,17 +165,23 @@ let cow_copy t =
     tracker = None;
   }
 
-(** [cow_copy_tracked t] is {!cow_copy} plus a fresh write-footprint
-    tracker anchored at the current row count — the clone a transaction
-    mutates when commit-time conflict detection wants row/chunk
-    granularity. *)
-let cow_copy_tracked t =
+(** [cow_copy_tracked ?chunk_rows t] is {!cow_copy} plus a fresh
+    write-footprint tracker anchored at the current row count — the
+    clone a transaction mutates when commit-time conflict detection
+    wants row/chunk granularity.  [chunk_rows] is the footprint
+    granularity; callers attached to a store must pass that store's
+    fixed size so every tracker's chunk indices are commensurable with
+    the store's chunk stamps (default: {!default_chunk_rows}). *)
+let cow_copy_tracked ?chunk_rows t =
+  let chunk_rows =
+    match chunk_rows with Some n -> max 1 n | None -> !default_chunk_rows
+  in
   let c = cow_copy t in
   c.tracker <-
     Some
       {
         base_rows = row_count t;
-        chunk_rows = !default_chunk_rows;
+        chunk_rows;
         touched = Hashtbl.create 8;
         appended = false;
         whole = false;
@@ -198,7 +211,14 @@ let tracker_clean tr =
     disjoint from every version committed since the snapshot — then all
     rows of [base] below [tr.base_rows] outside the touched chunks equal
     the snapshot's, and inside a touched chunk nobody else wrote, so
-    [ours]'s values are authoritative. *)
+    [ours]'s values are authoritative.
+
+    Durability note: a merged install is {e not} reproducible by
+    re-executing the transaction's SQL (a predicate re-run against the
+    merged state could touch rows the footprint proves untouched — e.g.
+    a row a concurrent committer appended), so the WAL logs merged
+    commits as physical row images ({!Quill_storage.Csv.patch_of_table})
+    and replay applies exactly this splice. *)
 let merge ~base ours tr =
   let t = cow_copy base in
   t.columnar <- None;
@@ -243,14 +263,7 @@ let update t ~where ~apply =
       incr n;
       let row' = apply (Array.copy row) in
       check_row t row';
-      let row' =
-        Array.mapi
-          (fun j v ->
-            match (v, (Schema.column t.schema j).Schema.dtype) with
-            | Value.Int x, Value.Float_t -> Value.Float (Float.of_int x)
-            | v, _ -> v)
-          row'
-      in
+      let row' = widen t row' in
       Vec.set t.rows i row';
       match t.tracker with
       | Some tr when i < tr.base_rows ->
@@ -263,6 +276,18 @@ let update t ~where ~apply =
   done;
   if !n > 0 then t.columnar <- None;
   !n
+
+(** [set_row t i row] replaces row [i] wholesale, checked (and widened)
+    like an insert — the physical-patch replay path
+    ({!Quill_storage.Csv.apply_patch}). *)
+let set_row t i row =
+  check_row t row;
+  Vec.set t.rows i (widen t row);
+  (match t.tracker with
+  | Some tr when i < tr.base_rows ->
+      Hashtbl.replace tr.touched (i / tr.chunk_rows) ()
+  | _ -> ());
+  t.columnar <- None
 
 (** [to_row_list t] returns all rows as a list (copying). *)
 let to_row_list t =

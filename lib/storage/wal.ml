@@ -11,6 +11,12 @@
               'B' txn-id       transaction begin
               'X' txn-id ':' sql-text
                                a statement belonging to transaction txn-id
+              'U' txn-id ':' table-name '\n' row-images
+                               a physical patch of transaction txn-id:
+                               row images replayed as data, not SQL —
+                               logged instead of 'X' frames for commits
+                               whose install merges onto a concurrently-
+                               advanced table version
               'T' txn-id       transaction commit
               'A' txn-id       transaction abort (its statements must
                                never replay)
@@ -25,12 +31,13 @@
    replay does not rely on that: it reassembles transactions by id.
 
    Replay scans frames from the start and yields the longest clean
-   prefix of *committed* statements (auto-commit groups and committed
+   prefix of *committed* entries — SQL statements to re-execute plus
+   physical patches to apply as data (auto-commit groups and committed
    transactions alike, in commit order): it stops at the first torn
    frame (truncated length/checksum/payload — a power cut mid-write) or
-   CRC mismatch (corruption); statements appended but not committed —
-   an 'S' run without its 'C', a 'B'..'X' group without its 'T', or an
-   aborted transaction — are reported as dropped, never replayed.
+   CRC mismatch (corruption); entries appended but not committed —
+   an 'S' run without its 'C', a 'B'..'X'/'U' group without its 'T', or
+   an aborted transaction — are reported as dropped, never replayed.
    Checkpoints do not write frames: the snapshot layer starts a fresh
    generation's log and deletes this one, which is the WAL truncation
    point. *)
@@ -38,6 +45,7 @@
 module Metrics = Quill_obs.Metrics
 
 let m_appends = Metrics.counter "quill.wal.appends"
+let m_patches = Metrics.counter "quill.wal.patches"
 let m_commits = Metrics.counter "quill.wal.commits"
 let m_rollbacks = Metrics.counter "quill.wal.rollbacks"
 let m_syncs = Metrics.counter "quill.wal.syncs"
@@ -161,6 +169,19 @@ let log_txn_statement t ~txn sql =
   t.pending_stmts <- t.pending_stmts + 1;
   Metrics.incr m_appends
 
+(** [log_txn_patch t ~txn ~table data] stages a physical patch frame of
+    transaction [txn]: [data] is {!Quill_storage.Csv.patch_of_table}'s
+    serialized row images for [table], replayed as data instead of SQL.
+    The store logs these (instead of statement frames) for commits whose
+    install merges a row footprint onto a concurrently-advanced
+    version — the one case re-executing the SQL cannot reproduce. *)
+let log_txn_patch t ~txn ~table data =
+  ignore (handle t);
+  add_frame t.pending (Printf.sprintf "U%d:%s\n%s" txn table data);
+  t.pending_stmts <- t.pending_stmts + 1;
+  Metrics.incr m_appends;
+  Metrics.incr m_patches
+
 (** [log_txn_commit t ~txn] stages the commit marker of transaction
     [txn]; pair with {!flush} to persist the whole group in one write. *)
 let log_txn_commit t ~txn =
@@ -235,10 +256,16 @@ let close t =
 
 (* --- Replay ------------------------------------------------------------ *)
 
+(** One committed thing to re-apply, in commit order. *)
+type entry =
+  | Stmt of string  (** re-execute this SQL *)
+  | Patch of { table : string; data : string }
+      (** apply these row images ({!Quill_storage.Csv.apply_patch}) *)
+
 (** What a replay recovered, and where (and why) it stopped. *)
 type replay = {
-  statements : string list;  (** committed statements, oldest first *)
-  dropped : int;  (** statements appended but never committed *)
+  entries : entry list;  (** committed statements/patches, oldest first *)
+  dropped : int;  (** entries appended but never committed *)
   torn : bool;  (** the scan hit a torn/corrupt frame and stopped *)
   detail : string option;  (** human-readable reason for stopping early *)
 }
@@ -249,25 +276,25 @@ type replay = {
 let replay path =
   match Sim_fs.read_file path with
   | None ->
-      { statements = []; dropped = 0; torn = false;
+      { entries = []; dropped = 0; torn = false;
         detail = Some (Printf.sprintf "missing WAL file %s" path) }
   | Some data ->
       let n = String.length data in
       let hlen = String.length header in
       if n < hlen || String.sub data 0 hlen <> header then
-        { statements = []; dropped = 0; torn = true;
+        { entries = []; dropped = 0; torn = true;
           detail = Some (Printf.sprintf "bad WAL header in %s" path) }
       else begin
         (* Committed groups, newest first; each is (txn id if any,
-           statements newest first).  Groups keep their id because an
+           entries newest first).  Groups keep their id because an
            abort marker *after* a commit marker revokes the group: the
            store writes that sequence when the commit group reached the
            file but its fsync failed — the client got an error, so the
            group must not recover. *)
-        let committed : (int option * string list) list ref = ref [] in
+        let committed : (int option * entry list) list ref = ref [] in
         let uncommitted = ref [] in
-        (* In-flight transactions by id: statements in reverse order. *)
-        let open_txns : (int, string list) Hashtbl.t = Hashtbl.create 8 in
+        (* In-flight transactions by id: entries in reverse order. *)
+        let open_txns : (int, entry list) Hashtbl.t = Hashtbl.create 8 in
         let dropped = ref 0 in
         let torn = ref false and detail = ref None in
         let stop fmt =
@@ -306,8 +333,19 @@ let replay path =
                stop "checksum mismatch at byte %d" !pos;
                raise Exit
              end;
+             (* A statement/patch without a begin marker still opens the
+                transaction — replay is lenient so a lost 'B' cannot
+                strand its commit marker. *)
+             let push_txn id entry =
+               let sofar =
+                 Option.value ~default:[] (Hashtbl.find_opt open_txns id)
+               in
+               Hashtbl.replace open_txns id (entry :: sofar)
+             in
              (match data.[!pos + 8] with
-             | 'S' -> uncommitted := String.sub data (!pos + 9) (len - 1) :: !uncommitted
+             | 'S' ->
+                 uncommitted :=
+                   Stmt (String.sub data (!pos + 9) (len - 1)) :: !uncommitted
              | 'C' ->
                  committed := (None, !uncommitted) :: !committed;
                  uncommitted := []
@@ -330,13 +368,27 @@ let replay path =
                            String.sub payload (colon + 1)
                              (String.length payload - colon - 1)
                          in
-                         (* A statement without a begin marker still opens
-                            the transaction — replay is lenient so a lost
-                            'B' cannot strand its commit marker. *)
-                         let sofar =
-                           Option.value ~default:[] (Hashtbl.find_opt open_txns id)
+                         push_txn id (Stmt sql)))
+             | 'U' -> (
+                 let payload = String.sub data (!pos + 8) len in
+                 let bad () =
+                   stop "malformed patch frame at byte %d" !pos;
+                   raise Exit
+                 in
+                 match String.index_opt payload ':' with
+                 | None -> bad ()
+                 | Some colon -> (
+                     match
+                       ( int_of_string_opt (String.sub payload 1 (colon - 1)),
+                         String.index_from_opt payload colon '\n' )
+                     with
+                     | Some id, Some nl ->
+                         let table = String.sub payload (colon + 1) (nl - colon - 1) in
+                         let body =
+                           String.sub payload (nl + 1) (String.length payload - nl - 1)
                          in
-                         Hashtbl.replace open_txns id (sql :: sofar)))
+                         push_txn id (Patch { table; data = body })
+                     | _ -> bad ()))
              | 'T' ->
                  let payload = String.sub data (!pos + 8) len in
                  let id = txn_id payload !pos in
@@ -371,11 +423,11 @@ let replay path =
          with Exit -> ());
         (* Transactions still open at the scan end never committed. *)
         Hashtbl.iter (fun _ stmts -> dropped := !dropped + List.length stmts) open_txns;
-        let statements =
+        let entries =
           List.rev !committed
           |> List.concat_map (fun (_, stmts) -> List.rev stmts)
         in
-        { statements;
+        { entries;
           dropped = !dropped + List.length !uncommitted;
           torn = !torn; detail = !detail }
       end

@@ -35,19 +35,37 @@
      (two-phase, deadlock-free), so commits touching different stripes
      proceed concurrently.  A short [publish] critical section serializes
      just the pointer installation, stamp writes and the timestamp
-     advance; the WAL group write is serialized by its own [wal_lock].
-     Lock order: stripes (ascending) → wal_lock → publish; no holder of
-     a later lock ever takes an earlier one.
+     advance; the WAL group write is serialized by its own [wal_lock],
+     which a durable commit holds *through* its publish section so WAL
+     append order always equals commit-timestamp order — replay depends
+     on seeing committed transactions exactly in commit order.  Lock
+     order: stripes (ascending) → wal_lock → publish; no holder of a
+     later lock ever takes an earlier one.
 
    Recovery composes with the WAL layer: a committed transaction's
    frames hit disk atomically before the commit is acknowledged, so
    replay ({!Quill_storage.Wal.replay}) yields exactly the committed
-   transactions in commit order.  If the group's fsync fails *after*
-   the frames reached the file, the client is told the commit failed —
-   so an abort frame is appended to revoke the group at replay, keeping
-   acknowledged == recovered. *)
+   transactions in commit order.  Two hard corners:
+
+   - A *merged* install (the committed version moved under a validated
+     row footprint) is not reproducible by re-executing the SQL — a
+     predicate re-run against the merged state could touch rows the
+     footprint proves this transaction never wrote.  Such commits are
+     logged as physical row-image patches
+     ({!Quill_storage.Csv.patch_of_table}) instead of statement frames;
+     a transaction that merges but also carries a footprint with no row
+     images (DDL, drop, untracked rewrite) degrades to the pre-merge
+     behaviour and aborts as a first-committer-wins conflict.
+   - If a group's fsync fails *after* the frames reached the file, the
+     client is told the commit failed — so an abort frame is appended to
+     revoke the group at replay, keeping acknowledged == recovered.  If
+     even the revocation cannot be persisted, the abort frame is
+     re-staged and the store is *poisoned*: every subsequent commit
+     fails until a flush carries the revocation, so no later commit can
+     be acknowledged ahead of it. *)
 
 module Table = Quill_storage.Table
+module Csv = Quill_storage.Csv
 module Wal = Quill_storage.Wal
 module Sim_fs = Quill_storage.Sim_fs
 module Metrics = Quill_obs.Metrics
@@ -119,6 +137,10 @@ type t = {
   oracle : Oracle.t;
   mutable wal : Wal.t option;  (** shared log of a durable store *)
   mutable granularity : granularity;
+  chunk_rows : int;  (** footprint granularity, fixed for the store's life *)
+  mutable poisoned : string option;
+      (** set when a failed commit group's revocation could not be
+          persisted either: commits fail until a flush carries it *)
 }
 
 (** A pinned committed snapshot: table versions as of [ts]. *)
@@ -142,12 +164,18 @@ type txn = {
 
 let default_stripes = 16
 
-(** [create ?wal ?stripes ?granularity ~tables ~index_defs ()] seeds a
-    store with committed state (timestamp 0).  [tables] become the
-    committed versions and must not be mutated by the caller
-    afterwards. *)
-let create ?wal ?(stripes = default_stripes) ?(granularity = Row_level) ~tables
-    ~index_defs () =
+(** [create ?wal ?stripes ?granularity ?chunk_rows ~tables ~index_defs ()]
+    seeds a store with committed state (timestamp 0).  [tables] become
+    the committed versions and must not be mutated by the caller
+    afterwards.  [chunk_rows] (default {!Table.default_chunk_rows},
+    read once here) is the row-footprint granularity, fixed for the
+    store's life: per-chunk stamps are keyed by chunk index, so every
+    tracker the store's sessions create must share one size. *)
+let create ?wal ?(stripes = default_stripes) ?(granularity = Row_level)
+    ?chunk_rows ~tables ~index_defs () =
+  let chunk_rows =
+    match chunk_rows with Some n -> max 1 n | None -> !Table.default_chunk_rows
+  in
   let t =
     {
       stripes = Array.init (max 1 stripes) (fun _ -> Mutex.create ());
@@ -159,6 +187,8 @@ let create ?wal ?(stripes = default_stripes) ?(granularity = Row_level) ~tables
       oracle = Oracle.create ();
       wal;
       granularity;
+      chunk_rows;
+      poisoned = None;
     }
   in
   List.iter (fun tbl -> Hashtbl.replace t.tables (Table.name tbl) tbl) tables;
@@ -171,6 +201,12 @@ let granularity t = t.granularity
     no transaction is in flight (stamps carry over: a name- and a
     row-level stamp of the same commit agree on [full_ts]). *)
 let set_granularity t g = t.granularity <- g
+
+(** [chunk_rows t] is the store's row-footprint granularity.  Fixed at
+    creation: the session layer must pass it to every
+    {!Quill_storage.Table.cow_copy_tracked} so tracker chunk indices and
+    the store's chunk stamps stay commensurable. *)
+let chunk_rows t = t.chunk_rows
 
 (** [stripe_count t] is the number of commit-lock shards. *)
 let stripe_count t = Array.length t.stripes
@@ -188,8 +224,13 @@ let committed_ts t = Oracle.last_ts t.oracle
 let wal t = t.wal
 
 (** [set_wal t w] swaps the log handle (checkpointing starts a fresh
-    generation's log).  Call with {!locked} held or before sharing. *)
-let set_wal t w = t.wal <- w
+    generation's log).  Call with {!locked} held or before sharing.
+    Clears any poisoning: a successful checkpoint snapshots exactly the
+    committed state and deletes the old log, so an unrevoked group in it
+    can no longer recover. *)
+let set_wal t w =
+  t.wal <- w;
+  t.poisoned <- None
 
 (** [locked t f] runs [f] with every commit stripe and the publish lock
     held — quiesces commits, e.g. around a checkpoint that snapshots
@@ -345,36 +386,101 @@ let plan_install txn name eff priv_opt cur =
                 Merge (Table.merge ~base:cur_tbl priv tr)
             | _ -> Put priv))
 
-(* Stage the transaction's WAL frame group and flush it — one write,
-   fsynced per policy.  A torn write (power cut) loses the group and
-   replay drops it: correct, the client was never acknowledged.  An
-   fsync *failure* is the dangerous corner: the frames — commit marker
-   included — are in the file, but the client is about to see an error.
-   Append an abort frame so replay revokes the group; only then re-raise.
-   A {!Sim_fs.Crash} is never caught — the machine is gone and recovery
+let is_merge = function Merge _ -> true | _ -> false
+
+(* A poisoned store holds a commit-marked group in the file whose
+   revocation is not yet durable: nothing may be acknowledged before the
+   pending abort frame persists, or a crash would recover a transaction
+   whose client saw an error ahead of ones that succeeded.  Flush the
+   re-staged revocation and force an fsync — [Wal.flush] alone is a
+   no-op on an empty buffer and may skip the sync under an [Every n]
+   policy, neither of which proves the abort frame durable.  Fail the
+   commit while the sync keeps failing.  Caller holds [wal_lock]. *)
+let heal_poison t w =
+  match t.poisoned with
+  | None -> ()
+  | Some msg -> (
+      try
+        Wal.flush w;
+        Wal.sync w;
+        t.poisoned <- None
+      with Sim_fs.Io_error _ ->
+        raise (Sim_fs.Io_error ("store poisoned (unrevoked commit group): " ^ msg)))
+
+(* Flush the staged frame group — one write, fsynced per policy.  A torn
+   write (power cut) loses the group and replay drops it: correct, the
+   client was never acknowledged.  An fsync *failure* is the dangerous
+   corner: the frames — commit marker included — are in the file, but
+   the client is about to see an error.  Append an abort frame so replay
+   revokes the group; if even that cannot be persisted, re-stage it for
+   the next flush and poison the store so no later commit is
+   acknowledged ahead of the revocation.  Only then re-raise.  A
+   {!Sim_fs.Crash} is never caught — the machine is gone and recovery
    handles the torn tail. *)
-let wal_commit_group t txn =
+let flush_or_revoke t w txn =
+  try Wal.flush w
+  with Sim_fs.Io_error _ as e ->
+    (try
+       Wal.log_txn_abort w ~txn:txn.id;
+       Wal.flush w
+     with Sim_fs.Io_error _ ->
+       Wal.log_txn_abort w ~txn:txn.id;
+       t.poisoned <-
+         Some
+           (Printf.sprintf
+              "transaction %d's commit group reached the WAL but neither its \
+               fsync nor its abort-frame revocation succeeded"
+              txn.id));
+    raise e
+
+(* Stage the transaction's WAL frame group, flush it, and only then run
+   the publish continuation [k] — still under [wal_lock], so WAL append
+   order always equals commit-timestamp order (replay re-applies
+   committed transactions in exactly that order).
+
+   Statements are logged as SQL, except when some install merges onto a
+   concurrently-advanced version: re-executing SQL against the merged
+   state is not guaranteed to reproduce it (a predicate could touch rows
+   the footprint proves this transaction never wrote), so such commits
+   log physical row images per table instead — the exact splice
+   {!Table.merge} installs.  Commits with nothing to log skip the lock
+   entirely. *)
+let wal_commit_group t txn ~plans k =
   match t.wal with
-  | Some w when txn.stmts <> [] ->
-      Mutex.protect t.wal_lock (fun () ->
-          Wal.log_txn_begin w ~txn:txn.id;
-          List.iter (Wal.log_txn_statement w ~txn:txn.id) (List.rev txn.stmts);
-          Wal.log_txn_commit w ~txn:txn.id;
-          try Wal.flush w
-          with Sim_fs.Io_error _ as e ->
-            (try
-               Wal.log_txn_abort w ~txn:txn.id;
-               Wal.flush w
-             with Sim_fs.Io_error _ -> ());
-            raise e)
-  | _ -> ()
+  | None -> k ()
+  | Some w ->
+      let merged = List.exists (fun (_, _, _, _, p) -> is_merge p) plans in
+      if (not merged) && txn.stmts = [] then k ()
+      else
+        Mutex.protect t.wal_lock (fun () ->
+            heal_poison t w;
+            Wal.log_txn_begin w ~txn:txn.id;
+            if not merged then
+              List.iter (Wal.log_txn_statement w ~txn:txn.id) (List.rev txn.stmts)
+            else
+              List.iter
+                (fun (name, eff, _, priv, plan) ->
+                  match (plan, eff, priv) with
+                  | Skip, _, _ -> ()
+                  | (Put _ | Merge _), Rows (_, _, tr), Some priv ->
+                      Wal.log_txn_patch w ~txn:txn.id ~table:name
+                        (Csv.patch_of_table priv tr)
+                  | _ ->
+                      (* commit already degraded inexpressible mixes *)
+                      assert false)
+                plans;
+            Wal.log_txn_commit w ~txn:txn.id;
+            flush_or_revoke t w txn;
+            k ())
 
 (** [commit t txn ~lookup ~index_defs] atomically publishes the
     transaction: stripe acquisition in canonical order,
     first-committer-wins footprint validation, WAL group commit (begin +
-    statements + commit marker in one write, fsynced per the log's
-    policy, revoked with an abort frame if only the fsync fails), then
-    version installation and stamping inside the publish section.
+    statements — or physical row-image patches when an install merges —
+    + commit marker in one write, fsynced per the log's policy, revoked
+    with an abort frame if only the fsync fails), then version
+    installation and stamping inside the publish section, run while the
+    WAL lock is still held so log order equals commit order.
     [lookup name] returns the session's private version of a written
     table ([None] = dropped); [index_defs] is the full new declaration
     list when the transaction changed DDL.  Returns the commit
@@ -419,15 +525,40 @@ let commit t txn ~lookup ~index_defs =
         let plans =
           List.map
             (fun (name, eff, st, cur) ->
-              (name, eff, st, plan_install txn name eff (lookup name) cur))
+              let priv = lookup name in
+              (name, eff, st, priv, plan_install txn name eff priv cur))
             entries
         in
-        (* Write-ahead: the transaction is durable before it is visible. *)
-        wal_commit_group t txn;
+        (* A merged install replays from physical row images; a durable
+           transaction that merges but also carries a footprint with no
+           row images (DDL, a drop, an untracked rewrite) cannot be
+           logged that way, so it degrades to the pre-row-granularity
+           outcome: the moved name is a first-committer-wins conflict. *)
+        (if t.wal <> None then
+           match List.find_opt (fun (_, _, _, _, p) -> is_merge p) plans with
+           | Some (mname, _, mst, _, _) ->
+               let expressible =
+                 List.for_all
+                   (fun (_, eff, _, priv, plan) ->
+                     match (plan, eff, priv) with
+                     | Skip, _, _ -> true
+                     | (Put _ | Merge _), Rows _, Some _ -> true
+                     | _ -> false)
+                   plans
+               in
+               if not expressible then begin
+                 Metrics.incr m_row_conflicts;
+                 conflict txn mname "a WAL-replayable install" mst.full_ts
+               end
+           | None -> ());
+        (* Write-ahead: the transaction is durable before it is visible,
+           and the publish below runs while the WAL lock is still held so
+           log order always equals commit order. *)
+        wal_commit_group t txn ~plans (fun () ->
         Mutex.protect t.publish (fun () ->
             let ts = Oracle.advance t.oracle in
             List.iter
-              (fun (name, eff, st, plan) ->
+              (fun (name, eff, st, _priv, plan) ->
                 match plan with
                 | Skip -> ()
                 | Remove ->
@@ -454,5 +585,5 @@ let commit t txn ~lookup ~index_defs =
             (match index_defs with Some defs -> t.index_defs <- defs | None -> ());
             Metrics.incr m_commits;
             Metrics.set g_committed_ts ts;
-            ts))
+            ts)))
   end

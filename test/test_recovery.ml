@@ -290,6 +290,100 @@ let test_txn_fsync_failure () =
   Db.close db2;
   rmrf dir
 
+(* A merged install — a row-granular commit spliced onto a concurrently
+   advanced version — is not reproducible by re-executing its SQL:
+   replaying the UPDATE's predicate would also hit the row the
+   concurrent INSERT appended, which the committed state left untouched.
+   The WAL must log such commits as physical row images, and recovery
+   must land on exactly the committed state. *)
+let test_merged_commit_recovery () =
+  Sim_fs.reset ();
+  let dir = tmpdir () in
+  let root, _ = Db.open_durable dir in
+  let store = Db.share root in
+  let s1 = Db.session store and s2 = Db.session store in
+  ignore (Db.exec s1 "CREATE TABLE t (a INT NOT NULL, v INT NOT NULL)");
+  ignore (Db.exec s1 "INSERT INTO t VALUES (1, 0)");
+  (* Pin s2's snapshot before s1 appends, so s2's install merges onto a
+     version that grew underneath it. *)
+  ignore (Db.exec s2 "BEGIN");
+  Alcotest.(check int) "s2 snapshot pinned" 1
+    (Table.row_count (Db.query s2 "SELECT a FROM t"));
+  ignore (Db.exec s1 "BEGIN");
+  ignore (Db.exec s1 "INSERT INTO t VALUES (2, 0)");
+  ignore (Db.exec s1 "COMMIT");
+  (* Matches every v=0 row in s2's snapshot — but only row (1,0) is
+     there; (2,0) must stay untouched by the merge AND by replay. *)
+  ignore (Db.exec s2 "UPDATE t SET v = 1 WHERE v = 0");
+  ignore (Db.exec s2 "COMMIT");
+  let live db =
+    Table.to_row_list (Db.query db "SELECT a, v FROM t")
+    |> List.map (fun r -> Array.to_list (Array.map Value.to_string r))
+    |> List.sort compare
+  in
+  let committed = live s1 in
+  Alcotest.(check (list (list string)))
+    "merge left the concurrent append alone"
+    [ [ "1"; "1" ]; [ "2"; "0" ] ]
+    committed;
+  Db.close s1;
+  Db.close s2;
+  Db.close root;
+  Sim_fs.reset ();
+  let db2, _ = Db.open_durable dir in
+  Alcotest.(check (list (list string))) "recovered == committed" committed
+    (live db2);
+  Db.close db2;
+  rmrf dir
+
+(* When a commit group's fsync fails AND the abort-frame revocation's
+   fsync fails too, the store must poison itself: later durable commits
+   keep failing (acknowledging one could order it after a phantom
+   recovery of the errored group) until a sync carries the revocation to
+   disk, after which commits — and recovery — behave normally. *)
+let test_double_fsync_failure () =
+  Sim_fs.reset ();
+  let dir = tmpdir () in
+  let root, _ = Db.open_durable dir in
+  let store = Db.share root in
+  let s = Db.session store in
+  ignore (Db.exec s "CREATE TABLE t (a INT NOT NULL)");
+  ignore (Db.exec s "INSERT INTO t VALUES (1)");
+  ignore (Db.exec s "BEGIN");
+  ignore (Db.exec s "INSERT INTO t VALUES (2)");
+  Sim_fs.fail_fsync true;
+  (match Db.exec s "COMMIT" with
+  | _ -> Alcotest.fail "expected an io error"
+  | exception Db.Error m ->
+      Alcotest.(check bool) "named io error" true (contains m "io error"));
+  (* fsync still failing: the revocation is not durable, so the store is
+     poisoned and further durable commits must fail. *)
+  ignore (Db.exec s "BEGIN");
+  ignore (Db.exec s "INSERT INTO t VALUES (3)");
+  (match Db.exec s "COMMIT" with
+  | _ -> Alcotest.fail "expected the poisoned store to fail the commit"
+  | exception Db.Error m ->
+      Alcotest.(check bool) "commit refused by the poisoned store" true
+        (contains m "poisoned"));
+  Sim_fs.fail_fsync false;
+  (* Healed: the first commit under a working fsync persists the
+     revocation before acknowledging anything. *)
+  ignore (Db.exec s "BEGIN");
+  ignore (Db.exec s "INSERT INTO t VALUES (4)");
+  ignore (Db.exec s "COMMIT");
+  Db.close s;
+  Db.close root;
+  Sim_fs.reset ();
+  let db2, _ = Db.open_durable dir in
+  let got =
+    Table.to_row_list (Db.query db2 "SELECT a FROM t")
+    |> List.map (fun r -> Value.to_string r.(0))
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "only acked commits recovered" [ "1"; "4" ] got;
+  Db.close db2;
+  rmrf dir
+
 (* Recovery is idempotent: opening twice with no faults and no new
    writes yields the same state, and a run with no crash loses
    nothing. *)
@@ -512,6 +606,10 @@ let () =
           Alcotest.test_case "fsync failure" `Quick test_fsync_failure;
           Alcotest.test_case "fsync failure (txn ack)" `Quick
             test_txn_fsync_failure;
+          Alcotest.test_case "merged commit replayed as row images" `Quick
+            test_merged_commit_recovery;
+          Alcotest.test_case "double fsync failure poisons the store" `Quick
+            test_double_fsync_failure;
           Alcotest.test_case "no crash / reopen" `Quick test_no_crash_and_reopen;
         ] );
       ( "sweeps",

@@ -260,6 +260,33 @@ let test_overlap_one_loser () =
       | exception Db.Conflict _ -> ());
       check_int "winner's rows intact" 32 (int_of root "SELECT SUM(v) FROM hot"))
 
+(* The footprint granularity is fixed per store at creation: changing
+   [Table.default_chunk_rows] mid-flight must not make new trackers
+   incommensurable with the chunk stamps the store already holds.  With
+   the global shrunk from 16 to 4, rows 12..15 would map to chunk index
+   3 — colliding with the stamp s1 left on the (size-16) chunk of rows
+   48..63 — and a disjoint writer would conflict for no reason. *)
+let test_chunk_size_fixed_at_creation () =
+  with_chunk_rows 16 (fun () ->
+      let root = Db.create () in
+      seed_hot root 64;
+      let store = Db.share root in
+      let s1 = Db.session store and s2 = Db.session store in
+      run s1 "BEGIN";
+      run s2 "BEGIN";
+      run s1 "UPDATE hot SET v = 1 WHERE id >= 48";
+      run s1 "COMMIT";
+      (* Mid-store granularity change: the store must keep using the
+         size it captured at creation. *)
+      Table.default_chunk_rows := 4;
+      run s2 "UPDATE hot SET v = 2 WHERE id >= 12 AND id < 16";
+      (match Db.exec s2 "COMMIT" with
+      | _ -> ()
+      | exception Db.Conflict m ->
+          Alcotest.failf "disjoint writer conflicted after global change: %s" m);
+      check_int "both updates survived" (16 + (4 * 2))
+        (int_of root "SELECT SUM(v) FROM hot"))
+
 (* Concurrent INSERTs into one table are append-append: both commit and
    both rows land (PR 6 aborted the second). *)
 let test_concurrent_inserts_merge () =
@@ -479,6 +506,8 @@ let () =
             test_disjoint_writers_threaded;
           Alcotest.test_case "overlap: exactly one loser" `Quick
             test_overlap_one_loser;
+          Alcotest.test_case "chunk size fixed at store creation" `Quick
+            test_chunk_size_fixed_at_creation;
           Alcotest.test_case "concurrent inserts merge" `Quick
             test_concurrent_inserts_merge;
           Alcotest.test_case "DDL vs DML conflicts both orders" `Quick

@@ -54,8 +54,16 @@ let frame payload =
 
 let wal_header = "QWAL1\n"
 
+(* Render a replay entry for comparison: statements as their SQL text,
+   physical patches as "patch:<table>=<data>". *)
+let entry_repr = function
+  | Wal.Stmt sql -> sql
+  | Wal.Patch { table; data } -> Printf.sprintf "patch:%s=%s" table data
+
 let check_replay msg ~stmts ~dropped ~torn (r : Wal.replay) =
-  Alcotest.(check (list string)) (msg ^ ": statements") stmts r.Wal.statements;
+  Alcotest.(check (list string))
+    (msg ^ ": statements") stmts
+    (List.map entry_repr r.Wal.entries);
   Alcotest.(check int) (msg ^ ": dropped") dropped r.Wal.dropped;
   Alcotest.(check bool) (msg ^ ": torn") torn r.Wal.torn
 
@@ -158,6 +166,35 @@ let test_wal_roundtrip () =
     ^ frame "SINSERT INTO t VALUES (2)"
     ^ frame "SINSERT INTO t VALUES (3)"
     ^ frame "C")
+    (read_raw path);
+  Sys.remove path
+
+let test_wal_patch_roundtrip () =
+  Sim_fs.reset ();
+  let path = tmppath () in
+  let w = Wal.create path in
+  (* A merged commit's group: begin, one physical patch, commit. *)
+  Wal.log_txn_begin w ~txn:7;
+  Wal.log_txn_patch w ~txn:7 ~table:"hot" "0,1,42\n+,2,0\n";
+  Wal.log_txn_commit w ~txn:7;
+  Wal.flush w;
+  (* A second patch group revoked by an abort frame after its commit
+     marker (the failed-fsync sequence): it must not replay. *)
+  Wal.log_txn_begin w ~txn:8;
+  Wal.log_txn_patch w ~txn:8 ~table:"hot" "1,9,9\n";
+  Wal.log_txn_commit w ~txn:8;
+  Wal.log_txn_abort w ~txn:8;
+  Wal.flush w;
+  Wal.close w;
+  check_replay "patch" ~stmts:[ "patch:hot=0,1,42\n+,2,0\n" ] ~dropped:1
+    ~torn:false (Wal.replay path);
+  (* the file matches the documented layout byte for byte *)
+  Alcotest.(check string) "layout"
+    (wal_header ^ frame "B7"
+    ^ frame "U7:hot\n0,1,42\n+,2,0\n"
+    ^ frame "T7" ^ frame "B8"
+    ^ frame "U8:hot\n1,9,9\n"
+    ^ frame "T8" ^ frame "A8")
     (read_raw path);
   Sys.remove path
 
@@ -408,6 +445,8 @@ let () =
       ( "wal",
         [
           Alcotest.test_case "roundtrip + layout" `Quick test_wal_roundtrip;
+          Alcotest.test_case "patch frame roundtrip + revoke" `Quick
+            test_wal_patch_roundtrip;
           Alcotest.test_case "rollback/close discard" `Quick
             test_wal_rollback_and_close_discard;
           Alcotest.test_case "empty commit" `Quick test_wal_empty_commit_is_noop;
