@@ -1,0 +1,283 @@
+(* E23 microbenchmarks: copy-and-patch stencil compilation vs full
+   closure-staging codegen, on the TPC-H-analog workload (Tpch).
+
+   Two measurements per covered shape:
+
+   - compile cost: nanoseconds to produce an executable closure, stencil
+     bind (shape match + patch fill) vs full codegen (closure staging
+     over the whole plan).  This is the quantity the stencil tier
+     collapses: a bind walks the top of the plan and the coverability
+     check, then fills one patch record — flat in expression count —
+     while full staging builds a closure per expression node.  The
+     "wide-scan" entry (a BI-style 12-expression projection) is there to
+     show the asymmetry growing with query width;
+   - one-shot total: cold compile + single execution, against the
+     interpreted vectorized engine executing the same plan.  The
+     copy-and-patch claim is that compilation gets cheap enough for the
+     compiled engine to win even when a query runs exactly once; the
+     gate asserts it on the workload total.
+
+   Compile costs are measured with median-of-batches wall-clock loops,
+   not Bechamel: the OLS estimator overreports sub-microsecond thunks by
+   ~2.5 us/run once a TPC-H-sized major heap is live (measured directly;
+   a tight loop in the same process agrees with small-heap Bechamel
+   runs), and the compile costs here sit exactly in that range.
+
+   The queries are covered-shape analogs of the Tpch suite: the Q6
+   filter as a scan+project, Q6 itself (global aggregate), Q1 without
+   its ORDER BY (grouped aggregate — the sort is outside stencil
+   coverage and identical across tiers anyway), and the
+   customer-orders join at the base of Q3.
+
+   Shared by the full run ([main.exe E23], which prints the tables
+   EXPERIMENTS.md records and rewrites [bench/BENCH_codegen.json]) and
+   the regression gate ([check_bench.exe], wired into `dune runtest`). *)
+
+module Physical = Quill_optimizer.Physical
+module Picker = Quill_optimizer.Picker
+module Codegen = Quill_compile.Codegen
+module Stencil = Quill_compile.Stencil
+module Stencil_bind = Quill_compile.Stencil_bind
+module Governor = Quill_exec.Governor
+module Exec_ctx = Quill_exec.Exec_ctx
+module Vector = Quill_exec.Vector
+module Tpch = Quill_workload.Tpch
+
+(* Scale used for the committed baseline and the runtest gate.  The
+   compile-cost ratio is scale-independent; the one-shot ablation needs
+   enough rows that execution is real work but must stay well under a
+   second per arm inside `dune runtest`.  SF 0.01 is ~60 k lineitem
+   rows. *)
+let smoke_sf = 0.01
+
+let build_db ~sf =
+  let db = Quill.Db.create () in
+  Tpch.load (Quill.Db.catalog db) ~sf ~seed:42;
+  List.iter (Quill.Db.analyze db) [ "lineitem"; "orders"; "customer" ];
+  db
+
+(* (name, expected shape key, sql) — one query per stencil shape, plus
+   the wide-projection scan.  The join forces the hash algorithm so the
+   picker cannot drift the plan out of stencil coverage. *)
+let queries =
+  [ ("q6-filter", "scan-filter-project",
+     "SELECT l_orderkey, l_extendedprice * (1 - l_discount) AS disc_price \
+      FROM lineitem \
+      WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' \
+      AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24");
+    ("wide-scan", "scan-filter-project",
+     "SELECT l_orderkey, l_partkey, l_suppkey, l_quantity, l_extendedprice, \
+      l_extendedprice * (1 - l_discount) AS disc_price, \
+      l_extendedprice * (1 - l_discount) * (1 + l_tax) AS charge, \
+      l_quantity * l_extendedprice AS volume, \
+      CASE WHEN l_discount > 0.05 THEN 'deep' ELSE 'shallow' END AS band, \
+      l_returnflag, l_linestatus, l_shipdate \
+      FROM lineitem \
+      WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' \
+      AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24");
+    ("q6", "scan-agg-global", Tpch.q6);
+    ("q1-agg", "scan-agg-grouped",
+     "SELECT l_returnflag, l_linestatus, \
+      SUM(l_quantity) AS sum_qty, \
+      SUM(l_extendedprice) AS sum_base_price, \
+      SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price, \
+      AVG(l_quantity) AS avg_qty, \
+      AVG(l_discount) AS avg_disc, \
+      COUNT(*) AS count_order \
+      FROM lineitem \
+      WHERE l_shipdate <= DATE '1998-09-02' \
+      GROUP BY l_returnflag, l_linestatus");
+    ("q3-join", "hash-join-probe",
+     "SELECT o_orderkey, l_extendedprice * (1 - l_discount) AS revenue, \
+      o_orderdate, o_shippriority \
+      FROM lineitem JOIN orders ON l_orderkey = o_orderkey \
+      WHERE o_orderdate < DATE '1995-03-15' AND l_shipdate > DATE '1995-03-15'") ]
+
+let plan_queries db =
+  Quill.Db.set_options db
+    { Picker.default_options with Picker.force_join = Some Physical.Hash_join };
+  Fun.protect
+    ~finally:(fun () -> Quill.Db.set_options db Picker.default_options)
+    (fun () ->
+      List.map (fun (name, shape, sql) -> (name, shape, Quill.Db.plan db sql)) queries)
+
+(* Median-of-batches ns/op: [batches] timed loops of [iters] calls. *)
+let loop_ns ?(batches = 5) ?(iters = 2000) f =
+  let samples =
+    Array.init batches (fun _ ->
+        Gc.full_major ();
+        let dt = Quill_util.Timer.time_unit (fun () ->
+            for _ = 1 to iters do f () done)
+        in
+        dt /. float_of_int iters *. 1e9)
+  in
+  Quill_util.Summary.median samples
+
+type compile_result = { name : string; shape : string; bind_ns : float; full_ns : float }
+
+let ratio r = r.full_ns /. r.bind_ns
+
+(* Aggregate compile-cost ratio over the whole query set: total staging
+   time saved, which is what the tiering economics see. *)
+let workload_ratio results =
+  let tb = List.fold_left (fun a r -> a +. r.bind_ns) 0.0 results in
+  let tf = List.fold_left (fun a r -> a +. r.full_ns) 0.0 results in
+  tf /. tb
+
+(* Compile cost per shape.  Binding must actually hit — a miss would
+   "win" by doing nothing — so assert coverage up front. *)
+let measure_compile ?batches ?iters db =
+  Stencil.warm ();
+  let catalog = Quill.Db.catalog db in
+  let plans = plan_queries db in
+  List.iter
+    (fun (name, shape, plan) ->
+      match Stencil_bind.shape_of catalog plan with
+      | Some s when s = shape -> ()
+      | other ->
+          failwith
+            (Printf.sprintf "E23: %s (shape %s) bound to %s" name shape
+               (Option.value other ~default:"<miss>")))
+    plans;
+  List.map
+    (fun (name, shape, plan) ->
+      let bind_ns =
+        loop_ns ?batches ?iters (fun () -> ignore (Stencil_bind.bind catalog plan))
+      in
+      let full_ns =
+        loop_ns ?batches ?iters (fun () ->
+            let (_ : Codegen.compiled) = Codegen.compile catalog plan in
+            ())
+      in
+      { name; shape; bind_ns; full_ns })
+    plans
+
+type oneshot_result = {
+  o_name : string;
+  stencil_s : float;  (* stencil bind + one execution *)
+  full_s : float;  (* full codegen + one execution *)
+  interp_s : float;  (* interpreted vectorized execution *)
+}
+
+let oneshot_totals results =
+  List.fold_left
+    (fun (s, f, i) r -> (s +. r.stencil_s, f +. r.full_s, i +. r.interp_s))
+    (0.0, 0.0, 0.0) results
+
+(* One-shot ablation: cold compile + single execution, median of [reps].
+   All three arms run the same physical plan, so the differences are
+   exactly compile cost plus engine speed. *)
+let measure_oneshot ?(reps = 5) db =
+  Stencil.warm ();
+  let catalog = Quill.Db.catalog db in
+  List.map
+    (fun (name, _shape, plan) ->
+      let stencil_s =
+        Harness.median_time ~reps (fun () ->
+            match Stencil_bind.bind catalog plan with
+            | Some f -> ignore (f Governor.none [||])
+            | None -> failwith "E23: stencil miss in one-shot arm")
+      in
+      let full_s =
+        Harness.median_time ~reps (fun () ->
+            ignore ((Codegen.compile catalog plan) Governor.none [||]))
+      in
+      let interp_s =
+        Harness.median_time ~reps (fun () ->
+            ignore (Vector.run (Exec_ctx.create catalog) plan))
+      in
+      { o_name = name; stencil_s; full_s; interp_s })
+    (plan_queries db)
+
+let print_compile_table results =
+  Harness.table
+    ~header:[ "query"; "shape"; "stencil bind ns"; "full codegen ns"; "bind cheaper by" ]
+    (List.map
+       (fun r ->
+         [ r.name; r.shape; Printf.sprintf "%.0f" r.bind_ns;
+           Printf.sprintf "%.0f" r.full_ns; Printf.sprintf "%.1fx" (ratio r) ])
+       results);
+  Printf.printf "workload compile-cost ratio: %.1fx\n" (workload_ratio results)
+
+let print_oneshot_table results =
+  Harness.table
+    ~header:
+      [ "query"; "stencil+run ms"; "full codegen+run ms"; "interpreted ms";
+        "stencil vs interp" ]
+    (List.map
+       (fun r ->
+         [ r.o_name; Harness.ms r.stencil_s; Harness.ms r.full_s;
+           Harness.ms r.interp_s;
+           Printf.sprintf "%.2fx" (r.interp_s /. r.stencil_s) ])
+       results);
+  let s, f, i = oneshot_totals results in
+  Printf.printf "workload one-shot totals: stencil %.2f ms, full %.2f ms, interpreted %.2f ms (stencil wins %.2fx)\n"
+    (s *. 1e3) (f *. 1e3) (i *. 1e3) (i /. s)
+
+let json_of ~sf compile oneshot =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"sf\": %g,\n" sf);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"workload_compile_ratio\": %.1f,\n" (workload_ratio compile));
+  Buffer.add_string buf "  \"compile\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"name\": \"%s\", \"shape\": \"%s\", \"bind_ns\": %.1f, \
+            \"full_ns\": %.1f, \"ratio\": %.1f }%s\n"
+           r.name r.shape r.bind_ns r.full_ns (ratio r)
+           (if i = List.length compile - 1 then "" else ",")))
+    compile;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"oneshot\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"name\": \"%s\", \"stencil_ms\": %.3f, \"full_ms\": %.3f, \
+            \"interp_ms\": %.3f }%s\n"
+           r.o_name (r.stencil_s *. 1e3) (r.full_s *. 1e3) (r.interp_s *. 1e3)
+           (if i = List.length oneshot - 1 then "" else ",")))
+    oneshot;
+  Buffer.add_string buf "  ],\n";
+  let s, _, i = oneshot_totals oneshot in
+  Buffer.add_string buf
+    (Printf.sprintf "  \"oneshot_stencil_total_ms\": %.3f,\n" (s *. 1e3));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"oneshot_interp_total_ms\": %.3f\n" (i *. 1e3));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_json ~sf compile oneshot =
+  let path =
+    if Sys.file_exists "bench" && Sys.is_directory "bench" then
+      Filename.concat "bench" "BENCH_codegen.json"
+    else "BENCH_codegen.json"
+  in
+  let oc = open_out path in
+  output_string oc (json_of ~sf compile oneshot);
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+(* Gate-scale measurement: one shared database. *)
+let smoke () =
+  let db = build_db ~sf:smoke_sf in
+  let compile = measure_compile ~batches:3 db in
+  let oneshot = measure_oneshot ~reps:3 db in
+  (compile, oneshot)
+
+(* Full run: print both ablation tables and refresh the committed
+   baseline at smoke scale. *)
+let e23 () =
+  Harness.section "E23: copy-and-patch stencil compile tier";
+  let db = build_db ~sf:smoke_sf in
+  Printf.printf "(TPC-H-analog data at SF %g)\n\ncompile cost (ns to produce an executable closure)\n"
+    smoke_sf;
+  let compile = measure_compile db in
+  print_compile_table compile;
+  Printf.printf "\none-shot total: cold compile + single execution\n";
+  let oneshot = measure_oneshot db in
+  print_oneshot_table oneshot;
+  write_json ~sf:smoke_sf compile oneshot

@@ -16,7 +16,19 @@
      commit count is not at least 2x the name-granular single-stripe
      baseline's, or if its commit throughput does not beat that
      baseline outright.  Self-relative — no baseline file, and the
-     interleaving is deterministic, so the counts cannot flake.
+     interleaving is deterministic, so the counts cannot flake;
+   - stencil compile tier (E23 smoke, argv.(3), optional): re-runs the
+     copy-and-patch compile-cost and one-shot ablations on the
+     TPC-H-analog workload and fails if any covered shape stops binding,
+     if the workload compile-cost collapse falls below 3x (committed
+     baseline ~8x, hash join ~17x), if the join shape falls below 6x, if
+     one-shot stencil compilation+execution stops beating the
+     interpreted tier on the workload total, or if the compile ratio
+     collapsed more than 2.5x against [bench/BENCH_codegen.json].  The
+     floors sit far under the committed numbers for the same reason the
+     traffic bounds are loose: the gate is for structural regressions
+     (an eager expression walk sneaking back into bind), not nanosecond
+     noise.
 
    The baseline files are tiny and hand-auditable, so they are parsed
    with a string scanner rather than a JSON dependency. *)
@@ -144,6 +156,46 @@ let () =
           single-stripe name-granular baseline (%.0f/s)"
          (Bench_txn.e22_qps row) (Bench_txn.e22_qps name)
        :: !failures);
+  if Array.length Sys.argv > 3 then begin
+    let cpath = Sys.argv.(3) in
+    let cbase = read_file cpath in
+    let base_ratio = field_after cbase 0 "workload_compile_ratio" in
+    let compile, oneshot = Bench_codegen.smoke () in
+    Printf.printf "\ncodegen smoke bench vs baseline %s\n" cpath;
+    Bench_codegen.print_compile_table compile;
+    Bench_codegen.print_oneshot_table oneshot;
+    (* measure_compile already failed loudly if any covered shape missed. *)
+    let ratio = Bench_codegen.workload_ratio compile in
+    if ratio < 3.0 then
+      failures :=
+        Printf.sprintf
+          "E23: workload compile-cost collapse fell below 3x (%.1fx; stencil \
+           bind is doing eager per-expression work again?)"
+          ratio
+        :: !failures;
+    if ratio *. 2.5 < base_ratio then
+      failures :=
+        Printf.sprintf "E23: compile ratio regressed >2.5x vs baseline (%.1fx vs %.1fx)"
+          ratio base_ratio
+        :: !failures;
+    List.iter
+      (fun r ->
+        if r.Bench_codegen.shape = "hash-join-probe" && Bench_codegen.ratio r < 6.0
+        then
+          failures :=
+            Printf.sprintf "E23: join stencil bind only %.1fx cheaper than full codegen (floor 6x)"
+              (Bench_codegen.ratio r)
+            :: !failures)
+      compile;
+    let stencil_total, _, interp_total = Bench_codegen.oneshot_totals oneshot in
+    if stencil_total >= interp_total then
+      failures :=
+        Printf.sprintf
+          "E23: one-shot stencil workload total (%.2f ms) no longer beats the \
+           interpreted tier (%.2f ms)"
+          (stencil_total *. 1e3) (interp_total *. 1e3)
+        :: !failures
+  end;
   match !failures with
   | [] -> print_endline "check_bench: OK"
   | fs ->

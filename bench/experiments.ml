@@ -980,10 +980,16 @@ let e20 () = Bench_txn.run ~readers:4 ~reads:150 ()
    real threads (bench_txn.ml). *)
 let e22 () = Bench_txn.run_e22 ~writers:8 ~rounds:40 ~sharded_txns:1000 ()
 
+(* ---------------------------------------------------------------- E23 *)
+
+(* Copy-and-patch stencil compile tier: per-shape stencil-bind vs
+   full-codegen compile cost, and the one-shot compile+run ablation
+   against the interpreted engine (bench_codegen.ml). *)
+
 let all =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
     ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
     ("E18", e18); ("E19", e19); ("E20", e20); ("E21", Bench_traffic.e21);
-    ("E22", e22); ("SMOKE", smoke); ("GOV", gov);
+    ("E22", e22); ("E23", Bench_codegen.e23); ("SMOKE", smoke); ("GOV", gov);
     ("TRAFFIC", Bench_traffic.traffic_smoke) ]

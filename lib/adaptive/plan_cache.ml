@@ -26,13 +26,18 @@ type entry = {
   subs : (Value.t list option ref * Quill_optimizer.Physical.t) list;
       (** uncorrelated subqueries: cells to materialize before each run *)
   mutable compiled : Quill_compile.Codegen.compiled option;
+  mutable compiled_tier : Quill_compile.Codegen.tier option;
+      (** which compiler produced [compiled]; [None] while interpreted *)
+  mutable stencil_missed : bool;
+      (** the stencil binder already rejected this plan's shape — don't
+          re-attempt the match on every execution *)
   mutable compile_time : float;  (** seconds spent staging, 0 if never *)
   mutable runs : int;
   mutable total_exec_time : float;
   mutable last_used : float;
   catalog_version : int;
   band : int option;  (** selectivity band the plan was picked for *)
-  bytes : int;  (** estimated memory charge against [budget_bytes] *)
+  mutable bytes : int;  (** estimated memory charge against [budget_bytes] *)
 }
 
 (* Structural equality/hashing over this triple is unambiguous by
@@ -77,16 +82,28 @@ let base_key sql param_types =
   (sql, List.map Value.dtype_name (Array.to_list param_types))
 
 (* Plans are closures over boxed values; a precise size is out of reach,
-   so charge a deliberate over-estimate per plan node (staging allocates
-   several closures and arrays per operator) plus the SQL text we key
-   on.  What matters for eviction is that the charge is monotone in plan
-   complexity, not that it matches the allocator. *)
-let entry_bytes ~sql ~subs plan =
+   so charge a deliberate over-estimate per plan node plus the SQL text
+   we key on.  What matters for eviction is that the charge is monotone
+   in plan complexity, not that it matches the allocator.
+
+   The charge is tiered: [entry_bytes] covers only the plan tree; when
+   an entry is compiled, [note_compiled] adds the compiled form's cost —
+   proportional to the plan for full codegen (the staged closure network
+   allocates several closures and arrays per operator), a flat patch
+   record for a stencil binding.  A stencil-bound plan must not ride the
+   same eviction curve as a full-codegen one: evicting it throws away
+   almost nothing, and re-binding it is almost free. *)
+let plan_node_count ~subs plan =
   let nodes plan = Array.length (Quill_optimizer.Physical.preorder plan) in
-  let n =
-    List.fold_left (fun acc (_, p) -> acc + nodes p) (nodes plan) subs
-  in
-  (n * 512) + (2 * String.length sql) + 256
+  List.fold_left (fun acc (_, p) -> acc + nodes p) (nodes plan) subs
+
+let entry_bytes ~sql ~subs plan =
+  (plan_node_count ~subs plan * 160) + (2 * String.length sql) + 256
+
+(* Together with the 160/node plan charge this restores the historical
+   512/node total for a fully staged entry. *)
+let full_codegen_bytes ~subs plan = plan_node_count ~subs plan * 352
+let stencil_bytes = 160
 
 let publish t =
   Quill_obs.Metrics.set g_entries (Hashtbl.length t.entries);
@@ -167,6 +184,21 @@ let evict_if_needed t =
     | None -> ()
   done
 
+(** [note_compiled t e ~tier] records that [e] was compiled by [tier]
+    and re-charges its byte estimate accordingly, evicting if the new
+    charge pushes the cache over budget. *)
+let note_compiled t (e : entry) ~tier =
+  let extra =
+    match tier with
+    | Quill_compile.Codegen.Tier_full -> full_codegen_bytes ~subs:e.subs e.plan
+    | Quill_compile.Codegen.Tier_stencil -> stencil_bytes
+  in
+  e.compiled_tier <- Some tier;
+  e.bytes <- e.bytes + extra;
+  t.used_bytes <- t.used_bytes + extra;
+  evict_if_needed t;
+  publish t
+
 (** [add t ~sql ~param_types ?params ?classifier ~catalog_version ?subs
     plan] caches a fresh plan and returns its entry.  [classifier]
     registers the query as parameter-sensitive; the new plan is stored
@@ -187,6 +219,8 @@ let add t ~sql ~param_types ?(params = [||]) ?classifier ~catalog_version
       plan;
       subs;
       compiled = None;
+      compiled_tier = None;
+      stencil_missed = false;
       compile_time = 0.0;
       runs = 0;
       total_exec_time = 0.0;

@@ -1,0 +1,158 @@
+(* Mergeable unboxed aggregate accumulators for fused scan->aggregate
+   loops.
+
+   Shared by the two compiled tiers: full codegen's scan->aggregate
+   fusion ({!Codegen}) and the pre-composed global-aggregate stencil
+   ({!Stencil}).  One [acc] per aggregate per worker; the parallel
+   drivers give each domain private accumulators and merge partials in
+   worker order at the end.
+
+   [mk_step] decides per execution (columns and parameter values in
+   hand) whether an aggregate admits the unboxed path; [None] sends the
+   caller to its general staged fallback, so semantics never depend on
+   what compiles. *)
+
+module Value = Quill_storage.Value
+module Lplan = Quill_plan.Lplan
+module Bexpr = Quill_plan.Bexpr
+
+type acc = {
+  mutable cnt : int;  (* matching non-null inputs (rows for COUNT star) *)
+  mutable si : int;
+  mutable sf : float;
+  mutable besti : int;
+  mutable bestf : float;
+  mutable seen : bool;
+}
+
+let new_acc () = { cnt = 0; si = 0; sf = 0.0; besti = 0; bestf = 0.0; seen = false }
+
+type agg_par = {
+  step : acc -> int -> unit;  (* feed one row index *)
+  merge : acc -> acc -> unit;  (* fold the second acc into the first *)
+  finish : acc -> Value.t;
+}
+
+(** [mk_step cols params a] builds the unboxed accumulator for aggregate
+    [a] over the typed columns, or [None] when the shape is unsupported
+    (DISTINCT, string min/max, arguments the kernel compiler rejects). *)
+let mk_step cols params (a : Lplan.agg) : agg_par option =
+  let arg_valid arg = Col_expr.valid_fn cols arg in
+  let merge_count dst src = dst.cnt <- dst.cnt + src.cnt in
+  match (a.Lplan.kind, a.Lplan.arg) with
+  | _, _ when a.Lplan.distinct -> None
+  | Lplan.Count, None ->
+      Some
+        { step = (fun acc _ -> acc.cnt <- acc.cnt + 1);
+          merge = merge_count;
+          finish = (fun acc -> Value.Int acc.cnt) }
+  | Lplan.Count, Some arg ->
+      (* Count non-NULL arguments; only for shapes where NULL-ness is
+         exactly "a referenced column is NULL". *)
+      let shape_ok =
+        match arg.Bexpr.node with
+        | Bexpr.Col _ -> true
+        | _ ->
+            Col_expr.compile_int cols params arg <> None
+            || Col_expr.compile_float cols params arg <> None
+      in
+      if not shape_ok then None
+      else begin
+        let valid = arg_valid arg in
+        Some
+          { step = (fun acc i -> if valid i then acc.cnt <- acc.cnt + 1);
+            merge = merge_count;
+            finish = (fun acc -> Value.Int acc.cnt) }
+      end
+  | Lplan.Sum, Some arg when a.Lplan.out_dtype = Value.Int_t -> (
+      match Col_expr.compile_int cols params arg with
+      | Some f ->
+          let valid = arg_valid arg in
+          Some
+            { step =
+                (fun acc i ->
+                  if valid i then begin
+                    acc.si <- acc.si + f i;
+                    acc.cnt <- acc.cnt + 1
+                  end);
+              merge =
+                (fun dst src ->
+                  dst.si <- dst.si + src.si;
+                  dst.cnt <- dst.cnt + src.cnt);
+              finish =
+                (fun acc -> if acc.cnt = 0 then Value.Null else Value.Int acc.si) }
+      | None -> None)
+  | (Lplan.Sum | Lplan.Avg), Some arg -> (
+      match Col_expr.compile_float cols params arg with
+      | Some f ->
+          let valid = arg_valid arg in
+          let is_avg = a.Lplan.kind = Lplan.Avg in
+          Some
+            { step =
+                (fun acc i ->
+                  if valid i then begin
+                    acc.sf <- acc.sf +. f i;
+                    acc.cnt <- acc.cnt + 1
+                  end);
+              merge =
+                (fun dst src ->
+                  dst.sf <- dst.sf +. src.sf;
+                  dst.cnt <- dst.cnt + src.cnt);
+              finish =
+                (fun acc ->
+                  if acc.cnt = 0 then Value.Null
+                  else if is_avg then Value.Float (acc.sf /. Float.of_int acc.cnt)
+                  else Value.Float acc.sf) }
+      | None -> None)
+  | (Lplan.Min | Lplan.Max), Some arg -> (
+      let is_min = a.Lplan.kind = Lplan.Min in
+      match a.Lplan.out_dtype with
+      | Value.Int_t | Value.Date_t -> (
+          match Col_expr.compile_int cols params arg with
+          | Some f ->
+              let valid = arg_valid arg in
+              let better x y = if is_min then x < y else x > y in
+              let mk v =
+                if a.Lplan.out_dtype = Value.Date_t then Value.Date v else Value.Int v
+              in
+              Some
+                { step =
+                    (fun acc i ->
+                      if valid i then begin
+                        let v = f i in
+                        if (not acc.seen) || better v acc.besti then acc.besti <- v;
+                        acc.seen <- true
+                      end);
+                  merge =
+                    (fun dst src ->
+                      if src.seen then begin
+                        if (not dst.seen) || better src.besti dst.besti then
+                          dst.besti <- src.besti;
+                        dst.seen <- true
+                      end);
+                  finish = (fun acc -> if acc.seen then mk acc.besti else Value.Null) }
+          | None -> None)
+      | Value.Float_t -> (
+          match Col_expr.compile_float cols params arg with
+          | Some f ->
+              let valid = arg_valid arg in
+              let better x y = if is_min then x < y else x > y in
+              Some
+                { step =
+                    (fun acc i ->
+                      if valid i then begin
+                        let v = f i in
+                        if (not acc.seen) || better v acc.bestf then acc.bestf <- v;
+                        acc.seen <- true
+                      end);
+                  merge =
+                    (fun dst src ->
+                      if src.seen then begin
+                        if (not dst.seen) || better src.bestf dst.bestf then
+                          dst.bestf <- src.bestf;
+                        dst.seen <- true
+                      end);
+                  finish = (fun acc -> if acc.seen then Value.Float acc.bestf else Value.Null) }
+          | None -> None)
+      | _ -> None)
+  | _, _ -> None

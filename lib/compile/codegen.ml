@@ -70,25 +70,9 @@ let compile_pred sctx e =
    for.  The attempt runs at execution time (columns and parameter values
    in hand); [None] means the caller uses the general staged path. *)
 
-(* Mergeable unboxed accumulators: one [acc] per aggregate per worker;
-   the parallel path gives each domain its own accumulators and merges at
-   the end. *)
-type acc = {
-  mutable cnt : int;  (* matching non-null inputs (rows for COUNT star) *)
-  mutable si : int;
-  mutable sf : float;
-  mutable besti : int;
-  mutable bestf : float;
-  mutable seen : bool;
-}
-
-let new_acc () = { cnt = 0; si = 0; sf = 0.0; besti = 0; bestf = 0.0; seen = false }
-
-type agg_par = {
-  step : acc -> int -> unit;  (* feed one row index *)
-  merge : acc -> acc -> unit;  (* fold the second acc into the first *)
-  finish : acc -> Value.t;
-}
+(* The mergeable unboxed accumulators live in {!Agg_fuse}, shared with
+   the global-aggregate stencil so both compiled tiers run the identical
+   fused loop. *)
 
 (* Parallelism comes from the shared morsel-driven pool ({!Quill_parallel}):
    the session goal is [Pool.parallelism ()] (set via [Db.set_parallelism]
@@ -113,128 +97,9 @@ let fuse_scan_agg sctx ~table ~filter ~(aggs : (Lplan.agg * string) list) () :
   match pred with
   | None -> None
   | Some pred ->
-      let mk_step ((a : Lplan.agg), _) : agg_par option =
-        let arg_valid arg = Col_expr.valid_fn cols arg in
-        let merge_count dst src = dst.cnt <- dst.cnt + src.cnt in
-        match (a.Lplan.kind, a.Lplan.arg) with
-        | _, _ when a.Lplan.distinct -> None
-        | Lplan.Count, None ->
-            Some
-              { step = (fun acc _ -> acc.cnt <- acc.cnt + 1);
-                merge = merge_count;
-                finish = (fun acc -> Value.Int acc.cnt) }
-        | Lplan.Count, Some arg ->
-            (* Count non-NULL arguments; only for shapes where NULL-ness is
-               exactly "a referenced column is NULL". *)
-            let shape_ok =
-              match arg.Bexpr.node with
-              | Bexpr.Col _ -> true
-              | _ ->
-                  Col_expr.compile_int cols params arg <> None
-                  || Col_expr.compile_float cols params arg <> None
-            in
-            if not shape_ok then None
-            else begin
-              let valid = arg_valid arg in
-              Some
-                { step = (fun acc i -> if valid i then acc.cnt <- acc.cnt + 1);
-                  merge = merge_count;
-                  finish = (fun acc -> Value.Int acc.cnt) }
-            end
-        | Lplan.Sum, Some arg when a.Lplan.out_dtype = Value.Int_t -> (
-            match Col_expr.compile_int cols params arg with
-            | Some f ->
-                let valid = arg_valid arg in
-                Some
-                  { step =
-                      (fun acc i ->
-                        if valid i then begin
-                          acc.si <- acc.si + f i;
-                          acc.cnt <- acc.cnt + 1
-                        end);
-                    merge =
-                      (fun dst src ->
-                        dst.si <- dst.si + src.si;
-                        dst.cnt <- dst.cnt + src.cnt);
-                    finish =
-                      (fun acc -> if acc.cnt = 0 then Value.Null else Value.Int acc.si) }
-            | None -> None)
-        | (Lplan.Sum | Lplan.Avg), Some arg -> (
-            match Col_expr.compile_float cols params arg with
-            | Some f ->
-                let valid = arg_valid arg in
-                let is_avg = a.Lplan.kind = Lplan.Avg in
-                Some
-                  { step =
-                      (fun acc i ->
-                        if valid i then begin
-                          acc.sf <- acc.sf +. f i;
-                          acc.cnt <- acc.cnt + 1
-                        end);
-                    merge =
-                      (fun dst src ->
-                        dst.sf <- dst.sf +. src.sf;
-                        dst.cnt <- dst.cnt + src.cnt);
-                    finish =
-                      (fun acc ->
-                        if acc.cnt = 0 then Value.Null
-                        else if is_avg then Value.Float (acc.sf /. Float.of_int acc.cnt)
-                        else Value.Float acc.sf) }
-            | None -> None)
-        | (Lplan.Min | Lplan.Max), Some arg -> (
-            let is_min = a.Lplan.kind = Lplan.Min in
-            match a.Lplan.out_dtype with
-            | Value.Int_t | Value.Date_t -> (
-                match Col_expr.compile_int cols params arg with
-                | Some f ->
-                    let valid = arg_valid arg in
-                    let better x y = if is_min then x < y else x > y in
-                    let mk v =
-                      if a.Lplan.out_dtype = Value.Date_t then Value.Date v else Value.Int v
-                    in
-                    Some
-                      { step =
-                          (fun acc i ->
-                            if valid i then begin
-                              let v = f i in
-                              if (not acc.seen) || better v acc.besti then acc.besti <- v;
-                              acc.seen <- true
-                            end);
-                        merge =
-                          (fun dst src ->
-                            if src.seen then begin
-                              if (not dst.seen) || better src.besti dst.besti then
-                                dst.besti <- src.besti;
-                              dst.seen <- true
-                            end);
-                        finish = (fun acc -> if acc.seen then mk acc.besti else Value.Null) }
-                | None -> None)
-            | Value.Float_t -> (
-                match Col_expr.compile_float cols params arg with
-                | Some f ->
-                    let valid = arg_valid arg in
-                    let better x y = if is_min then x < y else x > y in
-                    Some
-                      { step =
-                          (fun acc i ->
-                            if valid i then begin
-                              let v = f i in
-                              if (not acc.seen) || better v acc.bestf then acc.bestf <- v;
-                              acc.seen <- true
-                            end);
-                        merge =
-                          (fun dst src ->
-                            if src.seen then begin
-                              if (not dst.seen) || better src.bestf dst.bestf then
-                                dst.bestf <- src.bestf;
-                              dst.seen <- true
-                            end);
-                        finish = (fun acc -> if acc.seen then Value.Float acc.bestf else Value.Null) }
-                | None -> None)
-            | _ -> None)
-        | _, _ -> None
+      let steps =
+        List.map (fun ((a : Lplan.agg), _) -> Agg_fuse.mk_step cols params a) aggs
       in
-      let steps = List.map mk_step aggs in
       if List.exists Option.is_none steps then None
       else begin
         let steps = Array.of_list (List.map Option.get steps) in
@@ -244,7 +109,7 @@ let fuse_scan_agg sctx ~table ~filter ~(aggs : (Lplan.agg * string) list) () :
             Governor.tick gov;
             if pred i then
               for j = 0 to nsteps - 1 do
-                steps.(j).step accs.(j) i
+                steps.(j).Agg_fuse.step accs.(j) i
               done
           done
         in
@@ -255,12 +120,12 @@ let fuse_scan_agg sctx ~table ~filter ~(aggs : (Lplan.agg * string) list) () :
                in worker order at the end. *)
             let accs =
               Pdriver.fold ~workers:(Pool.parallelism ()) ~n
-                ~init:(fun () -> Array.init nsteps (fun _ -> new_acc ()))
+                ~init:(fun () -> Array.init nsteps (fun _ -> Agg_fuse.new_acc ()))
                 ~range:run_range
                 ~merge:(fun dst src ->
-                  Array.iteri (fun j acc -> steps.(j).merge dst.(j) acc) src)
+                  Array.iteri (fun j acc -> steps.(j).Agg_fuse.merge dst.(j) acc) src)
             in
-            consume (Array.mapi (fun j acc -> steps.(j).finish acc) accs))
+            consume (Array.mapi (fun j acc -> steps.(j).Agg_fuse.finish acc) accs))
       end
 
 (* [stage_col_scan_ranges sctx ~table ~filter ~arity ~needed] stages a
@@ -786,14 +651,33 @@ let compile ?indexes catalog (plan : Physical.t) : compiled =
       Quill_obs.Metrics.observe h_compile_seconds dt;
       f)
 
+(* --- Tiered compilation ------------------------------------------------- *)
+
+(** Which compiler produced a [compiled] value: the copy-and-patch
+    stencil tier ({!Stencil_bind}, pre-composed drivers patched with
+    per-query constants) or this module's full staging pass. *)
+type tier = Tier_stencil | Tier_full
+
+let tier_name = function Tier_stencil -> "stencil" | Tier_full -> "full"
+
+(** [compile_tiered catalog plan] tries the cheap stencil tier first and
+    falls back to full staging.  Covered shapes compile orders of
+    magnitude faster (E23 measures the ratio), which is what makes
+    compilation affordable for one-shot queries. *)
+let compile_tiered ?indexes catalog (plan : Physical.t) : compiled * tier =
+  match Stencil_bind.bind catalog plan with
+  | Some f -> (f, Tier_stencil)
+  | None -> (compile ?indexes catalog plan, Tier_full)
+
 (** [run ctx plan] one-shot compile-and-execute.  The fused loops carry no
     per-operator hooks (use the interpreted tiers for operator-level
     feedback), but the root operator's row count and wall time are
     recorded when a profile is attached, so EXPLAIN ANALYZE and the
     differential tests can cross-check any engine. *)
 let run (ctx : Quill_exec.Exec_ctx.t) plan =
-  let f =
-    compile ~indexes:ctx.Quill_exec.Exec_ctx.indexes ctx.Quill_exec.Exec_ctx.catalog plan
+  let f, _tier =
+    compile_tiered ~indexes:ctx.Quill_exec.Exec_ctx.indexes
+      ctx.Quill_exec.Exec_ctx.catalog plan
   in
   let gov = ctx.Quill_exec.Exec_ctx.governor in
   match ctx.Quill_exec.Exec_ctx.profile with

@@ -1,0 +1,537 @@
+(* The stencil library: pre-composed operator drivers for copy-and-patch
+   style compilation, ported from machine-code stencils to closure
+   staging.
+
+   Full codegen ({!Codegen}) re-stages a network of closures from the
+   physical plan on every compile: a recursive plan walk, per-expression
+   closure building, needed-column analysis.  The stencils here are that
+   network's common shapes composed ONCE, at engine startup: each stencil
+   is a driver loop abstracted over a small "patch" record of per-query
+   constants — the table, the predicate and projection expressions, the
+   aggregate descriptors, the join key positions.  [warm] publishes the
+   drivers in a shape-key registry; per-query "compilation" for a covered
+   shape is then stencil selection plus patching ({!Stencil_bind}) — no
+   plan walk, no closure-network construction.
+
+   Execution semantics deliberately mirror full codegen, which is what
+   the differential fuzz suite (test_stencil) locks down:
+
+   - scans evaluate qualifying predicates through the same unboxed kernel
+     compiler ({!Col_pred}), re-specialized per execution with parameter
+     values in hand, and fall back to a staged row predicate — staged
+     lazily on first use and memoized in the patch, which is sound
+     because {!Expr_compile} closures take the parameter vector per call;
+   - global aggregates run the same fused accumulator loops
+     ({!Agg_fuse}) morsel-parallel, degrading to the grouped machinery
+     exactly like codegen's general path;
+   - grouped aggregation and the hash-join probe are morsel-parallel over
+     the same {!Quill_parallel} substrate, with the same serial
+     small-input degradation;
+   - governor ticks, row charges and limit short-circuits match the
+     staged loops operator for operator. *)
+
+module Value = Quill_storage.Value
+module Table = Quill_storage.Table
+module Column = Quill_storage.Column
+module Bexpr = Quill_plan.Bexpr
+module Lplan = Quill_plan.Lplan
+module Governor = Quill_exec.Governor
+module Agg_algos = Quill_exec.Agg_algos
+module Join_algos = Quill_exec.Join_algos
+module Pool = Quill_parallel.Pool
+module Pdriver = Quill_parallel.Driver
+module Vec = Quill_util.Vec
+
+exception Limit_reached
+
+type compiled = Governor.t -> Value.t array -> Value.t array Vec.t
+(** Same calling convention as {!Codegen.compiled}: [run gov params]
+    executes the patched stencil under resource governor [gov]. *)
+
+(* Row-fallback evaluators stage lazily on first use and memoize in the
+   patch; a benign race can stage twice, never observe a half-built
+   closure (the ref holds either [None] or a complete closure). *)
+type 'a cell = 'a option ref
+
+let cell () : 'a cell = ref None
+
+let force (c : 'a cell) stage =
+  match !c with
+  | Some v -> v
+  | None ->
+      let v = stage () in
+      c := Some v;
+      v
+
+type row_pred = Value.t array -> Value.t array -> bool
+type row_fn = Value.t array -> Value.t array -> Value.t
+
+(* Needed-column analysis — the same set codegen's scan staging computes,
+   but here it runs at FIRST EXECUTION and memoizes in the patch, not at
+   bind time: binding must stay free of expression walks to keep the
+   stencil tier's compile cost flat in query complexity. *)
+let cols_opt = function None -> [] | Some e -> Bexpr.cols e
+
+let needed_cols ~arity ~filter reads =
+  List.sort_uniq compare
+    (List.filter (fun c -> c >= 0 && c < arity) (reads @ cols_opt filter))
+
+let all_cols arity = List.init arity Fun.id
+
+(* --- Patch records ------------------------------------------------------ *)
+
+(* A patch holds only per-query constants (plus the lazy fallback cells):
+   filling one is a handful of allocations regardless of table size, and
+   that is the entire per-query compile cost of the stencil tier. *)
+
+type scan_patch = {
+  sc_table : Table.t;
+  sc_filter : Bexpr.t option;
+  sc_pred_cell : row_pred cell;
+  sc_project : Bexpr.t array option;  (** [None]: identity over all columns *)
+  sc_fns_cell : row_fn array cell;
+  sc_needed_cell : int list cell;  (** columns fetched into the staging row *)
+  sc_arity : int;
+  sc_limit : int option;
+  sc_offset : int;
+}
+
+type group_patch = {
+  gr_table : Table.t;
+  gr_filter : Bexpr.t option;
+  gr_pred_cell : row_pred cell;
+  gr_needed_cell : int list cell;
+  gr_arity : int;
+  gr_keys : Bexpr.t list;  (** [] for a global aggregate *)
+  gr_key_cell : row_fn list cell;
+  gr_aggs : (Lplan.agg * string) list;
+  gr_arg_cell : row_fn option array cell;
+  gr_project : Bexpr.t array option;
+      (** over the aggregate's output row (the planner wraps aggregates
+          in a renaming projection) *)
+  gr_fns_cell : row_fn array cell;
+}
+
+type join_patch = {
+  jn_build : Table.t;
+  jn_build_filter : Bexpr.t option;
+  jn_build_pred_cell : row_pred cell;
+  jn_build_arity : int;
+  jn_build_keys : int list;  (** key positions in the build-side row *)
+  jn_probe : Table.t;
+  jn_probe_filter : Bexpr.t option;
+  jn_probe_pred_cell : row_pred cell;
+  jn_probe_arity : int;
+  jn_needed_cell : (int list * int list) cell;  (** (build, probe) needed *)
+  jn_probe_keys : int list;
+  jn_build_left : bool;  (** build side is the plan's left input *)
+  jn_residual : Bexpr.t option;  (** over the concatenated row *)
+  jn_res_cell : row_pred cell;
+  jn_project : Bexpr.t array option;
+  jn_fns_cell : row_fn array cell;
+}
+
+type patch =
+  | P_scan of scan_patch
+  | P_group of group_patch  (** hash aggregate, global when keys = [] *)
+  | P_join of join_patch
+
+(* --- Shared loop pieces ------------------------------------------------- *)
+
+let staged_pred c f = force c (fun () -> Expr_compile.compile_pred f)
+let staged_fns c items = force c (fun () -> Array.map Expr_compile.compile items)
+
+(* Per-execution scan predicate: the unboxed kernel when the shape and
+   the bound parameters admit it (same attempt codegen makes per
+   execution), otherwise the memoized staged row predicate. *)
+type scan_pred =
+  | Pred_none
+  | Pred_fast of (int -> bool)
+  | Pred_row of (Value.t array -> bool)
+
+let scan_pred ~cols ~params ~cell = function
+  | None -> Pred_none
+  | Some f -> (
+      match Col_pred.compile cols params f with
+      | Some p -> Pred_fast p
+      | None ->
+          let p = staged_pred cell f in
+          Pred_row (fun row -> p params row))
+
+(* [scan_range ~gov ~cols ~needed ~arity ~pred lo hi consume] streams the
+   qualifying rows of [lo, hi) in ascending order, fetching only [needed]
+   columns — the stencil twin of codegen's [stage_col_scan_ranges] body.
+   Reads only shared immutable state, so disjoint ranges can run on
+   different domains. *)
+let scan_range ~gov ~cols ~needed ~arity ~pred lo hi consume =
+  let build_row i =
+    let row = Array.make arity Value.Null in
+    List.iter (fun c -> row.(c) <- Column.get (Array.unsafe_get cols c) i) needed;
+    row
+  in
+  match pred with
+  | Pred_fast p ->
+      for i = lo to hi - 1 do
+        Governor.tick gov;
+        if p i then consume (build_row i)
+      done
+  | Pred_row p ->
+      for i = lo to hi - 1 do
+        Governor.tick gov;
+        let row = build_row i in
+        if p row then consume row
+      done
+  | Pred_none ->
+      for i = lo to hi - 1 do
+        Governor.tick gov;
+        consume (build_row i)
+      done
+
+(* --- Stencil drivers ---------------------------------------------------- *)
+
+(* Scan with fused predicate, optional projection, optional LIMIT/OFFSET.
+   Serial, like codegen's staged scan pipeline. *)
+let scan_stencil (p : scan_patch) : compiled =
+ fun gov params ->
+  let cols = Table.columnar p.sc_table in
+  let n = Table.row_count p.sc_table in
+  let pred = scan_pred ~cols ~params ~cell:p.sc_pred_cell p.sc_filter in
+  let needed =
+    force p.sc_needed_cell (fun () ->
+        match p.sc_project with
+        | None -> all_cols p.sc_arity
+        | Some items ->
+            needed_cols ~arity:p.sc_arity ~filter:p.sc_filter
+              (List.concat_map Bexpr.cols (Array.to_list items)))
+  in
+  let fns = Option.map (staged_fns p.sc_fns_cell) p.sc_project in
+  let out = Vec.create ~dummy:[||] in
+  let emitted = ref 0 and skipped = ref 0 in
+  let emit row =
+    if !skipped < p.sc_offset then incr skipped
+    else begin
+      (match p.sc_limit with
+      | Some k when !emitted >= k -> raise Limit_reached
+      | _ -> ());
+      incr emitted;
+      Governor.charge_row gov row;
+      Vec.push out row;
+      match p.sc_limit with
+      | Some k when !emitted >= k -> raise Limit_reached
+      | _ -> ()
+    end
+  in
+  let consume =
+    match fns with
+    | None -> emit
+    | Some fns ->
+        let m = Array.length fns in
+        fun row ->
+          let o = Array.make m Value.Null in
+          for j = 0 to m - 1 do
+            o.(j) <- (Array.unsafe_get fns j) params row
+          done;
+          emit o
+  in
+  (try scan_range ~gov ~cols ~needed ~arity:p.sc_arity ~pred 0 n consume
+   with Limit_reached -> ());
+  out
+
+(* Hash aggregate directly over a columnar scan.  Global aggregates first
+   try the fused unboxed accumulator loop (decided per execution, exactly
+   like codegen's scan->agg fusion); the general path is the
+   morsel-parallel grouped machinery. *)
+let agg_stencil (p : group_patch) : compiled =
+ fun gov params ->
+  let cols = Table.columnar p.gr_table in
+  let n = Table.row_count p.gr_table in
+  let out = Vec.create ~dummy:[||] in
+  let push row =
+    Governor.charge_row gov row;
+    Vec.push out row
+  in
+  let consume =
+    match Option.map (staged_fns p.gr_fns_cell) p.gr_project with
+    | None -> push
+    | Some fns ->
+        let m = Array.length fns in
+        fun row ->
+          let o = Array.make m Value.Null in
+          for j = 0 to m - 1 do
+            o.(j) <- (Array.unsafe_get fns j) params row
+          done;
+          push o
+  in
+  let fused =
+    if p.gr_keys <> [] then None
+    else
+      match
+        match p.gr_filter with
+        | None -> Some (fun _ -> true)
+        | Some f -> Col_pred.compile cols params f
+      with
+      | None -> None
+      | Some pred ->
+          let steps =
+            List.map (fun (a, _) -> Agg_fuse.mk_step cols params a) p.gr_aggs
+          in
+          if List.exists Option.is_none steps then None
+          else begin
+            let steps = Array.of_list (List.map Option.get steps) in
+            let nsteps = Array.length steps in
+            let run_range accs lo hi =
+              for i = lo to hi - 1 do
+                Governor.tick gov;
+                if pred i then
+                  for j = 0 to nsteps - 1 do
+                    steps.(j).Agg_fuse.step accs.(j) i
+                  done
+              done
+            in
+            Some
+              (fun () ->
+                let accs =
+                  Pdriver.fold ~workers:(Pool.parallelism ()) ~n
+                    ~init:(fun () -> Array.init nsteps (fun _ -> Agg_fuse.new_acc ()))
+                    ~range:run_range
+                    ~merge:(fun dst src ->
+                      Array.iteri (fun j acc -> steps.(j).Agg_fuse.merge dst.(j) acc) src)
+                in
+                consume (Array.mapi (fun j acc -> steps.(j).Agg_fuse.finish acc) accs))
+          end
+  in
+  let general () =
+    let pred = scan_pred ~cols ~params ~cell:p.gr_pred_cell p.gr_filter in
+    let needed =
+      force p.gr_needed_cell (fun () ->
+          needed_cols ~arity:p.gr_arity ~filter:p.gr_filter
+            (List.concat_map Bexpr.cols p.gr_keys
+            @ List.concat_map
+                (fun ((a : Lplan.agg), _) -> cols_opt a.Lplan.arg)
+                p.gr_aggs))
+    in
+    let key_fns =
+      force p.gr_key_cell (fun () -> List.map Expr_compile.compile p.gr_keys)
+    in
+    let key_fns = List.map (fun f -> fun row -> f params row) key_fns in
+    let arg_fns =
+      force p.gr_arg_cell (fun () ->
+          Array.of_list
+            (List.map
+               (fun ((a : Lplan.agg), _) -> Option.map Expr_compile.compile a.Lplan.arg)
+               p.gr_aggs))
+    in
+    let specs =
+      List.mapi
+        (fun j ((a : Lplan.agg), _) ->
+          {
+            Agg_algos.kind = a.Lplan.kind;
+            arg = Option.map (fun fn -> fun row -> fn params row) arg_fns.(j);
+            distinct = a.Lplan.distinct;
+            out_dtype = a.Lplan.out_dtype;
+          })
+        p.gr_aggs
+    in
+    let nspecs = List.length specs in
+    let feed_into groups order row =
+      Governor.tick gov;
+      let k = List.map (fun f -> f row) key_fns in
+      let states =
+        match Hashtbl.find_opt groups k with
+        | Some s -> s
+        | None ->
+            Governor.charge gov (Agg_algos.group_bytes k nspecs);
+            let s = List.map Agg_algos.new_state specs in
+            Hashtbl.add groups k s;
+            Vec.push order k;
+            s
+      in
+      List.iter2 (fun spec st -> Agg_algos.feed spec st row) specs states
+    in
+    let groups, order =
+      Pdriver.fold ~workers:(Pool.parallelism ()) ~n
+        ~init:(fun () ->
+          ( (Hashtbl.create 64 : (Value.t list, Agg_algos.state list) Hashtbl.t),
+            Vec.create ~dummy:([] : Value.t list) ))
+        ~range:(fun (g, o) lo hi ->
+          scan_range ~gov ~cols ~needed ~arity:p.gr_arity ~pred lo hi
+            (feed_into g o))
+        ~merge:(Agg_algos.merge_group_tables ~specs)
+    in
+    if p.gr_keys = [] && Vec.length order = 0 then
+      consume (Agg_algos.output_row [] (List.map Agg_algos.new_state specs) specs)
+    else
+      Vec.iter
+        (fun k -> consume (Agg_algos.output_row k (Hashtbl.find groups k) specs))
+        order
+  in
+  (match fused with
+  | Some run -> run ()
+  | None -> general ());
+  out
+
+(* Inner hash join of two columnar scans: serial build into a shared
+   read-only table, morsel-parallel probe with output re-assembled in row
+   order (the same shape codegen stages for bare-scan probe sides). *)
+let join_stencil (p : join_patch) : compiled =
+ fun gov params ->
+  let bcols = Table.columnar p.jn_build in
+  let bn = Table.row_count p.jn_build in
+  let pcols = Table.columnar p.jn_probe in
+  let pn = Table.row_count p.jn_probe in
+  let bpred = scan_pred ~cols:bcols ~params ~cell:p.jn_build_pred_cell p.jn_build_filter in
+  let ppred = scan_pred ~cols:pcols ~params ~cell:p.jn_probe_pred_cell p.jn_probe_filter in
+  let residual_p =
+    Option.map
+      (fun f ->
+        let g = staged_pred p.jn_res_cell f in
+        fun row -> g params row)
+      p.jn_residual
+  in
+  let fns = Option.map (staged_fns p.jn_fns_cell) p.jn_project in
+  let build_needed, probe_needed =
+    force p.jn_needed_cell (fun () ->
+        let ba = p.jn_build_arity and pa = p.jn_probe_arity in
+        let la = if p.jn_build_left then ba else pa in
+        let ra = ba + pa - la in
+        let out_reads =
+          match p.jn_project with
+          | None -> all_cols (ba + pa)
+          | Some items -> List.concat_map Bexpr.cols (Array.to_list items)
+        in
+        (* Combined-row positions of the key columns. *)
+        let key_reads =
+          if p.jn_build_left then
+            p.jn_build_keys @ List.map (fun c -> c + la) p.jn_probe_keys
+          else p.jn_probe_keys @ List.map (fun c -> c + la) p.jn_build_keys
+        in
+        let all = out_reads @ cols_opt p.jn_residual @ key_reads in
+        let reads_l = List.filter (fun c -> c < la) all in
+        let reads_r =
+          List.filter_map (fun c -> if c >= la then Some (c - la) else None) all
+        in
+        let lf, rf =
+          if p.jn_build_left then (p.jn_build_filter, p.jn_probe_filter)
+          else (p.jn_probe_filter, p.jn_build_filter)
+        in
+        let lneeded = needed_cols ~arity:la ~filter:lf reads_l in
+        let rneeded = needed_cols ~arity:ra ~filter:rf reads_r in
+        if p.jn_build_left then (lneeded, rneeded) else (rneeded, lneeded))
+  in
+  let table : (int, (Value.t list * Value.t array) list ref) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  scan_range ~gov ~cols:bcols ~needed:build_needed ~arity:p.jn_build_arity
+    ~pred:bpred 0 bn (fun row ->
+      match Join_algos.key_of p.jn_build_keys row with
+      | None -> ()
+      | Some k ->
+          Governor.charge_row ~overhead:48 gov row;
+          let h = Join_algos.hash_key k in
+          (match Hashtbl.find_opt table h with
+          | Some l -> l := (k, row) :: !l
+          | None -> Hashtbl.add table h (ref [ (k, row) ])));
+  let out = Vec.create ~dummy:[||] in
+  let consume_out =
+    let push row =
+      Governor.charge_row gov row;
+      Vec.push out row
+    in
+    match fns with
+    | None -> push
+    | Some fns ->
+        let m = Array.length fns in
+        fun row ->
+          let o = Array.make m Value.Null in
+          for j = 0 to m - 1 do
+            o.(j) <- (Array.unsafe_get fns j) params row
+          done;
+          push o
+  in
+  (* Inner join: probe rows without a match emit nothing, so the probe
+     only reads the shared table and can run over disjoint morsels. *)
+  let probe_row ~(on_emit : Value.t array -> unit) prow =
+    match Join_algos.key_of p.jn_probe_keys prow with
+    | None -> ()
+    | Some k -> (
+        match Hashtbl.find_opt table (Join_algos.hash_key k) with
+        | None -> ()
+        | Some bucket ->
+            List.iter
+              (fun (bk, brow) ->
+                if Join_algos.keys_equal bk k then begin
+                  let row =
+                    if p.jn_build_left then Join_algos.concat_rows brow prow
+                    else Join_algos.concat_rows prow brow
+                  in
+                  match residual_p with
+                  | Some rp when not (rp row) -> ()
+                  | _ -> on_emit row
+                end)
+              !bucket)
+  in
+  let workers = Pool.parallelism () in
+  let run lo hi emit =
+    scan_range ~gov ~cols:pcols ~needed:probe_needed ~arity:p.jn_probe_arity
+      ~pred:ppred lo hi (probe_row ~on_emit:emit)
+  in
+  if Pdriver.serial ~workers pn then run 0 pn consume_out
+  else begin
+    let rows =
+      Pdriver.collect ~workers ~n:pn ~dummy:[||] (fun ~lo ~hi ~emit -> run lo hi emit)
+    in
+    Array.iter consume_out rows
+  end;
+  out
+
+(* --- The shape-key registry --------------------------------------------- *)
+
+(* Shape keys name the pre-composed drivers; the binder matches a plan to
+   a key, fills the patch, and applies whatever the registry holds.  The
+   gauge makes the warmed library size observable. *)
+
+let shape_scan = "scan-filter-project"
+let shape_agg_global = "scan-agg-global"
+let shape_agg_grouped = "scan-agg-grouped"
+let shape_join = "hash-join-probe"
+
+let registry : (string, patch -> compiled) Hashtbl.t = Hashtbl.create 8
+let g_registry = Quill_obs.Metrics.gauge "quill.codegen.stencil_registry"
+let warm_mutex = Mutex.create ()
+
+let wrong_patch key _ = invalid_arg ("stencil " ^ key ^ ": patch kind mismatch")
+
+(* Set only after the registry is fully populated, so the binder's
+   per-bind defensive [warm] call is a plain load on the hot path.  A
+   stale [false] read just falls through to the mutex. *)
+let warmed = Atomic.make false
+
+(** [warm ()] pre-composes the stencil library: idempotent, called at
+    engine startup ({!Quill.Db.create}) and defensively by the binder. *)
+let warm () =
+  if Atomic.get warmed then ()
+  else
+    Mutex.protect warm_mutex (fun () ->
+      if Hashtbl.length registry = 0 then begin
+        Hashtbl.replace registry shape_scan (function
+          | P_scan p -> scan_stencil p
+          | _ -> wrong_patch shape_scan ());
+        Hashtbl.replace registry shape_agg_global (function
+          | P_group p -> agg_stencil p
+          | _ -> wrong_patch shape_agg_global ());
+        Hashtbl.replace registry shape_agg_grouped (function
+          | P_group p -> agg_stencil p
+          | _ -> wrong_patch shape_agg_grouped ());
+        Hashtbl.replace registry shape_join (function
+          | P_join p -> join_stencil p
+          | _ -> wrong_patch shape_join ());
+        Quill_obs.Metrics.set g_registry (Hashtbl.length registry)
+      end;
+      Atomic.set warmed true)
+
+(** [find key] looks a driver up by shape key. *)
+let find key = Hashtbl.find_opt registry key
+
+(** [shapes ()] lists the registered shape keys, sorted. *)
+let shapes () =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) registry [])

@@ -1,0 +1,273 @@
+(* The stencil binder: match a physical plan against the pre-composed
+   stencil library ({!Stencil}) and fill a patch.
+
+   This is the cheap half of the copy-and-patch split.  [bind] performs
+   no expression compilation and no closure staging: it pattern-matches
+   the plan's shape, computes the needed-column lists, and fills a patch
+   record with per-query constants — the raw [Bexpr] trees travel in the
+   patch and are evaluated by the stencil drivers through the same
+   kernels full codegen uses (specialized per execution, with the staged
+   row fallbacks memoized lazily in the patch cells).  A covered shape
+   therefore compiles in the time it takes to walk the top of the plan
+   and allocate one record; everything else misses to full codegen.
+
+   Coverage policy (deliberately conservative — a miss is never wrong,
+   only slower to compile):
+   - expressions must be [coverable]: no UDF calls (a [Call] closes over
+     arbitrary user state) and no subqueries (their fill cells are
+     managed by the Db layer per execution);
+   - scans must be bare columnar scans ([Col_layout]);
+   - joins must be inner hash joins over two bare columnar scans;
+   - aggregates must be hash aggregates with no DISTINCT (the grouped
+     stencil is morsel-parallel, and DISTINCT state cannot merge). *)
+
+module Catalog = Quill_storage.Catalog
+module Schema = Quill_storage.Schema
+module Bexpr = Quill_plan.Bexpr
+module Lplan = Quill_plan.Lplan
+module Physical = Quill_optimizer.Physical
+module Metrics = Quill_obs.Metrics
+module Trace = Quill_obs.Trace
+module Timer = Quill_util.Timer
+
+(** [coverable e] holds when every node of [e] is one the stencil
+    drivers' evaluators handle without Db-layer cooperation. *)
+let rec coverable (e : Bexpr.t) =
+  match e.Bexpr.node with
+  | Bexpr.Lit _ | Bexpr.Col _ | Bexpr.Param _ -> true
+  | Bexpr.Neg a | Bexpr.Not a | Bexpr.Cast (a, _) | Bexpr.Is_null (_, a) ->
+      coverable a
+  | Bexpr.Like (a, _) -> coverable a
+  | Bexpr.Arith (_, a, b) | Bexpr.Cmp (_, a, b) | Bexpr.And (a, b) | Bexpr.Or (a, b)
+    ->
+      coverable a && coverable b
+  | Bexpr.In_list (a, es) -> coverable a && List.for_all coverable es
+  | Bexpr.Case (whens, els) ->
+      List.for_all (fun (c, v) -> coverable c && coverable v) whens
+      && (match els with Some e -> coverable e | None -> true)
+  | Bexpr.Call _ | Bexpr.Subquery _ -> false
+
+let coverable_opt = function None -> true | Some e -> coverable e
+
+(* Patch fills below carry the raw expression trees; needed-column
+   analysis is deferred into the stencil drivers (memoized on first
+   execution) so bind-time work stays flat in query complexity — the
+   only expression walks a bind performs are the [coverable] checks. *)
+
+let scan_patch catalog ~table ~schema ~filter ~project ~limit ~offset :
+    Stencil.patch =
+  Stencil.P_scan
+    {
+      sc_table = Catalog.find_exn catalog table;
+      sc_filter = filter;
+      sc_pred_cell = Stencil.cell ();
+      sc_project = Option.map (fun items -> Array.of_list (List.map fst items)) project;
+      sc_fns_cell = Stencil.cell ();
+      sc_needed_cell = Stencil.cell ();
+      sc_arity = Schema.arity schema;
+      sc_limit = limit;
+      sc_offset = offset;
+    }
+
+let group_patch catalog ~table ~schema ~filter ~keys ~aggs ~project : Stencil.patch =
+  Stencil.P_group
+    {
+      gr_table = Catalog.find_exn catalog table;
+      gr_filter = filter;
+      gr_pred_cell = Stencil.cell ();
+      gr_needed_cell = Stencil.cell ();
+      gr_arity = Schema.arity schema;
+      gr_keys = List.map fst keys;
+      gr_key_cell = Stencil.cell ();
+      gr_aggs = aggs;
+      gr_arg_cell = Stencil.cell ();
+      gr_project = Option.map (fun items -> Array.of_list (List.map fst items)) project;
+      gr_fns_cell = Stencil.cell ();
+    }
+
+(* The join reorderer inserts a pure column-permutation projection to
+   restore column order; [Rewrite.merge_perm_projects] normally folds it
+   away at plan time, but [collapse_projects] keeps the binder correct
+   for plans built outside the standard pipeline.  When the plan is not
+   a nested projection this is a single fall-through match. *)
+let perm_of items =
+  let col_of ((e : Bexpr.t), _) =
+    match e.Bexpr.node with Bexpr.Col c -> Some c | _ -> None
+  in
+  if List.for_all (fun it -> col_of it <> None) items then
+    Some (Array.of_list (List.filter_map col_of items))
+  else None
+
+let rec collapse_projects (plan : Physical.t) : Physical.t =
+  match plan with
+  | Physical.Project (outer, Physical.Project (inner, x, _), info) -> (
+      match perm_of inner with
+      | Some perm
+        when List.for_all
+               (fun (e, _) ->
+                 List.for_all
+                   (fun c -> c >= 0 && c < Array.length perm)
+                   (Bexpr.cols e))
+               outer ->
+          collapse_projects
+            (Physical.Project
+               ( List.map (fun (e, n) -> (Bexpr.remap (fun i -> perm.(i)) e, n)) outer,
+                 x,
+                 info ))
+      | _ -> plan)
+  | _ -> plan
+
+(* [match_plan catalog plan] names the stencil shape covering [plan] and
+   fills its patch, or [None] when only full codegen applies. *)
+let match_plan catalog (plan : Physical.t) : (string * Stencil.patch) option =
+  (* LIMIT/OFFSET rides on the scan stencil; peel it first. *)
+  let limit, offset, plan =
+    match plan with
+    | Physical.Limit { n; offset; input; _ } -> (n, offset, input)
+    | p -> (None, 0, p)
+  in
+  let plan = collapse_projects plan in
+  let bare_limit = limit = None && offset = 0 in
+  match plan with
+  | Physical.Scan { table; schema; layout = Physical.Col_layout; filter; _ }
+    when coverable_opt filter ->
+      Some
+        ( Stencil.shape_scan,
+          scan_patch catalog ~table ~schema ~filter ~project:None ~limit ~offset )
+  | Physical.Project
+      ( items,
+        Physical.Scan { table; schema; layout = Physical.Col_layout; filter; _ },
+        _ )
+    when coverable_opt filter && List.for_all (fun (e, _) -> coverable e) items ->
+      Some
+        ( Stencil.shape_scan,
+          scan_patch catalog ~table ~schema ~filter ~project:(Some items) ~limit
+            ~offset )
+  | ( Physical.Aggregate _
+    | Physical.Project (_, Physical.Aggregate _, _) )
+    when bare_limit -> (
+      (* The planner wraps aggregates in a renaming projection; cover the
+         wrapped form as the same shape. *)
+      let project, agg =
+        match plan with
+        | Physical.Project (items, a, _) -> (Some items, a)
+        | a -> (None, a)
+      in
+      match agg with
+      | Physical.Aggregate
+          {
+            algo = Physical.Hash_agg;
+            keys;
+            aggs;
+            input =
+              Physical.Scan { table; schema; layout = Physical.Col_layout; filter; _ };
+            _;
+          }
+        when coverable_opt filter
+             && List.for_all (fun (e, _) -> coverable e) keys
+             && List.for_all
+                  (fun ((a : Lplan.agg), _) ->
+                    (not a.Lplan.distinct) && coverable_opt a.Lplan.arg)
+                  aggs
+             && (match project with
+                | None -> true
+                | Some items -> List.for_all (fun (e, _) -> coverable e) items) ->
+          let key =
+            if keys = [] then Stencil.shape_agg_global else Stencil.shape_agg_grouped
+          in
+          Some (key, group_patch catalog ~table ~schema ~filter ~keys ~aggs ~project)
+      | _ -> None)
+  | (Physical.Join _ | Physical.Project (_, Physical.Join _, _)) when bare_limit -> (
+      let project, join =
+        match plan with
+        | Physical.Project (items, j, _) -> (Some items, j)
+        | j -> (None, j)
+      in
+      match join with
+      | Physical.Join
+          {
+            algo = Physical.Hash_join;
+            kind = Lplan.Inner;
+            keys;
+            residual;
+            build_left;
+            left =
+              Physical.Scan
+                { table = lt; schema = ls; layout = Physical.Col_layout; filter = lf; _ };
+            right =
+              Physical.Scan
+                { table = rt; schema = rs; layout = Physical.Col_layout; filter = rf; _ };
+            _;
+          }
+        when keys <> [] && coverable_opt residual && coverable_opt lf
+             && coverable_opt rf
+             && (match project with
+                | None -> true
+                | Some items -> List.for_all (fun (e, _) -> coverable e) items) ->
+          let lt = Catalog.find_exn catalog lt and rt = Catalog.find_exn catalog rt in
+          let la = Schema.arity ls and ra = Schema.arity rs in
+          let bkeys = List.map (if build_left then fst else snd) keys in
+          let pkeys = List.map (if build_left then snd else fst) keys in
+          let (jb, jbf, jba), (jp, jpf, jpa) =
+            if build_left then ((lt, lf, la), (rt, rf, ra))
+            else ((rt, rf, ra), (lt, lf, la))
+          in
+          Some
+            ( Stencil.shape_join,
+              Stencil.P_join
+                {
+                  jn_build = jb;
+                  jn_build_filter = jbf;
+                  jn_build_pred_cell = Stencil.cell ();
+                  jn_build_arity = jba;
+                  jn_build_keys = bkeys;
+                  jn_probe = jp;
+                  jn_probe_filter = jpf;
+                  jn_probe_pred_cell = Stencil.cell ();
+                  jn_probe_arity = jpa;
+                  jn_probe_keys = pkeys;
+                  jn_needed_cell = Stencil.cell ();
+                  jn_build_left = build_left;
+                  jn_residual = residual;
+                  jn_res_cell = Stencil.cell ();
+                  jn_project =
+                    Option.map (fun items -> Array.of_list (List.map fst items)) project;
+                  jn_fns_cell = Stencil.cell ();
+                } )
+      | _ -> None)
+  | _ -> None
+
+(** [shape_of catalog plan] names the stencil shape that would serve
+    [plan], for EXPLAIN output.  No metrics are touched. *)
+let shape_of catalog plan =
+  Stencil.warm ();
+  Option.map fst (match_plan catalog plan)
+
+let m_hits = Metrics.counter "quill.codegen.stencil_hits"
+let m_misses = Metrics.counter "quill.codegen.stencil_misses"
+let h_bind_seconds = Metrics.histogram "quill.codegen.stencil_bind_seconds"
+
+(** [bind catalog plan] compiles [plan] through the stencil tier: shape
+    match + patch fill + registry application.  [None] is a miss — the
+    caller falls back to full codegen. *)
+let bind catalog (plan : Physical.t) : Stencil.compiled option =
+  Stencil.warm ();
+  let result, dt =
+    Timer.time (fun () ->
+        match match_plan catalog plan with
+        | None -> None
+        | Some (key, patch) -> (
+            match Stencil.find key with
+            | Some driver -> Some (key, driver patch)
+            | None -> None))
+  in
+  match result with
+  | Some (key, compiled) ->
+      Metrics.incr m_hits;
+      Metrics.observe h_bind_seconds dt;
+      Trace.instant ~cat:"compile" ~args:[ ("shape", key) ] "stencil-bind";
+      Some compiled
+  | None ->
+      Metrics.incr m_misses;
+      Trace.instant ~cat:"compile" "stencil-miss";
+      None

@@ -120,6 +120,9 @@ type result =
 (** [create ()] returns a fresh database with built-in scalar functions,
     the compiled engine as default and the standard tiering policy. *)
 let create () =
+  (* Pre-compose the copy-and-patch stencil library once per process so
+     per-query compilation of covered shapes is pure selection+binding. *)
+  Quill_compile.Stencil.warm ();
   {
     catalog = Catalog.create ();
     udfs = Udf.builtins ();
@@ -536,13 +539,26 @@ let exec_stmt db stmt =
                          c.Physical.cand_cost)
                      losers) ])
         in
+        (* Which compile tier serves this plan on the adaptive path:
+           interpreted under an interpret-only policy, else the stencil
+           tier when the binder covers the shape, else full codegen. *)
+        let tier_line =
+          match db.policy with
+          | Tiering.Interpret_always ->
+              "compile tier: interpreted (policy interpret-always)"
+          | _ -> (
+              match Quill_compile.Stencil_bind.shape_of db.catalog pplan with
+              | Some shape -> Printf.sprintf "compile tier: stencil (shape %s)" shape
+              | None -> "compile tier: full codegen (no stencil for this shape)")
+        in
         Text
           (Physical.to_string pplan
           ^ Quill_util.Pretty.render
               ~header:
                 [ "op"; "operator"; "est rows"; "actual rows"; "time (self)";
                   "time (cumulative)"; "rejected candidates" ]
-              lines)
+              lines
+          ^ tier_line ^ "\n")
       end
 
 (* --- Durability internals ---------------------------------------------- *)
@@ -965,7 +981,7 @@ let query_adaptive db ?(params = [||]) ?timeout_ms ?budget_bytes sql =
           let rows, dt =
             Quill_util.Timer.time (fun () ->
                 Trace.with_span ~cat:"exec" "execute" (fun () ->
-                    Tiering.execute ~policy:db.policy ~ctx entry))
+                    Tiering.execute ~cache:db.cache ~policy:db.policy ~ctx entry))
           in
           Metrics.observe h_query_seconds dt;
           rows_to_table entry.Plan_cache.plan (Quill_util.Vec.to_array rows)

@@ -152,8 +152,19 @@ let distinct ~rows ~width = hash_agg ~rows ~groups:rows ~key_width:width ()
 let top_k ~rows ~k = rows *. cpu_compare *. log2 (Float.max 2.0 k)
 
 (** [compile_setup ~operators] fixed cost of staging a plan into closures;
-    charged once, amortized by the tiering policy (claim C4 / E5). *)
+    charged once, amortized by the tiering policy (claim C4 / E5).  The
+    tiering layer converts this to seconds to seed its break-even before
+    it has measured a real staging pass in this process
+    ({!Quill_adaptive.Tiering.est_full_compile_seconds}); once compiles
+    have been observed, the measured EWMA displaces this prior. *)
 let compile_setup ~operators = 2000.0 +. (500.0 *. Float.of_int operators)
+
+(** [stencil_bind_setup] cost of binding a covered plan shape to a
+    pre-composed stencil (copy-and-patch tier): a shape match plus one
+    patch record, independent of plan depth for covered shapes and small
+    enough that binding is attempted on the very first execution.  E23
+    gates the measured full-vs-stencil ratio. *)
+let stencil_bind_setup = 50.0
 
 (** Compiled execution processes tuples roughly this much cheaper than the
     tuple-at-a-time interpreter; used only for tier decisions, the real

@@ -515,6 +515,7 @@ let optimize ?(options = default_options) env plan =
       Quill_obs.Trace.with_span "join-order" (fun () -> Join_order.reorder env plan)
     else plan
   in
-  (* Reordering can introduce new projections; clean up once more. *)
-  let plan = Rewrite.drop_noop_projects plan in
+  (* Reordering can introduce new projections (the column-order restore
+     permutation); merge and clean up once more. *)
+  let plan = Rewrite.drop_noop_projects (Rewrite.merge_perm_projects plan) in
   Quill_obs.Trace.with_span "pick" (fun () -> to_physical ~options env plan)

@@ -221,6 +221,54 @@ let is_identity_project items input_schema =
        items
        (List.init (List.length items) Fun.id)
 
+(* A projection whose every item is a bare column reference — the shape
+   join reordering inserts to restore the pre-reorder column order. *)
+let perm_of items =
+  let col_of ((e : Bexpr.t), _) =
+    match e.Bexpr.node with Bexpr.Col c -> Some c | _ -> None
+  in
+  if List.for_all (fun it -> col_of it <> None) items then
+    Some (Array.of_list (List.filter_map col_of items))
+  else None
+
+(** [merge_perm_projects p] folds [Project (outer, Project (perm, x))]
+    into a single projection when the inner items are bare column
+    references, by remapping the outer expressions through the
+    permutation.  Merging only through pure column permutations never
+    duplicates computation, and it keeps the plans the join reorderer
+    produces in the single-projection form every engine tier prefers. *)
+let rec merge_perm_projects (p : Lplan.t) : Lplan.t =
+  match p with
+  | Lplan.Project (outer, input) -> (
+      match merge_perm_projects input with
+      | Lplan.Project (inner, x) as input -> (
+          match perm_of inner with
+          | Some perm
+            when List.for_all
+                   (fun (e, _) ->
+                     List.for_all
+                       (fun c -> c >= 0 && c < Array.length perm)
+                       (Bexpr.cols e))
+                   outer ->
+              Lplan.Project
+                ( List.map (fun (e, n) -> (Bexpr.remap (fun i -> perm.(i)) e, n)) outer,
+                  x )
+          | _ -> Lplan.Project (outer, input))
+      | input -> Lplan.Project (outer, input))
+  | Lplan.Scan _ | Lplan.One_row -> p
+  | Lplan.Filter (e, input) -> Lplan.Filter (e, merge_perm_projects input)
+  | Lplan.Join { kind; cond; left; right } ->
+      Lplan.Join
+        { kind; cond; left = merge_perm_projects left; right = merge_perm_projects right }
+  | Lplan.Aggregate { keys; aggs; input } ->
+      Lplan.Aggregate { keys; aggs; input = merge_perm_projects input }
+  | Lplan.Window { specs; input } ->
+      Lplan.Window { specs; input = merge_perm_projects input }
+  | Lplan.Sort { keys; input } -> Lplan.Sort { keys; input = merge_perm_projects input }
+  | Lplan.Distinct input -> Lplan.Distinct (merge_perm_projects input)
+  | Lplan.Limit { n; offset; input } ->
+      Lplan.Limit { n; offset; input = merge_perm_projects input }
+
 (** [drop_noop_projects p] removes projections that neither reorder,
     compute, nor rename. *)
 let rec drop_noop_projects (p : Lplan.t) : Lplan.t =
@@ -244,4 +292,5 @@ let rec drop_noop_projects (p : Lplan.t) : Lplan.t =
 
 (** [rewrite p] runs the standard rewrite pipeline. *)
 let rewrite p =
-  p |> map_exprs fold_constants |> push_filters |> drop_noop_projects
+  p |> map_exprs fold_constants |> push_filters |> merge_perm_projects
+  |> drop_noop_projects

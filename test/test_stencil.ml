@@ -1,0 +1,356 @@
+(* Tests for the copy-and-patch stencil tier: the shape-key registry,
+   the binder's coverage policy and metrics, plan-cache tier-aware byte
+   accounting, the EXPLAIN ANALYZE tier report — and a differential fuzz
+   net checking that stencil-bound execution is result-identical to full
+   codegen and to the Volcano reference across parameters, NULLs,
+   dictionary- and plain-encoded strings, and parallel morsel
+   execution. *)
+
+module Value = Quill_storage.Value
+module Column = Quill_storage.Column
+module Catalog = Quill_storage.Catalog
+module Physical = Quill_optimizer.Physical
+module Picker = Quill_optimizer.Picker
+module Codegen = Quill_compile.Codegen
+module Stencil = Quill_compile.Stencil
+module Stencil_bind = Quill_compile.Stencil_bind
+module Plan_cache = Quill_adaptive.Plan_cache
+module Metrics = Quill_obs.Metrics
+module Governor = Quill_exec.Governor
+module Exec_ctx = Quill_exec.Exec_ctx
+module Pool = Quill_parallel.Pool
+module Morsel = Quill_parallel.Morsel
+module Vec = Quill_util.Vec
+
+open QCheck2.Gen
+
+(* --- Shared databases ---------------------------------------------------
+
+   Two copies of the same random schema: one with dictionary string
+   encoding (the default; "tag" has 5 distinct values so it packs as a
+   dict column), one with plain string arrays.  Columnar images are
+   forced while the [enable_dict] toggle is set, so each database keeps
+   its encoding for the whole run. *)
+
+let db_dict = lazy (Tutil.random_db ~seed:20260808 ~rows:160)
+
+let db_plain =
+  lazy
+    (let saved = !Column.enable_dict in
+     Column.enable_dict := false;
+     Fun.protect
+       ~finally:(fun () -> Column.enable_dict := saved)
+       (fun () ->
+         let db = Tutil.random_db ~seed:20260809 ~rows:140 in
+         (* Build the columnar images now, while dict is disabled. *)
+         ignore (Quill.Db.query db "SELECT count(*) FROM r");
+         ignore (Quill.Db.query db "SELECT count(*) FROM s");
+         db))
+
+(* --- Covered-shape query generator -------------------------------------- *)
+
+type case = { sql : string; params : Value.t array }
+
+let pred_gen =
+  (* Predicates over r(id,k,v,tag,dt): int/float comparisons (k and v are
+     nullable — NULL semantics on the filter path), LIKE and IN over the
+     string column, CASE, IS NULL, and parameter references. *)
+  oneofl
+    [ ("k > 7", [||]);
+      ("k > $1", [| Value.Int 7 |]);
+      ("k >= $1 AND v < $2", [| Value.Int 3; Value.Float 60.0 |]);
+      ("v * 2.0 <= 90.0 OR k = 4", [||]);
+      ("tag = 'alpha'", [||]);
+      ("tag LIKE 'a%'", [||]);
+      ("tag IN ('beta', 'gamma')", [||]);
+      ("tag <> $1", [| Value.Str "delta" |]);
+      ("k IS NULL", [||]);
+      ("k IS NOT NULL AND v IS NOT NULL", [||]);
+      ("CASE WHEN k > 10 THEN v > 50.0 ELSE v <= 50.0 END", [||]);
+      ("dt >= DATE '1994-09-01'", [||]);
+      ("NOT (k < 12)", [||]) ]
+
+let scan_case =
+  let* pred, params = pred_gen in
+  let* items =
+    oneofl
+      [ "*"; "id, k, v"; "id, v * 2.0 AS vv"; "tag, id";
+        "id, CASE WHEN k > 10 THEN 'hi' ELSE 'lo' END AS b"; "id + k AS x" ]
+  in
+  let* limit = oneofl [ ""; " LIMIT 7"; " LIMIT 5 OFFSET 3"; " LIMIT 0" ] in
+  pure { sql = Printf.sprintf "SELECT %s FROM r WHERE %s%s" items pred limit; params }
+
+let agg_case =
+  let* pred, params = pred_gen in
+  let* grouped = bool in
+  if grouped then
+    let* keys = oneofl [ "tag"; "k"; "tag, k" ] in
+    pure
+      {
+        sql =
+          Printf.sprintf
+            "SELECT %s, count(*) AS n, sum(k) AS sk, avg(v) AS av, min(dt) AS mn \
+             FROM r WHERE %s GROUP BY %s"
+            keys pred keys;
+        params;
+      }
+  else
+    pure
+      {
+        sql =
+          Printf.sprintf
+            "SELECT count(*) AS n, count(v) AS nv, sum(k) AS sk, sum(v) AS sv, \
+             avg(v) AS av, min(k) AS mnk, max(v) AS mxv, max(dt) AS mxd \
+             FROM r WHERE %s"
+            pred;
+        params;
+      }
+
+let join_pred_gen =
+  (* Join predicates must qualify every column: r and s share id and k.
+     Mixing r- and s-side conjuncts exercises both scan-side pushdown
+     and the post-join residual path. *)
+  oneofl
+    [ ("r.k > 3", [||]);
+      ("r.k > $1", [| Value.Int 3 |]);
+      ("r.v < $1 OR s.w > 60", [| Value.Float 70.0 |]);
+      ("r.tag LIKE 'a%'", [||]);
+      ("r.k IS NOT NULL", [||]);
+      ("s.w >= 10 AND r.dt >= DATE '1994-09-01'", [||]);
+      ("r.k IS NULL OR s.w < 90", [||]) ]
+
+let join_case =
+  let* pred, params = join_pred_gen in
+  let* on = oneofl [ "r.id = s.id"; "r.k = s.k" ] in
+  let* items = oneofl [ "r.id, s.w"; "r.id, r.tag, s.w + 1 AS w1"; "*" ] in
+  let* extra = oneofl [ ""; " AND s.w < 50" ] in
+  pure
+    {
+      sql =
+        Printf.sprintf "SELECT %s FROM r JOIN s ON %s WHERE %s%s" items on pred extra;
+      params;
+    }
+
+let case_gen = oneof [ scan_case; scan_case; agg_case; join_case ]
+
+(* --- Differential property ---------------------------------------------- *)
+
+(* Hash joins: the picker may price merge join cheaper for some shapes;
+   force the hash algorithm so every generated join is stencil-eligible. *)
+let covered_options = { Picker.default_options with Picker.force_join = Some Physical.Hash_join }
+
+(* Parallel aggregation reorders float additions, so SUM/AVG floats may
+   differ in the last bits across engines; everything else must match
+   exactly (same comparator as test_parallel). *)
+let value_close a b =
+  match (a, b) with
+  | Value.Float x, Value.Float y ->
+      Float.abs (x -. y) <= 1e-9 *. Float.max 1.0 (Float.max (Float.abs x) (Float.abs y))
+  | _ -> Value.equal a b
+
+let rows_close_unordered a b =
+  let norm rows =
+    let c = Array.copy rows in
+    Array.sort compare c;
+    c
+  in
+  let a = norm a and b = norm b in
+  Array.length a = Array.length b
+  && Array.for_all2 (fun r1 r2 -> Array.for_all2 value_close r1 r2) a b
+
+let with_parallelism w f =
+  let saved = Pool.parallelism () in
+  Pool.set_parallelism w;
+  Fun.protect ~finally:(fun () -> Pool.set_parallelism saved) f
+
+let check_case db { sql; params } =
+  Quill.Db.set_options db covered_options;
+  Fun.protect
+    ~finally:(fun () -> Quill.Db.set_options db Picker.default_options)
+    (fun () ->
+      let catalog = Quill.Db.catalog db in
+      let plan = Quill.Db.plan db ~params sql in
+      let stencil =
+        match Stencil_bind.bind catalog plan with
+        | Some c -> c
+        | None ->
+            QCheck2.Test.fail_reportf "generated covered shape missed the binder: %s\n%s"
+              sql (Physical.to_string plan)
+      in
+      let full = Codegen.compile catalog plan in
+      let ctx = Exec_ctx.create ~params catalog in
+      let reference = Quill_exec.Volcano.run ctx plan in
+      let agree name got =
+        if not (rows_close_unordered reference got) then
+          QCheck2.Test.fail_reportf "%s disagrees with volcano on %s\nref:\n%s\ngot:\n%s"
+            name sql
+            (Tutil.rows_to_string reference)
+            (Tutil.rows_to_string got)
+      in
+      agree "stencil" (Vec.to_array (stencil Governor.none params));
+      agree "full codegen" (Vec.to_array (full Governor.none params));
+      (* The same bound closures under morsel-parallel execution: a tiny
+         morsel size splits even these small tables into many morsels. *)
+      Morsel.with_size 16 (fun () ->
+          with_parallelism 2 (fun () ->
+              agree "stencil (parallel)" (Vec.to_array (stencil Governor.none params));
+              agree "full codegen (parallel)" (Vec.to_array (full Governor.none params))));
+      true)
+
+let prop_stencil_differential =
+  Tutil.qtest ~count:300 "fuzz: stencil = full codegen = volcano (dict strings)"
+    case_gen
+    (fun case -> check_case (Lazy.force db_dict) case)
+
+let prop_stencil_differential_plain =
+  Tutil.qtest ~count:120 "fuzz: stencil = full codegen = volcano (plain strings)"
+    case_gen
+    (fun case -> check_case (Lazy.force db_plain) case)
+
+(* --- Registry ------------------------------------------------------------ *)
+
+let test_registry_warm () =
+  Stencil.warm ();
+  let shapes = Stencil.shapes () in
+  Alcotest.(check (list string))
+    "registered shapes"
+    [ "hash-join-probe"; "scan-agg-global"; "scan-agg-grouped"; "scan-filter-project" ]
+    shapes;
+  let g = Metrics.gauge "quill.codegen.stencil_registry" in
+  Alcotest.(check int) "gauge reports library size" (List.length shapes)
+    (Metrics.gauge_value g);
+  (* Idempotent: warming again neither duplicates nor rebuilds. *)
+  Stencil.warm ();
+  Alcotest.(check (list string)) "warm is idempotent" shapes (Stencil.shapes ())
+
+(* --- Binder coverage and metrics ----------------------------------------- *)
+
+let test_binder_hits_and_misses () =
+  let db = Lazy.force db_dict in
+  let catalog = Quill.Db.catalog db in
+  let m_hits = Metrics.counter "quill.codegen.stencil_hits" in
+  let m_misses = Metrics.counter "quill.codegen.stencil_misses" in
+  let h0 = Metrics.value m_hits and m0 = Metrics.value m_misses in
+  let covered = Quill.Db.plan db "SELECT id, k FROM r WHERE k > 3" in
+  Alcotest.(check bool) "covered shape binds" true
+    (Stencil_bind.bind catalog covered <> None);
+  Alcotest.(check int) "hit counted" (h0 + 1) (Metrics.value m_hits);
+  (* ORDER BY introduces a Sort the library has no stencil for. *)
+  let uncovered = Quill.Db.plan db "SELECT id, k FROM r WHERE k > 3 ORDER BY k, id" in
+  Alcotest.(check bool) "uncovered shape misses" true
+    (Stencil_bind.bind catalog uncovered = None);
+  Alcotest.(check int) "miss counted" (m0 + 1) (Metrics.value m_misses);
+  (* UDF calls are out of coverage by policy. *)
+  let udf = Quill.Db.plan db "SELECT id FROM r WHERE length(tag) > 4" in
+  Alcotest.(check bool) "UDF call misses" true (Stencil_bind.bind catalog udf = None);
+  (* shape_of names the serving stencil without touching the counters. *)
+  let h1 = Metrics.value m_hits and m1 = Metrics.value m_misses in
+  Alcotest.(check (option string))
+    "shape_of covered" (Some "scan-filter-project")
+    (Stencil_bind.shape_of catalog covered);
+  Alcotest.(check (option string)) "shape_of uncovered" None
+    (Stencil_bind.shape_of catalog uncovered);
+  Alcotest.(check int) "shape_of counts no hit" h1 (Metrics.value m_hits);
+  Alcotest.(check int) "shape_of counts no miss" m1 (Metrics.value m_misses)
+
+let test_binder_shapes () =
+  let db = Lazy.force db_dict in
+  let catalog = Quill.Db.catalog db in
+  Quill.Db.set_options db
+    { Picker.default_options with Picker.force_join = Some Physical.Hash_join };
+  let shape sql = Stencil_bind.shape_of catalog (Quill.Db.plan db sql) in
+  Alcotest.(check (option string)) "global agg" (Some "scan-agg-global")
+    (shape "SELECT count(*), sum(k) FROM r WHERE v > 10.0");
+  Alcotest.(check (option string)) "grouped agg" (Some "scan-agg-grouped")
+    (shape "SELECT tag, count(*) FROM r GROUP BY tag");
+  Alcotest.(check (option string)) "hash join" (Some "hash-join-probe")
+    (shape "SELECT r.id, s.w FROM r JOIN s ON r.id = s.id");
+  Alcotest.(check (option string)) "distinct agg misses" None
+    (shape "SELECT count(DISTINCT k) FROM r");
+  Quill.Db.set_options db Picker.default_options
+
+(* --- Plan-cache tier-aware byte accounting ------------------------------- *)
+
+let test_cache_tier_bytes () =
+  let db = Lazy.force db_dict in
+  let version = Catalog.version (Quill.Db.catalog db) in
+  let plan = Quill.Db.plan db "SELECT id, k FROM r WHERE k > 3" in
+  let cache = Plan_cache.create () in
+  let e_stencil =
+    Plan_cache.add cache ~sql:"a" ~param_types:[||] ~catalog_version:version plan
+  in
+  let e_full =
+    Plan_cache.add cache ~sql:"b" ~param_types:[||] ~catalog_version:version plan
+  in
+  let base_stencil = e_stencil.Plan_cache.bytes in
+  let base_full = e_full.Plan_cache.bytes in
+  let used0 = Plan_cache.used_bytes cache in
+  Plan_cache.note_compiled cache e_stencil ~tier:Codegen.Tier_stencil;
+  Plan_cache.note_compiled cache e_full ~tier:Codegen.Tier_full;
+  Alcotest.(check bool) "stencil charge is flat and small" true
+    (e_stencil.Plan_cache.bytes - base_stencil < e_full.Plan_cache.bytes - base_full);
+  Alcotest.(check bool) "tiers recorded" true
+    (e_stencil.Plan_cache.compiled_tier = Some Codegen.Tier_stencil
+    && e_full.Plan_cache.compiled_tier = Some Codegen.Tier_full);
+  Alcotest.(check int) "used_bytes tracks both charges"
+    (used0
+    + (e_stencil.Plan_cache.bytes - base_stencil)
+    + (e_full.Plan_cache.bytes - base_full))
+    (Plan_cache.used_bytes cache);
+  (* The stencil charge is flat in plan size while the full-codegen one
+     grows with it — that's what keeps cheap stencil plans off the
+     full-codegen eviction curve. *)
+  let big_plan =
+    Quill.Db.plan db
+      "SELECT r.id, s.w FROM r JOIN s ON r.id = s.id WHERE r.k > 2 AND s.w < 90"
+  in
+  let b_stencil =
+    Plan_cache.add cache ~sql:"c" ~param_types:[||] ~catalog_version:version big_plan
+  in
+  let b_full =
+    Plan_cache.add cache ~sql:"d" ~param_types:[||] ~catalog_version:version big_plan
+  in
+  let bb_stencil = b_stencil.Plan_cache.bytes and bb_full = b_full.Plan_cache.bytes in
+  Plan_cache.note_compiled cache b_stencil ~tier:Codegen.Tier_stencil;
+  Plan_cache.note_compiled cache b_full ~tier:Codegen.Tier_full;
+  Alcotest.(check int) "stencil charge is flat in plan size"
+    (e_stencil.Plan_cache.bytes - base_stencil)
+    (b_stencil.Plan_cache.bytes - bb_stencil);
+  Alcotest.(check bool) "full-codegen charge grows with the plan" true
+    (b_full.Plan_cache.bytes - bb_full > e_full.Plan_cache.bytes - base_full)
+
+(* --- EXPLAIN ANALYZE tier report ----------------------------------------- *)
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_explain_analyze_tier () =
+  let db = Lazy.force db_dict in
+  let covered = Quill.Db.explain db ~analyze:true "SELECT id, k FROM r WHERE k > 3" in
+  Alcotest.(check bool) "stencil tier reported" true
+    (contains_sub covered "compile tier: stencil (shape scan-filter-project)");
+  let uncovered =
+    Quill.Db.explain db ~analyze:true "SELECT id, k FROM r WHERE k > 3 ORDER BY k, id"
+  in
+  Alcotest.(check bool) "full codegen tier reported" true
+    (contains_sub uncovered "compile tier: full codegen");
+  Alcotest.(check bool) "rejected candidates still reported" true
+    (contains_sub uncovered "rejected candidates")
+
+let () =
+  Alcotest.run "stencil"
+    [
+      ( "registry",
+        [ Alcotest.test_case "warm and shape keys" `Quick test_registry_warm ] );
+      ( "binder",
+        [ Alcotest.test_case "hits, misses, shape_of" `Quick test_binder_hits_and_misses;
+          Alcotest.test_case "shape coverage" `Quick test_binder_shapes ] );
+      ( "cache",
+        [ Alcotest.test_case "tier-aware bytes" `Quick test_cache_tier_bytes ] );
+      ( "explain",
+        [ Alcotest.test_case "analyze reports tier" `Quick test_explain_analyze_tier ] );
+      ( "differential",
+        [ prop_stencil_differential; prop_stencil_differential_plain ] );
+    ]

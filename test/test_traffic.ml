@@ -213,19 +213,28 @@ let test_ddl_churn_during_prepared () =
         done)
       ()
   in
-  let misses1 = Metrics.value m_misses in
-  let noisy =
-    Fun.protect
-      ~finally:(fun () ->
-        Atomic.set stop true;
-        Thread.join churner)
-      (fun () -> run_checked ~rows (Driver.In_process store))
-  in
-  Alcotest.(check int) "digest unaffected by churn" quiet noisy;
+  (* The churner is a real concurrent thread, so whether an insert lands
+     mid-run is a scheduling race; retry the (short) noisy run until one
+     does.  Every iteration still checks the digest, so correctness under
+     churn is asserted regardless of which run the churn hits. *)
+  let landed = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Thread.join churner)
+    (fun () ->
+      let attempts = ref 0 in
+      while (not !landed) && !attempts < 50 do
+        incr attempts;
+        let misses1 = Metrics.value m_misses in
+        let noisy = run_checked ~rows (Driver.In_process store) in
+        Alcotest.(check int) "digest unaffected by churn" quiet noisy;
+        if Metrics.value m_misses - misses1 > quiet_misses then landed := true
+        else Thread.delay 0.002
+      done);
   (* The churn forced replans: strictly more misses than the quiet run's
      cold start. *)
-  Alcotest.(check bool) "churn caused replans" true
-    (Metrics.value m_misses - misses1 > quiet_misses)
+  Alcotest.(check bool) "churn caused replans" true !landed
 
 (* --- open-loop schedule control ----------------------------------------- *)
 
