@@ -1,0 +1,182 @@
+(* E24: graceful degradation under memory pressure — the cost of going
+   out-of-core.
+
+   For the three spillable operator families (hash join, hash
+   aggregation, sort) the experiment runs the same query twice on the
+   same table: unbudgeted (fully in-memory) and under a byte budget a
+   small fraction of the working set, which forces Grace partitioning /
+   sorted-run merging through the spill files.  Reported: rows/sec both
+   ways, the slowdown factor, and the spill traffic.  Correctness is
+   asserted, not sampled — the spilled run must return exactly the
+   in-memory row count (and the same single value for scalar results).
+
+   The module is shared by the full run ([main.exe E24], which prints
+   the table EXPERIMENTS.md records and rewrites
+   [bench/BENCH_spill.json]) and the regression gate ([check_bench.exe]
+   in `dune runtest`), which re-runs the same scale and fails if
+   spilling stops engaging, stops being transparent, or collapses
+   against the committed baseline. *)
+
+module Value = Quill_storage.Value
+module Schema = Quill_storage.Schema
+module Table = Quill_storage.Table
+module Catalog = Quill_storage.Catalog
+module Metrics = Quill_obs.Metrics
+module Rng = Quill_util.Rng
+
+let m_bytes = Metrics.counter "quill.spill.bytes"
+let m_runs = Metrics.counter "quill.spill.runs"
+
+(* Scale for the committed baseline and the runtest gate: the working
+   sets (join build ~rows/4 wide groups, agg table ~rows/4 groups, full
+   sort) sit at several MiB, so the 1 MiB budget below forces every
+   operator 3-6x over budget without making `dune runtest` crawl. *)
+let smoke_rows = 150_000
+let budget = 1024 * 1024
+
+(* sp(k INT, v INT, f FLOAT): k spans rows/4 values so the join has ~4
+   matches per probe row and the aggregation builds rows/4 groups. *)
+let build_db ~rows =
+  let rng = Rng.create 20260808 in
+  let t =
+    Table.create ~name:"sp"
+      (Schema.create
+         [ Schema.col ~nullable:false "k" Value.Int_t;
+           Schema.col ~nullable:false "v" Value.Int_t;
+           Schema.col ~nullable:false "f" Value.Float_t ])
+  in
+  for _ = 1 to rows do
+    Table.insert t
+      [| Value.Int (Rng.int rng (rows / 4)); Value.Int (Rng.int rng 10_000);
+         Value.Float (Rng.float rng) |]
+  done;
+  let db = Quill.Db.create () in
+  Catalog.add (Quill.Db.catalog db) t;
+  Quill.Db.analyze db "sp";
+  db
+
+let queries =
+  [ ("hash_join", "SELECT count(*) FROM sp a, sp b WHERE a.k = b.k");
+    (* sum(v), not sum(f): merging spilled partial sums reassociates the
+       addition, which is exact for ints but perturbs float ULPs and
+       would flake the fingerprint check. *)
+    ("hash_agg", "SELECT k, count(*), sum(v) FROM sp GROUP BY k");
+    ("sort", "SELECT k, v FROM sp ORDER BY v, k") ]
+
+type result = {
+  name : string;
+  inmem_rps : float;  (** input rows/sec, no budget *)
+  spill_rps : float;  (** input rows/sec under the budget *)
+  spill_bytes : int;  (** spill traffic of one budgeted run *)
+  spill_runs : int;
+}
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+(* One scalar fingerprint of a result so the two runs can be compared
+   without holding both materializations: row count plus an
+   order-insensitive row-hash sum (a spilled aggregation legitimately
+   emits its groups key-sorted rather than in hash-table order). *)
+let fingerprint t =
+  let acc = ref 0 in
+  for i = 0 to Table.row_count t - 1 do
+    let row = Table.get_row t i in
+    let h = ref 17 in
+    Array.iter (fun v -> h := (!h * 31) + Value.hash v) row;
+    acc := !acc + !h
+  done;
+  (Table.row_count t, !acc)
+
+let measure ?(reps = 3) ~rows db =
+  List.map
+    (fun (name, sql) ->
+      let inmem_fp = ref (0, 0) in
+      let inmem_s =
+        Harness.median_time ~reps (fun () ->
+            inmem_fp := fingerprint (Quill.Db.query db sql))
+      in
+      let spill_fp = ref (0, 0) in
+      let bytes0 = ref 0 and runs0 = ref 0 in
+      let spill_s =
+        Harness.median_time ~reps (fun () ->
+            bytes0 := Metrics.value m_bytes;
+            runs0 := Metrics.value m_runs;
+            spill_fp := fingerprint (Quill.Db.query db ~budget_bytes:budget sql))
+      in
+      let spill_bytes = Metrics.value m_bytes - !bytes0 in
+      let spill_runs = Metrics.value m_runs - !runs0 in
+      (* Transparency is part of the benchmark's contract. *)
+      let rc_mem, h_mem = !inmem_fp and rc_sp, h_sp = !spill_fp in
+      if rc_mem <> rc_sp || h_mem <> h_sp then
+        fail "E24 %s: spilled run differs (%d rows [#%x] vs %d rows [#%x])" name
+          rc_mem h_mem rc_sp h_sp;
+      if spill_bytes = 0 then
+        fail "E24 %s: the %d-byte budget did not force any spilling" name budget;
+      (* Sorts count the ordered output as work too, but input rows are a
+         fine common denominator for a before/after ratio. *)
+      { name;
+        inmem_rps = Float.of_int rows /. inmem_s;
+        spill_rps = Float.of_int rows /. spill_s;
+        spill_bytes;
+        spill_runs })
+    queries
+
+let mrps v = Printf.sprintf "%.2f" (v /. 1e6)
+
+let print_table results =
+  Harness.table
+    ~header:
+      [ "operator"; "in-mem Mrows/s"; "spill Mrows/s"; "slowdown"; "spilled MiB";
+        "runs" ]
+    (List.map
+       (fun r ->
+         [ r.name; mrps r.inmem_rps; mrps r.spill_rps;
+           Printf.sprintf "%.2fx" (r.inmem_rps /. r.spill_rps);
+           Printf.sprintf "%.1f" (Float.of_int r.spill_bytes /. 1024.0 /. 1024.0);
+           string_of_int r.spill_runs ])
+       results)
+
+let json_of ~rows results =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"rows\": %d,\n" rows);
+  Buffer.add_string buf (Printf.sprintf "  \"budget_bytes\": %d,\n" budget);
+  Buffer.add_string buf "  \"benchmarks\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"name\": \"%s\", \"inmem_rows_per_sec\": %.1f, \
+            \"spill_rows_per_sec\": %.1f, \"slowdown\": %.2f, \
+            \"spill_bytes\": %d }%s\n"
+           r.name r.inmem_rps r.spill_rps
+           (r.inmem_rps /. r.spill_rps)
+           r.spill_bytes
+           (if i = List.length results - 1 then "" else ",")))
+    results;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let write_json ~rows results =
+  let path =
+    if Sys.file_exists "bench" && Sys.is_directory "bench" then
+      Filename.concat "bench" "BENCH_spill.json"
+    else "BENCH_spill.json"
+  in
+  let oc = open_out path in
+  output_string oc (json_of ~rows results);
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+(* The runtest gate re-measures at the committed scale with fewer reps. *)
+let smoke () =
+  let db = build_db ~rows:smoke_rows in
+  measure ~reps:1 ~rows:smoke_rows db
+
+let e24 () =
+  Harness.section "E24: out-of-core execution cost (spill vs in-memory)";
+  Printf.printf "(building %d-row table; budget %d bytes ...)\n%!" smoke_rows budget;
+  let db = build_db ~rows:smoke_rows in
+  let results = measure ~reps:5 ~rows:smoke_rows db in
+  print_table results;
+  write_json ~rows:smoke_rows results

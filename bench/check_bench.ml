@@ -29,6 +29,14 @@
      traffic bounds are loose: the gate is for structural regressions
      (an eager expression walk sneaking back into bind), not nanosecond
      noise.
+   - out-of-core spill (E24 smoke, argv.(4), optional): re-runs the
+     budgeted hash join / hash agg / sort ablations.  [Bench_spill.measure]
+     itself fails loudly if a spilled result differs from the in-memory
+     one or if the budget stops forcing spills; the gate additionally
+     fails if budgeted throughput regressed more than 4x against
+     [bench/BENCH_spill.json] or if any operator slows down more than
+     25x going out-of-core (committed slowdowns are single-digit, so
+     25x means the partitioning degenerated, not that the box is slow).
 
    The baseline files are tiny and hand-auditable, so they are parsed
    with a string scanner rather than a JSON dependency. *)
@@ -195,6 +203,43 @@ let () =
            interpreted tier (%.2f ms)"
           (stencil_total *. 1e3) (interp_total *. 1e3)
         :: !failures
+  end;
+  if Array.length Sys.argv > 4 then begin
+    let spath = Sys.argv.(4) in
+    let sbase = read_file spath in
+    (* Correctness and spill engagement are asserted inside measure;
+       reaching this point means every budgeted run matched in-memory. *)
+    let results = Bench_spill.smoke () in
+    Printf.printf "\nspill smoke bench (%d rows, %d-byte budget) vs baseline %s\n"
+      Bench_spill.smoke_rows Bench_spill.budget spath;
+    Bench_spill.print_table results;
+    List.iter
+      (fun r ->
+        let marker = Printf.sprintf "\"name\": \"%s\"" r.Bench_spill.name in
+        let mlen = String.length marker in
+        let rec find i =
+          if i + mlen > String.length sbase then
+            fail "spill baseline has no entry for benchmark %S" r.Bench_spill.name
+          else if String.sub sbase i mlen = marker then i
+          else find (i + 1)
+        in
+        let pos = find 0 in
+        let base_spill = field_after sbase pos "spill_rows_per_sec" in
+        if r.Bench_spill.spill_rps *. 4.0 < base_spill then
+          failures :=
+            Printf.sprintf
+              "E24 %s: budgeted throughput regressed >4x (%.0f rows/s vs baseline %.0f)"
+              r.Bench_spill.name r.Bench_spill.spill_rps base_spill
+            :: !failures;
+        if r.Bench_spill.inmem_rps > 25.0 *. r.Bench_spill.spill_rps then
+          failures :=
+            Printf.sprintf
+              "E24 %s: out-of-core slowdown exploded (%.1fx > 25x; partitioning \
+               degenerated?)"
+              r.Bench_spill.name
+              (r.Bench_spill.inmem_rps /. r.Bench_spill.spill_rps)
+            :: !failures)
+      results
   end;
   match !failures with
   | [] -> print_endline "check_bench: OK"

@@ -7,6 +7,8 @@
      \timing       toggle per-statement timing
      \timeout [MS] show or set the per-query deadline (0 or off = none)
      \budget [B]   show or set the per-query memory budget in bytes
+     \spill [on|off] show or toggle out-of-core execution for budgeted
+                   queries (spill-to-disk instead of budget kills)
      \explain SQL  show the physical plan
      \trace        show tracing status; \trace on|off toggles the span
                    tracer; \trace json [FILE] exports Chrome trace JSON
@@ -49,7 +51,15 @@ let run_sql s sql =
   match Quill_util.Timer.time (fun () -> Db.exec s.db sql) with
   | result, dt -> print_result s dt result
   | exception Db.Error m -> Printf.printf "error: %s\n" m
-  | exception Db.Aborted r -> Printf.printf "aborted: %s\n" (Db.abort_reason_name r)
+  | exception Db.Aborted r ->
+      (* Prefer the governor's full account (peak bytes, budget, what
+         spilling did) over the bare reason name. *)
+      let detail =
+        match Db.last_abort_detail s.db with
+        | Some d -> d
+        | None -> Db.abort_reason_name r
+      in
+      Printf.printf "aborted: %s\n" detail
 
 let describe s name =
   match Catalog.find (Db.catalog s.db) name with
@@ -142,6 +152,17 @@ let meta s line =
           Db.set_budget s.db (Some b);
           Printf.printf "budget: %d bytes\n" b
       | _ -> print_endline "usage: \\budget BYTES (0 or off to clear)")
+  | [ "\\spill" ] ->
+      Printf.printf "spill %s\n" (if Db.spill_enabled s.db then "on" else "off")
+  | [ "\\spill"; v ] -> (
+      match String.lowercase_ascii v with
+      | "on" ->
+          Db.set_spill s.db true;
+          print_endline "spill on"
+      | "off" ->
+          Db.set_spill s.db false;
+          print_endline "spill off (budget kills are hard again)"
+      | _ -> print_endline "usage: \\spill [on|off]")
   | [ "\\engine"; name ] -> (
       match String.lowercase_ascii name with
       | "volcano" -> Db.set_engine s.db Db.Volcano

@@ -169,6 +169,18 @@ let execute ?cache ~policy ~(ctx : Quill_exec.Exec_ctx.t) (entry : Plan_cache.en
               Some (full_compile ())
             else None)
   in
+  (* Stencil drivers are pre-composed and cannot register spill hooks:
+     a spill-capable execution of a stencil-tier entry routes through the
+     vector interpreter instead, whose operators can spill.  The entry
+     keeps its stencil for ordinary executions. *)
+  let compiled =
+    match compiled with
+    | Some _
+      when entry.Plan_cache.compiled_tier = Some Codegen.Tier_stencil
+           && Quill_exec.Governor.can_spill ctx.Quill_exec.Exec_ctx.governor ->
+        None
+    | c -> c
+  in
   let rows, elapsed =
     match compiled with
     | Some c ->

@@ -27,6 +27,7 @@ module Join_algos = Quill_exec.Join_algos
 module Agg_algos = Quill_exec.Agg_algos
 module Sort_algos = Quill_exec.Sort_algos
 module Topk = Quill_exec.Topk
+module Spool = Quill_exec.Spool
 module Pool = Quill_parallel.Pool
 module Pdriver = Quill_parallel.Driver
 module IntSet = Set.Make (Int)
@@ -284,6 +285,10 @@ let rec produce sctx (plan : Physical.t) ~needed (consume : consume) : unit -> u
               (int, (Value.t list * Value.t array) list ref) Hashtbl.t =
             Hashtbl.create 1024
           in
+          (* The build pipeline is staged once against a dispatching sink:
+             each execution points it at the in-memory table (fast path)
+             or a spillable spool (out-of-core path). *)
+          let build_sink : consume ref = ref ignore in
           let build_consume (row : Value.t array) =
             match Join_algos.key_of bkeys row with
             | None -> ()
@@ -295,8 +300,9 @@ let rec produce sctx (plan : Physical.t) ~needed (consume : consume) : unit -> u
                 | None -> Hashtbl.add table h (ref [ (k, row) ]))
           in
           let build_thunk =
-            if build_left then produce sctx left ~needed:needed_l build_consume
-            else produce sctx right ~needed:needed_r build_consume
+            if build_left then
+              produce sctx left ~needed:needed_l (fun row -> !build_sink row)
+            else produce sctx right ~needed:needed_r (fun row -> !build_sink row)
           in
           (* For a left-outer join the picker pins build_left=false, so
              the probe side is the preserved side and padding can happen
@@ -363,10 +369,32 @@ let rec produce sctx (plan : Physical.t) ~needed (consume : consume) : unit -> u
                   end
             | None -> produce sctx probe_plan ~needed:probe_needed (probe_row ~on_emit:consume)
           in
+          (* A second, serial staging of the probe pipeline against a
+             dispatching sink; only the out-of-core path runs it. *)
+          let probe_sink : consume ref = ref ignore in
+          let probe_spool_thunk =
+            produce sctx probe_plan ~needed:probe_needed (fun row -> !probe_sink row)
+          in
           fun () ->
-            Hashtbl.reset table;
-            build_thunk ();
-            probe_thunk ()
+            let gov = !(sctx.gov) in
+            if Governor.can_spill gov then begin
+              let bsp = Spool.create ~name:"join-input" gov in
+              build_sink := Spool.add bsp;
+              build_thunk ();
+              let psp = Spool.create ~name:"join-input" gov in
+              probe_sink := Spool.add psp;
+              probe_spool_thunk ();
+              let bset = Spool.finish bsp and pset = Spool.finish psp in
+              let lset, rset = if build_left then (bset, pset) else (pset, bset) in
+              Join_algos.spill_hash_join ~gov ~mode ~keys ~residual:residual_p
+                ~build_left ~right_arity ~emit:consume lset rset
+            end
+            else begin
+              build_sink := build_consume;
+              Hashtbl.reset table;
+              build_thunk ();
+              probe_thunk ()
+            end
       | Physical.Merge_join | Physical.Block_nl ->
           let lbuf = Vec.create ~dummy:[||] and rbuf = Vec.create ~dummy:[||] in
           let buffer buf row =
@@ -480,39 +508,81 @@ let rec produce sctx (plan : Physical.t) ~needed (consume : consume) : unit -> u
           | Some staged ->
               fun () ->
                 let n, run = staged () in
-                let groups, order =
-                  Pdriver.fold ~workers:(Pool.parallelism ()) ~n
-                    ~init:(fun () ->
-                      ( (Hashtbl.create 64 : (Value.t list, Agg_algos.state list) Hashtbl.t),
-                        Vec.create ~dummy:([] : Value.t list) ))
-                    ~range:(fun (g, o) lo hi -> run lo hi (feed_into g o))
-                    ~merge:(Agg_algos.merge_group_tables ~specs)
-                in
-                emit_result groups order
+                let gov = !(sctx.gov) in
+                if Governor.can_spill gov then begin
+                  (* Each worker feeds a private spillable builder (its
+                     spill hook is domain-owned, so workers dump their own
+                     partial tables); runs pool at merge and the final
+                     merge is key-based. *)
+                  let b =
+                    Pdriver.fold ~workers:(Pool.parallelism ()) ~n
+                      ~init:(fun () ->
+                        Agg_algos.create_builder ~gov ~keys:key_fns ~specs ())
+                      ~range:(fun b lo hi -> run lo hi (Agg_algos.feed_builder b))
+                      ~merge:Agg_algos.merge_builders
+                  in
+                  Vec.iter consume (Agg_algos.finish_builder b)
+                end
+                else begin
+                  let groups, order =
+                    Pdriver.fold ~workers:(Pool.parallelism ()) ~n
+                      ~init:(fun () ->
+                        ( (Hashtbl.create 64
+                            : (Value.t list, Agg_algos.state list) Hashtbl.t),
+                          Vec.create ~dummy:([] : Value.t list) ))
+                      ~range:(fun (g, o) lo hi -> run lo hi (feed_into g o))
+                      ~merge:(Agg_algos.merge_group_tables ~specs)
+                  in
+                  emit_result groups order
+                end
           | None ->
               let groups : (Value.t list, Agg_algos.state list) Hashtbl.t =
                 Hashtbl.create 64
               in
               let order = Vec.create ~dummy:[] in
-              let child = produce sctx input ~needed:needed_in (feed_into groups order) in
+              let agg_sink : consume ref = ref ignore in
+              let child =
+                produce sctx input ~needed:needed_in (fun row -> !agg_sink row)
+              in
               fun () ->
-                Hashtbl.reset groups;
-                Vec.clear order;
-                child ();
-                emit_result groups order)
+                let gov = !(sctx.gov) in
+                if Governor.can_spill gov then begin
+                  let b = Agg_algos.create_builder ~gov ~keys:key_fns ~specs () in
+                  agg_sink := Agg_algos.feed_builder b;
+                  child ();
+                  Vec.iter consume (Agg_algos.finish_builder b)
+                end
+                else begin
+                  agg_sink := feed_into groups order;
+                  Hashtbl.reset groups;
+                  Vec.clear order;
+                  child ();
+                  emit_result groups order
+                end)
       | Physical.Sort_agg ->
           let buf = Vec.create ~dummy:[||] in
+          let sink : consume ref = ref ignore in
           let child =
-            produce sctx input ~needed:needed_in (fun row ->
-                Governor.charge_row !(sctx.gov) row;
-                Vec.push buf row)
+            produce sctx input ~needed:needed_in (fun row -> !sink row)
           in
           fun () ->
-            Vec.clear buf;
-            child ();
-            Vec.iter consume
-              (Agg_algos.sort_agg ~gov:!(sctx.gov) ~keys:key_fns ~specs
-                 (Vec.to_array buf)))
+            let gov = !(sctx.gov) in
+            if Governor.can_spill gov then begin
+              let b = Agg_algos.create_builder ~gov ~keys:key_fns ~specs () in
+              sink := Agg_algos.feed_builder b;
+              child ();
+              Vec.iter consume (Agg_algos.finish_builder ~ordered:true b)
+            end
+            else begin
+              sink :=
+                (fun row ->
+                  Governor.charge_row gov row;
+                  Vec.push buf row);
+              Vec.clear buf;
+              child ();
+              Vec.iter consume
+                (Agg_algos.sort_agg ~gov ~keys:key_fns ~specs (Vec.to_array buf))
+            end)
       in
       (match fused_attempt with
       | None -> general
@@ -547,17 +617,28 @@ let rec produce sctx (plan : Physical.t) ~needed (consume : consume) : unit -> u
   | Physical.Sort { keys; input; _ } ->
       let needed_in = IntSet.union needed (IntSet.of_list (List.map fst keys)) in
       let buf = Vec.create ~dummy:[||] in
-      let child =
-        produce sctx input ~needed:needed_in (fun row ->
-            Governor.charge_row !(sctx.gov) row;
-            Vec.push buf row)
-      in
+      let sink : consume ref = ref ignore in
+      let child = produce sctx input ~needed:needed_in (fun row -> !sink row) in
       fun () ->
-        Vec.clear buf;
-        child ();
-        let rows = Vec.to_array buf in
-        Sort_algos.sort_rows keys rows;
-        Array.iter consume rows
+        let gov = !(sctx.gov) in
+        if Governor.can_spill gov then begin
+          (* Out-of-core: a keyed spool is an external merge sort. *)
+          let sp = Spool.create ~keys ~name:"sort" gov in
+          sink := Spool.add sp;
+          child ();
+          Spool.consume (Spool.finish sp) consume
+        end
+        else begin
+          sink :=
+            (fun row ->
+              Governor.charge_row gov row;
+              Vec.push buf row);
+          Vec.clear buf;
+          child ();
+          let rows = Vec.to_array buf in
+          Sort_algos.sort_rows keys rows;
+          Array.iter consume rows
+        end
   | Physical.Top_k { k; offset; keys; input; _ } ->
       let needed_in = IntSet.union needed (IntSet.of_list (List.map fst keys)) in
       let cmp = Sort_algos.row_compare keys in
@@ -565,7 +646,7 @@ let rec produce sctx (plan : Physical.t) ~needed (consume : consume) : unit -> u
       let child = produce sctx input ~needed:needed_in (fun row -> Topk.offer !heap row) in
       fun () ->
         heap :=
-          Topk.create ~gov:!(sctx.gov) ~bytes:Governor.row_bytes ~cmp
+          Topk.create ~gov:!(sctx.gov) ~bytes:Governor.row_bytes ~keys ~cmp
             ~k:(k + offset) ~dummy:[||] ();
         child ();
         let sorted = Topk.finish !heap in
@@ -633,7 +714,7 @@ let compile ?indexes catalog (plan : Physical.t) : compiled =
               produce sctx plan
                 ~needed:(IntSet.of_list (List.init out_arity Fun.id))
                 (fun row ->
-                  Governor.charge_row !(sctx.gov) row;
+                  Governor.charge_result !(sctx.gov) row;
                   Vec.push out row)
             in
             fun gov params ->
@@ -666,7 +747,16 @@ let tier_name = function Tier_stencil -> "stencil" | Tier_full -> "full"
     compilation affordable for one-shot queries. *)
 let compile_tiered ?indexes catalog (plan : Physical.t) : compiled * tier =
   match Stencil_bind.bind catalog plan with
-  | Some f -> (f, Tier_stencil)
+  | Some f ->
+      (* Stencil drivers are pre-composed and cannot register spill
+         hooks; executions under a spill-capable governor lazily fall
+         back to the fully staged compile, which can. *)
+      let full = lazy (compile ?indexes catalog plan) in
+      let dispatch gov params =
+        if Governor.can_spill gov then (Lazy.force full) gov params
+        else f gov params
+      in
+      (dispatch, Tier_stencil)
   | None -> (compile ?indexes catalog plan, Tier_full)
 
 (** [run ctx plan] one-shot compile-and-execute.  The fused loops carry no

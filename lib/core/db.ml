@@ -32,6 +32,7 @@ module Csv = Quill_storage.Csv
 module Wal = Quill_storage.Wal
 module Snapshot = Quill_storage.Snapshot
 module Sim_fs = Quill_storage.Sim_fs
+module Spill = Quill_storage.Spill
 module Store = Quill_txn.Store
 module Index_reg = Quill_storage.Index.Registry
 
@@ -107,6 +108,8 @@ type t = {
   mutable options : Picker.options;
   mutable timeout_ms : int option;  (** session default deadline *)
   mutable budget_bytes : int option;  (** session default memory budget *)
+  mutable spill_on : bool;  (** budgeted queries may spill to disk *)
+  mutable last_abort : string option;  (** detail of the latest governor abort *)
   cancel : bool Atomic.t;  (** set by {!cancel}, consumed by the governor *)
   mutable durable : durable option;  (** WAL-backed session state, if any *)
   mutable shared : shared_session option;  (** MVCC store attachment *)
@@ -139,6 +142,8 @@ let create () =
         Picker.parallelism = Quill_parallel.Pool.parallelism () };
     timeout_ms = None;
     budget_bytes = None;
+    spill_on = true;
+    last_abort = None;
     cancel = Atomic.make false;
     durable = None;
     shared = None;
@@ -170,6 +175,19 @@ let set_budget db bytes = db.budget_bytes <- bytes
 
 (** [budget_bytes db] is the session's default memory budget. *)
 let budget_bytes db = db.budget_bytes
+
+(** [set_spill db on] enables or disables out-of-core execution for
+    budgeted queries (default on).  With it off, exceeding the budget is
+    a hard kill — the pre-spill ablation baseline. *)
+let set_spill db on = db.spill_on <- on
+
+(** [spill_enabled db] is whether budgeted queries may spill. *)
+let spill_enabled db = db.spill_on
+
+(** [last_abort_detail db] is the rich account of the most recent
+    governor abort in this session (reason; for budget kills also peak
+    bytes charged, the budget, and what spilling did). *)
+let last_abort_detail db = db.last_abort
 
 (** [cancel db] asks the session's currently running query (possibly on
     another domain) to abort with {!Aborted}[ Cancelled] at its next
@@ -277,7 +295,8 @@ let sync_view db =
 let effective_options db budget_override =
   match (match budget_override with Some _ as b -> b | None -> db.budget_bytes) with
   | None -> db.options
-  | Some b -> { db.options with Picker.budget_bytes = Some b }
+  | Some b ->
+      { db.options with Picker.budget_bytes = Some b; Picker.spill = db.spill_on }
 
 (* Full planning result: main physical plan, materialization plans for
    any uncorrelated subqueries, and — when the plan shape depends on the
@@ -659,7 +678,15 @@ let write_targets = function
 
 (* One statement's governor: per-call override beats the session default;
    the session cancel flag is always armed.  [observe_peak] records the
-   peak-bytes histogram however the query ends. *)
+   peak-bytes histogram however the query ends.
+
+   A budgeted statement (unless [set_spill] turned it off) also gets a
+   per-query spill session so operators can degrade to disk instead of
+   dying: rooted in the durable session's data directory when there is
+   one, in the process tmpdir otherwise.  The session is torn down in the
+   same [finally] that records the peak — spill files never outlive their
+   statement (cancel, disconnect and abort all unwind through here), and
+   the governor's abort detail is captured before its session dies. *)
 let governed db ?timeout_ms ?budget_bytes f =
   let timeout_ms =
     match timeout_ms with Some _ as t -> t | None -> db.timeout_ms
@@ -667,9 +694,26 @@ let governed db ?timeout_ms ?budget_bytes f =
   let budget_bytes =
     match budget_bytes with Some _ as b -> b | None -> db.budget_bytes
   in
-  let gov = Governor.create ?timeout_ms ?budget_bytes ~cancel:db.cancel () in
-  Fun.protect ~finally:(fun () -> Governor.observe_peak gov) (fun () ->
-      f gov budget_bytes)
+  let spill =
+    match budget_bytes with
+    | Some _ when db.spill_on ->
+        let root =
+          match db.durable with
+          | Some d -> d.dur_dir
+          | None -> Spill.default_root ()
+        in
+        Some (Spill.fresh_session root)
+    | _ -> None
+  in
+  let gov = Governor.create ?timeout_ms ?budget_bytes ~cancel:db.cancel ?spill () in
+  Fun.protect
+    ~finally:(fun () ->
+      Governor.observe_peak gov;
+      (match Governor.abort_detail gov with
+      | Some d -> db.last_abort <- Some d
+      | None -> ());
+      Option.iter Spill.cleanup spill)
+    (fun () -> f gov budget_bytes)
 
 (* --- Transactions ------------------------------------------------------ *)
 
@@ -1162,6 +1206,13 @@ let open_durable ?(policy = Wal.On_commit) dir =
       Metrics.incr m_recoveries;
       Trace.with_span ~cat:"storage" ~args:[ ("dir", dir) ] "recovery" (fun () ->
           if not (Sys.file_exists dir) then Sim_fs.mkdir dir;
+          (* Spill files are per-statement scratch; any found here were
+             orphaned by a crash mid-spill.  Remove them before recovery
+             proper. *)
+          let stray = Spill.prune_orphans dir in
+          if stray > 0 then
+            Trace.instant ~cat:"storage" "spill-pruned"
+              ~args:[ ("sessions", string_of_int stray) ];
           match Snapshot.current dir with
           | None ->
               (* Fresh (or pre-durability) directory: generation 0 is an

@@ -89,6 +89,27 @@ val set_budget : t -> int option -> unit
 (** [budget_bytes db] is the session's default memory budget, if any. *)
 val budget_bytes : t -> int option
 
+(** [set_spill db on] enables or disables out-of-core execution for
+    budgeted queries (default on).  When on, a budgeted statement gets a
+    per-query spill session: hash-join builds Grace-partition to disk,
+    group tables dump sorted runs, and sorts go external instead of
+    raising {!Aborted} [Resource_exhausted] — the abort only fires when
+    the working set exceeds the budget even with spilling (e.g. one
+    pathological key).  When off, exceeding the budget is a hard kill,
+    byte-for-byte the pre-spill behavior.  Spill files live under the
+    durable session's data directory (or the process tmpdir) and are
+    removed when the statement ends, however it ends. *)
+val set_spill : t -> bool -> unit
+
+(** [spill_enabled db] is whether budgeted queries may spill. *)
+val spill_enabled : t -> bool
+
+(** [last_abort_detail db] is the rich account of the most recent
+    governor abort in this session: the reason, and for budget kills also
+    peak bytes charged, the budget, and what spilling did (or that it was
+    disabled).  [None] until a governed statement aborts. *)
+val last_abort_detail : t -> string option
+
 (** [cancel db] asks the currently running query to abort with {!Aborted}
     [Cancelled] at its next governor check.  Safe to call from another
     domain while a query runs; if no query is running, the next governed

@@ -246,6 +246,312 @@ let sort_agg ?(gov = Governor.none) ~(keys : (Value.t array -> Value.t) list) ~s
     out
   end
 
+(* --- Spillable group-table builder (out-of-core aggregation) ------------- *)
+
+module Spill = Quill_storage.Spill
+
+(* A group's serialized image: the key values followed by a fixed 7-value
+   state snapshot per aggregate.  DISTINCT states carry a dedup table and
+   are not serializable, so DISTINCT builders simply never spill. *)
+let state_image st =
+  [
+    Value.Int st.count;
+    Value.Int st.sum_i;
+    Value.Float st.sum_f;
+    Value.Bool st.saw_float;
+    Value.Int st.non_null;
+    st.min_v;
+    st.max_v;
+  ]
+
+let state_width = 7
+
+let state_of_image (row : Value.t array) pos =
+  match (row.(pos), row.(pos + 1), row.(pos + 2), row.(pos + 3), row.(pos + 4)) with
+  | Value.Int count, Value.Int sum_i, Value.Float sum_f, Value.Bool saw_float,
+    Value.Int non_null ->
+      {
+        count;
+        sum_i;
+        sum_f;
+        saw_float;
+        non_null;
+        min_v = row.(pos + 5);
+        max_v = row.(pos + 6);
+        seen = None;
+      }
+  | _ -> raise (Spill.Error "spill: corrupt aggregate state image")
+
+let compare_key_lists a b =
+  let rec go a b =
+    match (a, b) with
+    | [], [] -> 0
+    | x :: a, y :: b ->
+        let c = Value.compare x y in
+        if c <> 0 then c else go a b
+    | [], _ :: _ -> -1
+    | _ :: _, [] -> 1
+  in
+  go a b
+
+type builder = {
+  b_gov : Governor.t;
+  b_keys : (Value.t array -> Value.t) list;
+  b_specs : spec list;
+  b_nspecs : int;
+  b_groups : (Value.t list, state list) Hashtbl.t;
+  b_order : Value.t list Vec.t;  (** first-seen key order *)
+  mutable b_charged : int;  (** live bytes this builder holds *)
+  mutable b_runs : Spill.run list;  (** newest first; each key-sorted *)
+  mutable b_handle : int option;
+  b_session : Spill.t option;
+}
+
+(* Snapshot the live table as a key-sorted (key, states) array — the shape
+   both spilled runs and the final merge work over. *)
+let sorted_entries b =
+  let v = Vec.create ~dummy:([], []) in
+  Vec.iter (fun k -> Vec.push v (k, Hashtbl.find b.b_groups k)) b.b_order;
+  let a = Vec.to_array v in
+  Array.sort (fun (x, _) (y, _) -> compare_key_lists x y) a;
+  a
+
+(* The builder's governor spill callback: dump the table as one key-sorted
+   run and release its memory.  Runs inside [charge]; must not charge. *)
+let spill_builder b =
+  match b.b_session with
+  | None -> 0
+  | Some sess ->
+      if Hashtbl.length b.b_groups = 0 then 0
+      else begin
+        let entries = sorted_entries b in
+        let w = Spill.start_run sess in
+        let run =
+          match
+            Array.iter
+              (fun (k, states) ->
+                Spill.add_row w
+                  (Array.of_list (k @ List.concat_map state_image states)))
+              entries;
+            Spill.finish_run w
+          with
+          | run -> run
+          | exception e ->
+              Spill.abandon w;
+              raise e
+        in
+        b.b_runs <- run :: b.b_runs;
+        Hashtbl.reset b.b_groups;
+        Vec.clear b.b_order;
+        let released = b.b_charged in
+        b.b_charged <- 0;
+        Governor.uncharge b.b_gov released;
+        released
+      end
+
+(** [create_builder ?gov ~keys ~specs ()] makes an incremental group
+    table.  With a spill-capable governor (and no DISTINCT aggregate) it
+    registers as a rank-2 spill target: under pressure the partial table
+    dumps as a key-sorted run and {!finish_builder} merges the runs with
+    {!merge_state}. *)
+let create_builder ?(gov = Governor.none) ~keys ~specs () =
+  let distinct = List.exists (fun s -> s.distinct) specs in
+  {
+    b_gov = gov;
+    b_keys = keys;
+    b_specs = specs;
+    b_nspecs = List.length specs;
+    b_groups = Hashtbl.create 64;
+    b_order = Vec.create ~dummy:[];
+    b_charged = 0;
+    b_runs = [];
+    b_handle = None;
+    b_session = (if distinct then None else Governor.spill_session gov);
+  }
+
+(* Spiller registration is deferred to the first upsert so the hook lands
+   on the domain that actually feeds the table: parallel workers' builders
+   are created by the coordinator ([Pdriver.fold]'s [init]), and a hook
+   registered there would let the coordinator's relieve pass reset a table
+   a worker is concurrently upserting. *)
+let ensure_registered b =
+  if b.b_session <> None && b.b_handle = None then
+    b.b_handle <-
+      Governor.register_spiller b.b_gov ~name:"hash-agg" ~cost:2 (fun () ->
+          spill_builder b)
+
+(** [feed_builder b row] upserts one row.  The fresh-group charge may
+    spill (and reset) the table mid-call; the new group then lands in the
+    fresh table — charge-before-insert keeps the two consistent. *)
+let feed_builder b row =
+  ensure_registered b;
+  Governor.tick b.b_gov;
+  let k = List.map (fun f -> f row) b.b_keys in
+  let states =
+    match Hashtbl.find_opt b.b_groups k with
+    | Some s -> s
+    | None ->
+        let bytes = group_bytes k b.b_nspecs in
+        Governor.charge b.b_gov bytes;
+        b.b_charged <- b.b_charged + bytes;
+        let s = List.map new_state b.b_specs in
+        Hashtbl.add b.b_groups k s;
+        Vec.push b.b_order k;
+        s
+  in
+  List.iter2 (fun spec st -> feed spec st row) b.b_specs states
+
+(** [merge_builders dst src] folds a worker's partial builder into [dst]:
+    in-memory tables merge group-wise, spilled runs pool (the final merge
+    is key-based, so provenance does not matter). *)
+let merge_builders dst src =
+  (match src.b_handle with
+  | Some id -> Governor.unregister_spiller src.b_gov id
+  | None -> ());
+  src.b_handle <- None;
+  merge_group_tables ~specs:dst.b_specs (dst.b_groups, dst.b_order)
+    (src.b_groups, src.b_order);
+  dst.b_runs <- src.b_runs @ dst.b_runs;
+  dst.b_charged <- dst.b_charged + src.b_charged;
+  src.b_charged <- 0
+
+(* One-element lookahead over a pull stream. *)
+let lookahead next =
+  let cur = ref None and filled = ref false in
+  let peek () =
+    if not !filled then begin
+      cur := next ();
+      filled := true
+    end;
+    !cur
+  in
+  let advance () = filled := false in
+  (peek, advance)
+
+(** [finish_builder ?ordered b] emits the group rows and releases the
+    builder's memory.  Never-spilled builders emit in first-seen order
+    ([emit_groups]), or key-ascending with [~ordered:true] (the
+    [sort_agg] contract); spilled builders k-way merge their key-sorted
+    runs with the in-memory remainder — external aggregation — and emit
+    key-ascending. *)
+let finish_builder ?(ordered = false) b =
+  (match b.b_handle with
+  | Some id -> Governor.unregister_spiller b.b_gov id
+  | None -> ());
+  b.b_handle <- None;
+  let specs = b.b_specs in
+  let release () =
+    Governor.uncharge b.b_gov b.b_charged;
+    b.b_charged <- 0
+  in
+  match b.b_runs with
+  | [] ->
+      let out =
+        if ordered && b.b_keys <> [] then begin
+          let entries = sorted_entries b in
+          let out = Vec.create ~dummy:[||] in
+          Array.iter
+            (fun (k, states) -> Vec.push out (output_row k states specs))
+            entries;
+          out
+        end
+        else emit_groups ~keys:b.b_keys ~specs b.b_groups b.b_order
+      in
+      release ();
+      out
+  | runs ->
+      Spill.note_merge ();
+      let nk = List.length b.b_keys in
+      let decode_entry (row : Value.t array) =
+        if Array.length row <> nk + (state_width * b.b_nspecs) then
+          raise (Spill.Error "spill: corrupt aggregate run row");
+        let k = Array.to_list (Array.sub row 0 nk) in
+        let states =
+          List.init b.b_nspecs (fun i ->
+              state_of_image row (nk + (state_width * i)))
+        in
+        (k, states)
+      in
+      let run_stream run =
+        let rd = Spill.open_run run in
+        let batch = ref [||] and i = ref 0 and closed = ref false in
+        let rec next () =
+          if !closed then None
+          else if !i < Array.length !batch then begin
+            let e = !batch.(!i) in
+            incr i;
+            Some (decode_entry e)
+          end
+          else
+            match Spill.next_batch rd with
+            | Some rows ->
+                batch := rows;
+                i := 0;
+                next ()
+            | None ->
+                closed := true;
+                Spill.close_reader ~delete:true rd;
+                (match b.b_session with
+                | Some s -> Spill.note_consumed s
+                | None -> ());
+                None
+        in
+        lookahead next
+      in
+      let mem_stream =
+        let mem = sorted_entries b in
+        let i = ref 0 in
+        lookahead (fun () ->
+            if !i < Array.length mem then begin
+              let e = mem.(!i) in
+              incr i;
+              Some e
+            end
+            else None)
+      in
+      let streams =
+        Array.of_list (mem_stream :: List.map run_stream (List.rev runs))
+      in
+      let out = Vec.create ~dummy:[||] in
+      let continue_ = ref true in
+      while !continue_ do
+        Governor.tick b.b_gov;
+        (* Minimum key across stream heads; each stream holds any key at
+           most once, so equal heads merge with one advance apiece. *)
+        let best = ref None in
+        Array.iter
+          (fun (peek, _) ->
+            match peek () with
+            | Some (k, _) -> (
+                match !best with
+                | Some bk when compare_key_lists bk k <= 0 -> ()
+                | _ -> best := Some k)
+            | None -> ())
+          streams;
+        match !best with
+        | None -> continue_ := false
+        | Some k ->
+            let acc = ref None in
+            Array.iter
+              (fun (peek, advance) ->
+                match peek () with
+                | Some (k2, states) when compare_key_lists k2 k = 0 -> (
+                    advance ();
+                    match !acc with
+                    | None -> acc := Some states
+                    | Some dst ->
+                        List.iter2
+                          (fun (spec, d) s -> merge_state spec d s)
+                          (List.combine specs dst) states)
+                | _ -> ())
+              streams;
+            (match !acc with
+            | Some states -> Vec.push out (output_row k states specs)
+            | None -> ())
+      done;
+      release ();
+      out
+
 (** [distinct rows] removes duplicate rows (whole-row comparison with SQL
     "NULLs are not distinct from each other" semantics), preserving first
     occurrence order. *)

@@ -1,5 +1,5 @@
 (* The per-query resource governor: deadlines, cooperative cancellation
-   and coarse memory budgets.
+   and coarse memory budgets — with graceful spilling under pressure.
 
    One governor travels with each query through {!Exec_ctx}; every engine
    polls it at batch/morsel boundaries ([tick]/[check]) and the allocating
@@ -10,12 +10,25 @@
    first worker failure and re-raises it on the caller after every slot
    finishes, so the pool stays healthy and the session stays usable.
 
-   Thread-safety: the abort state, cancel flag and byte counter are
-   atomics shared by all domains executing the query.  [ticks] is a plain
-   mutable counter with benign races — it only gates how often the
-   deadline is polled, so a lost increment merely delays one poll. *)
+   Spilling: when a {!Quill_storage.Spill} session is attached, the
+   budget is a gradient instead of a cliff.  Charges crossing the soft
+   watermark ([spill_threshold], ~80% of the budget) fire registered
+   spill callbacks — cheapest first, and only those owned by the calling
+   domain, so parallel workers spill their own partial state — and the
+   spiller releases memory with {!uncharge}.  [Resource_exhausted] then
+   remains only for queries that exceed the hard budget even after every
+   registrant spilled (or when spilling is disabled, the PR 3 ablation
+   baseline).  Without a spill session the accounting is monotone,
+   preserving the original kill behavior exactly.
+
+   Thread-safety: the abort state, cancel flag and byte counters are
+   atomics shared by all domains executing the query; the spiller
+   registry is a mutex-guarded list.  [ticks] is a plain mutable counter
+   with benign races — it only gates how often the deadline is polled, so
+   a lost increment merely delays one poll. *)
 
 module Value = Quill_storage.Value
+module Spill = Quill_storage.Spill
 
 type abort_reason = Timeout | Cancelled | Resource_exhausted
 
@@ -26,40 +39,95 @@ let reason_name = function
   | Cancelled -> "cancelled"
   | Resource_exhausted -> "resource exhausted"
 
+(* A registered spill callback: [sp_fn] dumps the registrant's in-memory
+   state to the session's spill files, uncharges it and returns the bytes
+   released.  It runs synchronously inside [charge] on the owning domain,
+   so it must not charge the governor itself (the registry mutex is not
+   reentrant). *)
+type spiller = {
+  sp_id : int;
+  sp_name : string;
+  sp_cost : int;  (** rank: lower spills first (sort spools < group tables < join builds) *)
+  sp_domain : int;  (** owning domain: only the owner may run [sp_fn] *)
+  sp_fn : unit -> int;
+}
+
+type spill_ctl = {
+  session : Spill.t;
+  threshold : int;  (** soft watermark in bytes *)
+  mutable spillers : spiller list;
+  mutable next_id : int;
+  lock : Mutex.t;
+}
+
 type t = {
   deadline : float;  (** absolute time ([Timer.now] scale); infinity = none *)
   budget : int;  (** byte budget; [max_int] = unlimited, accounting off *)
   cancel : bool Atomic.t;  (** session flag, consumed when the abort fires *)
-  used : int Atomic.t;  (** bytes charged so far (monotone, = peak) *)
+  used : int Atomic.t;  (** live bytes charged (monotone without spilling) *)
+  peak : int Atomic.t;  (** high-water mark of [used] *)
   state : abort_reason option Atomic.t;  (** set once by the abort winner *)
+  spill : spill_ctl option;  (** attached spill session, if any *)
   mutable ticks : int;
 }
 
-(* Aborts by reason, and the peak bytes charged by budgeted queries. *)
+(* Aborts by reason, spill events fired, and the peak bytes charged by
+   budgeted queries. *)
 let m_timeouts = Quill_obs.Metrics.counter "quill.governor.timeouts"
 let m_cancels = Quill_obs.Metrics.counter "quill.governor.cancels"
 let m_budget_kills = Quill_obs.Metrics.counter "quill.governor.budget_kills"
+let m_spills = Quill_obs.Metrics.counter "quill.governor.spills"
 let h_peak_bytes = Quill_obs.Metrics.histogram "quill.governor.peak_bytes"
 
-(** [create ?timeout_ms ?budget_bytes ?cancel ()] builds a governor whose
-    deadline is [timeout_ms] from now; [cancel] shares a session-level
-    flag so [Db.cancel] reaches the running query. *)
-let create ?timeout_ms ?budget_bytes ?cancel () =
+(** Default soft watermark: spilling starts at ~80% of the budget, so
+    the last 20% absorbs the allocation in flight while spillers drain. *)
+let default_threshold budget = budget / 5 * 4
+
+(** [create ?timeout_ms ?budget_bytes ?cancel ?spill ?spill_threshold ()]
+    builds a governor whose deadline is [timeout_ms] from now; [cancel]
+    shares a session-level flag so [Db.cancel] reaches the running query;
+    [spill] attaches a per-query spill session enabling graceful
+    degradation under the byte budget. *)
+let create ?timeout_ms ?budget_bytes ?cancel ?spill ?spill_threshold () =
+  let budget = match budget_bytes with Some b -> b | None -> max_int in
   {
     deadline =
       (match timeout_ms with
       | Some ms -> Quill_util.Timer.now () +. (Float.of_int ms /. 1000.0)
       | None -> Float.infinity);
-    budget = (match budget_bytes with Some b -> b | None -> max_int);
+    budget;
     cancel = (match cancel with Some c -> c | None -> Atomic.make false);
     used = Atomic.make 0;
+    peak = Atomic.make 0;
     state = Atomic.make None;
+    spill =
+      (match spill with
+      | Some session when budget <> max_int ->
+          Some
+            {
+              session;
+              threshold =
+                (match spill_threshold with
+                | Some th -> th
+                | None -> default_threshold budget);
+              spillers = [];
+              next_id = 0;
+              lock = Mutex.create ();
+            }
+      | _ -> None);
     ticks = 0;
   }
 
 (** [none] never aborts: the default for contexts built without a
     governor (tests, EXPLAIN, direct engine calls). *)
 let none = create ()
+
+(** [can_spill t] is true when a spill session is attached: operators use
+    it to pick their out-of-core code paths. *)
+let can_spill t = t.spill <> None
+
+(** [spill_session t] is the attached per-query spill session, if any. *)
+let spill_session t = Option.map (fun c -> c.session) t.spill
 
 let metric_of = function
   | Timeout -> m_timeouts
@@ -117,28 +185,158 @@ let value_bytes = function
 let row_bytes (row : Value.t array) =
   Array.fold_left (fun acc v -> acc + value_bytes v) (16 + (8 * Array.length row)) row
 
-(** [charge t bytes] accounts [bytes] against the budget and aborts with
-    [Resource_exhausted] once the total exceeds it.  A no-op (not even
-    counted) when no budget is set, so unbudgeted queries skip the
-    estimation cost entirely. *)
+(* --- Spiller registry --------------------------------------------------- *)
+
+(** [register_spiller t ~name ~cost fn] registers a spill callback owned
+    by the calling domain; [fn] must release memory (via {!uncharge}) and
+    return the bytes freed.  Returns [None] (and registers nothing) when
+    no spill session is attached, so operators can gate their spill paths
+    on the result.  Lower [cost] spills first. *)
+let register_spiller t ~name ~cost fn =
+  match t.spill with
+  | None -> None
+  | Some ctl ->
+      Mutex.lock ctl.lock;
+      let id = ctl.next_id in
+      ctl.next_id <- id + 1;
+      ctl.spillers <-
+        {
+          sp_id = id;
+          sp_name = name;
+          sp_cost = cost;
+          sp_domain = (Domain.self () :> int);
+          sp_fn = fn;
+        }
+        :: ctl.spillers;
+      Mutex.unlock ctl.lock;
+      Some id
+
+(** [unregister_spiller t id] removes a registration (operators do this
+    once their buffered phase ends, e.g. before a hash join probes). *)
+let unregister_spiller t id =
+  match t.spill with
+  | None -> ()
+  | Some ctl ->
+      Mutex.lock ctl.lock;
+      ctl.spillers <- List.filter (fun s -> s.sp_id <> id) ctl.spillers;
+      Mutex.unlock ctl.lock
+
+(* Fire this domain's registrants, cheapest first, until usage drops
+   under the watermark.  Runs under the registry mutex: a concurrent
+   domain crossing the watermark blocks until this spill completes, which
+   is the behavior we want — its own registrants fire next if usage is
+   still high.  [sp_fn] must therefore never call [charge]. *)
+let relieve t ctl =
+  Mutex.lock ctl.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock ctl.lock)
+    (fun () ->
+      let me = (Domain.self () :> int) in
+      let mine =
+        List.sort
+          (fun a b -> compare (a.sp_cost, a.sp_id) (b.sp_cost, b.sp_id))
+          (List.filter (fun s -> s.sp_domain = me) ctl.spillers)
+      in
+      List.iter
+        (fun s ->
+          if Atomic.get t.used > ctl.threshold then begin
+            let released = s.sp_fn () in
+            if released > 0 then begin
+              Quill_obs.Metrics.incr m_spills;
+              if not (Quill_parallel.Pool.in_parallel_region ()) then
+                Quill_obs.Trace.instant ~cat:"governor"
+                  ~args:
+                    [ ("op", s.sp_name); ("released", string_of_int released) ]
+                  "spill"
+            end
+          end)
+        mine)
+
+(** [charge t bytes] accounts [bytes] against the budget.  Crossing the
+    soft watermark fires this domain's spill callbacks (cheapest first);
+    the query aborts with [Resource_exhausted] only if usage still
+    exceeds the hard budget afterwards — or immediately when no spill
+    session is attached.  A no-op (not even counted) when no budget is
+    set, so unbudgeted queries skip the estimation cost entirely. *)
 let charge t bytes =
   if t.budget <> max_int && bytes > 0 then begin
     let before = Atomic.fetch_and_add t.used bytes in
-    if before + bytes > t.budget then abort t Resource_exhausted
+    let now = before + bytes in
+    let rec bump_peak () =
+      let p = Atomic.get t.peak in
+      if now > p && not (Atomic.compare_and_set t.peak p now) then bump_peak ()
+    in
+    bump_peak ();
+    match t.spill with
+    | None -> if now > t.budget then abort t Resource_exhausted
+    | Some ctl ->
+        if now > ctl.threshold then relieve t ctl;
+        if Atomic.get t.used > t.budget then begin
+          (* Only the owning domain may run a spiller, so under morsel
+             parallelism the memory that matters may belong to a sibling
+             worker this domain cannot touch.  Those workers are charging
+             too: give them a short grace window to cross the watermark
+             and spill their own state (relieve blocks on the registry
+             mutex while a sibling's spill is in flight, which is exactly
+             the wait we want) before declaring true starvation. *)
+          let give_up = Quill_util.Timer.now () +. 0.01 in
+          while
+            Atomic.get t.used > t.budget && Quill_util.Timer.now () < give_up
+          do
+            relieve t ctl;
+            Domain.cpu_relax ()
+          done;
+          if Atomic.get t.used > t.budget then abort t Resource_exhausted
+        end
   end
+
+(** [uncharge t bytes] releases previously charged bytes after a spill.
+    Only meaningful in spill mode — without a session the counter stays
+    monotone so the PR 3 kill/accounting behavior is bit-identical. *)
+let uncharge t bytes =
+  if t.budget <> max_int && t.spill <> None && bytes > 0 then
+    ignore (Atomic.fetch_and_add t.used (-bytes))
 
 (** [charge_row ?overhead t row] charges one materialized row plus fixed
     per-entry [overhead] (hash buckets, table slots). *)
 let charge_row ?(overhead = 0) t row =
   if t.budget <> max_int then charge t (overhead + row_bytes row)
 
-(** [used_bytes t] is the bytes charged so far (monotone: allocation
-    peaks, not live bytes). *)
+(** [charge_result t row] charges a top-level result row.  In spill mode
+    this is a no-op: the budget governs operator working memory (which
+    spills), not result delivery — otherwise any over-budget result set
+    would kill a query that spilled its way through every operator. *)
+let charge_result t row = if t.spill = None then charge_row t row
+
+(** [used_bytes t] is the bytes currently charged (live bytes in spill
+    mode; monotone peak otherwise). *)
 let used_bytes t = Atomic.get t.used
+
+(** [peak_bytes t] is the high-water mark of charged bytes. *)
+let peak_bytes t = Atomic.get t.peak
 
 (** [observe_peak t] records the query's peak charged bytes in the
     [quill.governor.peak_bytes] histogram; called once per budgeted query
     by [Db] when execution ends (normally or by abort). *)
 let observe_peak t =
-  let peak = Atomic.get t.used in
+  let peak = Atomic.get t.peak in
   if peak > 0 then Quill_obs.Metrics.observe h_peak_bytes (Float.of_int peak)
+
+(** [abort_detail t] is a human-readable account of why the query died:
+    the reason plus — for budget kills — peak bytes charged, the budget,
+    and what spilling did (or that it was disabled).  [None] if the query
+    was not aborted. *)
+let abort_detail t =
+  match Atomic.get t.state with
+  | None -> None
+  | Some Resource_exhausted ->
+      Some
+        (Printf.sprintf "resource exhausted: peak %d bytes charged, budget %d bytes%s"
+           (Atomic.get t.peak) t.budget
+           (match t.spill with
+           | Some ctl ->
+               Printf.sprintf " (spilled %d bytes in %d runs)"
+                 (Spill.bytes_spilled ctl.session)
+                 (Spill.runs_written ctl.session)
+           | None -> " (spilling disabled)"))
+  | Some r -> Some (reason_name r)

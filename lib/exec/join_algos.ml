@@ -100,6 +100,217 @@ let hash_join ?(gov = Governor.none) ?(mode = Inner) ?right_arity ~keys ~residua
     probe;
   out
 
+(* --- Grace-style hybrid hash join (out-of-core) -------------------------- *)
+
+module Spill = Quill_storage.Spill
+
+let fanout = 8
+
+(* Recursion depth cap: a partition that will not shrink (every row one
+   key) stops splitting here and joins in memory — possibly aborting,
+   which is the correct "exceeds budget even with spilling" outcome. *)
+let max_level = 3
+
+(* Level-salted partition index: each recursion level re-splits with a
+   fresh salt, so a level's bucket skew does not survive into the next. *)
+let part_index level h =
+  (Hashing.combine (Hashing.mix_int (0x5bd1e995 + level)) h land max_int)
+  mod fanout
+
+(** [spill_hash_join ~gov ~keys ~residual ~build_left ~right_arity ~emit
+    left right] is the out-of-core [hash_join]: a hybrid Grace hash join
+    over spooled inputs.  The build side starts as an ordinary in-memory
+    hash table registered as a governor spill target (rank 3, the most
+    expensive); if budget pressure fires it, the table dumps into
+    [fanout] level-salted spill partitions, subsequent build rows stream
+    straight to their partition, the probe side is partitioned the same
+    way, and each build/probe partition pair recurses (fan-in joins stay
+    in memory whenever they now fit — hybrid, not pure Grace).  Output
+    rows go to [emit] uncharged; the consumer accounts for whatever it
+    retains.  Requires a spill-capable governor. *)
+let spill_hash_join ?(mode = Inner) ~gov ~keys ~residual ~build_left
+    ~right_arity ~emit (left : Spool.set) (right : Spool.set) =
+  assert (not (mode = Left_outer && build_left));
+  let sess =
+    match Governor.spill_session gov with
+    | Some s -> s
+    | None -> invalid_arg "spill_hash_join: governor has no spill session"
+  in
+  let lcols = List.map fst keys and rcols = List.map snd keys in
+  let bcols, pcols = if build_left then (lcols, rcols) else (rcols, lcols) in
+  let pad =
+    let padding = Array.make right_arity Value.Null in
+    fun l -> concat_rows l padding
+  in
+  let emit_pair matched brow prow =
+    let row =
+      if build_left then concat_rows brow prow else concat_rows prow brow
+    in
+    match residual with
+    | Some p when not (p row) -> ()
+    | _ ->
+        matched := true;
+        emit row
+  in
+  (* Lazily opened per-partition writers; empty partitions cost nothing. *)
+  let writer slots i =
+    match slots.(i) with
+    | Some w -> w
+    | None ->
+        let w = Spill.start_run sess in
+        slots.(i) <- Some w;
+        w
+  in
+  let finish_all slots =
+    Array.init fanout (fun i ->
+        match slots.(i) with
+        | None -> None
+        | Some w ->
+            slots.(i) <- None;
+            Some (Spill.finish_run w))
+  in
+  let abandon_all slots =
+    Array.iteri
+      (fun i w ->
+        match w with
+        | Some w ->
+            slots.(i) <- None;
+            (try Spill.abandon w with _ -> ())
+        | None -> ())
+      slots
+  in
+  let consume_run run f =
+    Spill.iter_run ~delete:true run f;
+    Spill.note_consumed sess
+  in
+  let drop_run run =
+    Spill.delete_run run;
+    Spill.note_consumed sess
+  in
+  (* [build_feed]/[probe_feed] iterate one level's input rows; level 0
+     feeds from the spools, deeper levels from partition runs. *)
+  let rec join_level level build_feed probe_feed =
+    let table : (int, (Value.t list * Value.t array) list ref) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let charged = ref 0 in
+    let partitioned = ref false in
+    let bwriters = Array.make fanout None in
+    let pwriters = Array.make fanout None in
+    (* The governor's spill callback: dump the live table into the level's
+       partitions and release its memory.  Runs inside [charge] on this
+       domain, so it must not charge. *)
+    let spill_build () =
+      if !partitioned then 0
+      else begin
+        partitioned := true;
+        Spill.note_partitions fanout;
+        Hashtbl.iter
+          (fun h bucket ->
+            List.iter
+              (fun (_, row) ->
+                Spill.add_row (writer bwriters (part_index level h)) row)
+              !bucket)
+          table;
+        Hashtbl.reset table;
+        let released = !charged in
+        charged := 0;
+        Governor.uncharge gov released;
+        released
+      end
+    in
+    let handle =
+      if level < max_level then
+        Governor.register_spiller gov ~name:"hash-join-build" ~cost:3
+          spill_build
+      else None
+    in
+    let unregister () =
+      match handle with
+      | Some id -> Governor.unregister_spiller gov id
+      | None -> ()
+    in
+    try
+      build_feed (fun row ->
+          Governor.tick gov;
+          match key_of bcols row with
+          | None -> ()
+          | Some k ->
+              let h = hash_key k in
+              if !partitioned then
+                Spill.add_row (writer bwriters (part_index level h)) row
+              else begin
+                (* Charge before inserting: the charge may fire
+                   [spill_build], which empties the table — the row then
+                   belongs to a partition, not the (stale) table. *)
+                Governor.charge_row ~overhead:48 gov row;
+                if !partitioned then begin
+                  Governor.uncharge gov (48 + Governor.row_bytes row);
+                  Spill.add_row (writer bwriters (part_index level h)) row
+                end
+                else begin
+                  charged := !charged + 48 + Governor.row_bytes row;
+                  match Hashtbl.find_opt table h with
+                  | Some l -> l := (k, row) :: !l
+                  | None -> Hashtbl.add table h (ref [ (k, row) ])
+                end
+              end);
+      (* The probe retains the table (non-partitioned case): it can no
+         longer spill, so deregister before probing.  A parent operator
+         that still cannot fit aborts — correctly. *)
+      unregister ();
+      if not !partitioned then begin
+        probe_feed (fun prow ->
+            Governor.tick gov;
+            let matched = ref false in
+            (match key_of pcols prow with
+            | None -> ()
+            | Some k -> (
+                match Hashtbl.find_opt table (hash_key k) with
+                | None -> ()
+                | Some bucket ->
+                    List.iter
+                      (fun (bk, brow) ->
+                        if keys_equal bk k then emit_pair matched brow prow)
+                      !bucket));
+            if mode = Left_outer && not !matched then emit (pad prow));
+        Governor.uncharge gov !charged;
+        charged := 0
+      end
+      else begin
+        let build_runs = finish_all bwriters in
+        probe_feed (fun prow ->
+            Governor.tick gov;
+            match key_of pcols prow with
+            | None -> if mode = Left_outer then emit (pad prow)
+            | Some k ->
+                Spill.add_row
+                  (writer pwriters (part_index level (hash_key k)))
+                  prow);
+        let probe_runs = finish_all pwriters in
+        for i = 0 to fanout - 1 do
+          match (build_runs.(i), probe_runs.(i)) with
+          | None, None -> ()
+          | Some b, None -> drop_run b
+          | None, Some p ->
+              (* No build rows: inner drops the partition wholesale,
+                 outer pads every preserved probe row. *)
+              if mode = Left_outer then
+                consume_run p (fun prow -> emit (pad prow))
+              else drop_run p
+          | Some b, Some p ->
+              join_level (level + 1) (consume_run b) (consume_run p)
+        done
+      end
+    with e ->
+      unregister ();
+      abandon_all bwriters;
+      abandon_all pwriters;
+      raise e
+  in
+  let build_set, probe_set = if build_left then (left, right) else (right, left) in
+  join_level 0 (Spool.consume build_set) (Spool.consume probe_set)
+
 (** [merge_join ~keys ~residual left right] sorts both inputs on the join
     keys and merges, pairing equal-key runs. *)
 let merge_join ?(gov = Governor.none) ?(mode = Inner) ?right_arity ~keys ~residual

@@ -410,8 +410,10 @@ let of_rows ncols rows =
   }
 
 (* Pipeline breakers materialize through [drain]: one deadline check and
-   one budget charge per batch of buffered rows. *)
-let drain ?(gov = Governor.none) it =
+   one budget charge per batch of buffered rows.  [~result] marks the
+   top-level result drain, whose rows are charged as result delivery
+   (uncharged in spill mode). *)
+let drain ?(gov = Governor.none) ?(result = false) it =
   let out = Vec.create ~dummy:[||] in
   let rec go () =
     match it.next_batch () with
@@ -419,7 +421,8 @@ let drain ?(gov = Governor.none) it =
         Governor.check gov;
         Array.iter
           (fun r ->
-            Governor.charge_row gov r;
+            if result then Governor.charge_result gov r
+            else Governor.charge_row gov r;
             Vec.push out r)
           (rows_of_batch b);
         go ()
@@ -427,6 +430,21 @@ let drain ?(gov = Governor.none) it =
   in
   go ();
   Vec.to_array out
+
+(* Out-of-core drain: buffer the child through a governor-registered
+   spool, which dumps to spill runs instead of dying under the budget. *)
+let drain_spool ?keys ~name ~gov it =
+  let sp = Spool.create ?keys ~name gov in
+  let rec go () =
+    match it.next_batch () with
+    | Some b ->
+        Governor.check gov;
+        Array.iter (Spool.add sp) (rows_of_batch b);
+        go ()
+    | None -> it.close ()
+  in
+  go ();
+  Spool.finish sp
 
 (* [needed] is the set of this operator's output columns the consumer
    reads; scans skip materializing the rest. *)
@@ -617,8 +635,6 @@ let rec build ctx counter plan ~needed : biter =
         let needed_l = IntSet.filter (fun i -> i < la) all in
         let needed_r = IntSet.map (fun i -> i - la) (IntSet.filter (fun i -> i >= la) all) in
         let gov = ctx.governor in
-        let lrows = drain ~gov (build ctx counter left ~needed:needed_l) in
-        let rrows = drain ~gov (build ctx counter right ~needed:needed_r) in
         let residual_fn =
           Option.map (fun e row -> Bexpr.eval_pred ~row ~params:ctx.params e) residual
         in
@@ -628,19 +644,36 @@ let rec build ctx counter plan ~needed : biter =
           | Lplan.Left_outer -> Join_algos.Left_outer
         in
         let right_arity = Quill_storage.Schema.arity (Physical.schema_of right) in
-        let out =
-          match algo with
-          | Physical.Hash_join ->
-              Join_algos.hash_join ~gov ~mode ~right_arity ~keys ~residual:residual_fn
-                ~build_left lrows rrows
-          | Physical.Merge_join ->
-              Join_algos.merge_join ~gov ~mode ~right_arity ~keys ~residual:residual_fn
-                lrows rrows
-          | Physical.Block_nl ->
-              Join_algos.block_nl_join ~gov ~mode ~right_arity ~pred:residual_fn lrows
-                rrows
-        in
-        of_rows (ncols plan) (Vec.to_array out)
+        if algo = Physical.Hash_join && Governor.can_spill gov then begin
+          (* Out-of-core: spool both sides (spillable) and Grace-join. *)
+          let lset =
+            drain_spool ~name:"join-input" ~gov (build ctx counter left ~needed:needed_l)
+          in
+          let rset =
+            drain_spool ~name:"join-input" ~gov (build ctx counter right ~needed:needed_r)
+          in
+          let out = Vec.create ~dummy:[||] in
+          Join_algos.spill_hash_join ~gov ~mode ~keys ~residual:residual_fn
+            ~build_left ~right_arity ~emit:(Vec.push out) lset rset;
+          of_rows (ncols plan) (Vec.to_array out)
+        end
+        else begin
+          let lrows = drain ~gov (build ctx counter left ~needed:needed_l) in
+          let rrows = drain ~gov (build ctx counter right ~needed:needed_r) in
+          let out =
+            match algo with
+            | Physical.Hash_join ->
+                Join_algos.hash_join ~gov ~mode ~right_arity ~keys ~residual:residual_fn
+                  ~build_left lrows rrows
+            | Physical.Merge_join ->
+                Join_algos.merge_join ~gov ~mode ~right_arity ~keys ~residual:residual_fn
+                  lrows rrows
+            | Physical.Block_nl ->
+                Join_algos.block_nl_join ~gov ~mode ~right_arity ~pred:residual_fn lrows
+                  rrows
+          in
+          of_rows (ncols plan) (Vec.to_array out)
+        end
     | Physical.Aggregate { algo; keys; aggs; input; _ } ->
         let needed_in =
           List.fold_left
@@ -655,7 +688,6 @@ let rec build ctx counter plan ~needed : biter =
               | None -> acc)
             needed_in aggs
         in
-        let rows = drain ~gov:ctx.governor (build ctx counter input ~needed:needed_in) in
         let key_fns = List.map (fun (e, _) row -> Bexpr.eval ~row ~params:ctx.params e) keys in
         let specs =
           List.map
@@ -669,13 +701,35 @@ let rec build ctx counter plan ~needed : biter =
             aggs
         in
         let out =
-          match algo with
-          | Physical.Hash_agg ->
-              (* Parallel feed over the drained rows; degrades to the
-                 serial hash_agg for DISTINCT and parallelism 1. *)
-              Agg_algos.par_hash_agg ~gov:ctx.governor ~workers:(Pool.parallelism ())
-                ~keys:key_fns ~specs rows
-          | Physical.Sort_agg -> Agg_algos.sort_agg ~gov:ctx.governor ~keys:key_fns ~specs rows
+          if Governor.can_spill ctx.governor then begin
+            (* Out-of-core: stream batches into a spillable group builder
+               (serial — the builder's spill hook is domain-owned). *)
+            let b =
+              Agg_algos.create_builder ~gov:ctx.governor ~keys:key_fns ~specs ()
+            in
+            let child = build ctx counter input ~needed:needed_in in
+            let rec go () =
+              match child.next_batch () with
+              | Some bt ->
+                  Governor.check ctx.governor;
+                  iter_lanes bt (fun i -> Agg_algos.feed_builder b (row_of bt i));
+                  go ()
+              | None -> child.close ()
+            in
+            go ();
+            Agg_algos.finish_builder ~ordered:(algo = Physical.Sort_agg) b
+          end
+          else
+            let rows =
+              drain ~gov:ctx.governor (build ctx counter input ~needed:needed_in)
+            in
+            match algo with
+            | Physical.Hash_agg ->
+                (* Parallel feed over the drained rows; degrades to the
+                   serial hash_agg for DISTINCT and parallelism 1. *)
+                Agg_algos.par_hash_agg ~gov:ctx.governor ~workers:(Pool.parallelism ())
+                  ~keys:key_fns ~specs rows
+            | Physical.Sort_agg -> Agg_algos.sort_agg ~gov:ctx.governor ~keys:key_fns ~specs rows
         in
         of_rows (ncols plan) (Vec.to_array out)
     | Physical.Window { specs; input; _ } ->
@@ -698,6 +752,14 @@ let rec build ctx counter plan ~needed : biter =
             specs
         in
         of_rows (ncols plan) (Window_algos.run ~specs:wspecs rows)
+    | Physical.Sort { keys; input; _ } when Governor.can_spill ctx.governor ->
+        (* Out-of-core: a keyed spool is an external merge sort. *)
+        let needed_in = IntSet.union needed (IntSet.of_list (List.map fst keys)) in
+        let set =
+          drain_spool ~keys ~name:"sort" ~gov:ctx.governor
+            (build ctx counter input ~needed:needed_in)
+        in
+        of_rows (ncols plan) (Spool.to_array set)
     | Physical.Sort { keys; input; _ } ->
         let needed_in = IntSet.union needed (IntSet.of_list (List.map fst keys)) in
         let rows = drain ~gov:ctx.governor (build ctx counter input ~needed:needed_in) in
@@ -708,7 +770,7 @@ let rec build ctx counter plan ~needed : biter =
         let child = build ctx counter input ~needed:needed_in in
         let cmp = Sort_algos.row_compare keys in
         let heap =
-          Topk.create ~gov:ctx.governor ~bytes:Governor.row_bytes ~cmp
+          Topk.create ~gov:ctx.governor ~bytes:Governor.row_bytes ~keys ~cmp
             ~k:(k + offset) ~dummy:[||] ()
         in
         let rec fill () =
@@ -762,5 +824,5 @@ let rec build ctx counter plan ~needed : biter =
 let run ctx plan =
   let counter = ref 0 in
   let arity = Quill_storage.Schema.arity (Physical.schema_of plan) in
-  drain ~gov:ctx.governor
+  drain ~gov:ctx.governor ~result:true
     (build ctx counter plan ~needed:(IntSet.of_list (List.init arity Fun.id)))

@@ -46,20 +46,37 @@ let observed ctx id iter =
 
 (* Pipeline breakers materialize through [drain]; it is where the
    governor sees every buffered row (budget) and where blocking operators
-   keep polling the deadline even when their children don't. *)
-let drain ?(gov = Governor.none) iter =
+   keep polling the deadline even when their children don't.  [~result]
+   marks the top-level result drain, whose rows are charged as result
+   delivery (uncharged in spill mode). *)
+let drain ?(gov = Governor.none) ?(result = false) iter =
   let out = Vec.create ~dummy:[||] in
   let rec go () =
     match iter.next () with
     | Some row ->
         Governor.tick gov;
-        Governor.charge_row gov row;
+        if result then Governor.charge_result gov row
+        else Governor.charge_row gov row;
         Vec.push out row;
         go ()
     | None -> iter.close ()
   in
   go ();
   Vec.to_array out
+
+(* Out-of-core drain: buffer the child through a governor-registered
+   spool, which dumps to spill runs instead of dying under the budget. *)
+let drain_spool ?keys ~name ~gov iter =
+  let sp = Spool.create ?keys ~name gov in
+  let rec go () =
+    match iter.next () with
+    | Some row ->
+        Spool.add sp row;
+        go ()
+    | None -> iter.close ()
+  in
+  go ();
+  Spool.finish sp
 
 let of_array rows =
   let pos = ref 0 in
@@ -177,6 +194,22 @@ let rec build ctx counter plan : iter =
                   Some (Array.map (fun e -> Bexpr.eval ~row ~params:ctx.params e) exprs));
           close = child.close;
         }
+    | Physical.Join
+        { algo = Physical.Hash_join; kind; keys; residual; build_left; left; right; _ }
+      when Governor.can_spill ctx.governor ->
+        (* Out-of-core: spool both sides (spillable) and Grace-join them. *)
+        let gov = ctx.governor in
+        let lset = drain_spool ~name:"join-input" ~gov (build ctx counter left) in
+        let rset = drain_spool ~name:"join-input" ~gov (build ctx counter right) in
+        let residual_fn = Option.map (fun e -> pred_fn ctx e) residual in
+        let mode =
+          match kind with Lplan.Inner -> Join_algos.Inner | Lplan.Left_outer -> Join_algos.Left_outer
+        in
+        let right_arity = Quill_storage.Schema.arity (Physical.schema_of right) in
+        let out = Vec.create ~dummy:[||] in
+        Join_algos.spill_hash_join ~gov ~mode ~keys ~residual:residual_fn
+          ~build_left ~right_arity ~emit:(Vec.push out) lset rset;
+        of_vec out
     | Physical.Join { algo; kind; keys; residual; build_left; left; right; _ } ->
         let gov = ctx.governor in
         let lrows = drain ~gov (build ctx counter left) in
@@ -199,7 +232,6 @@ let rec build ctx counter plan : iter =
         in
         of_vec out
     | Physical.Aggregate { algo; keys; aggs; input; _ } ->
-        let rows = drain ~gov:ctx.governor (build ctx counter input) in
         let key_fns =
           List.map (fun (e, _) row -> Bexpr.eval ~row ~params:ctx.params e) keys
         in
@@ -218,11 +250,30 @@ let rec build ctx counter plan : iter =
             aggs
         in
         let out =
-          match algo with
-          | Physical.Hash_agg ->
-              Agg_algos.hash_agg ~gov:ctx.governor ~keys:key_fns ~specs rows
-          | Physical.Sort_agg ->
-              Agg_algos.sort_agg ~gov:ctx.governor ~keys:key_fns ~specs rows
+          if Governor.can_spill ctx.governor then begin
+            (* Out-of-core: stream rows into a spillable group builder
+               instead of materializing the input first. *)
+            let b =
+              Agg_algos.create_builder ~gov:ctx.governor ~keys:key_fns ~specs ()
+            in
+            let child = build ctx counter input in
+            let rec go () =
+              match child.next () with
+              | Some row ->
+                  Agg_algos.feed_builder b row;
+                  go ()
+              | None -> child.close ()
+            in
+            go ();
+            Agg_algos.finish_builder ~ordered:(algo = Physical.Sort_agg) b
+          end
+          else
+            let rows = drain ~gov:ctx.governor (build ctx counter input) in
+            match algo with
+            | Physical.Hash_agg ->
+                Agg_algos.hash_agg ~gov:ctx.governor ~keys:key_fns ~specs rows
+            | Physical.Sort_agg ->
+                Agg_algos.sort_agg ~gov:ctx.governor ~keys:key_fns ~specs rows
         in
         of_vec out
     | Physical.Window { specs; input; _ } ->
@@ -244,6 +295,13 @@ let rec build ctx counter plan : iter =
             specs
         in
         of_array (Window_algos.run ~specs:wspecs rows)
+    | Physical.Sort { keys; input; _ } when Governor.can_spill ctx.governor ->
+        (* Out-of-core: a keyed spool is an external merge sort. *)
+        let set =
+          drain_spool ~keys ~name:"sort" ~gov:ctx.governor
+            (build ctx counter input)
+        in
+        of_array (Spool.to_array set)
     | Physical.Sort { keys; input; _ } ->
         let rows = drain ~gov:ctx.governor (build ctx counter input) in
         Sort_algos.sort_rows keys rows;
@@ -252,7 +310,7 @@ let rec build ctx counter plan : iter =
         let child = build ctx counter input in
         let cmp = Sort_algos.row_compare keys in
         let heap =
-          Topk.create ~gov:ctx.governor ~bytes:Governor.row_bytes ~cmp
+          Topk.create ~gov:ctx.governor ~bytes:Governor.row_bytes ~keys ~cmp
             ~k:(k + offset) ~dummy:[||] ()
         in
         let rec fill () =
@@ -298,4 +356,4 @@ let rec build ctx counter plan : iter =
 (** [run ctx plan] executes [plan] and returns all result rows. *)
 let run ctx plan =
   let counter = ref 0 in
-  drain ~gov:ctx.governor (build ctx counter plan)
+  drain ~gov:ctx.governor ~result:true (build ctx counter plan)

@@ -187,10 +187,22 @@ let index_scan ~total ~matches ~row_width =
    applies. *)
 let budget_penalty = 64.0
 
-(** [budget_penalize ?budget ~bytes cost] multiplies [cost] by
-    {!budget_penalty} when the estimated working set [bytes] exceeds the
-    byte [budget]; no-op without a budget. *)
-let budget_penalize ?budget ~bytes cost =
+(* With spilling enabled the over-budget case is no longer a kill: the
+   operator partitions to disk and re-reads, so the honest price is I/O,
+   not doom.  Grace-style spilling writes and re-reads the working set
+   once per recursion level; one level covers the common case, so charge
+   one write + one read pass at spill-device bandwidth. *)
+let spill_byte = 0.02
+
+(** [budget_penalize ?budget ?spill ~bytes cost] prices the case where
+    the estimated working set [bytes] exceeds the byte [budget]: with
+    [spill] (the operator can partition to disk) it adds a
+    write-plus-read I/O term at {!spill_byte}; without, it multiplies by
+    {!budget_penalty} — the governor would kill the plan.  No-op without
+    a budget or when the working set fits. *)
+let budget_penalize ?budget ?(spill = false) ~bytes cost =
   match budget with
-  | Some b when bytes > Float.of_int b -> cost *. budget_penalty
+  | Some b when bytes > Float.of_int b ->
+      if spill then cost +. (2.0 *. bytes *. spill_byte)
+      else cost *. budget_penalty
   | _ -> cost

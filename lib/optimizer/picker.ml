@@ -30,6 +30,10 @@ type options = {
           estimated working set exceeds it are cost-penalized
           ({!Cost.budget_penalize}), steering the picker to streaming
           alternatives the governor won't kill. *)
+  spill : bool;
+      (** out-of-core execution is available: over-budget hash join /
+          hash agg pays an honest spill-I/O term instead of the kill
+          penalty ({!Cost.budget_penalize}'s [?spill]). *)
 }
 
 let default_options =
@@ -42,6 +46,7 @@ let default_options =
     enable_index = true;
     parallelism = 1;
     budget_bytes = None;
+    spill = true;
   }
 
 let width_of (card : Card.t) set =
@@ -284,12 +289,25 @@ let rec convert env opts plan ~needed : Physical.t =
           Cost.hash_join ~workers:opts.parallelism ~build:rrows ~probe:lrows ~out
             ~build_width:rw ()
       in
-      (* Under a memory budget, a hash build that won't fit is a governor
-         kill waiting to happen; penalize it so streaming joins win. *)
+      (* Under a memory budget, a hash build that won't fit either
+         Grace-spills (honest I/O term) or is a governor kill waiting to
+         happen (steep penalty so streaming joins win). *)
       let hash_cost =
         let brows, bw = if build_left then (lrows, lw) else (rrows, rw) in
-        Cost.budget_penalize ?budget:opts.budget_bytes
+        Cost.budget_penalize ?budget:opts.budget_bytes ~spill:opts.spill
           ~bytes:(brows *. (bw +. 64.0)) hash_cost
+      in
+      (* Merge and block-nl joins materialize BOTH inputs with no spill
+         path: in spill mode an over-budget working set is still a kill
+         for them, while the hash join Grace-partitions through it — so
+         penalize them symmetrically.  With spilling off the pre-spill
+         costing applies unchanged (everything is a kill; relative order
+         was already right). *)
+      let unspillable_pen cost =
+        if opts.spill then
+          Cost.budget_penalize ?budget:opts.budget_bytes
+            ~bytes:((lrows *. lw) +. (rrows *. rw)) cost
+        else cost
       in
       let merge_cost =
         if pairs = [] then Float.infinity
@@ -304,13 +322,16 @@ let rec convert env opts plan ~needed : Physical.t =
                 | _ -> false)
             | _ -> false
           in
-          Cost.merge_join ~left:lrows ~right:rrows ~out ~lw ~rw ~left_sorted:false
-            ~right_sorted:false ~int_keys ()
+          unspillable_pen
+            (Cost.merge_join ~left:lrows ~right:rrows ~out ~lw ~rw ~left_sorted:false
+               ~right_sorted:false ~int_keys ())
         end
       in
       let nl_cost =
-        if lrows <= rrows then Cost.block_nl_join ~outer:rrows ~inner:lrows ~out ~inner_width:lw
-        else Cost.block_nl_join ~outer:lrows ~inner:rrows ~out ~inner_width:rw
+        unspillable_pen
+          (if lrows <= rrows then
+             Cost.block_nl_join ~outer:rrows ~inner:lrows ~out ~inner_width:lw
+           else Cost.block_nl_join ~outer:lrows ~inner:rrows ~out ~inner_width:rw)
       in
       let algo, self_cost =
         match opts.force_join with
@@ -367,10 +388,15 @@ let rec convert env opts plan ~needed : Physical.t =
       let groups = card.Card.rows in
       let key_width = 8.0 *. Float.of_int (List.length keys) in
       let hash_cost = Cost.hash_agg ~workers:opts.parallelism ~rows ~groups ~key_width () in
-      (* The group table is this operator's resident working set; under a
-         budget it cannot fit, prefer sort-agg (sorted runs, O(1) state). *)
+      (* The group table is this operator's resident working set; when it
+         cannot fit the budget it spills partial tables as sorted runs
+         (honest I/O term) — except DISTINCT aggregates, whose per-group
+         dedup sets are not spillable, so those still price as a kill. *)
       let hash_cost =
-        Cost.budget_penalize ?budget:opts.budget_bytes
+        let spillable =
+          opts.spill && List.for_all (fun (a, _) -> not a.Lplan.distinct) aggs
+        in
+        Cost.budget_penalize ?budget:opts.budget_bytes ~spill:spillable
           ~bytes:(groups *. (key_width +. 32.0)) hash_cost
       in
       let sort_cost = Cost.sort_agg ~rows ~width:(full_width in_card) ~sorted:false in

@@ -110,9 +110,17 @@ let response_of_result = function
   | Db.Affected n -> Wire.Affected n
   | Db.Text s -> Wire.Text s
 
-let response_of_error = function
+let response_of_error db = function
   | Db.Conflict m -> Wire.Err (Wire.Conflict_err, m)
-  | Db.Aborted r -> Wire.Err (Wire.Aborted_err, Db.abort_reason_name r)
+  | Db.Aborted r ->
+      (* The governor's account (peak bytes, budget, what spilling did)
+         beats the bare reason name when the session recorded one. *)
+      let detail =
+        match Db.last_abort_detail db with
+        | Some d -> d
+        | None -> Db.abort_reason_name r
+      in
+      Wire.Err (Wire.Aborted_err, detail)
   | Db.Error m -> Wire.Err (Wire.Generic, m)
   | Wire.Protocol_error m -> Wire.Err (Wire.Protocol_err, m)
   | e -> Wire.Err (Wire.Generic, Printexc.to_string e)
@@ -127,7 +135,7 @@ let run_statement t db fd exec =
   let result = ref (Wire.Err (Wire.Generic, "query did not run")) in
   let pipe_r, pipe_w = Unix.pipe ~cloexec:true () in
   let job () =
-    (result := try response_of_result (exec ()) with e -> response_of_error e);
+    (result := try response_of_result (exec ()) with e -> response_of_error db e);
     (* Wake the select loop; EPIPE just means the watcher already left. *)
     try ignore (Unix.write pipe_w (Bytes.make 1 '!') 0 1)
     with Unix.Unix_error _ -> ()

@@ -276,11 +276,15 @@ let prop_topk =
   Tutil.qtest "topk = sort-then-take"
     QCheck2.Gen.(pair (int_range 1 20) int_list_gen)
     (fun (k, xs) ->
-      let heap = Topk.create ~cmp:compare ~k ~dummy:0 () in
-      List.iter (Topk.offer heap) xs;
-      let got = Array.to_list (Topk.finish heap) in
+      let heap = Topk.create ~cmp:compare ~k ~dummy:[||] () in
+      List.iter (fun x -> Topk.offer heap [| Value.Int x |]) xs;
+      let got =
+        Array.to_list (Array.map (fun r -> r.(0)) (Topk.finish heap))
+      in
       let expect =
-        List.filteri (fun i _ -> i < k) (List.sort compare xs)
+        List.filteri
+          (fun i _ -> i < k)
+          (List.sort compare (List.map (fun x -> Value.Int x) xs))
       in
       got = expect)
 

@@ -292,9 +292,68 @@ let prop_governor_is_transparent =
           else true)
         (Quill.Db.Volcano :: engines))
 
+let prop_spill_is_transparent =
+  (* Budgets far under the working set force real spilling (16 KiB
+     partitions once; 4 KiB recurses) — and an out-of-core run must be
+     indistinguishable from the unbudgeted one: same rows, every engine,
+     serial and morsel-parallel.  The only acceptable non-answer is a
+     clean Resource_exhausted from a shape whose state is documented
+     unspillable (DISTINCT); wrong rows are never acceptable. *)
+  Tutil.qtest ~count:60 "fuzz: spilling is transparent" query_gen
+    (fun shape ->
+      let db = Lazy.force db in
+      let has_distinct = contains_sub shape.sql "DISTINCT" in
+      (* Any LIMIT keeps whichever qualifying rows arrive first (ORDER BY
+         ties included) — and spilling reorders arrival (partition order,
+         key-sorted run merges), so the surviving subset is legitimately
+         different.  Only fully-determined shapes are comparable. *)
+      let nondet = contains_sub shape.sql " LIMIT " in
+      nondet
+      ||
+      let plain =
+        Tutil.table_rows (Quill.Db.query db ~engine:Quill.Db.Volcano shape.sql)
+      in
+      let check_one engine par budget ~may_refuse =
+        Quill.Db.set_parallelism db par;
+        match
+          Quill.Db.query db ~engine ~budget_bytes:budget shape.sql
+        with
+        | spilled ->
+            let got = Tutil.table_rows spilled in
+            let ok =
+              if shape.ordered then Tutil.same_rows_ordered plain got
+              else Tutil.same_rows_unordered plain got
+            in
+            if not ok then
+              QCheck2.Test.fail_reportf
+                "spilled run differs on %s (%s, par %d, budget %d)" shape.sql
+                (Quill.Db.engine_name engine) par budget
+            else true
+        | exception Quill.Db.Aborted Quill.Db.Resource_exhausted
+          when may_refuse || has_distinct ->
+            (* Unspillable state (DISTINCT dedup tables, a few bytes of
+               operator residue at the starvation tier) may be refused
+               cleanly; wrong rows are never acceptable. *)
+            true
+      in
+      Fun.protect
+        ~finally:(fun () -> Quill.Db.set_parallelism db 1)
+        (fun () ->
+          List.for_all
+            (fun (budget, may_refuse) ->
+              List.for_all
+                (fun engine ->
+                  List.for_all
+                    (fun par -> check_one engine par budget ~may_refuse)
+                    [ 1; 3 ])
+                (Quill.Db.Volcano :: engines))
+            (* 16 KiB forces one partitioning pass and must still answer;
+               4 KiB forces recursion and may cleanly refuse. *)
+            [ (16 * 1024, false); (4 * 1024, true) ]))
+
 let () =
   Alcotest.run "fuzz"
     [ ( "random queries",
         [ prop_engines_agree; prop_optimizer_preserves; prop_forced_joins_agree;
           prop_parallel_agrees; prop_observability_is_transparent;
-          prop_governor_is_transparent ] ) ]
+          prop_governor_is_transparent; prop_spill_is_transparent ] ) ]

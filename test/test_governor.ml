@@ -156,8 +156,13 @@ let test_adaptive_path_governed () =
     | Error msg -> Alcotest.failf "adaptive round %d: %s" round msg
   done
 
+(* With spilling disabled ([Db.set_spill]), budget behavior is the
+   pre-spill hard kill, byte-for-byte; with it on (the default), the same
+   over-budget aggregation completes by spilling and matches the
+   ungoverned result. *)
 let test_budget_aborts_hash_agg () =
   let db = grouped_db 100_000 in
+  Quill.Db.set_spill db false;
   let before = Metrics.value m_budget_kills in
   (match
      expect_abort Quill.Db.Resource_exhausted (fun () ->
@@ -170,10 +175,18 @@ let test_budget_aborts_hash_agg () =
     (Metrics.value m_budget_kills > before);
   (* Ungoverned, the same aggregation completes. *)
   let r = Quill.Db.query db "SELECT k, count(*) FROM g GROUP BY k" in
-  Alcotest.(check int) "ungoverned completes" 100_000 (Table.row_count r)
+  Alcotest.(check int) "ungoverned completes" 100_000 (Table.row_count r);
+  (* Spilling (the default) turns the kill into graceful degradation. *)
+  Quill.Db.set_spill db true;
+  let r =
+    Quill.Db.query db ~budget_bytes:(1024 * 1024)
+      "SELECT k, count(*) FROM g GROUP BY k"
+  in
+  Alcotest.(check int) "spilling completes" 100_000 (Table.row_count r)
 
 let test_budget_aborts_hash_join_build () =
   let db = grouped_db 100_000 in
+  Quill.Db.set_spill db false;
   (* The budget-aware picker would sidestep the hash join, so force it:
      the build side's charge must trip the budget. *)
   Quill.Db.set_options db
@@ -183,14 +196,30 @@ let test_budget_aborts_hash_join_build () =
         Quill.Db.query db ~budget_bytes:(1024 * 1024)
           "SELECT count(*) FROM g g1, g g2 WHERE g1.k = g2.k")
   in
+  (* Same forced plan, spilling on: the build Grace-partitions to disk
+     and the join completes with the exact ungoverned answer. *)
+  Quill.Db.set_spill db true;
+  let unbudgeted =
+    Quill.Db.query db "SELECT count(*) FROM g g1, g g2 WHERE g1.k = g2.k"
+  in
+  let spilled =
+    Quill.Db.query db ~budget_bytes:(1024 * 1024)
+      "SELECT count(*) FROM g g1, g g2 WHERE g1.k = g2.k"
+  in
   Quill.Db.set_options db Picker.default_options;
+  Alcotest.check Tutil.value_testable "spilling join matches"
+    (Table.get unbudgeted 0 0) (Table.get spilled 0 0);
   match outcome with
   | Ok () -> ()
   | Error msg -> Alcotest.failf "hash join build: %s" msg
 
-(* The budget is visible to the picker: a tight session budget flips the
-   plan from hash join / hash aggregation to merge join / sort
-   aggregation, whose working sets it does not penalize. *)
+(* The budget is visible to the picker.  With spilling off, a tight
+   session budget flips the plan from hash join / hash aggregation to
+   merge join / sort aggregation, whose working sets it does not
+   penalize (the pre-spill steering).  With spilling on, the hash
+   algorithms pay an honest spill-I/O term instead of the kill penalty —
+   and the unspillable merge join's materialized inputs now price as the
+   kill they are — so the hash plans survive a tight budget. *)
 let test_budget_aware_planning () =
   let db = grouped_db 20_000 in
   Quill.Db.analyze db "g";
@@ -227,10 +256,16 @@ let test_budget_aware_planning () =
     (find_agg (Quill.Db.plan db agg_sql) = Some Physical.Hash_agg);
   Quill.Db.set_budget db (Some 65_536);
   Alcotest.(check (option int)) "budget stored" (Some 65_536) (Quill.Db.budget_bytes db);
-  Alcotest.(check bool) "tight: merge join" true
+  Quill.Db.set_spill db false;
+  Alcotest.(check bool) "tight, no spill: merge join" true
     (find_join (Quill.Db.plan db join_sql) = Some Physical.Merge_join);
-  Alcotest.(check bool) "tight: sort agg" true
+  Alcotest.(check bool) "tight, no spill: sort agg" true
     (find_agg (Quill.Db.plan db agg_sql) = Some Physical.Sort_agg);
+  Quill.Db.set_spill db true;
+  Alcotest.(check bool) "tight, spill: hash join survives" true
+    (find_join (Quill.Db.plan db join_sql) = Some Physical.Hash_join);
+  Alcotest.(check bool) "tight, spill: hash agg survives" true
+    (find_agg (Quill.Db.plan db agg_sql) = Some Physical.Hash_agg);
   Quill.Db.set_budget db None
 
 (* --- Governor unit behaviour -------------------------------------------- *)

@@ -1,0 +1,463 @@
+(* Out-of-core execution: the spill-file manager (codec round-trips,
+   CRC-checked frames, session accounting, orphan pruning), graceful
+   degradation of over-budget joins/aggregations/sorts in every engine,
+   the [Db.set_spill] ablation lever that restores the hard budget kill,
+   rich abort diagnostics on both the library and the TCP plane, and
+   fault injection: torn spill files, fsync failures and mid-spill
+   crashes must yield correct results or clean errors — never wrong
+   rows — and never leave stray spill files behind after recovery. *)
+
+module Value = Quill_storage.Value
+module Schema = Quill_storage.Schema
+module Table = Quill_storage.Table
+module Catalog = Quill_storage.Catalog
+module Spill = Quill_storage.Spill
+module Sim_fs = Quill_storage.Sim_fs
+module Metrics = Quill_obs.Metrics
+module Wire = Quill_server.Wire
+module Server = Quill_server.Server
+module Client = Quill_server.Client
+module Db = Quill.Db
+
+let m_bytes = Metrics.counter "quill.spill.bytes"
+let m_spills = Metrics.counter "quill.governor.spills"
+
+let engines = [ Db.Volcano; Db.Vectorized; Db.Compiled ]
+
+let tmpdir () =
+  let p = Filename.temp_file "quill_spill" "" in
+  Sys.remove p;
+  p
+
+let rec rmrf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rmrf (Filename.concat path f)) (Sys.readdir path);
+      try Unix.rmdir path with Unix.Unix_error _ -> ()
+    end
+    else Sys.remove path
+
+(* t(k, v) with one group per row: over-budget by construction for any
+   small budget, and every answer is checkable against the ungoverned
+   run. *)
+let grouped_db rows =
+  let db = Db.create () in
+  let t =
+    Table.create ~name:"g"
+      (Schema.create
+         [ Schema.col ~nullable:false "k" Value.Int_t;
+           Schema.col ~nullable:false "v" Value.Int_t ])
+  in
+  for i = 0 to rows - 1 do
+    Table.insert t [| Value.Int i; Value.Int (i mod 7) |]
+  done;
+  Catalog.add (Db.catalog db) t;
+  db
+
+(* --- Codec -------------------------------------------------------------- *)
+
+(* Every value shape through a run file and back, byte-for-byte.  The
+   float cases straddle the 2^62 bit boundary on purpose: the sign and
+   top exponent bits of the IEEE image must survive (a 63-bit int
+   round-trip loses them). *)
+let test_codec_roundtrip () =
+  let root = tmpdir () in
+  let sess = Spill.fresh_session root in
+  let rows =
+    [|
+      [| Value.Int 0; Value.Float 2.4; Value.Str "alpha"; Value.Bool true |];
+      [| Value.Null; Value.Float (-3.75); Value.Str ""; Value.Date 9125 |];
+      [| Value.Int min_int; Value.Float 1e300; Value.Str "bin\x00\xffdata" |];
+      [| Value.Int max_int; Value.Float (-0.5); Value.Bool false |];
+      [| Value.Float infinity; Value.Float neg_infinity; Value.Float 1.5e-300 |];
+      [| Value.Str (String.make 100_000 'x') |];
+    |]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Spill.cleanup sess;
+      rmrf root)
+    (fun () ->
+      let w = Spill.start_run sess in
+      Array.iter (fun r -> Spill.add_row w r) rows;
+      let run = Spill.finish_run w in
+      Alcotest.(check int) "row count" (Array.length rows) (Spill.run_rows run);
+      Alcotest.(check bool) "bytes accounted" true (Spill.run_bytes run > 100_000);
+      Alcotest.(check int) "session bytes" (Spill.run_bytes run)
+        (Spill.bytes_spilled sess);
+      Alcotest.(check int) "session runs" 1 (Spill.runs_written sess);
+      let got = ref [] in
+      Spill.iter_run run (fun r -> got := r :: !got);
+      let got = Array.of_list (List.rev !got) in
+      Alcotest.(check int) "rows back" (Array.length rows) (Array.length got);
+      Array.iteri
+        (fun i expect ->
+          Array.iteri
+            (fun j v ->
+              if compare v got.(i).(j) <> 0 then
+                Alcotest.failf "row %d col %d: wrote %s, read %s" i j
+                  (Value.to_string v)
+                  (Value.to_string got.(i).(j)))
+            expect)
+        rows)
+
+(* A flipped byte anywhere in the payload must surface as a checksum
+   error, never as silently different rows. *)
+let test_codec_detects_corruption () =
+  let root = tmpdir () in
+  let sess = Spill.fresh_session root in
+  Fun.protect
+    ~finally:(fun () ->
+      Spill.cleanup sess;
+      rmrf root)
+    (fun () ->
+      let w = Spill.start_run sess in
+      for i = 0 to 999 do
+        Spill.add_row w [| Value.Int i; Value.Str (Printf.sprintf "row-%d" i) |]
+      done;
+      let run = Spill.finish_run w in
+      (* Corrupt one byte in the middle of the file (inside a frame
+         payload, past the header). *)
+      let path = Filename.concat (Spill.dir sess) "run-0.spl" in
+      let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+      let off = Spill.run_bytes run / 2 in
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      let b = Bytes.create 1 in
+      ignore (Unix.read fd b 0 1);
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x40));
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      ignore (Unix.write fd b 0 1);
+      Unix.close fd;
+      match Spill.iter_run run (fun _ -> ()) with
+      | () -> Alcotest.fail "corrupt run read back without an error"
+      | exception Spill.Error _ -> ())
+
+(* A truncated run (torn final frame) is a clean error too. *)
+let test_codec_detects_truncation () =
+  let root = tmpdir () in
+  let sess = Spill.fresh_session root in
+  Fun.protect
+    ~finally:(fun () ->
+      Spill.cleanup sess;
+      rmrf root)
+    (fun () ->
+      let w = Spill.start_run sess in
+      for i = 0 to 999 do
+        Spill.add_row w [| Value.Int i |]
+      done;
+      let run = Spill.finish_run w in
+      let path = Filename.concat (Spill.dir sess) "run-0.spl" in
+      let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+      ignore (Unix.ftruncate fd (Spill.run_bytes run - 5));
+      Unix.close fd;
+      match Spill.iter_run run (fun _ -> ()) with
+      | () -> Alcotest.fail "torn run read back without an error"
+      | exception Spill.Error _ -> ())
+
+(* --- Graceful degradation in every engine ------------------------------- *)
+
+(* Join, aggregation and sort, each far over a 1 MiB budget, must
+   complete in all three engines (serial and morsel-parallel) with
+   exactly the ungoverned answer, and the spill/ governor metrics must
+   account for the traffic. *)
+let test_over_budget_completes_everywhere () =
+  let db = grouped_db 100_000 in
+  let queries =
+    [ ("agg", "SELECT k, count(*) FROM g GROUP BY k");
+      ("join", "SELECT count(*) FROM g g1, g g2 WHERE g1.k = g2.k");
+      ("sort", "SELECT k, v FROM g ORDER BY v, k") ]
+  in
+  Fun.protect
+    ~finally:(fun () -> Db.set_parallelism db 1)
+    (fun () ->
+      List.iter
+        (fun (name, sql) ->
+          let reference = Tutil.table_rows (Db.query db sql) in
+          List.iter
+            (fun engine ->
+              List.iter
+                (fun par ->
+                  Db.set_parallelism db par;
+                  let label =
+                    Printf.sprintf "%s/%s/par %d" name (Db.engine_name engine) par
+                  in
+                  let bytes0 = Metrics.value m_bytes in
+                  let spills0 = Metrics.value m_spills in
+                  let got =
+                    Tutil.table_rows
+                      (Db.query db ~engine ~budget_bytes:(1024 * 1024) sql)
+                  in
+                  Tutil.check_same_unordered label reference got;
+                  Alcotest.(check bool) (label ^ ": spill bytes counted") true
+                    (Metrics.value m_bytes > bytes0);
+                  Alcotest.(check bool) (label ^ ": governor spills counted") true
+                    (Metrics.value m_spills > spills0))
+                [ 1; 4 ])
+            engines)
+        queries)
+
+(* --- The ablation lever and abort diagnostics --------------------------- *)
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_spill_off_restores_hard_kill () =
+  let db = grouped_db 100_000 in
+  Db.set_spill db false;
+  Alcotest.(check bool) "lever readable" false (Db.spill_enabled db);
+  (match Db.query db ~budget_bytes:(1024 * 1024) "SELECT k, count(*) FROM g GROUP BY k" with
+  | _ -> Alcotest.fail "spill off: over-budget query did not abort"
+  | exception Db.Aborted Db.Resource_exhausted -> ());
+  (* The diagnostic names the reason, the numbers and the lever. *)
+  (match Db.last_abort_detail db with
+  | None -> Alcotest.fail "no abort detail recorded"
+  | Some d ->
+      List.iter
+        (fun needle ->
+          if not (contains_sub d needle) then
+            Alcotest.failf "abort detail %S is missing %S" d needle)
+        [ "resource exhausted"; "budget 1048576 bytes"; "spilling disabled" ]);
+  Db.set_spill db true;
+  let r = Db.query db ~budget_bytes:(1024 * 1024) "SELECT k, count(*) FROM g GROUP BY k" in
+  Alcotest.(check int) "lever back on: completes" 100_000 (Table.row_count r)
+
+(* DISTINCT dedup state is documented unspillable: over budget it still
+   kills cleanly — and the diagnostic reports what spilling managed
+   before the refusal. *)
+let test_unspillable_distinct_aborts_with_detail () =
+  let db = grouped_db 100_000 in
+  let sql = "SELECT DISTINCT k, v FROM g" in
+  Alcotest.(check int) "ungoverned completes" 100_000
+    (Table.row_count (Db.query db sql));
+  (match Db.query db ~budget_bytes:(64 * 1024) sql with
+  | _ -> Alcotest.fail "over-budget DISTINCT did not abort"
+  | exception Db.Aborted Db.Resource_exhausted -> ());
+  match Db.last_abort_detail db with
+  | None -> Alcotest.fail "no abort detail recorded"
+  | Some d ->
+      List.iter
+        (fun needle ->
+          if not (contains_sub d needle) then
+            Alcotest.failf "abort detail %S is missing %S" d needle)
+        [ "resource exhausted"; "peak "; "budget 65536 bytes"; "spilled " ]
+
+(* The TCP plane: a session budget that spilling cannot satisfy comes
+   back as a clean [Aborted_err] frame carrying the same rich detail,
+   and a budget that spilling can satisfy returns the full result. *)
+let test_tcp_abort_frames_carry_detail () =
+  let root = grouped_db 100_000 in
+  let srv =
+    Server.start
+      ~config:{ Server.default_config with Server.session_budget_bytes = Some (1024 * 1024) }
+      (Db.share root)
+  in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      let c = Client.connect ~port:(Server.port srv) () in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          (* Spilling satisfies this one: graceful degradation over TCP. *)
+          (match Client.query c "SELECT k, count(*) FROM g GROUP BY k" with
+          | Wire.Result (_, rows) ->
+              Alcotest.(check int) "spilled result over TCP" 100_000 (List.length rows)
+          | Wire.Err (_, m) -> Alcotest.failf "spillable query errored: %s" m
+          | _ -> Alcotest.fail "expected a Result frame");
+          (* Unspillable DISTINCT state cannot be saved: clean error
+             frame with the governor's account. *)
+          match Client.query c "SELECT DISTINCT k, v FROM g" with
+          | Wire.Err (Wire.Aborted_err, detail) ->
+              List.iter
+                (fun needle ->
+                  if not (contains_sub detail needle) then
+                    Alcotest.failf "TCP abort detail %S is missing %S" detail needle)
+                [ "resource exhausted"; "budget 1048576 bytes" ]
+          | Wire.Err (k, m) ->
+              Alcotest.failf "wrong error kind for budget abort: %s"
+                (match k with
+                | Wire.Generic -> "generic: " ^ m
+                | Wire.Conflict_err -> "conflict: " ^ m
+                | Wire.Protocol_err -> "protocol: " ^ m
+                | Wire.Aborted_err -> assert false)
+          | _ -> Alcotest.fail "expected an error frame"))
+
+(* --- Orphan hygiene ------------------------------------------------------ *)
+
+(* A successful spilled query on a durable store leaves nothing behind;
+   a crash mid-spill leaves strays that the next [open_durable] prunes. *)
+let test_no_strays_after_success () =
+  let dir = tmpdir () in
+  Fun.protect
+    ~finally:(fun () ->
+      Sim_fs.reset ();
+      rmrf dir)
+    (fun () ->
+      let db, _ = Db.open_durable dir in
+      let t =
+        Table.create ~name:"g"
+          (Schema.create
+             [ Schema.col ~nullable:false "k" Value.Int_t;
+               Schema.col ~nullable:false "v" Value.Int_t ])
+      in
+      for i = 0 to 49_999 do
+        Table.insert t [| Value.Int i; Value.Int (i mod 7) |]
+      done;
+      Catalog.add (Db.catalog db) t;
+      let r = Db.query db ~budget_bytes:(512 * 1024) "SELECT k, count(*) FROM g GROUP BY k" in
+      Alcotest.(check int) "spilled query answers" 50_000 (Table.row_count r);
+      Alcotest.(check bool) "no spill dir left behind" false
+        (Sys.file_exists (Filename.concat dir "spill")))
+
+let test_crash_mid_spill_pruned_on_recovery () =
+  let dir = tmpdir () in
+  Fun.protect
+    ~finally:(fun () ->
+      Sim_fs.reset ();
+      rmrf dir)
+    (fun () ->
+      let db, _ = Db.open_durable dir in
+      let t =
+        Table.create ~name:"g"
+          (Schema.create
+             [ Schema.col ~nullable:false "k" Value.Int_t;
+               Schema.col ~nullable:false "v" Value.Int_t ])
+      in
+      for i = 0 to 49_999 do
+        Table.insert t [| Value.Int i; Value.Int (i mod 7) |]
+      done;
+      Catalog.add (Db.catalog db) t;
+      (* The power cut lands on one of the spill writes. *)
+      Sim_fs.crash_after_ops 10;
+      (match
+         Db.query db ~budget_bytes:(512 * 1024) "SELECT k, count(*) FROM g GROUP BY k"
+       with
+      | _ -> Alcotest.fail "armed crash did not fire during the spill"
+      | exception Sim_fs.Crash _ -> ());
+      Alcotest.(check bool) "strays on disk after the crash" true
+        (Sys.file_exists (Filename.concat dir "spill"));
+      (* Reboot: recovery prunes every orphan spill session. *)
+      Sim_fs.reset ();
+      let db2, _ = Db.open_durable dir in
+      ignore db2;
+      Alcotest.(check bool) "recovery pruned the strays" false
+        (Sys.file_exists (Filename.concat dir "spill")))
+
+(* --- Fault injection on the spill path ---------------------------------- *)
+
+(* A dead spill device (every fsync fails) turns an over-budget query
+   into a clean error — never wrong rows — the session cleans its files,
+   and the same query succeeds once the device recovers. *)
+let test_fsync_failure_is_clean () =
+  let db = grouped_db 100_000 in
+  let sql = "SELECT k, count(*) FROM g GROUP BY k" in
+  Fun.protect
+    ~finally:(fun () -> Sim_fs.reset ())
+    (fun () ->
+      Sim_fs.fail_fsync true;
+      (match Db.query db ~budget_bytes:(1024 * 1024) sql with
+      | r ->
+          (* Acceptable only if it is the right answer (spilling may not
+             have engaged before the first fsync). *)
+          Alcotest.(check int) "if it answers, it answers right" 100_000
+            (Table.row_count r)
+      | exception Sim_fs.Io_error _ -> ()
+      | exception Db.Error _ -> (* Db wraps the injected io error *) ());
+      Sim_fs.fail_fsync false;
+      let r = Db.query db ~budget_bytes:(1024 * 1024) sql in
+      Alcotest.(check int) "recovered device: completes" 100_000 (Table.row_count r);
+      Alcotest.(check bool) "no stray default-root spill dir" false
+        (Sys.file_exists (Spill.default_root ())))
+
+(* A crash mid-spill on an in-memory session leaves strays under the
+   per-process tmp root (cleanup refuses to touch a crashed "disk");
+   [prune_orphans] sweeps them. *)
+let test_crash_mid_spill_inmemory_prune () =
+  let db = grouped_db 100_000 in
+  Fun.protect
+    ~finally:(fun () -> Sim_fs.reset ())
+    (fun () ->
+      Sim_fs.crash_after_bytes 100_000;
+      (match
+         Db.query db ~budget_bytes:(1024 * 1024) "SELECT k, count(*) FROM g GROUP BY k"
+       with
+      | _ -> Alcotest.fail "armed crash did not fire during the spill"
+      | exception Sim_fs.Crash _ -> ());
+      Sim_fs.reset ();
+      let root = Spill.default_root () in
+      Alcotest.(check bool) "strays under the tmp root" true (Sys.file_exists root);
+      Alcotest.(check bool) "prune found sessions" true (Spill.prune_orphans root > 0);
+      (try Unix.rmdir root with Unix.Unix_error _ -> ());
+      Alcotest.(check bool) "swept" false
+        (Sys.file_exists (Filename.concat root "spill")))
+
+(* Randomized crash points across the whole spilling query: whatever the
+   cut, the outcome is a clean Crash and recovery leaves zero strays and
+   the right answer. *)
+let test_crash_point_sweep () =
+  let db = grouped_db 30_000 in
+  let sql = "SELECT k, count(*) FROM g GROUP BY k" in
+  let reference = Table.row_count (Db.query db sql) in
+  Fun.protect
+    ~finally:(fun () -> Sim_fs.reset ())
+    (fun () ->
+      List.iter
+        (fun ops ->
+          Sim_fs.reset ();
+          Sim_fs.crash_after_ops ops;
+          (match Db.query db ~budget_bytes:(256 * 1024) sql with
+          | r ->
+              (* The cut landed after the last spill op: fine, but the
+                 answer must be right. *)
+              Alcotest.(check int)
+                (Printf.sprintf "ops=%d completes right" ops)
+                reference (Table.row_count r)
+          | exception Sim_fs.Crash _ -> ());
+          Sim_fs.reset ();
+          let root = Spill.default_root () in
+          ignore (Spill.prune_orphans root);
+          (try Unix.rmdir root with Unix.Unix_error _ -> ());
+          (* After the sweep the query answers correctly again. *)
+          Alcotest.(check int)
+            (Printf.sprintf "ops=%d recovered" ops)
+            reference
+            (Table.row_count (Db.query db ~budget_bytes:(256 * 1024) sql)))
+        [ 0; 1; 3; 7; 20; 60; 200 ])
+
+let () =
+  Alcotest.run "spill"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "round-trip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "corruption detected" `Quick test_codec_detects_corruption;
+          Alcotest.test_case "truncation detected" `Quick test_codec_detects_truncation;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "all engines, serial+parallel" `Quick
+            test_over_budget_completes_everywhere;
+        ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "spill-off ablation" `Quick test_spill_off_restores_hard_kill;
+          Alcotest.test_case "unspillable DISTINCT" `Quick
+            test_unspillable_distinct_aborts_with_detail;
+          Alcotest.test_case "TCP error frames" `Quick test_tcp_abort_frames_carry_detail;
+        ] );
+      ( "hygiene",
+        [
+          Alcotest.test_case "success leaves nothing" `Quick test_no_strays_after_success;
+          Alcotest.test_case "crash mid-spill pruned at recovery" `Quick
+            test_crash_mid_spill_pruned_on_recovery;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "fsync failure" `Quick test_fsync_failure_is_clean;
+          Alcotest.test_case "crash mid-spill, tmp root" `Quick
+            test_crash_mid_spill_inmemory_prune;
+          Alcotest.test_case "crash point sweep" `Quick test_crash_point_sweep;
+        ] );
+    ]
